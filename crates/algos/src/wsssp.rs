@@ -1,0 +1,265 @@
+//! Weighted single-source shortest paths over StructEdge cells.
+//!
+//! The paper's graph model (§4.1) stores rich edge information in *edge
+//! cells*: "when edges are associated with rich information, we may
+//! represent edges using cells... Correspondingly, a node will store a
+//! set of edge cellids." This module puts that representation to work:
+//! edges are independent cells carrying a weight, node cells hold edge-
+//! cell ids, and a single vertex-centric program runs over *both* kinds
+//! of cell — a relaxation wave travels node → edge cell → node, the edge
+//! cell adding its weight in flight. "Shortest path discovery" is one of
+//! the paper's canonical vertex-centric workloads (§5.3); the two-
+//! supersteps-per-hop cost of the edge-cell hop is exactly what the rich
+//! representation buys its flexibility with.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trinity_core::{BspConfig, BspResult, BspRunner, VertexContext, VertexProgram};
+use trinity_graph::{load_graph, Csr, DistributedGraph, LoadOptions, NodeRecord, NodeView};
+use trinity_memcloud::{CellId, CloudError, MemoryCloud};
+
+/// Edge-cell ids start here so they never collide with node ids (node
+/// ids are dense `0..n`).
+pub const EDGE_ID_BASE: CellId = 1 << 40;
+
+/// Distance marker for unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// A weighted graph materialized as node cells + edge cells.
+pub struct WeightedGraph {
+    graph: Arc<DistributedGraph>,
+    /// (src, dst) → weight, kept for reference computations.
+    weights: HashMap<(u64, u64), u32>,
+    node_count: usize,
+}
+
+impl WeightedGraph {
+    /// The distributed graph (node cells' out-lists hold edge-cell ids;
+    /// edge cells' out-lists hold their destination node).
+    pub fn graph(&self) -> &Arc<DistributedGraph> {
+        &self.graph
+    }
+
+    /// The weight table (for reference/verification).
+    pub fn weights(&self) -> &HashMap<(u64, u64), u32> {
+        &self.weights
+    }
+
+    /// Number of *node* cells (edge cells excluded).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+/// Deterministic per-edge weight in `1..=max_weight`.
+pub fn edge_weight(src: u64, dst: u64, max_weight: u32, seed: u64) -> u32 {
+    let mut x = seed ^ src.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ dst.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 30)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x % max_weight as u64) as u32 + 1
+}
+
+/// Materialize a CSR as a weighted edge-cell graph: every arc becomes an
+/// edge cell whose attributes carry the weight and whose single out-link
+/// is the destination node; every node cell's out-list names its edge
+/// cells.
+pub fn load_weighted(
+    cloud: Arc<MemoryCloud>,
+    csr: &Csr,
+    max_weight: u32,
+    seed: u64,
+) -> Result<WeightedGraph, CloudError> {
+    let mut weights = HashMap::new();
+    let mut edge_ids: Vec<Vec<CellId>> = vec![Vec::new(); csr.node_count()];
+    let mut next_edge = EDGE_ID_BASE;
+    let node0 = cloud.node(0);
+    for (src, dst) in csr.arcs() {
+        let w = edge_weight(src, dst, max_weight, seed);
+        weights.insert((src, dst), w);
+        let eid = next_edge;
+        next_edge += 1;
+        // Edge cell: weight in the attrs, destination as the out-link.
+        let rec = NodeRecord { attrs: w.to_le_bytes().to_vec(), outs: vec![dst], ins: None };
+        node0.put(eid, &rec.encode())?;
+        edge_ids[src as usize].push(eid);
+    }
+    for v in 0..csr.node_count() as u64 {
+        let rec = NodeRecord { attrs: Vec::new(), outs: edge_ids[v as usize].clone(), ins: None };
+        node0.put(v, &rec.encode())?;
+    }
+    // Wrap the already-loaded cells in a DistributedGraph view: loading an
+    // empty CSR creates no cells and overwrites nothing (node ids in the
+    // empty CSR don't exist).
+    let empty = Csr { offsets: vec![0], targets: vec![], directed: csr.directed };
+    let graph = Arc::new(load_graph(Arc::clone(&cloud), &empty, &LoadOptions::default())?);
+    Ok(WeightedGraph { graph, weights, node_count: csr.node_count() })
+}
+
+/// The weighted-SSSP program, running over node cells *and* edge cells.
+///
+/// * node cell state: its best-known distance; on improvement it sends
+///   the new distance to all its edge cells;
+/// * edge cell state: its weight (read from the cell's attributes at
+///   init); on receiving a distance it forwards `distance + weight` to
+///   its destination node.
+pub struct WssspProgram {
+    pub source: CellId,
+}
+
+impl VertexProgram for WssspProgram {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, id: CellId, view: &NodeView<'_>) -> u64 {
+        if id >= EDGE_ID_BASE {
+            // Edge cell: state is the weight from the cell's attributes.
+            u32::from_le_bytes(view.attrs().try_into().unwrap_or([0; 4])) as u64
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn compute(&self, ctx: &mut VertexContext<'_, u64>, id: CellId, state: &mut u64, msgs: &[u64]) {
+        if id >= EDGE_ID_BASE {
+            // Edge cell: relay min incoming distance + weight to dst.
+            if let Some(&d) = msgs.iter().min() {
+                ctx.send_to_neighbors(d + *state);
+            }
+            ctx.vote_to_halt();
+            return;
+        }
+        let proposed = if ctx.superstep() == 0 && id == self.source {
+            Some(0u64)
+        } else {
+            msgs.iter().copied().min().filter(|&m| m < *state)
+        };
+        if let Some(d) = proposed {
+            *state = d;
+            ctx.send_to_neighbors(d);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn encode_msg(m: &u64) -> Vec<u8> {
+        m.to_le_bytes().to_vec()
+    }
+    fn decode_msg(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn encode_state(s: &u64) -> Vec<u8> {
+        s.to_le_bytes().to_vec()
+    }
+    fn decode_state(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn combine(a: &mut u64, b: &u64) -> bool {
+        *a = (*a).min(*b);
+        true
+    }
+}
+
+/// Run weighted SSSP; returns distances for *node* cells only.
+pub fn wsssp_distributed(wg: &WeightedGraph, source: CellId, cfg: BspConfig) -> HashMap<CellId, u64> {
+    let result: BspResult<WssspProgram> =
+        BspRunner::new(Arc::clone(wg.graph()), WssspProgram { source }, cfg).run();
+    result.states.into_iter().filter(|(id, _)| *id < EDGE_ID_BASE).collect()
+}
+
+/// Reference Dijkstra on the weight table.
+pub fn dijkstra_reference(csr: &Csr, weights: &HashMap<(u64, u64), u32>, source: u64) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = csr.node_count();
+    let mut dist = vec![UNREACHED; n];
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::from([(Reverse(0u64), source)]);
+    while let Some((Reverse(d), v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &t in csr.neighbors(v) {
+            let w = weights[&(v, t)] as u64;
+            if d + w < dist[t as usize] {
+                dist[t as usize] = d + w;
+                heap.push((Reverse(d + w), t));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinity_memcloud::CloudConfig;
+
+    fn run(csr: &Csr, machines: usize, source: u64, seed: u64) -> (HashMap<CellId, u64>, Vec<u64>) {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+        let wg = load_weighted(Arc::clone(&cloud), csr, 9, seed).unwrap();
+        let got = wsssp_distributed(
+            &wg,
+            source,
+            BspConfig { hub_threshold: None, max_supersteps: 4096, ..BspConfig::default() },
+        );
+        let expect = dijkstra_reference(csr, wg.weights(), source);
+        cloud.shutdown();
+        (got, expect)
+    }
+
+    #[test]
+    fn weighted_distances_match_dijkstra_on_a_grid() {
+        let n = 6;
+        let idx = |r: usize, c: usize| (r * n + c) as u64;
+        let mut edges = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if r + 1 < n {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+                if c + 1 < n {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+            }
+        }
+        let csr = Csr::undirected_from_edges(n * n, &edges, true);
+        let (got, expect) = run(&csr, 3, 0, 7);
+        assert_eq!(got.len(), n * n, "edge cells must be filtered from the result");
+        for (v, &d) in expect.iter().enumerate() {
+            assert_eq!(got[&(v as u64)], d, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_distances_match_dijkstra_on_random_graphs() {
+        for seed in [1u64, 5] {
+            let csr = trinity_graphgen::social(120, 6, seed);
+            let (got, expect) = run(&csr, 4, 3, seed);
+            for (v, &d) in expect.iter().enumerate() {
+                assert_eq!(got[&(v as u64)], d, "seed {seed} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_nodes_stay_unreached() {
+        // Two components; distances in the far component stay UNREACHED.
+        let mut edges: Vec<(u64, u64)> = vec![(0, 1), (1, 2)];
+        edges.push((3, 4));
+        let csr = Csr::undirected_from_edges(5, &edges, true);
+        let (got, expect) = run(&csr, 2, 0, 3);
+        assert_eq!(got[&3], UNREACHED);
+        assert_eq!(got[&4], UNREACHED);
+        assert_eq!(expect[3], UNREACHED);
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_positive() {
+        for s in 0..50u64 {
+            for d in 0..50u64 {
+                let w = edge_weight(s, d, 9, 42);
+                assert!((1..=9).contains(&w));
+                assert_eq!(w, edge_weight(s, d, 9, 42));
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Baseline engines from the paper's evaluation (§7).
+//!
+//! The paper compares Trinity against two systems, attributing their
+//! slowdowns and memory blowups to specific mechanisms. Each baseline
+//! here implements those mechanisms *literally* and runs the same
+//! algorithms for real, so the comparison figures regenerate for the same
+//! reasons as the originals (see DESIGN.md's substitution table):
+//!
+//! * [`giraph`] — a JVM Pregel: vertices as heap objects with per-object
+//!   overhead, per-message serialization every superstep, one transfer
+//!   per message (no transparent packing, no hub buffering), and a
+//!   per-superstep coordination cost. "Graph nodes exist as runtime
+//!   objects in memory. They take much more memory than Trinity's plain
+//!   blobs" — and run out of it at degree 16 on the 256 M node graph.
+//! * [`pbgl`] — the Parallel Boost Graph Library: MPI-style two-sided
+//!   bulk communication and **ghost cells** (local replicas of every
+//!   remote neighbor). "The ghost cell mechanism only works well for
+//!   well-partitioned graphs. Great memory overhead would be incurred for
+//!   not-well-partitioned large graphs" — on a random hash partition the
+//!   ghosts approach a full copy of the vertex set per machine.
+
+pub mod giraph;
+pub mod pbgl;
+
+pub use giraph::{giraph_pagerank, GiraphConfig, GiraphReport};
+pub use pbgl::{pbgl_bfs, PbglConfig, PbglReport};
+
+/// Error returned when a baseline's modeled memory exceeds its limit —
+/// the "out of memory" points in Figures 12(d) and 13.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the run would need.
+    pub required: u64,
+    /// Configured per-machine limit times machine count.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline out of memory: needs {} bytes, limit {}", self.required, self.limit)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}

@@ -1,0 +1,75 @@
+//! Ablation: zero-copy cell accessors vs full blob decoding (paper §4.3).
+//!
+//! The cell accessor's claim is that a field access maps "to the correct
+//! memory location with zero memory copy overhead" — reading one field
+//! should not pay for decoding the rest of the cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trinity_tsl::{compile, parse, CellAccessor, Value};
+
+const SCRIPT: &str = "
+    [CellType: NodeCell]
+    cell struct Node {
+        long Id;
+        double Rank;
+        string Name;
+        List<long> Out;
+        List<string> Labels;
+    }
+";
+
+fn bench_accessor(c: &mut Criterion) {
+    let schema = compile(&parse(SCRIPT).unwrap()).unwrap();
+    let layout = schema.struct_layout("Node").unwrap();
+    let blob = layout
+        .build()
+        .set("Id", 42i64)
+        .set("Rank", 0.15f64)
+        .set("Name", "a reasonably long node name here")
+        .set("Out", (0..64i64).collect::<Vec<_>>())
+        .set(
+            "Labels",
+            Value::List((0..16).map(|i| Value::Str(format!("label-{i}"))).collect()),
+        )
+        .encode()
+        .unwrap();
+
+    let mut g = c.benchmark_group("field_access");
+    // Fixed-offset field: O(1) through the accessor.
+    g.bench_function("accessor_fixed_field", |b| {
+        b.iter(|| {
+            let acc = CellAccessor::new(layout, black_box(&blob));
+            acc.get_long("Id").unwrap() + acc.get_double("Rank").unwrap() as i64
+        })
+    });
+    // Variable-offset field: one forward walk.
+    g.bench_function("accessor_list_iteration", |b| {
+        b.iter(|| {
+            let acc = CellAccessor::new(layout, black_box(&blob));
+            acc.list_longs("Out").unwrap().sum::<i64>()
+        })
+    });
+    // The alternative: decode the entire cell into owned values.
+    g.bench_function("full_decode", |b| {
+        b.iter(|| {
+            let v = layout.decode(black_box(&blob)).unwrap();
+            v.as_struct().unwrap()[0].as_long().unwrap()
+        })
+    });
+    // And what a serde-style runtime-object approach pays: decode + re-encode.
+    g.bench_function("decode_reencode_roundtrip", |b| {
+        b.iter(|| {
+            let v = layout.decode(black_box(&blob)).unwrap();
+            layout.encode(&v).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_accessor
+}
+criterion_main!(benches);

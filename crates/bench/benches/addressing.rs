@@ -1,0 +1,59 @@
+//! Ablation: the two-step hash addressing path (paper §3, Figure 3).
+//!
+//! Every cell access pays (1) cell id → trunk hash, (2) addressing-table
+//! slot lookup, (3) in-trunk hash-table probe. All three must stay
+//! nanosecond-scale for the "random access abstraction" to hold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trinity_memcloud::AddressingTable;
+use trinity_memstore::hash::{mix64, trunk_of};
+
+fn bench_addressing(c: &mut Criterion) {
+    let table = AddressingTable::round_robin(10, 16); // 1024 trunks, 16 machines
+    let mut g = c.benchmark_group("addressing");
+    g.bench_function("mix64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc ^= mix64(black_box(i));
+            }
+            acc
+        })
+    });
+    g.bench_function("trunk_of", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc += trunk_of(black_box(i), 10);
+            }
+            acc
+        })
+    });
+    g.bench_function("full_route_id_to_machine", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for i in 0..1_000u64 {
+                acc ^= table.machine_of(black_box(i)).0;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_failover_math(c: &mut Criterion) {
+    // Reassignment cost at recovery time (runs once per failure, but
+    // bounds how fast the leader can publish a new epoch).
+    c.bench_function("reassign_failed_machine_1024_trunks", |b| {
+        b.iter(|| {
+            let mut t = AddressingTable::round_robin(10, 16);
+            let survivors: Vec<_> = (0..15).map(trinity_net::MachineId).collect();
+            t.reassign_failed(trinity_net::MachineId(15), &survivors);
+            t.epoch
+        })
+    });
+}
+
+criterion_group!(benches, bench_addressing, bench_failover_math);
+criterion_main!(benches);

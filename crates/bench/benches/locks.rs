@@ -1,0 +1,90 @@
+//! Ablation: per-cell spin locks under contention (paper §3).
+//!
+//! Cell critical sections are tiny (header reads, short copies), which is
+//! the regime the paper's spin lock targets. Compares uncontended and
+//! contended access through the trunk against a mutexed HashMap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use trinity_memstore::{Trunk, TrunkConfig};
+
+fn bench_uncontended(c: &mut Criterion) {
+    let trunk = Trunk::new(0, TrunkConfig::with_reserved(8 << 20));
+    let map: Mutex<HashMap<u64, Vec<u8>>> = Mutex::new(HashMap::new());
+    for i in 0..1_000u64 {
+        trunk.put(i, &[1u8; 32]).unwrap();
+        map.lock().insert(i, vec![1u8; 32]);
+    }
+    let mut g = c.benchmark_group("uncontended_reads");
+    g.bench_function("trunk_spinlocked_get", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc += trunk.get(black_box(i)).unwrap()[0] as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("mutexed_hashmap_get", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc += map.lock().get(&black_box(i)).unwrap()[0] as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_4_threads");
+    g.sample_size(10);
+    g.bench_function("trunk_per_cell_locks", |b| {
+        b.iter(|| {
+            // Per-cell locks: threads touching different cells do not
+            // contend at all.
+            let trunk = Arc::new(Trunk::new(0, TrunkConfig::with_reserved(8 << 20)));
+            for i in 0..256u64 {
+                trunk.put(i, &[1u8; 32]).unwrap();
+            }
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let trunk = Arc::clone(&trunk);
+                    s.spawn(move || {
+                        for round in 0..5_000u64 {
+                            let id = (round * 13 + t * 64) % 256;
+                            black_box(trunk.get(id).unwrap().len());
+                        }
+                    });
+                }
+            });
+        })
+    });
+    g.bench_function("single_global_mutex", |b| {
+        b.iter(|| {
+            let map: Arc<Mutex<HashMap<u64, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+            for i in 0..256u64 {
+                map.lock().insert(i, vec![1u8; 32]);
+            }
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for round in 0..5_000u64 {
+                            let id = (round * 13 + t * 64) % 256;
+                            black_box(map.lock().get(&id).unwrap().len());
+                        }
+                    });
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended);
+criterion_main!(benches);

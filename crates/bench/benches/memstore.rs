@@ -1,0 +1,122 @@
+//! Ablation: the circular memory trunk vs `HashMap<u64, Vec<u8>>`, and
+//! the short-lived reservation's effect on growing cells (paper §6.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use trinity_memstore::{Trunk, TrunkConfig};
+
+fn cfg(slack: f64) -> TrunkConfig {
+    TrunkConfig { reserved_bytes: 32 << 20, page_bytes: 64 << 10, expansion_slack: slack }
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trunk_vs_hashmap");
+    let n = 10_000u64;
+    let payload = [7u8; 64];
+    g.bench_function("trunk_put", |b| {
+        b.iter_batched(
+            || Trunk::new(0, cfg(1.0)),
+            |t| {
+                for i in 0..n {
+                    t.put(i, &payload).unwrap();
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("hashmap_put", |b| {
+        b.iter_batched(
+            HashMap::<u64, Vec<u8>>::new,
+            |mut m| {
+                for i in 0..n {
+                    m.insert(i, payload.to_vec());
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let trunk = Trunk::new(0, cfg(1.0));
+    let mut map = HashMap::new();
+    for i in 0..n {
+        trunk.put(i, &payload).unwrap();
+        map.insert(i, payload.to_vec());
+    }
+    g.bench_function("trunk_get", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc += trunk.get(black_box(i)).unwrap()[0] as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("hashmap_get", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc += map.get(&black_box(i)).unwrap()[0] as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_growth");
+    for (name, slack) in [("reservation_off", 0.0), ("reservation_on", 1.0)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let t = Trunk::new(0, cfg(slack));
+                    for i in 0..500u64 {
+                        t.put(i, b"seed").unwrap();
+                    }
+                    t
+                },
+                |t| {
+                    for round in 0..20u8 {
+                        for i in 0..500u64 {
+                            t.append(i, &[round; 16]).unwrap();
+                        }
+                    }
+                    t
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_defrag(c: &mut Criterion) {
+    c.bench_function("defrag_half_dead_trunk", |b| {
+        b.iter_batched(
+            || {
+                let t = Trunk::new(0, cfg(1.0));
+                for i in 0..20_000u64 {
+                    t.put(i, &[1u8; 64]).unwrap();
+                }
+                for i in (0..20_000u64).step_by(2) {
+                    t.remove(i).unwrap();
+                }
+                t
+            },
+            |t| {
+                t.defragment();
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_put_get, bench_growth, bench_defrag
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: transparent message packing on vs off (paper §4.2).
+//!
+//! Measures wall time to push 10k small one-way messages through the
+//! fabric and have them all dispatched, packed vs flushed-per-message.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use trinity_net::{Fabric, FabricConfig, MachineId};
+
+fn run(packed: bool, messages: usize) {
+    let fabric = Fabric::new(FabricConfig::with_machines(2));
+    let counter = Arc::new(AtomicUsize::new(0));
+    {
+        let counter = Arc::clone(&counter);
+        fabric.endpoint(MachineId(1)).register(20, move |_src, _p| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            None
+        });
+    }
+    let a = fabric.endpoint(MachineId(0));
+    for i in 0..messages as u32 {
+        a.send(MachineId(1), 20, &i.to_le_bytes());
+        if !packed {
+            a.flush_to(MachineId(1));
+        }
+    }
+    a.flush();
+    while counter.load(Ordering::Relaxed) < messages {
+        std::hint::spin_loop();
+    }
+    fabric.shutdown();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_packing");
+    g.sample_size(10);
+    g.bench_function("packed_10k_msgs", |b| b.iter(|| run(true, 10_000)));
+    g.bench_function("unpacked_10k_msgs", |b| b.iter(|| run(false, 10_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E11 (§5.1 claim): exploring a full 3-hop neighborhood.
+//!
+//! Paper setup: a Facebook-like power-law graph (800 M nodes, avg degree
+//! ~13 at the paper's scale) on 8 machines. Paper claim: "exploring the
+//! entire 3-hop neighborhood of any node takes less than 100 ms on
+//! average — Trinity explores 2.2 M nodes distributed over eight machines
+//! in one tenth of a second."
+
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use trinity_core::Explorer;
+use trinity_graph::LoadOptions;
+use std::sync::Arc;
+
+fn main() {
+    let machines = 8;
+    let n = scaled(100_000);
+    println!("generating a Facebook-like power-law graph: {n} nodes, avg degree ~13...");
+    let csr = trinity_graphgen::power_law(n, 2.16, 5, 500, 7);
+    println!("actual average degree: {:.1}", csr.avg_degree());
+    let (cloud, _graph) = cloud_with_graph(&csr, machines, &LoadOptions::default());
+    let explorer = Explorer::install(Arc::clone(&cloud));
+    header("E11 — full 3-hop neighborhood exploration (8 machines)", &["start", "visited", "wall time"]);
+    let mut total_t = 0.0;
+    let mut total_v = 0usize;
+    let queries = 10;
+    for q in 0..queries {
+        let start = (q * 9173 + 11) as u64 % n as u64;
+        let (result, t) = trinity_bench::timed(|| explorer.explore(q % machines, start, 3, b""));
+        total_t += t;
+        total_v += result.visited();
+        row(&[format!("#{start}"), result.visited().to_string(), secs(t)]);
+    }
+    println!(
+        "\naverage: {} nodes in {} — {:.1}M nodes/second exploration rate",
+        total_v / queries,
+        secs(total_t / queries as f64),
+        total_v as f64 / total_t / 1e6,
+    );
+    println!("paper claim: 2.2M reachable nodes in <100 ms on 8 machines (same exploration-rate regime).");
+    cloud.shutdown();
+}

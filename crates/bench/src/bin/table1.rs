@@ -1,0 +1,26 @@
+//! Table 1: the paper's survey of representative graph systems, with
+//! Trinity's row — rendered for completeness of the reproduction.
+
+use trinity_bench::{header, row};
+
+fn main() {
+    header(
+        "Table 1 — representative graph systems (paper survey) + Trinity",
+        &["system", "graph database", "query processing", "graph analytics", "scale-out"],
+    );
+    let yes = "Yes";
+    let no = "No";
+    for (system, db, query, analytics, scale_out) in [
+        ("Neo4j", yes, yes, yes, no),
+        ("HyperGraphDB", yes, yes, no, no),
+        ("GraphChi", no, no, yes, no),
+        ("PEGASUS", no, no, yes, yes),
+        ("MapReduce", no, no, yes, yes),
+        ("Pregel", no, no, yes, yes),
+        ("GraphLab", no, no, yes, yes),
+        ("Trinity (this repo)", yes, yes, yes, yes),
+    ] {
+        row(&[system.into(), db.into(), query.into(), analytics.into(), scale_out.into()]);
+    }
+    println!("\nTrinity's position: the only surveyed system combining online query processing, offline analytics, and scale-out.");
+}

@@ -1,0 +1,88 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (the mapping lives in DESIGN.md §3). Binaries print
+//! aligned tables — one row per x-axis point, one column per series —
+//! plus the experiment's headline claim so EXPERIMENTS.md can record
+//! paper-vs-measured side by side.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trinity_graph::{load_graph, Csr, DistributedGraph, LoadOptions};
+use trinity_memcloud::{CloudConfig, MemoryCloud};
+
+/// Print a table header.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n## {title}");
+    println!("{}", columns.join("\t"));
+}
+
+/// Print one row of tab-separated cells.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format byte counts.
+pub fn bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.0}KiB", b as f64 / 1024.0)
+    }
+}
+
+/// Memory-cloud shape used by the figure harnesses: trunks big enough for
+/// the bench graph sizes (the reservation is virtual address space;
+/// untouched pages stay unbacked).
+pub fn bench_cloud_config(machines: usize) -> CloudConfig {
+    let mut cfg = CloudConfig::new(machines);
+    cfg.store.trunk = trinity_memstore::TrunkConfig {
+        reserved_bytes: 64 << 20,
+        page_bytes: 64 << 10,
+        expansion_slack: 1.0,
+    };
+    cfg
+}
+
+/// Bring up a memory cloud and load a CSR into it.
+pub fn cloud_with_graph(
+    csr: &Csr,
+    machines: usize,
+    opts: &LoadOptions,
+) -> (Arc<MemoryCloud>, Arc<DistributedGraph>) {
+    let cloud = Arc::new(MemoryCloud::new(bench_cloud_config(machines)));
+    let graph = Arc::new(load_graph(Arc::clone(&cloud), csr, opts).expect("load graph"));
+    (cloud, graph)
+}
+
+/// Time a closure, returning (result, wall seconds).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Scale factor from the environment: `TRINITY_BENCH_SCALE=2` doubles the
+/// default problem sizes (the defaults finish in a few minutes total).
+pub fn scale() -> f64 {
+    std::env::var("TRINITY_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scale a node count.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()) as usize
+}

@@ -1,0 +1,306 @@
+//! BSP checkpointing (paper §6.2).
+//!
+//! "For BSP based synchronous computation, we make check points every a
+//! few supersteps. These check points are written to the persistent file
+//! system for future failure recovery."
+//!
+//! [`run_with_checkpoints`] executes a BSP job in segments of
+//! `every` supersteps; after each segment the full job state — vertex
+//! states, pending messages, active set, superstep counter — is written
+//! to TFS. [`resume_from_checkpoint`] restarts a crashed job from its
+//! last completed segment and runs it to termination: lost supersteps are
+//! recomputed, never lost results.
+
+use std::collections::{HashMap, HashSet};
+
+use trinity_memcloud::CellId;
+use trinity_tfs::TfsError;
+
+use crate::bsp::{BspConfig, BspResult, BspRunner, ResumePoint, SuperstepReport, VertexProgram};
+
+/// Checkpoint cadence and naming.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Supersteps between checkpoints.
+    pub every: usize,
+    /// Job name (TFS key prefix).
+    pub job: String,
+}
+
+fn ckpt_path(job: &str) -> String {
+    format!("ckpt/{job}")
+}
+
+/// Serialize a resume point plus its superstep counter.
+fn encode_checkpoint<P: VertexProgram>(superstep: usize, point: &ResumePoint<P>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"CKP1");
+    out.extend_from_slice(&(superstep as u64).to_le_bytes());
+    out.extend_from_slice(&(point.states.len() as u64).to_le_bytes());
+    let mut ordered: Vec<_> = point.states.iter().collect();
+    ordered.sort_by_key(|(id, _)| **id);
+    for (id, st) in ordered {
+        let bytes = P::encode_state(st);
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out.extend_from_slice(&(point.pending.len() as u64).to_le_bytes());
+    let mut ordered: Vec<_> = point.pending.iter().collect();
+    ordered.sort_by_key(|(id, _)| **id);
+    for (id, msgs) in ordered {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(msgs.len() as u32).to_le_bytes());
+        for msg in msgs {
+            let bytes = P::encode_msg(msg);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+    }
+    out.extend_from_slice(&(point.active.len() as u64).to_le_bytes());
+    let mut ordered: Vec<_> = point.active.iter().copied().collect();
+    ordered.sort_unstable();
+    for id in ordered {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+fn decode_checkpoint<P: VertexProgram>(data: &[u8]) -> Option<(usize, ResumePoint<P>)> {
+    if data.len() < 12 || &data[..4] != b"CKP1" {
+        return None;
+    }
+    let mut at = 4usize;
+    let u64_at = |at: &mut usize| -> Option<u64> {
+        let v = u64::from_le_bytes(data.get(*at..*at + 8)?.try_into().ok()?);
+        *at += 8;
+        Some(v)
+    };
+    let superstep = u64_at(&mut at)? as usize;
+    let n_states = u64_at(&mut at)? as usize;
+    let mut states = HashMap::with_capacity(n_states);
+    for _ in 0..n_states {
+        let id = u64_at(&mut at)?;
+        let len = u32::from_le_bytes(data.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        states.insert(id, P::decode_state(data.get(at..at + len)?)?);
+        at += len;
+    }
+    let n_pending = u64_at(&mut at)? as usize;
+    let mut pending: HashMap<CellId, Vec<P::Msg>> = HashMap::with_capacity(n_pending);
+    for _ in 0..n_pending {
+        let id = u64_at(&mut at)?;
+        let count = u32::from_le_bytes(data.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        let mut msgs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = u32::from_le_bytes(data.get(at..at + 4)?.try_into().ok()?) as usize;
+            at += 4;
+            msgs.push(P::decode_msg(data.get(at..at + len)?)?);
+            at += len;
+        }
+        pending.insert(id, msgs);
+    }
+    let n_active = u64_at(&mut at)? as usize;
+    let mut active = HashSet::with_capacity(n_active);
+    for _ in 0..n_active {
+        active.insert(u64_at(&mut at)?);
+    }
+    Some((superstep, ResumePoint { states, pending, active }))
+}
+
+/// Run a BSP job with periodic checkpoints. `cfg.max_supersteps` bounds
+/// the whole job; `ckpt.every` bounds each segment.
+pub fn run_with_checkpoints<P: VertexProgram>(
+    runner: &BspRunner<P>,
+    cfg: &BspConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<BspResult<P>, TfsError> {
+    continue_job(runner, cfg, ckpt, None, 0)
+}
+
+/// Restart a crashed job from its last checkpoint and run to completion.
+/// Returns `Err(NotFound)` if no checkpoint exists.
+pub fn resume_from_checkpoint<P: VertexProgram>(
+    runner: &BspRunner<P>,
+    cfg: &BspConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<BspResult<P>, TfsError> {
+    let tfs = runner.graph().cloud().tfs();
+    let bytes = tfs.read(&ckpt_path(&ckpt.job))?;
+    let (superstep, point) =
+        decode_checkpoint::<P>(&bytes).ok_or_else(|| TfsError::NotFound(ckpt_path(&ckpt.job)))?;
+    continue_job(runner, cfg, ckpt, Some(point), superstep)
+}
+
+fn continue_job<P: VertexProgram>(
+    runner: &BspRunner<P>,
+    cfg: &BspConfig,
+    ckpt: &CheckpointConfig,
+    mut resume: Option<ResumePoint<P>>,
+    mut superstep: usize,
+) -> Result<BspResult<P>, TfsError> {
+    let tfs = runner.graph().cloud().tfs().clone();
+    let every = ckpt.every.max(1);
+    let mut all_reports: Vec<SuperstepReport> = Vec::new();
+    loop {
+        let remaining = cfg.max_supersteps.saturating_sub(superstep);
+        if remaining == 0 {
+            // Limit reached exactly at a checkpoint boundary.
+            let point = resume.take().unwrap_or(ResumePoint {
+                states: HashMap::new(),
+                pending: HashMap::new(),
+                active: HashSet::new(),
+            });
+            return Ok(BspResult {
+                states: point.states,
+                reports: all_reports,
+                terminated: false,
+                pending: point.pending,
+                active: point.active,
+            });
+        }
+        let segment = runner.run_resumed(resume.take(), superstep);
+        superstep += segment.supersteps();
+        all_reports.extend(segment.reports.iter().cloned());
+        if segment.terminated {
+            return Ok(BspResult {
+                states: segment.states,
+                reports: all_reports,
+                terminated: true,
+                pending: segment.pending,
+                active: segment.active,
+            });
+        }
+        debug_assert!(segment.supersteps() <= every, "segments are bounded by the runner's superstep limit");
+        let point = segment.into_resume();
+        tfs.write(&ckpt_path(&ckpt.job), &encode_checkpoint::<P>(superstep, &point))?;
+        resume = Some(point);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsp::{MessagingMode, VertexContext};
+    use std::sync::Arc;
+    use trinity_graph::{load_graph, Csr, LoadOptions};
+    use trinity_memcloud::{CloudConfig, MemoryCloud};
+
+    /// Max-id propagation (deterministic, needs ~n/2 supersteps on a ring).
+    struct MaxValue;
+    impl VertexProgram for MaxValue {
+        type State = u64;
+        type Msg = u64;
+        fn init(&self, id: u64, _view: &trinity_graph::NodeView<'_>) -> u64 {
+            id
+        }
+        fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: u64, state: &mut u64, msgs: &[u64]) {
+            let before = *state;
+            for &m in msgs {
+                *state = (*state).max(m);
+            }
+            if ctx.superstep() == 0 || *state > before {
+                ctx.send_to_neighbors(*state);
+            }
+            ctx.vote_to_halt();
+        }
+        fn encode_msg(m: &u64) -> Vec<u8> {
+            m.to_le_bytes().to_vec()
+        }
+        fn decode_msg(b: &[u8]) -> Option<u64> {
+            Some(u64::from_le_bytes(b.try_into().ok()?))
+        }
+        fn encode_state(s: &u64) -> Vec<u8> {
+            s.to_le_bytes().to_vec()
+        }
+        fn decode_state(b: &[u8]) -> Option<u64> {
+            Some(u64::from_le_bytes(b.try_into().ok()?))
+        }
+    }
+
+    fn ring(n: usize) -> Csr {
+        let edges: Vec<(u64, u64)> = (0..n as u64).map(|v| (v, (v + 1) % n as u64)).collect();
+        Csr::undirected_from_edges(n, &edges, true)
+    }
+
+    fn setup(n: usize, machines: usize) -> (Arc<MemoryCloud>, Arc<trinity_graph::DistributedGraph>) {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+        let graph = Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
+        (cloud, graph)
+    }
+
+    fn segment_cfg(limit: usize) -> BspConfig {
+        BspConfig {
+            messaging: MessagingMode::Packed,
+            hub_threshold: None,
+            combine: false,
+            max_supersteps: limit,
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_straight_run() {
+        let n = 30;
+        let (cloud, graph) = setup(n, 3);
+        let straight = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(64)).run();
+        // Checkpoint every 4 supersteps: runner segments are 4 long.
+        let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
+        let ckpt = CheckpointConfig { every: 4, job: "maxv".into() };
+        let cfg = segment_cfg(64);
+        let result = run_with_checkpoints(&runner, &cfg, &ckpt).unwrap();
+        assert!(result.terminated);
+        assert_eq!(result.states, straight.states);
+        assert_eq!(result.supersteps(), straight.supersteps(), "checkpointing must not change the schedule");
+        // Superstep numbering in reports is continuous.
+        let numbers: Vec<usize> = result.reports.iter().map(|r| r.superstep).collect();
+        assert_eq!(numbers, (0..result.supersteps()).collect::<Vec<_>>());
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn crash_and_resume_recovers_exact_results() {
+        let n = 40;
+        let (cloud, graph) = setup(n, 3);
+        let expected = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(64)).run();
+        // "Crash": run only 2 segments (8 supersteps), writing checkpoints.
+        let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
+        let ckpt = CheckpointConfig { every: 4, job: "crashy".into() };
+        let partial = run_with_checkpoints(&runner, &segment_cfg(8), &ckpt).unwrap();
+        assert!(!partial.terminated, "the job must not be done after 8 of ~20 supersteps");
+        // Resume on a fresh runner (the crashed engine is gone).
+        let runner2 = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
+        let resumed = resume_from_checkpoint(&runner2, &segment_cfg(64), &ckpt).unwrap();
+        assert!(resumed.terminated);
+        assert_eq!(resumed.states, expected.states);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_reports_not_found() {
+        let (cloud, graph) = setup(10, 2);
+        let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
+        let ckpt = CheckpointConfig { every: 4, job: "nonexistent".into() };
+        assert!(matches!(
+            resume_from_checkpoint(&runner, &segment_cfg(16), &ckpt),
+            Err(TfsError::NotFound(_))
+        ));
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_codec_roundtrips() {
+        let point = ResumePoint::<MaxValue> {
+            states: [(1u64, 10u64), (2, 20)].into_iter().collect(),
+            pending: [(1u64, vec![5u64, 6])].into_iter().collect(),
+            active: [2u64].into_iter().collect(),
+        };
+        let bytes = encode_checkpoint::<MaxValue>(7, &point);
+        let (superstep, decoded) = decode_checkpoint::<MaxValue>(&bytes).unwrap();
+        assert_eq!(superstep, 7);
+        assert_eq!(decoded.states, point.states);
+        assert_eq!(decoded.pending, point.pending);
+        assert_eq!(decoded.active, point.active);
+        assert!(decode_checkpoint::<MaxValue>(b"garbage").is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! The Trinity graph engine.
+//!
+//! This crate assembles the paper's system on top of the substrates:
+//!
+//! * [`cluster`] — the three component roles of Figure 1: *slaves* (store
+//!   data, run computation), *proxies* (middle-tier aggregators that own
+//!   no data), and *clients* (library handles into the cluster);
+//! * [`online`] — traversal-based online query processing (§5.1): batched
+//!   multi-hop exploration with per-machine fan-out, the engine under
+//!   people search and subgraph matching;
+//! * [`bsp`] — the vertex-centric offline runtime (§5.3) supporting both
+//!   the *general* (Pregel-style, message any vertex) and *restrictive*
+//!   (message a fixed set, usually neighbors) models;
+//! * [`hub`] — the §5.4 message-passing optimization: hub-vertex messages
+//!   are delivered once per machine per iteration and fanned out locally
+//!   through a subscriber index;
+//! * [`residency`] — the Type A / Type B memory-residency model of
+//!   Figure 10, including the paper's memory-savings formula;
+//! * [`safra`] — Safra's termination-detection algorithm (§6.2);
+//! * [`async_compute`] — asynchronous (superstep-free) vertex computation
+//!   with periodic-interruption snapshots;
+//! * [`checkpoint`] — BSP checkpointing to TFS and restart;
+//! * [`wal`] — buffered logging for online update durability (RAMCloud
+//!   style, §6.2);
+//! * [`recovery`] — leader election over the TFS flag, heartbeat-driven
+//!   failure detection, and addressing-table recovery.
+
+pub mod async_compute;
+pub mod bsp;
+pub mod checkpoint;
+pub mod cluster;
+pub mod cputime;
+pub mod minitx;
+pub mod hub;
+pub mod online;
+pub mod online_async;
+pub mod recovery;
+pub mod residency;
+pub mod safra;
+pub mod wal;
+
+pub use bsp::{
+    BspConfig, BspResult, BspRunner, MessagingMode, ResumePoint, SuperstepReport, VertexContext, VertexProgram,
+};
+pub use cluster::{TrinityClient, TrinityCluster, TrinityConfig, TrinityProxy};
+pub use online::{ExplorationResult, Explorer};
+
+/// Runtime protocol ids (range reserved by `trinity_net::proto`).
+pub(crate) mod proto {
+    use trinity_net::ProtoId;
+    const BASE: ProtoId = trinity_net::proto::FIRST_RUNTIME;
+    /// Online traversal: expand a batch of frontier nodes.
+    pub const EXPAND: ProtoId = BASE;
+    /// BSP: a packed batch of vertex messages.
+    pub const BSP_MSG: ProtoId = BASE + 1;
+    /// BSP: end-of-superstep control record (message counts).
+    pub const BSP_FENCE: ProtoId = BASE + 2;
+    /// Hub optimization: a hub broadcast value.
+    pub const BSP_HUB: ProtoId = BASE + 3;
+    /// Async compute: a vertex message.
+    pub const ASYNC_MSG: ProtoId = BASE + 4;
+    /// Safra: the termination-detection token.
+    pub const SAFRA_TOKEN: ProtoId = BASE + 5;
+    /// Async compute: pause/resume interruption signal.
+    pub const ASYNC_INTERRUPT: ProtoId = BASE + 6;
+    /// Recovery: leader announces a new addressing table epoch.
+    pub const TABLE_BCAST: ProtoId = BASE + 7;
+    /// Recovery: a machine reports a peer failure to the leader.
+    pub const REPORT_FAILURE: ProtoId = BASE + 8;
+    /// Buffered logging: replicate a log record to a remote buffer.
+    pub const WAL_APPEND: ProtoId = BASE + 9;
+    /// Buffered logging: fetch a failed machine's remote buffer.
+    pub const WAL_FETCH: ProtoId = BASE + 10;
+    /// Hub optimization: hub-subscription discovery at job setup.
+    pub const BSP_HUB_SETUP: ProtoId = BASE + 11;
+    /// Mini-transactions: prepare (lock + validate + read).
+    pub const MTX_PREPARE: ProtoId = BASE + 12;
+    /// Mini-transactions: commit (apply writes, release locks).
+    pub const MTX_COMMIT: ProtoId = BASE + 13;
+    /// Mini-transactions: abort (release locks).
+    pub const MTX_ABORT: ProtoId = BASE + 14;
+    /// Asynchronous exploration: a frontier batch.
+    pub const EXPLORE_ASYNC: ProtoId = BASE + 15;
+    /// Asynchronous exploration: progress report to the coordinator.
+    pub const EXPLORE_REPORT: ProtoId = BASE + 16;
+    /// Asynchronous exploration: collect per-machine results.
+    pub const EXPLORE_COLLECT: ProtoId = BASE + 17;
+}

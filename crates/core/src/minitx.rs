@@ -1,0 +1,690 @@
+//! Mini-transactions: multi-cell atomic primitives (paper §4.4).
+//!
+//! "Trinity guarantees the atomicity of the operation on a single cell...
+//! For applications that need transaction support, we can implement
+//! light-weight atomic operation primitives that span multiple cells,
+//! such as MultiOp primitives [13] and Mini-transaction primitives [7],
+//! on top of the atomic cell operation primitives."
+//!
+//! This module is that layer: Sinfonia-style mini-transactions. A
+//! [`MiniTx`] names a *compare* set (cells whose current contents must
+//! match), a *read* set, and a *write* set; the coordinator runs
+//! two-phase commit across the owner machines:
+//!
+//! 1. **prepare** — each participant try-locks its cells in a logical
+//!    per-machine lock table, validates the compares, and performs the
+//!    reads; any busy lock or failed compare vetoes the transaction;
+//! 2. **commit/abort** — on unanimous approval the writes are applied and
+//!    locks released; otherwise prepared participants roll back.
+//!
+//! Try-locking plus coordinator-side randomized retry makes the protocol
+//! deadlock-free without a global lock order. Reads *within* a
+//! transaction are isolated from concurrent transactions; raw
+//! [`trinity_memcloud::CloudNode::get`] reads remain merely per-cell
+//! atomic, exactly the paper's consistency stance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use trinity_memcloud::{CellId, CloudError, CloudNode, MemoryCloud};
+use trinity_net::MachineId;
+
+use crate::proto;
+
+/// A condition on a cell's current contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Compare {
+    /// The cell exists and equals these bytes exactly.
+    Equals(CellId, Vec<u8>),
+    /// The cell exists (any contents).
+    Exists(CellId),
+    /// The cell does not exist.
+    Absent(CellId),
+}
+
+impl Compare {
+    fn cell(&self) -> CellId {
+        match self {
+            Compare::Equals(id, _) | Compare::Exists(id) | Compare::Absent(id) => *id,
+        }
+    }
+}
+
+/// A write: put new contents or remove the cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Write {
+    pub cell: CellId,
+    /// `Some(bytes)` puts; `None` removes.
+    pub value: Option<Vec<u8>>,
+}
+
+/// A mini-transaction: compares + reads + writes, all-or-nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiniTx {
+    pub compares: Vec<Compare>,
+    pub reads: Vec<CellId>,
+    pub writes: Vec<Write>,
+}
+
+impl MiniTx {
+    pub fn new() -> Self {
+        MiniTx::default()
+    }
+
+    /// Require the cell to currently equal `bytes`.
+    pub fn compare_equals(mut self, cell: CellId, bytes: impl Into<Vec<u8>>) -> Self {
+        self.compares.push(Compare::Equals(cell, bytes.into()));
+        self
+    }
+
+    /// Require the cell to exist.
+    pub fn compare_exists(mut self, cell: CellId) -> Self {
+        self.compares.push(Compare::Exists(cell));
+        self
+    }
+
+    /// Require the cell to be absent.
+    pub fn compare_absent(mut self, cell: CellId) -> Self {
+        self.compares.push(Compare::Absent(cell));
+        self
+    }
+
+    /// Read the cell's contents atomically with the rest.
+    pub fn read(mut self, cell: CellId) -> Self {
+        self.reads.push(cell);
+        self
+    }
+
+    /// Put `bytes` into the cell on commit.
+    pub fn write(mut self, cell: CellId, bytes: impl Into<Vec<u8>>) -> Self {
+        self.writes.push(Write { cell, value: Some(bytes.into()) });
+        self
+    }
+
+    /// Remove the cell on commit.
+    pub fn remove(mut self, cell: CellId) -> Self {
+        self.writes.push(Write { cell, value: None });
+        self
+    }
+
+}
+
+/// Outcome of an executed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Everything validated; writes applied; reads returned.
+    Committed { reads: HashMap<CellId, Option<Vec<u8>>> },
+    /// A compare failed; nothing was changed.
+    Aborted { failed_compare: Compare },
+}
+
+impl TxOutcome {
+    /// Whether the transaction committed.
+    pub fn committed(&self) -> bool {
+        matches!(self, TxOutcome::Committed { .. })
+    }
+}
+
+/// Per-machine transaction participant state.
+struct TxParticipant {
+    /// Logical cell locks: cell → holding transaction id.
+    locks: Mutex<HashMap<CellId, u64>>,
+}
+
+// --- Wire formats -------------------------------------------------------
+
+const ST_OK: u8 = 0;
+const ST_BUSY: u8 = 1;
+const ST_COMPARE_FAILED: u8 = 2;
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes<'a>(data: &'a [u8], at: &mut usize) -> Option<&'a [u8]> {
+    let len = u32::from_le_bytes(data.get(*at..*at + 4)?.try_into().ok()?) as usize;
+    *at += 4;
+    let b = data.get(*at..*at + len)?;
+    *at += len;
+    Some(b)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(data: &[u8], at: &mut usize) -> Option<u64> {
+    let v = u64::from_le_bytes(data.get(*at..*at + 8)?.try_into().ok()?);
+    *at += 8;
+    Some(v)
+}
+
+/// The per-machine share of a transaction, shipped in PREPARE.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct TxShare {
+    compares: Vec<Compare>,
+    reads: Vec<CellId>,
+    /// Lock-only cells (writes applied at commit, but locked at prepare).
+    write_locks: Vec<CellId>,
+}
+
+fn encode_share(txid: u64, share: &TxShare) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, txid);
+    put_u64(&mut out, share.compares.len() as u64);
+    for c in &share.compares {
+        match c {
+            Compare::Equals(id, b) => {
+                out.push(0);
+                put_u64(&mut out, *id);
+                put_bytes(&mut out, b);
+            }
+            Compare::Exists(id) => {
+                out.push(1);
+                put_u64(&mut out, *id);
+            }
+            Compare::Absent(id) => {
+                out.push(2);
+                put_u64(&mut out, *id);
+            }
+        }
+    }
+    put_u64(&mut out, share.reads.len() as u64);
+    for r in &share.reads {
+        put_u64(&mut out, *r);
+    }
+    put_u64(&mut out, share.write_locks.len() as u64);
+    for w in &share.write_locks {
+        put_u64(&mut out, *w);
+    }
+    out
+}
+
+fn decode_share(data: &[u8]) -> Option<(u64, TxShare)> {
+    let mut at = 0usize;
+    let txid = get_u64(data, &mut at)?;
+    let n = get_u64(data, &mut at)? as usize;
+    let mut share = TxShare::default();
+    for _ in 0..n {
+        let tag = *data.get(at)?;
+        at += 1;
+        let id = get_u64(data, &mut at)?;
+        share.compares.push(match tag {
+            0 => Compare::Equals(id, get_bytes(data, &mut at)?.to_vec()),
+            1 => Compare::Exists(id),
+            2 => Compare::Absent(id),
+            _ => return None,
+        });
+    }
+    let n = get_u64(data, &mut at)? as usize;
+    for _ in 0..n {
+        share.reads.push(get_u64(data, &mut at)?);
+    }
+    let n = get_u64(data, &mut at)? as usize;
+    for _ in 0..n {
+        share.write_locks.push(get_u64(data, &mut at)?);
+    }
+    Some((txid, share))
+}
+
+fn encode_writes(txid: u64, writes: &[Write]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, txid);
+    put_u64(&mut out, writes.len() as u64);
+    for w in writes {
+        put_u64(&mut out, w.cell);
+        match &w.value {
+            Some(b) => {
+                out.push(1);
+                put_bytes(&mut out, b);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+fn decode_writes(data: &[u8]) -> Option<(u64, Vec<Write>)> {
+    let mut at = 0usize;
+    let txid = get_u64(data, &mut at)?;
+    let n = get_u64(data, &mut at)? as usize;
+    let mut writes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cell = get_u64(data, &mut at)?;
+        let tag = *data.get(at)?;
+        at += 1;
+        let value = if tag == 1 { Some(get_bytes(data, &mut at)?.to_vec()) } else { None };
+        writes.push(Write { cell, value });
+    }
+    Some((txid, writes))
+}
+
+/// The transaction service: one instance installs participants on every
+/// machine and coordinates from any of them.
+pub struct TxService {
+    cloud: Arc<MemoryCloud>,
+    next_txid: AtomicU64,
+}
+
+impl std::fmt::Debug for TxService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxService").finish()
+    }
+}
+
+impl TxService {
+    /// Install participant handlers on every slave.
+    pub fn install(cloud: Arc<MemoryCloud>) -> Arc<Self> {
+        for m in 0..cloud.machines() {
+            let node = Arc::clone(cloud.node(m));
+            let participant = Arc::new(TxParticipant { locks: Mutex::new(HashMap::new()) });
+            // PREPARE: lock, validate, read.
+            {
+                let node = Arc::clone(&node);
+                let participant = Arc::clone(&participant);
+                node.endpoint().clone().register(proto::MTX_PREPARE, move |_src, data| {
+                    Some(prepare(&node, &participant, data))
+                });
+            }
+            // COMMIT: apply writes, release locks.
+            {
+                let node = Arc::clone(&node);
+                let participant = Arc::clone(&participant);
+                node.endpoint().clone().register(proto::MTX_COMMIT, move |_src, data| {
+                    if let Some((txid, writes)) = decode_writes(data) {
+                        for w in &writes {
+                            match &w.value {
+                                Some(b) => {
+                                    let _ = node.put(w.cell, b);
+                                }
+                                None => {
+                                    let _ = node.remove(w.cell);
+                                }
+                            }
+                        }
+                        participant.locks.lock().retain(|_, &mut holder| holder != txid);
+                    }
+                    Some(vec![ST_OK])
+                });
+            }
+            // ABORT: release locks only.
+            {
+                let participant = Arc::clone(&participant);
+                node.endpoint().clone().register(proto::MTX_ABORT, move |_src, data| {
+                    let mut at = 0usize;
+                    if let Some(txid) = get_u64(data, &mut at) {
+                        participant.locks.lock().retain(|_, &mut holder| holder != txid);
+                    }
+                    Some(vec![ST_OK])
+                });
+            }
+        }
+        Arc::new(TxService { cloud, next_txid: AtomicU64::new(1) })
+    }
+
+    /// Execute a mini-transaction from machine `from`, retrying on lock
+    /// contention with jittered backoff. Returns the outcome (committed
+    /// or compare-aborted) or a transport/storage error.
+    pub fn execute(&self, from: usize, tx: &MiniTx) -> Result<TxOutcome, CloudError> {
+        let max_attempts = 200;
+        for attempt in 0..max_attempts {
+            match self.try_execute(from, tx)? {
+                Attempt::Done(outcome) => return Ok(outcome),
+                Attempt::Busy => {
+                    // Jittered backoff keyed on the attempt and coordinator.
+                    let jitter = ((attempt as u64 * 2654435761 + from as u64) % 7) + 1;
+                    std::thread::sleep(Duration::from_micros(50 * jitter * (1 + attempt as u64 / 10)));
+                }
+            }
+        }
+        Err(CloudError::Net(trinity_net::NetError::Timeout(
+            MachineId(from as u16),
+            proto::MTX_PREPARE,
+        )))
+    }
+
+    fn try_execute(&self, from: usize, tx: &MiniTx) -> Result<Attempt, CloudError> {
+        let txid = (from as u64) << 48 | self.next_txid.fetch_add(1, Ordering::Relaxed);
+        let endpoint = self.cloud.node(from).endpoint();
+        let table = self.cloud.node(from).table();
+        // Split the transaction by owner machine.
+        let mut shares: HashMap<u16, TxShare> = HashMap::new();
+        let mut writes_by: HashMap<u16, Vec<Write>> = HashMap::new();
+        for c in &tx.compares {
+            shares.entry(table.machine_of(c.cell()).0).or_default().compares.push(c.clone());
+        }
+        for &r in &tx.reads {
+            shares.entry(table.machine_of(r).0).or_default().reads.push(r);
+        }
+        for w in &tx.writes {
+            let owner = table.machine_of(w.cell).0;
+            shares.entry(owner).or_default().write_locks.push(w.cell);
+            writes_by.entry(owner).or_default().push(w.clone());
+        }
+        let mut participants: Vec<u16> = shares.keys().copied().collect();
+        participants.sort_unstable();
+        // Phase 1: prepare.
+        let mut prepared: Vec<u16> = Vec::new();
+        let mut reads: HashMap<CellId, Option<Vec<u8>>> = HashMap::new();
+        let mut verdict: Option<Attempt> = None;
+        for &p in &participants {
+            let payload = encode_share(txid, &shares[&p]);
+            let reply = endpoint.call(MachineId(p), proto::MTX_PREPARE, &payload).map_err(CloudError::Net)?;
+            match reply.first() {
+                Some(&ST_OK) => {
+                    prepared.push(p);
+                    decode_reads(&reply[1..], &mut reads);
+                }
+                Some(&ST_BUSY) => {
+                    verdict = Some(Attempt::Busy);
+                    break;
+                }
+                Some(&ST_COMPARE_FAILED) => {
+                    let failed = decode_failed_compare(&reply[1..]).ok_or(CloudError::BadReply)?;
+                    verdict = Some(Attempt::Done(TxOutcome::Aborted { failed_compare: failed }));
+                    break;
+                }
+                _ => return Err(CloudError::BadReply),
+            }
+        }
+        // Phase 2.
+        match verdict {
+            None => {
+                for &p in &participants {
+                    let payload = encode_writes(txid, writes_by.get(&p).map_or(&[][..], |v| v));
+                    endpoint.call(MachineId(p), proto::MTX_COMMIT, &payload).map_err(CloudError::Net)?;
+                }
+                Ok(Attempt::Done(TxOutcome::Committed { reads }))
+            }
+            Some(outcome) => {
+                let mut abort = Vec::new();
+                put_u64(&mut abort, txid);
+                for &p in &prepared {
+                    endpoint.call(MachineId(p), proto::MTX_ABORT, &abort).map_err(CloudError::Net)?;
+                }
+                Ok(outcome)
+            }
+        }
+    }
+}
+
+enum Attempt {
+    Done(TxOutcome),
+    Busy,
+}
+
+/// Participant-side prepare: try-lock every touched cell, validate the
+/// compares, perform the reads.
+fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> Vec<u8> {
+    let Some((txid, share)) = decode_share(data) else {
+        return vec![ST_BUSY];
+    };
+    // Try-lock all touched cells (sorted for determinism).
+    let mut cells: Vec<CellId> = share
+        .compares
+        .iter()
+        .map(Compare::cell)
+        .chain(share.reads.iter().copied())
+        .chain(share.write_locks.iter().copied())
+        .collect();
+    cells.sort_unstable();
+    cells.dedup();
+    {
+        let mut locks = participant.locks.lock();
+        if cells.iter().any(|c| locks.get(c).is_some_and(|&h| h != txid)) {
+            return vec![ST_BUSY];
+        }
+        for &c in &cells {
+            locks.insert(c, txid);
+        }
+    }
+    // Validate compares (rolling the locks back on failure).
+    let release = |participant: &TxParticipant| {
+        participant.locks.lock().retain(|_, &mut holder| holder != txid);
+    };
+    for c in &share.compares {
+        let current = match node.get(c.cell()) {
+            Ok(v) => v,
+            Err(_) => {
+                release(participant);
+                return vec![ST_BUSY];
+            }
+        };
+        let ok = match c {
+            Compare::Equals(_, want) => current.as_deref() == Some(want.as_slice()),
+            Compare::Exists(_) => current.is_some(),
+            Compare::Absent(_) => current.is_none(),
+        };
+        if !ok {
+            release(participant);
+            let mut out = vec![ST_COMPARE_FAILED];
+            encode_failed_compare(&mut out, c);
+            return out;
+        }
+    }
+    // Reads.
+    let mut out = vec![ST_OK];
+    put_u64(&mut out, share.reads.len() as u64);
+    for &r in &share.reads {
+        put_u64(&mut out, r);
+        match node.get(r) {
+            Ok(Some(bytes)) => {
+                out.push(1);
+                put_bytes(&mut out, &bytes);
+            }
+            _ => out.push(0),
+        }
+    }
+    out
+}
+
+fn decode_reads(data: &[u8], into: &mut HashMap<CellId, Option<Vec<u8>>>) {
+    let mut at = 0usize;
+    let Some(n) = get_u64(data, &mut at) else { return };
+    for _ in 0..n {
+        let Some(id) = get_u64(data, &mut at) else { return };
+        let Some(&tag) = data.get(at) else { return };
+        at += 1;
+        if tag == 1 {
+            let Some(bytes) = get_bytes(data, &mut at) else { return };
+            into.insert(id, Some(bytes.to_vec()));
+        } else {
+            into.insert(id, None);
+        }
+    }
+}
+
+fn encode_failed_compare(out: &mut Vec<u8>, c: &Compare) {
+    match c {
+        Compare::Equals(id, b) => {
+            out.push(0);
+            put_u64(out, *id);
+            put_bytes(out, b);
+        }
+        Compare::Exists(id) => {
+            out.push(1);
+            put_u64(out, *id);
+        }
+        Compare::Absent(id) => {
+            out.push(2);
+            put_u64(out, *id);
+        }
+    }
+}
+
+fn decode_failed_compare(data: &[u8]) -> Option<Compare> {
+    let mut at = 1usize;
+    let tag = *data.first()?;
+    let id = get_u64(data, &mut at)?;
+    Some(match tag {
+        0 => Compare::Equals(id, get_bytes(data, &mut at)?.to_vec()),
+        1 => Compare::Exists(id),
+        2 => Compare::Absent(id),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinity_memcloud::CloudConfig;
+
+    fn service(machines: usize) -> (Arc<MemoryCloud>, Arc<TxService>) {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+        let svc = TxService::install(Arc::clone(&cloud));
+        (cloud, svc)
+    }
+
+    #[test]
+    fn multi_cell_write_is_all_or_nothing() {
+        let (cloud, svc) = service(3);
+        cloud.node(0).put(1, b"old-a").unwrap();
+        cloud.node(0).put(2, b"old-b").unwrap();
+        // Succeeds: compares hold.
+        let out = svc
+            .execute(
+                0,
+                &MiniTx::new()
+                    .compare_equals(1, &b"old-a"[..])
+                    .compare_equals(2, &b"old-b"[..])
+                    .write(1, &b"new-a"[..])
+                    .write(2, &b"new-b"[..]),
+            )
+            .unwrap();
+        assert!(out.committed());
+        assert_eq!(cloud.node(1).get(1).unwrap().unwrap(), b"new-a");
+        assert_eq!(cloud.node(2).get(2).unwrap().unwrap(), b"new-b");
+        // Fails: one compare is stale; NEITHER write applies.
+        let out = svc
+            .execute(
+                1,
+                &MiniTx::new()
+                    .compare_equals(1, &b"new-a"[..])
+                    .compare_equals(2, &b"old-b"[..]) // stale
+                    .write(1, &b"x"[..])
+                    .write(2, &b"y"[..]),
+            )
+            .unwrap();
+        assert!(matches!(out, TxOutcome::Aborted { failed_compare: Compare::Equals(2, _) }));
+        assert_eq!(cloud.node(0).get(1).unwrap().unwrap(), b"new-a");
+        assert_eq!(cloud.node(0).get(2).unwrap().unwrap(), b"new-b");
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn reads_and_existence_compares() {
+        let (cloud, svc) = service(2);
+        cloud.node(0).put(10, b"ten").unwrap();
+        let out = svc
+            .execute(
+                0,
+                &MiniTx::new().compare_exists(10).compare_absent(11).read(10).read(11).write(11, &b"eleven"[..]),
+            )
+            .unwrap();
+        match out {
+            TxOutcome::Committed { reads } => {
+                assert_eq!(reads[&10].as_deref(), Some(&b"ten"[..]));
+                assert_eq!(reads[&11], None);
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        // Second run: 11 now exists, so compare_absent aborts.
+        let out = svc.execute(1, &MiniTx::new().compare_absent(11).write(11, &b"twelve"[..])).unwrap();
+        assert!(!out.committed());
+        assert_eq!(cloud.node(0).get(11).unwrap().unwrap(), b"eleven");
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn removal_is_transactional() {
+        let (cloud, svc) = service(2);
+        cloud.node(0).put(5, b"doomed").unwrap();
+        cloud.node(0).put(6, b"witness").unwrap();
+        let out = svc
+            .execute(0, &MiniTx::new().compare_equals(6, &b"witness"[..]).remove(5).write(6, &b"saw-it"[..]))
+            .unwrap();
+        assert!(out.committed());
+        assert_eq!(cloud.node(1).get(5).unwrap(), None);
+        assert_eq!(cloud.node(1).get(6).unwrap().unwrap(), b"saw-it");
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_total() {
+        // The classic bank-transfer invariant: N accounts, concurrent
+        // compare-and-swap transfers from many coordinators; the total
+        // must be conserved and no transfer may be half-applied.
+        let (cloud, svc) = service(4);
+        let accounts = 8u64;
+        let initial = 100i64;
+        for a in 0..accounts {
+            cloud.node(0).put(a, &initial.to_le_bytes()).unwrap();
+        }
+        let transfers_per_thread = 60;
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    let mut rng_state = t as u64 + 1;
+                    let mut rand = move || {
+                        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        rng_state >> 33
+                    };
+                    let mut done = 0;
+                    while done < transfers_per_thread {
+                        let from = rand() % accounts;
+                        let to = rand() % accounts;
+                        if from == to {
+                            continue;
+                        }
+                        // Read both balances transactionally.
+                        let read =
+                            svc.execute(t, &MiniTx::new().read(from).read(to)).unwrap();
+                        let TxOutcome::Committed { reads } = read else { unreachable!() };
+                        let bal_from =
+                            i64::from_le_bytes(reads[&from].as_deref().unwrap().try_into().unwrap());
+                        let bal_to =
+                            i64::from_le_bytes(reads[&to].as_deref().unwrap().try_into().unwrap());
+                        let amount = 1 + (rand() % 5) as i64;
+                        // Conditional transfer: both compares must still hold.
+                        let tx = MiniTx::new()
+                            .compare_equals(from, bal_from.to_le_bytes().to_vec())
+                            .compare_equals(to, bal_to.to_le_bytes().to_vec())
+                            .write(from, (bal_from - amount).to_le_bytes().to_vec())
+                            .write(to, (bal_to + amount).to_le_bytes().to_vec());
+                        if svc.execute(t, &tx).unwrap().committed() {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let total: i64 = (0..accounts)
+            .map(|a| i64::from_le_bytes(cloud.node(0).get(a).unwrap().unwrap().try_into().unwrap()))
+            .sum();
+        assert_eq!(total, initial * accounts as i64, "money was created or destroyed");
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn share_and_write_codecs_roundtrip() {
+        let share = TxShare {
+            compares: vec![Compare::Equals(1, b"x".to_vec()), Compare::Exists(2), Compare::Absent(3)],
+            reads: vec![4, 5],
+            write_locks: vec![6],
+        };
+        let (txid, decoded) = decode_share(&encode_share(42, &share)).unwrap();
+        assert_eq!(txid, 42);
+        assert_eq!(decoded, share);
+        let writes = vec![Write { cell: 7, value: Some(b"v".to_vec()) }, Write { cell: 8, value: None }];
+        let (txid, decoded) = decode_writes(&encode_writes(9, &writes)).unwrap();
+        assert_eq!(txid, 9);
+        assert_eq!(decoded, writes);
+        assert!(decode_share(b"junk").is_none());
+    }
+}

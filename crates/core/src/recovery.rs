@@ -1,0 +1,373 @@
+//! Fault-tolerance orchestration (paper §6.2).
+//!
+//! Trinity keeps the primary addressing-table replica on a *leader*
+//! machine and persists it in TFS before committing any update. Failures
+//! are detected two ways — proactive heartbeats, and detection-by-access
+//! (a machine whose call to a peer fails informs the leader). On a
+//! confirmed failure the leader reloads the dead machine's trunks onto
+//! survivors (from their TFS backups), updates the primary table, and
+//! broadcasts it; a machine that misses the broadcast self-heals on its
+//! next failed access by syncing with the TFS primary. If the leader
+//! itself dies, a new election is triggered; the winner "marks a flag on
+//! the shared distributed fault-tolerant file system to avoid multiple
+//! leaders".
+//!
+//! [`RecoveryAgents::install`] runs one agent thread per machine. Agents
+//! race for the TFS leader flag; the leader probes peers and performs
+//! recovery; followers watch the leader and re-elect on its death.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use trinity_memcloud::MemoryCloud;
+use trinity_memcloud::{AddressingTable, CloudNode};
+use trinity_net::{proto as netproto, MachineId};
+
+use crate::proto;
+
+/// TFS flag name claimed by the elected leader.
+pub const LEADER_FLAG: &str = "trinity/leader";
+
+/// Agent cadence parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Pause between agent rounds (probe cadence).
+    pub interval: Duration,
+    /// Consecutive missed probes before a peer is declared dead.
+    pub miss_threshold: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { interval: Duration::from_millis(50), miss_threshold: 2 }
+    }
+}
+
+/// Observable protocol events (for tests and operators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    LeaderElected(MachineId),
+    MachineRecovered { failed: MachineId, by: MachineId, epoch: u64 },
+}
+
+/// Handle to the per-machine recovery agents.
+pub struct RecoveryAgents {
+    stop: Arc<AtomicBool>,
+    events: Arc<Mutex<Vec<RecoveryEvent>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RecoveryAgents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryAgents").finish()
+    }
+}
+
+fn leader_name(m: MachineId) -> String {
+    format!("m{}", m.0)
+}
+
+fn parse_leader(name: &str) -> Option<MachineId> {
+    name.strip_prefix('m').and_then(|s| s.parse().ok()).map(MachineId)
+}
+
+impl RecoveryAgents {
+    /// Start one agent per slave.
+    pub fn install(cloud: Arc<MemoryCloud>, cfg: RecoveryConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        // TABLE_BCAST handler: adopt the leader's new table.
+        for m in 0..cloud.machines() {
+            let node = Arc::clone(cloud.node(m));
+            cloud.node(m).endpoint().register(proto::TABLE_BCAST, move |_src, data| {
+                if let Some(table) = AddressingTable::decode(data) {
+                    let _ = node.install_table(table);
+                }
+                Some(Vec::new())
+            });
+        }
+        // REPORT_FAILURE handler: handled inside the agent loop via a
+        // shared suspicion set.
+        let suspicions: Arc<Mutex<HashSet<u16>>> = Arc::new(Mutex::new(HashSet::new()));
+        for m in 0..cloud.machines() {
+            let suspicions = Arc::clone(&suspicions);
+            cloud.node(m).endpoint().register(proto::REPORT_FAILURE, move |_src, data| {
+                if data.len() >= 2 {
+                    suspicions.lock().insert(u16::from_le_bytes(data[..2].try_into().unwrap()));
+                }
+                Some(Vec::new())
+            });
+        }
+        let mut handles = Vec::new();
+        for m in 0..cloud.machines() {
+            let cloud = Arc::clone(&cloud);
+            let stop = Arc::clone(&stop);
+            let events = Arc::clone(&events);
+            let suspicions = Arc::clone(&suspicions);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("trinity-recovery-{m}"))
+                    .spawn(move || agent_loop(m, cloud, cfg, stop, events, suspicions))
+                    .expect("spawn recovery agent"),
+            );
+        }
+        RecoveryAgents { stop, events, handles }
+    }
+
+    /// Events observed so far.
+    pub fn events(&self) -> Vec<RecoveryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// The currently elected leader per the TFS flag.
+    pub fn current_leader(cloud: &MemoryCloud) -> Option<MachineId> {
+        cloud.tfs().flag_owner(LEADER_FLAG).as_deref().and_then(parse_leader)
+    }
+
+    /// Stop all agents.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RecoveryAgents {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Report a failed access to the cluster (detection-by-access): "machine
+/// A will inform the leader machine of the failure of machine B".
+pub fn report_failure(node: &CloudNode, suspect: MachineId) {
+    node.endpoint().broadcast(proto::REPORT_FAILURE, &suspect.0.to_le_bytes());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn agent_loop(
+    m: usize,
+    cloud: Arc<MemoryCloud>,
+    cfg: RecoveryConfig,
+    stop: Arc<AtomicBool>,
+    events: Arc<Mutex<Vec<RecoveryEvent>>>,
+    suspicions: Arc<Mutex<HashSet<u16>>>,
+) {
+    let me = MachineId(m as u16);
+    let my_name = leader_name(me);
+    let tfs = cloud.tfs().clone();
+    let endpoint = Arc::clone(cloud.node(m).endpoint());
+    let mut misses: HashMap<u16, u32> = HashMap::new();
+    let mut recovered: HashSet<u16> = HashSet::new();
+    while !stop.load(Ordering::Acquire) {
+        // A dead machine's agent must fall silent.
+        if cloud.fabric().is_dead(me) {
+            std::thread::sleep(cfg.interval);
+            continue;
+        }
+        match tfs.flag_owner(LEADER_FLAG) {
+            None => {
+                if tfs.try_acquire_flag(LEADER_FLAG, &my_name) {
+                    events.lock().push(RecoveryEvent::LeaderElected(me));
+                }
+            }
+            Some(owner) if owner == my_name => {
+                // Leader duties: probe every other slave; recover confirmed
+                // failures (heartbeats + reported suspicions).
+                let suspected: HashSet<u16> = suspicions.lock().drain().collect();
+                for peer in 0..cloud.machines() as u16 {
+                    if peer == me.0 || recovered.contains(&peer) {
+                        continue;
+                    }
+                    let alive = endpoint.call(MachineId(peer), netproto::PING, &[]).is_ok();
+                    let miss = misses.entry(peer).or_insert(0);
+                    if alive {
+                        *miss = 0;
+                        continue;
+                    }
+                    *miss += 1;
+                    let confirmed = *miss >= cfg.miss_threshold || suspected.contains(&peer);
+                    if confirmed {
+                        recovered.insert(peer);
+                        if let Ok(table) = cloud.recover(peer as usize) {
+                            // Broadcast the new epoch; stragglers self-heal
+                            // through TFS on their next failed access.
+                            endpoint.broadcast(proto::TABLE_BCAST, &table.encode());
+                            events.lock().push(RecoveryEvent::MachineRecovered {
+                                failed: MachineId(peer),
+                                by: me,
+                                epoch: table.epoch,
+                            });
+                        }
+                    }
+                }
+            }
+            Some(owner) => {
+                // Follower: watch the leader; on its death, break the flag
+                // and race for it.
+                if let Some(leader) = parse_leader(&owner) {
+                    let alive = endpoint.call(leader, netproto::PING, &[]).is_ok();
+                    let miss = misses.entry(leader.0).or_insert(0);
+                    if alive {
+                        *miss = 0;
+                    } else {
+                        *miss += 1;
+                        if *miss >= cfg.miss_threshold {
+                            // Only break the flag if it is still held by
+                            // the machine we just confirmed dead.
+                            if tfs.flag_owner(LEADER_FLAG).as_deref() == Some(owner.as_str()) {
+                                tfs.break_flag(LEADER_FLAG);
+                            }
+                            *miss = 0;
+                        }
+                    }
+                }
+            }
+        }
+        std::thread::sleep(cfg.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinity_memcloud::CloudConfig;
+
+    fn fast_cloud(machines: usize) -> Arc<MemoryCloud> {
+        Arc::new(MemoryCloud::new(CloudConfig {
+            call_timeout: Duration::from_millis(100),
+            ..CloudConfig::small(machines)
+        }))
+    }
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_millis(deadline_ms);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn exactly_one_leader_is_elected() {
+        let cloud = fast_cloud(4);
+        let agents = RecoveryAgents::install(Arc::clone(&cloud), RecoveryConfig::default());
+        assert!(wait_until(5_000, || RecoveryAgents::current_leader(&cloud).is_some()));
+        std::thread::sleep(Duration::from_millis(100));
+        let elected: Vec<_> = agents
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, RecoveryEvent::LeaderElected(_)))
+            .collect();
+        assert_eq!(elected.len(), 1, "split brain: {elected:?}");
+        agents.stop();
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn slave_failure_is_detected_and_recovered_automatically() {
+        let cloud = fast_cloud(4);
+        for i in 0..100u64 {
+            cloud.node(0).put(i, format!("v{i}").as_bytes()).unwrap();
+        }
+        cloud.backup_all().unwrap();
+        let agents = RecoveryAgents::install(Arc::clone(&cloud), RecoveryConfig::default());
+        assert!(wait_until(5_000, || RecoveryAgents::current_leader(&cloud).is_some()));
+        let leader = RecoveryAgents::current_leader(&cloud).unwrap();
+        // Kill a non-leader slave.
+        let victim = (0..4u16).map(MachineId).find(|&p| p != leader).unwrap();
+        cloud.kill_machine(victim.0 as usize);
+        assert!(
+            wait_until(10_000, || agents
+                .events()
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == victim))),
+            "leader never recovered the failed slave; events: {:?}",
+            agents.events()
+        );
+        // All data reachable again from a surviving machine.
+        let reader = (0..4u16).map(MachineId).find(|&p| p != victim).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(
+                cloud.node(reader.0 as usize).get(i).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "cell {i} unreachable after recovery"
+            );
+        }
+        agents.stop();
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn leader_failure_triggers_reelection_and_recovery_continues() {
+        let cloud = fast_cloud(4);
+        for i in 0..60u64 {
+            cloud.node(0).put(i, b"payload").unwrap();
+        }
+        cloud.backup_all().unwrap();
+        let agents = RecoveryAgents::install(Arc::clone(&cloud), RecoveryConfig::default());
+        assert!(wait_until(5_000, || RecoveryAgents::current_leader(&cloud).is_some()));
+        let old_leader = RecoveryAgents::current_leader(&cloud).unwrap();
+        cloud.kill_machine(old_leader.0 as usize);
+        // A new, different leader gets elected...
+        assert!(
+            wait_until(10_000, || {
+                matches!(RecoveryAgents::current_leader(&cloud), Some(l) if l != old_leader)
+            }),
+            "no re-election after leader death"
+        );
+        // ...and it recovers the old leader's trunks.
+        assert!(
+            wait_until(10_000, || agents.events().iter().any(
+                |e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == old_leader)
+            )),
+            "new leader never recovered the dead one; events: {:?}",
+            agents.events()
+        );
+        let reader = (0..4u16).find(|&p| p != old_leader.0).unwrap();
+        for i in 0..60u64 {
+            assert_eq!(cloud.node(reader as usize).get(i).unwrap().as_deref(), Some(&b"payload"[..]));
+        }
+        agents.stop();
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn reported_suspicion_accelerates_recovery() {
+        let cloud = fast_cloud(3);
+        cloud.backup_all().unwrap();
+        let agents = RecoveryAgents::install(
+            Arc::clone(&cloud),
+            RecoveryConfig { interval: Duration::from_millis(30), miss_threshold: 100 },
+        );
+        assert!(wait_until(5_000, || RecoveryAgents::current_leader(&cloud).is_some()));
+        let leader = RecoveryAgents::current_leader(&cloud).unwrap();
+        let victim = (0..3u16).map(MachineId).find(|&p| p != leader).unwrap();
+        cloud.kill_machine(victim.0 as usize);
+        // With a miss threshold of 100, heartbeats alone would take ages;
+        // a detection-by-access report forces immediate recovery.
+        let reporter = (0..3u16).find(|&p| p != victim.0 && cloud.fabric().is_dead(MachineId(p)) == false).unwrap();
+        report_failure(cloud.node(reporter as usize), victim);
+        assert!(
+            wait_until(10_000, || agents
+                .events()
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == victim))),
+            "report did not trigger recovery; events: {:?}",
+            agents.events()
+        );
+        agents.stop();
+        cloud.shutdown();
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the BSP runtime: on arbitrary random graphs, every
+//! optimization configuration (packing, hub buffering, combiners) and
+//! every machine count must produce the same vertex states as a
+//! single-process reference — max-id propagation converges to each
+//! connected component's maximum id.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trinity_core::{BspConfig, BspRunner, MessagingMode, VertexContext, VertexProgram};
+use trinity_graph::{load_graph, Csr, LoadOptions};
+use trinity_memcloud::{CloudConfig, MemoryCloud};
+
+struct MaxValue;
+impl VertexProgram for MaxValue {
+    type State = u64;
+    type Msg = u64;
+    fn init(&self, id: u64, _view: &trinity_graph::NodeView<'_>) -> u64 {
+        id
+    }
+    fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: u64, state: &mut u64, msgs: &[u64]) {
+        let before = *state;
+        for &m in msgs {
+            *state = (*state).max(m);
+        }
+        if ctx.superstep() == 0 || *state > before {
+            ctx.send_to_neighbors(*state);
+        }
+        ctx.vote_to_halt();
+    }
+    fn encode_msg(m: &u64) -> Vec<u8> {
+        m.to_le_bytes().to_vec()
+    }
+    fn decode_msg(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn encode_state(s: &u64) -> Vec<u8> {
+        s.to_le_bytes().to_vec()
+    }
+    fn decode_state(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn combine(a: &mut u64, b: &u64) -> bool {
+        *a = (*a).max(*b);
+        true
+    }
+}
+
+/// Reference: each vertex converges to its connected component's max id.
+fn component_max(csr: &Csr) -> HashMap<u64, u64> {
+    let n = csr.node_count();
+    let mut comp = vec![u64::MAX; n];
+    let mut result = HashMap::new();
+    for start in 0..n as u64 {
+        if comp[start as usize] != u64::MAX {
+            continue;
+        }
+        // BFS the component, tracking its max.
+        let mut members = vec![start];
+        let mut stack = vec![start];
+        comp[start as usize] = start;
+        let mut max = start;
+        while let Some(v) = stack.pop() {
+            for &t in csr.neighbors(v) {
+                if comp[t as usize] == u64::MAX {
+                    comp[t as usize] = start;
+                    max = max.max(t);
+                    members.push(t);
+                    stack.push(t);
+                }
+            }
+            max = max.max(v);
+        }
+        for m in members {
+            result.insert(m, max);
+        }
+    }
+    result
+}
+
+fn random_graph(n: usize, edges: &[(u64, u64)]) -> Csr {
+    Csr::undirected_from_edges(n, edges, true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_config_matches_the_component_reference(
+        n in 4usize..60,
+        edge_seeds in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..150),
+        machines in 1usize..5,
+    ) {
+        let edges: Vec<(u64, u64)> = edge_seeds
+            .iter()
+            .map(|(a, b)| (a % n as u64, b % n as u64))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let csr = random_graph(n, &edges);
+        let expect = component_max(&csr);
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+        let graph = Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
+        for cfg in [
+            BspConfig { messaging: MessagingMode::Packed, hub_threshold: None, combine: false, max_supersteps: 256 },
+            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, combine: false, max_supersteps: 256 },
+            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(4), combine: false, max_supersteps: 256 },
+            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(4), combine: true, max_supersteps: 256 },
+        ] {
+            let result = BspRunner::new(Arc::clone(&graph), MaxValue, cfg.clone()).run();
+            prop_assert!(result.terminated, "must reach quiescence under {cfg:?}");
+            prop_assert_eq!(result.states.len(), n);
+            for (id, state) in &result.states {
+                prop_assert_eq!(*state, expect[id], "vertex {} under {:?}", id, cfg);
+            }
+        }
+        cloud.shutdown();
+    }
+}

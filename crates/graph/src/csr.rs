@@ -1,0 +1,156 @@
+//! Compressed sparse row adjacency.
+//!
+//! [`Csr`] is the in-memory interchange format between the synthetic
+//! workload generators (`trinity-graphgen`), the distributed loader
+//! ([`crate::load_graph`]) and the single-process baseline engines
+//! (`trinity-baselines`). Node ids are dense `0..n`, which is also how the
+//! paper's R-MAT and power-law graphs are generated.
+
+/// Compressed sparse row graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`'s
+    /// out-neighbors. Length `n + 1`.
+    pub offsets: Vec<u64>,
+    /// Concatenated out-neighbor lists.
+    pub targets: Vec<u64>,
+    /// Whether edges are directed (false: every edge appears in both
+    /// endpoint lists).
+    pub directed: bool,
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (each undirected edge counts twice).
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u64) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.arc_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Build from an arc list. Arcs are sorted per source; self-loops are
+    /// kept (R-MAT produces some), duplicates are optionally removed.
+    pub fn from_arcs(n: usize, mut arcs: Vec<(u64, u64)>, directed: bool, dedup: bool) -> Self {
+        arcs.sort_unstable();
+        if dedup {
+            arcs.dedup();
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _) in &arcs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = arcs.into_iter().map(|(_, t)| t).collect();
+        Csr { offsets, targets, directed }
+    }
+
+    /// Build an undirected graph from an edge list: each `(u, v)` is
+    /// stored in both adjacency lists.
+    pub fn undirected_from_edges(n: usize, edges: &[(u64, u64)], dedup: bool) -> Self {
+        let mut arcs = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            arcs.push((u, v));
+            if u != v {
+                arcs.push((v, u));
+            }
+        }
+        Csr::from_arcs(n, arcs, false, dedup)
+    }
+
+    /// The reverse graph (in-neighbor lists). For undirected graphs this
+    /// is the graph itself.
+    pub fn transpose(&self) -> Csr {
+        if !self.directed {
+            return self.clone();
+        }
+        let n = self.node_count();
+        let mut arcs = Vec::with_capacity(self.targets.len());
+        for v in 0..n as u64 {
+            for &t in self.neighbors(v) {
+                arcs.push((t, v));
+            }
+        }
+        Csr::from_arcs(n, arcs, true, false)
+    }
+
+    /// Iterate all arcs as `(src, dst)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..self.node_count() as u64).flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Approximate in-memory footprint in bytes (offsets + targets) — used
+    /// by the Figure 13 memory comparison.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.offsets.len() + self.targets.len()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_arcs_builds_sorted_adjacency() {
+        let g = Csr::from_arcs(4, vec![(2, 0), (0, 1), (0, 2), (1, 3), (0, 1)], true, true);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.neighbors(3), &[] as &[u64]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.avg_degree(), 1.0);
+    }
+
+    #[test]
+    fn undirected_edges_appear_both_ways() {
+        let g = Csr::undirected_from_edges(3, &[(0, 1), (1, 2)], true);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert!(!g.directed);
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn transpose_reverses_directed_arcs() {
+        let g = Csr::from_arcs(3, vec![(0, 1), (0, 2), (1, 2)], true, false);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(0), &[] as &[u64]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn self_loops_stored_once_in_undirected() {
+        let g = Csr::undirected_from_edges(2, &[(0, 0), (0, 1)], true);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+}

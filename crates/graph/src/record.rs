@@ -1,0 +1,296 @@
+//! Packed node- and edge-cell encodings with zero-copy readers.
+//!
+//! Node cells are the hot data structure of every experiment, so their
+//! layout is fixed and flat (this is what the TSL compiler emits for
+//! `[CellType: NodeCell]` structs with SimpleEdge lists):
+//!
+//! ```text
+//! +--------+-----------+--------------+------------+----------------+------------+---------------+
+//! | flags  | attr_len  | attr bytes   | out_count  | out ids (i64)  | in_count   | in ids (i64)  |
+//! | u8     | u32       |              | u32        |                | u32 [opt]  | [opt]         |
+//! +--------+-----------+--------------+------------+----------------+------------+---------------+
+//! ```
+//!
+//! The in-link section is present only when bit 0 of `flags` is set
+//! (directed graphs that need reverse traversal). [`NodeView`] reads any
+//! field straight out of a borrowed blob — typically a pinned
+//! `trinity_memstore::CellGuard` — with no decoding pass.
+
+use crate::CellId;
+use std::fmt;
+
+/// Flag bit: the record carries an in-link list.
+const HAS_IN: u8 = 1;
+
+/// Errors from record decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The blob is too short for the declared contents.
+    Truncated(usize),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Truncated(at) => write!(f, "node record truncated at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Builder/owner form of a node cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// Application attribute bytes (e.g. a TSL-encoded struct, a name, a
+    /// rank value); opaque to the graph layer.
+    pub attrs: Vec<u8>,
+    /// Outgoing SimpleEdge targets (the only list for undirected graphs).
+    pub outs: Vec<CellId>,
+    /// Incoming SimpleEdge sources; `None` when reverse edges aren't kept.
+    pub ins: Option<Vec<CellId>>,
+}
+
+impl NodeRecord {
+    /// A node with outgoing edges only.
+    pub fn with_outs(attrs: Vec<u8>, outs: Vec<CellId>) -> Self {
+        NodeRecord { attrs, outs, ins: None }
+    }
+
+    /// Encode to the packed cell blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let ins_len = self.ins.as_ref().map_or(0, |v| 4 + 8 * v.len());
+        let mut out = Vec::with_capacity(1 + 4 + self.attrs.len() + 4 + 8 * self.outs.len() + ins_len);
+        out.push(if self.ins.is_some() { HAS_IN } else { 0 });
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.attrs);
+        out.extend_from_slice(&(self.outs.len() as u32).to_le_bytes());
+        for id in &self.outs {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        if let Some(ins) = &self.ins {
+            out.extend_from_slice(&(ins.len() as u32).to_le_bytes());
+            for id in ins {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a packed blob into owned form.
+    pub fn decode(blob: &[u8]) -> Result<Self, RecordError> {
+        let v = NodeView::new(blob)?;
+        Ok(NodeRecord {
+            attrs: v.attrs().to_vec(),
+            outs: v.outs().collect(),
+            ins: if v.has_ins() { Some(v.ins().collect()) } else { None },
+        })
+    }
+}
+
+/// Zero-copy reader over a packed node cell.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    blob: &'a [u8],
+    out_off: usize,
+    out_count: usize,
+    in_off: usize,
+    in_count: usize,
+}
+
+impl<'a> NodeView<'a> {
+    /// Validate the framing and compute section offsets (one cheap pass;
+    /// no payload copying).
+    pub fn new(blob: &'a [u8]) -> Result<Self, RecordError> {
+        let need = |at: usize, n: usize| {
+            if at + n > blob.len() {
+                Err(RecordError::Truncated(at))
+            } else {
+                Ok(())
+            }
+        };
+        need(0, 5)?;
+        let flags = blob[0];
+        let attr_len = u32::from_le_bytes(blob[1..5].try_into().unwrap()) as usize;
+        let out_cnt_off = 5 + attr_len;
+        need(out_cnt_off, 4)?;
+        let out_count = u32::from_le_bytes(blob[out_cnt_off..out_cnt_off + 4].try_into().unwrap()) as usize;
+        let out_off = out_cnt_off + 4;
+        need(out_off, out_count * 8)?;
+        let (in_off, in_count) = if flags & HAS_IN != 0 {
+            let in_cnt_off = out_off + out_count * 8;
+            need(in_cnt_off, 4)?;
+            let in_count = u32::from_le_bytes(blob[in_cnt_off..in_cnt_off + 4].try_into().unwrap()) as usize;
+            need(in_cnt_off + 4, in_count * 8)?;
+            (in_cnt_off + 4, in_count)
+        } else {
+            (out_off + out_count * 8, 0)
+        };
+        Ok(NodeView { blob, out_off, out_count, in_off, in_count })
+    }
+
+    /// Attribute bytes.
+    pub fn attrs(&self) -> &'a [u8] {
+        &self.blob[5..self.out_off - 4]
+    }
+
+    /// Whether an in-link list is stored.
+    pub fn has_ins(&self) -> bool {
+        self.blob[0] & HAS_IN != 0
+    }
+
+    /// Out-degree.
+    pub fn out_degree(&self) -> usize {
+        self.out_count
+    }
+
+    /// In-degree (0 when no in-list is stored).
+    pub fn in_degree(&self) -> usize {
+        self.in_count
+    }
+
+    /// Outgoing neighbor `i`.
+    pub fn out(&self, i: usize) -> CellId {
+        let at = self.out_off + i * 8;
+        u64::from_le_bytes(self.blob[at..at + 8].try_into().unwrap())
+    }
+
+    /// Iterate outgoing neighbors — `Outlinks.Foreach(...)` (paper Fig. 2).
+    pub fn outs(&self) -> impl Iterator<Item = CellId> + 'a {
+        let blob = self.blob;
+        let off = self.out_off;
+        (0..self.out_count).map(move |i| u64::from_le_bytes(blob[off + i * 8..off + i * 8 + 8].try_into().unwrap()))
+    }
+
+    /// Iterate incoming neighbors — `GetInlinks()` (paper Fig. 2).
+    pub fn ins(&self) -> impl Iterator<Item = CellId> + 'a {
+        let blob = self.blob;
+        let off = self.in_off;
+        (0..self.in_count).map(move |i| u64::from_le_bytes(blob[off + i * 8..off + i * 8 + 8].try_into().unwrap()))
+    }
+}
+
+/// A StructEdge cell: rich data attached to one edge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeRecord {
+    pub src: CellId,
+    pub dst: CellId,
+    /// Application edge data (name, type, weight, ... — paper §4.1).
+    pub attrs: Vec<u8>,
+}
+
+impl EdgeRecord {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.attrs.len());
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        out.extend_from_slice(&self.attrs);
+        out
+    }
+
+    pub fn decode(blob: &[u8]) -> Result<Self, RecordError> {
+        if blob.len() < 16 {
+            return Err(RecordError::Truncated(blob.len()));
+        }
+        Ok(EdgeRecord {
+            src: u64::from_le_bytes(blob[0..8].try_into().unwrap()),
+            dst: u64::from_le_bytes(blob[8..16].try_into().unwrap()),
+            attrs: blob[16..].to_vec(),
+        })
+    }
+}
+
+/// A HyperEdge cell: an edge connecting any number of nodes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HyperEdgeRecord {
+    pub members: Vec<CellId>,
+    pub attrs: Vec<u8>,
+}
+
+impl HyperEdgeRecord {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 * self.members.len() + self.attrs.len());
+        out.extend_from_slice(&(self.members.len() as u32).to_le_bytes());
+        for m in &self.members {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        out.extend_from_slice(&self.attrs);
+        out
+    }
+
+    pub fn decode(blob: &[u8]) -> Result<Self, RecordError> {
+        if blob.len() < 4 {
+            return Err(RecordError::Truncated(0));
+        }
+        let n = u32::from_le_bytes(blob[0..4].try_into().unwrap()) as usize;
+        if 4 + 8 * n > blob.len() {
+            return Err(RecordError::Truncated(4));
+        }
+        let members = (0..n)
+            .map(|i| u64::from_le_bytes(blob[4 + i * 8..12 + i * 8].try_into().unwrap()))
+            .collect();
+        Ok(HyperEdgeRecord { members, attrs: blob[4 + 8 * n..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn node_record_roundtrip_without_ins() {
+        let r = NodeRecord::with_outs(b"alice".to_vec(), vec![1, 2, 3]);
+        let blob = r.encode();
+        let v = NodeView::new(&blob).unwrap();
+        assert_eq!(v.attrs(), b"alice");
+        assert_eq!(v.out_degree(), 3);
+        assert!(!v.has_ins());
+        assert_eq!(v.in_degree(), 0);
+        assert_eq!(v.outs().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(v.out(1), 2);
+        assert_eq!(NodeRecord::decode(&blob).unwrap(), r);
+    }
+
+    #[test]
+    fn node_record_roundtrip_with_ins() {
+        let r = NodeRecord { attrs: vec![], outs: vec![9], ins: Some(vec![5, 6]) };
+        let blob = r.encode();
+        let v = NodeView::new(&blob).unwrap();
+        assert!(v.has_ins());
+        assert_eq!(v.ins().collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(NodeRecord::decode(&blob).unwrap(), r);
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let blob = NodeRecord::with_outs(b"x".to_vec(), vec![1, 2]).encode();
+        for cut in 0..blob.len() {
+            assert!(NodeView::new(&blob[..cut]).is_err(), "cut at {cut} should fail");
+        }
+        assert!(NodeView::new(&blob).is_ok());
+    }
+
+    #[test]
+    fn edge_and_hyperedge_roundtrip() {
+        let e = EdgeRecord { src: 10, dst: 20, attrs: b"weight=3".to_vec() };
+        assert_eq!(EdgeRecord::decode(&e.encode()).unwrap(), e);
+        assert!(EdgeRecord::decode(&[0; 8]).is_err());
+        let h = HyperEdgeRecord { members: vec![1, 2, 3, 4], attrs: b"committee".to_vec() };
+        assert_eq!(HyperEdgeRecord::decode(&h.encode()).unwrap(), h);
+        assert!(HyperEdgeRecord::decode(&[9, 0, 0, 0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn node_roundtrip_prop(
+            attrs in proptest::collection::vec(any::<u8>(), 0..64),
+            outs in proptest::collection::vec(any::<u64>(), 0..32),
+            ins in proptest::option::of(proptest::collection::vec(any::<u64>(), 0..32)),
+        ) {
+            let r = NodeRecord { attrs, outs, ins };
+            let blob = r.encode();
+            prop_assert_eq!(NodeRecord::decode(&blob).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Stand-ins for the paper's real-life graphs.
+//!
+//! Figure 14(a) measures subgraph-match speedup on Wordnet and the US
+//! patent citation network. Neither data set ships with this repository,
+//! so we generate graphs with matching size and degree statistics (see
+//! DESIGN.md's substitution table): parallel speedup depends on node
+//! count, degree distribution, and partition balance — all reproduced —
+//! not on the specific vocabulary of synsets or patent numbers.
+
+use rand::RngExt;
+use trinity_graph::Csr;
+
+/// A Wordnet-like graph: ~82 K nodes, sparse (average degree ~3),
+/// mildly skewed. Pass `scale = 1.0` for full size.
+pub fn wordnet_like(scale: f64, seed: u64) -> Csr {
+    let n = ((82_000 as f64 * scale) as usize).max(100);
+    crate::social::power_law(n, 2.5, 1, 60, seed)
+}
+
+/// A US-patent-citation-like graph: a preferential-attachment DAG where
+/// each patent cites ~4.4 earlier patents (the real network has 3.77 M
+/// nodes and 16.5 M edges; pass `n` scaled to taste). Directed, acyclic.
+pub fn patent_like(n: usize, seed: u64) -> Csr {
+    assert!(n >= 16);
+    let mut rng = crate::rng(seed);
+    let per_node = 4usize;
+    let mut arcs: Vec<(u64, u64)> = Vec::with_capacity(n * per_node);
+    // Preferential attachment over earlier nodes: sample a previous arc's
+    // endpoint with probability 1/2 (rich get richer), uniform otherwise.
+    for v in 1..n as u64 {
+        let cites = per_node.min(v as usize);
+        for _ in 0..cites {
+            let target = if !arcs.is_empty() && rng.random_bool(0.5) {
+                let (_, t) = arcs[rng.random_range(0..arcs.len())];
+                if t < v {
+                    t
+                } else {
+                    rng.random_range(0..v)
+                }
+            } else {
+                rng.random_range(0..v)
+            };
+            arcs.push((v, target));
+        }
+    }
+    Csr::from_arcs(n, arcs, true, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordnet_is_sparse_and_sized() {
+        let g = wordnet_like(0.05, 3); // 4100 nodes for the test
+        assert!((3_500..=4_500).contains(&g.node_count()));
+        assert!(g.avg_degree() < 8.0, "avg degree {:.1}", g.avg_degree());
+    }
+
+    #[test]
+    fn patent_is_a_dag_with_requested_density() {
+        let g = patent_like(5_000, 9);
+        assert!(g.directed);
+        // All citations point backward: acyclic by construction.
+        assert!(g.arcs().all(|(s, t)| t < s));
+        let avg = g.avg_degree();
+        assert!((3.0..=4.5).contains(&avg), "avg degree {avg:.1}");
+    }
+
+    #[test]
+    fn patent_has_highly_cited_patents() {
+        let g = patent_like(10_000, 4);
+        let t = g.transpose();
+        let max_in = (0..t.node_count() as u64).map(|v| t.out_degree(v)).max().unwrap();
+        assert!(max_in > 40, "preferential attachment should create hubs, max in-degree {max_in}");
+    }
+}

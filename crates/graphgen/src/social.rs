@@ -1,0 +1,127 @@
+//! Power-law and social graph generators.
+//!
+//! [`power_law`] samples a degree sequence from `P(k) ∝ c·k^-γ` (the paper
+//! §5.4 uses `c = 1.16`, `γ = 2.16` when reasoning about hub vertices) and
+//! wires stubs with a configuration-model pass. [`social`] is the
+//! Facebook-like graph of the people-search experiment: every node gets
+//! `degree` friends chosen uniformly, making the average degree (not the
+//! maximum) the controlled parameter.
+
+use rand::RngExt;
+use trinity_graph::Csr;
+
+/// Generate an undirected power-law graph: `n` nodes, degrees sampled
+/// from `P(k) ∝ k^-gamma` over `[k_min, k_max]`.
+pub fn power_law(n: usize, gamma: f64, k_min: usize, k_max: usize, seed: u64) -> Csr {
+    assert!(n > 1 && k_min >= 1 && k_max >= k_min);
+    let mut rng = crate::rng(seed);
+    // Inverse-CDF table over the discrete degree support.
+    let weights: Vec<f64> = (k_min..=k_max).map(|k| (k as f64).powf(-gamma)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let sample_degree = |rng: &mut rand::rngs::StdRng| -> usize {
+        let r: f64 = rng.random();
+        let idx = cdf.partition_point(|&c| c < r).min(cdf.len() - 1);
+        k_min + idx
+    };
+    // Configuration model: each node contributes `degree` stubs; stubs are
+    // shuffled and paired.
+    let mut stubs: Vec<u64> = Vec::new();
+    for v in 0..n as u64 {
+        let d = sample_degree(&mut rng).min(n - 1);
+        stubs.extend(std::iter::repeat_n(v, d));
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    // Fisher-Yates shuffle.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let edges: Vec<(u64, u64)> =
+        stubs.chunks_exact(2).map(|p| (p[0], p[1])).filter(|(u, v)| u != v).collect();
+    Csr::undirected_from_edges(n, &edges, true)
+}
+
+/// Generate a Facebook-like social graph: `n` people with an average
+/// adjacency length of ~`degree`. Each person initiates `degree / 2`
+/// friendships with uniformly random others; every friendship appears in
+/// both adjacency lists, so the expected stored degree is `degree`. The
+/// people-search experiment sweeps `degree` from 10 to 200.
+pub fn social(n: usize, degree: usize, seed: u64) -> Csr {
+    assert!(n > degree);
+    let mut rng = crate::rng(seed);
+    // Each node initiates degree/2 friendships; since edges are stored in
+    // both adjacency lists, the expected adjacency length is ~degree.
+    let per_node = (degree / 2).max(1);
+    let mut edges = Vec::with_capacity(n * per_node);
+    for u in 0..n as u64 {
+        for _ in 0..per_node {
+            let mut v = rng.random_range(0..n as u64);
+            while v == u {
+                v = rng.random_range(0..n as u64);
+            }
+            edges.push((u, v));
+        }
+    }
+    Csr::undirected_from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_has_hubs_and_tail() {
+        let g = power_law(5_000, 2.16, 1, 500, 3);
+        let mut degs: Vec<usize> = (0..g.node_count() as u64).map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Hubs exist...
+        assert!(degs[0] >= 50, "max degree {} too small for a power law", degs[0]);
+        // ...but the median node is small-degree.
+        assert!(degs[g.node_count() / 2] <= 4, "median degree {} too large", degs[g.node_count() / 2]);
+    }
+
+    #[test]
+    fn power_law_hub_concentration_matches_paper_claim() {
+        // Paper §5.4: for c=1.16, γ=2.16, a small fraction of hub vertices
+        // covers a large fraction of edges (20% of hubs → 80% of message
+        // needs). Verify the top 20% of nodes own >= 60% of arc endpoints.
+        let g = power_law(20_000, 2.16, 1, 2_000, 11);
+        let mut degs: Vec<usize> = (0..g.node_count() as u64).map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: usize = degs.iter().take(g.node_count() / 5).sum();
+        let frac = top20 as f64 / g.arc_count() as f64;
+        assert!(frac > 0.6, "top-20% degree share only {frac:.2}");
+    }
+
+    #[test]
+    fn social_hits_requested_average_degree() {
+        for want in [10usize, 50, 130] {
+            let g = social(4_000, want, 9);
+            let avg = g.avg_degree();
+            assert!(
+                (avg - want as f64).abs() / (want as f64) < 0.15,
+                "requested avg degree {want}, got {avg:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(power_law(500, 2.16, 1, 50, 5), power_law(500, 2.16, 1, 50, 5));
+        assert_eq!(social(500, 10, 5), social(500, 10, 5));
+    }
+
+    #[test]
+    fn no_self_loops_in_social() {
+        let g = social(1_000, 20, 4);
+        assert!(g.arcs().all(|(u, v)| u != v));
+    }
+}

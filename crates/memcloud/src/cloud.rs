@@ -1,0 +1,431 @@
+//! Cluster-level assembly of the memory cloud.
+//!
+//! [`MemoryCloud`] brings up the whole simulated deployment: the network
+//! fabric, the TFS deployment, one [`CloudNode`] per machine, and the
+//! initial addressing table (persisted to TFS as the primary replica). It
+//! also exposes the mechanical halves of the paper's reconfiguration
+//! protocols — kill/recover/join — which `trinity-core` orchestrates with
+//! leader election and heartbeats on top.
+
+use std::sync::Arc;
+
+use trinity_memstore::{LocalStoreConfig, TrunkConfig};
+use trinity_net::{CostModel, Fabric, FabricConfig, MachineId};
+use trinity_tfs::{Tfs, TfsConfig};
+
+use crate::node::CloudNode;
+use crate::table::{AddressingTable, TFS_TABLE_PATH};
+use crate::Result;
+
+/// Deployment shape of a memory cloud.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Number of machines (Trinity slaves).
+    pub machines: usize,
+    /// `log2` of the trunk count; `2^p` must be at least the machine count.
+    pub p_bits: u32,
+    /// Per-machine trunk storage configuration.
+    pub store: LocalStoreConfig,
+    /// TFS deployment backing the cloud.
+    pub tfs: TfsConfig,
+    /// Network cost model for modeled time reporting.
+    pub cost: CostModel,
+    /// Handler worker threads per machine.
+    pub workers_per_machine: usize,
+    /// Additional fabric endpoints beyond the slaves — Trinity proxies and
+    /// clients (paper Figure 1) attach here. They carry no trunks and no
+    /// addressing-table slots.
+    pub extra_machines: usize,
+    /// Synchronous-call timeout (doubles as the detection-by-access
+    /// horizon; recovery tests shorten it).
+    pub call_timeout: std::time::Duration,
+    /// Standby slaves: fully provisioned machines that own no trunks
+    /// until [`MemoryCloud::join_machine`] rebalances some onto them
+    /// (the paper's dynamic join, §3).
+    pub standby_machines: usize,
+}
+
+impl CloudConfig {
+    /// A production-shaped config: 2^(ceil(log2 m) + 3) trunks so every
+    /// machine hosts ~8, with default trunk sizes.
+    pub fn new(machines: usize) -> Self {
+        let p_bits = (machines.next_power_of_two().trailing_zeros() + 3).max(4);
+        CloudConfig {
+            machines,
+            p_bits,
+            store: LocalStoreConfig::default(),
+            tfs: TfsConfig { nodes: machines.max(3), replication: 3.min(machines.max(2)) },
+            cost: CostModel::default(),
+            workers_per_machine: 4,
+            extra_machines: 0,
+            call_timeout: std::time::Duration::from_secs(10),
+            standby_machines: 0,
+        }
+    }
+
+    /// A small config for tests and doc examples (tiny trunks).
+    pub fn small(machines: usize) -> Self {
+        CloudConfig {
+            store: LocalStoreConfig { trunk: TrunkConfig::small(), ..LocalStoreConfig::default() },
+            ..CloudConfig::new(machines)
+        }
+    }
+}
+
+/// A running memory cloud: fabric + TFS + one node per machine.
+pub struct MemoryCloud {
+    fabric: Arc<Fabric>,
+    tfs: Tfs,
+    nodes: Vec<Arc<CloudNode>>,
+}
+
+impl std::fmt::Debug for MemoryCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryCloud").field("machines", &self.nodes.len()).finish()
+    }
+}
+
+impl MemoryCloud {
+    /// Bring up a memory cloud.
+    pub fn new(cfg: CloudConfig) -> Self {
+        let slaves = cfg.machines + cfg.standby_machines;
+        let fabric = Fabric::new(FabricConfig {
+            machines: slaves + cfg.extra_machines,
+            workers_per_machine: cfg.workers_per_machine,
+            cost: cfg.cost,
+            call_timeout: cfg.call_timeout,
+            ..FabricConfig::with_machines(slaves + cfg.extra_machines)
+        });
+        let tfs = Tfs::new(cfg.tfs);
+        let table = AddressingTable::round_robin(cfg.p_bits, cfg.machines);
+        // Persist the primary replica before the cloud serves traffic.
+        tfs.write(TFS_TABLE_PATH, &table.encode()).expect("persist initial addressing table");
+        let nodes = (0..slaves)
+            .map(|m| {
+                CloudNode::start(
+                    fabric.endpoint(MachineId(m as u16)),
+                    cfg.store.clone(),
+                    tfs.clone(),
+                    table.clone(),
+                )
+            })
+            .collect();
+        MemoryCloud { fabric, tfs, nodes }
+    }
+
+    /// Bring a standby machine into the cloud (paper §3: "when new
+    /// machines join the memory cloud, we relocate some memory trunks to
+    /// those new machines and update the addressing table accordingly").
+    ///
+    /// The donors' trunks are snapshotted to TFS, the rebalanced table is
+    /// persisted and installed everywhere (the joiner reloads its new
+    /// trunks; donors evict theirs). Returns the trunks moved, as
+    /// `(trunk, donor)` pairs.
+    pub fn join_machine(&self, m: usize) -> Result<Vec<(u64, MachineId)>> {
+        let joiner = MachineId(m as u16);
+        let mut table = self.nodes[m].table();
+        let moved = table.rebalance_join(joiner);
+        // Fresh snapshots of the moving trunks, straight from the donors.
+        for &(trunk, donor) in &moved {
+            self.nodes[donor.0 as usize].backup_trunk(trunk)?;
+        }
+        self.tfs.write(TFS_TABLE_PATH, &table.encode())?;
+        for node in &self.nodes {
+            if !self.fabric.is_dead(node.machine()) {
+                node.install_table(table.clone())?;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// The node running on machine `m`.
+    pub fn node(&self, m: usize) -> &Arc<CloudNode> {
+        &self.nodes[m]
+    }
+
+    /// All nodes in machine order.
+    pub fn nodes(&self) -> &[Arc<CloudNode>] {
+        &self.nodes
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The underlying fabric (for stats, cost model, failure injection).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The backing TFS deployment.
+    pub fn tfs(&self) -> &Tfs {
+        &self.tfs
+    }
+
+    /// Total live cells across the cloud.
+    pub fn total_cells(&self) -> usize {
+        self.nodes.iter().map(|n| n.store().cell_count()).sum()
+    }
+
+    /// Persist every live machine's trunks to TFS. Dead machines are
+    /// skipped — their in-memory state is gone by definition, and their
+    /// stale trunk objects must not overwrite survivors' snapshots.
+    pub fn backup_all(&self) -> Result<()> {
+        for (m, n) in self.nodes.iter().enumerate() {
+            if self.fabric.is_dead(MachineId(m as u16)) {
+                continue;
+            }
+            n.backup_all()?;
+        }
+        Ok(())
+    }
+
+    /// Kill a machine at the fabric level (it stops serving; its memory is
+    /// gone). Recovery is a separate step — see [`MemoryCloud::recover`].
+    pub fn kill_machine(&self, m: usize) {
+        self.fabric.kill(MachineId(m as u16));
+    }
+
+    /// Mechanically recover from the failure of machine `m`: reassign its
+    /// trunks to survivors, persist the new primary table to TFS, and
+    /// install it on every live node (which reloads the reassigned trunks
+    /// from their TFS backups). In the full system this runs on the
+    /// elected leader (`trinity-core::recovery`); tests may call it
+    /// directly.
+    pub fn recover(&self, failed: usize) -> Result<AddressingTable> {
+        let failed = MachineId(failed as u16);
+        let survivors: Vec<MachineId> = (0..self.nodes.len() as u16)
+            .map(MachineId)
+            .filter(|&m| m != failed && !self.fabric.is_dead(m))
+            .collect();
+        let mut table = self.nodes[survivors[0].0 as usize].table();
+        if !table.trunks_of(failed).is_empty() {
+            table.reassign_failed(failed, &survivors);
+        }
+        self.tfs.write(TFS_TABLE_PATH, &table.encode())?;
+        for &m in &survivors {
+            self.nodes[m.0 as usize].install_table(table.clone())?;
+        }
+        Ok(table)
+    }
+
+    /// Stop the fabric.
+    pub fn shutdown(&self) {
+        self.fabric.shutdown();
+    }
+}
+
+impl Drop for MemoryCloud {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_on_one_machine_get_on_another() {
+        let cloud = MemoryCloud::new(CloudConfig::small(4));
+        let id = cloud.node(0).alloc_id();
+        cloud.node(0).put(id, b"cross-machine cell").unwrap();
+        for m in 0..4 {
+            assert_eq!(
+                cloud.node(m).get(id).unwrap().as_deref(),
+                Some(&b"cross-machine cell"[..]),
+                "machine {m} could not read the cell"
+            );
+            assert!(cloud.node(m).contains(id).unwrap());
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn ids_from_different_machines_never_collide() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        let mut ids = std::collections::HashSet::new();
+        for m in 0..3 {
+            for _ in 0..100 {
+                assert!(ids.insert(cloud.node(m).alloc_id()));
+            }
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn update_append_remove_across_machines() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        let id = cloud.node(1).alloc_id();
+        cloud.node(1).put(id, b"base").unwrap();
+        assert!(cloud.node(2).append(id, b"+more").unwrap());
+        assert_eq!(cloud.node(0).get(id).unwrap().unwrap(), b"base+more");
+        cloud.node(0).put(id, b"replaced").unwrap();
+        assert_eq!(cloud.node(1).get(id).unwrap().unwrap(), b"replaced");
+        assert!(cloud.node(2).remove(id).unwrap());
+        assert_eq!(cloud.node(0).get(id).unwrap(), None);
+        assert!(!cloud.node(1).remove(id).unwrap(), "double remove reports absence");
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn cells_spread_over_all_machines() {
+        let cloud = MemoryCloud::new(CloudConfig::small(4));
+        for i in 0..400u64 {
+            cloud.node(0).put(i, &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(cloud.total_cells(), 400);
+        for m in 0..4 {
+            let local = cloud.node(m).store().cell_count();
+            assert!(local > 40, "machine {m} holds only {local} of 400 cells");
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn machine_failure_recovery_restores_backed_up_data() {
+        let cloud = MemoryCloud::new(CloudConfig::small(4));
+        for i in 0..200u64 {
+            cloud.node(0).put(i, format!("cell-{i}").as_bytes()).unwrap();
+        }
+        cloud.backup_all().unwrap();
+        cloud.kill_machine(2);
+        cloud.recover(2).unwrap();
+        for i in 0..200u64 {
+            let v = cloud.node(0).get(i).unwrap();
+            assert_eq!(v.as_deref(), Some(format!("cell-{i}").as_bytes()), "cell {i} lost after recovery");
+        }
+        // The dead machine hosts nothing in the new table.
+        assert!(cloud.node(0).table().trunks_of(MachineId(2)).is_empty());
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn stale_replica_self_heals_through_tfs_sync() {
+        let cloud = MemoryCloud::new(CloudConfig::small(4));
+        for i in 0..100u64 {
+            cloud.node(0).put(i, b"x").unwrap();
+        }
+        cloud.backup_all().unwrap();
+        cloud.kill_machine(3);
+        // Recover but only install the table on machines 0..=1; machine 2
+        // keeps a stale replica and must self-heal on first failed access.
+        let failed = MachineId(3);
+        let survivors = vec![MachineId(0), MachineId(1), MachineId(2)];
+        let mut table = cloud.node(0).table();
+        table.reassign_failed(failed, &survivors);
+        cloud.tfs().write(TFS_TABLE_PATH, &table.encode()).unwrap();
+        cloud.node(0).install_table(table.clone()).unwrap();
+        cloud.node(1).install_table(table).unwrap();
+        // Machine 2 still routes some ids to dead machine 3; the access
+        // path must sync and retry transparently.
+        for i in 0..100u64 {
+            assert_eq!(cloud.node(2).get(i).unwrap().as_deref(), Some(&b"x"[..]), "cell {i}");
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn unbacked_data_is_lost_but_cloud_stays_available() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        for i in 0..60u64 {
+            cloud.node(0).put(i, b"volatile").unwrap();
+        }
+        // No backup_all: a failure loses the dead machine's cells.
+        let lost_on_1: Vec<u64> =
+            (0..60).filter(|&i| cloud.node(0).table().machine_of(i) == MachineId(1)).collect();
+        assert!(!lost_on_1.is_empty());
+        cloud.kill_machine(1);
+        cloud.recover(1).unwrap();
+        for i in 0..60u64 {
+            let v = cloud.node(0).get(i).unwrap();
+            if lost_on_1.contains(&i) {
+                assert_eq!(v, None, "cell {i} should have died with machine 1");
+            } else {
+                assert_eq!(v.as_deref(), Some(&b"volatile"[..]));
+            }
+        }
+        // And the cloud accepts new writes to the reassigned trunks.
+        for i in 0..60u64 {
+            cloud.node(2).put(1000 + i, b"fresh").unwrap();
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn standby_machine_joins_and_takes_trunk_share() {
+        let cloud = MemoryCloud::new(CloudConfig { standby_machines: 1, ..CloudConfig::small(3) });
+        for i in 0..200u64 {
+            cloud.node(0).put(i, format!("j{i}").as_bytes()).unwrap();
+        }
+        // Before the join, the standby owns nothing and serves nothing.
+        assert!(cloud.node(0).table().trunks_of(MachineId(3)).is_empty());
+        assert_eq!(cloud.node(3).store().cell_count(), 0);
+        let moved = cloud.join_machine(3).unwrap();
+        assert!(!moved.is_empty(), "the joiner must receive trunks");
+        // The joiner holds its fair share and serves its cells.
+        let its_trunks = cloud.node(0).table().trunks_of(MachineId(3));
+        assert_eq!(its_trunks.len(), moved.len());
+        assert!(cloud.node(3).store().cell_count() > 0, "moved trunks must carry their cells");
+        // Every cell still reads back, from old and new machines alike.
+        for i in 0..200u64 {
+            for m in 0..4 {
+                assert_eq!(
+                    cloud.node(m).get(i).unwrap().as_deref(),
+                    Some(format!("j{i}").as_bytes()),
+                    "cell {i} via machine {m} after join"
+                );
+            }
+        }
+        // New writes route to the joiner for its trunks.
+        let joiner_bound = (1000..2000u64)
+            .find(|&i| cloud.node(0).table().machine_of(i) == MachineId(3))
+            .expect("some id routes to the joiner");
+        cloud.node(0).put(joiner_bound, b"fresh-on-joiner").unwrap();
+        assert_eq!(cloud.node(3).get(joiner_bound).unwrap().unwrap(), b"fresh-on-joiner");
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn join_then_failure_uses_the_joiner_as_survivor() {
+        let cloud = MemoryCloud::new(CloudConfig { standby_machines: 1, ..CloudConfig::small(2) });
+        for i in 0..80u64 {
+            cloud.node(0).put(i, b"resilient").unwrap();
+        }
+        cloud.join_machine(2).unwrap();
+        cloud.backup_all().unwrap();
+        cloud.kill_machine(0);
+        cloud.recover(0).unwrap();
+        for i in 0..80u64 {
+            assert_eq!(cloud.node(2).get(i).unwrap().as_deref(), Some(&b"resilient"[..]), "cell {i}");
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(4)));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let cloud = Arc::clone(&cloud);
+            handles.push(std::thread::spawn(move || {
+                let node = Arc::clone(cloud.node(t));
+                for i in 0..200u64 {
+                    let id = (t as u64) << 32 | i;
+                    node.put(id, &id.to_le_bytes()).unwrap();
+                    if i % 3 == 0 {
+                        assert_eq!(node.get(id).unwrap().unwrap(), id.to_le_bytes());
+                    }
+                    if i % 7 == 0 {
+                        node.remove(id).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        cloud.shutdown();
+    }
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+use trinity_memstore::StoreError;
+use trinity_net::{MachineId, NetError};
+use trinity_tfs::TfsError;
+
+/// Errors surfaced by memory-cloud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// Local trunk storage failed.
+    Store(StoreError),
+    /// The network transfer failed (destination dead, timeout, shutdown).
+    Net(NetError),
+    /// TFS failed while persisting or reloading a trunk.
+    Tfs(TfsError),
+    /// The remote machine does not own the trunk even after a table
+    /// re-sync (persistent routing disagreement).
+    WrongOwner { trunk: u64, asked: MachineId },
+    /// A remote reply could not be decoded.
+    BadReply,
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::Store(e) => write!(f, "trunk store error: {e}"),
+            CloudError::Net(e) => write!(f, "network error: {e}"),
+            CloudError::Tfs(e) => write!(f, "TFS error: {e}"),
+            CloudError::WrongOwner { trunk, asked } => {
+                write!(f, "machine {asked} does not own trunk {trunk} (stale addressing tables)")
+            }
+            CloudError::BadReply => write!(f, "malformed remote reply"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+impl From<StoreError> for CloudError {
+    fn from(e: StoreError) -> Self {
+        CloudError::Store(e)
+    }
+}
+
+impl From<NetError> for CloudError {
+    fn from(e: NetError) -> Self {
+        CloudError::Net(e)
+    }
+}
+
+impl From<TfsError> for CloudError {
+    fn from(e: TfsError) -> Self {
+        CloudError::Tfs(e)
+    }
+}

@@ -1,0 +1,62 @@
+//! The Trinity memory cloud (paper §3).
+//!
+//! The memory cloud organizes the memory of multiple machines into "a
+//! globally addressable, distributed memory address space": a distributed
+//! key-value store partitioned into `2^p` memory trunks, with `2^p > m` so
+//! each machine hosts several trunks.
+//!
+//! Addressing a cell takes the paper's two hashing steps (Figure 3):
+//!
+//! 1. hash the 64-bit cell id to a p-bit trunk index `i`;
+//! 2. look trunk `i` up in the **addressing table** — `2^p` slots, each
+//!    naming the machine currently hosting that trunk — then hash again
+//!    into that trunk's own hash table for the cell's offset and size.
+//!
+//! Every machine keeps a replica of the addressing table; the *primary*
+//! replica lives on the leader and is persisted in TFS before any update
+//! commits (§6.2). A machine that fails to load a data item re-syncs its
+//! replica from TFS and retries — exactly the paper's staleness protocol.
+//! Machines join and leave the cloud by reassigning addressing-table slots
+//! and reloading the affected trunks from their TFS backups.
+//!
+//! # Example
+//!
+//! ```
+//! use trinity_memcloud::{CloudConfig, MemoryCloud};
+//!
+//! let cloud = MemoryCloud::new(CloudConfig::small(4));
+//! let node = cloud.node(0);
+//! let id = node.alloc_id();
+//! node.put(id, b"a cell visible from every machine").unwrap();
+//! assert_eq!(
+//!     cloud.node(3).get(id).unwrap().unwrap(),
+//!     b"a cell visible from every machine"
+//! );
+//! cloud.shutdown();
+//! ```
+
+mod cloud;
+mod error;
+mod node;
+mod table;
+mod wire;
+
+pub use cloud::{CloudConfig, MemoryCloud};
+pub use error::CloudError;
+pub use node::CloudNode;
+pub use table::AddressingTable;
+
+pub use trinity_memstore::CellId;
+
+/// Result alias for memory-cloud operations.
+pub type Result<T> = std::result::Result<T, CloudError>;
+
+/// Memory-cloud protocol ids (range reserved by `trinity_net::proto`).
+pub(crate) mod proto {
+    use trinity_net::ProtoId;
+    pub const GET: ProtoId = trinity_net::proto::FIRST_MEMCLOUD;
+    pub const PUT: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 1;
+    pub const REMOVE: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 2;
+    pub const APPEND: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 3;
+    pub const CONTAINS: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 4;
+}

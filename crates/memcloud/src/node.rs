@@ -1,0 +1,338 @@
+//! One machine's view of the memory cloud.
+//!
+//! A [`CloudNode`] owns the machine-local trunks, a replica of the
+//! addressing table, and the protocol handlers that serve remote cell
+//! accesses. All cell operations are *location transparent*: the node
+//! routes by the two-step hash and either touches its own trunks or issues
+//! a one-sided call to the owner.
+//!
+//! Staleness protocol (paper §6.2): when an access fails — the owner is
+//! unreachable, or it answers "not owner" — the node re-syncs its table
+//! replica from the TFS primary and retries once. If the table hasn't
+//! changed (no recovery happened yet), the error propagates to the caller,
+//! who is expected to inform the leader (see `trinity-core`'s recovery).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use trinity_memstore::{LocalStore, LocalStoreConfig, StoreError, TrunkSnapshot, TrunkStats};
+use trinity_net::{Endpoint, MachineId, NetError};
+use trinity_tfs::Tfs;
+
+use crate::proto;
+use crate::table::{AddressingTable, TFS_TABLE_PATH};
+use crate::wire;
+use crate::{CellId, CloudError, Result};
+
+/// TFS path of a trunk's backup image.
+pub fn trunk_backup_path(gid: u64) -> String {
+    format!("trunks/{gid:08}")
+}
+
+/// One machine of the memory cloud.
+pub struct CloudNode {
+    machine: MachineId,
+    endpoint: Arc<Endpoint>,
+    store: Arc<LocalStore>,
+    table: RwLock<AddressingTable>,
+    tfs: Tfs,
+    id_counter: AtomicU64,
+}
+
+impl std::fmt::Debug for CloudNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudNode").field("machine", &self.machine).finish()
+    }
+}
+
+impl CloudNode {
+    /// Bring up a node: create its trunks per the initial table and
+    /// register the cell-access protocol handlers.
+    pub fn start(
+        endpoint: Arc<Endpoint>,
+        store_cfg: LocalStoreConfig,
+        tfs: Tfs,
+        initial_table: AddressingTable,
+    ) -> Arc<Self> {
+        let machine = endpoint.machine();
+        let store = Arc::new(LocalStore::new(store_cfg));
+        for gid in initial_table.trunks_of(machine) {
+            store.ensure_trunk(gid);
+        }
+        let node = Arc::new(CloudNode {
+            machine,
+            endpoint,
+            store,
+            table: RwLock::new(initial_table),
+            tfs,
+            id_counter: AtomicU64::new(1),
+        });
+        node.register_handlers();
+        node
+    }
+
+    fn register_handlers(self: &Arc<Self>) {
+        let ops: [(u16, fn(&CloudNode, CellId, &[u8]) -> Vec<u8>); 5] = [
+            (proto::GET, CloudNode::handle_get),
+            (proto::PUT, CloudNode::handle_put),
+            (proto::REMOVE, CloudNode::handle_remove),
+            (proto::APPEND, CloudNode::handle_append),
+            (proto::CONTAINS, CloudNode::handle_contains),
+        ];
+        for (pid, op) in ops {
+            let node = Arc::clone(self);
+            self.endpoint.register(pid, move |_src, data| {
+                let (id, body) = match wire::decode_req(data) {
+                    Some(x) => x,
+                    None => return Some(wire::reply(wire::STORE_ERR, b"")),
+                };
+                if !node.owns(id) {
+                    return Some(wire::reply(wire::NOT_OWNER, b""));
+                }
+                Some(op(&node, id, body))
+            });
+        }
+    }
+
+    /// This node's machine id.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The node's network endpoint.
+    pub fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.endpoint
+    }
+
+    /// The machine-local trunk store.
+    pub fn store(&self) -> &Arc<LocalStore> {
+        &self.store
+    }
+
+    /// A copy of the current addressing-table replica.
+    pub fn table(&self) -> AddressingTable {
+        self.table.read().clone()
+    }
+
+    /// Allocate a globally unique cell id: the machine id in the top 16
+    /// bits, a local counter below. Never collides across machines and
+    /// never produces the reserved `u64::MAX`.
+    pub fn alloc_id(&self) -> CellId {
+        ((self.machine.0 as u64) << 48) | self.id_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn owns(&self, id: CellId) -> bool {
+        let t = self.table.read();
+        t.machine_of(id) == self.machine
+    }
+
+    fn route(&self, id: CellId) -> (u64, MachineId) {
+        let t = self.table.read();
+        let trunk = t.trunk_of(id);
+        (trunk, t.machine_for(trunk))
+    }
+
+    // ------------------------------------------------------------------
+    // Local handler bodies
+    // ------------------------------------------------------------------
+
+    fn local_trunk(&self, id: CellId) -> Arc<trinity_memstore::Trunk> {
+        let gid = self.table.read().trunk_of(id);
+        self.store.ensure_trunk(gid)
+    }
+
+    fn handle_get(&self, id: CellId, _body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).get_owned(id) {
+            Some(bytes) => wire::reply(wire::OK, &bytes),
+            None => wire::reply(wire::NOT_FOUND, b""),
+        }
+    }
+
+    fn handle_put(&self, id: CellId, body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).put(id, body) {
+            Ok(()) => wire::reply(wire::OK, b""),
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_remove(&self, id: CellId, _body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).remove(id) {
+            Ok(()) => wire::reply(wire::OK, b""),
+            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_append(&self, id: CellId, body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).append(id, body) {
+            Ok(()) => wire::reply(wire::OK, b""),
+            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_contains(&self, id: CellId, _body: &[u8]) -> Vec<u8> {
+        if self.local_trunk(id).contains(id) {
+            wire::reply(wire::OK, b"")
+        } else {
+            wire::reply(wire::NOT_FOUND, b"")
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Location-transparent cell operations
+    // ------------------------------------------------------------------
+
+    fn remote_op(&self, pid: u16, id: CellId, body: &[u8]) -> Result<Option<Vec<u8>>> {
+        for attempt in 0..2 {
+            let (trunk, owner) = self.route(id);
+            if owner == self.machine {
+                // (Became) local — run the handler body directly.
+                let raw = match pid {
+                    proto::GET => self.handle_get(id, body),
+                    proto::PUT => self.handle_put(id, body),
+                    proto::REMOVE => self.handle_remove(id, body),
+                    proto::APPEND => self.handle_append(id, body),
+                    proto::CONTAINS => self.handle_contains(id, body),
+                    _ => unreachable!("unknown memcloud protocol {pid}"),
+                };
+                return wire::parse_reply(&raw, trunk, owner);
+            }
+            let outcome = self
+                .endpoint
+                .call(owner, pid, &wire::encode_req(id, body))
+                .map_err(CloudError::Net)
+                .and_then(|raw| wire::parse_reply(&raw, trunk, owner));
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(CloudError::WrongOwner { .. })
+                | Err(CloudError::Net(NetError::Unreachable(_)))
+                | Err(CloudError::Net(NetError::Timeout(..)))
+                    if attempt == 0 =>
+                {
+                    // Stale table or dead owner: re-sync from the TFS
+                    // primary and retry once.
+                    let _ = self.sync_table();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let (trunk, owner) = self.route(id);
+        Err(CloudError::WrongOwner { trunk, asked: owner })
+    }
+
+    /// Read a cell from wherever it lives.
+    pub fn get(&self, id: CellId) -> Result<Option<Vec<u8>>> {
+        self.remote_op(proto::GET, id, b"")
+    }
+
+    /// Insert or replace a cell.
+    pub fn put(&self, id: CellId, bytes: &[u8]) -> Result<()> {
+        self.remote_op(proto::PUT, id, bytes).map(|_| ())
+    }
+
+    /// Remove a cell. `Ok(true)` if it existed.
+    pub fn remove(&self, id: CellId) -> Result<bool> {
+        self.remote_op(proto::REMOVE, id, b"").map(|r| r.is_some())
+    }
+
+    /// Append bytes to a cell's payload. `Ok(false)` if the cell is absent.
+    pub fn append(&self, id: CellId, bytes: &[u8]) -> Result<bool> {
+        self.remote_op(proto::APPEND, id, bytes).map(|r| r.is_some())
+    }
+
+    /// Whether the cell exists anywhere in the cloud.
+    pub fn contains(&self, id: CellId) -> Result<bool> {
+        self.remote_op(proto::CONTAINS, id, b"").map(|r| r.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence & reconfiguration
+    // ------------------------------------------------------------------
+
+    /// Back one trunk up to TFS.
+    pub fn backup_trunk(&self, gid: u64) -> Result<()> {
+        if let Some(trunk) = self.store.trunk(gid) {
+            let snap = TrunkSnapshot::capture(&trunk);
+            self.tfs.write(&trunk_backup_path(gid), &snap.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Back all locally hosted trunks up to TFS (fault-tolerant data
+    /// persistence, paper §3).
+    pub fn backup_all(&self) -> Result<()> {
+        for gid in self.store.trunk_ids() {
+            self.backup_trunk(gid)?;
+        }
+        Ok(())
+    }
+
+    /// Reload a trunk from its TFS backup into the local store (used when
+    /// this machine absorbs a failed machine's trunk). Missing backups
+    /// yield an empty trunk — the data was never persisted, matching the
+    /// paper's durability contract.
+    pub fn reload_trunk(&self, gid: u64) -> Result<()> {
+        let trunk = self.store.ensure_trunk(gid);
+        match self.tfs.read(&trunk_backup_path(gid)) {
+            Ok(bytes) => {
+                let snap = TrunkSnapshot::decode(&bytes)
+                    .map_err(|_| CloudError::Tfs(trinity_tfs::TfsError::NotFound(trunk_backup_path(gid))))?;
+                snap.restore_into(&trunk)
+                    .map_err(|_| CloudError::Store(StoreError::OutOfMemory { requested: 0, reserved: 0 }))?;
+                Ok(())
+            }
+            Err(trinity_tfs::TfsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Adopt a new addressing table: reload newly owned trunks from TFS,
+    /// evict trunks that moved away. No-op for stale epochs.
+    pub fn install_table(&self, new: AddressingTable) -> Result<()> {
+        {
+            let cur = self.table.read();
+            if new.epoch <= cur.epoch {
+                return Ok(());
+            }
+        }
+        let old_mine: std::collections::BTreeSet<u64> = self.store.trunk_ids().into_iter().collect();
+        let new_mine: std::collections::BTreeSet<u64> = new.trunks_of(self.machine).into_iter().collect();
+        for &gid in new_mine.difference(&old_mine) {
+            self.reload_trunk(gid)?;
+        }
+        for &gid in old_mine.difference(&new_mine) {
+            self.store.evict(gid);
+        }
+        *self.table.write() = new;
+        Ok(())
+    }
+
+    /// Re-sync the table replica from the TFS primary ("a machine will
+    /// always sync up with the primary addressing table replica when it
+    /// fails to load a data item").
+    pub fn sync_table(&self) -> Result<bool> {
+        match self.tfs.read(TFS_TABLE_PATH) {
+            Ok(bytes) => {
+                if let Some(table) = AddressingTable::decode(&bytes) {
+                    let newer = table.epoch > self.table.read().epoch;
+                    if newer {
+                        self.install_table(table)?;
+                    }
+                    Ok(newer)
+                } else {
+                    Err(CloudError::BadReply)
+                }
+            }
+            Err(trinity_tfs::TfsError::NotFound(_)) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Machine-level storage statistics.
+    pub fn stats(&self) -> TrunkStats {
+        self.store.stats()
+    }
+}

@@ -1,0 +1,79 @@
+//! Wire encoding for the memory-cloud system protocols.
+//!
+//! Requests carry the cell id followed by the payload; replies carry a
+//! one-byte status followed by data. Deliberately minimal — these are the
+//! hot-path messages of every remote cell access.
+
+use crate::CloudError;
+
+/// Reply status codes.
+pub(crate) const OK: u8 = 0;
+pub(crate) const NOT_FOUND: u8 = 1;
+pub(crate) const NOT_OWNER: u8 = 2;
+pub(crate) const STORE_ERR: u8 = 3;
+
+pub(crate) fn encode_req(id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+pub(crate) fn decode_req(data: &[u8]) -> Option<(u64, &[u8])> {
+    if data.len() < 8 {
+        return None;
+    }
+    Some((u64::from_le_bytes(data[..8].try_into().unwrap()), &data[8..]))
+}
+
+pub(crate) fn reply(status: u8, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + data.len());
+    out.push(status);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Interpret a remote reply: `Ok(Some(bytes))` for OK, `Ok(None)` for
+/// NOT_FOUND, errors otherwise. `trunk`/`asked` contextualize NOT_OWNER.
+pub(crate) fn parse_reply(
+    data: &[u8],
+    trunk: u64,
+    asked: trinity_net::MachineId,
+) -> Result<Option<Vec<u8>>, CloudError> {
+    match data.first() {
+        Some(&OK) => Ok(Some(data[1..].to_vec())),
+        Some(&NOT_FOUND) => Ok(None),
+        Some(&NOT_OWNER) => Err(CloudError::WrongOwner { trunk, asked }),
+        Some(&STORE_ERR) => Err(CloudError::Store(trinity_memstore::StoreError::OutOfMemory {
+            requested: 0,
+            reserved: 0,
+        })),
+        _ => Err(CloudError::BadReply),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinity_net::MachineId;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = encode_req(0xDEAD_BEEF, b"payload");
+        let (id, body) = decode_req(&req).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF);
+        assert_eq!(body, b"payload");
+        assert_eq!(decode_req(b"short"), None);
+    }
+
+    #[test]
+    fn reply_statuses() {
+        assert_eq!(parse_reply(&reply(OK, b"x"), 0, MachineId(0)).unwrap(), Some(b"x".to_vec()));
+        assert_eq!(parse_reply(&reply(NOT_FOUND, b""), 0, MachineId(0)).unwrap(), None);
+        assert!(matches!(
+            parse_reply(&reply(NOT_OWNER, b""), 3, MachineId(1)),
+            Err(CloudError::WrongOwner { trunk: 3, asked: MachineId(1) })
+        ));
+        assert!(matches!(parse_reply(b"", 0, MachineId(0)), Err(CloudError::BadReply)));
+    }
+}

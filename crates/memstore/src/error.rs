@@ -1,0 +1,37 @@
+use std::fmt;
+
+/// Errors returned by trunk and store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The trunk's reserved region cannot hold the requested allocation,
+    /// even after defragmentation.
+    OutOfMemory {
+        /// Bytes requested (payload plus header).
+        requested: usize,
+        /// Bytes of reserved address space in the trunk.
+        reserved: usize,
+    },
+    /// The payload exceeds the maximum cell size supported by the
+    /// 32-bit in-trunk length fields.
+    CellTooLarge(usize),
+    /// A cell with this id already exists (returned by `insert_new`).
+    AlreadyExists(u64),
+    /// No cell with this id exists.
+    NotFound(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfMemory { requested, reserved } => write!(
+                f,
+                "trunk out of memory: requested {requested} bytes from a {reserved}-byte reservation"
+            ),
+            StoreError::CellTooLarge(n) => write!(f, "cell payload of {n} bytes exceeds the 32-bit cell size limit"),
+            StoreError::AlreadyExists(id) => write!(f, "cell {id:#x} already exists"),
+            StoreError::NotFound(id) => write!(f, "cell {id:#x} not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,80 @@
+//! Hash functions used across the memory cloud.
+//!
+//! Trinity addresses a cell in two hashing steps (paper §3, Figure 3):
+//!
+//! 1. the 64-bit cell id is hashed to a `p`-bit trunk index, selecting one of
+//!    the `2^p` memory trunks in the cloud, and
+//! 2. within a trunk, the id is hashed *again* into the trunk's own hash
+//!    table to find the cell's offset and size.
+//!
+//! Both steps use the finalizer below. It is a `splitmix64`-style avalanche
+//! mix: cheap (three shifts, two multiplies), statistically strong on
+//! integer keys, and — importantly for the addressing table — deterministic
+//! across machines, so every replica of the addressing table routes a given
+//! id identically.
+
+/// Avalanche-mix a 64-bit cell id into a 64-bit hash.
+///
+/// This is the `splitmix64` finalizer (Steele et al.); every input bit
+/// affects every output bit, which keeps both the trunk selection and the
+/// in-trunk probe sequence well distributed even for sequential ids.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a cell id to a trunk index in `[0, 2^p)`.
+///
+/// Uses the *high* bits of the mixed hash so that the in-trunk probe
+/// sequence (which uses the low bits) stays decorrelated from trunk
+/// selection.
+#[inline]
+pub fn trunk_of(id: u64, p: u32) -> u64 {
+    debug_assert!(p <= 32, "addressing tables larger than 2^32 slots are unsupported");
+    if p == 0 {
+        return 0;
+    }
+    mix64(id) >> (64 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_avalanches() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+    }
+
+    #[test]
+    fn trunk_of_is_in_range() {
+        for p in 0..=10 {
+            for id in 0..1000u64 {
+                assert!(trunk_of(id, p) < (1u64 << p).max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn trunk_of_distributes_sequential_ids() {
+        // 2^4 = 16 trunks, 16k sequential ids: each trunk should get close
+        // to 1k ids, certainly within 2x.
+        let p = 4;
+        let mut counts = [0usize; 16];
+        for id in 0..16_000u64 {
+            counts[trunk_of(id, p) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((500..=2000).contains(&c), "skewed trunk distribution: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Memory trunk storage for the Trinity memory cloud.
+//!
+//! This crate implements the machine-local half of Trinity's distributed
+//! key-value store (SIGMOD 2013, §3 and §6.1): *memory trunks* with circular
+//! memory management.
+//!
+//! A [`Trunk`] is a contiguous region of reserved memory into which key-value
+//! pairs (*cells*) are appended sequentially. Keys are 64-bit globally unique
+//! identifiers; values are blobs of arbitrary length. Each trunk carries its
+//! own hash table mapping a cell id to the cell's offset and size within the
+//! trunk, and each cell is protected by a spin lock used both for concurrency
+//! control and for *pinning* the cell against movement by the defragmentation
+//! pass.
+//!
+//! The allocator is the paper's circular scheme:
+//!
+//! * new cells are appended at the **append head**;
+//! * memory is committed page-by-page as the head advances;
+//! * shrinking, expanding, or removing cells leaves *gaps* (dead bytes);
+//! * a **defragmentation** pass slides live cells toward the append head and
+//!   releases the freed pages at the **committed tail**, so over time the
+//!   heads and the tail chase each other around the trunk in an endless
+//!   circular movement;
+//! * cell expansion uses **short-lived memory reservations**: an expanding
+//!   cell is given slack capacity so subsequent expansions are in-place, and
+//!   the unused slack is reclaimed by the next defragmentation pass.
+//!
+//! A [`LocalStore`] groups the multiple trunks hosted by one machine
+//! (the memory cloud is partitioned into `2^p` trunks with `2^p` larger than
+//! the machine count, so that trunk-level parallelism needs no locking and no
+//! single hash table grows too large).
+//!
+//! # Example
+//!
+//! ```
+//! use trinity_memstore::{Trunk, TrunkConfig};
+//!
+//! let trunk = Trunk::new(0, TrunkConfig::small());
+//! trunk.put(42, b"hello graph").unwrap();
+//! assert_eq!(trunk.get(42).unwrap().as_ref(), b"hello graph");
+//! trunk.update(42, b"hello memory cloud").unwrap();
+//! assert_eq!(trunk.get(42).unwrap().len(), 18);
+//! trunk.remove(42).unwrap();
+//! assert!(trunk.get(42).is_none());
+//! ```
+
+mod error;
+mod meta;
+mod snapshot;
+mod stats;
+mod store;
+mod table;
+mod trunk;
+
+pub mod hash;
+
+pub use error::StoreError;
+pub use snapshot::{SnapshotError, TrunkSnapshot};
+pub use stats::TrunkStats;
+pub use store::{DefragDaemon, LocalStore, LocalStoreConfig};
+pub use trunk::{CellGuard, CellMutGuard, DefragReport, Trunk, TrunkConfig};
+
+/// 64-bit globally unique cell identifier ("UID" in the paper).
+pub type CellId = u64;
+
+/// Result alias for fallible trunk operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

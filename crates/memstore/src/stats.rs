@@ -1,0 +1,90 @@
+/// Point-in-time statistics for one memory trunk.
+///
+/// The paper's circular memory manager is evaluated on three axes — fast
+/// allocation, efficient reallocation, and a *high memory utilization
+/// ratio* (§6.1). These counters expose all three so the E14 ablation can
+/// report them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrunkStats {
+    /// Reserved address-space size of the trunk.
+    pub reserved_bytes: usize,
+    /// Bytes currently committed (page-rounded accounting of the in-use
+    /// window; shrinks when defragmentation releases tail pages).
+    pub committed_bytes: usize,
+    /// Bytes inside the circular window `[committed tail, append head)`.
+    pub used_bytes: usize,
+    /// Sum of live cell payload sizes.
+    pub live_payload_bytes: usize,
+    /// Sum of live entry footprints (headers + capacity, slack included).
+    pub live_entry_bytes: usize,
+    /// Bytes in the window not owned by any live entry: tombstones, wrap
+    /// fillers and gaps awaiting defragmentation.
+    pub dead_bytes: usize,
+    /// Bytes of short-lived reservation slack currently granted to live
+    /// cells (reclaimed by the next defragmentation pass).
+    pub slack_bytes: usize,
+    /// Number of live cells.
+    pub cell_count: usize,
+    /// Completed defragmentation passes.
+    pub defrag_passes: u64,
+    /// Total payload bytes copied by defragmentation over the trunk's life.
+    pub bytes_moved: u64,
+}
+
+impl TrunkStats {
+    /// Live payload bytes as a fraction of committed memory — the paper's
+    /// memory utilization ratio. 1.0 for an empty trunk (nothing committed
+    /// is perfectly utilized).
+    pub fn utilization(&self) -> f64 {
+        if self.committed_bytes == 0 {
+            1.0
+        } else {
+            self.live_payload_bytes as f64 / self.committed_bytes as f64
+        }
+    }
+
+    /// Fraction of the in-use window that is dead (defragmentation
+    /// pressure).
+    pub fn dead_ratio(&self) -> f64 {
+        if self.used_bytes == 0 {
+            0.0
+        } else {
+            self.dead_bytes as f64 / self.used_bytes as f64
+        }
+    }
+
+    /// Merge per-trunk stats into machine-level totals.
+    pub fn merge(&mut self, other: &TrunkStats) {
+        self.reserved_bytes += other.reserved_bytes;
+        self.committed_bytes += other.committed_bytes;
+        self.used_bytes += other.used_bytes;
+        self.live_payload_bytes += other.live_payload_bytes;
+        self.live_entry_bytes += other.live_entry_bytes;
+        self.dead_bytes += other.dead_bytes;
+        self.slack_bytes += other.slack_bytes;
+        self.cell_count += other.cell_count;
+        self.defrag_passes += other.defrag_passes;
+        self.bytes_moved += other.bytes_moved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty() {
+        let s = TrunkStats::default();
+        assert_eq!(s.utilization(), 1.0);
+        assert_eq!(s.dead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = TrunkStats { cell_count: 1, used_bytes: 10, ..Default::default() };
+        let b = TrunkStats { cell_count: 2, used_bytes: 30, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cell_count, 3);
+        assert_eq!(a.used_bytes, 40);
+    }
+}

@@ -1,0 +1,1062 @@
+//! Memory trunks with circular memory management (paper §3, §6.1).
+//!
+//! A trunk is one shard of the memory cloud hosted on one machine. It holds
+//! key-value pairs ("cells") back to back in a single reserved memory region
+//! and manages them with the paper's circular scheme:
+//!
+//! ```text
+//!        reserved ............................................ reserved
+//!        |            committed             |
+//!   ┌────┴──────┬───────────────────────────┴──────┬───────────────┐
+//!   │  (free)   │ cell │ cell │ tomb │ cell │ cell │    (free)     │
+//!   └───────────┴──────┴──────┴──────┴──────┴──────┴───────────────┘
+//!               ^ committed tail                   ^ append head
+//! ```
+//!
+//! New cells are appended at the *append head*; removing or relocating a
+//! cell leaves a tombstone; the defragmentation pass walks from the
+//! *committed tail*, re-appends live cells at the head and reclaims the
+//! space they vacate, so the whole window crawls around the trunk in an
+//! endless circular movement. Cell expansion can leave *short-lived
+//! reservations* (slack capacity) so that a growing cell is not copied on
+//! every append; the slack is dropped the next time defragmentation moves
+//! the cell.
+//!
+//! # In-buffer entry format
+//!
+//! Every entry is 8-byte aligned:
+//!
+//! ```text
+//! +------------+------------+----------+--------------------------+
+//! | uid: u64   | cap: u32   | size:u32 | payload: align8(cap)     |
+//! +------------+------------+----------+--------------------------+
+//! ```
+//!
+//! `uid == u64::MAX` marks a tombstone (skipped, reclaimable); a single
+//! `u64::MAX - 1` word marks a wrap filler covering the rest of the buffer.
+//!
+//! # Locking protocol
+//!
+//! Three lock kinds exist: the trunk allocation mutex, the index `RwLock`,
+//! and per-cell spin locks. Deadlock freedom relies on these rules:
+//!
+//! 1. A thread never *blocks* on a cell spin lock while holding an index
+//!    guard — cell locks are acquired with `try_lock` under the index read
+//!    guard, retrying from the lookup on failure ([`Trunk::lock_cell`]).
+//! 2. A thread never waits on the allocation mutex while holding an index
+//!    guard.
+//! 3. The defragmentation pass (which holds the allocation mutex) only
+//!    `try_lock`s cell locks; a held lock means the cell is pinned in place
+//!    and the pass stops at it.
+//!
+//! The resulting wait-for edges are `spin lock → alloc mutex → index` with
+//! no cycle.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::StoreError;
+use crate::meta::{CellMeta, MetaSlab};
+use crate::stats::TrunkStats;
+use crate::table::IdTable;
+use crate::{CellId, Result};
+
+/// Entry header size: uid (8) + capacity (4) + size (4).
+pub(crate) const HEADER: usize = 16;
+/// Tombstone marker in the uid field.
+const TOMB: u64 = u64::MAX;
+/// Wrap filler marker: the rest of the buffer up to the reserved end is
+/// unused; scanning continues at offset 0.
+const WRAP: u64 = u64::MAX - 1;
+
+#[inline]
+fn align8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+/// Configuration for a single memory trunk.
+#[derive(Debug, Clone)]
+pub struct TrunkConfig {
+    /// Reserved address-space size of the trunk. The paper reserves 2 GB per
+    /// trunk; tests and simulations use much smaller trunks. Rounded up to a
+    /// multiple of `page_bytes`.
+    pub reserved_bytes: usize,
+    /// Commit granularity used for the committed-memory accounting.
+    pub page_bytes: usize,
+    /// Short-lived reservation factor for cell expansion: on relocation-
+    /// requiring growth the cell gets `growth * expansion_slack` extra
+    /// capacity (rounded to 8) so immediately following expansions stay
+    /// in place. `0.0` disables reservations (ablation E14).
+    pub expansion_slack: f64,
+}
+
+impl Default for TrunkConfig {
+    fn default() -> Self {
+        TrunkConfig { reserved_bytes: 64 << 20, page_bytes: 64 << 10, expansion_slack: 1.0 }
+    }
+}
+
+impl TrunkConfig {
+    /// A small trunk suitable for unit tests and doc examples.
+    pub fn small() -> Self {
+        TrunkConfig { reserved_bytes: 256 << 10, page_bytes: 4 << 10, expansion_slack: 1.0 }
+    }
+
+    /// A trunk with `bytes` of reserved space and default paging.
+    pub fn with_reserved(bytes: usize) -> Self {
+        TrunkConfig { reserved_bytes: bytes, ..TrunkConfig::default() }
+    }
+}
+
+/// Allocation state protected by the trunk's allocation mutex.
+#[derive(Debug)]
+struct AllocState {
+    /// Next append position.
+    head: usize,
+    /// Start of the in-use circular window.
+    tail: usize,
+    /// Bytes in the circular window `[tail, head)`; `used == reserved`
+    /// means completely full.
+    used: usize,
+    /// Committed-memory accounting (page-rounded high-water of `used`,
+    /// lowered when defragmentation releases pages).
+    committed: usize,
+    /// Number of completed defragmentation passes.
+    defrag_passes: u64,
+}
+
+/// Index protected by the trunk's `RwLock`: id → metadata slot, plus the
+/// slab owning the metadata records.
+#[derive(Debug)]
+struct Index {
+    table: IdTable,
+    slab: MetaSlab,
+}
+
+/// Report returned by [`Trunk::defragment`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragReport {
+    /// Live cells relocated toward the append head.
+    pub moved_cells: u64,
+    /// Payload bytes copied while relocating.
+    pub moved_bytes: u64,
+    /// Bytes reclaimed at the committed tail (tombstones, fillers, slack).
+    pub reclaimed_bytes: u64,
+    /// False if the pass stopped early at a pinned cell or because the
+    /// trunk was too full to relocate a cell.
+    pub completed: bool,
+}
+
+/// One memory trunk: a circularly managed slab of cells plus its hash
+/// table. All methods take `&self`; the trunk is internally synchronized
+/// and may be shared across threads (`Arc<Trunk>`).
+pub struct Trunk {
+    /// Global trunk id within the memory cloud (slot in the addressing table).
+    id: u64,
+    cfg: TrunkConfig,
+    buf: *mut u8,
+    layout: Layout,
+    reserved: usize,
+    alloc: Mutex<AllocState>,
+    index: RwLock<Index>,
+    /// Sum of live payload bytes.
+    live_payload: AtomicUsize,
+    /// Sum of live entry bytes (header + aligned capacity, i.e. including
+    /// reservation slack).
+    live_entry: AtomicUsize,
+    /// Sum of live entry bytes if every capacity were shrunk to its size
+    /// (used to report how much slack reservations currently hold).
+    live_tight: AtomicUsize,
+    bytes_moved: AtomicUsize,
+}
+
+// SAFETY: the raw buffer is only accessed under the locking protocol
+// described in the module docs — every byte of the buffer is reachable by at
+// most one writer at a time (the allocating thread before publication, a
+// cell-lock holder, or the defragmentation pass under the allocation mutex),
+// and readers always hold the owning cell's spin lock.
+unsafe impl Send for Trunk {}
+unsafe impl Sync for Trunk {}
+
+impl Drop for Trunk {
+    fn drop(&mut self) {
+        // SAFETY: `buf` was allocated with exactly `layout` in `Trunk::new`.
+        unsafe { dealloc(self.buf, self.layout) }
+    }
+}
+
+impl std::fmt::Debug for Trunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trunk")
+            .field("id", &self.id)
+            .field("reserved", &self.reserved)
+            .field("cells", &self.cell_count())
+            .finish()
+    }
+}
+
+impl Trunk {
+    /// Create an empty trunk with the given global id.
+    ///
+    /// The full reserved region is allocated zeroed up front; like the
+    /// paper's reserve/commit split, untouched pages cost no physical
+    /// memory (the OS backs them lazily), while the `committed` statistic
+    /// models the explicit page commits the paper performs.
+    pub fn new(id: u64, cfg: TrunkConfig) -> Self {
+        let page = cfg.page_bytes.max(8).next_power_of_two();
+        let reserved = align8(cfg.reserved_bytes.max(2 * page)).next_multiple_of(page);
+        let layout = Layout::from_size_align(reserved, 8).expect("valid trunk layout");
+        // SAFETY: layout has nonzero size.
+        let buf = unsafe { alloc_zeroed(layout) };
+        assert!(!buf.is_null(), "trunk allocation of {reserved} bytes failed");
+        Trunk {
+            id,
+            cfg: TrunkConfig { page_bytes: page, reserved_bytes: reserved, ..cfg },
+            buf,
+            layout,
+            reserved,
+            alloc: Mutex::new(AllocState { head: 0, tail: 0, used: 0, committed: 0, defrag_passes: 0 }),
+            index: RwLock::new(Index { table: IdTable::new(), slab: MetaSlab::new() }),
+            live_payload: AtomicUsize::new(0),
+            live_entry: AtomicUsize::new(0),
+            live_tight: AtomicUsize::new(0),
+            bytes_moved: AtomicUsize::new(0),
+        }
+    }
+
+    /// Global trunk id (the addressing-table slot this trunk occupies).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of live cells.
+    pub fn cell_count(&self) -> usize {
+        self.index.read().table.len()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> TrunkStats {
+        let st = self.alloc.lock();
+        let live_entry = self.live_entry.load(Ordering::Relaxed);
+        TrunkStats {
+            reserved_bytes: self.reserved,
+            committed_bytes: st.committed,
+            used_bytes: st.used,
+            live_payload_bytes: self.live_payload.load(Ordering::Relaxed),
+            live_entry_bytes: live_entry,
+            dead_bytes: st.used.saturating_sub(live_entry),
+            slack_bytes: live_entry.saturating_sub(self.live_tight.load(Ordering::Relaxed)),
+            cell_count: self.index.read().table.len(),
+            defrag_passes: st.defrag_passes,
+            bytes_moved: self.bytes_moved.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw buffer helpers. All offsets are 8-aligned and in-bounds by
+    // construction (produced by `allocate` / header scans).
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn read_u64(&self, off: usize) -> u64 {
+        debug_assert!(off + 8 <= self.reserved && off % 8 == 0);
+        // SAFETY: in-bounds and 8-aligned. Header words are accessed
+        // atomically because the defragmentation scan reads headers that a
+        // cell-lock holder may be rewriting in place (the size field).
+        unsafe { (*(self.buf.add(off) as *const std::sync::atomic::AtomicU64)).load(Ordering::Acquire) }
+    }
+
+    #[inline]
+    fn write_u64(&self, off: usize, v: u64) {
+        debug_assert!(off + 8 <= self.reserved && off % 8 == 0);
+        // SAFETY: as above; see read_u64 for why this is atomic.
+        unsafe {
+            (*(self.buf.add(off) as *const std::sync::atomic::AtomicU64)).store(v, Ordering::Release)
+        }
+    }
+
+    #[inline]
+    fn read_header(&self, off: usize) -> (u64, u32, u32) {
+        let uid = self.read_u64(off);
+        let capsz = self.read_u64(off + 8);
+        (uid, capsz as u32, (capsz >> 32) as u32)
+    }
+
+    #[inline]
+    fn write_header(&self, off: usize, uid: u64, cap: u32, size: u32) {
+        self.write_u64(off, uid);
+        self.write_u64(off + 8, (cap as u64) | ((size as u64) << 32));
+    }
+
+    #[inline]
+    fn payload_ptr(&self, off: usize) -> *mut u8 {
+        // SAFETY: in-bounds for any entry offset produced by `allocate`.
+        unsafe { self.buf.add(off + HEADER) }
+    }
+
+    #[inline]
+    fn entry_len(cap: u32) -> usize {
+        HEADER + align8(cap as usize)
+    }
+
+    fn write_tombstone(&self, off: usize, cap: u32) {
+        self.write_header(off, TOMB, cap, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate `need` bytes (entry length, 8-aligned) from the circular
+    /// window, returning the entry offset. Writes a wrap filler if the
+    /// entry cannot fit contiguously before the reserved end.
+    fn allocate_locked(&self, st: &mut AllocState, need: usize) -> Result<usize> {
+        debug_assert_eq!(need % 8, 0);
+        let r = self.reserved;
+        let free = r - st.used;
+        if need > free {
+            return Err(StoreError::OutOfMemory { requested: need, reserved: r });
+        }
+        let off;
+        if st.used == 0 {
+            // Empty window: restart at the current head position.
+            off = if st.head + need <= r { st.head } else { 0 };
+            st.tail = off;
+            st.head = off + need;
+            st.used = need;
+        } else if st.head > st.tail || (st.head == st.tail && st.used == 0) {
+            // Non-wrapped window.
+            let at_end = r - st.head;
+            if need <= at_end {
+                off = st.head;
+                st.head += need;
+                st.used += need;
+            } else {
+                // Wrap: the remainder at the end becomes a filler.
+                if at_end + need > free {
+                    return Err(StoreError::OutOfMemory { requested: need, reserved: r });
+                }
+                if at_end > 0 {
+                    self.write_u64(st.head, WRAP);
+                }
+                st.used += at_end;
+                off = 0;
+                st.head = need;
+                st.used += need;
+            }
+        } else {
+            // Wrapped window (head <= tail with used > 0): free gap is
+            // [head, tail).
+            let gap = st.tail - st.head;
+            if need > gap {
+                return Err(StoreError::OutOfMemory { requested: need, reserved: r });
+            }
+            off = st.head;
+            st.head += need;
+            st.used += need;
+        }
+        if st.head == r {
+            st.head = 0;
+        }
+        st.committed = st.committed.max(st.used.next_multiple_of(self.cfg.page_bytes)).min(r);
+        Ok(off)
+    }
+
+    /// Allocate with one defragmentation retry on exhaustion.
+    fn allocate(&self, need: usize) -> Result<usize> {
+        if need > self.reserved {
+            return Err(StoreError::OutOfMemory { requested: need, reserved: self.reserved });
+        }
+        {
+            let mut st = self.alloc.lock();
+            match self.allocate_locked(&mut st, need) {
+                Ok(off) => return Ok(off),
+                Err(_) => {}
+            }
+        }
+        self.defragment();
+        let mut st = self.alloc.lock();
+        self.allocate_locked(&mut st, need)
+    }
+
+    // ------------------------------------------------------------------
+    // Cell lock acquisition
+    // ------------------------------------------------------------------
+
+    /// Find the cell and acquire its spin lock without ever blocking on the
+    /// lock while holding the index guard (see module docs, rule 1).
+    ///
+    /// Returns a raw pointer to the cell's metadata; the pointer stays valid
+    /// while the lock is held, because slot reclamation requires the lock.
+    fn lock_cell(&self, id: CellId) -> Option<*const CellMeta> {
+        loop {
+            {
+                let idx = self.index.read();
+                let slot = idx.table.get(id)?;
+                let meta = idx.slab.get_ptr(slot);
+                // SAFETY: `meta` points into the slab while we hold the
+                // index read guard; slab entries never move.
+                if unsafe { (*meta).try_lock() } {
+                    return Some(meta);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public cell operations
+    // ------------------------------------------------------------------
+
+    /// Insert or replace the cell `id` with `payload`.
+    pub fn put(&self, id: CellId, payload: &[u8]) -> Result<()> {
+        if let Some(meta) = self.lock_cell(id) {
+            // SAFETY: lock held; released by `update_locked`'s caller below.
+            let res = self.update_locked(meta, payload, id);
+            unsafe { (*meta).unlock() };
+            return res;
+        }
+        self.insert_fresh(id, payload, false)
+    }
+
+    /// Insert a new cell, failing with [`StoreError::AlreadyExists`] if the
+    /// id is taken.
+    pub fn insert_new(&self, id: CellId, payload: &[u8]) -> Result<()> {
+        self.insert_fresh(id, payload, true)
+    }
+
+    fn check_len(&self, len: usize) -> Result<u32> {
+        if len > u32::MAX as usize / 2 || Self::entry_len(len as u32) + self.cfg.page_bytes > self.reserved {
+            return Err(StoreError::CellTooLarge(len));
+        }
+        Ok(len as u32)
+    }
+
+    fn insert_fresh(&self, id: CellId, payload: &[u8], must_be_new: bool) -> Result<()> {
+        let size = self.check_len(payload.len())?;
+        loop {
+            let cap = size;
+            let need = Self::entry_len(cap);
+            let off = self.allocate(need)?;
+            self.write_header(off, id, cap, size);
+            // SAFETY: the freshly allocated region is unpublished and
+            // exclusively ours.
+            unsafe {
+                std::ptr::copy_nonoverlapping(payload.as_ptr(), self.payload_ptr(off), payload.len());
+            }
+            let mut idx = self.index.write();
+            if idx.table.get(id).is_some() {
+                drop(idx);
+                // Raced with a concurrent insert of the same id: release our
+                // region and retry through the update path.
+                self.write_tombstone(off, cap);
+                if must_be_new {
+                    return Err(StoreError::AlreadyExists(id));
+                }
+                if let Some(meta) = self.lock_cell(id) {
+                    let res = self.update_locked(meta, payload, id);
+                    // SAFETY: lock_cell acquired the lock.
+                    unsafe { (*meta).unlock() };
+                    return res;
+                }
+                // It vanished again; retry the fresh insert.
+                continue;
+            }
+            let slot = idx.slab.alloc(off as u32);
+            idx.table.insert(id, slot);
+            drop(idx);
+            self.live_payload.fetch_add(size as usize, Ordering::Relaxed);
+            self.live_entry.fetch_add(need, Ordering::Relaxed);
+            self.live_tight.fetch_add(Self::entry_len(size), Ordering::Relaxed);
+            return Ok(());
+        }
+    }
+
+    /// Rewrite the payload of a locked cell, in place when it fits within
+    /// the cell's capacity, relocating with a short-lived reservation
+    /// otherwise. Caller holds the cell lock and is responsible for
+    /// releasing it.
+    fn update_locked(&self, meta: *const CellMeta, payload: &[u8], id: CellId) -> Result<()> {
+        let new_size = self.check_len(payload.len())?;
+        // SAFETY: caller holds the cell lock, so `meta` is valid and the
+        // cell cannot move underneath us.
+        let meta = unsafe { &*meta };
+        let off = meta.offset() as usize;
+        let (uid, cap, old_size) = self.read_header(off);
+        debug_assert_eq!(uid, id);
+        if new_size <= cap {
+            // In-place rewrite.
+            // SAFETY: we own the entry via its lock; region is in-bounds.
+            unsafe {
+                std::ptr::copy_nonoverlapping(payload.as_ptr(), self.payload_ptr(off), payload.len());
+            }
+            self.write_header(off, id, cap, new_size);
+            self.fixup_size_counters(cap, old_size, cap, new_size);
+            return Ok(());
+        }
+        // Relocation: grant reservation slack proportional to the growth so
+        // steadily growing cells (graph nodes gaining edges) are not copied
+        // on every append. The slack is reclaimed by the next defrag pass.
+        let growth = new_size as usize - cap as usize;
+        let slack = (growth as f64 * self.cfg.expansion_slack) as usize;
+        let new_cap = self
+            .check_len((new_size as usize + slack).min(u32::MAX as usize / 2))
+            .unwrap_or(new_size);
+        let need = Self::entry_len(new_cap);
+        let new_off = self.allocate(need)?;
+        self.write_header(new_off, id, new_cap, new_size);
+        // SAFETY: fresh unpublished region.
+        unsafe {
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), self.payload_ptr(new_off), payload.len());
+        }
+        // Tombstone the old entry and publish the new offset.
+        self.write_tombstone(off, cap);
+        meta.set_offset(new_off as u32);
+        self.live_entry.fetch_add(need, Ordering::Relaxed);
+        self.live_entry.fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
+        self.live_tight.fetch_add(Self::entry_len(new_size), Ordering::Relaxed);
+        self.live_tight.fetch_sub(Self::entry_len(old_size), Ordering::Relaxed);
+        self.live_payload.fetch_add(new_size as usize, Ordering::Relaxed);
+        self.live_payload.fetch_sub(old_size as usize, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn fixup_size_counters(&self, _old_cap: u32, old_size: u32, _new_cap: u32, new_size: u32) {
+        if new_size >= old_size {
+            self.live_payload.fetch_add((new_size - old_size) as usize, Ordering::Relaxed);
+            self.live_tight
+                .fetch_add(Self::entry_len(new_size) - Self::entry_len(old_size), Ordering::Relaxed);
+        } else {
+            self.live_payload.fetch_sub((old_size - new_size) as usize, Ordering::Relaxed);
+            self.live_tight
+                .fetch_sub(Self::entry_len(old_size) - Self::entry_len(new_size), Ordering::Relaxed);
+        }
+    }
+
+    /// Replace the payload of an existing cell.
+    pub fn update(&self, id: CellId, payload: &[u8]) -> Result<()> {
+        let meta = self.lock_cell(id).ok_or(StoreError::NotFound(id))?;
+        let res = self.update_locked(meta, payload, id);
+        // SAFETY: lock_cell acquired the lock.
+        unsafe { (*meta).unlock() };
+        res
+    }
+
+    /// Append `extra` to the cell's payload (the growing-cell fast path the
+    /// short-lived reservations exist for — e.g. adding edges to a node).
+    pub fn append(&self, id: CellId, extra: &[u8]) -> Result<()> {
+        let meta_ptr = self.lock_cell(id).ok_or(StoreError::NotFound(id))?;
+        // SAFETY: lock held until the explicit unlock below.
+        let meta = unsafe { &*meta_ptr };
+        let off = meta.offset() as usize;
+        let (_, cap, size) = self.read_header(off);
+        let new_size = size as usize + extra.len();
+        let res = if new_size <= cap as usize {
+            // Entirely in place: copy only the appended suffix.
+            // SAFETY: we own the entry via its lock.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    extra.as_ptr(),
+                    self.payload_ptr(off).add(size as usize),
+                    extra.len(),
+                );
+            }
+            self.write_header(off, id, cap, new_size as u32);
+            self.fixup_size_counters(cap, size, cap, new_size as u32);
+            Ok(())
+        } else {
+            // Build the grown payload and go through the relocating update.
+            let mut grown = Vec::with_capacity(new_size);
+            // SAFETY: reading our own locked entry.
+            unsafe {
+                grown.extend_from_slice(std::slice::from_raw_parts(self.payload_ptr(off), size as usize));
+            }
+            grown.extend_from_slice(extra);
+            self.update_locked(meta_ptr, &grown, id)
+        };
+        meta.unlock();
+        res
+    }
+
+    /// Read a cell, returning a guard that pins it in place. `None` if the
+    /// id is absent.
+    pub fn get(&self, id: CellId) -> Option<CellGuard<'_>> {
+        let meta = self.lock_cell(id)?;
+        // SAFETY: lock held; guard releases it on drop.
+        let off = unsafe { (*meta).offset() } as usize;
+        let (_, _, size) = self.read_header(off);
+        Some(CellGuard { trunk: self, meta, ptr: self.payload_ptr(off), len: size as usize })
+    }
+
+    /// Read a cell into an owned buffer.
+    pub fn get_owned(&self, id: CellId) -> Option<Vec<u8>> {
+        self.get(id).map(|g| g.to_vec())
+    }
+
+    /// Mutably access a cell's current payload in place (length cannot
+    /// change through the guard; use [`Trunk::update`] / [`Trunk::append`]
+    /// to resize).
+    pub fn get_mut(&self, id: CellId) -> Option<CellMutGuard<'_>> {
+        let meta = self.lock_cell(id)?;
+        // SAFETY: lock held; guard releases it on drop.
+        let off = unsafe { (*meta).offset() } as usize;
+        let (_, _, size) = self.read_header(off);
+        Some(CellMutGuard { trunk: self, meta, ptr: self.payload_ptr(off), len: size as usize })
+    }
+
+    /// Whether the cell exists.
+    pub fn contains(&self, id: CellId) -> bool {
+        self.index.read().table.get(id).is_some()
+    }
+
+    /// Remove a cell.
+    pub fn remove(&self, id: CellId) -> Result<()> {
+        // Step 1: unpublish the mapping (keeping the slot allocated).
+        let (slot, meta) = {
+            let mut idx = self.index.write();
+            match idx.table.remove(id) {
+                Some(slot) => (slot, idx.slab.get_ptr(slot)),
+                None => return Err(StoreError::NotFound(id)),
+            }
+        };
+        // Step 2: wait for any guard holder to finish; after the mapping is
+        // gone nobody new can reach the slot, so plain spin is deadlock-free
+        // here (we hold no index guard).
+        // SAFETY: the slot stays allocated until we free it below.
+        let meta_ref = unsafe { &*meta };
+        meta_ref.lock();
+        let off = meta_ref.offset() as usize;
+        let (_, cap, size) = self.read_header(off);
+        self.write_tombstone(off, cap);
+        self.live_payload.fetch_sub(size as usize, Ordering::Relaxed);
+        self.live_entry.fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
+        self.live_tight.fetch_sub(Self::entry_len(size), Ordering::Relaxed);
+        meta_ref.unlock();
+        // Step 3: recycle the slot. No other thread can be addressing it.
+        self.index.write().slab.free(slot);
+        Ok(())
+    }
+
+    /// Visit every live cell. Each visit is individually consistent (the
+    /// cell's lock is held during the callback); the set of cells visited
+    /// is the index contents at call time, minus cells removed concurrently.
+    pub fn for_each_cell<F: FnMut(CellId, &[u8])>(&self, mut f: F) {
+        let ids: Vec<CellId> = self.index.read().table.iter().map(|(k, _)| k).collect();
+        for id in ids {
+            if let Some(guard) = self.get(id) {
+                f(id, &guard);
+            }
+        }
+    }
+
+    /// All live cell ids at call time.
+    pub fn cell_ids(&self) -> Vec<CellId> {
+        self.index.read().table.iter().map(|(k, _)| k).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Defragmentation (paper §6.1)
+    // ------------------------------------------------------------------
+
+    /// Run one defragmentation pass: walk the committed window from the
+    /// tail, re-append live cells at the head (dropping reservation slack),
+    /// and reclaim everything walked over. Stops early at a pinned cell
+    /// (one whose spin lock is held) or when the trunk is too full to
+    /// relocate a cell.
+    pub fn defragment(&self) -> DefragReport {
+        let mut report = DefragReport { completed: true, ..DefragReport::default() };
+        let mut st = self.alloc.lock();
+        let mut remaining = st.used;
+        let mut pos = st.tail;
+        while remaining > 0 {
+            if pos == self.reserved {
+                pos = 0;
+            }
+            // Read the uid word alone first: a WRAP filler may be only 8
+            // bytes long (when it sits 8 bytes from the reserved end), so
+            // reading a full 16-byte header there would run off the end.
+            let uid = self.read_u64(pos);
+            if uid == WRAP {
+                let len = self.reserved - pos;
+                remaining -= len;
+                st.used -= len;
+                pos = 0;
+                st.tail = 0;
+                report.reclaimed_bytes += len as u64;
+                continue;
+            }
+            let (uid, cap, size) = self.read_header(pos);
+            let len = Self::entry_len(cap);
+            if uid == TOMB {
+                remaining -= len;
+                st.used -= len;
+                pos += len;
+                st.tail = pos % self.reserved;
+                report.reclaimed_bytes += len as u64;
+                continue;
+            }
+            // Live cell: find its metadata and try to pin it ourselves.
+            let meta = {
+                let idx = self.index.read();
+                match idx.table.get(uid) {
+                    Some(slot) => idx.slab.get_ptr(slot),
+                    None => {
+                        // A concurrent `remove` has unpublished the mapping
+                        // but not yet tombstoned the header; treat the cell
+                        // as pinned and let the next pass reclaim it.
+                        report.completed = false;
+                        break;
+                    }
+                }
+            };
+            // SAFETY: slot can't be freed while the uid is still indexed,
+            // and removal needs the cell lock which conflicts with ours.
+            let meta_ref = unsafe { &*meta };
+            if !meta_ref.try_lock() {
+                // Pinned by a reader/writer: the tail cannot advance past it.
+                report.completed = false;
+                break;
+            }
+            if meta_ref.offset() as usize != pos {
+                // The entry at `pos` belongs to an older generation of this
+                // uid (a remove raced with a re-insert between our header
+                // read and the index lookup). Its tombstone write may still
+                // be in flight, so stop the pass; the next one reclaims it.
+                meta_ref.unlock();
+                let (uid2, cap2, _) = self.read_header(pos);
+                if uid2 == TOMB {
+                    let len2 = Self::entry_len(cap2);
+                    remaining -= len2;
+                    st.used -= len2;
+                    pos += len2;
+                    st.tail = pos % self.reserved;
+                    report.reclaimed_bytes += len2 as u64;
+                    continue;
+                }
+                report.completed = false;
+                break;
+            }
+            // Relocate: new capacity == size (reservation slack dropped).
+            let new_cap = size;
+            let need = Self::entry_len(new_cap);
+            let new_off = match self.allocate_locked(&mut st, need) {
+                Ok(o) => o,
+                Err(_) => {
+                    meta_ref.unlock();
+                    report.completed = false;
+                    break;
+                }
+            };
+            self.write_header(new_off, uid, new_cap, size);
+            // SAFETY: destination is fresh and unpublished; source is
+            // pinned by the cell lock we hold; regions cannot overlap
+            // because the allocator never hands out bytes inside the
+            // still-used window.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.payload_ptr(pos),
+                    self.payload_ptr(new_off),
+                    size as usize,
+                );
+            }
+            meta_ref.set_offset(new_off as u32);
+            meta_ref.unlock();
+            self.live_entry.fetch_add(need, Ordering::Relaxed);
+            self.live_entry.fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
+            self.bytes_moved.fetch_add(size as usize, Ordering::Relaxed);
+            report.moved_cells += 1;
+            report.moved_bytes += size as u64;
+            report.reclaimed_bytes += (len - need) as u64;
+            remaining -= len;
+            st.used -= len;
+            pos += len;
+            st.tail = pos % self.reserved;
+        }
+        // Release freed pages: the committed window shrinks back to the
+        // page-rounded live window.
+        st.committed = st.used.next_multiple_of(self.cfg.page_bytes).min(self.reserved);
+        st.defrag_passes += 1;
+        report
+    }
+}
+
+/// Shared read guard over one cell's payload. Holding the guard pins the
+/// cell: the defragmentation pass cannot move it and writers cannot touch it.
+pub struct CellGuard<'a> {
+    trunk: &'a Trunk,
+    meta: *const CellMeta,
+    ptr: *const u8,
+    len: usize,
+}
+
+impl std::ops::Deref for CellGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the cell lock is held for the guard's lifetime, so the
+        // payload is immovable and no writer can be active.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for CellGuard<'_> {
+    fn drop(&mut self) {
+        // SAFETY: we hold the lock acquired in `Trunk::get`.
+        unsafe { (*self.meta).unlock() }
+    }
+}
+
+impl std::fmt::Debug for CellGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CellGuard({} bytes in trunk {})", self.len, self.trunk.id)
+    }
+}
+
+/// Exclusive in-place write guard over one cell's payload.
+pub struct CellMutGuard<'a> {
+    trunk: &'a Trunk,
+    meta: *const CellMeta,
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl std::ops::Deref for CellMutGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: see CellGuard; additionally we are the only lock holder.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl std::ops::DerefMut for CellMutGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: exclusive access via the held cell lock.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for CellMutGuard<'_> {
+    fn drop(&mut self) {
+        // SAFETY: we hold the lock acquired in `Trunk::get_mut`.
+        unsafe { (*self.meta).unlock() }
+    }
+}
+
+impl std::fmt::Debug for CellMutGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CellMutGuard({} bytes in trunk {})", self.len, self.trunk.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Trunk {
+        Trunk::new(0, TrunkConfig { reserved_bytes: 8 << 10, page_bytes: 1 << 10, expansion_slack: 1.0 })
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let t = tiny();
+        t.put(1, b"alpha").unwrap();
+        t.put(2, b"beta").unwrap();
+        assert_eq!(t.get(1).unwrap().as_ref(), b"alpha");
+        assert_eq!(t.get(2).unwrap().as_ref(), b"beta");
+        assert!(t.get(3).is_none());
+        assert_eq!(t.cell_count(), 2);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let t = tiny();
+        t.put(7, b"").unwrap();
+        assert_eq!(t.get(7).unwrap().len(), 0);
+        t.append(7, b"xyz").unwrap();
+        assert_eq!(t.get(7).unwrap().as_ref(), b"xyz");
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let t = tiny();
+        t.put(1, b"0123456789").unwrap();
+        t.update(1, b"abc").unwrap(); // shrink in place
+        assert_eq!(t.get(1).unwrap().as_ref(), b"abc");
+        t.update(1, b"0123456789abcdef0123").unwrap(); // grow: relocates
+        assert_eq!(t.get(1).unwrap().as_ref(), b"0123456789abcdef0123");
+    }
+
+    #[test]
+    fn insert_new_rejects_duplicates() {
+        let t = tiny();
+        t.insert_new(9, b"x").unwrap();
+        assert_eq!(t.insert_new(9, b"y"), Err(StoreError::AlreadyExists(9)));
+        assert_eq!(t.get(9).unwrap().as_ref(), b"x");
+    }
+
+    #[test]
+    fn remove_then_get_is_none() {
+        let t = tiny();
+        t.put(5, b"payload").unwrap();
+        t.remove(5).unwrap();
+        assert!(t.get(5).is_none());
+        assert_eq!(t.remove(5), Err(StoreError::NotFound(5)));
+        assert_eq!(t.cell_count(), 0);
+    }
+
+    #[test]
+    fn append_uses_reservation_slack() {
+        let t = tiny();
+        t.put(1, b"ab").unwrap();
+        // First growth relocates and leaves slack; the second should be
+        // in place (no increase in live_entry beyond the first relocation).
+        t.append(1, &[b'x'; 16]).unwrap();
+        let entry_after_first = t.stats().live_entry_bytes;
+        t.append(1, &[b'y'; 8]).unwrap();
+        assert_eq!(t.stats().live_entry_bytes, entry_after_first, "second append should be in place");
+        let mut expect = b"ab".to_vec();
+        expect.extend_from_slice(&[b'x'; 16]);
+        expect.extend_from_slice(&[b'y'; 8]);
+        assert_eq!(t.get(1).unwrap().as_ref(), &expect[..]);
+    }
+
+    #[test]
+    fn defrag_reclaims_dead_space() {
+        let t = tiny();
+        for i in 0..40u64 {
+            t.put(i, &[i as u8; 64]).unwrap();
+        }
+        for i in 0..40u64 {
+            if i % 2 == 0 {
+                t.remove(i).unwrap();
+            }
+        }
+        let before = t.stats();
+        assert!(before.dead_bytes > 0);
+        let rep = t.defragment();
+        assert!(rep.completed);
+        assert!(rep.reclaimed_bytes > 0);
+        let after = t.stats();
+        assert_eq!(after.dead_bytes, 0);
+        assert!(after.used_bytes < before.used_bytes);
+        for i in 0..40u64 {
+            if i % 2 == 1 {
+                assert_eq!(t.get(i).unwrap().as_ref(), &[i as u8; 64][..], "cell {i} corrupted by defrag");
+            } else {
+                assert!(t.get(i).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn defrag_skips_pinned_cells() {
+        let t = tiny();
+        t.put(1, b"first").unwrap();
+        t.put(2, b"second").unwrap();
+        let guard = t.get(1).unwrap();
+        let rep = t.defragment();
+        assert!(!rep.completed, "pass should stop at the pinned cell");
+        assert_eq!(guard.as_ref(), b"first");
+        drop(guard);
+        let rep = t.defragment();
+        assert!(rep.completed);
+        assert_eq!(t.get(1).unwrap().as_ref(), b"first");
+        assert_eq!(t.get(2).unwrap().as_ref(), b"second");
+    }
+
+    #[test]
+    fn circular_reuse_survives_many_generations() {
+        // Total writes far exceed the reserved size: the window must wrap
+        // repeatedly and defrag must keep reclaiming.
+        let t = Trunk::new(0, TrunkConfig { reserved_bytes: 16 << 10, page_bytes: 1 << 10, expansion_slack: 1.0 });
+        for gen in 0u64..50 {
+            for i in 0..10u64 {
+                t.put(i, &[(gen + i) as u8; 200]).unwrap();
+            }
+            t.defragment();
+        }
+        for i in 0..10u64 {
+            assert_eq!(t.get(i).unwrap().as_ref(), &[(49 + i) as u8; 200][..]);
+        }
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let t = Trunk::new(0, TrunkConfig { reserved_bytes: 4 << 10, page_bytes: 1 << 10, expansion_slack: 0.0 });
+        let big = vec![0u8; 8 << 10];
+        match t.put(1, &big) {
+            Err(StoreError::OutOfMemory { .. }) | Err(StoreError::CellTooLarge(_)) => {}
+            other => panic!("expected allocation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fills_then_oom_then_recovers_after_remove() {
+        let t = Trunk::new(0, TrunkConfig { reserved_bytes: 4 << 10, page_bytes: 1 << 10, expansion_slack: 0.0 });
+        let mut stored = 0u64;
+        loop {
+            match t.put(stored, &[1u8; 256]) {
+                Ok(()) => stored += 1,
+                Err(StoreError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(stored >= 10);
+        t.remove(0).unwrap();
+        t.defragment();
+        t.put(1000, &[2u8; 256]).unwrap();
+        assert_eq!(t.get(1000).unwrap().as_ref(), &[2u8; 256][..]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::sync::Arc;
+        let t = Arc::new(Trunk::new(0, TrunkConfig::small()));
+        for i in 0..64u64 {
+            t.put(i, &[i as u8; 32]).unwrap();
+        }
+        let mut handles = Vec::new();
+        for tid in 0..4 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..500u64 {
+                    let id = (round * 7 + tid) % 64;
+                    if tid % 2 == 0 {
+                        if let Some(g) = t.get(id) {
+                            let b = g[0];
+                            assert!(g.iter().all(|&x| x == b), "torn read on cell {id}");
+                        }
+                    } else {
+                        let v = [(round % 251) as u8; 32];
+                        t.put(id, &v).unwrap();
+                    }
+                    if round % 100 == 0 {
+                        t.defragment();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.cell_count(), 64);
+    }
+
+    #[test]
+    fn stats_track_live_and_dead() {
+        let t = tiny();
+        t.put(1, &[0u8; 100]).unwrap();
+        t.put(2, &[0u8; 100]).unwrap();
+        let s = t.stats();
+        assert_eq!(s.live_payload_bytes, 200);
+        assert_eq!(s.cell_count, 2);
+        assert_eq!(s.dead_bytes, 0);
+        t.remove(1).unwrap();
+        let s = t.stats();
+        assert_eq!(s.live_payload_bytes, 100);
+        assert!(s.dead_bytes >= 100);
+        assert!(s.committed_bytes >= s.used_bytes);
+        assert!(s.reserved_bytes >= s.committed_bytes);
+    }
+}

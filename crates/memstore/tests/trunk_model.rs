@@ -1,0 +1,137 @@
+//! Model-based property tests for the memory trunk.
+//!
+//! The trunk must behave exactly like a `HashMap<u64, Vec<u8>>` under any
+//! interleaving of puts, appends, updates, removes and defragmentation
+//! passes — the circular allocator, wrap fillers, short-lived reservations
+//! and compaction are all invisible at the key-value level.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use trinity_memstore::{StoreError, Trunk, TrunkConfig, TrunkSnapshot};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Append(u64, Vec<u8>),
+    Update(u64, Vec<u8>),
+    Remove(u64),
+    Defrag,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u64..32;
+    let bytes = proptest::collection::vec(any::<u8>(), 0..120);
+    prop_oneof![
+        4 => (key.clone(), bytes.clone()).prop_map(|(k, b)| Op::Put(k, b)),
+        3 => (key.clone(), bytes.clone()).prop_map(|(k, b)| Op::Append(k, b)),
+        2 => (key.clone(), bytes).prop_map(|(k, b)| Op::Update(k, b)),
+        2 => key.clone().prop_map(Op::Remove),
+        1 => Just(Op::Defrag),
+    ]
+}
+
+fn check_against_model(ops: Vec<Op>, slack: f64) {
+    let trunk = Trunk::new(0, TrunkConfig {
+        reserved_bytes: 64 << 10,
+        page_bytes: 1 << 10,
+        expansion_slack: slack,
+    });
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    // Upper bound on any single allocation the trunk may have made: a cell
+    // of the largest length seen plus its expansion slack (slack is at
+    // most `factor * growth <= factor * len`). A wrap filler — the one
+    // kind of dead byte a *completed* defrag pass may leave behind — is
+    // always smaller than the allocation that triggered the wrap.
+    let mut max_need = 0usize;
+    let mut note_len = |max_need: &mut usize, len: usize| {
+        let bound = 16 + (((1.0 + slack) * len as f64) as usize + 7) / 8 * 8;
+        *max_need = (*max_need).max(bound);
+    };
+    for op in ops {
+        match op {
+            Op::Put(k, b) => {
+                trunk.put(k, &b).unwrap();
+                note_len(&mut max_need, b.len());
+                model.insert(k, b);
+            }
+            Op::Append(k, b) => match trunk.append(k, &b) {
+                Ok(()) => {
+                    let cell = model.get_mut(&k).expect("trunk accepted append on absent key");
+                    cell.extend_from_slice(&b);
+                    note_len(&mut max_need, cell.len());
+                }
+                Err(StoreError::NotFound(_)) => assert!(!model.contains_key(&k)),
+                Err(e) => panic!("unexpected append error: {e}"),
+            },
+            Op::Update(k, b) => match trunk.update(k, &b) {
+                Ok(()) => {
+                    assert!(model.contains_key(&k), "trunk updated an absent key");
+                    note_len(&mut max_need, b.len());
+                    model.insert(k, b);
+                }
+                Err(StoreError::NotFound(_)) => assert!(!model.contains_key(&k)),
+                Err(e) => panic!("unexpected update error: {e}"),
+            },
+            Op::Remove(k) => match trunk.remove(k) {
+                Ok(()) => {
+                    assert!(model.remove(&k).is_some(), "trunk removed an absent key");
+                }
+                Err(StoreError::NotFound(_)) => assert!(!model.contains_key(&k)),
+                Err(e) => panic!("unexpected remove error: {e}"),
+            },
+            Op::Defrag => {
+                let report = trunk.defragment();
+                assert!(report.completed, "no cell is pinned in this single-threaded test");
+                let stats = trunk.stats();
+                // A completed pass reclaims everything except, at most, one
+                // wrap filler written while re-appending cells past the
+                // reserved end; a filler is always smaller than the
+                // allocation that triggered it.
+                assert!(
+                    stats.dead_bytes <= max_need,
+                    "completed defrag left {} dead bytes (> largest allocation {})",
+                    stats.dead_bytes,
+                    max_need
+                );
+                assert_eq!(stats.slack_bytes, 0, "completed defrag must drop all reservation slack");
+            }
+        }
+        // Continuous invariants.
+        assert_eq!(trunk.cell_count(), model.len());
+        let stats = trunk.stats();
+        let payload: usize = model.values().map(|v| v.len()).sum();
+        assert_eq!(stats.live_payload_bytes, payload, "live payload accounting drifted");
+        assert!(stats.used_bytes <= stats.reserved_bytes);
+        assert!(stats.committed_bytes <= stats.reserved_bytes);
+    }
+    // Final full readback.
+    for (k, v) in &model {
+        assert_eq!(trunk.get_owned(*k).as_deref(), Some(v.as_slice()), "cell {k} corrupted");
+    }
+    // Snapshot/restore must preserve exactly the model contents.
+    let snap = TrunkSnapshot::capture(&trunk);
+    let restored = snap.restore(TrunkConfig::small()).unwrap();
+    assert_eq!(restored.cell_count(), model.len());
+    for (k, v) in &model {
+        assert_eq!(restored.get_owned(*k).as_deref(), Some(v.as_slice()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trunk_matches_hashmap_with_reservations(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        check_against_model(ops, 1.0);
+    }
+
+    #[test]
+    fn trunk_matches_hashmap_without_reservations(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        check_against_model(ops, 0.0);
+    }
+
+    #[test]
+    fn trunk_matches_hashmap_with_aggressive_slack(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        check_against_model(ops, 4.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! A machine's attachment to the fabric.
+//!
+//! Each Trinity component (slave, proxy, or client) owns one [`Endpoint`].
+//! The endpoint exposes the two communication paradigms the paper's TSL
+//! protocols compile to:
+//!
+//! * [`Endpoint::call`] — synchronous one-sided request/response;
+//! * [`Endpoint::send`] — asynchronous one-way messages, transparently
+//!   packed per destination and shipped in bulk.
+//!
+//! Two thread roles service an endpoint. A *receiver* thread drains the
+//! machine's inbox: response frames are completed directly (so a response
+//! can never be starved by busy handlers), while request and one-way
+//! frames are queued to a pool of *worker* threads that run the registered
+//! protocol handlers. Handlers are allowed to issue further `call`s and
+//! `send`s — the recursive asynchronous fan-out of the paper's online
+//! traversal queries (§5.1) runs exactly this way.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::envelope::{Envelope, Frame, FrameKind};
+use crate::error::NetError;
+use crate::fabric::{Item, Router};
+use crate::stats::NetStats;
+use crate::{proto, MachineId, ProtoId, Result};
+
+/// A protocol handler: receives the source machine and the request
+/// payload; returns the response payload (ignored for one-way frames).
+pub type Handler = Arc<dyn Fn(MachineId, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+pub(crate) enum Work {
+    Frame(MachineId, Frame),
+    Stop,
+}
+
+#[derive(Default)]
+struct PackBuf {
+    frames: Vec<Frame>,
+    bytes: usize,
+}
+
+/// One machine's attachment to the [`crate::Fabric`].
+pub struct Endpoint {
+    machine: MachineId,
+    router: Arc<Router>,
+    handlers: RwLock<HashMap<ProtoId, Handler>>,
+    pending: Mutex<HashMap<u64, Sender<Result<Vec<u8>>>>>,
+    corr: AtomicU64,
+    pack_bufs: Vec<Mutex<PackBuf>>,
+    pack_threshold: usize,
+    call_timeout: Duration,
+    pub(crate) work_tx: Sender<Work>,
+    stats: NetStats,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("machine", &self.machine).finish()
+    }
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        machine: MachineId,
+        router: Arc<Router>,
+        machines: usize,
+        pack_threshold: usize,
+        call_timeout: Duration,
+        work_tx: Sender<Work>,
+    ) -> Arc<Self> {
+        let ep = Arc::new(Endpoint {
+            machine,
+            router,
+            handlers: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            corr: AtomicU64::new(1),
+            pack_bufs: (0..machines).map(|_| Mutex::new(PackBuf::default())).collect(),
+            pack_threshold,
+            call_timeout,
+            work_tx,
+            stats: NetStats::default(),
+        });
+        // Liveness probe for the heartbeat monitor.
+        ep.register(proto::PING, |_src, _p| Some(Vec::new()));
+        ep
+    }
+
+    /// This endpoint's machine id.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Number of machines on the fabric.
+    pub fn machine_count(&self) -> usize {
+        self.pack_bufs.len()
+    }
+
+    /// Register (or replace) the handler for a protocol. The TSL compiler
+    /// generates one registration per `protocol` block; the handler body is
+    /// the user's algorithm logic, written "as if implementing a local
+    /// method" (paper §4.2).
+    pub fn register<F>(&self, proto: ProtoId, handler: F)
+    where
+        F: Fn(MachineId, &[u8]) -> Option<Vec<u8>> + Send + Sync + 'static,
+    {
+        self.handlers.write().insert(proto, Arc::new(handler));
+    }
+
+    /// Synchronous one-sided call: send `payload` to `dst` and block for
+    /// the response.
+    pub fn call(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) -> Result<Vec<u8>> {
+        if self.router.is_closed() {
+            return Err(NetError::Closed);
+        }
+        if self.router.is_dead(dst) {
+            return Err(NetError::Unreachable(dst));
+        }
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(corr, tx);
+        // Preserve per-destination FIFO with previously buffered one-ways.
+        self.flush_to(dst);
+        let env = Envelope {
+            src: self.machine,
+            dst,
+            frames: vec![Frame { proto, kind: FrameKind::Request(corr), payload: payload.to_vec() }],
+        };
+        if let Err(e) = self.transmit(env) {
+            self.pending.lock().remove(&corr);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.call_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.pending.lock().remove(&corr);
+                if self.router.is_dead(dst) {
+                    Err(NetError::Unreachable(dst))
+                } else {
+                    Err(NetError::Timeout(dst, proto))
+                }
+            }
+        }
+    }
+
+    /// Asynchronous one-way message. Messages to remote machines are
+    /// buffered per destination and shipped when the buffer exceeds the
+    /// packing threshold (or on [`Endpoint::flush`]); machine-local
+    /// messages are delivered immediately.
+    pub fn send(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) {
+        let frame = Frame { proto, kind: FrameKind::OneWay, payload: payload.to_vec() };
+        if dst == self.machine {
+            let _ = self.transmit(Envelope { src: self.machine, dst, frames: vec![frame] });
+            return;
+        }
+        let flush = {
+            let mut buf = self.pack_bufs[dst.0 as usize].lock();
+            buf.bytes += frame.wire_bytes() as usize;
+            buf.frames.push(frame);
+            buf.bytes >= self.pack_threshold
+        };
+        if flush {
+            self.flush_to(dst);
+        }
+    }
+
+    /// One-way message to every other machine (flushed immediately).
+    pub fn broadcast(&self, proto: ProtoId, payload: &[u8]) {
+        for m in 0..self.machine_count() as u16 {
+            let dst = MachineId(m);
+            if dst != self.machine {
+                self.send(dst, proto, payload);
+                self.flush_to(dst);
+            }
+        }
+    }
+
+    /// Ship any buffered one-way frames bound for `dst`.
+    pub fn flush_to(&self, dst: MachineId) {
+        if dst == self.machine {
+            return;
+        }
+        let mut buf = self.pack_bufs[dst.0 as usize].lock();
+        if buf.frames.is_empty() {
+            return;
+        }
+        let frames = std::mem::take(&mut buf.frames);
+        buf.bytes = 0;
+        // Transmit while holding the buffer lock so envelopes from this
+        // endpoint to `dst` enter the inbox in flush order.
+        let _ = self.transmit(Envelope { src: self.machine, dst, frames });
+    }
+
+    /// Ship all buffered one-way frames.
+    pub fn flush(&self) {
+        for m in 0..self.machine_count() as u16 {
+            self.flush_to(MachineId(m));
+        }
+    }
+
+    /// Traffic counters for this endpoint.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn transmit(&self, env: Envelope) -> Result<()> {
+        if self.router.is_closed() {
+            return Err(NetError::Closed);
+        }
+        let frames = env.frames.len() as u64;
+        if self.router.is_dead(env.dst) {
+            self.stats.record_dropped(frames);
+            return Err(NetError::Unreachable(env.dst));
+        }
+        if env.dst == env.src {
+            self.stats.record_local(frames);
+        } else {
+            self.stats.record_remote(frames, env.wire_bytes());
+        }
+        self.router.deliver(env)
+    }
+
+    /// Receiver-thread entry: route one inbound envelope.
+    pub(crate) fn route_envelope(&self, env: Envelope) {
+        if self.router.is_dead(self.machine) {
+            return; // a dead machine processes nothing
+        }
+        for frame in env.frames {
+            match frame.kind {
+                FrameKind::Response(corr) => {
+                    if let Some(tx) = self.pending.lock().remove(&corr) {
+                        let _ = tx.send(Ok(frame.payload));
+                    }
+                }
+                FrameKind::NoHandler(corr) => {
+                    if let Some(tx) = self.pending.lock().remove(&corr) {
+                        let _ = tx.send(Err(NetError::NoHandler(frame.proto)));
+                    }
+                }
+                FrameKind::Request(_) | FrameKind::OneWay => {
+                    let _ = self.work_tx.send(Work::Frame(env.src, frame));
+                }
+            }
+        }
+    }
+
+    /// Worker-thread entry: dispatch one request or one-way frame.
+    pub(crate) fn dispatch(&self, src: MachineId, frame: Frame) {
+        if self.router.is_dead(self.machine) {
+            return;
+        }
+        let handler = self.handlers.read().get(&frame.proto).cloned();
+        match frame.kind {
+            FrameKind::OneWay => {
+                if let Some(h) = handler {
+                    h(src, &frame.payload);
+                } else {
+                    self.stats.record_dropped(1);
+                }
+            }
+            FrameKind::Request(corr) => {
+                let reply = match handler {
+                    Some(h) => Frame {
+                        proto: frame.proto,
+                        kind: FrameKind::Response(corr),
+                        payload: h(src, &frame.payload).unwrap_or_default(),
+                    },
+                    None => Frame { proto: frame.proto, kind: FrameKind::NoHandler(corr), payload: Vec::new() },
+                };
+                let _ = self.transmit(Envelope { src: self.machine, dst: src, frames: vec![reply] });
+            }
+            FrameKind::Response(_) | FrameKind::NoHandler(_) => unreachable!("responses are routed by the receiver"),
+        }
+    }
+
+    /// Fail any calls still pending when the fabric shuts down.
+    pub(crate) fn fail_pending(&self) {
+        for (_, tx) in self.pending.lock().drain() {
+            let _ = tx.send(Err(NetError::Closed));
+        }
+    }
+}
+
+pub(crate) fn receiver_loop(ep: Arc<Endpoint>, rx: crossbeam::channel::Receiver<Item>, workers: usize) {
+    while let Ok(item) = rx.recv() {
+        match item {
+            Item::Env(env) => ep.route_envelope(env),
+            Item::Stop => break,
+        }
+    }
+    for _ in 0..workers {
+        let _ = ep.work_tx.send(Work::Stop);
+    }
+    ep.fail_pending();
+}
+
+pub(crate) fn worker_loop(ep: Arc<Endpoint>, rx: crossbeam::channel::Receiver<Work>) {
+    while let Ok(work) = rx.recv() {
+        match work {
+            Work::Frame(src, frame) => ep.dispatch(src, frame),
+            Work::Stop => break,
+        }
+    }
+}

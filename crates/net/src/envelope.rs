@@ -1,0 +1,66 @@
+//! Wire representation: frames packed into envelopes.
+//!
+//! A [`Frame`] is one logical message (a TSL protocol invocation); an
+//! [`Envelope`] is one physical transfer between two machines. The
+//! transparent packing optimization (paper §4.2) batches many small
+//! asynchronous frames bound for the same machine into one envelope, so the
+//! per-transfer network overhead is paid once instead of per message.
+
+use crate::{MachineId, ProtoId};
+
+/// How a frame participates in the request/response paradigm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Fire-and-forget message (asynchronous protocol).
+    OneWay,
+    /// Request expecting a response, tagged with a correlation id.
+    Request(u64),
+    /// Response to the request with the same correlation id.
+    Response(u64),
+    /// Response indicating the callee had no handler for the protocol.
+    NoHandler(u64),
+}
+
+/// One logical message.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub proto: ProtoId,
+    pub kind: FrameKind,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Bytes this frame contributes to a transfer: payload plus the frame
+    /// header (proto id, kind tag, correlation id, length prefix).
+    pub fn wire_bytes(&self) -> u64 {
+        self.payload.len() as u64 + 16
+    }
+}
+
+/// One physical transfer between two machines.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub src: MachineId,
+    pub dst: MachineId,
+    pub frames: Vec<Frame>,
+}
+
+impl Envelope {
+    /// Total bytes on the wire: frames plus the envelope header.
+    pub fn wire_bytes(&self) -> u64 {
+        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_count_headers() {
+        let f = Frame { proto: 1, kind: FrameKind::OneWay, payload: vec![0; 100] };
+        assert_eq!(f.wire_bytes(), 116);
+        let e = Envelope { src: MachineId(0), dst: MachineId(1), frames: vec![f.clone(), f] };
+        assert_eq!(e.wire_bytes(), 2 * 116 + 24);
+    }
+}

@@ -1,0 +1,31 @@
+use crate::{MachineId, ProtoId};
+use std::fmt;
+
+/// Errors surfaced by the message passing framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination machine is known dead (or died before responding).
+    /// This is the paper's detection-by-access signal: "a machine A that
+    /// attempts to access a data item on machine B which is down can
+    /// detect the failure of machine B" (§6.2).
+    Unreachable(MachineId),
+    /// No response arrived within the call timeout.
+    Timeout(MachineId, ProtoId),
+    /// The destination has no handler registered for the protocol.
+    NoHandler(ProtoId),
+    /// The fabric has been shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable(m) => write!(f, "machine {m} is unreachable"),
+            NetError::Timeout(m, p) => write!(f, "call to {m} (protocol {p}) timed out"),
+            NetError::NoHandler(p) => write!(f, "no handler registered for protocol {p}"),
+            NetError::Closed => write!(f, "fabric is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

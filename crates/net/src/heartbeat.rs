@@ -1,0 +1,163 @@
+//! Proactive failure detection.
+//!
+//! "Trinity uses heartbeat messages to proactively detect machine
+//! failures" (paper §6.2). A [`HeartbeatMonitor`] runs on one machine
+//! (typically the leader) and periodically pings a set of peers over the
+//! reserved [`crate::proto::PING`] protocol. A peer that misses
+//! `miss_threshold` consecutive probes is reported dead exactly once via
+//! the failure callback; a peer that answers again after being reported is
+//! reported recovered.
+//!
+//! Detection-by-access is the complementary path: any [`crate::Endpoint::call`]
+//! to a dead machine fails immediately, and the caller informs the leader
+//! (implemented in `trinity-core`'s recovery module).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::endpoint::Endpoint;
+use crate::{proto, MachineId};
+
+/// Heartbeat cadence parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// Pause between probe rounds.
+    pub interval: Duration,
+    /// Consecutive missed probes before a peer is declared dead.
+    pub miss_threshold: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig { interval: Duration::from_millis(50), miss_threshold: 2 }
+    }
+}
+
+/// Events reported by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerEvent {
+    /// The peer stopped answering probes.
+    Failed(MachineId),
+    /// A previously failed peer answers again.
+    Recovered(MachineId),
+}
+
+/// Background prober for a set of peers.
+pub struct HeartbeatMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HeartbeatMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeartbeatMonitor").finish()
+    }
+}
+
+impl HeartbeatMonitor {
+    /// Start probing `peers` from `endpoint`, invoking `on_event` for every
+    /// failure/recovery transition.
+    pub fn spawn<F>(endpoint: Arc<Endpoint>, peers: Vec<MachineId>, cfg: HeartbeatConfig, on_event: F) -> Self
+    where
+        F: Fn(PeerEvent) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("trinity-heartbeat".into())
+            .spawn(move || {
+                let mut misses: HashMap<MachineId, u32> = HashMap::new();
+                let mut reported: HashMap<MachineId, bool> = HashMap::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    for &peer in &peers {
+                        if stop2.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let alive = endpoint.call(peer, proto::PING, &[]).is_ok();
+                        let miss = misses.entry(peer).or_insert(0);
+                        let down = reported.entry(peer).or_insert(false);
+                        if alive {
+                            *miss = 0;
+                            if *down {
+                                *down = false;
+                                on_event(PeerEvent::Recovered(peer));
+                            }
+                        } else {
+                            *miss += 1;
+                            if *miss >= cfg.miss_threshold && !*down {
+                                *down = true;
+                                on_event(PeerEvent::Failed(peer));
+                            }
+                        }
+                    }
+                    std::thread::park_timeout(cfg.interval);
+                }
+            })
+            .expect("spawn heartbeat monitor");
+        HeartbeatMonitor { stop, handle: Some(handle) }
+    }
+
+    /// Stop the monitor and wait for its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatMonitor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fabric, FabricConfig};
+    use parking_lot::Mutex;
+
+    #[test]
+    fn detects_failure_and_recovery() {
+        let fabric = Fabric::new(FabricConfig {
+            call_timeout: Duration::from_millis(100),
+            ..FabricConfig::with_machines(3)
+        });
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let monitor = {
+            let events = Arc::clone(&events);
+            HeartbeatMonitor::spawn(
+                fabric.endpoint(MachineId(0)),
+                vec![MachineId(1), MachineId(2)],
+                HeartbeatConfig { interval: Duration::from_millis(10), miss_threshold: 2 },
+                move |e| events.lock().push(e),
+            )
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(events.lock().is_empty(), "healthy peers must not be reported");
+        fabric.kill(MachineId(2));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while events.lock().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(events.lock().first(), Some(&PeerEvent::Failed(MachineId(2))));
+        fabric.revive(MachineId(2));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while events.lock().len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(events.lock().get(1), Some(&PeerEvent::Recovered(MachineId(2))));
+        monitor.stop();
+        fabric.shutdown();
+        // Exactly one Failed and one Recovered: transitions, not levels.
+        assert_eq!(events.lock().len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Traffic accounting.
+//!
+//! Every envelope leaving an endpoint is counted here. The counters are
+//! the measured half of the simulation contract (see DESIGN.md): the
+//! algorithms run for real and produce real message volumes; the
+//! [`crate::CostModel`] prices them. Machine-local frames (src == dst) are
+//! tracked separately and never priced.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic traffic counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub(crate) remote_envelopes: AtomicU64,
+    pub(crate) remote_frames: AtomicU64,
+    pub(crate) remote_bytes: AtomicU64,
+    pub(crate) local_frames: AtomicU64,
+    pub(crate) dropped_frames: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetStats`], or a difference of two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Physical transfers to other machines.
+    pub remote_envelopes: u64,
+    /// Logical messages to other machines.
+    pub remote_frames: u64,
+    /// Bytes shipped to other machines (headers included).
+    pub remote_bytes: u64,
+    /// Logical messages delivered machine-locally (free).
+    pub local_frames: u64,
+    /// Frames dropped because the destination was dead.
+    pub dropped_frames: u64,
+}
+
+impl NetStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> StatsDelta {
+        StatsDelta {
+            remote_envelopes: self.remote_envelopes.load(Ordering::Relaxed),
+            remote_frames: self.remote_frames.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+            local_frames: self.local_frames.load(Ordering::Relaxed),
+            dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn record_remote(&self, frames: u64, bytes: u64) {
+        self.remote_envelopes.fetch_add(1, Ordering::Relaxed);
+        self.remote_frames.fetch_add(frames, Ordering::Relaxed);
+        self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_local(&self, frames: u64) {
+        self.local_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped(&self, frames: u64) {
+        self.dropped_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+}
+
+impl StatsDelta {
+    /// Traffic between two snapshots (`later - self`).
+    pub fn delta_to(&self, later: &StatsDelta) -> StatsDelta {
+        StatsDelta {
+            remote_envelopes: later.remote_envelopes - self.remote_envelopes,
+            remote_frames: later.remote_frames - self.remote_frames,
+            remote_bytes: later.remote_bytes - self.remote_bytes,
+            local_frames: later.local_frames - self.local_frames,
+            dropped_frames: later.dropped_frames - self.dropped_frames,
+        }
+    }
+
+    /// Element-wise sum (aggregating endpoints into cluster totals).
+    pub fn merge(&mut self, other: &StatsDelta) {
+        self.remote_envelopes += other.remote_envelopes;
+        self.remote_frames += other.remote_frames;
+        self.remote_bytes += other.remote_bytes;
+        self.local_frames += other.local_frames;
+        self.dropped_frames += other.dropped_frames;
+    }
+
+    /// Average frames per envelope — the packing factor the transparent
+    /// packing optimization is trying to maximize.
+    pub fn packing_factor(&self) -> f64 {
+        if self.remote_envelopes == 0 {
+            0.0
+        } else {
+            self.remote_frames as f64 / self.remote_envelopes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = NetStats::default();
+        s.record_remote(10, 1000);
+        s.record_local(5);
+        let a = s.snapshot();
+        s.record_remote(10, 500);
+        s.record_dropped(2);
+        let b = s.snapshot();
+        let d = a.delta_to(&b);
+        assert_eq!(d.remote_envelopes, 1);
+        assert_eq!(d.remote_frames, 10);
+        assert_eq!(d.remote_bytes, 500);
+        assert_eq!(d.local_frames, 0);
+        assert_eq!(d.dropped_frames, 2);
+        assert_eq!(d.packing_factor(), 10.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StatsDelta { remote_envelopes: 1, remote_bytes: 10, ..Default::default() };
+        a.merge(&StatsDelta { remote_envelopes: 2, remote_bytes: 30, ..Default::default() });
+        assert_eq!(a.remote_envelopes, 3);
+        assert_eq!(a.remote_bytes, 40);
+    }
+}

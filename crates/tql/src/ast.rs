@@ -1,0 +1,143 @@
+//! TQL abstract syntax.
+
+/// A parsed query: `MATCH pattern [WHERE expr] RETURN items [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Node patterns, in chain order.
+    pub nodes: Vec<NodePattern>,
+    /// Edge patterns; `edges[i]` connects `nodes[i]` to `nodes[i + 1]`.
+    pub edges: Vec<EdgePattern>,
+    /// The WHERE clause, if any.
+    pub filter: Option<Expr>,
+    /// RETURN projection.
+    pub returns: Vec<ReturnItem>,
+    /// LIMIT, if any.
+    pub limit: Option<usize>,
+}
+
+/// `(var:Label)` or `(var)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePattern {
+    pub var: String,
+    pub label: Option<String>,
+}
+
+/// An edge step between consecutive node patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgePattern {
+    /// Minimum hops (1 for `-->`).
+    pub min_hops: usize,
+    /// Maximum hops (1 for `-->`; `min..=max` for `-[min..max]->`).
+    pub max_hops: usize,
+}
+
+impl EdgePattern {
+    /// A plain single-hop edge.
+    pub fn single() -> Self {
+        EdgePattern { min_hops: 1, max_hops: 1 }
+    }
+}
+
+/// A projected output: `var` (the cell id) or `var.Field`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnItem {
+    pub var: String,
+    pub field: Option<String>,
+}
+
+/// Boolean expressions over bound variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Cmp(Comparison),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// The set of variables this expression reads.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Cmp(c) => out.push(&c.var),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(e) => e.collect_vars(out),
+        }
+    }
+}
+
+/// `var.Field <op> literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub var: String,
+    pub field: String,
+    pub op: CmpOp,
+    pub rhs: Literal,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Substring containment on strings.
+    Contains,
+}
+
+/// Literal operand values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "{s:?}"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_variable_collection() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(Comparison {
+                var: "a".into(),
+                field: "X".into(),
+                op: CmpOp::Eq,
+                rhs: Literal::Int(1),
+            })),
+            Box::new(Expr::Not(Box::new(Expr::Cmp(Comparison {
+                var: "b".into(),
+                field: "Y".into(),
+                op: CmpOp::Gt,
+                rhs: Literal::Int(2),
+            })))),
+        );
+        assert_eq!(e.variables(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The TQL catalog: label registry over TSL cell types.
+//!
+//! TQL labels are TSL `cell struct`s. A labeled node cell's attribute
+//! bytes are `[label id: u8][TSL-encoded struct]`, so the engine can
+//! dispatch on the label with one byte and then map fields through the
+//! zero-copy accessor. SimpleEdge list fields are materialized into the
+//! node record's adjacency section (what the TSL compiler does for
+//! `[EdgeType: SimpleEdge]` fields), so traversal never decodes the
+//! struct.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trinity_graph::NodeRecord;
+use trinity_memcloud::{CellId, MemoryCloud};
+use trinity_tsl::{CellAccessor, Schema, StructLayout, Value};
+
+use crate::error::TqlError;
+
+/// One registered label.
+#[derive(Debug, Clone)]
+pub struct LabelInfo {
+    pub name: String,
+    pub id: u8,
+    pub layout: Arc<StructLayout>,
+    /// The `List<long>` field holding SimpleEdge adjacency, if declared.
+    pub edge_field: Option<String>,
+}
+
+/// Label registry for a TQL-queryable graph.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    labels: Vec<LabelInfo>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Catalog {
+    /// Build a catalog from a compiled TSL schema. Every `cell struct`
+    /// becomes a label; `edge_fields` names each label's SimpleEdge list
+    /// (labels without one are leaf-only).
+    pub fn from_schema(schema: &Schema, edge_fields: &[(&str, &str)]) -> Result<Catalog, TqlError> {
+        let mut catalog = Catalog::default();
+        let edge_map: HashMap<&str, &str> = edge_fields.iter().copied().collect();
+        for (i, name) in schema.cell_struct_names().into_iter().enumerate() {
+            let layout = schema.struct_layout(name).map_err(|e| TqlError::Storage(e.to_string()))?;
+            let edge_field = edge_map.get(name).map(|s| s.to_string());
+            if let Some(field) = &edge_field {
+                layout.field(field).map_err(|_| TqlError::UnknownField {
+                    label: name.to_string(),
+                    field: field.clone(),
+                })?;
+            }
+            catalog.by_name.insert(name.to_string(), i);
+            catalog.labels.push(LabelInfo {
+                name: name.to_string(),
+                id: i as u8,
+                layout: Arc::clone(layout),
+                edge_field,
+            });
+        }
+        Ok(catalog)
+    }
+
+    /// Look a label up by name.
+    pub fn label(&self, name: &str) -> Result<&LabelInfo, TqlError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.labels[i])
+            .ok_or_else(|| TqlError::UnknownLabel(name.to_string()))
+    }
+
+    /// All registered labels.
+    pub fn labels(&self) -> &[LabelInfo] {
+        &self.labels
+    }
+
+    /// The label of a stored attribute blob.
+    pub fn label_of<'a>(&'a self, attrs: &[u8]) -> Option<&'a LabelInfo> {
+        self.labels.get(*attrs.first()? as usize)
+    }
+
+    /// Encode a labeled attribute blob from named field values. The edge
+    /// field (if any) is filled from `outs`.
+    pub fn encode_attrs(
+        &self,
+        label: &str,
+        fields: &[(&str, Value)],
+        outs: &[CellId],
+    ) -> Result<Vec<u8>, TqlError> {
+        let info = self.label(label)?;
+        let mut builder = info.layout.build();
+        for (name, value) in fields {
+            info.layout
+                .field(name)
+                .map_err(|_| TqlError::UnknownField { label: label.into(), field: (*name).into() })?;
+            builder = builder.set(name, value.clone());
+        }
+        if let Some(edge_field) = &info.edge_field {
+            builder = builder.set(edge_field, Value::List(outs.iter().map(|&o| Value::Long(o as i64)).collect()));
+        }
+        let blob = builder.encode().map_err(|e| TqlError::Storage(e.to_string()))?;
+        let mut out = Vec::with_capacity(1 + blob.len());
+        out.push(info.id);
+        out.extend_from_slice(&blob);
+        Ok(out)
+    }
+
+    /// Create a labeled node cell in the memory cloud (routed to its
+    /// owner). Returns the id for chaining.
+    pub fn new_node(
+        &self,
+        cloud: &Arc<MemoryCloud>,
+        id: CellId,
+        label: &str,
+        fields: &[(&str, Value)],
+        outs: &[CellId],
+    ) -> Result<CellId, TqlError> {
+        let attrs = self.encode_attrs(label, fields, outs)?;
+        let record = NodeRecord { attrs, outs: outs.to_vec(), ins: None };
+        cloud
+            .node(0)
+            .put(id, &record.encode())
+            .map_err(|e| TqlError::Storage(e.to_string()))?;
+        Ok(id)
+    }
+
+    /// Read one field out of a labeled attribute blob (zero-copy walk).
+    pub fn field_value(&self, attrs: &[u8], field: &str) -> Result<Value, TqlError> {
+        let info = self
+            .label_of(attrs)
+            .ok_or_else(|| TqlError::Storage("unlabeled or empty attribute blob".into()))?;
+        let acc = CellAccessor::new(&info.layout, &attrs[1..]);
+        acc.get_value(field).map_err(|_| TqlError::UnknownField {
+            label: info.name.clone(),
+            field: field.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinity_tsl::{compile, parse};
+
+    fn movie_schema() -> Schema {
+        compile(
+            &parse(
+                "[CellType: NodeCell] cell struct Movie { string Name; int Year; \
+                 [EdgeType: SimpleEdge, ReferencedCell: Actor] List<long> Actors; } \
+                 [CellType: NodeCell] cell struct Actor { string Name; }",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn catalog_registers_cell_structs_with_stable_ids() {
+        let c = Catalog::from_schema(&movie_schema(), &[("Movie", "Actors")]).unwrap();
+        assert_eq!(c.labels().len(), 2);
+        assert_eq!(c.label("Movie").unwrap().id, 0);
+        assert_eq!(c.label("Actor").unwrap().id, 1);
+        assert_eq!(c.label("Movie").unwrap().edge_field.as_deref(), Some("Actors"));
+        assert_eq!(c.label("Actor").unwrap().edge_field, None);
+        assert!(matches!(c.label("Nope"), Err(TqlError::UnknownLabel(_))));
+    }
+
+    #[test]
+    fn bad_edge_field_is_rejected() {
+        assert!(matches!(
+            Catalog::from_schema(&movie_schema(), &[("Movie", "Cast")]),
+            Err(TqlError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn attrs_roundtrip_with_label_byte() {
+        let c = Catalog::from_schema(&movie_schema(), &[("Movie", "Actors")]).unwrap();
+        let attrs = c
+            .encode_attrs("Movie", &[("Name", "Heat".into()), ("Year", Value::Int(1995))], &[7, 8])
+            .unwrap();
+        let info = c.label_of(&attrs).unwrap();
+        assert_eq!(info.name, "Movie");
+        assert_eq!(c.field_value(&attrs, "Name").unwrap(), Value::Str("Heat".into()));
+        assert_eq!(c.field_value(&attrs, "Year").unwrap(), Value::Int(1995));
+        assert_eq!(
+            c.field_value(&attrs, "Actors").unwrap(),
+            Value::List(vec![Value::Long(7), Value::Long(8)])
+        );
+        assert!(c.field_value(&attrs, "Budget").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+use std::fmt;
+
+/// Errors from TQL parsing, planning, and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TqlError {
+    /// Lexical or syntactic error with source position.
+    Parse { at: usize, msg: String },
+    /// A label is not registered in the catalog.
+    UnknownLabel(String),
+    /// A variable is referenced but not bound by the MATCH pattern.
+    UnknownVariable(String),
+    /// A field is not part of the variable's TSL layout.
+    UnknownField { label: String, field: String },
+    /// Operands of a comparison have incomparable types.
+    TypeMismatch(String),
+    /// The underlying storage failed.
+    Storage(String),
+}
+
+impl fmt::Display for TqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TqlError::Parse { at, msg } => write!(f, "TQL parse error at byte {at}: {msg}"),
+            TqlError::UnknownLabel(l) => write!(f, "unknown label :{l}"),
+            TqlError::UnknownVariable(v) => write!(f, "unbound variable {v}"),
+            TqlError::UnknownField { label, field } => write!(f, "label {label} has no field {field}"),
+            TqlError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            TqlError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TqlError {}

@@ -1,0 +1,232 @@
+//! TQL tokenizer.
+
+use crate::error::TqlError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword or identifier (keywords recognized case-insensitively by
+    /// the parser).
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Dot,
+    DotDot,
+    /// `-->` / `-[` start: the plain dash.
+    Dash,
+    /// `->` arrow head.
+    Arrow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub at: usize,
+}
+
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let at = i;
+        let c = bytes[i] as char;
+        if !c.is_ascii() {
+            return Err(TqlError::Parse { at, msg: "TQL source must be ASCII outside string literals".into() });
+        }
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, at });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, at });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, at });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, at });
+                i += 1;
+            }
+            ':' => {
+                out.push(Spanned { tok: Tok::Colon, at });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, at });
+                i += 1;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Spanned { tok: Tok::DotDot, at });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Dot, at });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { tok: Tok::Arrow, at });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Dash, at });
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, at });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ne, at });
+                    i += 2;
+                } else {
+                    return Err(TqlError::Parse { at, msg: "expected `!=`".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Le, at });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, at });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ge, at });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, at });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut raw: Vec<u8> = Vec::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(TqlError::Parse { at, msg: "unterminated string".into() }),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => raw.push(b'"'),
+                                Some(b'\\') => raw.push(b'\\'),
+                                Some(b'n') => raw.push(b'\n'),
+                                _ => return Err(TqlError::Parse { at: i, msg: "bad escape".into() }),
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            raw.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                let s = String::from_utf8(raw)
+                    .map_err(|_| TqlError::Parse { at, msg: "invalid UTF-8 in string literal".into() })?;
+                out.push(Spanned { tok: Tok::Str(s), at });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // A float has a single dot followed by digits (not `..`).
+                if bytes.get(i) == Some(&b'.')
+                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v = text.parse().map_err(|_| TqlError::Parse { at, msg: "bad float".into() })?;
+                    out.push(Spanned { tok: Tok::Float(v), at });
+                } else {
+                    let text = &src[start..i];
+                    let v = text.parse().map_err(|_| TqlError::Parse { at, msg: "bad integer".into() })?;
+                    out.push(Spanned { tok: Tok::Int(v), at });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), at });
+            }
+            other => {
+                return Err(TqlError::Parse { at, msg: format!("unexpected character `{other}`") });
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, at: src.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let t = toks(r#"MATCH (a:Movie)-[1..3]->(b) WHERE a.Name = "X" RETURN b LIMIT 5"#);
+        assert!(t.contains(&Tok::Ident("MATCH".into())));
+        assert!(t.contains(&Tok::LBracket));
+        assert!(t.contains(&Tok::DotDot));
+        assert!(t.contains(&Tok::Arrow));
+        assert!(t.contains(&Tok::Str("X".into())));
+        assert!(t.contains(&Tok::Int(5)));
+    }
+
+    #[test]
+    fn numbers_and_ranges_disambiguate() {
+        assert_eq!(toks("1..3"), vec![Tok::Int(1), Tok::DotDot, Tok::Int(3), Tok::Eof]);
+        assert_eq!(toks("1.5"), vec![Tok::Float(1.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= != < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_errors() {
+        assert_eq!(toks(r#""a\"b""#), vec![Tok::Str("a\"b".into()), Tok::Eof]);
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("€").is_err());
+    }
+}

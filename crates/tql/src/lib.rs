@@ -1,0 +1,75 @@
+//! TQL — the Trinity Query Language.
+//!
+//! The paper presents TSL as the foundation "advanced system modules" are
+//! built on: "For example, we implemented a sophisticated graph query
+//! language (TQL) within this framework" (§4.2). This crate is that
+//! module: a declarative path-query language over TSL-typed graph cells,
+//! executed by the same distributed-exploration machinery that powers the
+//! paper's online queries — no indexes, just parallel random access.
+//!
+//! # The language
+//!
+//! ```text
+//! MATCH (m:Movie)-->(a:Actor)
+//! WHERE m.Name = "The Matrix" AND a.Name CONTAINS "Reeves"
+//! RETURN a.Name
+//! LIMIT 10
+//! ```
+//!
+//! * **node patterns** `(var:Label)` bind a variable, optionally
+//!   constrained to a TSL cell type (the label);
+//! * **edge patterns** `-->`, `-[2]->`, `-[1..3]->` traverse SimpleEdge
+//!   adjacency one hop, exactly `k` hops, or any length in a range;
+//! * **WHERE** applies comparisons (`=`, `!=`, `<`, `<=`, `>`, `>=`,
+//!   `CONTAINS`) over TSL fields, combined with `AND` / `OR` / `NOT`;
+//! * **RETURN** projects bound variables (`a`, yielding the cell id) or
+//!   fields (`a.Name`), with optional `LIMIT`.
+//!
+//! Per-variable predicates are pushed into the matching steps, so a
+//! selective `WHERE` prunes the exploration frontier instead of filtering
+//! at the end.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use trinity_memcloud::{CloudConfig, MemoryCloud};
+//! use trinity_tsl::{compile, parse};
+//! use trinity_tql::{Catalog, TqlEngine};
+//!
+//! let schema = compile(&parse(
+//!     "[CellType: NodeCell] cell struct City { string Name; List<long> Roads; }",
+//! ).unwrap()).unwrap();
+//! let catalog = Catalog::from_schema(&schema, &[("City", "Roads")]).unwrap();
+//!
+//! let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
+//! // Two cities connected by a road.
+//! let a = catalog.new_node(&cloud, 1, "City", &[("Name", "Ambridge".into())], &[2]).unwrap();
+//! let b = catalog.new_node(&cloud, 2, "City", &[("Name", "Borchester".into())], &[1]).unwrap();
+//! assert_eq!((a, b), (1, 2));
+//!
+//! let engine = TqlEngine::new(Arc::clone(&cloud), catalog);
+//! let rows = engine
+//!     .query("MATCH (x:City)-->(y:City) WHERE x.Name = \"Ambridge\" RETURN y.Name")
+//!     .unwrap();
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].values[0].as_str(), Some("Borchester"));
+//! cloud.shutdown();
+//! ```
+
+mod ast;
+mod catalog;
+mod error;
+mod executor;
+mod lexer;
+mod parser;
+
+pub use ast::{Comparison, EdgePattern, Expr, Literal, NodePattern, Query, ReturnItem};
+pub use catalog::Catalog;
+pub use error::TqlError;
+pub use executor::{Row, TqlEngine};
+
+/// Parse a TQL query string into its AST.
+pub fn parse_query(src: &str) -> Result<Query, TqlError> {
+    parser::parse(src)
+}

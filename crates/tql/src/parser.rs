@@ -1,0 +1,293 @@
+//! Recursive-descent parser for TQL.
+
+use crate::ast::*;
+use crate::error::TqlError;
+use crate::lexer::{tokenize, Spanned, Tok};
+
+pub fn parse(src: &str) -> Result<Query, TqlError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.at]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, TqlError> {
+        Err(TqlError::Parse { at: self.peek().at, msg: msg.into() })
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), TqlError> {
+        if self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok:?}, found {:?}", self.peek().tok))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), TqlError> {
+        if self.peek().tok == Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek().tok))
+        }
+    }
+
+    /// Consume an identifier, returning it.
+    fn ident(&mut self) -> Result<String, TqlError> {
+        match &self.peek().tok {
+            Tok::Ident(_) => match self.next().tok {
+                Tok::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume a specific case-insensitive keyword.
+    fn keyword(&mut self, kw: &str) -> Result<(), TqlError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.next();
+                Ok(())
+            }
+            other => self.err(format!("expected {kw}, found {other:?}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn query(&mut self) -> Result<Query, TqlError> {
+        self.keyword("MATCH")?;
+        let mut nodes = vec![self.node_pattern()?];
+        let mut edges = Vec::new();
+        while self.peek().tok == Tok::Dash || self.peek().tok == Tok::Arrow {
+            edges.push(self.edge_pattern()?);
+            nodes.push(self.node_pattern()?);
+        }
+        let filter = if self.at_keyword("WHERE") {
+            self.next();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.keyword("RETURN")?;
+        let mut returns = vec![self.return_item()?];
+        while self.peek().tok == Tok::Comma {
+            self.next();
+            returns.push(self.return_item()?);
+        }
+        let limit = if self.at_keyword("LIMIT") {
+            self.next();
+            match self.next().tok {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                _ => return self.err("LIMIT expects a non-negative integer"),
+            }
+        } else {
+            None
+        };
+        Ok(Query { nodes, edges, filter, returns, limit })
+    }
+
+    /// `(var)` or `(var:Label)`.
+    fn node_pattern(&mut self) -> Result<NodePattern, TqlError> {
+        self.expect(Tok::LParen)?;
+        let var = self.ident()?;
+        let label = if self.peek().tok == Tok::Colon {
+            self.next();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(Tok::RParen)?;
+        Ok(NodePattern { var, label })
+    }
+
+    /// `-->` | `-[k]->` | `-[a..b]->`.
+    fn edge_pattern(&mut self) -> Result<EdgePattern, TqlError> {
+        self.expect(Tok::Dash)?;
+        // `-->` lexes as Dash, Dash, Arrow... no: `-->` is '-' then "->".
+        if self.peek().tok == Tok::Arrow {
+            self.next();
+            return Ok(EdgePattern::single());
+        }
+        self.expect(Tok::LBracket)?;
+        let min = match self.next().tok {
+            Tok::Int(n) if n >= 1 => n as usize,
+            other => return self.err(format!("hop counts start at 1, found {other:?}")),
+        };
+        let max = if self.peek().tok == Tok::DotDot {
+            self.next();
+            match self.next().tok {
+                Tok::Int(n) if n as usize >= min => n as usize,
+                other => return self.err(format!("range end must be >= start, found {other:?}")),
+            }
+        } else {
+            min
+        };
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Arrow)?;
+        Ok(EdgePattern { min_hops: min, max_hops: max })
+    }
+
+    /// `var` or `var.Field`.
+    fn return_item(&mut self) -> Result<ReturnItem, TqlError> {
+        let var = self.ident()?;
+        let field = if self.peek().tok == Tok::Dot {
+            self.next();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(ReturnItem { var, field })
+    }
+
+    // expr := or_term; or := and (OR and)*; and := unary (AND unary)*;
+    // unary := NOT unary | '(' expr ')' | comparison
+    fn expr(&mut self) -> Result<Expr, TqlError> {
+        let mut left = self.and_expr()?;
+        while self.at_keyword("OR") {
+            self.next();
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, TqlError> {
+        let mut left = self.unary_expr()?;
+        while self.at_keyword("AND") {
+            self.next();
+            let right = self.unary_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, TqlError> {
+        if self.at_keyword("NOT") {
+            self.next();
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.peek().tok == Tok::LParen {
+            self.next();
+            let e = self.expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(e);
+        }
+        self.comparison().map(Expr::Cmp)
+    }
+
+    /// `var.Field <op> literal`.
+    fn comparison(&mut self) -> Result<Comparison, TqlError> {
+        let var = self.ident()?;
+        self.expect(Tok::Dot)?;
+        let field = self.ident()?;
+        let op = if self.at_keyword("CONTAINS") {
+            self.next();
+            CmpOp::Contains
+        } else {
+            match self.next().tok {
+                Tok::Eq => CmpOp::Eq,
+                Tok::Ne => CmpOp::Ne,
+                Tok::Lt => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::Gt => CmpOp::Gt,
+                Tok::Ge => CmpOp::Ge,
+                other => return self.err(format!("expected a comparison operator, found {other:?}")),
+            }
+        };
+        let rhs = match self.next().tok {
+            Tok::Str(s) => Literal::Str(s),
+            Tok::Int(n) => Literal::Int(n),
+            Tok::Float(x) => Literal::Float(x),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => Literal::Bool(true),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => Literal::Bool(false),
+            other => return self.err(format!("expected a literal, found {other:?}")),
+        };
+        Ok(Comparison { var, field, op, rhs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    #[test]
+    fn parses_the_movie_query() {
+        let q = parse(
+            r#"MATCH (m:Movie)-->(a:Actor) WHERE m.Name = "The Matrix" AND a.Name CONTAINS "Reeves" RETURN a.Name LIMIT 10"#,
+        )
+        .unwrap();
+        assert_eq!(q.nodes.len(), 2);
+        assert_eq!(q.nodes[0], NodePattern { var: "m".into(), label: Some("Movie".into()) });
+        assert_eq!(q.edges, vec![EdgePattern::single()]);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.returns, vec![ReturnItem { var: "a".into(), field: Some("Name".into()) }]);
+        match q.filter.unwrap() {
+            Expr::And(l, r) => {
+                assert!(matches!(*l, Expr::Cmp(Comparison { op: CmpOp::Eq, .. })));
+                assert!(matches!(*r, Expr::Cmp(Comparison { op: CmpOp::Contains, .. })));
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_variable_length_paths() {
+        let q = parse("MATCH (a)-[2..4]->(b) RETURN b").unwrap();
+        assert_eq!(q.edges, vec![EdgePattern { min_hops: 2, max_hops: 4 }]);
+        let q = parse("MATCH (a)-[3]->(b) RETURN b").unwrap();
+        assert_eq!(q.edges, vec![EdgePattern { min_hops: 3, max_hops: 3 }]);
+    }
+
+    #[test]
+    fn parses_long_chains_and_boolean_structure() {
+        let q = parse(
+            "MATCH (a)-->(b)-[1..2]->(c)-->(d) WHERE NOT a.X = 1 OR (b.Y > 2 AND c.Z != 3) RETURN a, b.F, d",
+        )
+        .unwrap();
+        assert_eq!(q.nodes.len(), 4);
+        assert_eq!(q.edges.len(), 3);
+        assert_eq!(q.returns.len(), 3);
+        assert!(matches!(q.filter.unwrap(), Expr::Or(_, _)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("match (a) return a").is_ok());
+        assert!(parse("MATCH (a) WHERE a.X >= 1.5 RETURN a LIMIT 1").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("MATCH a RETURN a").is_err(), "nodes need parentheses");
+        assert!(parse("MATCH (a)-->(b)").is_err(), "RETURN is mandatory");
+        assert!(parse("MATCH (a)-[0]->(b) RETURN b").is_err(), "zero hops");
+        assert!(parse("MATCH (a)-[3..1]->(b) RETURN b").is_err(), "inverted range");
+        assert!(parse("MATCH (a) WHERE a.X = RETURN a").is_err(), "missing literal");
+        assert!(parse("MATCH (a) RETURN a LIMIT x").is_err(), "bad limit");
+        assert!(parse("MATCH (a) RETURN a extra").is_err(), "trailing tokens");
+    }
+}

@@ -1,0 +1,253 @@
+//! TQL integration tests: queries over a TSL-typed distributed graph.
+
+use std::sync::Arc;
+
+use trinity_memcloud::{CloudConfig, MemoryCloud};
+use trinity_tql::{Catalog, TqlEngine, TqlError};
+use trinity_tsl::{compile, parse, Value};
+
+const SCHEMA: &str = "
+    [CellType: NodeCell]
+    cell struct Movie {
+        string Name;
+        int Year;
+        double Rating;
+        [EdgeType: SimpleEdge, ReferencedCell: Actor]
+        List<long> Cast;
+    }
+    [CellType: NodeCell]
+    cell struct Actor {
+        string Name;
+        int Born;
+        [EdgeType: SimpleEdge, ReferencedCell: Movie]
+        List<long> ActedIn;
+    }
+";
+
+/// A little movie graph:
+///   Heat(1995) -> DeNiro, Pacino
+///   Ronin(1998) -> DeNiro
+///   Serpico(1973) -> Pacino
+/// with reverse ActedIn edges.
+fn movie_cloud(machines: usize) -> (Arc<MemoryCloud>, TqlEngine) {
+    let schema = compile(&parse(SCHEMA).unwrap()).unwrap();
+    let catalog = Catalog::from_schema(&schema, &[("Movie", "Cast"), ("Actor", "ActedIn")]).unwrap();
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+    const HEAT: u64 = 1;
+    const RONIN: u64 = 2;
+    const SERPICO: u64 = 3;
+    const DENIRO: u64 = 10;
+    const PACINO: u64 = 11;
+    let movie = |id, name: &str, year: i32, rating: f64, cast: &[u64]| {
+        catalog
+            .new_node(
+                &cloud,
+                id,
+                "Movie",
+                &[("Name", name.into()), ("Year", Value::Int(year)), ("Rating", Value::Double(rating))],
+                cast,
+            )
+            .unwrap();
+    };
+    movie(HEAT, "Heat", 1995, 8.3, &[DENIRO, PACINO]);
+    movie(RONIN, "Ronin", 1998, 7.2, &[DENIRO]);
+    movie(SERPICO, "Serpico", 1973, 7.7, &[PACINO]);
+    let actor = |id, name: &str, born: i32, acted: &[u64]| {
+        catalog
+            .new_node(&cloud, id, "Actor", &[("Name", name.into()), ("Born", Value::Int(born))], acted)
+            .unwrap();
+    };
+    actor(DENIRO, "Robert De Niro", 1943, &[HEAT, RONIN]);
+    actor(PACINO, "Al Pacino", 1940, &[HEAT, SERPICO]);
+    let engine = TqlEngine::new(Arc::clone(&cloud), catalog);
+    (cloud, engine)
+}
+
+fn names(rows: &[trinity_tql::Row]) -> Vec<String> {
+    let mut v: Vec<String> =
+        rows.iter().map(|r| r.values[0].as_str().unwrap_or("<id>").to_string()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn single_hop_with_equality_filter() {
+    let (cloud, engine) = movie_cloud(3);
+    let rows = engine
+        .query(r#"MATCH (m:Movie)-->(a:Actor) WHERE m.Name = "Heat" RETURN a.Name"#)
+        .unwrap();
+    assert_eq!(names(&rows), vec!["Al Pacino", "Robert De Niro"]);
+    cloud.shutdown();
+}
+
+#[test]
+fn label_filters_restrict_candidates() {
+    let (cloud, engine) = movie_cloud(2);
+    // Every Movie->Actor edge.
+    let all = engine.query("MATCH (m:Movie)-->(a:Actor) RETURN m, a").unwrap();
+    assert_eq!(all.len(), 4);
+    // Unlabeled start matches actors too (Actor->Movie edges).
+    let any = engine.query("MATCH (x)-->(y) RETURN x, y").unwrap();
+    assert_eq!(any.len(), 8);
+    cloud.shutdown();
+}
+
+#[test]
+fn two_hop_co_star_query() {
+    let (cloud, engine) = movie_cloud(3);
+    // Actors reachable from De Niro in 2 hops (movie then cast):
+    // co-stars including himself via Heat and Ronin.
+    let rows = engine
+        .query(r#"MATCH (a:Actor)-[2]->(b:Actor) WHERE a.Name CONTAINS "De Niro" RETURN b.Name"#)
+        .unwrap();
+    // b != a is enforced by injective bindings, so only Pacino remains.
+    assert_eq!(names(&rows), vec!["Al Pacino"]);
+    cloud.shutdown();
+}
+
+#[test]
+fn variable_length_paths_reach_the_whole_component() {
+    let (cloud, engine) = movie_cloud(2);
+    let rows = engine
+        .query(r#"MATCH (m:Movie)-[1..4]->(x:Movie) WHERE m.Name = "Ronin" RETURN x.Name"#)
+        .unwrap();
+    // Ronin -> DeNiro -> Heat -> Pacino -> Serpico.
+    assert_eq!(names(&rows), vec!["Heat", "Serpico"]);
+    cloud.shutdown();
+}
+
+#[test]
+fn numeric_predicates_and_residual_filters() {
+    let (cloud, engine) = movie_cloud(3);
+    let rows = engine
+        .query("MATCH (m:Movie) WHERE m.Year >= 1990 AND m.Rating > 8.0 RETURN m.Name")
+        .unwrap();
+    assert_eq!(names(&rows), vec!["Heat"]);
+    // Cross-variable residual: actor older than the movie is new.
+    let rows = engine
+        .query(
+            "MATCH (m:Movie)-->(a:Actor) WHERE m.Year < 1990 AND a.Born < 1941 RETURN m.Name, a.Name",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].values[0], Value::Str("Serpico".into()));
+    assert_eq!(rows[0].values[1], Value::Str("Al Pacino".into()));
+    cloud.shutdown();
+}
+
+#[test]
+fn or_not_and_contains() {
+    let (cloud, engine) = movie_cloud(2);
+    let rows = engine
+        .query(r#"MATCH (m:Movie) WHERE m.Year = 1973 OR m.Name CONTAINS "nin" RETURN m.Name"#)
+        .unwrap();
+    assert_eq!(names(&rows), vec!["Ronin", "Serpico"]);
+    let rows = engine
+        .query(r#"MATCH (m:Movie) WHERE NOT m.Name = "Heat" RETURN m.Name"#)
+        .unwrap();
+    assert_eq!(names(&rows), vec!["Ronin", "Serpico"]);
+    cloud.shutdown();
+}
+
+#[test]
+fn limit_caps_rows_and_bare_var_returns_ids() {
+    let (cloud, engine) = movie_cloud(2);
+    let rows = engine.query("MATCH (m:Movie) RETURN m LIMIT 2").unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(matches!(rows[0].values[0], Value::Long(_)));
+    cloud.shutdown();
+}
+
+#[test]
+fn results_are_identical_across_machine_counts() {
+    let mut per_count = Vec::new();
+    for machines in [1usize, 2, 4] {
+        let (cloud, engine) = movie_cloud(machines);
+        let rows = engine
+            .query("MATCH (a:Actor)-->(m:Movie) WHERE m.Rating >= 7.5 RETURN a.Name, m.Name")
+            .unwrap();
+        per_count.push(rows);
+        cloud.shutdown();
+    }
+    assert_eq!(per_count[0], per_count[1]);
+    assert_eq!(per_count[1], per_count[2]);
+}
+
+#[test]
+fn error_paths_are_reported_not_panicked() {
+    let (cloud, engine) = movie_cloud(2);
+    assert!(matches!(
+        engine.query("MATCH (m:Film) RETURN m"),
+        Err(TqlError::UnknownLabel(_))
+    ));
+    assert!(matches!(
+        engine.query("MATCH (m:Movie) RETURN z"),
+        Err(TqlError::UnknownVariable(_))
+    ));
+    assert!(matches!(
+        engine.query("MATCH (m:Movie) WHERE m.Name > 5 RETURN m"),
+        Err(TqlError::TypeMismatch(_))
+    ));
+    assert!(matches!(
+        engine.query("MATCH (m:Movie) WHERE m.Budget = 1 RETURN m"),
+        Err(TqlError::UnknownField { .. })
+    ));
+    assert!(matches!(engine.query("MATCH RETURN"), Err(TqlError::Parse { .. })));
+    cloud.shutdown();
+}
+
+#[test]
+fn people_search_in_tql_on_a_generated_social_graph() {
+    // The David problem, phrased in TQL over a labeled social graph.
+    let schema = compile(
+        &parse("[CellType: NodeCell] cell struct Person { string Name; [EdgeType: SimpleEdge, ReferencedCell: Person] List<long> Friends; }")
+            .unwrap(),
+    )
+    .unwrap();
+    let catalog = Catalog::from_schema(&schema, &[("Person", "Friends")]).unwrap();
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(4)));
+    let csr = trinity_graphgen::social(400, 10, 3);
+    for v in 0..400u64 {
+        catalog
+            .new_node(
+                &cloud,
+                v,
+                "Person",
+                &[("Name", trinity_graphgen::names::name_for(7, v).into())],
+                csr.neighbors(v),
+            )
+            .unwrap();
+    }
+    let engine = TqlEngine::new(Arc::clone(&cloud), catalog);
+    let rows = engine
+        .query(
+            r#"MATCH (me:Person)-[1..3]->(friend:Person)
+               WHERE me.Name = "David" AND friend.Name = "David"
+               RETURN me, friend"#,
+        )
+        .unwrap();
+    // Reference: for each David, BFS 3 hops, count other Davids.
+    let davids: Vec<u64> =
+        (0..400u64).filter(|&v| trinity_graphgen::names::name_for(7, v) == "David").collect();
+    let mut expect = 0usize;
+    for &s in &davids {
+        let mut dist = vec![u32::MAX; 400];
+        dist[s as usize] = 0;
+        let mut q = std::collections::VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            if dist[v as usize] >= 3 {
+                continue;
+            }
+            for &t in csr.neighbors(v) {
+                if dist[t as usize] == u32::MAX {
+                    dist[t as usize] = dist[v as usize] + 1;
+                    q.push_back(t);
+                }
+            }
+        }
+        expect += davids.iter().filter(|&&d| d != s && dist[d as usize] <= 3).count();
+    }
+    assert!(expect > 0, "test graph needs at least one David pair");
+    assert_eq!(rows.len(), expect);
+    cloud.shutdown();
+}

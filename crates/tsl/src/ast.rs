@@ -1,0 +1,230 @@
+//! Abstract syntax of TSL scripts.
+//!
+//! A script is a sequence of declarations:
+//!
+//! ```text
+//! [CellType: NodeCell]                      // attribute
+//! cell struct Movie {                       // cell struct (storable)
+//!     string Name;
+//!     [EdgeType: SimpleEdge, ReferencedCell: Actor]
+//!     List<long> Actors;
+//! }
+//! struct MyMessage { string Text; }         // plain struct (message body)
+//! protocol Echo {                           // communication protocol
+//!     Type: Syn;
+//!     Request: MyMessage;
+//!     Response: MyMessage;
+//! }
+//! ```
+
+/// A `[Name: Value, Name: Value]` attribute, the C#-convention construct
+/// the paper uses to annotate cells and fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// `(key, value)` pairs in declaration order.
+    pub entries: Vec<(String, String)>,
+}
+
+impl Attribute {
+    /// Look up an attribute value by key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Scalar and container types available to TSL fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeRef {
+    /// `byte` — unsigned 8-bit.
+    Byte,
+    /// `bool`.
+    Bool,
+    /// `int` — signed 32-bit.
+    Int,
+    /// `long` — signed 64-bit (also the type of cell ids).
+    Long,
+    /// `float` — 32-bit IEEE.
+    Float,
+    /// `double` — 64-bit IEEE.
+    Double,
+    /// `string` — length-prefixed UTF-8.
+    String,
+    /// `List<T>` — count-prefixed sequence.
+    List(Box<TypeRef>),
+    /// `Array<T, N>` — exactly `N` elements, no count prefix (fixed
+    /// offsets when `T` is fixed-width).
+    Array(Box<TypeRef>, usize),
+    /// `BitArray` — count-prefixed packed bits.
+    BitArray,
+    /// A user-defined struct, by name.
+    Struct(String),
+}
+
+impl std::fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeRef::Byte => write!(f, "byte"),
+            TypeRef::Bool => write!(f, "bool"),
+            TypeRef::Int => write!(f, "int"),
+            TypeRef::Long => write!(f, "long"),
+            TypeRef::Float => write!(f, "float"),
+            TypeRef::Double => write!(f, "double"),
+            TypeRef::String => write!(f, "string"),
+            TypeRef::List(t) => write!(f, "List<{t}>"),
+            TypeRef::Array(t, n) => write!(f, "Array<{t}, {n}>"),
+            TypeRef::BitArray => write!(f, "BitArray"),
+            TypeRef::Struct(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// What a `cell struct` models, from its `[CellType: ...]` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellKind {
+    /// A graph node (default when no attribute is given).
+    #[default]
+    Node,
+    /// An edge cell (`StructEdge` target with rich edge data).
+    Edge,
+    /// A plain record not interpreted by the graph layer.
+    Generic,
+}
+
+/// Edge semantics of a field, from its `[EdgeType: ...]` attribute
+/// (paper §4.1: SimpleEdge, StructEdge, HyperEdge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The field holds neighbor cell ids directly.
+    Simple,
+    /// The field holds ids of edge cells carrying rich edge data.
+    Struct,
+    /// The field holds ids of hyperedge cells, each of which lists many
+    /// endpoint node ids.
+    Hyper,
+}
+
+/// One field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: TypeRef,
+    pub attributes: Vec<Attribute>,
+}
+
+impl FieldDef {
+    /// The field's `[EdgeType: ...]` classification, if any.
+    pub fn edge_kind(&self) -> Option<EdgeKind> {
+        for a in &self.attributes {
+            match a.get("EdgeType") {
+                Some("SimpleEdge") => return Some(EdgeKind::Simple),
+                Some("StructEdge") => return Some(EdgeKind::Struct),
+                Some("HyperEdge") => return Some(EdgeKind::Hyper),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The `[ReferencedCell: ...]` target struct, if any.
+    pub fn referenced_cell(&self) -> Option<&str> {
+        self.attributes.iter().find_map(|a| a.get("ReferencedCell"))
+    }
+}
+
+/// A `struct` or `cell struct` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    pub name: String,
+    /// True for `cell struct` (storable in the memory cloud with a cell id).
+    pub is_cell: bool,
+    pub attributes: Vec<Attribute>,
+    pub fields: Vec<FieldDef>,
+}
+
+impl StructDef {
+    /// The declared cell kind (None for plain `struct`s).
+    pub fn cell_kind(&self) -> Option<CellKind> {
+        if !self.is_cell {
+            return None;
+        }
+        for a in &self.attributes {
+            match a.get("CellType") {
+                Some("NodeCell") => return Some(CellKind::Node),
+                Some("EdgeCell") => return Some(CellKind::Edge),
+                Some(_) => return Some(CellKind::Generic),
+                None => {}
+            }
+        }
+        Some(CellKind::default())
+    }
+}
+
+/// Synchronous or asynchronous message passing (paper Figure 5:
+/// `Type: Syn;`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Request/response; the caller blocks for the reply.
+    Syn,
+    /// One-way; messages are transparently packed.
+    Asyn,
+}
+
+/// A `protocol` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolDef {
+    pub name: String,
+    pub kind: ProtocolKind,
+    /// Request message struct name.
+    pub request: String,
+    /// Response message struct name (None for pure one-way protocols).
+    pub response: Option<String>,
+}
+
+/// A parsed TSL script.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TslScript {
+    pub structs: Vec<StructDef>,
+    pub protocols: Vec<ProtocolDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_lookup() {
+        let a = Attribute {
+            entries: vec![("EdgeType".into(), "SimpleEdge".into()), ("ReferencedCell".into(), "Actor".into())],
+        };
+        assert_eq!(a.get("EdgeType"), Some("SimpleEdge"));
+        assert_eq!(a.get("ReferencedCell"), Some("Actor"));
+        assert_eq!(a.get("Missing"), None);
+    }
+
+    #[test]
+    fn field_edge_classification() {
+        let f = FieldDef {
+            name: "Actors".into(),
+            ty: TypeRef::List(Box::new(TypeRef::Long)),
+            attributes: vec![Attribute {
+                entries: vec![("EdgeType".into(), "HyperEdge".into()), ("ReferencedCell".into(), "Movie".into())],
+            }],
+        };
+        assert_eq!(f.edge_kind(), Some(EdgeKind::Hyper));
+        assert_eq!(f.referenced_cell(), Some("Movie"));
+    }
+
+    #[test]
+    fn type_display_roundtrips_names() {
+        assert_eq!(TypeRef::List(Box::new(TypeRef::Long)).to_string(), "List<long>");
+        assert_eq!(TypeRef::Struct("Movie".into()).to_string(), "Movie");
+    }
+
+    #[test]
+    fn default_cell_kind_is_node() {
+        let s = StructDef { name: "N".into(), is_cell: true, attributes: vec![], fields: vec![] };
+        assert_eq!(s.cell_kind(), Some(CellKind::Node));
+        let p = StructDef { name: "M".into(), is_cell: false, attributes: vec![], fields: vec![] };
+        assert_eq!(p.cell_kind(), None);
+    }
+}

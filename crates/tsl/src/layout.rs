@@ -1,0 +1,569 @@
+//! Binary layouts compiled from TSL struct declarations.
+//!
+//! Cells in the memory cloud are flat blobs; runtime objects would cost
+//! 12–24 bytes of header each and require serialization for persistence
+//! (paper §4.3). The layout compiler turns every TSL struct into a packed
+//! wire format:
+//!
+//! * fixed-size scalars are stored inline (little-endian, no padding);
+//! * `string` is a `u32` byte length followed by UTF-8 bytes;
+//! * `List<T>` is a `u32` element count followed by the encoded elements;
+//! * `BitArray` is a `u32` bit count followed by packed bits;
+//! * nested structs are their fields in declaration order.
+//!
+//! Fields up to the first variable-length field have *static* offsets;
+//! later fields are located by skipping over their predecessors. A cell
+//! accessor therefore maps any field access "to the correct memory
+//! location with zero memory copy overhead" (paper Figure 6) — fixed
+//! fields in O(1), variable fields in one forward walk.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ast::{CellKind, EdgeKind, TypeRef};
+use crate::error::TslError;
+use crate::value::Value;
+
+/// A field type with nested struct references resolved to their layouts.
+#[derive(Debug, Clone)]
+pub enum ResolvedType {
+    Byte,
+    Bool,
+    Int,
+    Long,
+    Float,
+    Double,
+    Str,
+    List(Box<ResolvedType>),
+    /// Exactly `N` elements, no count prefix.
+    Array(Box<ResolvedType>, usize),
+    BitArray,
+    Struct(Arc<StructLayout>),
+}
+
+impl ResolvedType {
+    /// Encoded size when the type is fixed-width.
+    pub fn fixed_size(&self) -> Option<usize> {
+        match self {
+            ResolvedType::Byte | ResolvedType::Bool => Some(1),
+            ResolvedType::Int | ResolvedType::Float => Some(4),
+            ResolvedType::Long | ResolvedType::Double => Some(8),
+            ResolvedType::Str | ResolvedType::List(_) | ResolvedType::BitArray => None,
+            ResolvedType::Array(elem, n) => elem.fixed_size().map(|sz| sz * n),
+            ResolvedType::Struct(s) => s.fixed_size,
+        }
+    }
+
+    /// Display name matching TSL surface syntax.
+    pub fn name(&self) -> String {
+        match self {
+            ResolvedType::Byte => "byte".into(),
+            ResolvedType::Bool => "bool".into(),
+            ResolvedType::Int => "int".into(),
+            ResolvedType::Long => "long".into(),
+            ResolvedType::Float => "float".into(),
+            ResolvedType::Double => "double".into(),
+            ResolvedType::Str => "string".into(),
+            ResolvedType::List(t) => format!("List<{}>", t.name()),
+            ResolvedType::Array(t, n) => format!("Array<{}, {}>", t.name(), n),
+            ResolvedType::BitArray => "BitArray".into(),
+            ResolvedType::Struct(s) => s.name.clone(),
+        }
+    }
+
+    /// Offset just past the value starting at `off` in `blob`.
+    pub fn skip(&self, blob: &[u8], off: usize) -> Result<usize, TslError> {
+        let need = |n: usize| {
+            if off + n > blob.len() {
+                Err(TslError::Truncated { struct_name: self.name(), at: off })
+            } else {
+                Ok(off + n)
+            }
+        };
+        match self {
+            _ if self.fixed_size().is_some() => need(self.fixed_size().unwrap()),
+            ResolvedType::Str => {
+                let len = read_u32(blob, off)? as usize;
+                need(4 + len)
+            }
+            ResolvedType::BitArray => {
+                let bits = read_u32(blob, off)? as usize;
+                need(4 + bits.div_ceil(8))
+            }
+            ResolvedType::List(elem) => {
+                let count = read_u32(blob, off)? as usize;
+                let mut at = off + 4;
+                if let Some(sz) = elem.fixed_size() {
+                    at += count * sz;
+                    if at > blob.len() {
+                        return Err(TslError::Truncated { struct_name: self.name(), at });
+                    }
+                    Ok(at)
+                } else {
+                    for _ in 0..count {
+                        at = elem.skip(blob, at)?;
+                    }
+                    Ok(at)
+                }
+            }
+            ResolvedType::Array(elem, n) => {
+                // Only reached when the element type is variable-width
+                // (fixed-width arrays take the fixed_size fast path).
+                let mut at = off;
+                for _ in 0..*n {
+                    at = elem.skip(blob, at)?;
+                }
+                Ok(at)
+            }
+            ResolvedType::Struct(s) => s.skip(blob, off),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Append `value` encoded as this type to `out`.
+    pub fn encode(&self, value: &Value, out: &mut Vec<u8>) -> Result<(), TslError> {
+        let mismatch = |got: &Value| TslError::TypeMismatch {
+            field: String::new(),
+            expected: self.name(),
+            got: got.kind_name().into(),
+        };
+        match (self, value) {
+            (ResolvedType::Byte, Value::Byte(v)) => out.push(*v),
+            (ResolvedType::Bool, Value::Bool(v)) => out.push(*v as u8),
+            (ResolvedType::Int, Value::Int(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ResolvedType::Long, Value::Long(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ResolvedType::Float, Value::Float(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ResolvedType::Double, Value::Double(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ResolvedType::Str, Value::Str(s)) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            (ResolvedType::BitArray, Value::Bits(bits)) => {
+                out.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+                let mut packed = vec![0u8; bits.len().div_ceil(8)];
+                for (i, b) in bits.iter().enumerate() {
+                    if *b {
+                        packed[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                out.extend_from_slice(&packed);
+            }
+            (ResolvedType::List(elem), Value::List(items)) => {
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    elem.encode(item, out)?;
+                }
+            }
+            (ResolvedType::Array(elem, n), Value::List(items)) => {
+                if items.len() != *n {
+                    return Err(TslError::Validate(format!(
+                        "Array<_, {n}> expects exactly {n} elements, got {}",
+                        items.len()
+                    )));
+                }
+                for item in items {
+                    elem.encode(item, out)?;
+                }
+            }
+            (ResolvedType::Struct(s), Value::Struct(fields)) => {
+                if fields.len() != s.fields.len() {
+                    return Err(TslError::Validate(format!(
+                        "struct {} expects {} fields, got {}",
+                        s.name,
+                        s.fields.len(),
+                        fields.len()
+                    )));
+                }
+                for (info, v) in s.fields.iter().zip(fields) {
+                    info.ty.encode(v, out).map_err(|e| named(e, &info.name))?;
+                }
+            }
+            (_, got) => return Err(mismatch(got)),
+        }
+        Ok(())
+    }
+
+    /// Decode a value of this type at `off`; returns the value and the
+    /// offset just past it.
+    pub fn decode(&self, blob: &[u8], off: usize) -> Result<(Value, usize), TslError> {
+        let trunc = |at: usize| TslError::Truncated { struct_name: self.name(), at };
+        let need = |n: usize| if off + n > blob.len() { Err(trunc(off)) } else { Ok(()) };
+        Ok(match self {
+            ResolvedType::Byte => {
+                need(1)?;
+                (Value::Byte(blob[off]), off + 1)
+            }
+            ResolvedType::Bool => {
+                need(1)?;
+                (Value::Bool(blob[off] != 0), off + 1)
+            }
+            ResolvedType::Int => {
+                need(4)?;
+                (Value::Int(i32::from_le_bytes(blob[off..off + 4].try_into().unwrap())), off + 4)
+            }
+            ResolvedType::Long => {
+                need(8)?;
+                (Value::Long(i64::from_le_bytes(blob[off..off + 8].try_into().unwrap())), off + 8)
+            }
+            ResolvedType::Float => {
+                need(4)?;
+                (Value::Float(f32::from_le_bytes(blob[off..off + 4].try_into().unwrap())), off + 4)
+            }
+            ResolvedType::Double => {
+                need(8)?;
+                (Value::Double(f64::from_le_bytes(blob[off..off + 8].try_into().unwrap())), off + 8)
+            }
+            ResolvedType::Str => {
+                let len = read_u32(blob, off)? as usize;
+                if off + 4 + len > blob.len() {
+                    return Err(trunc(off + 4));
+                }
+                let s = std::str::from_utf8(&blob[off + 4..off + 4 + len])
+                    .map_err(|_| TslError::Validate("string field is not valid UTF-8".into()))?;
+                (Value::Str(s.to_string()), off + 4 + len)
+            }
+            ResolvedType::BitArray => {
+                let bits = read_u32(blob, off)? as usize;
+                let bytes = bits.div_ceil(8);
+                if off + 4 + bytes > blob.len() {
+                    return Err(trunc(off + 4));
+                }
+                let v = (0..bits).map(|i| blob[off + 4 + i / 8] >> (i % 8) & 1 == 1).collect();
+                (Value::Bits(v), off + 4 + bytes)
+            }
+            ResolvedType::List(elem) => {
+                let count = read_u32(blob, off)? as usize;
+                let mut at = off + 4;
+                let mut items = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let (v, next) = elem.decode(blob, at)?;
+                    items.push(v);
+                    at = next;
+                }
+                (Value::List(items), at)
+            }
+            ResolvedType::Array(elem, n) => {
+                let mut at = off;
+                let mut items = Vec::with_capacity(*n);
+                for _ in 0..*n {
+                    let (v, next) = elem.decode(blob, at)?;
+                    items.push(v);
+                    at = next;
+                }
+                (Value::List(items), at)
+            }
+            ResolvedType::Struct(s) => {
+                let mut at = off;
+                let mut fields = Vec::with_capacity(s.fields.len());
+                for info in &s.fields {
+                    let (v, next) = info.ty.decode(blob, at).map_err(|e| named(e, &info.name))?;
+                    fields.push(v);
+                    at = next;
+                }
+                (Value::Struct(fields), at)
+            }
+        })
+    }
+
+    /// The zero/empty value of this type.
+    pub fn default_value(&self) -> Value {
+        match self {
+            ResolvedType::Byte => Value::Byte(0),
+            ResolvedType::Bool => Value::Bool(false),
+            ResolvedType::Int => Value::Int(0),
+            ResolvedType::Long => Value::Long(0),
+            ResolvedType::Float => Value::Float(0.0),
+            ResolvedType::Double => Value::Double(0.0),
+            ResolvedType::Str => Value::Str(String::new()),
+            ResolvedType::List(_) => Value::List(Vec::new()),
+            ResolvedType::Array(elem, n) => Value::List((0..*n).map(|_| elem.default_value()).collect()),
+            ResolvedType::BitArray => Value::Bits(Vec::new()),
+            ResolvedType::Struct(s) => Value::Struct(s.fields.iter().map(|f| f.ty.default_value()).collect()),
+        }
+    }
+}
+
+fn named(e: TslError, field: &str) -> TslError {
+    match e {
+        TslError::TypeMismatch { field: f, expected, got } if f.is_empty() => {
+            TslError::TypeMismatch { field: field.to_string(), expected, got }
+        }
+        other => other,
+    }
+}
+
+pub(crate) fn read_u32(blob: &[u8], off: usize) -> Result<u32, TslError> {
+    if off + 4 > blob.len() {
+        return Err(TslError::Truncated { struct_name: String::new(), at: off });
+    }
+    Ok(u32::from_le_bytes(blob[off..off + 4].try_into().unwrap()))
+}
+
+/// One compiled field: resolved type, edge annotations, and — when every
+/// preceding field is fixed-width — a static offset.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    pub name: String,
+    pub ty: ResolvedType,
+    /// Declared TSL type (kept for diagnostics and schema introspection).
+    pub decl: TypeRef,
+    pub edge_kind: Option<EdgeKind>,
+    pub referenced_cell: Option<String>,
+    /// Byte offset from the struct start, when statically known.
+    pub fixed_offset: Option<usize>,
+}
+
+/// A compiled struct: the binary layout plus cell/edge annotations.
+#[derive(Debug, Clone)]
+pub struct StructLayout {
+    pub name: String,
+    /// `Some` for `cell struct` declarations.
+    pub cell_kind: Option<CellKind>,
+    pub fields: Vec<FieldInfo>,
+    by_name: HashMap<String, usize>,
+    /// Total encoded size when every field is fixed-width.
+    pub fixed_size: Option<usize>,
+}
+
+impl StructLayout {
+    pub(crate) fn build_layout(
+        name: String,
+        cell_kind: Option<CellKind>,
+        fields: Vec<(String, ResolvedType, TypeRef, Option<EdgeKind>, Option<String>)>,
+    ) -> Result<Self, TslError> {
+        let mut infos = Vec::with_capacity(fields.len());
+        let mut by_name = HashMap::new();
+        let mut offset = Some(0usize);
+        for (i, (fname, ty, decl, edge_kind, referenced_cell)) in fields.into_iter().enumerate() {
+            if by_name.insert(fname.clone(), i).is_some() {
+                return Err(TslError::Validate(format!("duplicate field {fname} in struct {name}")));
+            }
+            let fixed_offset = offset;
+            offset = match (offset, ty.fixed_size()) {
+                (Some(o), Some(sz)) => Some(o + sz),
+                _ => None,
+            };
+            infos.push(FieldInfo { name: fname, ty, decl, edge_kind, referenced_cell, fixed_offset });
+        }
+        Ok(StructLayout { name, cell_kind, fields: infos, by_name, fixed_size: offset })
+    }
+
+    /// Index of the field named `name`.
+    pub fn field_index(&self, name: &str) -> Result<usize, TslError> {
+        self.by_name.get(name).copied().ok_or_else(|| TslError::NoSuchField(name.to_string()))
+    }
+
+    /// Field metadata by name.
+    pub fn field(&self, name: &str) -> Result<&FieldInfo, TslError> {
+        Ok(&self.fields[self.field_index(name)?])
+    }
+
+    /// Offset of field `idx` within a blob whose struct starts at `base`.
+    pub fn field_offset(&self, blob: &[u8], base: usize, idx: usize) -> Result<usize, TslError> {
+        let info = &self.fields[idx];
+        if let Some(fo) = info.fixed_offset {
+            return Ok(base + fo);
+        }
+        // Walk from the last statically known offset.
+        let mut i = idx;
+        while self.fields[i].fixed_offset.is_none() {
+            i -= 1; // field 0 always has fixed_offset == Some(0)
+        }
+        let mut at = base + self.fields[i].fixed_offset.unwrap();
+        for j in i..idx {
+            at = self.fields[j].ty.skip(blob, at)?;
+        }
+        Ok(at)
+    }
+
+    /// Offset just past this struct when it starts at `off`.
+    pub fn skip(&self, blob: &[u8], off: usize) -> Result<usize, TslError> {
+        if let Some(sz) = self.fixed_size {
+            if off + sz > blob.len() {
+                return Err(TslError::Truncated { struct_name: self.name.clone(), at: off });
+            }
+            return Ok(off + sz);
+        }
+        let mut at = off;
+        for f in &self.fields {
+            at = f.ty.skip(blob, at)?;
+        }
+        Ok(at)
+    }
+
+    /// Decode an entire blob into a [`Value::Struct`].
+    pub fn decode(&self, blob: &[u8]) -> Result<Value, TslError> {
+        let mut at = 0;
+        let mut fields = Vec::with_capacity(self.fields.len());
+        for info in &self.fields {
+            let (v, next) = info.ty.decode(blob, at).map_err(|e| named(e, &info.name))?;
+            fields.push(v);
+            at = next;
+        }
+        Ok(Value::Struct(fields))
+    }
+
+    /// Encode a [`Value::Struct`] (fields in declaration order).
+    pub fn encode(&self, value: &Value) -> Result<Vec<u8>, TslError> {
+        let fields = value.as_struct().ok_or_else(|| TslError::TypeMismatch {
+            field: String::new(),
+            expected: self.name.clone(),
+            got: value.kind_name().into(),
+        })?;
+        if fields.len() != self.fields.len() {
+            return Err(TslError::Validate(format!(
+                "struct {} expects {} fields, got {}",
+                self.name,
+                self.fields.len(),
+                fields.len()
+            )));
+        }
+        let mut out = Vec::new();
+        for (info, v) in self.fields.iter().zip(fields) {
+            info.ty.encode(v, &mut out).map_err(|e| named(e, &info.name))?;
+        }
+        Ok(out)
+    }
+
+    /// Start building a blob of this struct with named field assignment.
+    pub fn build(self: &Arc<Self>) -> CellBuilder {
+        CellBuilder { layout: Arc::clone(self), values: vec![None; self.fields.len()], error: None }
+    }
+}
+
+/// Named-field builder for new cell blobs. Unset fields default to
+/// zero/empty.
+#[derive(Debug)]
+pub struct CellBuilder {
+    layout: Arc<StructLayout>,
+    values: Vec<Option<Value>>,
+    error: Option<TslError>,
+}
+
+impl CellBuilder {
+    /// Assign a field by name. Errors are deferred to [`CellBuilder::encode`].
+    pub fn set(mut self, field: &str, value: impl Into<Value>) -> Self {
+        match self.layout.field_index(field) {
+            Ok(i) => self.values[i] = Some(value.into()),
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Encode the blob.
+    pub fn encode(self) -> Result<Vec<u8>, TslError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let fields: Vec<Value> = self
+            .values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| self.layout.fields[i].ty.default_value()))
+            .collect();
+        self.layout.encode(&Value::Struct(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_list_layout() -> Arc<StructLayout> {
+        Arc::new(
+            StructLayout::build_layout(
+                "T".into(),
+                None,
+                vec![
+                    ("id".into(), ResolvedType::Long, TypeRef::Long, None, None),
+                    ("name".into(), ResolvedType::Str, TypeRef::String, None, None),
+                    (
+                        "links".into(),
+                        ResolvedType::List(Box::new(ResolvedType::Long)),
+                        TypeRef::List(Box::new(TypeRef::Long)),
+                        None,
+                        None,
+                    ),
+                    ("weight".into(), ResolvedType::Double, TypeRef::Double, None, None),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fixed_offsets_stop_at_first_variable_field() {
+        let l = long_list_layout();
+        assert_eq!(l.fields[0].fixed_offset, Some(0));
+        assert_eq!(l.fields[1].fixed_offset, Some(8));
+        assert_eq!(l.fields[2].fixed_offset, None);
+        assert_eq!(l.fields[3].fixed_offset, None);
+        assert_eq!(l.fixed_size, None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = long_list_layout();
+        let v = Value::Struct(vec![
+            Value::Long(99),
+            Value::Str("node".into()),
+            Value::List(vec![Value::Long(1), Value::Long(2), Value::Long(3)]),
+            Value::Double(0.5),
+        ]);
+        let blob = l.encode(&v).unwrap();
+        assert_eq!(l.decode(&blob).unwrap(), v);
+        // Field offsets are consistent with the encoding.
+        assert_eq!(l.field_offset(&blob, 0, 0).unwrap(), 0);
+        assert_eq!(l.field_offset(&blob, 0, 1).unwrap(), 8);
+        assert_eq!(l.field_offset(&blob, 0, 2).unwrap(), 8 + 4 + 4);
+        assert_eq!(l.field_offset(&blob, 0, 3).unwrap(), 8 + 4 + 4 + 4 + 24);
+        assert_eq!(l.skip(&blob, 0).unwrap(), blob.len());
+    }
+
+    #[test]
+    fn builder_defaults_unset_fields() {
+        let l = long_list_layout();
+        let blob = l.build().set("id", 5i64).encode().unwrap();
+        let v = l.decode(&blob).unwrap();
+        assert_eq!(v.as_struct().unwrap()[0], Value::Long(5));
+        assert_eq!(v.as_struct().unwrap()[1], Value::Str(String::new()));
+        assert_eq!(v.as_struct().unwrap()[2], Value::List(vec![]));
+    }
+
+    #[test]
+    fn builder_reports_bad_field_names() {
+        let l = long_list_layout();
+        assert_eq!(l.build().set("nope", 1i64).encode(), Err(TslError::NoSuchField("nope".into())));
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let l = long_list_layout();
+        let r = l.build().set("id", "a string").encode();
+        assert!(matches!(r, Err(TslError::TypeMismatch { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn truncated_blob_is_detected() {
+        let l = long_list_layout();
+        let blob = l.build().set("name", "hello").encode().unwrap();
+        assert!(matches!(l.decode(&blob[..blob.len() - 1]), Err(TslError::Truncated { .. })));
+        assert!(matches!(l.decode(&blob[..4]), Err(TslError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bitarray_roundtrip() {
+        let l = Arc::new(
+            StructLayout::build_layout(
+                "B".into(),
+                None,
+                vec![("bits".into(), ResolvedType::BitArray, TypeRef::BitArray, None, None)],
+            )
+            .unwrap(),
+        );
+        let bits: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let blob = l.encode(&Value::Struct(vec![Value::Bits(bits.clone())])).unwrap();
+        assert_eq!(blob.len(), 4 + 3);
+        assert_eq!(l.decode(&blob).unwrap(), Value::Struct(vec![Value::Bits(bits)]));
+    }
+}

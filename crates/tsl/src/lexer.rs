@@ -1,0 +1,195 @@
+//! Tokenizer for TSL scripts.
+//!
+//! TSL's surface syntax is a small C#-flavored declaration language:
+//! identifiers, a handful of keywords, punctuation, `[...]` attributes and
+//! `//` line comments.
+
+use crate::error::TslError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are contextual: `cell`, `struct`,
+    /// `protocol` are only special in declaration position).
+    Ident(String),
+    /// Integer literal (array lengths in `Array<T, N>`).
+    Int(u64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LAngle,
+    RAngle,
+    Semicolon,
+    Colon,
+    Comma,
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "`{n}`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LAngle => write!(f, "`<`"),
+            TokenKind::RAngle => write!(f, "`>`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenize a TSL script.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, TslError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let bump = |chars: &mut std::iter::Peekable<std::str::Chars>, line: &mut usize, col: &mut usize| {
+            let c = chars.next().unwrap();
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            c
+        };
+        match c {
+            c if c.is_whitespace() => {
+                bump(&mut chars, &mut line, &mut col);
+            }
+            '/' => {
+                bump(&mut chars, &mut line, &mut col);
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump(&mut chars, &mut line, &mut col);
+                    }
+                } else {
+                    return Err(TslError::Parse {
+                        line: tline,
+                        col: tcol,
+                        msg: "unexpected `/` (only `//` comments are supported)".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n.saturating_mul(10).saturating_add(d as u64);
+                        bump(&mut chars, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Int(n), line: tline, col: tcol });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(bump(&mut chars, &mut line, &mut col));
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(ident), line: tline, col: tcol });
+            }
+            _ => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '<' => TokenKind::LAngle,
+                    '>' => TokenKind::RAngle,
+                    ';' => TokenKind::Semicolon,
+                    ':' => TokenKind::Colon,
+                    ',' => TokenKind::Comma,
+                    other => {
+                        return Err(TslError::Parse {
+                            line: tline,
+                            col: tcol,
+                            msg: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                bump(&mut chars, &mut line, &mut col);
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_declaration_shapes() {
+        let k = kinds("cell struct Movie { string Name; }");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("cell".into()),
+                TokenKind::Ident("struct".into()),
+                TokenKind::Ident("Movie".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("string".into()),
+                TokenKind::Ident("Name".into()),
+                TokenKind::Semicolon,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let toks = tokenize("// header\nfoo // trailing\nbar").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].kind, TokenKind::Ident("foo".into()));
+        assert_eq!((toks[0].line, toks[0].col), (2, 1));
+        assert_eq!(toks[1].kind, TokenKind::Ident("bar".into()));
+        assert_eq!((toks[1].line, toks[1].col), (3, 1));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(tokenize("struct A { int x = 3; }"), Err(TslError::Parse { .. })));
+        assert!(matches!(tokenize("a / b"), Err(TslError::Parse { .. })));
+    }
+
+    #[test]
+    fn generics_and_attributes_lex() {
+        let k = kinds("[EdgeType: SimpleEdge, ReferencedCell: Actor] List<long> Actors;");
+        assert!(k.contains(&TokenKind::LBracket));
+        assert!(k.contains(&TokenKind::LAngle));
+        assert!(k.contains(&TokenKind::Comma));
+    }
+}

@@ -1,0 +1,77 @@
+//! TSL — the Trinity Specification Language.
+//!
+//! Graphs and graph algorithms are too diverse for a fixed schema or a
+//! fixed computation model, so Trinity lets users declare both the *data
+//! schema* and the *communication protocols* in a small specification
+//! language (paper §4.2), then generates efficient accessors from it. This
+//! crate is the TSL toolchain:
+//!
+//! * [`parse`] turns a TSL script into an AST ([`ast`]);
+//! * [`compile`] validates it into a [`Schema`]: binary layouts for every
+//!   `cell struct` / `struct`, plus protocol descriptors with assigned
+//!   wire ids;
+//! * [`CellAccessor`] / [`CellAccessorMut`] provide the paper's
+//!   object-oriented *data mapper* over raw blobs (§4.3, Figure 6): field
+//!   reads and fixed-size field writes resolve to offsets in the blob with
+//!   zero serialization and zero copying;
+//! * [`Value`] is the dynamic value tree used to build new cells and to
+//!   decode whole blobs when convenient.
+//!
+//! The paper's movie/actor example (Figure 4) parses verbatim:
+//!
+//! ```
+//! use trinity_tsl::{compile, parse, CellAccessor, Value};
+//!
+//! let script = r#"
+//!     [CellType: NodeCell]
+//!     cell struct Movie
+//!     {
+//!         string Name;
+//!         [EdgeType: SimpleEdge, ReferencedCell: Actor]
+//!         List<long> Actors;
+//!     }
+//!     [CellType: NodeCell]
+//!     cell struct Actor
+//!     {
+//!         string Name;
+//!         [EdgeType: SimpleEdge, ReferencedCell: Movie]
+//!         List<long> Movies;
+//!     }
+//! "#;
+//! let schema = compile(&parse(script).unwrap()).unwrap();
+//! let movie = schema.struct_layout("Movie").unwrap();
+//! let blob = movie
+//!     .build()
+//!     .set("Name", Value::Str("The Matrix".into()))
+//!     .set("Actors", Value::List(vec![Value::Long(42), Value::Long(7)]))
+//!     .encode()
+//!     .unwrap();
+//! let acc = CellAccessor::new(movie, &blob);
+//! assert_eq!(acc.get_str("Name").unwrap(), "The Matrix");
+//! assert_eq!(acc.list_len("Actors").unwrap(), 2);
+//! assert_eq!(acc.list_get_long("Actors", 0).unwrap(), 42);
+//! ```
+
+pub mod accessor;
+pub mod ast;
+pub mod error;
+pub mod layout;
+pub mod lexer;
+pub mod parser;
+pub mod schema;
+pub mod value;
+
+pub use accessor::{CellAccessor, CellAccessorMut};
+pub use ast::{Attribute, CellKind, EdgeKind, FieldDef, ProtocolDef, ProtocolKind, StructDef, TslScript, TypeRef};
+pub use error::TslError;
+pub use layout::{CellBuilder, FieldInfo, StructLayout};
+pub use schema::{compile, ProtocolInfo, Schema};
+pub use value::Value;
+
+/// Result alias for TSL operations.
+pub type Result<T> = std::result::Result<T, TslError>;
+
+/// Parse a TSL script into its AST.
+pub fn parse(src: &str) -> Result<TslScript> {
+    parser::parse_script(src)
+}

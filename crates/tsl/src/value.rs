@@ -1,0 +1,123 @@
+//! Dynamic TSL values.
+//!
+//! [`Value`] is the boxed, owner-friendly view of TSL data — used when
+//! *building* a new cell blob or when decoding a whole blob at once.
+//! Steady-state data access goes through [`crate::CellAccessor`] instead,
+//! which never materializes values it is not asked for.
+
+/// A dynamically typed TSL value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Byte(u8),
+    Bool(bool),
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Str(String),
+    List(Vec<Value>),
+    Bits(Vec<bool>),
+    /// Struct fields in declaration order.
+    Struct(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable name of the value's shape (for error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Byte(_) => "byte",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Long(_) => "long",
+            Value::Float(_) => "float",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::List(_) => "List",
+            Value::Bits(_) => "BitArray",
+            Value::Struct(_) => "struct",
+        }
+    }
+
+    /// Convenience extractor.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience extractor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience extractor.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience extractor.
+    pub fn as_struct(&self) -> Option<&[Value]> {
+        match self {
+            Value::Struct(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Self {
+        Value::List(v.into_iter().map(Value::Long).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractors_and_conversions() {
+        assert_eq!(Value::from(7i64).as_long(), Some(7));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(vec![1i64, 2]).as_list().unwrap().len(), 2);
+        assert_eq!(Value::Bool(true).as_long(), None);
+        assert_eq!(Value::Struct(vec![]).as_struct(), Some(&[][..]));
+        assert_eq!(Value::Bits(vec![true]).kind_name(), "BitArray");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests: TSL encoding must be a lossless bijection and the
+//! zero-copy accessor must agree with full decoding on every field.
+
+use proptest::prelude::*;
+use trinity_tsl::{compile, parse, CellAccessor, Value};
+
+const SCRIPT: &str = "
+    struct Inner { int A; string B; List<double> C; }
+    [CellType: NodeCell]
+    cell struct Rich {
+        byte Tag;
+        bool Flag;
+        int Count;
+        long Id;
+        float F;
+        double D;
+        string Name;
+        List<long> Links;
+        List<string> Labels;
+        BitArray Bits;
+        Inner Nested;
+        List<Inner> Extra;
+        Array<int, 4> Quad;
+        Array<string, 2> Pair;
+    }
+";
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let inner = |a: i32, b: String, c: Vec<f64>| {
+        Value::Struct(vec![Value::Int(a), Value::Str(b), Value::List(c.into_iter().map(Value::Double).collect())])
+    };
+    (
+        any::<u8>(),
+        any::<bool>(),
+        any::<i32>(),
+        any::<i64>(),
+        any::<f32>(),
+        any::<f64>(),
+        "[a-zA-Z0-9 ]{0,20}",
+        proptest::collection::vec(any::<i64>(), 0..16),
+        proptest::collection::vec("[a-z]{0,8}", 0..6),
+        proptest::collection::vec(any::<bool>(), 0..24),
+        (any::<i32>(), "[a-z]{0,5}", proptest::collection::vec(any::<f64>(), 0..4)),
+        (
+            proptest::collection::vec((any::<i32>(), "[a-z]{0,5}", proptest::collection::vec(any::<f64>(), 0..3)), 0..4),
+            proptest::array::uniform4(any::<i32>()),
+            ("[a-z]{0,6}", "[a-z]{0,6}"),
+        ),
+    )
+        .prop_map(move |(tag, flag, count, id, f, d, name, links, labels, bits, nested, (extra, quad, pair))| {
+            Value::Struct(vec![
+                Value::Byte(tag),
+                Value::Bool(flag),
+                Value::Int(count),
+                Value::Long(id),
+                Value::Float(f),
+                Value::Double(d),
+                Value::Str(name),
+                Value::List(links.into_iter().map(Value::Long).collect()),
+                Value::List(labels.into_iter().map(Value::Str).collect()),
+                Value::Bits(bits),
+                inner(nested.0, nested.1, nested.2),
+                Value::List(extra.into_iter().map(|(a, b, c)| inner(a, b, c)).collect()),
+                Value::List(quad.into_iter().map(Value::Int).collect()),
+                Value::List(vec![Value::Str(pair.0), Value::Str(pair.1)]),
+            ])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_is_identity(v in value_strategy()) {
+        let schema = compile(&parse(SCRIPT).unwrap()).unwrap();
+        let layout = schema.struct_layout("Rich").unwrap();
+        let blob = layout.encode(&v).unwrap();
+        prop_assert_eq!(layout.decode(&blob).unwrap(), v);
+    }
+
+    #[test]
+    fn accessor_agrees_with_decode(v in value_strategy()) {
+        let schema = compile(&parse(SCRIPT).unwrap()).unwrap();
+        let layout = schema.struct_layout("Rich").unwrap();
+        let blob = layout.encode(&v).unwrap();
+        let fields = v.as_struct().unwrap();
+        let acc = CellAccessor::new(layout, &blob);
+        prop_assert_eq!(Value::Byte(acc.get_byte("Tag").unwrap()), fields[0].clone());
+        prop_assert_eq!(Value::Bool(acc.get_bool("Flag").unwrap()), fields[1].clone());
+        prop_assert_eq!(Value::Int(acc.get_int("Count").unwrap()), fields[2].clone());
+        prop_assert_eq!(Value::Long(acc.get_long("Id").unwrap()), fields[3].clone());
+        prop_assert_eq!(acc.get_str("Name").unwrap(), fields[6].as_str().unwrap());
+        let links: Vec<i64> = acc.list_longs("Links").unwrap().collect();
+        let expect: Vec<i64> = fields[7].as_list().unwrap().iter().map(|x| x.as_long().unwrap()).collect();
+        prop_assert_eq!(links, expect);
+        prop_assert_eq!(acc.get_value("Labels").unwrap(), fields[8].clone());
+        if let Value::Bits(bits) = &fields[9] {
+            prop_assert_eq!(acc.list_len("Bits").unwrap(), bits.len());
+            for (i, b) in bits.iter().enumerate() {
+                prop_assert_eq!(acc.bit_get("Bits", i).unwrap(), *b);
+            }
+        }
+        let nested = acc.get_struct("Nested").unwrap();
+        let inner_fields = fields[10].as_struct().unwrap();
+        prop_assert_eq!(Value::Int(nested.get_int("A").unwrap()), inner_fields[0].clone());
+        prop_assert_eq!(nested.get_str("B").unwrap(), inner_fields[1].as_str().unwrap());
+        prop_assert_eq!(acc.get_value("Extra").unwrap(), fields[11].clone());
+        prop_assert_eq!(acc.list_len("Quad").unwrap(), 4);
+        for i in 0..4 {
+            prop_assert_eq!(
+                Value::Int(acc.list_get_int("Quad", i).unwrap()),
+                fields[12].as_list().unwrap()[i].clone()
+            );
+        }
+        prop_assert_eq!(acc.get_value("Pair").unwrap(), fields[13].clone());
+    }
+
+    #[test]
+    fn truncation_never_panics(v in value_strategy(), cut in 0usize..200) {
+        let schema = compile(&parse(SCRIPT).unwrap()).unwrap();
+        let layout = schema.struct_layout("Rich").unwrap();
+        let blob = layout.encode(&v).unwrap();
+        let cut = cut.min(blob.len());
+        // Decoding any prefix must return, never panic or overrun.
+        let _ = layout.decode(&blob[..cut]);
+        let acc = CellAccessor::new(layout, &blob[..cut]);
+        let _ = acc.get_str("Name");
+        let _ = acc.get_value("Extra");
+        let _ = acc.list_len("Links");
+    }
+}

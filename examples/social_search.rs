@@ -1,0 +1,61 @@
+//! The David problem (paper §5.1): people search on a social network.
+//!
+//! Builds a Facebook-like social graph where ~1.5% of people are named
+//! David, then answers "is anyone named David within k hops of this
+//! user?" by pure exploration — the query class no index can serve at
+//! web scale.
+//!
+//! ```text
+//! cargo run --release --example social_search [nodes] [degree]
+//! ```
+
+use std::sync::Arc;
+
+use trinity::algos::people_search;
+use trinity::core::Explorer;
+use trinity::graph::{load_graph, LoadOptions};
+use trinity::memcloud::{CloudConfig, MemoryCloud};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let degree: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
+    let machines = 8;
+    let seed = 42u64;
+
+    println!("generating a social graph: {n} people, average degree {degree}...");
+    let csr = trinity::graphgen::social(n, degree, seed);
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+    let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> =
+        Arc::new(move |v| trinity::graphgen::names::name_for(seed, v).into_bytes());
+    load_graph(Arc::clone(&cloud), &csr, &LoadOptions { with_in_links: false, attrs: Some(attrs) })
+        .expect("load graph");
+    let explorer = Explorer::install(Arc::clone(&cloud));
+    println!("loaded over {machines} machines; {} total cells\n", cloud.total_cells());
+
+    for hops in 1..=3 {
+        let report = people_search(&explorer, 0, 7, hops, "David");
+        println!(
+            "{hops}-hop search from person 7: {:3} Davids among {:6} people, {:.2} ms ({} machine batches)",
+            report.matches.len(),
+            report.visited,
+            report.seconds * 1e3,
+            report.batches,
+        );
+        if hops == 3 {
+            println!("  per-hop frontier sizes: {:?}", report.per_hop);
+            let davids: Vec<String> = report.matches.iter().take(8).map(|id| format!("#{id}")).collect();
+            println!("  first matches: {}", davids.join(", "));
+        }
+    }
+
+    let stats = cloud.fabric().total_stats();
+    println!(
+        "\nnetwork: {} messages in {} transfers ({:.1} msgs/transfer packing), {} KiB",
+        stats.remote_frames,
+        stats.remote_envelopes,
+        stats.packing_factor(),
+        stats.remote_bytes / 1024,
+    );
+    cloud.shutdown();
+}
