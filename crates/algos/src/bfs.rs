@@ -67,13 +67,19 @@ impl VertexProgram for BfsProgram {
 }
 
 /// Run BFS on a distributed graph; returns depths and the run report.
-pub fn bfs_distributed(graph: Arc<DistributedGraph>, source: CellId, cfg: BspConfig) -> BspResult<BfsProgram> {
+pub fn bfs_distributed(
+    graph: Arc<DistributedGraph>,
+    source: CellId,
+    cfg: BspConfig,
+) -> BspResult<BfsProgram> {
     BspRunner::new(graph, BfsProgram { source }, cfg).run()
 }
 
 /// Single-process reference BFS.
 pub fn bfs_reference(csr: &Csr, source: CellId) -> HashMap<CellId, u64> {
-    let mut dist: HashMap<CellId, u64> = (0..csr.node_count() as u64).map(|v| (v, UNREACHED)).collect();
+    let mut dist: HashMap<CellId, u64> = (0..csr.node_count() as u64)
+        .map(|v| (v, UNREACHED))
+        .collect();
     dist.insert(source, 0);
     let mut queue = std::collections::VecDeque::from([source]);
     while let Some(v) = queue.pop_front() {
@@ -106,7 +112,15 @@ mod tests {
     fn distributed_bfs_matches_reference_on_rmat() {
         let csr = trinity_graphgen::rmat(8, 8, 21);
         let expect = bfs_reference(&csr, 0);
-        let got = run(&csr, 4, 0, BspConfig { max_supersteps: 256, ..BspConfig::default() });
+        let got = run(
+            &csr,
+            4,
+            0,
+            BspConfig {
+                max_supersteps: 256,
+                ..BspConfig::default()
+            },
+        );
         assert_eq!(got.len(), expect.len());
         for (id, d) in &expect {
             assert_eq!(got[id], *d, "vertex {id}");
@@ -135,11 +149,23 @@ mod tests {
         let edges: Vec<(u64, u64)> = (0..n as u64 - 1).map(|v| (v, v + 1)).collect();
         let csr = Csr::undirected_from_edges(n, &edges, true);
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
-        let graph = Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
-        let r = bfs_distributed(graph, 0, BspConfig { max_supersteps: 256, ..BspConfig::default() });
+        let graph =
+            Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
+        let r = bfs_distributed(
+            graph,
+            0,
+            BspConfig {
+                max_supersteps: 256,
+                ..BspConfig::default()
+            },
+        );
         assert!(r.terminated);
         // Levels 0..n-1 plus a final quiet superstep.
-        assert!((n..n + 2).contains(&r.supersteps()), "{} supersteps for a {n}-path", r.supersteps());
+        assert!(
+            (n..n + 2).contains(&r.supersteps()),
+            "{} supersteps for a {n}-path",
+            r.supersteps()
+        );
         cloud.shutdown();
     }
 }

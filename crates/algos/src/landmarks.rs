@@ -139,9 +139,7 @@ pub fn select_landmarks(
         LandmarkStrategy::GlobalBetweenness => {
             let score = approx_betweenness(csr, 48, seed);
             let mut by_score: Vec<u64> = (0..n as u64).collect();
-            by_score.sort_unstable_by(|&a, &b| {
-                score[b as usize].total_cmp(&score[a as usize])
-            });
+            by_score.sort_unstable_by(|&a, &b| score[b as usize].total_cmp(&score[a as usize]));
             by_score.truncate(count);
             by_score
         }
@@ -243,8 +241,15 @@ mod tests {
         ranked.sort_by(|&a, &b| score[b].total_cmp(&score[a]));
         let mut top3 = ranked[..3].to_vec();
         top3.sort_unstable();
-        assert_eq!(top3, vec![0, 5, 6], "cut vertices must dominate betweenness: {score:?}");
-        assert!(score[ranked[2]] > score[ranked[3]] * 5.0 + 1.0, "cut vertices should dominate: {score:?}");
+        assert_eq!(
+            top3,
+            vec![0, 5, 6],
+            "cut vertices must dominate betweenness: {score:?}"
+        );
+        assert!(
+            score[ranked[2]] > score[ranked[3]] * 5.0 + 1.0,
+            "cut vertices should dominate: {score:?}"
+        );
     }
 
     #[test]
@@ -276,9 +281,18 @@ mod tests {
         // degree heuristic is competitive because degree and centrality
         // correlate strongly; the full-size experiment in the bench
         // harness reports all three curves.)
-        assert!((local - global).abs() <= 0.1, "local {local:.3} should be close to global {global:.3}");
-        assert!(global >= degree - 0.06, "global {global:.3} vs degree {degree:.3}");
-        assert!(local >= degree - 0.06, "local {local:.3} vs degree {degree:.3}");
+        assert!(
+            (local - global).abs() <= 0.1,
+            "local {local:.3} should be close to global {global:.3}"
+        );
+        assert!(
+            global >= degree - 0.06,
+            "global {global:.3} vs degree {degree:.3}"
+        );
+        assert!(
+            local >= degree - 0.06,
+            "local {local:.3} vs degree {degree:.3}"
+        );
         // All strategies produce usable oracles on this graph.
         for (name, a) in [("degree", degree), ("local", local), ("global", global)] {
             assert!(a > 0.6, "{name} accuracy {a:.3} implausibly low");
@@ -293,7 +307,10 @@ mod tests {
         for count in [5usize, 20, 60] {
             let lm = select_landmarks(&csr, count, LandmarkStrategy::LargestDegree, 4, part, 5);
             let acc = estimate_accuracy(&csr, &lm, 100, 42);
-            assert!(acc >= last - 0.02, "accuracy fell from {last:.3} to {acc:.3} at {count} landmarks");
+            assert!(
+                acc >= last - 0.02,
+                "accuracy fell from {last:.3} to {acc:.3} at {count} landmarks"
+            );
             last = acc;
         }
     }
@@ -301,9 +318,11 @@ mod tests {
     #[test]
     fn landmark_counts_are_respected() {
         let csr = trinity_graphgen::social(200, 8, 2);
-        for strategy in
-            [LandmarkStrategy::LargestDegree, LandmarkStrategy::LocalBetweenness, LandmarkStrategy::GlobalBetweenness]
-        {
+        for strategy in [
+            LandmarkStrategy::LargestDegree,
+            LandmarkStrategy::LocalBetweenness,
+            LandmarkStrategy::GlobalBetweenness,
+        ] {
             let lm = select_landmarks(&csr, 10, strategy, 4, |v| (v % 4) as usize, 1);
             assert_eq!(lm.len(), 10, "{strategy:?}");
             let mut dedup = lm.clone();

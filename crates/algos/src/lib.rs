@@ -34,6 +34,9 @@ pub use partition::{edge_cut, multilevel_partition, random_partition, PartitionR
 pub use people_search::{people_search, PeopleSearchReport};
 pub use sparql::{load_lubm, run_sparql_query, SparqlQuery, SparqlReport};
 pub use subgraph::{
-    assign_labels, generate_pattern, reference_match, subgraph_match, Pattern, PatternGen, SubgraphReport,
+    assign_labels, generate_pattern, reference_match, subgraph_match, Pattern, PatternGen,
+    SubgraphReport,
 };
-pub use wsssp::{dijkstra_reference, load_weighted, wsssp_distributed, WeightedGraph, WssspProgram};
+pub use wsssp::{
+    dijkstra_reference, load_weighted, wsssp_distributed, WeightedGraph, WssspProgram,
+};

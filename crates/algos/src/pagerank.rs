@@ -32,10 +32,19 @@ impl VertexProgram for PageRankProgram {
     type Msg = f64;
 
     fn init(&self, _id: CellId, view: &trinity_graph::NodeView<'_>) -> PageRankState {
-        PageRankState { rank: 1.0 / self.n as f64, out_degree: view.out_degree() }
+        PageRankState {
+            rank: 1.0 / self.n as f64,
+            out_degree: view.out_degree(),
+        }
     }
 
-    fn compute(&self, ctx: &mut VertexContext<'_, f64>, _id: CellId, state: &mut PageRankState, msgs: &[f64]) {
+    fn compute(
+        &self,
+        ctx: &mut VertexContext<'_, f64>,
+        _id: CellId,
+        state: &mut PageRankState,
+        msgs: &[f64],
+    ) {
         if ctx.superstep() > 0 {
             let sum: f64 = msgs.iter().sum();
             state.rank = (1.0 - DAMPING) / self.n as f64 + DAMPING * sum;
@@ -124,19 +133,36 @@ mod tests {
     use trinity_graph::{load_graph, LoadOptions};
     use trinity_memcloud::{CloudConfig, MemoryCloud};
 
-    fn distributed_ranks(csr: &Csr, machines: usize, iters: usize, cfg: BspConfig) -> HashMap<CellId, f64> {
+    fn distributed_ranks(
+        csr: &Csr,
+        machines: usize,
+        iters: usize,
+        cfg: BspConfig,
+    ) -> HashMap<CellId, f64> {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
         let graph = Arc::new(load_graph(Arc::clone(&cloud), csr, &LoadOptions::default()).unwrap());
         let result = pagerank_distributed(graph, iters, cfg);
         cloud.shutdown();
-        result.states.into_iter().map(|(id, s)| (id, s.rank)).collect()
+        result
+            .states
+            .into_iter()
+            .map(|(id, s)| (id, s.rank))
+            .collect()
     }
 
     #[test]
     fn distributed_matches_reference() {
         let csr = trinity_graphgen::rmat(8, 6, 11);
         let expect = pagerank_reference(&csr, 5);
-        let got = distributed_ranks(&csr, 3, 5, BspConfig { hub_threshold: None, ..BspConfig::default() });
+        let got = distributed_ranks(
+            &csr,
+            3,
+            5,
+            BspConfig {
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+        );
         assert_eq!(got.len(), expect.len());
         for (id, r) in &expect {
             let g = got[id];
@@ -147,10 +173,25 @@ mod tests {
     #[test]
     fn hub_buffering_and_combining_preserve_ranks() {
         let csr = trinity_graphgen::power_law(800, 2.16, 1, 120, 5);
-        let base = distributed_ranks(&csr, 3, 4, BspConfig { hub_threshold: None, ..BspConfig::default() });
+        let base = distributed_ranks(
+            &csr,
+            3,
+            4,
+            BspConfig {
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+        );
         for cfg in [
-            BspConfig { hub_threshold: Some(16), ..BspConfig::default() },
-            BspConfig { combine: true, hub_threshold: None, ..BspConfig::default() },
+            BspConfig {
+                hub_threshold: Some(16),
+                ..BspConfig::default()
+            },
+            BspConfig {
+                combine: true,
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
         ] {
             let got = distributed_ranks(&csr, 3, 4, cfg);
             for (id, r) in &base {
@@ -168,10 +209,15 @@ mod tests {
         assert!(total <= 1.0 + 1e-9 && total > 0.3, "total rank {total}");
         // The most-linked-to vertex should outrank the median vertex.
         let t = csr.transpose();
-        let popular = (0..csr.node_count() as u64).max_by_key(|&v| t.out_degree(v)).unwrap();
+        let popular = (0..csr.node_count() as u64)
+            .max_by_key(|&v| t.out_degree(v))
+            .unwrap();
         let mut sorted: Vec<f64> = ranks.values().copied().collect();
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
-        assert!(ranks[&popular] > median * 2.0, "popular vertex should rank well above median");
+        assert!(
+            ranks[&popular] > median * 2.0,
+            "popular vertex should rank well above median"
+        );
     }
 }

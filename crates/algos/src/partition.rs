@@ -45,7 +45,10 @@ pub fn edge_cut(csr: &Csr, assignment: &[u32]) -> u64 {
     }
     if csr.directed {
         // Directed arcs counted individually.
-        cut = csr.arcs().filter(|(s, t)| assignment[*s as usize] != assignment[*t as usize]).count() as u64;
+        cut = csr
+            .arcs()
+            .filter(|(s, t)| assignment[*s as usize] != assignment[*t as usize])
+            .count() as u64;
     }
     cut
 }
@@ -115,11 +118,20 @@ fn coarsen(adj: &[BTreeMap<u32, u64>], vweight: &[u64], rng: &mut rand::rngs::St
             }
         }
     }
-    Level { adj: cadj, vweight: cw, map_from_finer: map }
+    Level {
+        adj: cadj,
+        vweight: cw,
+        map_from_finer: map,
+    }
 }
 
 /// Greedy balanced region growing for the initial k-way partition.
-fn initial_partition(adj: &[BTreeMap<u32, u64>], vweight: &[u64], k: usize, rng: &mut rand::rngs::StdRng) -> Vec<u32> {
+fn initial_partition(
+    adj: &[BTreeMap<u32, u64>],
+    vweight: &[u64],
+    k: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Vec<u32> {
     let n = adj.len();
     let total: u64 = vweight.iter().sum();
     let target = total.div_ceil(k as u64);
@@ -149,7 +161,12 @@ fn initial_partition(adj: &[BTreeMap<u32, u64>], vweight: &[u64], k: usize, rng:
             if part_weight[part as usize] >= target && part as usize != k - 1 {
                 break;
             }
-            frontier.extend(adj[v as usize].keys().copied().filter(|&t| assignment[t as usize] == u32::MAX));
+            frontier.extend(
+                adj[v as usize]
+                    .keys()
+                    .copied()
+                    .filter(|&t| assignment[t as usize] == u32::MAX),
+            );
         }
     }
     // Leftovers (disconnected bits): lightest part wins.
@@ -244,7 +261,8 @@ pub fn multilevel_partition(csr: &Csr, k: usize, balance_eps: f64, seed: u64) ->
     }
     // Initial partition on the coarsest graph.
     let total: u64 = cur_w.iter().sum();
-    let max_weight = ((total as f64 / k as f64) * balance_eps).ceil() as u64 + cur_w.iter().copied().max().unwrap_or(1);
+    let max_weight = ((total as f64 / k as f64) * balance_eps).ceil() as u64
+        + cur_w.iter().copied().max().unwrap_or(1);
     let mut assignment = initial_partition(&cur_adj, &cur_w, k, &mut rng);
     refine(&cur_adj, &cur_w, &mut assignment, k, max_weight, 4);
     // Uncoarsen with refinement at every level.
@@ -257,16 +275,17 @@ pub fn multilevel_partition(csr: &Csr, k: usize, balance_eps: f64, seed: u64) ->
         assignment = finer_assignment;
         // Rebuild the finer level's adjacency for refinement.
         // The finest level uses the original graph.
-        let (finer_adj, finer_w): (&[BTreeMap<u32, u64>], Vec<u64>) = if std::ptr::eq(level, &levels[0]) {
-            (&adj, vec![1; n])
-        } else {
-            // Locate the finer level's stored data.
-            let idx = levels.iter().position(|l| std::ptr::eq(l, level)).unwrap();
-            (&levels[idx - 1].adj, levels[idx - 1].vweight.clone())
-        };
+        let (finer_adj, finer_w): (&[BTreeMap<u32, u64>], Vec<u64>) =
+            if std::ptr::eq(level, &levels[0]) {
+                (&adj, vec![1; n])
+            } else {
+                // Locate the finer level's stored data.
+                let idx = levels.iter().position(|l| std::ptr::eq(l, level)).unwrap();
+                (&levels[idx - 1].adj, levels[idx - 1].vweight.clone())
+            };
         let total: u64 = finer_w.iter().sum();
-        let max_weight =
-            ((total as f64 / k as f64) * balance_eps).ceil() as u64 + finer_w.iter().copied().max().unwrap_or(1);
+        let max_weight = ((total as f64 / k as f64) * balance_eps).ceil() as u64
+            + finer_w.iter().copied().max().unwrap_or(1);
         refine(finer_adj, &finer_w, &mut assignment, k, max_weight, 3);
     }
     // Final metrics.
@@ -277,7 +296,11 @@ pub fn multilevel_partition(csr: &Csr, k: usize, balance_eps: f64, seed: u64) ->
     }
     let ideal = n as f64 / k as f64;
     let imbalance = weights.iter().copied().max().unwrap_or(0) as f64 / ideal;
-    PartitionResult { assignment, cut, imbalance }
+    PartitionResult {
+        assignment,
+        cut,
+        imbalance,
+    }
 }
 
 /// Random hash partition (the memory cloud's default placement) — the
@@ -342,12 +365,18 @@ mod tests {
         }
         let g = Csr::undirected_from_edges(cliques * size as usize, &edges, true);
         let result = multilevel_partition(&g, 4, 1.15, 3);
-        assert!(result.cut <= 12, "cut {} should be near the 8 bridge edges", result.cut);
+        assert!(
+            result.cut <= 12,
+            "cut {} should be near the 8 bridge edges",
+            result.cut
+        );
         // No clique should be split.
         for c in 0..cliques as u64 {
             let base = (c * size) as usize;
             let part = result.assignment[base];
-            let split = (0..size as usize).filter(|&i| result.assignment[base + i] != part).count();
+            let split = (0..size as usize)
+                .filter(|&i| result.assignment[base + i] != part)
+                .count();
             assert_eq!(split, 0, "clique {c} was split");
         }
     }

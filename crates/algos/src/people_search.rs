@@ -64,8 +64,15 @@ mod tests {
         let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> =
             Arc::new(move |v| trinity_graphgen::names::name_for(seed, v).into_bytes());
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(4)));
-        load_graph(Arc::clone(&cloud), &csr, &LoadOptions { with_in_links: false, attrs: Some(attrs) })
-            .unwrap();
+        load_graph(
+            Arc::clone(&cloud),
+            &csr,
+            &LoadOptions {
+                with_in_links: false,
+                attrs: Some(attrs),
+            },
+        )
+        .unwrap();
         let explorer = Explorer::install(Arc::clone(&cloud));
         let report = people_search(&explorer, 0, 5, 2, "David");
         // Reference: BFS to depth 2, filter by name.
@@ -84,7 +91,9 @@ mod tests {
             }
         }
         let expect: HashSet<u64> = (0..n as u64)
-            .filter(|&v| dist[v as usize] <= 2 && trinity_graphgen::names::name_for(seed, v) == "David")
+            .filter(|&v| {
+                dist[v as usize] <= 2 && trinity_graphgen::names::name_for(seed, v) == "David"
+            })
             .collect();
         let got: HashSet<u64> = report.matches.iter().copied().collect();
         assert_eq!(got, expect);

@@ -73,20 +73,35 @@ pub fn load_lubm(cloud: Arc<MemoryCloud>, data: &LubmGraph) -> DistributedGraph 
         let types = Arc::clone(&types);
         Arc::new(move |v| vec![types[v as usize]])
     };
-    load_graph(cloud, &data.csr, &LoadOptions { with_in_links: true, attrs: Some(attrs) })
-        .expect("load LUBM graph")
+    load_graph(
+        cloud,
+        &data.csr,
+        &LoadOptions {
+            with_in_links: true,
+            attrs: Some(attrs),
+        },
+    )
+    .expect("load LUBM graph")
 }
 
 /// Node info fetched during exploration: type byte, out-list, in-list.
 type Info = (u8, Vec<CellId>, Vec<CellId>);
 
-fn node_info(handle: &trinity_graph::GraphHandle, cache: &mut HashMap<CellId, Info>, id: CellId) -> Option<Info> {
+fn node_info(
+    handle: &trinity_graph::GraphHandle,
+    cache: &mut HashMap<CellId, Info>,
+    id: CellId,
+) -> Option<Info> {
     if let Some(hit) = cache.get(&id) {
         return Some(hit.clone());
     }
     let info = handle
         .with_node(id, |view| {
-            (view.attrs().first().copied().unwrap_or(255), view.outs().collect::<Vec<_>>(), view.ins().collect::<Vec<_>>())
+            (
+                view.attrs().first().copied().unwrap_or(255),
+                view.outs().collect::<Vec<_>>(),
+                view.ins().collect::<Vec<_>>(),
+            )
         })
         .ok()
         .flatten()?;
@@ -147,7 +162,7 @@ pub fn run_sparql_query(graph: &DistributedGraph, query: SparqlQuery) -> SparqlR
                                     .iter()
                                     .filter(|&&u| {
                                         node_info(&handle, &mut cache, u)
-                                            .map_or(false, |ui| is_type(&ui, NodeType::University))
+                                            .is_some_and(|ui| is_type(&ui, NodeType::University))
                                     })
                                     .count() as u64;
                             }
@@ -162,7 +177,7 @@ pub fn run_sparql_query(graph: &DistributedGraph, query: SparqlQuery) -> SparqlR
                                 .copied()
                                 .filter(|&c| {
                                     node_info(&handle, &mut cache, c)
-                                        .map_or(false, |ci| is_type(&ci, NodeType::Course))
+                                        .is_some_and(|ci| is_type(&ci, NodeType::Course))
                                 })
                                 .collect();
                             for &prof in &info.1 {
@@ -170,7 +185,8 @@ pub fn run_sparql_query(graph: &DistributedGraph, query: SparqlQuery) -> SparqlR
                                     Some(i) if is_type(&i, NodeType::Professor) => i,
                                     _ => continue,
                                 };
-                                hits += courses.iter().filter(|c| pinfo.1.contains(c)).count() as u64;
+                                hits +=
+                                    courses.iter().filter(|c| pinfo.1.contains(c)).count() as u64;
                             }
                             hits
                         }
@@ -184,7 +200,7 @@ pub fn run_sparql_query(graph: &DistributedGraph, query: SparqlQuery) -> SparqlR
                                 .copied()
                                 .filter(|&d| {
                                     node_info(&handle, &mut cache, d)
-                                        .map_or(false, |di| is_type(&di, NodeType::Department))
+                                        .is_some_and(|di| is_type(&di, NodeType::Department))
                                 })
                                 .collect();
                             for &course in &info.1 {
@@ -204,7 +220,7 @@ pub fn run_sparql_query(graph: &DistributedGraph, query: SparqlQuery) -> SparqlR
                                 .iter()
                                 .filter(|&&s| {
                                     node_info(&handle, &mut cache, s)
-                                        .map_or(false, |si| is_type(&si, NodeType::Student))
+                                        .is_some_and(|si| is_type(&si, NodeType::Student))
                                 })
                                 .count() as u64;
                             advisees * advisees.saturating_sub(1) / 2
@@ -212,7 +228,7 @@ pub fn run_sparql_query(graph: &DistributedGraph, query: SparqlQuery) -> SparqlR
                     };
                 }
                 total.fetch_add(count, Ordering::Relaxed);
-                let delta = net_before.delta_to(&handle.cloud().endpoint().stats().snapshot());
+                let delta = handle.cloud().endpoint().stats().delta(&net_before);
                 let modeled = timer.elapsed_seconds() + 2.0 * cost.transfer_seconds(&delta);
                 let mut max = modeled_max.lock();
                 *max = max.max(modeled);
@@ -238,14 +254,21 @@ pub fn reference_count(data: &LubmGraph, query: SparqlQuery) -> u64 {
             for p in data.of_type(NodeType::Professor) {
                 for &d in outs(p) {
                     if ty(d) == NodeType::Department {
-                        count += outs(d).iter().filter(|&&u| ty(u) == NodeType::University).count() as u64;
+                        count += outs(d)
+                            .iter()
+                            .filter(|&&u| ty(u) == NodeType::University)
+                            .count() as u64;
                     }
                 }
             }
         }
         SparqlQuery::AdvisorTeachesTakenCourse => {
             for s in data.of_type(NodeType::Student) {
-                let courses: Vec<u64> = outs(s).iter().copied().filter(|&c| ty(c) == NodeType::Course).collect();
+                let courses: Vec<u64> = outs(s)
+                    .iter()
+                    .copied()
+                    .filter(|&c| ty(c) == NodeType::Course)
+                    .collect();
                 for &p in outs(s) {
                     if ty(p) == NodeType::Professor {
                         count += courses.iter().filter(|c| outs(p).contains(c)).count() as u64;
@@ -255,8 +278,11 @@ pub fn reference_count(data: &LubmGraph, query: SparqlQuery) -> u64 {
         }
         SparqlQuery::StudentsInHomeDeptCourses => {
             for s in data.of_type(NodeType::Student) {
-                let depts: Vec<u64> =
-                    outs(s).iter().copied().filter(|&d| ty(d) == NodeType::Department).collect();
+                let depts: Vec<u64> = outs(s)
+                    .iter()
+                    .copied()
+                    .filter(|&d| ty(d) == NodeType::Department)
+                    .collect();
                 for &c in outs(s) {
                     if ty(c) == NodeType::Course {
                         count += depts.iter().filter(|d| outs(c).contains(d)).count() as u64;
@@ -266,8 +292,11 @@ pub fn reference_count(data: &LubmGraph, query: SparqlQuery) -> u64 {
         }
         SparqlQuery::CoAdvisedStudentPairs => {
             for p in data.of_type(NodeType::Professor) {
-                let advisees =
-                    rev.neighbors(p).iter().filter(|&&s| ty(s) == NodeType::Student).count() as u64;
+                let advisees = rev
+                    .neighbors(p)
+                    .iter()
+                    .filter(|&&s| ty(s) == NodeType::Student)
+                    .count() as u64;
                 count += advisees * advisees.saturating_sub(1) / 2;
             }
         }
@@ -297,12 +326,19 @@ mod tests {
     #[test]
     fn machine_count_does_not_change_counts() {
         let data = trinity_graphgen::lubm_like(1, 8);
-        let expect: Vec<u64> = SparqlQuery::all().iter().map(|&q| reference_count(&data, q)).collect();
+        let expect: Vec<u64> = SparqlQuery::all()
+            .iter()
+            .map(|&q| reference_count(&data, q))
+            .collect();
         for machines in [1usize, 4] {
             let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
             let graph = load_lubm(Arc::clone(&cloud), &data);
             for (i, q) in SparqlQuery::all().into_iter().enumerate() {
-                assert_eq!(run_sparql_query(&graph, q).count, expect[i], "{q:?} on {machines} machines");
+                assert_eq!(
+                    run_sparql_query(&graph, q).count,
+                    expect[i],
+                    "{q:?} on {machines} machines"
+                );
             }
             cloud.shutdown();
         }

@@ -75,7 +75,13 @@ pub enum PatternGen {
 /// Sample a connected pattern of `size` vertices from the data graph,
 /// carrying the data labels; the returned pattern is the induced
 /// subgraph, so at least one embedding exists.
-pub fn generate_pattern(csr: &Csr, labels: &[u8], size: usize, gen: PatternGen, seed: u64) -> Pattern {
+pub fn generate_pattern(
+    csr: &Csr,
+    labels: &[u8],
+    size: usize,
+    gen: PatternGen,
+    seed: u64,
+) -> Pattern {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = csr.node_count();
     loop {
@@ -86,8 +92,12 @@ pub fn generate_pattern(csr: &Csr, labels: &[u8], size: usize, gen: PatternGen, 
                 let mut stack = vec![start];
                 while chosen.len() < size {
                     let Some(&top) = stack.last() else { break };
-                    let fresh: Vec<u64> =
-                        csr.neighbors(top).iter().copied().filter(|v| !chosen.contains(v)).collect();
+                    let fresh: Vec<u64> = csr
+                        .neighbors(top)
+                        .iter()
+                        .copied()
+                        .filter(|v| !chosen.contains(v))
+                        .collect();
                     if fresh.is_empty() {
                         stack.pop();
                         continue;
@@ -127,7 +137,10 @@ pub fn generate_pattern(csr: &Csr, labels: &[u8], size: usize, gen: PatternGen, 
                 }
             }
         }
-        return Pattern { labels: chosen.iter().map(|&v| labels[v as usize]).collect(), adj };
+        return Pattern {
+            labels: chosen.iter().map(|&v| labels[v as usize]).collect(),
+            adj,
+        };
     }
 }
 
@@ -184,12 +197,21 @@ pub fn subgraph_match(graph: &DistributedGraph, pattern: &Pattern, limit: usize)
                         break;
                     }
                     embedding[root_q] = Some(root);
-                    extend(&handle, pattern, order, 1, &mut embedding, &mut cache, found, limit);
+                    extend(
+                        &handle,
+                        pattern,
+                        order,
+                        1,
+                        &mut embedding,
+                        &mut cache,
+                        found,
+                        limit,
+                    );
                     embedding[root_q] = None;
                 }
                 // This machine's modeled time: its CPU work plus its
                 // outbound traffic priced as serial round trips.
-                let delta = net_before.delta_to(&handle.cloud().endpoint().stats().snapshot());
+                let delta = handle.cloud().endpoint().stats().delta(&net_before);
                 let modeled = timer.elapsed_seconds() + 2.0 * cost.transfer_seconds(&delta);
                 let mut max = modeled_max.lock();
                 *max = max.max(modeled);
@@ -215,7 +237,12 @@ fn node_info(
         return Some(hit.clone());
     }
     let info = handle
-        .with_node(id, |view| (view.attrs().first().copied().unwrap_or(0), view.outs().collect::<Vec<_>>()))
+        .with_node(id, |view| {
+            (
+                view.attrs().first().copied().unwrap_or(0),
+                view.outs().collect::<Vec<_>>(),
+            )
+        })
         .ok()
         .flatten()?;
     cache.insert(id, info.clone());
@@ -253,7 +280,7 @@ fn extend(
         None => return,
     };
     for cand in anchor_neighbors {
-        if embedding.iter().any(|e| *e == Some(cand)) {
+        if embedding.contains(&Some(cand)) {
             continue; // injective matching
         }
         let (label, cand_neighbors) = match node_info(handle, cache, cand) {
@@ -272,7 +299,16 @@ fn extend(
             continue;
         }
         embedding[q] = Some(cand);
-        extend(handle, pattern, order, depth + 1, embedding, cache, found, limit);
+        extend(
+            handle,
+            pattern,
+            order,
+            depth + 1,
+            embedding,
+            cache,
+            found,
+            limit,
+        );
         embedding[q] = None;
         if found.load(Ordering::Relaxed) >= limit {
             return;
@@ -287,11 +323,22 @@ pub fn reference_match(csr: &Csr, labels: &[u8], pattern: &Pattern, limit: usize
     let mut count = 0usize;
     let root_q = order[0];
     for root in 0..csr.node_count() as u64 {
-        if labels[root as usize] != pattern.labels[root_q] || csr.out_degree(root) < pattern.adj[root_q].len() {
+        if labels[root as usize] != pattern.labels[root_q]
+            || csr.out_degree(root) < pattern.adj[root_q].len()
+        {
             continue;
         }
         embedding[root_q] = Some(root);
-        ref_extend(csr, labels, pattern, &order, 1, &mut embedding, &mut count, limit);
+        ref_extend(
+            csr,
+            labels,
+            pattern,
+            &order,
+            1,
+            &mut embedding,
+            &mut count,
+            limit,
+        );
         embedding[root_q] = None;
         if count >= limit {
             break;
@@ -319,13 +366,18 @@ fn ref_extend(
         return;
     }
     let q = order[depth];
-    let anchor_q = pattern.adj[q].iter().copied().find(|&j| embedding[j].is_some()).unwrap();
+    let anchor_q = pattern.adj[q]
+        .iter()
+        .copied()
+        .find(|&j| embedding[j].is_some())
+        .unwrap();
     let anchor = embedding[anchor_q].unwrap();
     for &cand in csr.neighbors(anchor) {
-        if embedding.iter().any(|e| *e == Some(cand)) {
+        if embedding.contains(&Some(cand)) {
             continue;
         }
-        if labels[cand as usize] != pattern.labels[q] || csr.out_degree(cand) < pattern.adj[q].len() {
+        if labels[cand as usize] != pattern.labels[q] || csr.out_degree(cand) < pattern.adj[q].len()
+        {
             continue;
         }
         let consistent = pattern.adj[q].iter().all(|&j| match embedding[j] {
@@ -336,7 +388,16 @@ fn ref_extend(
             continue;
         }
         embedding[q] = Some(cand);
-        ref_extend(csr, labels, pattern, order, depth + 1, embedding, count, limit);
+        ref_extend(
+            csr,
+            labels,
+            pattern,
+            order,
+            depth + 1,
+            embedding,
+            count,
+            limit,
+        );
         embedding[q] = None;
     }
 }
@@ -373,8 +434,15 @@ mod tests {
             Arc::new(move |v| vec![labels[v as usize]])
         };
         let graph = Arc::new(
-            load_graph(Arc::clone(&cloud), csr, &LoadOptions { with_in_links: false, attrs: Some(attrs) })
-                .unwrap(),
+            load_graph(
+                Arc::clone(&cloud),
+                csr,
+                &LoadOptions {
+                    with_in_links: false,
+                    attrs: Some(attrs),
+                },
+            )
+            .unwrap(),
         );
         (cloud, graph)
     }
@@ -406,7 +474,10 @@ mod tests {
             let expect = reference_match(&csr, &labels, &pattern, 10_000);
             let got = subgraph_match(&graph, &pattern, 10_000);
             assert_eq!(got.embeddings, expect, "{gen:?} pattern mismatch");
-            assert!(got.embeddings >= 1, "a sampled pattern always has an embedding");
+            assert!(
+                got.embeddings >= 1,
+                "a sampled pattern always has an embedding"
+            );
         }
         cloud.shutdown();
     }

@@ -54,7 +54,8 @@ impl WeightedGraph {
 
 /// Deterministic per-edge weight in `1..=max_weight`.
 pub fn edge_weight(src: u64, dst: u64, max_weight: u32, seed: u64) -> u32 {
-    let mut x = seed ^ src.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ dst.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut x =
+        seed ^ src.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ dst.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 30)).wrapping_mul(0x94d0_49bb_1331_11eb);
     (x % max_weight as u64) as u32 + 1
 }
@@ -71,28 +72,45 @@ pub fn load_weighted(
 ) -> Result<WeightedGraph, CloudError> {
     let mut weights = HashMap::new();
     let mut edge_ids: Vec<Vec<CellId>> = vec![Vec::new(); csr.node_count()];
-    let mut next_edge = EDGE_ID_BASE;
     let node0 = cloud.node(0);
-    for (src, dst) in csr.arcs() {
+    for (eid, (src, dst)) in (EDGE_ID_BASE..).zip(csr.arcs()) {
         let w = edge_weight(src, dst, max_weight, seed);
         weights.insert((src, dst), w);
-        let eid = next_edge;
-        next_edge += 1;
         // Edge cell: weight in the attrs, destination as the out-link.
-        let rec = NodeRecord { attrs: w.to_le_bytes().to_vec(), outs: vec![dst], ins: None };
+        let rec = NodeRecord {
+            attrs: w.to_le_bytes().to_vec(),
+            outs: vec![dst],
+            ins: None,
+        };
         node0.put(eid, &rec.encode())?;
         edge_ids[src as usize].push(eid);
     }
     for v in 0..csr.node_count() as u64 {
-        let rec = NodeRecord { attrs: Vec::new(), outs: edge_ids[v as usize].clone(), ins: None };
+        let rec = NodeRecord {
+            attrs: Vec::new(),
+            outs: edge_ids[v as usize].clone(),
+            ins: None,
+        };
         node0.put(v, &rec.encode())?;
     }
     // Wrap the already-loaded cells in a DistributedGraph view: loading an
     // empty CSR creates no cells and overwrites nothing (node ids in the
     // empty CSR don't exist).
-    let empty = Csr { offsets: vec![0], targets: vec![], directed: csr.directed };
-    let graph = Arc::new(load_graph(Arc::clone(&cloud), &empty, &LoadOptions::default())?);
-    Ok(WeightedGraph { graph, weights, node_count: csr.node_count() })
+    let empty = Csr {
+        offsets: vec![0],
+        targets: vec![],
+        directed: csr.directed,
+    };
+    let graph = Arc::new(load_graph(
+        Arc::clone(&cloud),
+        &empty,
+        &LoadOptions::default(),
+    )?);
+    Ok(WeightedGraph {
+        graph,
+        weights,
+        node_count: csr.node_count(),
+    })
 }
 
 /// The weighted-SSSP program, running over node cells *and* edge cells.
@@ -159,10 +177,18 @@ impl VertexProgram for WssspProgram {
 }
 
 /// Run weighted SSSP; returns distances for *node* cells only.
-pub fn wsssp_distributed(wg: &WeightedGraph, source: CellId, cfg: BspConfig) -> HashMap<CellId, u64> {
+pub fn wsssp_distributed(
+    wg: &WeightedGraph,
+    source: CellId,
+    cfg: BspConfig,
+) -> HashMap<CellId, u64> {
     let result: BspResult<WssspProgram> =
         BspRunner::new(Arc::clone(wg.graph()), WssspProgram { source }, cfg).run();
-    result.states.into_iter().filter(|(id, _)| *id < EDGE_ID_BASE).collect()
+    result
+        .states
+        .into_iter()
+        .filter(|(id, _)| *id < EDGE_ID_BASE)
+        .collect()
 }
 
 /// Reference Dijkstra on the weight table.
@@ -199,7 +225,11 @@ mod tests {
         let got = wsssp_distributed(
             &wg,
             source,
-            BspConfig { hub_threshold: None, max_supersteps: 4096, ..BspConfig::default() },
+            BspConfig {
+                hub_threshold: None,
+                max_supersteps: 4096,
+                ..BspConfig::default()
+            },
         );
         let expect = dijkstra_reference(csr, wg.weights(), source);
         cloud.shutdown();
@@ -223,7 +253,11 @@ mod tests {
         }
         let csr = Csr::undirected_from_edges(n * n, &edges, true);
         let (got, expect) = run(&csr, 3, 0, 7);
-        assert_eq!(got.len(), n * n, "edge cells must be filtered from the result");
+        assert_eq!(
+            got.len(),
+            n * n,
+            "edge cells must be filtered from the result"
+        );
         for (v, &d) in expect.iter().enumerate() {
             assert_eq!(got[&(v as u64)], d, "vertex {v}");
         }

@@ -66,7 +66,8 @@ impl GiraphReport {
     /// Modeled seconds for one average superstep (what Figure 12(d)
     /// plots).
     pub fn seconds_per_iteration(&self) -> f64 {
-        self.per_superstep_seconds.iter().sum::<f64>() / self.per_superstep_seconds.len().max(1) as f64
+        self.per_superstep_seconds.iter().sum::<f64>()
+            / self.per_superstep_seconds.len().max(1) as f64
     }
 }
 
@@ -84,7 +85,11 @@ pub fn giraph_memory_bytes(csr: &Csr, peak_messages: u64) -> u64 {
 
 /// Run PageRank on the Giraph model. The algorithm is executed for real
 /// (ranks are exact); time and memory come out of the model.
-pub fn giraph_pagerank(csr: &Csr, iterations: usize, cfg: GiraphConfig) -> Result<GiraphReport, OutOfMemory> {
+pub fn giraph_pagerank(
+    csr: &Csr,
+    iterations: usize,
+    cfg: GiraphConfig,
+) -> Result<GiraphReport, OutOfMemory> {
     let n = csr.node_count();
     let machines = cfg.machines.max(1);
     // Peak in-flight messages ≈ one per arc (everyone messages every
@@ -92,7 +97,10 @@ pub fn giraph_pagerank(csr: &Csr, iterations: usize, cfg: GiraphConfig) -> Resul
     let memory = giraph_memory_bytes(csr, csr.arc_count() as u64);
     let limit = cfg.heap_bytes_per_machine * machines as u64;
     if memory > limit {
-        return Err(OutOfMemory { required: memory, limit });
+        return Err(OutOfMemory {
+            required: memory,
+            limit,
+        });
     }
     let part = |v: u64| (v % machines as u64) as usize;
     let damping = 0.85;
@@ -129,7 +137,12 @@ pub fn giraph_pagerank(csr: &Csr, iterations: usize, cfg: GiraphConfig) -> Resul
         per_superstep.push(compute + comm + cfg.coordination_s);
         remote_total += remote_msgs;
     }
-    Ok(GiraphReport { ranks: rank, per_superstep_seconds: per_superstep, memory_bytes: memory, remote_messages: remote_total })
+    Ok(GiraphReport {
+        ranks: rank,
+        per_superstep_seconds: per_superstep,
+        memory_bytes: memory,
+        remote_messages: remote_total,
+    })
 }
 
 #[cfg(test)]
@@ -151,9 +164,18 @@ mod tests {
     fn memory_model_oomps_on_big_dense_graphs() {
         let csr = trinity_graphgen::rmat(12, 16, 7);
         let need = giraph_memory_bytes(&csr, csr.arc_count() as u64);
-        let tiny = GiraphConfig { heap_bytes_per_machine: need / 8, ..GiraphConfig::scaled(4) };
-        assert!(matches!(giraph_pagerank(&csr, 1, tiny), Err(OutOfMemory { .. })));
-        let roomy = GiraphConfig { heap_bytes_per_machine: need, ..GiraphConfig::scaled(4) };
+        let tiny = GiraphConfig {
+            heap_bytes_per_machine: need / 8,
+            ..GiraphConfig::scaled(4)
+        };
+        assert!(matches!(
+            giraph_pagerank(&csr, 1, tiny),
+            Err(OutOfMemory { .. })
+        ));
+        let roomy = GiraphConfig {
+            heap_bytes_per_machine: need,
+            ..GiraphConfig::scaled(4)
+        };
         assert!(giraph_pagerank(&csr, 1, roomy).is_ok());
     }
 
@@ -162,7 +184,9 @@ mod tests {
         let csr = trinity_graphgen::rmat(10, 13, 5);
         let giraph = giraph_memory_bytes(&csr, csr.arc_count() as u64);
         // Trinity stores a node as a 13-byte header + 8 bytes per edge.
-        let trinity: u64 = (0..csr.node_count() as u64).map(|v| 13 + 8 * csr.out_degree(v) as u64).sum();
+        let trinity: u64 = (0..csr.node_count() as u64)
+            .map(|v| 13 + 8 * csr.out_degree(v) as u64)
+            .sum();
         assert!(
             giraph > 3 * trinity,
             "object overhead should multiply memory: {giraph} vs {trinity}"
@@ -176,6 +200,9 @@ mod tests {
         let fast = giraph_pagerank(&csr, 2, GiraphConfig::scaled(8)).unwrap();
         // Speedup exists but saturates toward the coordination floor.
         assert!(fast.seconds_per_iteration() < slow.seconds_per_iteration());
-        assert!(fast.seconds_per_iteration() >= 0.5, "coordination cost is a floor");
+        assert!(
+            fast.seconds_per_iteration() >= 0.5,
+            "coordination cost is a floor"
+        );
     }
 }

@@ -37,7 +37,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "baseline out of memory: needs {} bytes, limit {}", self.required, self.limit)
+        write!(
+            f,
+            "baseline out of memory: needs {} bytes, limit {}",
+            self.required, self.limit
+        )
     }
 }
 

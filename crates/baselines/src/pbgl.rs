@@ -94,7 +94,10 @@ pub fn pbgl_bfs(csr: &Csr, source: u64, cfg: PbglConfig) -> Result<PbglReport, O
     let memory = pbgl_memory_bytes(csr, ghosts);
     let limit = cfg.memory_bytes_per_machine * machines as u64;
     if memory > limit {
-        return Err(OutOfMemory { required: memory, limit });
+        return Err(OutOfMemory {
+            required: memory,
+            limit,
+        });
     }
     let part = |v: u64| (v % machines as u64) as usize;
     let t0 = std::time::Instant::now();
@@ -127,7 +130,13 @@ pub fn pbgl_bfs(csr: &Csr, source: u64, cfg: PbglConfig) -> Result<PbglReport, O
     }
     let compute = t0.elapsed().as_secs_f64();
     let comm = cfg.cost.seconds(remote_messages, remote_bytes) / machines as f64;
-    Ok(PbglReport { dist, seconds: compute + comm, memory_bytes: memory, ghost_cells: ghosts, remote_messages })
+    Ok(PbglReport {
+        dist,
+        seconds: compute + comm,
+        memory_bytes: memory,
+        ghost_cells: ghosts,
+        remote_messages,
+    })
 }
 
 #[cfg(test)]
@@ -175,7 +184,10 @@ mod tests {
         let dense = trinity_graphgen::rmat(12, 32, 9);
         let sparse_need = pbgl_memory_bytes(&sparse, count_ghosts(&sparse, machines));
         let dense_need = pbgl_memory_bytes(&dense, count_ghosts(&dense, machines));
-        assert!(dense_need > sparse_need, "denser graph must need more memory");
+        assert!(
+            dense_need > sparse_need,
+            "denser graph must need more memory"
+        );
         // Budget between the two: sparse fits, dense does not.
         let budget = (sparse_need + dense_need) / 2;
         let cfg = PbglConfig {
@@ -187,7 +199,10 @@ mod tests {
         // The dense graph's raw adjacency alone would fit in that budget;
         // the ghosts (plus property records) are what break it.
         let raw = dense.footprint_bytes() as u64;
-        assert!(raw < budget, "raw adjacency {raw} fits the budget {budget}; only replicas do not");
+        assert!(
+            raw < budget,
+            "raw adjacency {raw} fits the budget {budget}; only replicas do not"
+        );
     }
 
     #[test]
@@ -195,6 +210,9 @@ mod tests {
         let csr = trinity_graphgen::rmat(10, 8, 2);
         let g4 = count_ghosts(&csr, 4);
         let g8 = count_ghosts(&csr, 8);
-        assert!(g8 >= g4, "splitting a random partition finer cannot reduce replicas: {g8} vs {g4}");
+        assert!(
+            g8 >= g4,
+            "splitting a random partition finer cannot reduce replicas: {g8} vs {g4}"
+        );
     }
 }

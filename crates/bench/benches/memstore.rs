@@ -7,7 +7,11 @@ use std::hint::black_box;
 use trinity_memstore::{Trunk, TrunkConfig};
 
 fn cfg(slack: f64) -> TrunkConfig {
-    TrunkConfig { reserved_bytes: 32 << 20, page_bytes: 64 << 10, expansion_slack: slack }
+    TrunkConfig {
+        reserved_bytes: 32 << 20,
+        page_bytes: 64 << 10,
+        expansion_slack: slack,
+    }
 }
 
 fn bench_put_get(c: &mut Criterion) {

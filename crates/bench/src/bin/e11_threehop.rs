@@ -6,12 +6,13 @@
 //! average — Trinity explores 2.2 M nodes distributed over eight machines
 //! in one tenth of a second."
 
-use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use std::sync::Arc;
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs, MetricsOut};
 use trinity_core::Explorer;
 use trinity_graph::LoadOptions;
-use std::sync::Arc;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let machines = 8;
     let n = scaled(100_000);
     println!("generating a Facebook-like power-law graph: {n} nodes, avg degree ~13...");
@@ -19,7 +20,10 @@ fn main() {
     println!("actual average degree: {:.1}", csr.avg_degree());
     let (cloud, _graph) = cloud_with_graph(&csr, machines, &LoadOptions::default());
     let explorer = Explorer::install(Arc::clone(&cloud));
-    header("E11 — full 3-hop neighborhood exploration (8 machines)", &["start", "visited", "wall time"]);
+    header(
+        "E11 — full 3-hop neighborhood exploration (8 machines)",
+        &["start", "visited", "wall time"],
+    );
     let mut total_t = 0.0;
     let mut total_v = 0usize;
     let queries = 10;
@@ -37,5 +41,7 @@ fn main() {
         total_v as f64 / total_t / 1e6,
     );
     println!("paper claim: 2.2M reachable nodes in <100 ms on 8 machines (same exploration-rate regime).");
+    metrics.capture("threehop", &cloud);
     cloud.shutdown();
+    metrics.finish();
 }

@@ -15,7 +15,10 @@ fn main() {
         &["p (Type A fraction)", "S (full)", "S' (offline)", "saved"],
     );
     for p in [0.05, 0.1, 0.2, 0.5] {
-        let m = ResidencyModel { type_a_fraction: p, ..fb };
+        let m = ResidencyModel {
+            type_a_fraction: p,
+            ..fb
+        };
         row(&[
             format!("{p:.2}"),
             bytes(m.full_bytes() as u64),
@@ -23,7 +26,10 @@ fn main() {
             bytes(m.saved_bytes() as u64),
         ]);
     }
-    println!("paper: ~78 GB saved at p = 0.1 (we compute {} from the same formula).", bytes(fb.saved_bytes() as u64));
+    println!(
+        "paper: ~78 GB saved at p = 0.1 (we compute {} from the same formula).",
+        bytes(fb.saved_bytes() as u64)
+    );
 
     // Measured counterpart: bucket-by-bucket execution on a generated
     // power-law graph — peak resident bytes per machine under the §5.4
@@ -39,7 +45,13 @@ fn main() {
     for buckets in [1usize, 2, 5, 10, 20] {
         let sched = BucketSchedule::round_robin(&vertices, buckets);
         let (peak, _) = sched.peak_bytes(&csr, 8.0, 8.0, 8.0);
-        row(&[buckets.to_string(), bytes(peak as u64), format!("{:.0}%", 100.0 * peak / full)]);
+        row(&[
+            buckets.to_string(),
+            bytes(peak as u64),
+            format!("{:.0}%", 100.0 * peak / full),
+        ]);
     }
-    println!("\npaper shape: peak memory falls toward the message-box floor as the schedule gets finer.");
+    println!(
+        "\npaper shape: peak memory falls toward the message-box floor as the schedule gets finer."
+    );
 }

@@ -9,14 +9,24 @@ use trinity_bench::{bytes, header, row, scaled, secs, timed};
 use trinity_memstore::{Trunk, TrunkConfig};
 
 fn trunk(slack: f64) -> Trunk {
-    Trunk::new(0, TrunkConfig { reserved_bytes: 64 << 20, page_bytes: 64 << 10, expansion_slack: slack })
+    Trunk::new(
+        0,
+        TrunkConfig {
+            reserved_bytes: 64 << 20,
+            page_bytes: 64 << 10,
+            expansion_slack: slack,
+        },
+    )
 }
 
 fn main() {
     let cells = scaled(100_000);
 
     // 1. Allocation throughput: sequential appends at the head.
-    header("E14.1 — allocation throughput (fresh puts)", &["payload", "puts/s"]);
+    header(
+        "E14.1 — allocation throughput (fresh puts)",
+        &["payload", "puts/s"],
+    );
     for payload in [16usize, 64, 256] {
         let t = trunk(1.0);
         let data = vec![7u8; payload];
@@ -25,7 +35,10 @@ fn main() {
                 t.put(i, &data).unwrap();
             }
         });
-        row(&[payload.to_string(), format!("{:.2}M", cells as f64 / dt / 1e6)]);
+        row(&[
+            payload.to_string(),
+            format!("{:.2}M", cells as f64 / dt / 1e6),
+        ]);
     }
 
     // 2. Growing cells: short-lived reservations vs none (the paper's
@@ -34,7 +47,11 @@ fn main() {
         "E14.2 — growing a cell by repeated appends (graph node gaining edges)",
         &["reservation", "appends/s", "relocations avoided"],
     );
-    for (name, slack) in [("off", 0.0), ("on (1x growth)", 1.0), ("aggressive (4x)", 4.0)] {
+    for (name, slack) in [
+        ("off", 0.0),
+        ("on (1x growth)", 1.0),
+        ("aggressive (4x)", 4.0),
+    ] {
         let t = trunk(slack);
         let n_cells = 2_000u64;
         let appends = 51usize;
@@ -71,7 +88,12 @@ fn main() {
         t.remove(i).unwrap();
     }
     let s = t.stats();
-    row(&["after churn".into(), bytes(s.used_bytes as u64), bytes(s.dead_bytes as u64), format!("{:.2}", s.utilization())]);
+    row(&[
+        "after churn".into(),
+        bytes(s.used_bytes as u64),
+        bytes(s.dead_bytes as u64),
+        format!("{:.2}", s.utilization()),
+    ]);
     let (report, dt) = timed(|| t.defragment());
     let s = t.stats();
     row(&[
@@ -88,8 +110,18 @@ fn main() {
     );
 
     // 4. Circular reuse: total bytes written >> reserved size.
-    header("E14.4 — endless circular movement (writes >> reserved size)", &["generations", "total written", "reserved"]);
-    let t = Trunk::new(0, TrunkConfig { reserved_bytes: 4 << 20, page_bytes: 64 << 10, expansion_slack: 1.0 });
+    header(
+        "E14.4 — endless circular movement (writes >> reserved size)",
+        &["generations", "total written", "reserved"],
+    );
+    let t = Trunk::new(
+        0,
+        TrunkConfig {
+            reserved_bytes: 4 << 20,
+            page_bytes: 64 << 10,
+            expansion_slack: 1.0,
+        },
+    );
     let generations = 40usize;
     let per_gen = 4_000u64;
     for g in 0..generations {

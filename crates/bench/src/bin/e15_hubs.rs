@@ -8,18 +8,24 @@
 //! hub buffering on and off.
 
 use trinity_algos::pagerank_distributed;
-use trinity_bench::{cloud_with_graph, header, row, scaled};
+use trinity_bench::{cloud_with_graph, header, row, scaled, MetricsOut};
 use trinity_core::hub::{analytic_coverage, coverage_curve};
 use trinity_core::{BspConfig, MessagingMode};
 use trinity_graph::LoadOptions;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let n = scaled(30_000);
     let csr = trinity_graphgen::power_law(n, 2.16, 1, n / 10, 7);
 
     header(
         "E15.1 — hub coverage: fraction of message needs addressed by buffering top-x% hubs",
-        &["hub fraction", "analytic (γ=2.16)", "empirical", "degree cutoff"],
+        &[
+            "hub fraction",
+            "analytic (γ=2.16)",
+            "empirical",
+            "degree cutoff",
+        ],
     );
     let fractions = [0.01, 0.02, 0.05, 0.10, 0.20];
     let empirical = coverage_curve(&csr, &fractions);
@@ -35,42 +41,78 @@ fn main() {
 
     header(
         "E15.2 — live ablation: PageRank remote frames per superstep (8 machines)",
-        &["config", "remote frames", "bottleneck transfers", "modeled s/iter"],
+        &[
+            "config",
+            "remote frames",
+            "bottleneck transfers",
+            "modeled s/iter",
+        ],
     );
     let iterations = 3;
     for (name, cfg) in [
         (
             "no optimization (unpacked)",
-            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, combine: false, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Unpacked,
+                hub_threshold: None,
+                combine: false,
+                max_supersteps: 64,
+            },
         ),
         (
             "packing only",
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: None, combine: false, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Packed,
+                hub_threshold: None,
+                combine: false,
+                max_supersteps: 64,
+            },
         ),
         (
             "packing + hubs (deg>=64)",
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(64), combine: false, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Packed,
+                hub_threshold: Some(64),
+                combine: false,
+                max_supersteps: 64,
+            },
         ),
         (
             "packing + hubs (deg>=16)",
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(16), combine: false, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Packed,
+                hub_threshold: Some(16),
+                combine: false,
+                max_supersteps: 64,
+            },
         ),
         (
             "packing + hubs + combiner",
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(16), combine: true, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Packed,
+                hub_threshold: Some(16),
+                combine: true,
+                max_supersteps: 64,
+            },
         ),
     ] {
         let (cloud, graph) = cloud_with_graph(&csr, 8, &LoadOptions::default());
         let result = pagerank_distributed(graph, iterations, cfg);
         let frames: u64 = result.reports.iter().map(|r| r.remote_messages).sum();
-        let envs: u64 = result.reports.iter().map(|r| r.max_machine_net.remote_envelopes).sum();
+        let envs: u64 = result
+            .reports
+            .iter()
+            .map(|r| r.max_machine_net.remote_envelopes)
+            .sum();
         row(&[
             name.to_string(),
             format!("{}", frames / result.supersteps() as u64),
             format!("{}", envs / result.supersteps() as u64),
             format!("{:.4}", result.modeled_seconds() / iterations as f64),
         ]);
+        metrics.capture(name, &cloud);
         cloud.shutdown();
     }
     println!("\npaper shape: packing collapses transfers; hub buffering removes most remaining per-edge frames; each message is delivered once.");
+    metrics.finish();
 }

@@ -7,11 +7,12 @@
 use std::sync::Arc;
 
 use trinity_algos::people_search;
-use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs, MetricsOut};
 use trinity_core::Explorer;
 use trinity_graph::LoadOptions;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let machines = 8;
     let n = scaled(20_000);
     let queries = 5;
@@ -24,8 +25,14 @@ fn main() {
         let csr = trinity_graphgen::social(n, degree, seed);
         let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> =
             Arc::new(move |v| trinity_graphgen::names::name_for(seed, v).into_bytes());
-        let (cloud, _graph) =
-            cloud_with_graph(&csr, machines, &LoadOptions { with_in_links: false, attrs: Some(attrs) });
+        let (cloud, _graph) = cloud_with_graph(
+            &csr,
+            machines,
+            &LoadOptions {
+                with_in_links: false,
+                attrs: Some(attrs),
+            },
+        );
         let explorer = Explorer::install(Arc::clone(&cloud));
         let mut t2 = 0.0;
         let mut t3 = 0.0;
@@ -47,7 +54,9 @@ fn main() {
             (v2 / queries).to_string(),
             (v3 / queries).to_string(),
         ]);
+        metrics.capture(&format!("degree={degree}"), &cloud);
         cloud.shutdown();
     }
     println!("\npaper shape: 2-hop flat and fast; 3-hop grows with degree (frontier size), ~100 ms at Facebook-like degree on the paper's scale.");
+    metrics.finish();
 }

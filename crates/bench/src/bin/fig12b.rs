@@ -9,11 +9,12 @@
 //! priced traffic).
 
 use trinity_algos::pagerank_distributed;
-use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs, MetricsOut};
 use trinity_core::BspConfig;
 use trinity_graph::{Csr, LoadOptions};
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let iterations = 3;
     let machine_counts = [8usize, 10, 12, 14];
     let mut cols = vec!["nodes".to_string()];
@@ -38,9 +39,11 @@ fn main() {
             let result = pagerank_distributed(graph, iterations, BspConfig::default());
             let per_iter = result.modeled_seconds() / iterations as f64;
             cells.push(secs(per_iter));
+            metrics.capture(&format!("n=2^{scale_bits} machines={machines}"), &cloud);
             cloud.shutdown();
         }
         row(&cells);
     }
     println!("\npaper shape: time grows ~linearly with nodes; more machines reduce per-iteration time at every size.");
+    metrics.finish();
 }

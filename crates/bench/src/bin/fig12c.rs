@@ -7,11 +7,12 @@
 //! expansion parallelizes.
 
 use trinity_algos::bfs_distributed;
-use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs, MetricsOut};
 use trinity_core::BspConfig;
 use trinity_graph::{Csr, LoadOptions};
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let machine_counts = [8usize, 10, 12, 14];
     let mut cols = vec!["nodes".to_string()];
     cols.extend(machine_counts.iter().map(|m| format!("{m} machines")));
@@ -31,11 +32,22 @@ fn main() {
         let mut cells = vec![format!("2^{scale_bits}")];
         for &machines in &machine_counts {
             let (cloud, graph) = cloud_with_graph(&csr, machines, &LoadOptions::default());
-            let result = bfs_distributed(graph, 0, BspConfig { max_supersteps: 256, ..BspConfig::default() });
+            let result = bfs_distributed(
+                graph,
+                0,
+                BspConfig {
+                    max_supersteps: 256,
+                    ..BspConfig::default()
+                },
+            );
             cells.push(secs(result.modeled_seconds()));
+            metrics.capture(&format!("n=2^{scale_bits} machines={machines}"), &cloud);
             cloud.shutdown();
         }
         row(&cells);
     }
-    println!("\npaper shape: BFS time grows with graph size and falls with machine count at every size.");
+    println!(
+        "\npaper shape: BFS time grows with graph size and falls with machine count at every size."
+    );
+    metrics.finish();
 }

@@ -8,11 +8,12 @@
 
 use trinity_algos::pagerank_distributed;
 use trinity_baselines::{giraph_pagerank, GiraphConfig};
-use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs, MetricsOut};
 use trinity_core::BspConfig;
 use trinity_graph::{Csr, LoadOptions};
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let iterations = 2;
     let machine_counts = [4usize, 8, 16];
     let mut cols = vec!["nodes".to_string()];
@@ -46,8 +47,13 @@ fn main() {
         let trinity = pagerank_distributed(graph, iterations, BspConfig::default());
         let trinity_s = trinity.modeled_seconds() / iterations as f64;
         cells.push(secs(trinity_s));
-        cells.push(if giraph_16.is_nan() { "-".into() } else { format!("{:.0}x", giraph_16 / trinity_s) });
+        cells.push(if giraph_16.is_nan() {
+            "-".into()
+        } else {
+            format!("{:.0}x", giraph_16 / trinity_s)
+        });
         row(&cells);
+        metrics.capture(&format!("n=2^{scale_bits}"), &cloud);
         cloud.shutdown();
     }
     // The paper's OOM point: degree 16 at the largest size with a
@@ -60,13 +66,28 @@ fn main() {
         let fits = trinity_baselines::giraph::giraph_memory_bytes(&deg13, deg13.arc_count() as u64);
         (fits / 16) * 11 / 10 // 10% headroom over the degree-13 need
     };
-    let out = giraph_pagerank(&dense, 1, GiraphConfig { heap_bytes_per_machine: heap, ..GiraphConfig::scaled(16) });
+    let out = giraph_pagerank(
+        &dense,
+        1,
+        GiraphConfig {
+            heap_bytes_per_machine: heap,
+            ..GiraphConfig::scaled(16)
+        },
+    );
     println!(
         "\ndegree-16 run with a bounded heap: {}",
         match out {
-            Ok(_) => "fits (increase graph size or decrease heap to see the paper's OOM)".to_string(),
-            Err(oom) => format!("OOM — needs {}, limit {}", trinity_bench::bytes(oom.required), trinity_bench::bytes(oom.limit)),
+            Ok(_) =>
+                "fits (increase graph size or decrease heap to see the paper's OOM)".to_string(),
+            Err(oom) => format!(
+                "OOM — needs {}, limit {}",
+                trinity_bench::bytes(oom.required),
+                trinity_bench::bytes(oom.limit)
+            ),
         }
     );
-    println!("paper shape: Giraph 1–2 orders of magnitude slower per iteration; OOM at high degree.");
+    println!(
+        "paper shape: Giraph 1–2 orders of magnitude slower per iteration; OOM at high degree."
+    );
+    metrics.finish();
 }

@@ -6,10 +6,11 @@
 //! graph in < 65 GB of plain blobs — "10x less memory footprint".
 
 use trinity_baselines::pbgl::{count_ghosts, pbgl_memory_bytes};
-use trinity_bench::{bytes, cloud_with_graph, header, row, scaled};
+use trinity_bench::{bytes, cloud_with_graph, header, row, scaled, MetricsOut};
 use trinity_graph::LoadOptions;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let machines = 16;
     header(
         "Figure 13(c,d) — BFS memory: PBGL model (ghost cells) vs Trinity (measured trunk bytes)",
@@ -25,7 +26,10 @@ fn main() {
             // Trinity's footprint: actually load the same (directed) graph
             // and measure the trunks' live bytes.
             let (cloud, _graph) = cloud_with_graph(&csr, machines, &LoadOptions::default());
-            let trinity: u64 = (0..machines).map(|m| cloud.node(m).stats().live_payload_bytes as u64).sum();
+            let trinity: u64 = (0..machines)
+                .map(|m| cloud.node(m).stats().live_payload_bytes as u64)
+                .sum();
+            metrics.capture(&format!("n=2^{scale_bits} degree={degree}"), &cloud);
             cloud.shutdown();
             row(&[
                 format!("2^{scale_bits}"),
@@ -38,4 +42,5 @@ fn main() {
         }
     }
     println!("\npaper shape: PBGL memory multiplies with degree (ghost replicas), Trinity stays near the raw adjacency; at the paper's scale PBGL OOMs at degree 32.");
+    metrics.finish();
 }

@@ -7,11 +7,12 @@
 
 use trinity_algos::bfs_distributed;
 use trinity_baselines::{pbgl_bfs, PbglConfig};
-use trinity_bench::{cloud_with_graph, header, row, scaled, secs};
+use trinity_bench::{cloud_with_graph, header, row, scaled, secs, MetricsOut};
 use trinity_core::BspConfig;
 use trinity_graph::{Csr, LoadOptions};
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let machines = 16;
     header(
         "Figure 13(a,b) — BFS execution time: PBGL model vs Trinity (16 machines; modeled cluster time)",
@@ -29,17 +30,34 @@ fn main() {
             let undirected =
                 Csr::undirected_from_edges(csr.node_count(), &csr.arcs().collect::<Vec<_>>(), true);
             let (cloud, graph) = cloud_with_graph(&undirected, machines, &LoadOptions::default());
-            let trinity = bfs_distributed(graph, 0, BspConfig { max_supersteps: 256, ..BspConfig::default() })
-                .modeled_seconds();
+            let trinity = bfs_distributed(
+                graph,
+                0,
+                BspConfig {
+                    max_supersteps: 256,
+                    ..BspConfig::default()
+                },
+            )
+            .modeled_seconds();
+            metrics.capture(&format!("n=2^{scale_bits} degree={degree}"), &cloud);
             cloud.shutdown();
             row(&[
                 format!("2^{scale_bits}"),
                 degree.to_string(),
-                if pbgl.is_nan() { "OOM".into() } else { secs(pbgl) },
+                if pbgl.is_nan() {
+                    "OOM".into()
+                } else {
+                    secs(pbgl)
+                },
                 secs(trinity),
-                if pbgl.is_nan() { "-".into() } else { format!("{:.0}x", pbgl / trinity) },
+                if pbgl.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{:.0}x", pbgl / trinity)
+                },
             ]);
         }
     }
     println!("\npaper shape: Trinity ~10x faster at every size/degree; the gap widens with degree (more cut edges = more unpacked PBGL sends).");
+    metrics.finish();
 }

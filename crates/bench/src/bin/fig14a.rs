@@ -8,10 +8,10 @@
 use std::sync::Arc;
 
 use trinity_algos::{assign_labels, generate_pattern, subgraph_match, PatternGen};
-use trinity_bench::{cloud_with_graph, header, row, scale, secs};
+use trinity_bench::{cloud_with_graph, header, row, scale, secs, MetricsOut};
 use trinity_graph::{Csr, LoadOptions};
 
-fn run_graph(name: &str, csr: &Csr, labels: Vec<u8>, query_size: usize) {
+fn run_graph(name: &str, csr: &Csr, labels: Vec<u8>, query_size: usize, metrics: &mut MetricsOut) {
     let labels_arc = Arc::new(labels.clone());
     let queries = 3;
     let mut cells = vec![name.to_string()];
@@ -21,29 +21,38 @@ fn run_graph(name: &str, csr: &Csr, labels: Vec<u8>, query_size: usize) {
             let labels = Arc::clone(&labels_arc);
             Arc::new(move |v| vec![labels[v as usize]])
         };
-        let (cloud, graph) =
-            cloud_with_graph(csr, machines, &LoadOptions { with_in_links: false, attrs: Some(attrs) });
+        let (cloud, graph) = cloud_with_graph(
+            csr,
+            machines,
+            &LoadOptions {
+                with_in_links: false,
+                attrs: Some(attrs),
+            },
+        );
         let mut total = 0.0;
         for q in 0..queries {
-            let pattern = generate_pattern(csr, &labels, query_size, PatternGen::Dfs, 200 + q as u64);
+            let pattern =
+                generate_pattern(csr, &labels, query_size, PatternGen::Dfs, 200 + q as u64);
             total += subgraph_match(&graph, &pattern, 5_000).modeled_seconds;
         }
         let avg = total / queries as f64;
         base.get_or_insert(avg);
         cells.push(format!("{} ({:.1}x)", secs(avg), base.unwrap() / avg));
+        metrics.capture(&format!("{name} machines={machines}"), &cloud);
         cloud.shutdown();
     }
     row(&cells);
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     header(
         "Figure 14(a) — subgraph match time vs machine count (speedup over 1 machine)",
         &["graph", "2m", "4m", "8m", "16m"],
     );
     let wordnet = trinity_graphgen::wordnet_like(0.25 * scale(), 5);
     let wn_labels = assign_labels(wordnet.node_count(), 40, 1);
-    run_graph("wordnet-like", &wordnet, wn_labels, 8);
+    run_graph("wordnet-like", &wordnet, wn_labels, 8, &mut metrics);
     let patent = trinity_graphgen::patent_like((60_000.0 * scale()) as usize, 6);
     let patent_und = Csr::undirected_from_edges(
         patent.node_count(),
@@ -51,7 +60,8 @@ fn main() {
         true,
     );
     let pt_labels = assign_labels(patent_und.node_count(), 40, 2);
-    run_graph("patent-like", &patent_und, pt_labels, 8);
+    run_graph("patent-like", &patent_und, pt_labels, 8, &mut metrics);
     println!("\npaper shape: query time falls steadily as machines are added on both graphs.");
     println!("(speedups are relative to 2 machines: a 1-machine run is all-local and pays no network at all.)");
+    metrics.finish();
 }

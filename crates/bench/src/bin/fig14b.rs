@@ -7,13 +7,18 @@
 use std::sync::Arc;
 
 use trinity_algos::{load_lubm, run_sparql_query, SparqlQuery};
-use trinity_bench::{header, row, scaled, secs};
+use trinity_bench::{header, row, scaled, secs, MetricsOut};
 use trinity_memcloud::MemoryCloud;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let universities = scaled(12);
     let data = trinity_graphgen::lubm_like(universities, 33);
-    println!("LUBM-like data: {} entities, {} triples", data.node_count(), data.csr.arc_count());
+    println!(
+        "LUBM-like data: {} entities, {} triples",
+        data.node_count(),
+        data.csr.arc_count()
+    );
     header(
         "Figure 14(b) — SPARQL query time vs machine count",
         &["query", "2m", "4m", "8m", "16m", "results"],
@@ -22,11 +27,14 @@ fn main() {
         let mut cells = vec![format!("{q:?}")];
         let mut results = 0u64;
         for machines in [2usize, 4, 8, 16] {
-            let cloud = Arc::new(MemoryCloud::new(trinity_bench::bench_cloud_config(machines)));
+            let cloud = Arc::new(MemoryCloud::new(trinity_bench::bench_cloud_config(
+                machines,
+            )));
             let graph = load_lubm(Arc::clone(&cloud), &data);
             let report = run_sparql_query(&graph, q);
             results = report.count;
             cells.push(secs(report.modeled_seconds));
+            metrics.capture(&format!("{q:?} machines={machines}"), &cloud);
             cloud.shutdown();
         }
         cells.push(results.to_string());
@@ -34,4 +42,5 @@ fn main() {
     }
     println!("\npaper shape: all four queries speed up as machines are added (the typed anchor scan partitions).");
     println!("(a 1-machine run is all-local and pays no network, so curves start at 2 machines.)");
+    metrics.finish();
 }

@@ -21,7 +21,11 @@ fn clustered_social(n: usize, communities: usize, seed: u64) -> Csr {
     for c in 0..communities {
         let base = (c * per) as u64;
         let sub = trinity_graphgen::power_law(per, 2.16, 2, per / 10, seed + c as u64);
-        edges.extend(sub.arcs().filter(|(u, v)| u < v).map(|(u, v)| (base + u, base + v)));
+        edges.extend(
+            sub.arcs()
+                .filter(|(u, v)| u < v)
+                .map(|(u, v)| (base + u, base + v)),
+        );
     }
     // Sparse ring of bridges between consecutive communities.
     for c in 0..communities {
@@ -42,7 +46,12 @@ fn main() {
     let pairs = 150;
     header(
         "Figure 8(b) — distance oracle estimation accuracy (%) vs landmark count",
-        &["landmarks", "largest-degree", "local-betweenness", "global-betweenness"],
+        &[
+            "landmarks",
+            "largest-degree",
+            "local-betweenness",
+            "global-betweenness",
+        ],
     );
     for count in [10usize, 30, 50, 70, 90] {
         let mut cells = vec![count.to_string()];

@@ -6,7 +6,13 @@ use trinity_bench::{header, row};
 fn main() {
     header(
         "Table 1 — representative graph systems (paper survey) + Trinity",
-        &["system", "graph database", "query processing", "graph analytics", "scale-out"],
+        &[
+            "system",
+            "graph database",
+            "query processing",
+            "graph analytics",
+            "scale-out",
+        ],
     );
     let yes = "Yes";
     let no = "No";
@@ -20,7 +26,13 @@ fn main() {
         ("GraphLab", no, no, yes, yes),
         ("Trinity (this repo)", yes, yes, yes, yes),
     ] {
-        row(&[system.into(), db.into(), query.into(), analytics.into(), scale_out.into()]);
+        row(&[
+            system.into(),
+            db.into(),
+            query.into(),
+            analytics.into(),
+            scale_out.into(),
+        ]);
     }
     println!("\nTrinity's position: the only surveyed system combining online query processing, offline analytics, and scale-out.");
 }

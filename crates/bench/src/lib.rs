@@ -6,11 +6,13 @@
 //! plus the experiment's headline claim so EXPERIMENTS.md can record
 //! paper-vs-measured side by side.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use trinity_graph::{load_graph, Csr, DistributedGraph, LoadOptions};
 use trinity_memcloud::{CloudConfig, MemoryCloud};
+use trinity_obs::Json;
 
 /// Print a table header.
 pub fn header(title: &str, columns: &[&str]) {
@@ -79,10 +81,137 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// Scale factor from the environment: `TRINITY_BENCH_SCALE=2` doubles the
 /// default problem sizes (the defaults finish in a few minutes total).
 pub fn scale() -> f64 {
-    std::env::var("TRINITY_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("TRINITY_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scale a node count.
 pub fn scaled(n: usize) -> usize {
     ((n as f64) * scale()) as usize
+}
+
+/// Machine-readable metrics sink for the figure binaries.
+///
+/// Every cloud-using binary calls [`MetricsOut::from_args`] at startup and
+/// [`MetricsOut::capture`] after each labeled phase (typically once, right
+/// before shutdown). With `--metrics-out <path>` on the command line,
+/// [`MetricsOut::finish`] writes one JSON document containing, per
+/// captured label, the full per-machine metrics registry (fabric `net.*`
+/// counters, trunk `store.*` utilization, `bsp.*`/`explore.*` histograms
+/// with quantiles) plus exact per-machine trunk statistics. Without the
+/// flag everything is a no-op, so the text output of the figures is
+/// unchanged.
+///
+/// The conventional path is `results/<name>.metrics.json`, next to the
+/// figure's `results/<name>.txt`.
+#[derive(Debug, Default)]
+pub struct MetricsOut {
+    path: Option<PathBuf>,
+    sections: Vec<(String, Json)>,
+}
+
+impl MetricsOut {
+    /// Parse `--metrics-out <path>` from the process arguments.
+    pub fn from_args() -> Self {
+        let mut args = std::env::args();
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--metrics-out" {
+                path = args.next().map(PathBuf::from);
+                if path.is_none() {
+                    eprintln!("--metrics-out requires a path argument");
+                }
+            }
+        }
+        MetricsOut {
+            path,
+            sections: Vec::new(),
+        }
+    }
+
+    /// A sink that always writes to `path` (for tests).
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        MetricsOut {
+            path: Some(path.into()),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Whether a capture will actually be recorded.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Record the cloud's current observability state under `label`: the
+    /// whole metrics registry (all machines) plus per-machine trunk
+    /// utilization.
+    pub fn capture(&mut self, label: &str, cloud: &MemoryCloud) {
+        if self.path.is_none() {
+            return;
+        }
+        let registry = trinity_obs::snapshot_json(&cloud.fabric().obs().snapshot());
+        let trunks = Json::Arr(
+            (0..cloud.machines())
+                .map(|m| {
+                    let st = cloud.node(m).store().stats();
+                    Json::obj([
+                        ("machine", Json::U64(m as u64)),
+                        ("reserved_bytes", Json::U64(st.reserved_bytes as u64)),
+                        ("committed_bytes", Json::U64(st.committed_bytes as u64)),
+                        ("used_bytes", Json::U64(st.used_bytes as u64)),
+                        (
+                            "live_payload_bytes",
+                            Json::U64(st.live_payload_bytes as u64),
+                        ),
+                        ("live_entry_bytes", Json::U64(st.live_entry_bytes as u64)),
+                        ("dead_bytes", Json::U64(st.dead_bytes as u64)),
+                        ("slack_bytes", Json::U64(st.slack_bytes as u64)),
+                        ("cell_count", Json::U64(st.cell_count as u64)),
+                        ("defrag_passes", Json::U64(st.defrag_passes)),
+                        ("bytes_moved", Json::U64(st.bytes_moved)),
+                    ])
+                })
+                .collect(),
+        );
+        self.sections.push((
+            label.to_string(),
+            Json::obj([("registry", registry), ("trunks", trunks)]),
+        ));
+    }
+
+    /// Write the document (if `--metrics-out` was given), returning the
+    /// path written.
+    pub fn finish(self) -> Option<PathBuf> {
+        let path = self.path?;
+        let name = std::env::args()
+            .next()
+            .map(|a| {
+                PathBuf::from(a)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default();
+        let doc = Json::obj([
+            ("bench", Json::Str(name)),
+            ("sections", Json::Obj(self.sections.into_iter().collect())),
+        ]);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        match std::fs::write(&path, format!("{doc}\n")) {
+            Ok(()) => {
+                println!("metrics written to {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("failed to write metrics to {}: {e}", path.display());
+                None
+            }
+        }
+    }
 }

@@ -146,11 +146,13 @@ pub fn spawn<P: AsyncVertexProgram>(
 ) -> AsyncJob<P> {
     let machines = graph.machines();
     let table = graph.cloud().node(0).table();
-    let mut queues: Vec<VecDeque<(CellId, P::Msg)>> = (0..machines).map(|_| VecDeque::new()).collect();
+    let mut queues: Vec<VecDeque<(CellId, P::Msg)>> =
+        (0..machines).map(|_| VecDeque::new()).collect();
     for (dst, msg) in seeds {
         queues[table.machine_of(dst).0 as usize].push_back((dst, msg));
     }
-    let mut states: Vec<HashMap<CellId, P::State>> = (0..machines).map(|_| HashMap::new()).collect();
+    let mut states: Vec<HashMap<CellId, P::State>> =
+        (0..machines).map(|_| HashMap::new()).collect();
     for (m, st) in states.iter_mut().enumerate() {
         let program = &program;
         graph.handle(m).for_each_local_node(|id, view| {
@@ -262,7 +264,12 @@ fn launch<P: AsyncVertexProgram>(
                 .expect("spawn async driver"),
         );
     }
-    AsyncJob { shared, graph, job_name: job_name.to_string(), drivers }
+    AsyncJob {
+        shared,
+        graph,
+        job_name: job_name.to_string(),
+        drivers,
+    }
 }
 
 fn driver_loop<P: AsyncVertexProgram>(
@@ -325,7 +332,11 @@ fn driver_loop<P: AsyncVertexProgram>(
                     // a snapshot round lost its purpose (request already
                     // satisfied by a competing round).
                     rt.safra.whiten();
-                    endpoint.send(next, proto::SAFRA_TOKEN, &Token::fresh(token.purpose).encode());
+                    endpoint.send(
+                        next,
+                        proto::SAFRA_TOKEN,
+                        &Token::fresh(token.purpose).encode(),
+                    );
                     endpoint.flush_to(next);
                 }
             } else {
@@ -355,7 +366,11 @@ fn driver_loop<P: AsyncVertexProgram>(
                     }
                 } else {
                     rt.safra.whiten();
-                    endpoint.send(next, proto::SAFRA_TOKEN, &Token::fresh(PURPOSE_SNAPSHOT).encode());
+                    endpoint.send(
+                        next,
+                        proto::SAFRA_TOKEN,
+                        &Token::fresh(PURPOSE_SNAPSHOT).encode(),
+                    );
                     endpoint.flush_to(next);
                 }
             }
@@ -381,7 +396,11 @@ fn driver_loop<P: AsyncVertexProgram>(
                     shared.term_round_active.store(false, Ordering::Release);
                 } else {
                     rt.safra.whiten();
-                    endpoint.send(next, proto::SAFRA_TOKEN, &Token::fresh(PURPOSE_TERMINATE).encode());
+                    endpoint.send(
+                        next,
+                        proto::SAFRA_TOKEN,
+                        &Token::fresh(PURPOSE_TERMINATE).encode(),
+                    );
                     endpoint.flush_to(next);
                 }
             }
@@ -393,9 +412,15 @@ fn driver_loop<P: AsyncVertexProgram>(
         }
         for (dst, msg) in batch {
             shared.processed.fetch_add(1, Ordering::Relaxed);
-            let outs: Vec<CellId> =
-                handle.with_node(dst, |view| view.outs().collect()).ok().flatten().unwrap_or_default();
-            let mut ctx = AsyncContext { outs: &outs, sends: Vec::new() };
+            let outs: Vec<CellId> = handle
+                .with_node(dst, |view| view.outs().collect())
+                .ok()
+                .flatten()
+                .unwrap_or_default();
+            let mut ctx = AsyncContext {
+                outs: &outs,
+                sends: Vec::new(),
+            };
             {
                 let mut states = rt.states.lock();
                 let state = match states.get_mut(&dst) {
@@ -440,7 +465,9 @@ impl<P: AsyncVertexProgram> AsyncJob<P> {
         {
             let mut ready = self.shared.snap_ready.lock();
             while !*ready && !self.shared.stop.load(Ordering::Acquire) {
-                self.shared.snap_cv.wait_for(&mut ready, Duration::from_millis(5));
+                self.shared
+                    .snap_cv
+                    .wait_for(&mut ready, Duration::from_millis(5));
             }
         }
         self.shared.snap_requested.store(false, Ordering::Release);
@@ -481,7 +508,10 @@ impl<P: AsyncVertexProgram> AsyncJob<P> {
         for rt in &self.shared.rts {
             states.extend(rt.states.lock().drain());
         }
-        AsyncResult { states, messages_processed: self.shared.processed.load(Ordering::Relaxed) }
+        AsyncResult {
+            states,
+            messages_processed: self.shared.processed.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -559,7 +589,13 @@ mod tests {
             u64::MAX
         }
 
-        fn on_message(&self, ctx: &mut AsyncContext<'_, u64>, _id: CellId, state: &mut u64, msg: &u64) {
+        fn on_message(
+            &self,
+            ctx: &mut AsyncContext<'_, u64>,
+            _id: CellId,
+            state: &mut u64,
+            msg: &u64,
+        ) {
             if *msg < *state {
                 *state = *msg;
                 ctx.send_to_neighbors(msg + 1);

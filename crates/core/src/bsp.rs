@@ -46,6 +46,7 @@ use parking_lot::{Condvar, Mutex};
 use trinity_graph::{DistributedGraph, GraphHandle};
 use trinity_memcloud::CellId;
 use trinity_net::{Endpoint, MachineId, StatsDelta};
+use trinity_obs::{next_trace_id, Counter, Histogram, TraceGuard};
 
 use crate::proto;
 
@@ -73,7 +74,12 @@ pub struct BspConfig {
 
 impl Default for BspConfig {
     fn default() -> Self {
-        BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(128), combine: false, max_supersteps: 64 }
+        BspConfig {
+            messaging: MessagingMode::Packed,
+            hub_threshold: Some(128),
+            combine: false,
+            max_supersteps: 64,
+        }
     }
 }
 
@@ -180,7 +186,11 @@ impl<P: VertexProgram> BspResult<P> {
     /// Turn this (non-terminated) result into the resume point for the
     /// next segment.
     pub fn into_resume(self) -> ResumePoint<P> {
-        ResumePoint { states: self.states, pending: self.pending, active: self.active }
+        ResumePoint {
+            states: self.states,
+            pending: self.pending,
+            active: self.active,
+        }
     }
 }
 
@@ -252,6 +262,43 @@ struct FenceState {
     got: Vec<u64>,
 }
 
+/// Cached `bsp.*` metric handles for one machine's runtime (resolved once
+/// per job; superstep hot paths touch only relaxed atomics).
+struct BspMetrics {
+    /// Supersteps this machine drove (`bsp.supersteps`).
+    supersteps: Arc<Counter>,
+    /// Vertices computed (`bsp.computed`).
+    computed: Arc<Counter>,
+    /// Remote data frames sent, messages + hub broadcasts (`bsp.frames.remote`).
+    frames_remote: Arc<Counter>,
+    /// Machine-local deliveries (`bsp.frames.local`).
+    frames_local: Arc<Counter>,
+    /// Hub broadcast frames sent, one per subscribed machine (`bsp.hub.broadcasts`).
+    hub_broadcasts: Arc<Counter>,
+    /// Vertices fanned out to by incoming hub broadcasts (`bsp.hub.fanout`).
+    hub_fanout: Arc<Counter>,
+    /// Per-superstep compute CPU time, µs (`bsp.compute.us`).
+    compute_us: Arc<Histogram>,
+    /// Per-superstep wall time including the fence, µs (`bsp.superstep.us`).
+    superstep_us: Arc<Histogram>,
+}
+
+impl BspMetrics {
+    fn new(endpoint: &Endpoint) -> Self {
+        let obs = endpoint.obs();
+        BspMetrics {
+            supersteps: obs.counter("bsp.supersteps"),
+            computed: obs.counter("bsp.computed"),
+            frames_remote: obs.counter("bsp.frames.remote"),
+            frames_local: obs.counter("bsp.frames.local"),
+            hub_broadcasts: obs.counter("bsp.hub.broadcasts"),
+            hub_fanout: obs.counter("bsp.hub.fanout"),
+            compute_us: obs.histogram("bsp.compute.us"),
+            superstep_us: obs.histogram("bsp.superstep.us"),
+        }
+    }
+}
+
 struct MachineRt<P: VertexProgram> {
     endpoint: Arc<Endpoint>,
     machines: usize,
@@ -263,6 +310,7 @@ struct MachineRt<P: VertexProgram> {
     /// Hub subscriber index: remote hub id → local vertices that list it
     /// as an (in-)neighbor.
     subs: Mutex<HashMap<CellId, Vec<CellId>>>,
+    metrics: BspMetrics,
 }
 
 impl<P: VertexProgram> MachineRt<P> {
@@ -281,9 +329,8 @@ impl<P: VertexProgram> MachineRt<P> {
     fn await_quiescence(&self, self_machine: usize) {
         let mut f = self.fence.lock();
         loop {
-            let done = (0..self.machines).all(|p| {
-                p == self_machine || matches!(f.expected[p], Some(e) if f.got[p] >= e)
-            });
+            let done = (0..self.machines)
+                .all(|p| p == self_machine || matches!(f.expected[p], Some(e) if f.got[p] >= e));
             if done {
                 // Reset for the next superstep.
                 for p in 0..self.machines {
@@ -307,7 +354,11 @@ pub struct BspRunner<P: VertexProgram> {
 impl<P: VertexProgram> BspRunner<P> {
     /// Prepare a job over `graph`.
     pub fn new(graph: Arc<DistributedGraph>, program: P, cfg: BspConfig) -> Self {
-        BspRunner { graph, program: Arc::new(program), cfg }
+        BspRunner {
+            graph,
+            program: Arc::new(program),
+            cfg,
+        }
     }
 
     /// The graph this job runs over.
@@ -324,12 +375,20 @@ impl<P: VertexProgram> BspRunner<P> {
 
     /// Execute starting from a resume point (checkpoint restart), with
     /// superstep numbering offset by `superstep_offset` in the reports.
-    pub fn run_resumed(&self, resume: Option<ResumePoint<P>>, superstep_offset: usize) -> BspResult<P> {
+    pub fn run_resumed(
+        &self,
+        resume: Option<ResumePoint<P>>,
+        superstep_offset: usize,
+    ) -> BspResult<P> {
         let machines = self.graph.machines();
         // Split the resume point by owning machine.
         let per_machine_resume: Vec<Mutex<Option<MachineResume<P>>>> = {
             let mut split: Vec<MachineResume<P>> = (0..machines)
-                .map(|_| MachineResume { states: HashMap::new(), pending: HashMap::new(), active: Default::default() })
+                .map(|_| MachineResume {
+                    states: HashMap::new(),
+                    pending: HashMap::new(),
+                    active: Default::default(),
+                })
                 .collect();
             if let Some(r) = resume {
                 let table = self.graph.cloud().node(0).table();
@@ -337,7 +396,9 @@ impl<P: VertexProgram> BspRunner<P> {
                     split[table.machine_of(id).0 as usize].states.insert(id, st);
                 }
                 for (id, msgs) in r.pending {
-                    split[table.machine_of(id).0 as usize].pending.insert(id, msgs);
+                    split[table.machine_of(id).0 as usize]
+                        .pending
+                        .insert(id, msgs);
                 }
                 for id in r.active {
                     split[table.machine_of(id).0 as usize].active.insert(id);
@@ -349,8 +410,10 @@ impl<P: VertexProgram> BspRunner<P> {
         };
         let rts: Vec<Arc<MachineRt<P>>> = (0..machines)
             .map(|m| {
+                let endpoint = Arc::clone(self.graph.cloud().node(m).endpoint());
                 Arc::new(MachineRt {
-                    endpoint: Arc::clone(self.graph.cloud().node(m).endpoint()),
+                    metrics: BspMetrics::new(&endpoint),
+                    endpoint,
                     machines,
                     inbox_next: Mutex::new(HashMap::new()),
                     local_deliveries: AtomicU64::new(0),
@@ -391,7 +454,9 @@ impl<P: VertexProgram> BspRunner<P> {
                                 for &t in targets {
                                     inbox.entry(t).or_default().push(msg.clone());
                                 }
-                                rt.local_deliveries.fetch_add(targets.len() as u64, Ordering::Relaxed);
+                                rt.local_deliveries
+                                    .fetch_add(targets.len() as u64, Ordering::Relaxed);
+                                rt.metrics.hub_fanout.add(targets.len() as u64);
                             }
                         }
                     }
@@ -419,8 +484,10 @@ impl<P: VertexProgram> BspRunner<P> {
                 let rt = Arc::clone(rt);
                 let handle = self.graph.handle(m).clone();
                 endpoint.register(proto::BSP_HUB_SETUP, move |_src, data| {
-                    let hubs: std::collections::HashSet<CellId> =
-                        data.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+                    let hubs: std::collections::HashSet<CellId> = data
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
                     let mut found: HashMap<CellId, Vec<CellId>> = HashMap::new();
                     handle.for_each_local_node(|id, view| {
                         // In-neighbors when stored; otherwise the graph is
@@ -449,6 +516,12 @@ impl<P: VertexProgram> BspRunner<P> {
                 });
             }
         }
+
+        // One trace id for the whole job: every driver thread installs it,
+        // so all BSP traffic (data frames, fences, hub setup calls) is
+        // stamped with it and the job can be reconstructed from span rings
+        // across the cluster.
+        let trace = next_trace_id();
 
         // Shared cross-machine coordination (control plane only).
         let barrier = Arc::new(Barrier::new(machines));
@@ -486,6 +559,7 @@ impl<P: VertexProgram> BspRunner<P> {
                         finals,
                         resume,
                         superstep_offset,
+                        trace,
                     })
                 });
             }
@@ -522,7 +596,11 @@ struct FinalState<P: VertexProgram> {
 
 impl<P: VertexProgram> Default for FinalState<P> {
     fn default() -> Self {
-        FinalState { states: HashMap::new(), pending: HashMap::new(), active: Default::default() }
+        FinalState {
+            states: HashMap::new(),
+            pending: HashMap::new(),
+            active: Default::default(),
+        }
     }
 }
 
@@ -540,6 +618,7 @@ struct DriverArgs<P: VertexProgram> {
     finals: Arc<Mutex<FinalState<P>>>,
     resume: Option<MachineResume<P>>,
     superstep_offset: usize,
+    trace: u64,
 }
 
 #[derive(Default)]
@@ -571,7 +650,10 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
         finals,
         resume,
         superstep_offset,
+        trace,
     } = args;
+    // The job's trace id covers every send/call this driver thread makes.
+    let _trace_guard = TraceGuard::enter(trace);
     let handle: &GraphHandle = graph.handle(m);
     let machines = graph.machines();
     let table = graph.cloud().node(m).table();
@@ -619,8 +701,11 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
         // decision is identical on every machine).
     }
     if let Some(threshold) = cfg.hub_threshold.filter(|_| hub_allowed) {
-        let hubs: Vec<CellId> =
-            local.iter().filter(|&&(_, deg)| deg >= threshold).map(|&(id, _)| id).collect();
+        let hubs: Vec<CellId> = local
+            .iter()
+            .filter(|&&(_, deg)| deg >= threshold)
+            .map(|&(id, _)| id)
+            .collect();
         barrier.wait();
         if !hubs.is_empty() {
             let mut req = Vec::with_capacity(hubs.len() * 8);
@@ -631,10 +716,16 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
                 if peer == m {
                     continue;
                 }
-                if let Ok(reply) = rt.endpoint.call(MachineId(peer as u16), proto::BSP_HUB_SETUP, &req) {
+                if let Ok(reply) =
+                    rt.endpoint
+                        .call(MachineId(peer as u16), proto::BSP_HUB_SETUP, &req)
+                {
                     for c in reply.chunks_exact(8) {
                         let hub = u64::from_le_bytes(c.try_into().unwrap());
-                        hub_targets.entry(hub).or_default().push(MachineId(peer as u16));
+                        hub_targets
+                            .entry(hub)
+                            .or_default()
+                            .push(MachineId(peer as u16));
                     }
                 }
             }
@@ -647,6 +738,7 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
     let mut superstep = 0usize;
     loop {
         let net_before = rt.endpoint.stats().snapshot();
+        let wall_start_us = rt.endpoint.obs().now_us();
         let t0 = crate::cputime::ThreadTimer::start();
         let mut sent_to: Vec<u64> = vec![0; machines];
         let mut outgoing: Vec<HashMap<CellId, P::Msg>> = vec![HashMap::new(); machines]; // combine buffers
@@ -692,7 +784,17 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
                     } else if is_hub {
                         remote_machines_hit[owner] = true;
                     } else {
-                        enqueue(&mut outgoing, &mut sent_to, &rt, &cfg, superstep, owner, dst, &msg, m);
+                        enqueue(
+                            &mut outgoing,
+                            &mut sent_to,
+                            &rt,
+                            &cfg,
+                            superstep,
+                            owner,
+                            dst,
+                            &msg,
+                            m,
+                        );
                     }
                 }
                 if is_hub {
@@ -700,6 +802,7 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
                     for &peer in hub_targets.get(&id).into_iter().flatten() {
                         let frame = encode_data_frame(superstep as u32, id, &P::encode_msg(&msg));
                         rt.endpoint.send(peer, proto::BSP_HUB, &frame);
+                        rt.metrics.hub_broadcasts.inc();
                         if cfg.messaging == MessagingMode::Unpacked {
                             rt.endpoint.flush_to(peer);
                         }
@@ -714,7 +817,17 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
                     rt.deliver(dst, msg);
                     rt.local_deliveries.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    enqueue(&mut outgoing, &mut sent_to, &rt, &cfg, superstep, owner, dst, &msg, m);
+                    enqueue(
+                        &mut outgoing,
+                        &mut sent_to,
+                        &rt,
+                        &cfg,
+                        superstep,
+                        owner,
+                        dst,
+                        &msg,
+                        m,
+                    );
                 }
             }
         }
@@ -723,7 +836,8 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
             for (peer, buf) in outgoing.iter_mut().enumerate() {
                 for (dst, msg) in buf.drain() {
                     let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&msg));
-                    rt.endpoint.send(MachineId(peer as u16), proto::BSP_MSG, &frame);
+                    rt.endpoint
+                        .send(MachineId(peer as u16), proto::BSP_MSG, &frame);
                     if cfg.messaging == MessagingMode::Unpacked {
                         rt.endpoint.flush_to(MachineId(peer as u16));
                     }
@@ -735,14 +849,15 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
 
         // Fence: announce per-peer frame counts, flush everything, wait
         // until all announced frames (from every peer) have arrived.
-        for peer in 0..machines {
+        for (peer, &sent) in sent_to.iter().enumerate() {
             if peer == m {
                 continue;
             }
             let mut fence = Vec::with_capacity(12);
             fence.extend_from_slice(&(superstep as u32).to_le_bytes());
-            fence.extend_from_slice(&sent_to[peer].to_le_bytes());
-            rt.endpoint.send(MachineId(peer as u16), proto::BSP_FENCE, &fence);
+            fence.extend_from_slice(&sent.to_le_bytes());
+            rt.endpoint
+                .send(MachineId(peer as u16), proto::BSP_FENCE, &fence);
             rt.endpoint.flush_to(MachineId(peer as u16));
         }
         rt.endpoint.flush();
@@ -757,16 +872,31 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
                 active.insert(*id);
             }
         }
-        let net_after = rt.endpoint.stats().snapshot();
-        let net_delta = net_before.delta_to(&net_after);
+        let net_delta = rt.endpoint.stats().delta(&net_before);
         let local_delivered = rt.local_deliveries.swap(0, Ordering::Relaxed);
+        let frames_sent: u64 = sent_to.iter().sum();
+        rt.metrics.supersteps.inc();
+        rt.metrics.computed.add(computed as u64);
+        rt.metrics.frames_remote.add(frames_sent);
+        rt.metrics.frames_local.add(local_delivered);
+        rt.metrics.compute_us.record((compute_seconds * 1e6) as u64);
+        rt.metrics
+            .superstep_us
+            .record(rt.endpoint.obs().now_us().saturating_sub(wall_start_us));
+        rt.endpoint.obs().span(
+            "bsp.superstep",
+            proto::BSP_MSG,
+            net_delta.remote_bytes,
+            frames_sent.min(u32::MAX as u64) as u32,
+            wall_start_us,
+        );
         {
             let mut a = agg.lock();
             a.arrived += 1;
             a.active += active.len();
             a.computed += computed;
             a.deliveries += inbox.len() as u64;
-            a.remote_frames += sent_to.iter().sum::<u64>();
+            a.remote_frames += frames_sent;
             a.local_frames += local_delivered;
             a.compute_max = a.compute_max.max(compute_seconds);
             a.compute_sum += compute_seconds;
@@ -838,7 +968,8 @@ fn enqueue<P: VertexProgram>(
                 // replace it.
                 let prev = e.insert(msg.clone());
                 let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&prev));
-                rt.endpoint.send(MachineId(owner as u16), proto::BSP_MSG, &frame);
+                rt.endpoint
+                    .send(MachineId(owner as u16), proto::BSP_MSG, &frame);
                 sent_to[owner] += 1;
                 return;
             }
@@ -849,7 +980,8 @@ fn enqueue<P: VertexProgram>(
         }
     }
     let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(msg));
-    rt.endpoint.send(MachineId(owner as u16), proto::BSP_MSG, &frame);
+    rt.endpoint
+        .send(MachineId(owner as u16), proto::BSP_MSG, &frame);
     if cfg.messaging == MessagingMode::Unpacked {
         rt.endpoint.flush_to(MachineId(owner as u16));
     }
@@ -873,7 +1005,13 @@ mod tests {
             id
         }
 
-        fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: CellId, state: &mut u64, msgs: &[u64]) {
+        fn compute(
+            &self,
+            ctx: &mut VertexContext<'_, u64>,
+            _id: CellId,
+            state: &mut u64,
+            msgs: &[u64],
+        ) {
             let before = *state;
             for &m in msgs {
                 *state = (*state).max(m);
@@ -908,8 +1046,7 @@ mod tests {
 
     fn run_max(csr: &Csr, machines: usize, cfg: BspConfig) -> BspResult<MaxValue> {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
-        let graph =
-            Arc::new(load_graph(Arc::clone(&cloud), csr, &LoadOptions::default()).unwrap());
+        let graph = Arc::new(load_graph(Arc::clone(&cloud), csr, &LoadOptions::default()).unwrap());
         let result = BspRunner::new(graph, MaxValue, cfg).run();
         cloud.shutdown();
         result
@@ -925,9 +1062,16 @@ mod tests {
         let n = 40;
         let r = run_max(&ring(n), 3, BspConfig::default());
         assert_eq!(r.states.len(), n);
-        assert!(r.states.values().all(|&v| v == (n - 1) as u64), "all vertices learn the max");
+        assert!(
+            r.states.values().all(|&v| v == (n - 1) as u64),
+            "all vertices learn the max"
+        );
         // A ring needs about n/2 supersteps to converge, then one quiet step.
-        assert!(r.supersteps() >= n / 2 && r.supersteps() <= n, "{} supersteps", r.supersteps());
+        assert!(
+            r.supersteps() >= n / 2 && r.supersteps() <= n,
+            "{} supersteps",
+            r.supersteps()
+        );
     }
 
     #[test]
@@ -937,7 +1081,13 @@ mod tests {
             type State = ();
             type Msg = u64;
             fn init(&self, _id: CellId, _view: &trinity_graph::NodeView<'_>) {}
-            fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: CellId, _s: &mut (), _m: &[u64]) {
+            fn compute(
+                &self,
+                ctx: &mut VertexContext<'_, u64>,
+                _id: CellId,
+                _s: &mut (),
+                _m: &[u64],
+            ) {
                 ctx.vote_to_halt();
             }
             fn encode_msg(m: &u64) -> Vec<u8> {
@@ -954,7 +1104,8 @@ mod tests {
             }
         }
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
-        let graph = Arc::new(load_graph(Arc::clone(&cloud), &ring(10), &LoadOptions::default()).unwrap());
+        let graph =
+            Arc::new(load_graph(Arc::clone(&cloud), &ring(10), &LoadOptions::default()).unwrap());
         let r = BspRunner::new(graph, Silent, BspConfig::default()).run();
         assert_eq!(r.supersteps(), 1);
         cloud.shutdown();
@@ -963,12 +1114,34 @@ mod tests {
     #[test]
     fn all_messaging_modes_agree() {
         let csr = trinity_graphgen::social(200, 10, 3);
-        let base = run_max(&csr, 3, BspConfig { hub_threshold: None, ..BspConfig::default() });
+        let base = run_max(
+            &csr,
+            3,
+            BspConfig {
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+        );
         for cfg in [
-            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, ..BspConfig::default() },
-            BspConfig { hub_threshold: Some(8), ..BspConfig::default() },
-            BspConfig { combine: true, hub_threshold: None, ..BspConfig::default() },
-            BspConfig { combine: true, hub_threshold: Some(4), ..BspConfig::default() },
+            BspConfig {
+                messaging: MessagingMode::Unpacked,
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+            BspConfig {
+                hub_threshold: Some(8),
+                ..BspConfig::default()
+            },
+            BspConfig {
+                combine: true,
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+            BspConfig {
+                combine: true,
+                hub_threshold: Some(4),
+                ..BspConfig::default()
+            },
         ] {
             let r = run_max(&csr, 3, cfg.clone());
             assert_eq!(r.states, base.states, "config {cfg:?} changed the results");
@@ -978,8 +1151,24 @@ mod tests {
     #[test]
     fn hub_buffering_reduces_remote_messages_on_power_law() {
         let csr = trinity_graphgen::power_law(2_000, 2.16, 1, 400, 5);
-        let plain = run_max(&csr, 4, BspConfig { hub_threshold: None, combine: false, ..BspConfig::default() });
-        let hubbed = run_max(&csr, 4, BspConfig { hub_threshold: Some(8), combine: false, ..BspConfig::default() });
+        let plain = run_max(
+            &csr,
+            4,
+            BspConfig {
+                hub_threshold: None,
+                combine: false,
+                ..BspConfig::default()
+            },
+        );
+        let hubbed = run_max(
+            &csr,
+            4,
+            BspConfig {
+                hub_threshold: Some(8),
+                combine: false,
+                ..BspConfig::default()
+            },
+        );
         assert_eq!(plain.states, hubbed.states);
         let plain_msgs: u64 = plain.reports.iter().map(|r| r.remote_messages).sum();
         let hub_msgs: u64 = hubbed.reports.iter().map(|r| r.remote_messages).sum();
@@ -996,9 +1185,24 @@ mod tests {
         let n = 800;
         let edges: Vec<(u64, u64)> = (1..n as u64).map(|v| (0, v)).collect();
         let csr = Csr::undirected_from_edges(n, &edges, true);
-        let plain = run_max(&csr, 4, BspConfig { hub_threshold: None, combine: false, ..BspConfig::default() });
-        let hubbed =
-            run_max(&csr, 4, BspConfig { hub_threshold: Some(100), combine: false, ..BspConfig::default() });
+        let plain = run_max(
+            &csr,
+            4,
+            BspConfig {
+                hub_threshold: None,
+                combine: false,
+                ..BspConfig::default()
+            },
+        );
+        let hubbed = run_max(
+            &csr,
+            4,
+            BspConfig {
+                hub_threshold: Some(100),
+                combine: false,
+                ..BspConfig::default()
+            },
+        );
         assert_eq!(plain.states, hubbed.states);
         // Superstep 0: the hub alone sends ~600 remote frames plain,
         // but only <= 3 hub frames when buffered (leaves send to node 0
@@ -1014,15 +1218,34 @@ mod tests {
     #[test]
     fn packing_reduces_envelopes_not_frames() {
         let csr = trinity_graphgen::social(400, 16, 8);
-        let packed = run_max(&csr, 3, BspConfig { hub_threshold: None, ..BspConfig::default() });
+        let packed = run_max(
+            &csr,
+            3,
+            BspConfig {
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+        );
         let unpacked = run_max(
             &csr,
             3,
-            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, ..BspConfig::default() },
+            BspConfig {
+                messaging: MessagingMode::Unpacked,
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
         );
         assert_eq!(packed.states, unpacked.states);
-        let env_packed: u64 = packed.reports.iter().map(|r| r.max_machine_net.remote_envelopes).sum();
-        let env_unpacked: u64 = unpacked.reports.iter().map(|r| r.max_machine_net.remote_envelopes).sum();
+        let env_packed: u64 = packed
+            .reports
+            .iter()
+            .map(|r| r.max_machine_net.remote_envelopes)
+            .sum();
+        let env_unpacked: u64 = unpacked
+            .reports
+            .iter()
+            .map(|r| r.max_machine_net.remote_envelopes)
+            .sum();
         assert!(
             env_packed * 3 < env_unpacked,
             "packing should collapse envelopes: {env_packed} vs {env_unpacked}"
@@ -1041,7 +1264,13 @@ mod tests {
             fn init(&self, _id: CellId, _view: &trinity_graph::NodeView<'_>) -> u64 {
                 0
             }
-            fn compute(&self, ctx: &mut VertexContext<'_, u64>, id: CellId, state: &mut u64, msgs: &[u64]) {
+            fn compute(
+                &self,
+                ctx: &mut VertexContext<'_, u64>,
+                id: CellId,
+                state: &mut u64,
+                msgs: &[u64],
+            ) {
                 if ctx.superstep() == 0 && id != 0 {
                     ctx.send(0, id);
                 }
@@ -1066,9 +1295,22 @@ mod tests {
         let n = 30u64;
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(3)));
         let graph = Arc::new(
-            load_graph(Arc::clone(&cloud), &ring(n as usize), &LoadOptions::default()).unwrap(),
+            load_graph(
+                Arc::clone(&cloud),
+                &ring(n as usize),
+                &LoadOptions::default(),
+            )
+            .unwrap(),
         );
-        let r = BspRunner::new(graph, SendToZero, BspConfig { hub_threshold: None, ..BspConfig::default() }).run();
+        let r = BspRunner::new(
+            graph,
+            SendToZero,
+            BspConfig {
+                hub_threshold: None,
+                ..BspConfig::default()
+            },
+        )
+        .run();
         assert_eq!(r.states[&0], (1..n).sum::<u64>());
         cloud.shutdown();
     }

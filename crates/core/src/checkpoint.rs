@@ -106,7 +106,14 @@ fn decode_checkpoint<P: VertexProgram>(data: &[u8]) -> Option<(usize, ResumePoin
     for _ in 0..n_active {
         active.insert(u64_at(&mut at)?);
     }
-    Some((superstep, ResumePoint { states, pending, active }))
+    Some((
+        superstep,
+        ResumePoint {
+            states,
+            pending,
+            active,
+        },
+    ))
 }
 
 /// Run a BSP job with periodic checkpoints. `cfg.max_supersteps` bounds
@@ -172,9 +179,15 @@ fn continue_job<P: VertexProgram>(
                 active: segment.active,
             });
         }
-        debug_assert!(segment.supersteps() <= every, "segments are bounded by the runner's superstep limit");
+        debug_assert!(
+            segment.supersteps() <= every,
+            "segments are bounded by the runner's superstep limit"
+        );
         let point = segment.into_resume();
-        tfs.write(&ckpt_path(&ckpt.job), &encode_checkpoint::<P>(superstep, &point))?;
+        tfs.write(
+            &ckpt_path(&ckpt.job),
+            &encode_checkpoint::<P>(superstep, &point),
+        )?;
         resume = Some(point);
     }
 }
@@ -195,7 +208,13 @@ mod tests {
         fn init(&self, id: u64, _view: &trinity_graph::NodeView<'_>) -> u64 {
             id
         }
-        fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: u64, state: &mut u64, msgs: &[u64]) {
+        fn compute(
+            &self,
+            ctx: &mut VertexContext<'_, u64>,
+            _id: u64,
+            state: &mut u64,
+            msgs: &[u64],
+        ) {
             let before = *state;
             for &m in msgs {
                 *state = (*state).max(m);
@@ -224,9 +243,13 @@ mod tests {
         Csr::undirected_from_edges(n, &edges, true)
     }
 
-    fn setup(n: usize, machines: usize) -> (Arc<MemoryCloud>, Arc<trinity_graph::DistributedGraph>) {
+    fn setup(
+        n: usize,
+        machines: usize,
+    ) -> (Arc<MemoryCloud>, Arc<trinity_graph::DistributedGraph>) {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
-        let graph = Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
+        let graph =
+            Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
         (cloud, graph)
     }
 
@@ -246,12 +269,19 @@ mod tests {
         let straight = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(64)).run();
         // Checkpoint every 4 supersteps: runner segments are 4 long.
         let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
-        let ckpt = CheckpointConfig { every: 4, job: "maxv".into() };
+        let ckpt = CheckpointConfig {
+            every: 4,
+            job: "maxv".into(),
+        };
         let cfg = segment_cfg(64);
         let result = run_with_checkpoints(&runner, &cfg, &ckpt).unwrap();
         assert!(result.terminated);
         assert_eq!(result.states, straight.states);
-        assert_eq!(result.supersteps(), straight.supersteps(), "checkpointing must not change the schedule");
+        assert_eq!(
+            result.supersteps(),
+            straight.supersteps(),
+            "checkpointing must not change the schedule"
+        );
         // Superstep numbering in reports is continuous.
         let numbers: Vec<usize> = result.reports.iter().map(|r| r.superstep).collect();
         assert_eq!(numbers, (0..result.supersteps()).collect::<Vec<_>>());
@@ -265,9 +295,15 @@ mod tests {
         let expected = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(64)).run();
         // "Crash": run only 2 segments (8 supersteps), writing checkpoints.
         let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
-        let ckpt = CheckpointConfig { every: 4, job: "crashy".into() };
+        let ckpt = CheckpointConfig {
+            every: 4,
+            job: "crashy".into(),
+        };
         let partial = run_with_checkpoints(&runner, &segment_cfg(8), &ckpt).unwrap();
-        assert!(!partial.terminated, "the job must not be done after 8 of ~20 supersteps");
+        assert!(
+            !partial.terminated,
+            "the job must not be done after 8 of ~20 supersteps"
+        );
         // Resume on a fresh runner (the crashed engine is gone).
         let runner2 = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
         let resumed = resume_from_checkpoint(&runner2, &segment_cfg(64), &ckpt).unwrap();
@@ -280,7 +316,10 @@ mod tests {
     fn resume_without_checkpoint_reports_not_found() {
         let (cloud, graph) = setup(10, 2);
         let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
-        let ckpt = CheckpointConfig { every: 4, job: "nonexistent".into() };
+        let ckpt = CheckpointConfig {
+            every: 4,
+            job: "nonexistent".into(),
+        };
         assert!(matches!(
             resume_from_checkpoint(&runner, &segment_cfg(16), &ckpt),
             Err(TfsError::NotFound(_))

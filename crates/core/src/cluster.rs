@@ -31,12 +31,22 @@ pub struct TrinityConfig {
 impl TrinityConfig {
     /// `slaves` slaves, no proxies, one client; small trunks (tests).
     pub fn small(slaves: usize) -> Self {
-        TrinityConfig { cloud: CloudConfig::small(slaves), proxies: 0, clients: 1 }.finalize()
+        TrinityConfig {
+            cloud: CloudConfig::small(slaves),
+            proxies: 0,
+            clients: 1,
+        }
+        .finalize()
     }
 
     /// `slaves` slaves, `proxies` proxies, one client; small trunks.
     pub fn with_proxies(slaves: usize, proxies: usize) -> Self {
-        TrinityConfig { cloud: CloudConfig::small(slaves), proxies, clients: 1 }.finalize()
+        TrinityConfig {
+            cloud: CloudConfig::small(slaves),
+            proxies,
+            clients: 1,
+        }
+        .finalize()
     }
 
     fn finalize(mut self) -> Self {
@@ -77,13 +87,20 @@ impl TrinityCluster {
             .collect();
         let clients = (0..cfg.clients)
             .map(|i| TrinityClient {
-                endpoint: cloud.fabric().endpoint(MachineId((slaves + cfg.proxies + i) as u16)),
+                endpoint: cloud
+                    .fabric()
+                    .endpoint(MachineId((slaves + cfg.proxies + i) as u16)),
                 cloud: Arc::clone(&cloud),
                 slaves,
                 proxies: cfg.proxies,
             })
             .collect();
-        TrinityCluster { cloud, slaves, proxies, clients }
+        TrinityCluster {
+            cloud,
+            slaves,
+            proxies,
+            clients,
+        }
     }
 
     /// The memory cloud (slave tier).
@@ -127,7 +144,9 @@ pub struct TrinityProxy {
 
 impl std::fmt::Debug for TrinityProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TrinityProxy").field("machine", &self.endpoint.machine()).finish()
+        f.debug_struct("TrinityProxy")
+            .field("machine", &self.endpoint.machine())
+            .finish()
     }
 }
 
@@ -145,8 +164,13 @@ impl TrinityProxy {
     /// Register an aggregating protocol: on each request, `per_slave` is
     /// called against every slave and the partial replies are folded with
     /// `combine`.
-    pub fn register_aggregator<F, G>(&self, proto: ProtoId, slave_proto: ProtoId, prepare: F, combine: G)
-    where
+    pub fn register_aggregator<F, G>(
+        &self,
+        proto: ProtoId,
+        slave_proto: ProtoId,
+        prepare: F,
+        combine: G,
+    ) where
         F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
         G: Fn(Vec<Vec<u8>>) -> Vec<u8> + Send + Sync + 'static,
     {
@@ -176,7 +200,9 @@ pub struct TrinityClient {
 
 impl std::fmt::Debug for TrinityClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TrinityClient").field("machine", &self.endpoint.machine()).finish()
+        f.debug_struct("TrinityClient")
+            .field("machine", &self.endpoint.machine())
+            .finish()
     }
 }
 
@@ -187,13 +213,24 @@ impl TrinityClient {
     }
 
     /// Call a protocol on slave `m`.
-    pub fn call_slave(&self, m: usize, proto: ProtoId, payload: &[u8]) -> trinity_net::Result<Vec<u8>> {
+    pub fn call_slave(
+        &self,
+        m: usize,
+        proto: ProtoId,
+        payload: &[u8],
+    ) -> trinity_net::Result<Vec<u8>> {
         self.endpoint.call(MachineId(m as u16), proto, payload)
     }
 
     /// Call a protocol on proxy `i`.
-    pub fn call_proxy(&self, i: usize, proto: ProtoId, payload: &[u8]) -> trinity_net::Result<Vec<u8>> {
-        self.endpoint.call(MachineId((self.slaves + i) as u16), proto, payload)
+    pub fn call_proxy(
+        &self,
+        i: usize,
+        proto: ProtoId,
+        payload: &[u8],
+    ) -> trinity_net::Result<Vec<u8>> {
+        self.endpoint
+            .call(MachineId((self.slaves + i) as u16), proto, payload)
     }
 
     /// Read a cell through the slave tier (routed to the owner).
@@ -245,9 +282,13 @@ mod tests {
         // Each slave exposes its local cell count.
         for m in 0..4 {
             let node = Arc::clone(cluster.cloud().node(m));
-            cluster.cloud().node(m).endpoint().register(SLAVE_COUNT, move |_src, _p| {
-                Some((node.store().cell_count() as u64).to_le_bytes().to_vec())
-            });
+            cluster
+                .cloud()
+                .node(m)
+                .endpoint()
+                .register(SLAVE_COUNT, move |_src, _p| {
+                    Some((node.store().cell_count() as u64).to_le_bytes().to_vec())
+                });
         }
         // The proxy sums the per-slave counts.
         cluster.proxy(0).register_aggregator(
@@ -255,8 +296,10 @@ mod tests {
             SLAVE_COUNT,
             |req| req.to_vec(),
             |parts| {
-                let total: u64 =
-                    parts.iter().map(|p| u64::from_le_bytes(p[..8].try_into().unwrap())).sum();
+                let total: u64 = parts
+                    .iter()
+                    .map(|p| u64::from_le_bytes(p[..8].try_into().unwrap()))
+                    .sum();
                 total.to_le_bytes().to_vec()
             },
         );

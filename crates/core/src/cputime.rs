@@ -30,7 +30,10 @@ pub struct ThreadTimer {
 impl ThreadTimer {
     /// Start timing on the current thread.
     pub fn start() -> Self {
-        ThreadTimer { wall: Instant::now(), cpu_start: thread_cpu_ns() }
+        ThreadTimer {
+            wall: Instant::now(),
+            cpu_start: thread_cpu_ns(),
+        }
     }
 
     /// Seconds of CPU work done by this thread since `start` (wall time if

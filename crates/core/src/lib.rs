@@ -30,8 +30,8 @@ pub mod bsp;
 pub mod checkpoint;
 pub mod cluster;
 pub mod cputime;
-pub mod minitx;
 pub mod hub;
+pub mod minitx;
 pub mod online;
 pub mod online_async;
 pub mod recovery;
@@ -40,7 +40,8 @@ pub mod safra;
 pub mod wal;
 
 pub use bsp::{
-    BspConfig, BspResult, BspRunner, MessagingMode, ResumePoint, SuperstepReport, VertexContext, VertexProgram,
+    BspConfig, BspResult, BspRunner, MessagingMode, ResumePoint, SuperstepReport, VertexContext,
+    VertexProgram,
 };
 pub use cluster::{TrinityClient, TrinityCluster, TrinityConfig, TrinityProxy};
 pub use online::{ExplorationResult, Explorer};

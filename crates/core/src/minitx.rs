@@ -101,7 +101,10 @@ impl MiniTx {
 
     /// Put `bytes` into the cell on commit.
     pub fn write(mut self, cell: CellId, bytes: impl Into<Vec<u8>>) -> Self {
-        self.writes.push(Write { cell, value: Some(bytes.into()) });
+        self.writes.push(Write {
+            cell,
+            value: Some(bytes.into()),
+        });
         self
     }
 
@@ -110,14 +113,15 @@ impl MiniTx {
         self.writes.push(Write { cell, value: None });
         self
     }
-
 }
 
 /// Outcome of an executed transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxOutcome {
     /// Everything validated; writes applied; reads returned.
-    Committed { reads: HashMap<CellId, Option<Vec<u8>>> },
+    Committed {
+        reads: HashMap<CellId, Option<Vec<u8>>>,
+    },
     /// A compare failed; nothing was changed.
     Aborted { failed_compare: Compare },
 }
@@ -258,7 +262,11 @@ fn decode_writes(data: &[u8]) -> Option<(u64, Vec<Write>)> {
         let cell = get_u64(data, &mut at)?;
         let tag = *data.get(at)?;
         at += 1;
-        let value = if tag == 1 { Some(get_bytes(data, &mut at)?.to_vec()) } else { None };
+        let value = if tag == 1 {
+            Some(get_bytes(data, &mut at)?.to_vec())
+        } else {
+            None
+        };
         writes.push(Write { cell, value });
     }
     Some((txid, writes))
@@ -282,49 +290,66 @@ impl TxService {
     pub fn install(cloud: Arc<MemoryCloud>) -> Arc<Self> {
         for m in 0..cloud.machines() {
             let node = Arc::clone(cloud.node(m));
-            let participant = Arc::new(TxParticipant { locks: Mutex::new(HashMap::new()) });
+            let participant = Arc::new(TxParticipant {
+                locks: Mutex::new(HashMap::new()),
+            });
             // PREPARE: lock, validate, read.
             {
                 let node = Arc::clone(&node);
                 let participant = Arc::clone(&participant);
-                node.endpoint().clone().register(proto::MTX_PREPARE, move |_src, data| {
-                    Some(prepare(&node, &participant, data))
-                });
+                node.endpoint()
+                    .clone()
+                    .register(proto::MTX_PREPARE, move |_src, data| {
+                        Some(prepare(&node, &participant, data))
+                    });
             }
             // COMMIT: apply writes, release locks.
             {
                 let node = Arc::clone(&node);
                 let participant = Arc::clone(&participant);
-                node.endpoint().clone().register(proto::MTX_COMMIT, move |_src, data| {
-                    if let Some((txid, writes)) = decode_writes(data) {
-                        for w in &writes {
-                            match &w.value {
-                                Some(b) => {
-                                    let _ = node.put(w.cell, b);
-                                }
-                                None => {
-                                    let _ = node.remove(w.cell);
+                node.endpoint()
+                    .clone()
+                    .register(proto::MTX_COMMIT, move |_src, data| {
+                        if let Some((txid, writes)) = decode_writes(data) {
+                            for w in &writes {
+                                match &w.value {
+                                    Some(b) => {
+                                        let _ = node.put(w.cell, b);
+                                    }
+                                    None => {
+                                        let _ = node.remove(w.cell);
+                                    }
                                 }
                             }
+                            participant
+                                .locks
+                                .lock()
+                                .retain(|_, &mut holder| holder != txid);
                         }
-                        participant.locks.lock().retain(|_, &mut holder| holder != txid);
-                    }
-                    Some(vec![ST_OK])
-                });
+                        Some(vec![ST_OK])
+                    });
             }
             // ABORT: release locks only.
             {
                 let participant = Arc::clone(&participant);
-                node.endpoint().clone().register(proto::MTX_ABORT, move |_src, data| {
-                    let mut at = 0usize;
-                    if let Some(txid) = get_u64(data, &mut at) {
-                        participant.locks.lock().retain(|_, &mut holder| holder != txid);
-                    }
-                    Some(vec![ST_OK])
-                });
+                node.endpoint()
+                    .clone()
+                    .register(proto::MTX_ABORT, move |_src, data| {
+                        let mut at = 0usize;
+                        if let Some(txid) = get_u64(data, &mut at) {
+                            participant
+                                .locks
+                                .lock()
+                                .retain(|_, &mut holder| holder != txid);
+                        }
+                        Some(vec![ST_OK])
+                    });
             }
         }
-        Arc::new(TxService { cloud, next_txid: AtomicU64::new(1) })
+        Arc::new(TxService {
+            cloud,
+            next_txid: AtomicU64::new(1),
+        })
     }
 
     /// Execute a mini-transaction from machine `from`, retrying on lock
@@ -338,7 +363,9 @@ impl TxService {
                 Attempt::Busy => {
                     // Jittered backoff keyed on the attempt and coordinator.
                     let jitter = ((attempt as u64 * 2654435761 + from as u64) % 7) + 1;
-                    std::thread::sleep(Duration::from_micros(50 * jitter * (1 + attempt as u64 / 10)));
+                    std::thread::sleep(Duration::from_micros(
+                        50 * jitter * (1 + attempt as u64 / 10),
+                    ));
                 }
             }
         }
@@ -356,10 +383,18 @@ impl TxService {
         let mut shares: HashMap<u16, TxShare> = HashMap::new();
         let mut writes_by: HashMap<u16, Vec<Write>> = HashMap::new();
         for c in &tx.compares {
-            shares.entry(table.machine_of(c.cell()).0).or_default().compares.push(c.clone());
+            shares
+                .entry(table.machine_of(c.cell()).0)
+                .or_default()
+                .compares
+                .push(c.clone());
         }
         for &r in &tx.reads {
-            shares.entry(table.machine_of(r).0).or_default().reads.push(r);
+            shares
+                .entry(table.machine_of(r).0)
+                .or_default()
+                .reads
+                .push(r);
         }
         for w in &tx.writes {
             let owner = table.machine_of(w.cell).0;
@@ -374,7 +409,9 @@ impl TxService {
         let mut verdict: Option<Attempt> = None;
         for &p in &participants {
             let payload = encode_share(txid, &shares[&p]);
-            let reply = endpoint.call(MachineId(p), proto::MTX_PREPARE, &payload).map_err(CloudError::Net)?;
+            let reply = endpoint
+                .call(MachineId(p), proto::MTX_PREPARE, &payload)
+                .map_err(CloudError::Net)?;
             match reply.first() {
                 Some(&ST_OK) => {
                     prepared.push(p);
@@ -386,7 +423,9 @@ impl TxService {
                 }
                 Some(&ST_COMPARE_FAILED) => {
                     let failed = decode_failed_compare(&reply[1..]).ok_or(CloudError::BadReply)?;
-                    verdict = Some(Attempt::Done(TxOutcome::Aborted { failed_compare: failed }));
+                    verdict = Some(Attempt::Done(TxOutcome::Aborted {
+                        failed_compare: failed,
+                    }));
                     break;
                 }
                 _ => return Err(CloudError::BadReply),
@@ -397,7 +436,9 @@ impl TxService {
             None => {
                 for &p in &participants {
                     let payload = encode_writes(txid, writes_by.get(&p).map_or(&[][..], |v| v));
-                    endpoint.call(MachineId(p), proto::MTX_COMMIT, &payload).map_err(CloudError::Net)?;
+                    endpoint
+                        .call(MachineId(p), proto::MTX_COMMIT, &payload)
+                        .map_err(CloudError::Net)?;
                 }
                 Ok(Attempt::Done(TxOutcome::Committed { reads }))
             }
@@ -405,7 +446,9 @@ impl TxService {
                 let mut abort = Vec::new();
                 put_u64(&mut abort, txid);
                 for &p in &prepared {
-                    endpoint.call(MachineId(p), proto::MTX_ABORT, &abort).map_err(CloudError::Net)?;
+                    endpoint
+                        .call(MachineId(p), proto::MTX_ABORT, &abort)
+                        .map_err(CloudError::Net)?;
                 }
                 Ok(outcome)
             }
@@ -436,7 +479,10 @@ fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> V
     cells.dedup();
     {
         let mut locks = participant.locks.lock();
-        if cells.iter().any(|c| locks.get(c).is_some_and(|&h| h != txid)) {
+        if cells
+            .iter()
+            .any(|c| locks.get(c).is_some_and(|&h| h != txid))
+        {
             return vec![ST_BUSY];
         }
         for &c in &cells {
@@ -445,7 +491,10 @@ fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> V
     }
     // Validate compares (rolling the locks back on failure).
     let release = |participant: &TxParticipant| {
-        participant.locks.lock().retain(|_, &mut holder| holder != txid);
+        participant
+            .locks
+            .lock()
+            .retain(|_, &mut holder| holder != txid);
     };
     for c in &share.compares {
         let current = match node.get(c.cell()) {
@@ -485,13 +534,19 @@ fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> V
 
 fn decode_reads(data: &[u8], into: &mut HashMap<CellId, Option<Vec<u8>>>) {
     let mut at = 0usize;
-    let Some(n) = get_u64(data, &mut at) else { return };
+    let Some(n) = get_u64(data, &mut at) else {
+        return;
+    };
     for _ in 0..n {
-        let Some(id) = get_u64(data, &mut at) else { return };
+        let Some(id) = get_u64(data, &mut at) else {
+            return;
+        };
         let Some(&tag) = data.get(at) else { return };
         at += 1;
         if tag == 1 {
-            let Some(bytes) = get_bytes(data, &mut at) else { return };
+            let Some(bytes) = get_bytes(data, &mut at) else {
+                return;
+            };
             into.insert(id, Some(bytes.to_vec()));
         } else {
             into.insert(id, None);
@@ -570,7 +625,12 @@ mod tests {
                     .write(2, &b"y"[..]),
             )
             .unwrap();
-        assert!(matches!(out, TxOutcome::Aborted { failed_compare: Compare::Equals(2, _) }));
+        assert!(matches!(
+            out,
+            TxOutcome::Aborted {
+                failed_compare: Compare::Equals(2, _)
+            }
+        ));
         assert_eq!(cloud.node(0).get(1).unwrap().unwrap(), b"new-a");
         assert_eq!(cloud.node(0).get(2).unwrap().unwrap(), b"new-b");
         cloud.shutdown();
@@ -583,7 +643,12 @@ mod tests {
         let out = svc
             .execute(
                 0,
-                &MiniTx::new().compare_exists(10).compare_absent(11).read(10).read(11).write(11, &b"eleven"[..]),
+                &MiniTx::new()
+                    .compare_exists(10)
+                    .compare_absent(11)
+                    .read(10)
+                    .read(11)
+                    .write(11, &b"eleven"[..]),
             )
             .unwrap();
         match out {
@@ -594,7 +659,12 @@ mod tests {
             other => panic!("expected commit, got {other:?}"),
         }
         // Second run: 11 now exists, so compare_absent aborts.
-        let out = svc.execute(1, &MiniTx::new().compare_absent(11).write(11, &b"twelve"[..])).unwrap();
+        let out = svc
+            .execute(
+                1,
+                &MiniTx::new().compare_absent(11).write(11, &b"twelve"[..]),
+            )
+            .unwrap();
         assert!(!out.committed());
         assert_eq!(cloud.node(0).get(11).unwrap().unwrap(), b"eleven");
         cloud.shutdown();
@@ -606,7 +676,13 @@ mod tests {
         cloud.node(0).put(5, b"doomed").unwrap();
         cloud.node(0).put(6, b"witness").unwrap();
         let out = svc
-            .execute(0, &MiniTx::new().compare_equals(6, &b"witness"[..]).remove(5).write(6, &b"saw-it"[..]))
+            .execute(
+                0,
+                &MiniTx::new()
+                    .compare_equals(6, &b"witness"[..])
+                    .remove(5)
+                    .write(6, &b"saw-it"[..]),
+            )
             .unwrap();
         assert!(out.committed());
         assert_eq!(cloud.node(1).get(5).unwrap(), None);
@@ -632,7 +708,9 @@ mod tests {
                 scope.spawn(move || {
                     let mut rng_state = t as u64 + 1;
                     let mut rand = move || {
-                        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        rng_state = rng_state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         rng_state >> 33
                     };
                     let mut done = 0;
@@ -643,11 +721,13 @@ mod tests {
                             continue;
                         }
                         // Read both balances transactionally.
-                        let read =
-                            svc.execute(t, &MiniTx::new().read(from).read(to)).unwrap();
-                        let TxOutcome::Committed { reads } = read else { unreachable!() };
-                        let bal_from =
-                            i64::from_le_bytes(reads[&from].as_deref().unwrap().try_into().unwrap());
+                        let read = svc.execute(t, &MiniTx::new().read(from).read(to)).unwrap();
+                        let TxOutcome::Committed { reads } = read else {
+                            unreachable!()
+                        };
+                        let bal_from = i64::from_le_bytes(
+                            reads[&from].as_deref().unwrap().try_into().unwrap(),
+                        );
                         let bal_to =
                             i64::from_le_bytes(reads[&to].as_deref().unwrap().try_into().unwrap());
                         let amount = 1 + (rand() % 5) as i64;
@@ -667,21 +747,38 @@ mod tests {
         let total: i64 = (0..accounts)
             .map(|a| i64::from_le_bytes(cloud.node(0).get(a).unwrap().unwrap().try_into().unwrap()))
             .sum();
-        assert_eq!(total, initial * accounts as i64, "money was created or destroyed");
+        assert_eq!(
+            total,
+            initial * accounts as i64,
+            "money was created or destroyed"
+        );
         cloud.shutdown();
     }
 
     #[test]
     fn share_and_write_codecs_roundtrip() {
         let share = TxShare {
-            compares: vec![Compare::Equals(1, b"x".to_vec()), Compare::Exists(2), Compare::Absent(3)],
+            compares: vec![
+                Compare::Equals(1, b"x".to_vec()),
+                Compare::Exists(2),
+                Compare::Absent(3),
+            ],
             reads: vec![4, 5],
             write_locks: vec![6],
         };
         let (txid, decoded) = decode_share(&encode_share(42, &share)).unwrap();
         assert_eq!(txid, 42);
         assert_eq!(decoded, share);
-        let writes = vec![Write { cell: 7, value: Some(b"v".to_vec()) }, Write { cell: 8, value: None }];
+        let writes = vec![
+            Write {
+                cell: 7,
+                value: Some(b"v".to_vec()),
+            },
+            Write {
+                cell: 8,
+                value: None,
+            },
+        ];
         let (txid, decoded) = decode_writes(&encode_writes(9, &writes)).unwrap();
         assert_eq!(txid, 9);
         assert_eq!(decoded, writes);

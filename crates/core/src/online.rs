@@ -21,6 +21,7 @@ use std::sync::Arc;
 use trinity_graph::GraphHandle;
 use trinity_memcloud::{CellId, MemoryCloud};
 use trinity_net::MachineId;
+use trinity_obs::{next_trace_id, TraceGuard};
 
 use crate::proto;
 
@@ -66,7 +67,10 @@ fn decode_ids(data: &[u8]) -> Option<(&[u8], Vec<CellId>)> {
     }
     let n = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
     let body = rest.get(4..4 + n * 8)?;
-    let ids = body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+    let ids = body
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
     Some((pattern, ids))
 }
 
@@ -109,22 +113,29 @@ pub struct Explorer {
 
 impl std::fmt::Debug for Explorer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Explorer").field("machines", &self.handles.len()).finish()
+        f.debug_struct("Explorer")
+            .field("machines", &self.handles.len())
+            .finish()
     }
 }
 
 impl Explorer {
     /// Install the exploration protocol on every slave of the cloud.
     pub fn install(cloud: Arc<MemoryCloud>) -> Arc<Self> {
-        let handles: Vec<GraphHandle> =
-            (0..cloud.machines()).map(|m| GraphHandle::new(Arc::clone(cloud.node(m)))).collect();
+        let handles: Vec<GraphHandle> = (0..cloud.machines())
+            .map(|m| GraphHandle::new(Arc::clone(cloud.node(m))))
+            .collect();
         let explorer = Arc::new(Explorer { cloud, handles });
         for m in 0..explorer.handles.len() {
             let handle = explorer.handles[m].clone();
-            explorer.cloud.node(m).endpoint().register(proto::EXPAND, move |_src, data| {
-                let (pattern, ids) = decode_ids(data)?;
-                Some(expand_local(&handle, pattern, &ids))
-            });
+            explorer
+                .cloud
+                .node(m)
+                .endpoint()
+                .register(proto::EXPAND, move |_src, data| {
+                    let (pattern, ids) = decode_ids(data)?;
+                    Some(expand_local(&handle, pattern, &ids))
+                });
         }
         explorer
     }
@@ -133,21 +144,44 @@ impl Explorer {
     /// machine `from`. With a `pattern`, node attributes containing the
     /// pattern bytes are reported as matches (substring match — the
     /// people-search predicate).
-    pub fn explore(&self, from: usize, start: CellId, hops: usize, pattern: &[u8]) -> ExplorationResult {
+    pub fn explore(
+        &self,
+        from: usize,
+        start: CellId,
+        hops: usize,
+        pattern: &[u8],
+    ) -> ExplorationResult {
         let coordinator = self.cloud.node(from).endpoint();
         let table = self.cloud.node(from).table();
         let machines = self.handles.len();
+        // One trace id per query: the EXPAND fan-out calls carry it to
+        // every serving machine, so the whole multi-hop exploration can be
+        // reconstructed from span rings across the cluster.
+        let trace = next_trace_id();
+        let _trace_guard = TraceGuard::enter(trace);
+        let obs = coordinator.obs();
+        obs.counter("explore.queries").inc();
+        let hop_us = obs.histogram("explore.hop.us");
+        let frontier_sizes = obs.histogram("explore.frontier");
+        let batches_sent = obs.counter("explore.batches");
         let mut visited: HashSet<CellId> = HashSet::new();
         visited.insert(start);
-        let mut result = ExplorationResult { per_hop: vec![1], ..Default::default() };
+        let mut result = ExplorationResult {
+            per_hop: vec![1],
+            ..Default::default()
+        };
         let mut frontier = vec![start];
         for hop in 0..=hops {
+            let hop_start_us = obs.now_us();
+            frontier_sizes.record(frontier.len() as u64);
             // Partition the frontier by owner machine.
             let mut by_machine: Vec<Vec<CellId>> = vec![Vec::new(); machines];
             for &id in &frontier {
                 by_machine[table.machine_of(id).0 as usize].push(id);
             }
-            // One batched request per machine, issued in parallel.
+            // One batched request per machine, issued in parallel. Each
+            // worker re-installs the query trace: guards are thread-local
+            // and these are fresh scoped threads.
             let replies: Vec<Option<Vec<u8>>> = std::thread::scope(|scope| {
                 let joins: Vec<_> = by_machine
                     .iter()
@@ -158,15 +192,29 @@ impl Explorer {
                             if batch.is_empty() {
                                 return None;
                             }
-                            coordinator.call(MachineId(m as u16), proto::EXPAND, &encode_ids(pattern, batch)).ok()
+                            let _tg = TraceGuard::enter(trace);
+                            coordinator
+                                .call(
+                                    MachineId(m as u16),
+                                    proto::EXPAND,
+                                    &encode_ids(pattern, batch),
+                                )
+                                .ok()
                         })
                     })
                     .collect();
-                joins.into_iter().map(|j| j.join().expect("expand worker panicked")).collect()
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("expand worker panicked"))
+                    .collect()
             });
-            result.batches += by_machine.iter().filter(|b| !b.is_empty()).count();
+            let hop_batches = by_machine.iter().filter(|b| !b.is_empty()).count();
+            result.batches += hop_batches;
+            batches_sent.add(hop_batches as u64);
+            let mut reply_bytes = 0u64;
             let mut next = Vec::new();
             for reply in replies.into_iter().flatten() {
+                reply_bytes += reply.len() as u64;
                 if let Some((matches, neighbors)) = decode_reply(&reply) {
                     result.matches.extend(matches);
                     if hop < hops {
@@ -178,6 +226,14 @@ impl Explorer {
                     }
                 }
             }
+            hop_us.record(obs.now_us().saturating_sub(hop_start_us));
+            obs.span(
+                "explore.hop",
+                proto::EXPAND,
+                reply_bytes,
+                hop_batches.min(u32::MAX as usize) as u32,
+                hop_start_us,
+            );
             if hop < hops {
                 result.per_hop.push(next.len());
             }
@@ -233,9 +289,21 @@ mod tests {
         Csr::undirected_from_edges(n, &edges, true)
     }
 
-    fn cloud_with(csr: &Csr, machines: usize, attrs: Option<Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync>>) -> (Arc<MemoryCloud>, Arc<Explorer>) {
+    fn cloud_with(
+        csr: &Csr,
+        machines: usize,
+        attrs: Option<Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync>>,
+    ) -> (Arc<MemoryCloud>, Arc<Explorer>) {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
-        load_graph(Arc::clone(&cloud), csr, &LoadOptions { with_in_links: false, attrs }).unwrap();
+        load_graph(
+            Arc::clone(&cloud),
+            csr,
+            &LoadOptions {
+                with_in_links: false,
+                attrs,
+            },
+        )
+        .unwrap();
         let explorer = Explorer::install(Arc::clone(&cloud));
         (cloud, explorer)
     }
@@ -267,8 +335,13 @@ mod tests {
     #[test]
     fn pattern_matching_finds_named_nodes_within_hops() {
         let csr = path_graph(10);
-        let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> =
-            Arc::new(|v| if v % 4 == 0 { b"David".to_vec() } else { b"Someone".to_vec() });
+        let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> = Arc::new(|v| {
+            if v % 4 == 0 {
+                b"David".to_vec()
+            } else {
+                b"Someone".to_vec()
+            }
+        });
         let (cloud, ex) = cloud_with(&csr, 3, Some(attrs));
         // From node 5, 2 hops covers 3..=7: only node 4 is a David.
         let r = ex.explore(0, 5, 2, b"David");
@@ -288,6 +361,50 @@ mod tests {
             let r = ex.explore(m, 7, 3, b"");
             assert_eq!(r.per_hop, base.per_hop, "machine {m} disagrees");
         }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn one_trace_id_spans_every_serving_machine() {
+        let machines = 4;
+        let csr = trinity_graphgen::social(400, 12, 9);
+        let (cloud, ex) = cloud_with(&csr, machines, None);
+        let obs = cloud.fabric().obs();
+        // The query allocates its trace id internally; recover it from the
+        // coordinator's "explore.hop" spans after the fact.
+        let r = ex.explore(0, 7, 3, b"");
+        assert!(r.visited() > machines, "graph too small to fan out");
+        let hop_spans: Vec<_> = obs
+            .spans()
+            .into_iter()
+            .filter(|s| s.label == "explore.hop")
+            .collect();
+        assert!(!hop_spans.is_empty(), "coordinator records per-hop spans");
+        let trace = hop_spans[0].trace;
+        assert_ne!(trace, trinity_obs::NO_TRACE);
+        assert!(
+            hop_spans.iter().all(|s| s.trace == trace),
+            "one trace per query"
+        );
+        assert!(
+            hop_spans.iter().all(|s| s.machine == 0),
+            "hops recorded on the coordinator"
+        );
+        // A 3-hop exploration of a social graph touches all 4 machines:
+        // every one must have recorded spans under the same trace id.
+        let spans = obs.spans_for_trace(trace);
+        let serving: std::collections::BTreeSet<u16> = spans.iter().map(|s| s.machine).collect();
+        assert_eq!(
+            serving.len(),
+            machines,
+            "trace spans on every machine: {serving:?}"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.machine != 0 && s.label == "net.dispatch"),
+            "remote machines record handler dispatch under the query trace"
+        );
         cloud.shutdown();
     }
 

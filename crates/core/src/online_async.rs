@@ -74,7 +74,9 @@ pub struct AsyncExplorer {
 
 impl std::fmt::Debug for AsyncExplorer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AsyncExplorer").field("machines", &self.states.len()).finish()
+        f.debug_struct("AsyncExplorer")
+            .field("machines", &self.states.len())
+            .finish()
     }
 }
 
@@ -137,7 +139,15 @@ fn decode_batch(data: &[u8]) -> Option<Batch> {
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    Some(Batch { qid, parent, parent_batch, depth, hops_left, pattern, ids })
+    Some(Batch {
+        qid,
+        parent,
+        parent_batch,
+        depth,
+        hops_left,
+        pattern,
+        ids,
+    })
 }
 
 /// EXPLORE_REPORT (ack): qid | acked batch id.
@@ -162,8 +172,11 @@ impl AsyncExplorer {
                 })
             })
             .collect();
-        let explorer =
-            Arc::new(AsyncExplorer { cloud: Arc::clone(&cloud), states, next_query: AtomicU64::new(1) });
+        let explorer = Arc::new(AsyncExplorer {
+            cloud: Arc::clone(&cloud),
+            states,
+            next_query: AtomicU64::new(1),
+        });
         for m in 0..cloud.machines() {
             let endpoint = cloud.node(m).endpoint();
             // Frontier batches.
@@ -200,7 +213,7 @@ impl AsyncExplorer {
                     let local = state.queries.lock().remove(&qid).unwrap_or_default();
                     let mut out = Vec::new();
                     out.extend_from_slice(&(local.depth.len() as u32).to_le_bytes());
-                    for (_, d) in &local.depth {
+                    for d in local.depth.values() {
                         out.extend_from_slice(&d.to_le_bytes());
                     }
                     out.extend_from_slice(&(local.matches.len() as u32).to_le_bytes());
@@ -232,7 +245,9 @@ impl AsyncExplorer {
                         if first_visit && !batch.pattern.is_empty() {
                             let matched = handle
                                 .with_node(id, |view| {
-                                    view.attrs().windows(batch.pattern.len()).any(|w| w == &batch.pattern[..])
+                                    view.attrs()
+                                        .windows(batch.pattern.len())
+                                        .any(|w| w == &batch.pattern[..])
                                 })
                                 .ok()
                                 .flatten()
@@ -269,7 +284,11 @@ impl AsyncExplorer {
             .collect();
         if children.is_empty() {
             // Leaf: ack the parent immediately.
-            endpoint.send(batch.parent, proto::EXPLORE_REPORT, &encode_ack(batch.qid, batch.parent_batch));
+            endpoint.send(
+                batch.parent,
+                proto::EXPLORE_REPORT,
+                &encode_ack(batch.qid, batch.parent_batch),
+            );
             endpoint.flush_to(batch.parent);
             return;
         }
@@ -277,7 +296,11 @@ impl AsyncExplorer {
         let my_batch = self.states[m].next_batch.fetch_add(1, Ordering::Relaxed);
         self.states[m].pending.lock().insert(
             (batch.qid, my_batch),
-            PendingBatch { parent: batch.parent, parent_batch: batch.parent_batch, remaining: children.len() },
+            PendingBatch {
+                parent: batch.parent,
+                parent_batch: batch.parent_batch,
+                remaining: children.len(),
+            },
         );
         for (owner, ids) in children {
             let payload = encode_batch(
@@ -319,7 +342,11 @@ impl AsyncExplorer {
         };
         if let Some(p) = completed {
             let endpoint = self.cloud.node(m).endpoint();
-            endpoint.send(p.parent, proto::EXPLORE_REPORT, &encode_ack(qid, p.parent_batch));
+            endpoint.send(
+                p.parent,
+                proto::EXPLORE_REPORT,
+                &encode_ack(qid, p.parent_batch),
+            );
             endpoint.flush_to(p.parent);
         }
     }
@@ -327,12 +354,26 @@ impl AsyncExplorer {
     /// Explore the `hops`-neighborhood of `start` from machine `from`,
     /// asynchronously and recursively. Semantics match
     /// [`crate::online::Explorer::explore`].
-    pub fn explore(&self, from: usize, start: CellId, hops: usize, pattern: &[u8]) -> ExplorationResult {
+    pub fn explore(
+        &self,
+        from: usize,
+        start: CellId,
+        hops: usize,
+        pattern: &[u8],
+    ) -> ExplorationResult {
         let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
         let endpoint = self.cloud.node(from).endpoint();
         self.states[from].done.lock().insert(qid, false);
         // Seed batch: parent = the coordinator, parent batch id 0.
-        let seed = encode_batch(qid, MachineId(from as u16), 0, 0, hops as u32, pattern, &[start]);
+        let seed = encode_batch(
+            qid,
+            MachineId(from as u16),
+            0,
+            0,
+            hops as u32,
+            pattern,
+            &[start],
+        );
         let owner = self.cloud.node(from).table().machine_of(start);
         endpoint.send(owner, proto::EXPLORE_ASYNC, &seed);
         endpoint.flush_to(owner);
@@ -353,7 +394,9 @@ impl AsyncExplorer {
         let mut matches: Vec<CellId> = Vec::new();
         let mut machines_with_data = 0usize;
         for peer in 0..self.cloud.machines() as u16 {
-            let Ok(reply) = endpoint.call(MachineId(peer), proto::EXPLORE_COLLECT, &qid.to_le_bytes()) else {
+            let Ok(reply) =
+                endpoint.call(MachineId(peer), proto::EXPLORE_COLLECT, &qid.to_le_bytes())
+            else {
                 continue;
             };
             let mut at = 0usize;
@@ -383,7 +426,11 @@ impl AsyncExplorer {
         while per_hop.len() > 1 && *per_hop.last().unwrap() == 0 {
             per_hop.pop();
         }
-        ExplorationResult { per_hop, matches, batches: machines_with_data }
+        ExplorationResult {
+            per_hop,
+            matches,
+            batches: machines_with_data,
+        }
     }
 }
 
@@ -400,7 +447,15 @@ mod tests {
         attrs: Option<Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync>>,
     ) -> (Arc<MemoryCloud>, Arc<Explorer>, Arc<AsyncExplorer>) {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
-        load_graph(Arc::clone(&cloud), csr, &LoadOptions { with_in_links: false, attrs }).unwrap();
+        load_graph(
+            Arc::clone(&cloud),
+            csr,
+            &LoadOptions {
+                with_in_links: false,
+                attrs,
+            },
+        )
+        .unwrap();
         let sync = Explorer::install(Arc::clone(&cloud));
         let asyn = AsyncExplorer::install(Arc::clone(&cloud));
         (cloud, sync, asyn)
@@ -452,7 +507,9 @@ mod tests {
     fn concurrent_async_queries_do_not_interfere() {
         let csr = trinity_graphgen::social(400, 10, 9);
         let (cloud, sync, asyn) = both_explorers(&csr, 4, None);
-        let expects: Vec<_> = (0..6u64).map(|s| sync.explore(0, s * 50, 2, b"").per_hop).collect();
+        let expects: Vec<_> = (0..6u64)
+            .map(|s| sync.explore(0, s * 50, 2, b"").per_hop)
+            .collect();
         std::thread::scope(|scope| {
             for (i, expect) in expects.iter().enumerate() {
                 let asyn = Arc::clone(&asyn);
@@ -484,7 +541,10 @@ mod tests {
             asyn.explore((q % 3) as usize, q * 13, 3, b"");
         }
         for state in &asyn.states {
-            assert!(state.pending.lock().is_empty(), "pending batch records leaked");
+            assert!(
+                state.pending.lock().is_empty(),
+                "pending batch records leaked"
+            );
             assert!(state.queries.lock().is_empty(), "query state not collected");
             assert!(state.done.lock().is_empty(), "coordinator state leaked");
         }

@@ -43,7 +43,10 @@ pub struct RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig { interval: Duration::from_millis(50), miss_threshold: 2 }
+        RecoveryConfig {
+            interval: Duration::from_millis(50),
+            miss_threshold: 2,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ impl Default for RecoveryConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryEvent {
     LeaderElected(MachineId),
-    MachineRecovered { failed: MachineId, by: MachineId, epoch: u64 },
+    MachineRecovered {
+        failed: MachineId,
+        by: MachineId,
+        epoch: u64,
+    },
 }
 
 /// Handle to the per-machine recovery agents.
@@ -72,7 +79,9 @@ fn leader_name(m: MachineId) -> String {
 }
 
 fn parse_leader(name: &str) -> Option<MachineId> {
-    name.strip_prefix('m').and_then(|s| s.parse().ok()).map(MachineId)
+    name.strip_prefix('m')
+        .and_then(|s| s.parse().ok())
+        .map(MachineId)
 }
 
 impl RecoveryAgents {
@@ -83,24 +92,38 @@ impl RecoveryAgents {
         // TABLE_BCAST handler: adopt the leader's new table.
         for m in 0..cloud.machines() {
             let node = Arc::clone(cloud.node(m));
-            cloud.node(m).endpoint().register(proto::TABLE_BCAST, move |_src, data| {
-                if let Some(table) = AddressingTable::decode(data) {
-                    let _ = node.install_table(table);
-                }
-                Some(Vec::new())
-            });
+            cloud
+                .node(m)
+                .endpoint()
+                .register(proto::TABLE_BCAST, move |_src, data| {
+                    if let Some(table) = AddressingTable::decode(data) {
+                        let _ = node.install_table(table);
+                    }
+                    Some(Vec::new())
+                });
         }
         // REPORT_FAILURE handler: handled inside the agent loop via a
         // shared suspicion set.
         let suspicions: Arc<Mutex<HashSet<u16>>> = Arc::new(Mutex::new(HashSet::new()));
         for m in 0..cloud.machines() {
             let suspicions = Arc::clone(&suspicions);
-            cloud.node(m).endpoint().register(proto::REPORT_FAILURE, move |_src, data| {
-                if data.len() >= 2 {
-                    suspicions.lock().insert(u16::from_le_bytes(data[..2].try_into().unwrap()));
-                }
-                Some(Vec::new())
-            });
+            let reports = cloud
+                .node(m)
+                .endpoint()
+                .obs()
+                .counter("recovery.failure_reports");
+            cloud
+                .node(m)
+                .endpoint()
+                .register(proto::REPORT_FAILURE, move |_src, data| {
+                    if data.len() >= 2 {
+                        reports.inc();
+                        suspicions
+                            .lock()
+                            .insert(u16::from_le_bytes(data[..2].try_into().unwrap()));
+                    }
+                    Some(Vec::new())
+                });
         }
         let mut handles = Vec::new();
         for m in 0..cloud.machines() {
@@ -115,7 +138,11 @@ impl RecoveryAgents {
                     .expect("spawn recovery agent"),
             );
         }
-        RecoveryAgents { stop, events, handles }
+        RecoveryAgents {
+            stop,
+            events,
+            handles,
+        }
     }
 
     /// Events observed so far.
@@ -125,7 +152,11 @@ impl RecoveryAgents {
 
     /// The currently elected leader per the TFS flag.
     pub fn current_leader(cloud: &MemoryCloud) -> Option<MachineId> {
-        cloud.tfs().flag_owner(LEADER_FLAG).as_deref().and_then(parse_leader)
+        cloud
+            .tfs()
+            .flag_owner(LEADER_FLAG)
+            .as_deref()
+            .and_then(parse_leader)
     }
 
     /// Stop all agents.
@@ -149,7 +180,8 @@ impl Drop for RecoveryAgents {
 /// Report a failed access to the cluster (detection-by-access): "machine
 /// A will inform the leader machine of the failure of machine B".
 pub fn report_failure(node: &CloudNode, suspect: MachineId) {
-    node.endpoint().broadcast(proto::REPORT_FAILURE, &suspect.0.to_le_bytes());
+    node.endpoint()
+        .broadcast(proto::REPORT_FAILURE, &suspect.0.to_le_bytes());
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -165,6 +197,13 @@ fn agent_loop(
     let my_name = leader_name(me);
     let tfs = cloud.tfs().clone();
     let endpoint = Arc::clone(cloud.node(m).endpoint());
+    // Recovery-protocol health counters, surfaced as `recovery.*` in this
+    // machine's metrics scope.
+    let obs = endpoint.obs();
+    let elections_won = obs.counter("recovery.elections_won");
+    let probes = obs.counter("recovery.probes");
+    let recoveries = obs.counter("recovery.recoveries");
+    let leader_breaks = obs.counter("recovery.leader_flag_breaks");
     let mut misses: HashMap<u16, u32> = HashMap::new();
     let mut recovered: HashSet<u16> = HashSet::new();
     while !stop.load(Ordering::Acquire) {
@@ -176,6 +215,7 @@ fn agent_loop(
         match tfs.flag_owner(LEADER_FLAG) {
             None => {
                 if tfs.try_acquire_flag(LEADER_FLAG, &my_name) {
+                    elections_won.inc();
                     events.lock().push(RecoveryEvent::LeaderElected(me));
                 }
             }
@@ -187,6 +227,7 @@ fn agent_loop(
                     if peer == me.0 || recovered.contains(&peer) {
                         continue;
                     }
+                    probes.inc();
                     let alive = endpoint.call(MachineId(peer), netproto::PING, &[]).is_ok();
                     let miss = misses.entry(peer).or_insert(0);
                     if alive {
@@ -198,6 +239,7 @@ fn agent_loop(
                     if confirmed {
                         recovered.insert(peer);
                         if let Ok(table) = cloud.recover(peer as usize) {
+                            recoveries.inc();
                             // Broadcast the new epoch; stragglers self-heal
                             // through TFS on their next failed access.
                             endpoint.broadcast(proto::TABLE_BCAST, &table.encode());
@@ -224,6 +266,7 @@ fn agent_loop(
                             // Only break the flag if it is still held by
                             // the machine we just confirmed dead.
                             if tfs.flag_owner(LEADER_FLAG).as_deref() == Some(owner.as_str()) {
+                                leader_breaks.inc();
                                 tfs.break_flag(LEADER_FLAG);
                             }
                             *miss = 0;
@@ -289,10 +332,9 @@ mod tests {
         let victim = (0..4u16).map(MachineId).find(|&p| p != leader).unwrap();
         cloud.kill_machine(victim.0 as usize);
         assert!(
-            wait_until(10_000, || agents
-                .events()
-                .iter()
-                .any(|e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == victim))),
+            wait_until(10_000, || agents.events().iter().any(
+                |e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == victim)
+            )),
             "leader never recovered the failed slave; events: {:?}",
             agents.events()
         );
@@ -329,15 +371,20 @@ mod tests {
         );
         // ...and it recovers the old leader's trunks.
         assert!(
-            wait_until(10_000, || agents.events().iter().any(
+            wait_until(10_000, || {
+                agents.events().iter().any(
                 |e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == old_leader)
-            )),
+            )
+            }),
             "new leader never recovered the dead one; events: {:?}",
             agents.events()
         );
         let reader = (0..4u16).find(|&p| p != old_leader.0).unwrap();
         for i in 0..60u64 {
-            assert_eq!(cloud.node(reader as usize).get(i).unwrap().as_deref(), Some(&b"payload"[..]));
+            assert_eq!(
+                cloud.node(reader as usize).get(i).unwrap().as_deref(),
+                Some(&b"payload"[..])
+            );
         }
         agents.stop();
         cloud.shutdown();
@@ -349,7 +396,10 @@ mod tests {
         cloud.backup_all().unwrap();
         let agents = RecoveryAgents::install(
             Arc::clone(&cloud),
-            RecoveryConfig { interval: Duration::from_millis(30), miss_threshold: 100 },
+            RecoveryConfig {
+                interval: Duration::from_millis(30),
+                miss_threshold: 100,
+            },
         );
         assert!(wait_until(5_000, || RecoveryAgents::current_leader(&cloud).is_some()));
         let leader = RecoveryAgents::current_leader(&cloud).unwrap();
@@ -357,13 +407,14 @@ mod tests {
         cloud.kill_machine(victim.0 as usize);
         // With a miss threshold of 100, heartbeats alone would take ages;
         // a detection-by-access report forces immediate recovery.
-        let reporter = (0..3u16).find(|&p| p != victim.0 && cloud.fabric().is_dead(MachineId(p)) == false).unwrap();
+        let reporter = (0..3u16)
+            .find(|&p| p != victim.0 && !cloud.fabric().is_dead(MachineId(p)))
+            .unwrap();
         report_failure(cloud.node(reporter as usize), victim);
         assert!(
-            wait_until(10_000, || agents
-                .events()
-                .iter()
-                .any(|e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == victim))),
+            wait_until(10_000, || agents.events().iter().any(
+                |e| matches!(e, RecoveryEvent::MachineRecovered { failed, .. } if *failed == victim)
+            )),
             "report did not trigger recovery; events: {:?}",
             agents.events()
         );

@@ -126,9 +126,16 @@ impl BucketSchedule {
     /// graph (for adjacency sizes) and the model's per-vertex sizes.
     /// Returns `(scheduled_peak, unscheduled)` — the latter keeps every
     /// local vertex fully resident.
-    pub fn peak_bytes(&self, csr: &Csr, attr_bytes: f64, local_bytes: f64, msg_bytes: f64) -> (f64, f64) {
+    pub fn peak_bytes(
+        &self,
+        csr: &Csr,
+        attr_bytes: f64,
+        local_bytes: f64,
+        msg_bytes: f64,
+    ) -> (f64, f64) {
         let all: Vec<u64> = self.buckets.iter().flatten().copied().collect();
-        let full = |v: u64| 16.0 + attr_bytes + local_bytes + msg_bytes + 8.0 * csr.out_degree(v) as f64;
+        let full =
+            |v: u64| 16.0 + attr_bytes + local_bytes + msg_bytes + 8.0 * csr.out_degree(v) as f64;
         let boxed = 16.0 + msg_bytes;
         let unscheduled: f64 = all.iter().map(|&v| full(v)).sum();
         let total_boxed: f64 = all.len() as f64 * boxed;
@@ -172,10 +179,16 @@ mod tests {
         let vertices: Vec<u64> = (0..csr.node_count() as u64).collect();
         let sched = BucketSchedule::round_robin(&vertices, 10);
         let (peak, unscheduled) = sched.peak_bytes(&csr, 8.0, 8.0, 8.0);
-        assert!(peak < unscheduled, "scheduling must reduce peak: {peak} vs {unscheduled}");
+        assert!(
+            peak < unscheduled,
+            "scheduling must reduce peak: {peak} vs {unscheduled}"
+        );
         // With 10 buckets, only ~10% of full-residency cost plus message
         // boxes should remain; generous bound: under 60%.
-        assert!(peak < 0.6 * unscheduled, "peak {peak:.0} vs full {unscheduled:.0}");
+        assert!(
+            peak < 0.6 * unscheduled,
+            "peak {peak:.0} vs full {unscheduled:.0}"
+        );
         // Every vertex is in exactly one bucket.
         let mut all: Vec<u64> = sched.buckets.iter().flatten().copied().collect();
         all.sort_unstable();
@@ -197,7 +210,8 @@ mod tests {
         let vertices: Vec<u64> = (0..1_000).collect();
         let mut last = f64::INFINITY;
         for b in [1usize, 2, 5, 20] {
-            let (peak, _) = BucketSchedule::round_robin(&vertices, b).peak_bytes(&csr, 8.0, 8.0, 8.0);
+            let (peak, _) =
+                BucketSchedule::round_robin(&vertices, b).peak_bytes(&csr, 8.0, 8.0, 8.0);
             assert!(peak <= last + 1e-6, "peak should fall as buckets grow");
             last = peak;
         }

@@ -45,7 +45,11 @@ pub struct Token {
 impl Token {
     /// A fresh white token for a new round.
     pub fn fresh(purpose: u8) -> Self {
-        Token { q: 0, color: Color::White, purpose }
+        Token {
+            q: 0,
+            color: Color::White,
+            purpose,
+        }
     }
 
     /// Serialize for the wire.
@@ -67,7 +71,11 @@ impl Token {
         }
         Some(Token {
             q: i64::from_le_bytes(data[..8].try_into().unwrap()),
-            color: if data[8] == 0 { Color::White } else { Color::Black },
+            color: if data[8] == 0 {
+                Color::White
+            } else {
+                Color::Black
+            },
             purpose: data[9],
         })
     }
@@ -134,7 +142,11 @@ mod tests {
 
     #[test]
     fn token_roundtrips_on_the_wire() {
-        let t = Token { q: -42, color: Color::Black, purpose: 7 };
+        let t = Token {
+            q: -42,
+            color: Color::Black,
+            purpose: 7,
+        };
         assert_eq!(Token::decode(&t.encode()), Some(t));
         assert_eq!(Token::decode(&[1, 2, 3]), None);
     }
@@ -160,7 +172,10 @@ mod tests {
         let mut token = Token::fresh(0);
         token = machines[1].forward(token);
         token = machines[2].forward(token);
-        assert!(!machines[0].evaluate(&token), "nonzero balance must block termination");
+        assert!(
+            !machines[0].evaluate(&token),
+            "nonzero balance must block termination"
+        );
         // The message lands: machine 2 turns black.
         machines[2].on_receive();
         // Round 2: balances now sum to zero, but machine 2 is black.
@@ -168,7 +183,10 @@ mod tests {
         let mut token = Token::fresh(0);
         token = machines[1].forward(token);
         token = machines[2].forward(token);
-        assert!(!machines[0].evaluate(&token), "black token must force another round");
+        assert!(
+            !machines[0].evaluate(&token),
+            "black token must force another round"
+        );
         // Round 3: quiet and white everywhere.
         let mut token = Token::fresh(0);
         token = machines[1].forward(token);
@@ -185,7 +203,7 @@ mod tests {
         let machines: Vec<SafraState> = (0..3).map(|_| SafraState::new()).collect();
         let mut token = Token::fresh(0);
         token = machines[1].forward(token); // machine 1 visited, balance 0
-        // Machine 1 now sends to machine 2 — after its visit.
+                                            // Machine 1 now sends to machine 2 — after its visit.
         machines[1].on_send();
         machines[2].on_receive(); // machine 2 consumes it pre-visit
         token = machines[2].forward(token);

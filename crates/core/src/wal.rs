@@ -97,7 +97,9 @@ pub struct LoggedStore {
 
 impl std::fmt::Debug for LoggedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LoggedStore").field("machine", &self.node.machine()).finish()
+        f.debug_struct("LoggedStore")
+            .field("machine", &self.node.machine())
+            .finish()
     }
 }
 
@@ -117,36 +119,42 @@ impl LoggedStore {
         // WAL_APPEND: hold a record for the origin machine.
         {
             let buffers = Arc::clone(&buffers);
-            store.node.endpoint().register(proto::WAL_APPEND, move |src, data| {
-                if let Some(rec) = LogRecord::decode(data) {
-                    buffers.lock().by_origin.entry(src.0).or_default().push(rec);
-                }
-                Some(Vec::new())
-            });
+            store
+                .node
+                .endpoint()
+                .register(proto::WAL_APPEND, move |src, data| {
+                    if let Some(rec) = LogRecord::decode(data) {
+                        buffers.lock().by_origin.entry(src.0).or_default().push(rec);
+                    }
+                    Some(Vec::new())
+                });
         }
         // WAL_FETCH: return (and keep) everything held for an origin.
         {
             let buffers = Arc::clone(&buffers);
-            store.node.endpoint().register(proto::WAL_FETCH, move |_src, data| {
-                if data.len() < 2 {
-                    return Some(Vec::new());
-                }
-                let origin = u16::from_le_bytes(data[..2].try_into().unwrap());
-                let truncate = data.get(2) == Some(&1);
-                let mut buffers = buffers.lock();
-                let records = if truncate {
-                    buffers.by_origin.remove(&origin).unwrap_or_default()
-                } else {
-                    buffers.by_origin.get(&origin).cloned().unwrap_or_default()
-                };
-                let mut out = Vec::new();
-                for rec in &records {
-                    let bytes = rec.encode();
-                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&bytes);
-                }
-                Some(out)
-            });
+            store
+                .node
+                .endpoint()
+                .register(proto::WAL_FETCH, move |_src, data| {
+                    if data.len() < 2 {
+                        return Some(Vec::new());
+                    }
+                    let origin = u16::from_le_bytes(data[..2].try_into().unwrap());
+                    let truncate = data.get(2) == Some(&1);
+                    let mut buffers = buffers.lock();
+                    let records = if truncate {
+                        buffers.by_origin.remove(&origin).unwrap_or_default()
+                    } else {
+                        buffers.by_origin.get(&origin).cloned().unwrap_or_default()
+                    };
+                    let mut out = Vec::new();
+                    for rec in &records {
+                        let bytes = rec.encode();
+                        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                        out.extend_from_slice(&bytes);
+                    }
+                    Some(out)
+                });
         }
         store
     }
@@ -162,10 +170,16 @@ impl LoggedStore {
 
     fn log(&self, op: &LogOp) -> Result<u64, CloudError> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let rec = LogRecord { seq, op: clone_op(op) };
+        let rec = LogRecord {
+            seq,
+            op: clone_op(op),
+        };
         let bytes = rec.encode();
         for backup in self.backup_machines() {
-            self.node.endpoint().call(backup, proto::WAL_APPEND, &bytes).map_err(CloudError::Net)?;
+            self.node
+                .endpoint()
+                .call(backup, proto::WAL_APPEND, &bytes)
+                .map_err(CloudError::Net)?;
         }
         Ok(seq)
     }
@@ -204,7 +218,10 @@ impl LoggedStore {
         let mut req = self.node.machine().0.to_le_bytes().to_vec();
         req.push(1);
         for backup in self.backup_machines() {
-            self.node.endpoint().call(backup, proto::WAL_FETCH, &req).map_err(CloudError::Net)?;
+            self.node
+                .endpoint()
+                .call(backup, proto::WAL_FETCH, &req)
+                .map_err(CloudError::Net)?;
         }
         Ok(())
     }
@@ -306,7 +323,11 @@ mod tests {
 
     #[test]
     fn record_encoding_roundtrips() {
-        for op in [LogOp::Put(7, b"abc".to_vec()), LogOp::Append(9, vec![]), LogOp::Remove(1)] {
+        for op in [
+            LogOp::Put(7, b"abc".to_vec()),
+            LogOp::Append(9, vec![]),
+            LogOp::Remove(1),
+        ] {
             let rec = LogRecord { seq: 42, op };
             assert_eq!(LogRecord::decode(&rec.encode()), Some(rec));
         }
@@ -316,7 +337,8 @@ mod tests {
     #[test]
     fn logged_updates_survive_a_crash_after_the_snapshot() {
         let cloud = MemoryCloud::new(CloudConfig::small(4));
-        let stores: Vec<Arc<LoggedStore>> = (0..4).map(|m| LoggedStore::install(&cloud, m, 2)).collect();
+        let stores: Vec<Arc<LoggedStore>> =
+            (0..4).map(|m| LoggedStore::install(&cloud, m, 2)).collect();
         // Phase 1: some data, snapshotted.
         for i in 0..50u64 {
             stores[0].put(i, format!("base-{i}").as_bytes()).unwrap();
@@ -324,7 +346,9 @@ mod tests {
         cloud.backup_all().unwrap();
         // Phase 2: updates after the snapshot — logged but not snapshotted.
         for i in 0..50u64 {
-            stores[1].put(100 + i, format!("fresh-{i}").as_bytes()).unwrap();
+            stores[1]
+                .put(100 + i, format!("fresh-{i}").as_bytes())
+                .unwrap();
             if i % 2 == 0 {
                 stores[1].put(i, format!("updated-{i}").as_bytes()).unwrap();
             }
@@ -335,7 +359,10 @@ mod tests {
         // replay the buffered logs over the lost trunks.
         cloud.kill_machine(2);
         let replayed = recover_with_wal(&cloud, 2).unwrap();
-        assert!(replayed > 0, "some operations must have targeted the lost trunks");
+        assert!(
+            replayed > 0,
+            "some operations must have targeted the lost trunks"
+        );
         for i in 0..50u64 {
             let want: Option<Vec<u8>> = if i == 49 {
                 None
@@ -351,7 +378,12 @@ mod tests {
             if i == 0 {
                 want.extend_from_slice(b"+tail");
             }
-            assert_eq!(cloud.node(0).get(100 + i).unwrap().as_deref(), Some(&want[..]), "cell {}", 100 + i);
+            assert_eq!(
+                cloud.node(0).get(100 + i).unwrap().as_deref(),
+                Some(&want[..]),
+                "cell {}",
+                100 + i
+            );
         }
         cloud.shutdown();
     }
@@ -381,7 +413,10 @@ mod tests {
             at += 4 + len;
             count += 1;
         }
-        assert_eq!(count, 1, "truncate should have dropped the first two records");
+        assert_eq!(
+            count, 1,
+            "truncate should have dropped the first two records"
+        );
         cloud.shutdown();
     }
 }

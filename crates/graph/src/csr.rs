@@ -65,7 +65,11 @@ impl Csr {
             offsets[i + 1] += offsets[i];
         }
         let targets = arcs.into_iter().map(|(_, t)| t).collect();
-        Csr { offsets, targets, directed }
+        Csr {
+            offsets,
+            targets,
+            directed,
+        }
     }
 
     /// Build an undirected graph from an edge list: each `(u, v)` is
@@ -99,7 +103,8 @@ impl Csr {
 
     /// Iterate all arcs as `(src, dst)`.
     pub fn arcs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        (0..self.node_count() as u64).flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+        (0..self.node_count() as u64)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
     }
 
     /// Approximate in-memory footprint in bytes (offsets + targets) — used

@@ -45,7 +45,9 @@ pub struct SimRdbms {
 
 impl std::fmt::Debug for SimRdbms {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimRdbms").field("latency", &self.latency).finish()
+        f.debug_struct("SimRdbms")
+            .field("latency", &self.latency)
+            .finish()
     }
 }
 
@@ -82,9 +84,14 @@ impl ExternalStore for SimRdbms {
 
     fn store(&self, id: CellId, column: &str, bytes: &[u8]) {
         self.stores.fetch_add(1, Ordering::Relaxed);
-        self.rows.lock().insert((id, column.to_string()), bytes.to_vec());
+        self.rows
+            .lock()
+            .insert((id, column.to_string()), bytes.to_vec());
     }
 }
+
+/// Cache key: (cell, column name).
+type ColumnKey = (CellId, String);
 
 /// A graph handle with a transparent rich-data tier behind it.
 pub struct HybridHandle {
@@ -92,13 +99,15 @@ pub struct HybridHandle {
     external: Arc<dyn ExternalStore>,
     /// Memory-cloud-side cache of fetched rich columns (the paper's
     /// "materialized in Trinity" fast path).
-    cache: Mutex<HashMap<(CellId, String), Arc<Vec<u8>>>>,
+    cache: Mutex<HashMap<ColumnKey, Arc<Vec<u8>>>>,
     cache_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for HybridHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HybridHandle").field("machine", &self.handle.machine()).finish()
+        f.debug_struct("HybridHandle")
+            .field("machine", &self.handle.machine())
+            .finish()
     }
 }
 
@@ -137,7 +146,9 @@ impl HybridHandle {
     /// external data sources").
     pub fn put_rich(&self, id: CellId, column: &str, bytes: &[u8]) {
         self.external.store(id, column, bytes);
-        self.cache.lock().insert((id, column.to_string()), Arc::new(bytes.to_vec()));
+        self.cache
+            .lock()
+            .insert((id, column.to_string()), Arc::new(bytes.to_vec()));
     }
 
     /// Cache hits observed (fast-tier effectiveness).
@@ -170,7 +181,10 @@ mod tests {
         }
         let fetches_from_seeding = rdbms.fetch_count();
         assert_eq!(fetches_from_seeding, 0);
-        let hybrid = HybridHandle::new(graph.handle(0).clone(), Arc::clone(&rdbms) as Arc<dyn ExternalStore>);
+        let hybrid = HybridHandle::new(
+            graph.handle(0).clone(),
+            Arc::clone(&rdbms) as Arc<dyn ExternalStore>,
+        );
         (cloud, hybrid, rdbms)
     }
 
@@ -192,7 +206,11 @@ mod tests {
             }
         }
         assert_eq!(visited, 20);
-        assert_eq!(rdbms.fetch_count(), 0, "traversal must be pure memory-cloud");
+        assert_eq!(
+            rdbms.fetch_count(),
+            0,
+            "traversal must be pure memory-cloud"
+        );
         cloud.shutdown();
     }
 
@@ -237,7 +255,10 @@ mod tests {
         let graph = load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap();
         let rdbms = SimRdbms::new(Duration::from_millis(5));
         rdbms.store(0, "blob", b"payload");
-        let hybrid = HybridHandle::new(graph.handle(0).clone(), Arc::clone(&rdbms) as Arc<dyn ExternalStore>);
+        let hybrid = HybridHandle::new(
+            graph.handle(0).clone(),
+            Arc::clone(&rdbms) as Arc<dyn ExternalStore>,
+        );
         let t0 = std::time::Instant::now();
         hybrid.rich(0, "blob").unwrap();
         let cold = t0.elapsed();

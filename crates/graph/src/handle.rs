@@ -59,7 +59,11 @@ impl GraphHandle {
     /// Visit a node cell with a zero-copy [`NodeView`] when it is local,
     /// or a fetched copy when remote. Returns `None` if the node does not
     /// exist.
-    pub fn with_node<R>(&self, id: CellId, f: impl FnOnce(NodeView<'_>) -> R) -> Result<Option<R>, CloudError> {
+    pub fn with_node<R>(
+        &self,
+        id: CellId,
+        f: impl FnOnce(NodeView<'_>) -> R,
+    ) -> Result<Option<R>, CloudError> {
         let table = self.node.table();
         if table.machine_of(id) == self.node.machine() {
             let trunk = self.node.store().ensure_trunk(table.trunk_of(id));
@@ -122,7 +126,9 @@ impl GraphHandle {
     /// Fetch a StructEdge cell.
     pub fn edge(&self, id: CellId) -> Result<Option<EdgeRecord>, CloudError> {
         match self.node.get(id)? {
-            Some(bytes) => Ok(Some(EdgeRecord::decode(&bytes).map_err(|_| CloudError::BadReply)?)),
+            Some(bytes) => Ok(Some(
+                EdgeRecord::decode(&bytes).map_err(|_| CloudError::BadReply)?,
+            )),
             None => Ok(None),
         }
     }
@@ -130,7 +136,9 @@ impl GraphHandle {
     /// Fetch a HyperEdge cell.
     pub fn hyperedge(&self, id: CellId) -> Result<Option<HyperEdgeRecord>, CloudError> {
         match self.node.get(id)? {
-            Some(bytes) => Ok(Some(HyperEdgeRecord::decode(&bytes).map_err(|_| CloudError::BadReply)?)),
+            Some(bytes) => Ok(Some(
+                HyperEdgeRecord::decode(&bytes).map_err(|_| CloudError::BadReply)?,
+            )),
             None => Ok(None),
         }
     }

@@ -88,11 +88,19 @@ impl DistributedGraph {
 }
 
 /// Partition `graph` across `cloud`.
-pub fn load_graph(cloud: Arc<MemoryCloud>, graph: &Csr, opts: &LoadOptions) -> Result<DistributedGraph, CloudError> {
+pub fn load_graph(
+    cloud: Arc<MemoryCloud>,
+    graph: &Csr,
+    opts: &LoadOptions,
+) -> Result<DistributedGraph, CloudError> {
     let n = graph.node_count() as u64;
     let machines = cloud.machines();
     // Precompute in-lists once if requested.
-    let reverse = if opts.with_in_links && graph.directed { Some(graph.transpose()) } else { None };
+    let reverse = if opts.with_in_links && graph.directed {
+        Some(graph.transpose())
+    } else {
+        None
+    };
     let table = cloud.node(0).table();
     std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(machines);
@@ -114,7 +122,11 @@ pub fn load_graph(cloud: Arc<MemoryCloud>, graph: &Csr, opts: &LoadOptions) -> R
                         (None, true) => None,
                         (None, false) => None,
                     };
-                    let rec = NodeRecord { attrs, outs: graph.neighbors(v).to_vec(), ins };
+                    let rec = NodeRecord {
+                        attrs,
+                        outs: graph.neighbors(v).to_vec(),
+                        ins,
+                    };
                     node.put(v, &rec.encode())?;
                 }
                 Ok(())
@@ -125,7 +137,9 @@ pub fn load_graph(cloud: Arc<MemoryCloud>, graph: &Csr, opts: &LoadOptions) -> R
         }
         Ok::<(), CloudError>(())
     })?;
-    let handles = (0..machines).map(|m| GraphHandle::new(Arc::clone(cloud.node(m)))).collect();
+    let handles = (0..machines)
+        .map(|m| GraphHandle::new(Arc::clone(cloud.node(m))))
+        .collect();
     Ok(DistributedGraph {
         cloud,
         handles,
@@ -169,12 +183,23 @@ mod tests {
     fn directed_load_with_in_links() {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
         let g = Csr::from_arcs(4, vec![(0, 1), (0, 2), (1, 2), (3, 2)], true, true);
-        let dg = load_graph(Arc::clone(&cloud), &g, &LoadOptions { with_in_links: true, attrs: None }).unwrap();
+        let dg = load_graph(
+            Arc::clone(&cloud),
+            &g,
+            &LoadOptions {
+                with_in_links: true,
+                attrs: None,
+            },
+        )
+        .unwrap();
         let ins = dg.handle(0).in_neighbors(2).unwrap().unwrap();
         let mut ins = ins;
         ins.sort_unstable();
         assert_eq!(ins, vec![0, 1, 3]);
-        assert_eq!(dg.handle(1).in_neighbors(0).unwrap().unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            dg.handle(1).in_neighbors(0).unwrap().unwrap(),
+            Vec::<u64>::new()
+        );
         cloud.shutdown();
     }
 
@@ -214,7 +239,15 @@ mod tests {
     fn add_edge_updates_both_ends() {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
         let g = Csr::from_arcs(3, vec![(0, 1)], true, true);
-        let dg = load_graph(Arc::clone(&cloud), &g, &LoadOptions { with_in_links: true, attrs: None }).unwrap();
+        let dg = load_graph(
+            Arc::clone(&cloud),
+            &g,
+            &LoadOptions {
+                with_in_links: true,
+                attrs: None,
+            },
+        )
+        .unwrap();
         dg.handle(0).add_edge(2, 0).unwrap();
         assert_eq!(dg.handle(1).out_neighbors(2).unwrap().unwrap(), vec![0]);
         assert_eq!(dg.handle(1).in_neighbors(0).unwrap().unwrap(), vec![2]);
@@ -227,10 +260,25 @@ mod tests {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
         let h = GraphHandle::new(Arc::clone(cloud.node(0)));
         let eid = cloud.node(0).alloc_id();
-        h.create_edge(eid, &EdgeRecord { src: 1, dst: 2, attrs: b"likes".to_vec() }).unwrap();
+        h.create_edge(
+            eid,
+            &EdgeRecord {
+                src: 1,
+                dst: 2,
+                attrs: b"likes".to_vec(),
+            },
+        )
+        .unwrap();
         assert_eq!(h.edge(eid).unwrap().unwrap().attrs, b"likes");
         let hid = cloud.node(1).alloc_id();
-        h.create_hyperedge(hid, &HyperEdgeRecord { members: vec![1, 2, 3], attrs: vec![] }).unwrap();
+        h.create_hyperedge(
+            hid,
+            &HyperEdgeRecord {
+                members: vec![1, 2, 3],
+                attrs: vec![],
+            },
+        )
+        .unwrap();
         assert_eq!(h.hyperedge(hid).unwrap().unwrap().members, vec![1, 2, 3]);
         assert_eq!(h.edge(999_999).unwrap(), None);
         cloud.shutdown();

@@ -54,13 +54,18 @@ pub struct NodeRecord {
 impl NodeRecord {
     /// A node with outgoing edges only.
     pub fn with_outs(attrs: Vec<u8>, outs: Vec<CellId>) -> Self {
-        NodeRecord { attrs, outs, ins: None }
+        NodeRecord {
+            attrs,
+            outs,
+            ins: None,
+        }
     }
 
     /// Encode to the packed cell blob.
     pub fn encode(&self) -> Vec<u8> {
         let ins_len = self.ins.as_ref().map_or(0, |v| 4 + 8 * v.len());
-        let mut out = Vec::with_capacity(1 + 4 + self.attrs.len() + 4 + 8 * self.outs.len() + ins_len);
+        let mut out =
+            Vec::with_capacity(1 + 4 + self.attrs.len() + 4 + 8 * self.outs.len() + ins_len);
         out.push(if self.ins.is_some() { HAS_IN } else { 0 });
         out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.attrs);
@@ -83,7 +88,11 @@ impl NodeRecord {
         Ok(NodeRecord {
             attrs: v.attrs().to_vec(),
             outs: v.outs().collect(),
-            ins: if v.has_ins() { Some(v.ins().collect()) } else { None },
+            ins: if v.has_ins() {
+                Some(v.ins().collect())
+            } else {
+                None
+            },
         })
     }
 }
@@ -114,19 +123,27 @@ impl<'a> NodeView<'a> {
         let attr_len = u32::from_le_bytes(blob[1..5].try_into().unwrap()) as usize;
         let out_cnt_off = 5 + attr_len;
         need(out_cnt_off, 4)?;
-        let out_count = u32::from_le_bytes(blob[out_cnt_off..out_cnt_off + 4].try_into().unwrap()) as usize;
+        let out_count =
+            u32::from_le_bytes(blob[out_cnt_off..out_cnt_off + 4].try_into().unwrap()) as usize;
         let out_off = out_cnt_off + 4;
         need(out_off, out_count * 8)?;
         let (in_off, in_count) = if flags & HAS_IN != 0 {
             let in_cnt_off = out_off + out_count * 8;
             need(in_cnt_off, 4)?;
-            let in_count = u32::from_le_bytes(blob[in_cnt_off..in_cnt_off + 4].try_into().unwrap()) as usize;
+            let in_count =
+                u32::from_le_bytes(blob[in_cnt_off..in_cnt_off + 4].try_into().unwrap()) as usize;
             need(in_cnt_off + 4, in_count * 8)?;
             (in_cnt_off + 4, in_count)
         } else {
             (out_off + out_count * 8, 0)
         };
-        Ok(NodeView { blob, out_off, out_count, in_off, in_count })
+        Ok(NodeView {
+            blob,
+            out_off,
+            out_count,
+            in_off,
+            in_count,
+        })
     }
 
     /// Attribute bytes.
@@ -159,14 +176,18 @@ impl<'a> NodeView<'a> {
     pub fn outs(&self) -> impl Iterator<Item = CellId> + 'a {
         let blob = self.blob;
         let off = self.out_off;
-        (0..self.out_count).map(move |i| u64::from_le_bytes(blob[off + i * 8..off + i * 8 + 8].try_into().unwrap()))
+        (0..self.out_count).map(move |i| {
+            u64::from_le_bytes(blob[off + i * 8..off + i * 8 + 8].try_into().unwrap())
+        })
     }
 
     /// Iterate incoming neighbors — `GetInlinks()` (paper Fig. 2).
     pub fn ins(&self) -> impl Iterator<Item = CellId> + 'a {
         let blob = self.blob;
         let off = self.in_off;
-        (0..self.in_count).map(move |i| u64::from_le_bytes(blob[off + i * 8..off + i * 8 + 8].try_into().unwrap()))
+        (0..self.in_count).map(move |i| {
+            u64::from_le_bytes(blob[off + i * 8..off + i * 8 + 8].try_into().unwrap())
+        })
     }
 }
 
@@ -229,7 +250,10 @@ impl HyperEdgeRecord {
         let members = (0..n)
             .map(|i| u64::from_le_bytes(blob[4 + i * 8..12 + i * 8].try_into().unwrap()))
             .collect();
-        Ok(HyperEdgeRecord { members, attrs: blob[4 + 8 * n..].to_vec() })
+        Ok(HyperEdgeRecord {
+            members,
+            attrs: blob[4 + 8 * n..].to_vec(),
+        })
     }
 }
 
@@ -254,7 +278,11 @@ mod tests {
 
     #[test]
     fn node_record_roundtrip_with_ins() {
-        let r = NodeRecord { attrs: vec![], outs: vec![9], ins: Some(vec![5, 6]) };
+        let r = NodeRecord {
+            attrs: vec![],
+            outs: vec![9],
+            ins: Some(vec![5, 6]),
+        };
         let blob = r.encode();
         let v = NodeView::new(&blob).unwrap();
         assert!(v.has_ins());
@@ -266,17 +294,27 @@ mod tests {
     fn truncation_is_detected_not_panicking() {
         let blob = NodeRecord::with_outs(b"x".to_vec(), vec![1, 2]).encode();
         for cut in 0..blob.len() {
-            assert!(NodeView::new(&blob[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                NodeView::new(&blob[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
         assert!(NodeView::new(&blob).is_ok());
     }
 
     #[test]
     fn edge_and_hyperedge_roundtrip() {
-        let e = EdgeRecord { src: 10, dst: 20, attrs: b"weight=3".to_vec() };
+        let e = EdgeRecord {
+            src: 10,
+            dst: 20,
+            attrs: b"weight=3".to_vec(),
+        };
         assert_eq!(EdgeRecord::decode(&e.encode()).unwrap(), e);
         assert!(EdgeRecord::decode(&[0; 8]).is_err());
-        let h = HyperEdgeRecord { members: vec![1, 2, 3, 4], attrs: b"committee".to_vec() };
+        let h = HyperEdgeRecord {
+            members: vec![1, 2, 3, 4],
+            attrs: b"committee".to_vec(),
+        };
         assert_eq!(HyperEdgeRecord::decode(&h.encode()).unwrap(), h);
         assert!(HyperEdgeRecord::decode(&[9, 0, 0, 0]).is_err());
     }

@@ -54,7 +54,11 @@ impl LubmGraph {
 
     /// Ids of all nodes of a type.
     pub fn of_type(&self, t: NodeType) -> impl Iterator<Item = u64> + '_ {
-        self.types.iter().enumerate().filter(move |(_, ty)| **ty == t).map(|(i, _)| i as u64)
+        self.types
+            .iter()
+            .enumerate()
+            .filter(move |(_, ty)| **ty == t)
+            .map(|(i, _)| i as u64)
     }
 }
 
@@ -115,7 +119,10 @@ pub fn lubm_like(universities: usize, seed: u64) -> LubmGraph {
         }
     }
     let n = types.len();
-    LubmGraph { csr: Csr::from_arcs(n, edges, true, true), types }
+    LubmGraph {
+        csr: Csr::from_arcs(n, edges, true, true),
+        types,
+    }
 }
 
 #[cfg(test)]
@@ -139,17 +146,37 @@ mod tests {
         let g = lubm_like(1, 5);
         for s in g.of_type(NodeType::Student) {
             let outs = g.csr.neighbors(s);
-            assert!(outs.iter().any(|&o| g.types[o as usize] == NodeType::Department), "student {s} has no dept");
-            assert!(outs.iter().any(|&o| g.types[o as usize] == NodeType::Professor), "student {s} has no advisor");
+            assert!(
+                outs.iter()
+                    .any(|&o| g.types[o as usize] == NodeType::Department),
+                "student {s} has no dept"
+            );
+            assert!(
+                outs.iter()
+                    .any(|&o| g.types[o as usize] == NodeType::Professor),
+                "student {s} has no advisor"
+            );
             // Duplicate enrollments are deduplicated, so 1 is possible.
-            let courses = outs.iter().filter(|&&o| g.types[o as usize] == NodeType::Course).count();
-            assert!((1..=4).contains(&courses), "student {s} takes {courses} courses");
+            let courses = outs
+                .iter()
+                .filter(|&&o| g.types[o as usize] == NodeType::Course)
+                .count();
+            assert!(
+                (1..=4).contains(&courses),
+                "student {s} takes {courses} courses"
+            );
         }
     }
 
     #[test]
     fn type_bytes_roundtrip() {
-        for t in [NodeType::University, NodeType::Department, NodeType::Professor, NodeType::Student, NodeType::Course] {
+        for t in [
+            NodeType::University,
+            NodeType::Department,
+            NodeType::Professor,
+            NodeType::Student,
+            NodeType::Course,
+        ] {
             assert_eq!(NodeType::from_byte(t as u8), Some(t));
         }
         assert_eq!(NodeType::from_byte(9), None);

@@ -7,8 +7,8 @@
 //! indexes. The distribution below gives David roughly a 1.5% share,
 //! matching its rank among US male first names.
 
-use rand::RngExt;
 use rand::Rng;
+use rand::RngExt;
 
 /// Name pool with rough real-world frequencies (weights sum to 1000).
 const NAMES: &[(&str, u32)] = &[
@@ -86,7 +86,10 @@ pub fn name_for(seed: u64, id: u64) -> String {
 /// Expected share of people named `name` under this distribution.
 pub fn expected_share(name: &str) -> f64 {
     let total: u32 = NAMES.iter().map(|(_, w)| w).sum();
-    NAMES.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, w)| *w as f64 / total as f64)
+    NAMES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or(0.0, |(_, w)| *w as f64 / total as f64)
 }
 
 #[cfg(test)]
@@ -104,14 +107,22 @@ mod tests {
         let davids = (0..n).filter(|&i| name_for(7, i) == "David").count();
         let share = davids as f64 / n as f64;
         let expect = expected_share("David");
-        assert!((share - expect).abs() < 0.005, "David share {share:.4}, expected ~{expect:.4}");
-        assert!(share > 0.008, "David must stay a popular name for the experiment");
+        assert!(
+            (share - expect).abs() < 0.005,
+            "David share {share:.4}, expected ~{expect:.4}"
+        );
+        assert!(
+            share > 0.008,
+            "David must stay a popular name for the experiment"
+        );
     }
 
     #[test]
     fn other_bucket_produces_unique_names() {
-        let unique: std::collections::HashSet<String> =
-            (0..1000u64).map(|i| name_for(3, i)).filter(|n| n.starts_with("Person")).collect();
+        let unique: std::collections::HashSet<String> = (0..1000u64)
+            .map(|i| name_for(3, i))
+            .filter(|n| n.starts_with("Person"))
+            .collect();
         assert!(unique.len() > 300, "long tail too small: {}", unique.len());
     }
 }

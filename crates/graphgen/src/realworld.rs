@@ -13,7 +13,7 @@ use trinity_graph::Csr;
 /// A Wordnet-like graph: ~82 K nodes, sparse (average degree ~3),
 /// mildly skewed. Pass `scale = 1.0` for full size.
 pub fn wordnet_like(scale: f64, seed: u64) -> Csr {
-    let n = ((82_000 as f64 * scale) as usize).max(100);
+    let n = ((82_000_f64 * scale) as usize).max(100);
     crate::social::power_law(n, 2.5, 1, 60, seed)
 }
 
@@ -71,7 +71,13 @@ mod tests {
     fn patent_has_highly_cited_patents() {
         let g = patent_like(10_000, 4);
         let t = g.transpose();
-        let max_in = (0..t.node_count() as u64).map(|v| t.out_degree(v)).max().unwrap();
-        assert!(max_in > 40, "preferential attachment should create hubs, max in-degree {max_in}");
+        let max_in = (0..t.node_count() as u64)
+            .map(|v| t.out_degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            max_in > 40,
+            "preferential attachment should create hubs, max in-degree {max_in}"
+        );
     }
 }

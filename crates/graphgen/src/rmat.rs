@@ -20,7 +20,11 @@ pub struct RmatParams {
 
 impl Default for RmatParams {
     fn default() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 
@@ -82,7 +86,9 @@ mod tests {
     #[test]
     fn degree_distribution_is_skewed() {
         let g = rmat(12, 16, 1);
-        let mut degrees: Vec<usize> = (0..g.node_count() as u64).map(|v| g.out_degree(v)).collect();
+        let mut degrees: Vec<usize> = (0..g.node_count() as u64)
+            .map(|v| g.out_degree(v))
+            .collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // The hot head should hold far more than its proportional share:
         // top 1% of nodes should own > 10% of all arcs.

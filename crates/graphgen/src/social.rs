@@ -44,8 +44,11 @@ pub fn power_law(n: usize, gamma: f64, k_min: usize, k_max: usize, seed: u64) ->
         let j = rng.random_range(0..=i);
         stubs.swap(i, j);
     }
-    let edges: Vec<(u64, u64)> =
-        stubs.chunks_exact(2).map(|p| (p[0], p[1])).filter(|(u, v)| u != v).collect();
+    let edges: Vec<(u64, u64)> = stubs
+        .chunks_exact(2)
+        .map(|p| (p[0], p[1]))
+        .filter(|(u, v)| u != v)
+        .collect();
     Csr::undirected_from_edges(n, &edges, true)
 }
 
@@ -80,12 +83,22 @@ mod tests {
     #[test]
     fn power_law_has_hubs_and_tail() {
         let g = power_law(5_000, 2.16, 1, 500, 3);
-        let mut degs: Vec<usize> = (0..g.node_count() as u64).map(|v| g.out_degree(v)).collect();
+        let mut degs: Vec<usize> = (0..g.node_count() as u64)
+            .map(|v| g.out_degree(v))
+            .collect();
         degs.sort_unstable_by(|a, b| b.cmp(a));
         // Hubs exist...
-        assert!(degs[0] >= 50, "max degree {} too small for a power law", degs[0]);
+        assert!(
+            degs[0] >= 50,
+            "max degree {} too small for a power law",
+            degs[0]
+        );
         // ...but the median node is small-degree.
-        assert!(degs[g.node_count() / 2] <= 4, "median degree {} too large", degs[g.node_count() / 2]);
+        assert!(
+            degs[g.node_count() / 2] <= 4,
+            "median degree {} too large",
+            degs[g.node_count() / 2]
+        );
     }
 
     #[test]
@@ -94,7 +107,9 @@ mod tests {
         // covers a large fraction of edges (20% of hubs → 80% of message
         // needs). Verify the top 20% of nodes own >= 60% of arc endpoints.
         let g = power_law(20_000, 2.16, 1, 2_000, 11);
-        let mut degs: Vec<usize> = (0..g.node_count() as u64).map(|v| g.out_degree(v)).collect();
+        let mut degs: Vec<usize> = (0..g.node_count() as u64)
+            .map(|v| g.out_degree(v))
+            .collect();
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let top20: usize = degs.iter().take(g.node_count() / 5).sum();
         let frac = top20 as f64 / g.arc_count() as f64;
@@ -115,7 +130,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(power_law(500, 2.16, 1, 50, 5), power_law(500, 2.16, 1, 50, 5));
+        assert_eq!(
+            power_law(500, 2.16, 1, 50, 5),
+            power_law(500, 2.16, 1, 50, 5)
+        );
         assert_eq!(social(500, 10, 5), social(500, 10, 5));
     }
 

@@ -54,7 +54,10 @@ impl CloudConfig {
             machines,
             p_bits,
             store: LocalStoreConfig::default(),
-            tfs: TfsConfig { nodes: machines.max(3), replication: 3.min(machines.max(2)) },
+            tfs: TfsConfig {
+                nodes: machines.max(3),
+                replication: 3.min(machines.max(2)),
+            },
             cost: CostModel::default(),
             workers_per_machine: 4,
             extra_machines: 0,
@@ -66,7 +69,10 @@ impl CloudConfig {
     /// A small config for tests and doc examples (tiny trunks).
     pub fn small(machines: usize) -> Self {
         CloudConfig {
-            store: LocalStoreConfig { trunk: TrunkConfig::small(), ..LocalStoreConfig::default() },
+            store: LocalStoreConfig {
+                trunk: TrunkConfig::small(),
+                ..LocalStoreConfig::default()
+            },
             ..CloudConfig::new(machines)
         }
     }
@@ -81,7 +87,9 @@ pub struct MemoryCloud {
 
 impl std::fmt::Debug for MemoryCloud {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryCloud").field("machines", &self.nodes.len()).finish()
+        f.debug_struct("MemoryCloud")
+            .field("machines", &self.nodes.len())
+            .finish()
     }
 }
 
@@ -99,7 +107,8 @@ impl MemoryCloud {
         let tfs = Tfs::new(cfg.tfs);
         let table = AddressingTable::round_robin(cfg.p_bits, cfg.machines);
         // Persist the primary replica before the cloud serves traffic.
-        tfs.write(TFS_TABLE_PATH, &table.encode()).expect("persist initial addressing table");
+        tfs.write(TFS_TABLE_PATH, &table.encode())
+            .expect("persist initial addressing table");
         let nodes = (0..slaves)
             .map(|m| {
                 CloudNode::start(
@@ -265,7 +274,10 @@ mod tests {
         assert_eq!(cloud.node(1).get(id).unwrap().unwrap(), b"replaced");
         assert!(cloud.node(2).remove(id).unwrap());
         assert_eq!(cloud.node(0).get(id).unwrap(), None);
-        assert!(!cloud.node(1).remove(id).unwrap(), "double remove reports absence");
+        assert!(
+            !cloud.node(1).remove(id).unwrap(),
+            "double remove reports absence"
+        );
         cloud.shutdown();
     }
 
@@ -287,14 +299,21 @@ mod tests {
     fn machine_failure_recovery_restores_backed_up_data() {
         let cloud = MemoryCloud::new(CloudConfig::small(4));
         for i in 0..200u64 {
-            cloud.node(0).put(i, format!("cell-{i}").as_bytes()).unwrap();
+            cloud
+                .node(0)
+                .put(i, format!("cell-{i}").as_bytes())
+                .unwrap();
         }
         cloud.backup_all().unwrap();
         cloud.kill_machine(2);
         cloud.recover(2).unwrap();
         for i in 0..200u64 {
             let v = cloud.node(0).get(i).unwrap();
-            assert_eq!(v.as_deref(), Some(format!("cell-{i}").as_bytes()), "cell {i} lost after recovery");
+            assert_eq!(
+                v.as_deref(),
+                Some(format!("cell-{i}").as_bytes()),
+                "cell {i} lost after recovery"
+            );
         }
         // The dead machine hosts nothing in the new table.
         assert!(cloud.node(0).table().trunks_of(MachineId(2)).is_empty());
@@ -321,7 +340,11 @@ mod tests {
         // Machine 2 still routes some ids to dead machine 3; the access
         // path must sync and retry transparently.
         for i in 0..100u64 {
-            assert_eq!(cloud.node(2).get(i).unwrap().as_deref(), Some(&b"x"[..]), "cell {i}");
+            assert_eq!(
+                cloud.node(2).get(i).unwrap().as_deref(),
+                Some(&b"x"[..]),
+                "cell {i}"
+            );
         }
         cloud.shutdown();
     }
@@ -333,8 +356,9 @@ mod tests {
             cloud.node(0).put(i, b"volatile").unwrap();
         }
         // No backup_all: a failure loses the dead machine's cells.
-        let lost_on_1: Vec<u64> =
-            (0..60).filter(|&i| cloud.node(0).table().machine_of(i) == MachineId(1)).collect();
+        let lost_on_1: Vec<u64> = (0..60)
+            .filter(|&i| cloud.node(0).table().machine_of(i) == MachineId(1))
+            .collect();
         assert!(!lost_on_1.is_empty());
         cloud.kill_machine(1);
         cloud.recover(1).unwrap();
@@ -355,7 +379,10 @@ mod tests {
 
     #[test]
     fn standby_machine_joins_and_takes_trunk_share() {
-        let cloud = MemoryCloud::new(CloudConfig { standby_machines: 1, ..CloudConfig::small(3) });
+        let cloud = MemoryCloud::new(CloudConfig {
+            standby_machines: 1,
+            ..CloudConfig::small(3)
+        });
         for i in 0..200u64 {
             cloud.node(0).put(i, format!("j{i}").as_bytes()).unwrap();
         }
@@ -367,7 +394,10 @@ mod tests {
         // The joiner holds its fair share and serves its cells.
         let its_trunks = cloud.node(0).table().trunks_of(MachineId(3));
         assert_eq!(its_trunks.len(), moved.len());
-        assert!(cloud.node(3).store().cell_count() > 0, "moved trunks must carry their cells");
+        assert!(
+            cloud.node(3).store().cell_count() > 0,
+            "moved trunks must carry their cells"
+        );
         // Every cell still reads back, from old and new machines alike.
         for i in 0..200u64 {
             for m in 0..4 {
@@ -383,13 +413,19 @@ mod tests {
             .find(|&i| cloud.node(0).table().machine_of(i) == MachineId(3))
             .expect("some id routes to the joiner");
         cloud.node(0).put(joiner_bound, b"fresh-on-joiner").unwrap();
-        assert_eq!(cloud.node(3).get(joiner_bound).unwrap().unwrap(), b"fresh-on-joiner");
+        assert_eq!(
+            cloud.node(3).get(joiner_bound).unwrap().unwrap(),
+            b"fresh-on-joiner"
+        );
         cloud.shutdown();
     }
 
     #[test]
     fn join_then_failure_uses_the_joiner_as_survivor() {
-        let cloud = MemoryCloud::new(CloudConfig { standby_machines: 1, ..CloudConfig::small(2) });
+        let cloud = MemoryCloud::new(CloudConfig {
+            standby_machines: 1,
+            ..CloudConfig::small(2)
+        });
         for i in 0..80u64 {
             cloud.node(0).put(i, b"resilient").unwrap();
         }
@@ -398,7 +434,11 @@ mod tests {
         cloud.kill_machine(0);
         cloud.recover(0).unwrap();
         for i in 0..80u64 {
-            assert_eq!(cloud.node(2).get(i).unwrap().as_deref(), Some(&b"resilient"[..]), "cell {i}");
+            assert_eq!(
+                cloud.node(2).get(i).unwrap().as_deref(),
+                Some(&b"resilient"[..]),
+                "cell {i}"
+            );
         }
         cloud.shutdown();
     }

@@ -27,7 +27,10 @@ impl fmt::Display for CloudError {
             CloudError::Net(e) => write!(f, "network error: {e}"),
             CloudError::Tfs(e) => write!(f, "TFS error: {e}"),
             CloudError::WrongOwner { trunk, asked } => {
-                write!(f, "machine {asked} does not own trunk {trunk} (stale addressing tables)")
+                write!(
+                    f,
+                    "machine {asked} does not own trunk {trunk} (stale addressing tables)"
+                )
             }
             CloudError::BadReply => write!(f, "malformed remote reply"),
         }

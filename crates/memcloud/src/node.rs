@@ -43,7 +43,9 @@ pub struct CloudNode {
 
 impl std::fmt::Debug for CloudNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CloudNode").field("machine", &self.machine).finish()
+        f.debug_struct("CloudNode")
+            .field("machine", &self.machine)
+            .finish()
     }
 }
 
@@ -57,7 +59,10 @@ impl CloudNode {
         initial_table: AddressingTable,
     ) -> Arc<Self> {
         let machine = endpoint.machine();
-        let store = Arc::new(LocalStore::new(store_cfg));
+        // Trunk `store.*` metrics land in the same per-machine scope as the
+        // endpoint's `net.*` counters, so one registry snapshot shows a
+        // machine's traffic next to its memory utilization.
+        let store = Arc::new(LocalStore::with_obs(store_cfg, endpoint.obs().clone()));
         for gid in initial_table.trunks_of(machine) {
             store.ensure_trunk(gid);
         }
@@ -74,7 +79,8 @@ impl CloudNode {
     }
 
     fn register_handlers(self: &Arc<Self>) {
-        let ops: [(u16, fn(&CloudNode, CellId, &[u8]) -> Vec<u8>); 5] = [
+        type CellOp = fn(&CloudNode, CellId, &[u8]) -> Vec<u8>;
+        let ops: [(u16, CellOp); 5] = [
             (proto::GET, CloudNode::handle_get),
             (proto::PUT, CloudNode::handle_put),
             (proto::REMOVE, CloudNode::handle_remove),
@@ -220,7 +226,10 @@ impl CloudNode {
             }
         }
         let (trunk, owner) = self.route(id);
-        Err(CloudError::WrongOwner { trunk, asked: owner })
+        Err(CloudError::WrongOwner {
+            trunk,
+            asked: owner,
+        })
     }
 
     /// Read a cell from wherever it lives.
@@ -240,12 +249,14 @@ impl CloudNode {
 
     /// Append bytes to a cell's payload. `Ok(false)` if the cell is absent.
     pub fn append(&self, id: CellId, bytes: &[u8]) -> Result<bool> {
-        self.remote_op(proto::APPEND, id, bytes).map(|r| r.is_some())
+        self.remote_op(proto::APPEND, id, bytes)
+            .map(|r| r.is_some())
     }
 
     /// Whether the cell exists anywhere in the cloud.
     pub fn contains(&self, id: CellId) -> Result<bool> {
-        self.remote_op(proto::CONTAINS, id, b"").map(|r| r.is_some())
+        self.remote_op(proto::CONTAINS, id, b"")
+            .map(|r| r.is_some())
     }
 
     // ------------------------------------------------------------------
@@ -278,10 +289,15 @@ impl CloudNode {
         let trunk = self.store.ensure_trunk(gid);
         match self.tfs.read(&trunk_backup_path(gid)) {
             Ok(bytes) => {
-                let snap = TrunkSnapshot::decode(&bytes)
-                    .map_err(|_| CloudError::Tfs(trinity_tfs::TfsError::NotFound(trunk_backup_path(gid))))?;
-                snap.restore_into(&trunk)
-                    .map_err(|_| CloudError::Store(StoreError::OutOfMemory { requested: 0, reserved: 0 }))?;
+                let snap = TrunkSnapshot::decode(&bytes).map_err(|_| {
+                    CloudError::Tfs(trinity_tfs::TfsError::NotFound(trunk_backup_path(gid)))
+                })?;
+                snap.restore_into(&trunk).map_err(|_| {
+                    CloudError::Store(StoreError::OutOfMemory {
+                        requested: 0,
+                        reserved: 0,
+                    })
+                })?;
                 Ok(())
             }
             Err(trinity_tfs::TfsError::NotFound(_)) => Ok(()),
@@ -298,8 +314,10 @@ impl CloudNode {
                 return Ok(());
             }
         }
-        let old_mine: std::collections::BTreeSet<u64> = self.store.trunk_ids().into_iter().collect();
-        let new_mine: std::collections::BTreeSet<u64> = new.trunks_of(self.machine).into_iter().collect();
+        let old_mine: std::collections::BTreeSet<u64> =
+            self.store.trunk_ids().into_iter().collect();
+        let new_mine: std::collections::BTreeSet<u64> =
+            new.trunks_of(self.machine).into_iter().collect();
         for &gid in new_mine.difference(&old_mine) {
             self.reload_trunk(gid)?;
         }

@@ -26,8 +26,14 @@ impl AddressingTable {
     pub fn round_robin(p: u32, machines: usize) -> Self {
         assert!(machines > 0 && machines <= u16::MAX as usize);
         let n = 1usize << p;
-        assert!(n >= machines, "need 2^p >= machine count so every machine hosts a trunk");
-        AddressingTable { epoch: 1, slots: (0..n).map(|i| (i % machines) as u16).collect() }
+        assert!(
+            n >= machines,
+            "need 2^p >= machine count so every machine hosts a trunk"
+        );
+        AddressingTable {
+            epoch: 1,
+            slots: (0..n).map(|i| (i % machines) as u16).collect(),
+        }
     }
 
     /// Number of trunks (`2^p`).
@@ -76,11 +82,20 @@ impl AddressingTable {
     /// Reassign every trunk of a failed machine onto the `survivors`,
     /// least-loaded first, bumping the epoch. Returns the reassignments
     /// as `(trunk, new_machine)` pairs.
-    pub fn reassign_failed(&mut self, failed: MachineId, survivors: &[MachineId]) -> Vec<(u64, MachineId)> {
-        assert!(!survivors.is_empty(), "cannot reassign trunks with no survivors");
+    pub fn reassign_failed(
+        &mut self,
+        failed: MachineId,
+        survivors: &[MachineId],
+    ) -> Vec<(u64, MachineId)> {
+        assert!(
+            !survivors.is_empty(),
+            "cannot reassign trunks with no survivors"
+        );
         assert!(!survivors.contains(&failed));
-        let mut load: Vec<(usize, MachineId)> =
-            survivors.iter().map(|&m| (self.trunks_of(m).len(), m)).collect();
+        let mut load: Vec<(usize, MachineId)> = survivors
+            .iter()
+            .map(|&m| (self.trunks_of(m).len(), m))
+            .collect();
         let mut moved = Vec::new();
         for slot in 0..self.slots.len() {
             if self.slots[slot] == failed.0 {

@@ -23,7 +23,10 @@ pub(crate) fn decode_req(data: &[u8]) -> Option<(u64, &[u8])> {
     if data.len() < 8 {
         return None;
     }
-    Some((u64::from_le_bytes(data[..8].try_into().unwrap()), &data[8..]))
+    Some((
+        u64::from_le_bytes(data[..8].try_into().unwrap()),
+        &data[8..],
+    ))
 }
 
 pub(crate) fn reply(status: u8, data: &[u8]) -> Vec<u8> {
@@ -44,10 +47,12 @@ pub(crate) fn parse_reply(
         Some(&OK) => Ok(Some(data[1..].to_vec())),
         Some(&NOT_FOUND) => Ok(None),
         Some(&NOT_OWNER) => Err(CloudError::WrongOwner { trunk, asked }),
-        Some(&STORE_ERR) => Err(CloudError::Store(trinity_memstore::StoreError::OutOfMemory {
-            requested: 0,
-            reserved: 0,
-        })),
+        Some(&STORE_ERR) => Err(CloudError::Store(
+            trinity_memstore::StoreError::OutOfMemory {
+                requested: 0,
+                reserved: 0,
+            },
+        )),
         _ => Err(CloudError::BadReply),
     }
 }
@@ -68,12 +73,24 @@ mod tests {
 
     #[test]
     fn reply_statuses() {
-        assert_eq!(parse_reply(&reply(OK, b"x"), 0, MachineId(0)).unwrap(), Some(b"x".to_vec()));
-        assert_eq!(parse_reply(&reply(NOT_FOUND, b""), 0, MachineId(0)).unwrap(), None);
+        assert_eq!(
+            parse_reply(&reply(OK, b"x"), 0, MachineId(0)).unwrap(),
+            Some(b"x".to_vec())
+        );
+        assert_eq!(
+            parse_reply(&reply(NOT_FOUND, b""), 0, MachineId(0)).unwrap(),
+            None
+        );
         assert!(matches!(
             parse_reply(&reply(NOT_OWNER, b""), 3, MachineId(1)),
-            Err(CloudError::WrongOwner { trunk: 3, asked: MachineId(1) })
+            Err(CloudError::WrongOwner {
+                trunk: 3,
+                asked: MachineId(1)
+            })
         ));
-        assert!(matches!(parse_reply(b"", 0, MachineId(0)), Err(CloudError::BadReply)));
+        assert!(matches!(
+            parse_reply(b"", 0, MachineId(0)),
+            Err(CloudError::BadReply)
+        ));
     }
 }

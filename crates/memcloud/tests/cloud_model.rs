@@ -138,10 +138,24 @@ proptest! {
 fn redirect(op: &Op, victim: usize) -> Op {
     let fix = |via: usize| if via == victim { (victim + 1) % 3 } else { via };
     match op {
-        Op::Put { via, key, val } => Op::Put { via: fix(*via), key: *key, val: val.clone() },
-        Op::Append { via, key, val } => Op::Append { via: fix(*via), key: *key, val: val.clone() },
-        Op::Remove { via, key } => Op::Remove { via: fix(*via), key: *key },
-        Op::Get { via, key } => Op::Get { via: fix(*via), key: *key },
+        Op::Put { via, key, val } => Op::Put {
+            via: fix(*via),
+            key: *key,
+            val: val.clone(),
+        },
+        Op::Append { via, key, val } => Op::Append {
+            via: fix(*via),
+            key: *key,
+            val: val.clone(),
+        },
+        Op::Remove { via, key } => Op::Remove {
+            via: fix(*via),
+            key: *key,
+        },
+        Op::Get { via, key } => Op::Get {
+            via: fix(*via),
+            key: *key,
+        },
         Op::Backup => Op::Backup,
     }
 }

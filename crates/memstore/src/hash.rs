@@ -33,7 +33,10 @@ pub fn mix64(mut x: u64) -> u64 {
 /// selection.
 #[inline]
 pub fn trunk_of(id: u64, p: u32) -> u64 {
-    debug_assert!(p <= 32, "addressing tables larger than 2^32 slots are unsupported");
+    debug_assert!(
+        p <= 32,
+        "addressing tables larger than 2^32 slots are unsupported"
+    );
     if p == 0 {
         return 0;
     }
@@ -52,7 +55,10 @@ mod tests {
         let a = mix64(0x1234_5678);
         let b = mix64(0x1234_5679);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 
     #[test]
@@ -74,7 +80,10 @@ mod tests {
             counts[trunk_of(id, p) as usize] += 1;
         }
         for &c in &counts {
-            assert!((500..=2000).contains(&c), "skewed trunk distribution: {counts:?}");
+            assert!(
+                (500..=2000).contains(&c),
+                "skewed trunk distribution: {counts:?}"
+            );
         }
     }
 }

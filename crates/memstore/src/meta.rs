@@ -34,7 +34,10 @@ pub(crate) struct CellMeta {
 
 impl CellMeta {
     fn new() -> Self {
-        CellMeta { lock: AtomicU32::new(UNLOCKED), offset: AtomicU32::new(0) }
+        CellMeta {
+            lock: AtomicU32::new(UNLOCKED),
+            offset: AtomicU32::new(0),
+        }
     }
 
     /// Spin until the cell lock is acquired.
@@ -53,7 +56,7 @@ impl CellMeta {
                 return;
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -216,6 +219,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "lock admitted two threads");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "lock admitted two threads"
+        );
     }
 }

@@ -60,7 +60,10 @@ impl TrunkSnapshot {
         trunk.for_each_cell(|id, payload| cells.push((id, payload.to_vec())));
         // Deterministic image: TFS replicas compare byte-for-byte in tests.
         cells.sort_unstable_by_key(|(id, _)| *id);
-        TrunkSnapshot { trunk_id: trunk.id(), cells }
+        TrunkSnapshot {
+            trunk_id: trunk.id(),
+            cells,
+        }
     }
 
     /// Serialize to the flat byte format.
@@ -118,7 +121,9 @@ impl TrunkSnapshot {
     /// surviving machine absorbs a failed machine's trunk).
     pub fn restore_into(&self, trunk: &Trunk) -> Result<(), SnapshotError> {
         for (id, bytes) in &self.cells {
-            trunk.put(*id, bytes).map_err(|e| SnapshotError::Load(*id, e))?;
+            trunk
+                .put(*id, bytes)
+                .map_err(|e| SnapshotError::Load(*id, e))?;
         }
         Ok(())
     }
@@ -147,14 +152,20 @@ mod tests {
             if i == 3 {
                 assert!(restored.get(9).is_none());
             } else {
-                assert_eq!(restored.get(i * 3).unwrap().as_ref(), &vec![i as u8; (i % 40) as usize][..]);
+                assert_eq!(
+                    restored.get(i * 3).unwrap().as_ref(),
+                    &vec![i as u8; (i % 40) as usize][..]
+                );
             }
         }
     }
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(TrunkSnapshot::decode(b"oops"), Err(SnapshotError::Truncated));
+        assert_eq!(
+            TrunkSnapshot::decode(b"oops"),
+            Err(SnapshotError::Truncated)
+        );
         assert_eq!(
             TrunkSnapshot::decode(&[b'X'; 32]),
             Err(SnapshotError::BadMagic)
@@ -178,6 +189,9 @@ mod tests {
         for i in (0..20u64).rev() {
             t2.put(i, &[i as u8]).unwrap();
         }
-        assert_eq!(TrunkSnapshot::capture(&t1).encode(), TrunkSnapshot::capture(&t2).encode());
+        assert_eq!(
+            TrunkSnapshot::capture(&t1).encode(),
+            TrunkSnapshot::capture(&t2).encode()
+        );
     }
 }

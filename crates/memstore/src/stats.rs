@@ -81,8 +81,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = TrunkStats { cell_count: 1, used_bytes: 10, ..Default::default() };
-        let b = TrunkStats { cell_count: 2, used_bytes: 30, ..Default::default() };
+        let mut a = TrunkStats {
+            cell_count: 1,
+            used_bytes: 10,
+            ..Default::default()
+        };
+        let b = TrunkStats {
+            cell_count: 2,
+            used_bytes: 30,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cell_count, 3);
         assert_eq!(a.used_bytes, 40);

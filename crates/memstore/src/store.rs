@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
+use trinity_obs::MachineScope;
 
 use crate::stats::TrunkStats;
 use crate::trunk::{Trunk, TrunkConfig};
@@ -48,11 +49,29 @@ impl Default for LocalStoreConfig {
 pub struct LocalStore {
     cfg: LocalStoreConfig,
     trunks: RwLock<BTreeMap<u64, Arc<Trunk>>>,
+    obs: MachineScope,
 }
 
 impl LocalStore {
     pub fn new(cfg: LocalStoreConfig) -> Self {
-        LocalStore { cfg, trunks: RwLock::new(BTreeMap::new()) }
+        Self::with_obs(cfg, MachineScope::detached())
+    }
+
+    /// Like [`LocalStore::new`], but every trunk this store creates
+    /// publishes `store.*` metrics into the given machine scope (the cloud
+    /// node passes its endpoint's scope here so trunk utilization shows up
+    /// next to the machine's network counters).
+    pub fn with_obs(cfg: LocalStoreConfig, obs: MachineScope) -> Self {
+        LocalStore {
+            cfg,
+            trunks: RwLock::new(BTreeMap::new()),
+            obs,
+        }
+    }
+
+    /// The metrics scope trunks of this store publish into.
+    pub fn obs(&self) -> &MachineScope {
+        &self.obs
     }
 
     /// Create (or return) the trunk with global id `gid`.
@@ -61,7 +80,13 @@ impl LocalStore {
             return Arc::clone(t);
         }
         let mut w = self.trunks.write();
-        Arc::clone(w.entry(gid).or_insert_with(|| Arc::new(Trunk::new(gid, self.cfg.trunk.clone()))))
+        Arc::clone(w.entry(gid).or_insert_with(|| {
+            Arc::new(Trunk::with_obs(
+                gid,
+                self.cfg.trunk.clone(),
+                self.obs.clone(),
+            ))
+        }))
     }
 
     /// The trunk with global id `gid`, if this machine hosts it.
@@ -152,7 +177,10 @@ impl DefragDaemon {
                 }
             })
             .expect("spawn defrag daemon");
-        DefragDaemon { stop, handle: Some(handle) }
+        DefragDaemon {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Signal the daemon to exit and wait for it.
@@ -206,7 +234,10 @@ mod tests {
         let t = a.evict(5).expect("trunk present");
         assert_eq!(a.trunk_count(), 0);
         b.adopt(t);
-        assert_eq!(b.trunk(5).unwrap().get(1).unwrap().as_ref(), b"migrating cell");
+        assert_eq!(
+            b.trunk(5).unwrap().get(1).unwrap().as_ref(),
+            b"migrating cell"
+        );
     }
 
     #[test]

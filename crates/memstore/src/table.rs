@@ -109,7 +109,11 @@ impl IdTable {
             let home = self.slot_for(self.keys[j]);
             // Move keys[j] into the hole iff its home slot does not sit in
             // the (cyclic) range (hole, j]; i.e. the hole is on its probe path.
-            let on_path = if hole <= j { home <= hole || home > j } else { home <= hole && home > j };
+            let on_path = if hole <= j {
+                home <= hole || home > j
+            } else {
+                home <= hole && home > j
+            };
             if on_path {
                 self.keys[hole] = self.keys[j];
                 self.vals[hole] = self.vals[j];

@@ -54,8 +54,10 @@
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use trinity_obs::{Counter, Gauge, Histogram, MachineScope};
 
 use crate::error::StoreError;
 use crate::meta::{CellMeta, MetaSlab};
@@ -94,19 +96,30 @@ pub struct TrunkConfig {
 
 impl Default for TrunkConfig {
     fn default() -> Self {
-        TrunkConfig { reserved_bytes: 64 << 20, page_bytes: 64 << 10, expansion_slack: 1.0 }
+        TrunkConfig {
+            reserved_bytes: 64 << 20,
+            page_bytes: 64 << 10,
+            expansion_slack: 1.0,
+        }
     }
 }
 
 impl TrunkConfig {
     /// A small trunk suitable for unit tests and doc examples.
     pub fn small() -> Self {
-        TrunkConfig { reserved_bytes: 256 << 10, page_bytes: 4 << 10, expansion_slack: 1.0 }
+        TrunkConfig {
+            reserved_bytes: 256 << 10,
+            page_bytes: 4 << 10,
+            expansion_slack: 1.0,
+        }
     }
 
     /// A trunk with `bytes` of reserved space and default paging.
     pub fn with_reserved(bytes: usize) -> Self {
-        TrunkConfig { reserved_bytes: bytes, ..TrunkConfig::default() }
+        TrunkConfig {
+            reserved_bytes: bytes,
+            ..TrunkConfig::default()
+        }
     }
 }
 
@@ -149,6 +162,52 @@ pub struct DefragReport {
     pub completed: bool,
 }
 
+/// Cached `store.*` metric handles for one trunk (paper §6.1 figures are
+/// built on exactly these: allocation volume, relocation churn, and the
+/// committed/used watermarks of the circular window).
+///
+/// Handles are resolved once at trunk construction; hot paths touch only
+/// relaxed atomics. Gauges are updated with *deltas*, never absolute
+/// values, so several trunks hosted by the same machine sum naturally in
+/// the shared [`MachineScope`].
+#[derive(Debug, Clone)]
+struct TrunkMetrics {
+    /// Successful allocations from the circular window (`store.alloc`).
+    alloc: Arc<Counter>,
+    /// Entry sizes of those allocations (`store.alloc.bytes`).
+    alloc_bytes: Arc<Histogram>,
+    /// Allocations that failed even after a defrag retry (`store.oom`).
+    oom: Arc<Counter>,
+    /// Cell relocations caused by growth beyond capacity (`store.realloc`).
+    realloc: Arc<Counter>,
+    /// Completed defragmentation passes (`store.defrag.passes`).
+    defrag_passes: Arc<Counter>,
+    /// Payload bytes copied by defragmentation (`store.defrag.moved_bytes`).
+    defrag_moved: Arc<Counter>,
+    /// Bytes reclaimed at the tail (`store.defrag.reclaimed_bytes`).
+    defrag_reclaimed: Arc<Counter>,
+    /// Machine-wide circular-window bytes in use (`store.used_bytes`).
+    used_bytes: Arc<Gauge>,
+    /// Machine-wide committed bytes (`store.committed_bytes`).
+    committed_bytes: Arc<Gauge>,
+}
+
+impl TrunkMetrics {
+    fn new(obs: &MachineScope) -> Self {
+        TrunkMetrics {
+            alloc: obs.counter("store.alloc"),
+            alloc_bytes: obs.histogram("store.alloc.bytes"),
+            oom: obs.counter("store.oom"),
+            realloc: obs.counter("store.realloc"),
+            defrag_passes: obs.counter("store.defrag.passes"),
+            defrag_moved: obs.counter("store.defrag.moved_bytes"),
+            defrag_reclaimed: obs.counter("store.defrag.reclaimed_bytes"),
+            used_bytes: obs.gauge("store.used_bytes"),
+            committed_bytes: obs.gauge("store.committed_bytes"),
+        }
+    }
+}
+
 /// One memory trunk: a circularly managed slab of cells plus its hash
 /// table. All methods take `&self`; the trunk is internally synchronized
 /// and may be shared across threads (`Arc<Trunk>`).
@@ -170,6 +229,7 @@ pub struct Trunk {
     /// (used to report how much slack reservations currently hold).
     live_tight: AtomicUsize,
     bytes_moved: AtomicUsize,
+    metrics: TrunkMetrics,
 }
 
 // SAFETY: the raw buffer is only accessed under the locking protocol
@@ -182,6 +242,14 @@ unsafe impl Sync for Trunk {}
 
 impl Drop for Trunk {
     fn drop(&mut self) {
+        // Withdraw this trunk's contribution from the machine-level
+        // watermark gauges so dropped/evicted trunks don't leave stale
+        // residue in the scope shared with the machine's other trunks.
+        {
+            let st = self.alloc.lock();
+            self.metrics.used_bytes.sub(st.used as i64);
+            self.metrics.committed_bytes.sub(st.committed as i64);
+        }
         // SAFETY: `buf` was allocated with exactly `layout` in `Trunk::new`.
         unsafe { dealloc(self.buf, self.layout) }
     }
@@ -205,24 +273,48 @@ impl Trunk {
     /// memory (the OS backs them lazily), while the `committed` statistic
     /// models the explicit page commits the paper performs.
     pub fn new(id: u64, cfg: TrunkConfig) -> Self {
+        Self::with_obs(id, cfg, MachineScope::detached())
+    }
+
+    /// Like [`Trunk::new`], but publishing `store.*` metrics into the given
+    /// machine scope instead of a detached one. All trunks hosted by a
+    /// machine share its scope; gauge updates are deltas so they aggregate.
+    pub fn with_obs(id: u64, cfg: TrunkConfig, obs: MachineScope) -> Self {
         let page = cfg.page_bytes.max(8).next_power_of_two();
         let reserved = align8(cfg.reserved_bytes.max(2 * page)).next_multiple_of(page);
         let layout = Layout::from_size_align(reserved, 8).expect("valid trunk layout");
         // SAFETY: layout has nonzero size.
         let buf = unsafe { alloc_zeroed(layout) };
-        assert!(!buf.is_null(), "trunk allocation of {reserved} bytes failed");
+        assert!(
+            !buf.is_null(),
+            "trunk allocation of {reserved} bytes failed"
+        );
         Trunk {
             id,
-            cfg: TrunkConfig { page_bytes: page, reserved_bytes: reserved, ..cfg },
+            cfg: TrunkConfig {
+                page_bytes: page,
+                reserved_bytes: reserved,
+                ..cfg
+            },
             buf,
             layout,
             reserved,
-            alloc: Mutex::new(AllocState { head: 0, tail: 0, used: 0, committed: 0, defrag_passes: 0 }),
-            index: RwLock::new(Index { table: IdTable::new(), slab: MetaSlab::new() }),
+            alloc: Mutex::new(AllocState {
+                head: 0,
+                tail: 0,
+                used: 0,
+                committed: 0,
+                defrag_passes: 0,
+            }),
+            index: RwLock::new(Index {
+                table: IdTable::new(),
+                slab: MetaSlab::new(),
+            }),
             live_payload: AtomicUsize::new(0),
             live_entry: AtomicUsize::new(0),
             live_tight: AtomicUsize::new(0),
             bytes_moved: AtomicUsize::new(0),
+            metrics: TrunkMetrics::new(&obs),
         }
     }
 
@@ -261,19 +353,22 @@ impl Trunk {
 
     #[inline]
     fn read_u64(&self, off: usize) -> u64 {
-        debug_assert!(off + 8 <= self.reserved && off % 8 == 0);
+        debug_assert!(off + 8 <= self.reserved && off.is_multiple_of(8));
         // SAFETY: in-bounds and 8-aligned. Header words are accessed
         // atomically because the defragmentation scan reads headers that a
         // cell-lock holder may be rewriting in place (the size field).
-        unsafe { (*(self.buf.add(off) as *const std::sync::atomic::AtomicU64)).load(Ordering::Acquire) }
+        unsafe {
+            (*(self.buf.add(off) as *const std::sync::atomic::AtomicU64)).load(Ordering::Acquire)
+        }
     }
 
     #[inline]
     fn write_u64(&self, off: usize, v: u64) {
-        debug_assert!(off + 8 <= self.reserved && off % 8 == 0);
+        debug_assert!(off + 8 <= self.reserved && off.is_multiple_of(8));
         // SAFETY: as above; see read_u64 for why this is atomic.
         unsafe {
-            (*(self.buf.add(off) as *const std::sync::atomic::AtomicU64)).store(v, Ordering::Release)
+            (*(self.buf.add(off) as *const std::sync::atomic::AtomicU64))
+                .store(v, Ordering::Release)
         }
     }
 
@@ -316,8 +411,12 @@ impl Trunk {
         debug_assert_eq!(need % 8, 0);
         let r = self.reserved;
         let free = r - st.used;
+        let (used0, committed0) = (st.used, st.committed);
         if need > free {
-            return Err(StoreError::OutOfMemory { requested: need, reserved: r });
+            return Err(StoreError::OutOfMemory {
+                requested: need,
+                reserved: r,
+            });
         }
         let off;
         if st.used == 0 {
@@ -336,7 +435,10 @@ impl Trunk {
             } else {
                 // Wrap: the remainder at the end becomes a filler.
                 if at_end + need > free {
-                    return Err(StoreError::OutOfMemory { requested: need, reserved: r });
+                    return Err(StoreError::OutOfMemory {
+                        requested: need,
+                        reserved: r,
+                    });
                 }
                 if at_end > 0 {
                     self.write_u64(st.head, WRAP);
@@ -351,7 +453,10 @@ impl Trunk {
             // [head, tail).
             let gap = st.tail - st.head;
             if need > gap {
-                return Err(StoreError::OutOfMemory { requested: need, reserved: r });
+                return Err(StoreError::OutOfMemory {
+                    requested: need,
+                    reserved: r,
+                });
             }
             off = st.head;
             st.head += need;
@@ -360,25 +465,47 @@ impl Trunk {
         if st.head == r {
             st.head = 0;
         }
-        st.committed = st.committed.max(st.used.next_multiple_of(self.cfg.page_bytes)).min(r);
+        st.committed = st
+            .committed
+            .max(st.used.next_multiple_of(self.cfg.page_bytes))
+            .min(r);
+        self.metrics.used_bytes.add((st.used - used0) as i64);
+        self.metrics
+            .committed_bytes
+            .add((st.committed - committed0) as i64);
         Ok(off)
     }
 
     /// Allocate with one defragmentation retry on exhaustion.
     fn allocate(&self, need: usize) -> Result<usize> {
         if need > self.reserved {
-            return Err(StoreError::OutOfMemory { requested: need, reserved: self.reserved });
+            self.metrics.oom.inc();
+            return Err(StoreError::OutOfMemory {
+                requested: need,
+                reserved: self.reserved,
+            });
         }
         {
             let mut st = self.alloc.lock();
-            match self.allocate_locked(&mut st, need) {
-                Ok(off) => return Ok(off),
-                Err(_) => {}
+            if let Ok(off) = self.allocate_locked(&mut st, need) {
+                self.metrics.alloc.inc();
+                self.metrics.alloc_bytes.record(need as u64);
+                return Ok(off);
             }
         }
         self.defragment();
         let mut st = self.alloc.lock();
-        self.allocate_locked(&mut st, need)
+        match self.allocate_locked(&mut st, need) {
+            Ok(off) => {
+                self.metrics.alloc.inc();
+                self.metrics.alloc_bytes.record(need as u64);
+                Ok(off)
+            }
+            Err(e) => {
+                self.metrics.oom.inc();
+                Err(e)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -428,7 +555,9 @@ impl Trunk {
     }
 
     fn check_len(&self, len: usize) -> Result<u32> {
-        if len > u32::MAX as usize / 2 || Self::entry_len(len as u32) + self.cfg.page_bytes > self.reserved {
+        if len > u32::MAX as usize / 2
+            || Self::entry_len(len as u32) + self.cfg.page_bytes > self.reserved
+        {
             return Err(StoreError::CellTooLarge(len));
         }
         Ok(len as u32)
@@ -444,7 +573,11 @@ impl Trunk {
             // SAFETY: the freshly allocated region is unpublished and
             // exclusively ours.
             unsafe {
-                std::ptr::copy_nonoverlapping(payload.as_ptr(), self.payload_ptr(off), payload.len());
+                std::ptr::copy_nonoverlapping(
+                    payload.as_ptr(),
+                    self.payload_ptr(off),
+                    payload.len(),
+                );
             }
             let mut idx = self.index.write();
             if idx.table.get(id).is_some() {
@@ -467,9 +600,11 @@ impl Trunk {
             let slot = idx.slab.alloc(off as u32);
             idx.table.insert(id, slot);
             drop(idx);
-            self.live_payload.fetch_add(size as usize, Ordering::Relaxed);
+            self.live_payload
+                .fetch_add(size as usize, Ordering::Relaxed);
             self.live_entry.fetch_add(need, Ordering::Relaxed);
-            self.live_tight.fetch_add(Self::entry_len(size), Ordering::Relaxed);
+            self.live_tight
+                .fetch_add(Self::entry_len(size), Ordering::Relaxed);
             return Ok(());
         }
     }
@@ -490,7 +625,11 @@ impl Trunk {
             // In-place rewrite.
             // SAFETY: we own the entry via its lock; region is in-bounds.
             unsafe {
-                std::ptr::copy_nonoverlapping(payload.as_ptr(), self.payload_ptr(off), payload.len());
+                std::ptr::copy_nonoverlapping(
+                    payload.as_ptr(),
+                    self.payload_ptr(off),
+                    payload.len(),
+                );
             }
             self.write_header(off, id, cap, new_size);
             self.fixup_size_counters(cap, old_size, cap, new_size);
@@ -506,32 +645,48 @@ impl Trunk {
             .unwrap_or(new_size);
         let need = Self::entry_len(new_cap);
         let new_off = self.allocate(need)?;
+        self.metrics.realloc.inc();
         self.write_header(new_off, id, new_cap, new_size);
         // SAFETY: fresh unpublished region.
         unsafe {
-            std::ptr::copy_nonoverlapping(payload.as_ptr(), self.payload_ptr(new_off), payload.len());
+            std::ptr::copy_nonoverlapping(
+                payload.as_ptr(),
+                self.payload_ptr(new_off),
+                payload.len(),
+            );
         }
         // Tombstone the old entry and publish the new offset.
         self.write_tombstone(off, cap);
         meta.set_offset(new_off as u32);
         self.live_entry.fetch_add(need, Ordering::Relaxed);
-        self.live_entry.fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
-        self.live_tight.fetch_add(Self::entry_len(new_size), Ordering::Relaxed);
-        self.live_tight.fetch_sub(Self::entry_len(old_size), Ordering::Relaxed);
-        self.live_payload.fetch_add(new_size as usize, Ordering::Relaxed);
-        self.live_payload.fetch_sub(old_size as usize, Ordering::Relaxed);
+        self.live_entry
+            .fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
+        self.live_tight
+            .fetch_add(Self::entry_len(new_size), Ordering::Relaxed);
+        self.live_tight
+            .fetch_sub(Self::entry_len(old_size), Ordering::Relaxed);
+        self.live_payload
+            .fetch_add(new_size as usize, Ordering::Relaxed);
+        self.live_payload
+            .fetch_sub(old_size as usize, Ordering::Relaxed);
         Ok(())
     }
 
     fn fixup_size_counters(&self, _old_cap: u32, old_size: u32, _new_cap: u32, new_size: u32) {
         if new_size >= old_size {
-            self.live_payload.fetch_add((new_size - old_size) as usize, Ordering::Relaxed);
-            self.live_tight
-                .fetch_add(Self::entry_len(new_size) - Self::entry_len(old_size), Ordering::Relaxed);
+            self.live_payload
+                .fetch_add((new_size - old_size) as usize, Ordering::Relaxed);
+            self.live_tight.fetch_add(
+                Self::entry_len(new_size) - Self::entry_len(old_size),
+                Ordering::Relaxed,
+            );
         } else {
-            self.live_payload.fetch_sub((old_size - new_size) as usize, Ordering::Relaxed);
-            self.live_tight
-                .fetch_sub(Self::entry_len(old_size) - Self::entry_len(new_size), Ordering::Relaxed);
+            self.live_payload
+                .fetch_sub((old_size - new_size) as usize, Ordering::Relaxed);
+            self.live_tight.fetch_sub(
+                Self::entry_len(old_size) - Self::entry_len(new_size),
+                Ordering::Relaxed,
+            );
         }
     }
 
@@ -571,7 +726,10 @@ impl Trunk {
             let mut grown = Vec::with_capacity(new_size);
             // SAFETY: reading our own locked entry.
             unsafe {
-                grown.extend_from_slice(std::slice::from_raw_parts(self.payload_ptr(off), size as usize));
+                grown.extend_from_slice(std::slice::from_raw_parts(
+                    self.payload_ptr(off),
+                    size as usize,
+                ));
             }
             grown.extend_from_slice(extra);
             self.update_locked(meta_ptr, &grown, id)
@@ -587,7 +745,12 @@ impl Trunk {
         // SAFETY: lock held; guard releases it on drop.
         let off = unsafe { (*meta).offset() } as usize;
         let (_, _, size) = self.read_header(off);
-        Some(CellGuard { trunk: self, meta, ptr: self.payload_ptr(off), len: size as usize })
+        Some(CellGuard {
+            trunk: self,
+            meta,
+            ptr: self.payload_ptr(off),
+            len: size as usize,
+        })
     }
 
     /// Read a cell into an owned buffer.
@@ -603,7 +766,12 @@ impl Trunk {
         // SAFETY: lock held; guard releases it on drop.
         let off = unsafe { (*meta).offset() } as usize;
         let (_, _, size) = self.read_header(off);
-        Some(CellMutGuard { trunk: self, meta, ptr: self.payload_ptr(off), len: size as usize })
+        Some(CellMutGuard {
+            trunk: self,
+            meta,
+            ptr: self.payload_ptr(off),
+            len: size as usize,
+        })
     }
 
     /// Whether the cell exists.
@@ -630,9 +798,12 @@ impl Trunk {
         let off = meta_ref.offset() as usize;
         let (_, cap, size) = self.read_header(off);
         self.write_tombstone(off, cap);
-        self.live_payload.fetch_sub(size as usize, Ordering::Relaxed);
-        self.live_entry.fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
-        self.live_tight.fetch_sub(Self::entry_len(size), Ordering::Relaxed);
+        self.live_payload
+            .fetch_sub(size as usize, Ordering::Relaxed);
+        self.live_entry
+            .fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
+        self.live_tight
+            .fetch_sub(Self::entry_len(size), Ordering::Relaxed);
         meta_ref.unlock();
         // Step 3: recycle the slot. No other thread can be addressing it.
         self.index.write().slab.free(slot);
@@ -666,7 +837,10 @@ impl Trunk {
     /// (one whose spin lock is held) or when the trunk is too full to
     /// relocate a cell.
     pub fn defragment(&self) -> DefragReport {
-        let mut report = DefragReport { completed: true, ..DefragReport::default() };
+        let mut report = DefragReport {
+            completed: true,
+            ..DefragReport::default()
+        };
         let mut st = self.alloc.lock();
         let mut remaining = st.used;
         let mut pos = st.tail;
@@ -682,6 +856,7 @@ impl Trunk {
                 let len = self.reserved - pos;
                 remaining -= len;
                 st.used -= len;
+                self.metrics.used_bytes.sub(len as i64);
                 pos = 0;
                 st.tail = 0;
                 report.reclaimed_bytes += len as u64;
@@ -692,6 +867,7 @@ impl Trunk {
             if uid == TOMB {
                 remaining -= len;
                 st.used -= len;
+                self.metrics.used_bytes.sub(len as i64);
                 pos += len;
                 st.tail = pos % self.reserved;
                 report.reclaimed_bytes += len as u64;
@@ -730,6 +906,7 @@ impl Trunk {
                     let len2 = Self::entry_len(cap2);
                     remaining -= len2;
                     st.used -= len2;
+                    self.metrics.used_bytes.sub(len2 as i64);
                     pos += len2;
                     st.tail = pos % self.reserved;
                     report.reclaimed_bytes += len2 as u64;
@@ -764,20 +941,32 @@ impl Trunk {
             meta_ref.set_offset(new_off as u32);
             meta_ref.unlock();
             self.live_entry.fetch_add(need, Ordering::Relaxed);
-            self.live_entry.fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
+            self.live_entry
+                .fetch_sub(Self::entry_len(cap), Ordering::Relaxed);
             self.bytes_moved.fetch_add(size as usize, Ordering::Relaxed);
             report.moved_cells += 1;
             report.moved_bytes += size as u64;
             report.reclaimed_bytes += (len - need) as u64;
             remaining -= len;
             st.used -= len;
+            self.metrics.used_bytes.sub(len as i64);
             pos += len;
             st.tail = pos % self.reserved;
         }
         // Release freed pages: the committed window shrinks back to the
         // page-rounded live window.
-        st.committed = st.used.next_multiple_of(self.cfg.page_bytes).min(self.reserved);
+        let committed0 = st.committed;
+        st.committed = st
+            .used
+            .next_multiple_of(self.cfg.page_bytes)
+            .min(self.reserved);
+        self.metrics
+            .committed_bytes
+            .add(st.committed as i64 - committed0 as i64);
         st.defrag_passes += 1;
+        self.metrics.defrag_passes.inc();
+        self.metrics.defrag_moved.add(report.moved_bytes);
+        self.metrics.defrag_reclaimed.add(report.reclaimed_bytes);
         report
     }
 }
@@ -809,7 +998,11 @@ impl Drop for CellGuard<'_> {
 
 impl std::fmt::Debug for CellGuard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CellGuard({} bytes in trunk {})", self.len, self.trunk.id)
+        write!(
+            f,
+            "CellGuard({} bytes in trunk {})",
+            self.len, self.trunk.id
+        )
     }
 }
 
@@ -845,7 +1038,11 @@ impl Drop for CellMutGuard<'_> {
 
 impl std::fmt::Debug for CellMutGuard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CellMutGuard({} bytes in trunk {})", self.len, self.trunk.id)
+        write!(
+            f,
+            "CellMutGuard({} bytes in trunk {})",
+            self.len, self.trunk.id
+        )
     }
 }
 
@@ -854,7 +1051,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> Trunk {
-        Trunk::new(0, TrunkConfig { reserved_bytes: 8 << 10, page_bytes: 1 << 10, expansion_slack: 1.0 })
+        Trunk::new(
+            0,
+            TrunkConfig {
+                reserved_bytes: 8 << 10,
+                page_bytes: 1 << 10,
+                expansion_slack: 1.0,
+            },
+        )
     }
 
     #[test]
@@ -914,7 +1118,11 @@ mod tests {
         t.append(1, &[b'x'; 16]).unwrap();
         let entry_after_first = t.stats().live_entry_bytes;
         t.append(1, &[b'y'; 8]).unwrap();
-        assert_eq!(t.stats().live_entry_bytes, entry_after_first, "second append should be in place");
+        assert_eq!(
+            t.stats().live_entry_bytes,
+            entry_after_first,
+            "second append should be in place"
+        );
         let mut expect = b"ab".to_vec();
         expect.extend_from_slice(&[b'x'; 16]);
         expect.extend_from_slice(&[b'y'; 8]);
@@ -942,7 +1150,11 @@ mod tests {
         assert!(after.used_bytes < before.used_bytes);
         for i in 0..40u64 {
             if i % 2 == 1 {
-                assert_eq!(t.get(i).unwrap().as_ref(), &[i as u8; 64][..], "cell {i} corrupted by defrag");
+                assert_eq!(
+                    t.get(i).unwrap().as_ref(),
+                    &[i as u8; 64][..],
+                    "cell {i} corrupted by defrag"
+                );
             } else {
                 assert!(t.get(i).is_none());
             }
@@ -969,7 +1181,14 @@ mod tests {
     fn circular_reuse_survives_many_generations() {
         // Total writes far exceed the reserved size: the window must wrap
         // repeatedly and defrag must keep reclaiming.
-        let t = Trunk::new(0, TrunkConfig { reserved_bytes: 16 << 10, page_bytes: 1 << 10, expansion_slack: 1.0 });
+        let t = Trunk::new(
+            0,
+            TrunkConfig {
+                reserved_bytes: 16 << 10,
+                page_bytes: 1 << 10,
+                expansion_slack: 1.0,
+            },
+        );
         for gen in 0u64..50 {
             for i in 0..10u64 {
                 t.put(i, &[(gen + i) as u8; 200]).unwrap();
@@ -983,7 +1202,14 @@ mod tests {
 
     #[test]
     fn out_of_memory_is_reported() {
-        let t = Trunk::new(0, TrunkConfig { reserved_bytes: 4 << 10, page_bytes: 1 << 10, expansion_slack: 0.0 });
+        let t = Trunk::new(
+            0,
+            TrunkConfig {
+                reserved_bytes: 4 << 10,
+                page_bytes: 1 << 10,
+                expansion_slack: 0.0,
+            },
+        );
         let big = vec![0u8; 8 << 10];
         match t.put(1, &big) {
             Err(StoreError::OutOfMemory { .. }) | Err(StoreError::CellTooLarge(_)) => {}
@@ -993,7 +1219,14 @@ mod tests {
 
     #[test]
     fn fills_then_oom_then_recovers_after_remove() {
-        let t = Trunk::new(0, TrunkConfig { reserved_bytes: 4 << 10, page_bytes: 1 << 10, expansion_slack: 0.0 });
+        let t = Trunk::new(
+            0,
+            TrunkConfig {
+                reserved_bytes: 4 << 10,
+                page_bytes: 1 << 10,
+                expansion_slack: 0.0,
+            },
+        );
         let mut stored = 0u64;
         loop {
             match t.put(stored, &[1u8; 256]) {

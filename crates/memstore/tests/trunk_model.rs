@@ -31,11 +31,14 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn check_against_model(ops: Vec<Op>, slack: f64) {
-    let trunk = Trunk::new(0, TrunkConfig {
-        reserved_bytes: 64 << 10,
-        page_bytes: 1 << 10,
-        expansion_slack: slack,
-    });
+    let trunk = Trunk::new(
+        0,
+        TrunkConfig {
+            reserved_bytes: 64 << 10,
+            page_bytes: 1 << 10,
+            expansion_slack: slack,
+        },
+    );
     let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
     // Upper bound on any single allocation the trunk may have made: a cell
     // of the largest length seen plus its expansion slack (slack is at
@@ -43,8 +46,8 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
     // kind of dead byte a *completed* defrag pass may leave behind — is
     // always smaller than the allocation that triggered the wrap.
     let mut max_need = 0usize;
-    let mut note_len = |max_need: &mut usize, len: usize| {
-        let bound = 16 + (((1.0 + slack) * len as f64) as usize + 7) / 8 * 8;
+    let note_len = |max_need: &mut usize, len: usize| {
+        let bound = 16 + (((1.0 + slack) * len as f64) as usize).div_ceil(8) * 8;
         *max_need = (*max_need).max(bound);
     };
     for op in ops {
@@ -56,7 +59,9 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
             }
             Op::Append(k, b) => match trunk.append(k, &b) {
                 Ok(()) => {
-                    let cell = model.get_mut(&k).expect("trunk accepted append on absent key");
+                    let cell = model
+                        .get_mut(&k)
+                        .expect("trunk accepted append on absent key");
                     cell.extend_from_slice(&b);
                     note_len(&mut max_need, cell.len());
                 }
@@ -81,7 +86,10 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
             },
             Op::Defrag => {
                 let report = trunk.defragment();
-                assert!(report.completed, "no cell is pinned in this single-threaded test");
+                assert!(
+                    report.completed,
+                    "no cell is pinned in this single-threaded test"
+                );
                 let stats = trunk.stats();
                 // A completed pass reclaims everything except, at most, one
                 // wrap filler written while re-appending cells past the
@@ -93,20 +101,30 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
                     stats.dead_bytes,
                     max_need
                 );
-                assert_eq!(stats.slack_bytes, 0, "completed defrag must drop all reservation slack");
+                assert_eq!(
+                    stats.slack_bytes, 0,
+                    "completed defrag must drop all reservation slack"
+                );
             }
         }
         // Continuous invariants.
         assert_eq!(trunk.cell_count(), model.len());
         let stats = trunk.stats();
         let payload: usize = model.values().map(|v| v.len()).sum();
-        assert_eq!(stats.live_payload_bytes, payload, "live payload accounting drifted");
+        assert_eq!(
+            stats.live_payload_bytes, payload,
+            "live payload accounting drifted"
+        );
         assert!(stats.used_bytes <= stats.reserved_bytes);
         assert!(stats.committed_bytes <= stats.reserved_bytes);
     }
     // Final full readback.
     for (k, v) in &model {
-        assert_eq!(trunk.get_owned(*k).as_deref(), Some(v.as_slice()), "cell {k} corrupted");
+        assert_eq!(
+            trunk.get_owned(*k).as_deref(),
+            Some(v.as_slice()),
+            "cell {k} corrupted"
+        );
     }
     // Snapshot/restore must preserve exactly the model contents.
     let snap = TrunkSnapshot::capture(&trunk);

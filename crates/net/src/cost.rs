@@ -31,18 +31,27 @@ impl CostModel {
     /// 1 Gbps Ethernet with ~100 µs per-transfer overhead — the commodity
     /// adapter in the paper's cluster.
     pub fn gigabit_ethernet() -> Self {
-        CostModel { envelope_latency_s: 100e-6, bandwidth_bytes_per_s: 125e6 }
+        CostModel {
+            envelope_latency_s: 100e-6,
+            bandwidth_bytes_per_s: 125e6,
+        }
     }
 
     /// 40 Gbps IPoIB with ~20 µs per-transfer overhead — the paper's fast
     /// adapter.
     pub fn ipoib_40g() -> Self {
-        CostModel { envelope_latency_s: 20e-6, bandwidth_bytes_per_s: 5e9 }
+        CostModel {
+            envelope_latency_s: 20e-6,
+            bandwidth_bytes_per_s: 5e9,
+        }
     }
 
     /// A free network (pure algorithm benchmarking).
     pub fn free() -> Self {
-        CostModel { envelope_latency_s: 0.0, bandwidth_bytes_per_s: f64::INFINITY }
+        CostModel {
+            envelope_latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        }
     }
 
     /// Modeled seconds to push `envelopes` transfers totalling `bytes`
@@ -75,7 +84,10 @@ mod tests {
         // packed into 10 envelopes pays 10.
         let unpacked = m.seconds(10_000, 1_160_000);
         let packed = m.seconds(10, 1_160_240);
-        assert!(unpacked > 10.0 * packed, "packing should dominate: {unpacked} vs {packed}");
+        assert!(
+            unpacked > 10.0 * packed,
+            "packing should dominate: {unpacked} vs {packed}"
+        );
     }
 
     #[test]
@@ -86,7 +98,14 @@ mod tests {
 
     #[test]
     fn ipoib_beats_ethernet() {
-        let d = StatsDelta { remote_envelopes: 100, remote_bytes: 1 << 30, ..Default::default() };
-        assert!(CostModel::ipoib_40g().transfer_seconds(&d) < CostModel::gigabit_ethernet().transfer_seconds(&d));
+        let d = StatsDelta {
+            remote_envelopes: 100,
+            remote_bytes: 1 << 30,
+            ..Default::default()
+        };
+        assert!(
+            CostModel::ipoib_40g().transfer_seconds(&d)
+                < CostModel::gigabit_ethernet().transfer_seconds(&d)
+        );
     }
 }

@@ -23,7 +23,9 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
+use trinity_obs::{current_trace, Counter, Histogram, MachineScope, TraceGuard, NO_TRACE};
 
+use crate::cost::CostModel;
 use crate::envelope::{Envelope, Frame, FrameKind};
 use crate::error::NetError;
 use crate::fabric::{Item, Router};
@@ -35,7 +37,8 @@ use crate::{proto, MachineId, ProtoId, Result};
 pub type Handler = Arc<dyn Fn(MachineId, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
 
 pub(crate) enum Work {
-    Frame(MachineId, Frame),
+    /// Source machine, trace id carried by the envelope, frame.
+    Frame(MachineId, u64, Frame),
     Stop,
 }
 
@@ -43,6 +46,55 @@ pub(crate) enum Work {
 struct PackBuf {
     frames: Vec<Frame>,
     bytes: usize,
+    /// Trace of the first frame buffered since the last flush: a packed
+    /// envelope carries one trace id, and mixed-trace packs are attributed
+    /// to the query that opened the pack.
+    trace: u64,
+}
+
+/// Cached metric handles for the fabric hot path — resolved once at
+/// endpoint construction so recording never performs a name lookup.
+struct NetMetrics {
+    env_sent: Arc<Counter>,
+    frames_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    env_recv: Arc<Counter>,
+    frames_recv: Arc<Counter>,
+    bytes_recv: Arc<Counter>,
+    frames_local: Arc<Counter>,
+    frames_dropped: Arc<Counter>,
+    /// Modeled network microseconds charged by the cost model for this
+    /// machine's outbound transfers.
+    modeled_tx_us: Arc<Counter>,
+    /// Wire bytes per outbound remote envelope.
+    env_bytes: Arc<Histogram>,
+    /// Frames per outbound remote envelope (the packing factor, as a
+    /// distribution rather than an average).
+    env_frames: Arc<Histogram>,
+    /// Synchronous call round-trip latency, microseconds.
+    call_us: Arc<Histogram>,
+    /// Handler execution time, microseconds.
+    handler_us: Arc<Histogram>,
+}
+
+impl NetMetrics {
+    fn new(obs: &MachineScope) -> Self {
+        NetMetrics {
+            env_sent: obs.counter("net.env.sent"),
+            frames_sent: obs.counter("net.frames.sent"),
+            bytes_sent: obs.counter("net.bytes.sent"),
+            env_recv: obs.counter("net.env.recv"),
+            frames_recv: obs.counter("net.frames.recv"),
+            bytes_recv: obs.counter("net.bytes.recv"),
+            frames_local: obs.counter("net.frames.local"),
+            frames_dropped: obs.counter("net.frames.dropped"),
+            modeled_tx_us: obs.counter("net.modeled_tx_us"),
+            env_bytes: obs.histogram("net.env.bytes"),
+            env_frames: obs.histogram("net.env.frames"),
+            call_us: obs.histogram("net.call.us"),
+            handler_us: obs.histogram("net.handler.us"),
+        }
+    }
 }
 
 /// One machine's attachment to the [`crate::Fabric`].
@@ -57,15 +109,21 @@ pub struct Endpoint {
     call_timeout: Duration,
     pub(crate) work_tx: Sender<Work>,
     stats: NetStats,
+    cost: CostModel,
+    obs: MachineScope,
+    metrics: NetMetrics,
 }
 
 impl std::fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Endpoint").field("machine", &self.machine).finish()
+        f.debug_struct("Endpoint")
+            .field("machine", &self.machine)
+            .finish()
     }
 }
 
 impl Endpoint {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         machine: MachineId,
         router: Arc<Router>,
@@ -73,18 +131,26 @@ impl Endpoint {
         pack_threshold: usize,
         call_timeout: Duration,
         work_tx: Sender<Work>,
+        cost: CostModel,
+        obs: MachineScope,
     ) -> Arc<Self> {
+        let metrics = NetMetrics::new(&obs);
         let ep = Arc::new(Endpoint {
             machine,
             router,
             handlers: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             corr: AtomicU64::new(1),
-            pack_bufs: (0..machines).map(|_| Mutex::new(PackBuf::default())).collect(),
+            pack_bufs: (0..machines)
+                .map(|_| Mutex::new(PackBuf::default()))
+                .collect(),
             pack_threshold,
             call_timeout,
             work_tx,
             stats: NetStats::default(),
+            cost,
+            obs,
+            metrics,
         });
         // Liveness probe for the heartbeat monitor.
         ep.register(proto::PING, |_src, _p| Some(Vec::new()));
@@ -126,16 +192,23 @@ impl Endpoint {
         self.pending.lock().insert(corr, tx);
         // Preserve per-destination FIFO with previously buffered one-ways.
         self.flush_to(dst);
+        let start_us = self.obs.now_us();
         let env = Envelope {
             src: self.machine,
             dst,
-            frames: vec![Frame { proto, kind: FrameKind::Request(corr), payload: payload.to_vec() }],
+            trace: current_trace(),
+            frames: vec![Frame {
+                proto,
+                kind: FrameKind::Request(corr),
+                payload: payload.to_vec(),
+            }],
         };
+        let sent_bytes = env.wire_bytes();
         if let Err(e) = self.transmit(env) {
             self.pending.lock().remove(&corr);
             return Err(e);
         }
-        match rx.recv_timeout(self.call_timeout) {
+        let result = match rx.recv_timeout(self.call_timeout) {
             Ok(result) => result,
             Err(_) => {
                 self.pending.lock().remove(&corr);
@@ -145,7 +218,12 @@ impl Endpoint {
                     Err(NetError::Timeout(dst, proto))
                 }
             }
-        }
+        };
+        self.metrics
+            .call_us
+            .record(self.obs.now_us().saturating_sub(start_us));
+        self.obs.span("net.call", proto, sent_bytes, 1, start_us);
+        result
     }
 
     /// Asynchronous one-way message. Messages to remote machines are
@@ -153,13 +231,26 @@ impl Endpoint {
     /// packing threshold (or on [`Endpoint::flush`]); machine-local
     /// messages are delivered immediately.
     pub fn send(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) {
-        let frame = Frame { proto, kind: FrameKind::OneWay, payload: payload.to_vec() };
+        let frame = Frame {
+            proto,
+            kind: FrameKind::OneWay,
+            payload: payload.to_vec(),
+        };
+        let trace = current_trace();
         if dst == self.machine {
-            let _ = self.transmit(Envelope { src: self.machine, dst, frames: vec![frame] });
+            let _ = self.transmit(Envelope {
+                src: self.machine,
+                dst,
+                trace,
+                frames: vec![frame],
+            });
             return;
         }
         let flush = {
             let mut buf = self.pack_bufs[dst.0 as usize].lock();
+            if buf.frames.is_empty() {
+                buf.trace = trace;
+            }
             buf.bytes += frame.wire_bytes() as usize;
             buf.frames.push(frame);
             buf.bytes >= self.pack_threshold
@@ -191,9 +282,15 @@ impl Endpoint {
         }
         let frames = std::mem::take(&mut buf.frames);
         buf.bytes = 0;
+        let trace = std::mem::replace(&mut buf.trace, NO_TRACE);
         // Transmit while holding the buffer lock so envelopes from this
         // endpoint to `dst` enter the inbox in flush order.
-        let _ = self.transmit(Envelope { src: self.machine, dst, frames });
+        let _ = self.transmit(Envelope {
+            src: self.machine,
+            dst,
+            trace,
+            frames,
+        });
     }
 
     /// Ship all buffered one-way frames.
@@ -208,6 +305,12 @@ impl Endpoint {
         &self.stats
     }
 
+    /// This machine's observability scope — the channel through which the
+    /// memory cloud and runtime layers publish their metrics and spans.
+    pub fn obs(&self) -> &MachineScope {
+        &self.obs
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
@@ -219,12 +322,33 @@ impl Endpoint {
         let frames = env.frames.len() as u64;
         if self.router.is_dead(env.dst) {
             self.stats.record_dropped(frames);
+            self.metrics.frames_dropped.add(frames);
             return Err(NetError::Unreachable(env.dst));
         }
         if env.dst == env.src {
             self.stats.record_local(frames);
+            self.metrics.frames_local.add(frames);
         } else {
-            self.stats.record_remote(frames, env.wire_bytes());
+            let bytes = env.wire_bytes();
+            self.stats.record_remote(frames, bytes);
+            self.metrics.env_sent.inc();
+            self.metrics.frames_sent.add(frames);
+            self.metrics.bytes_sent.add(bytes);
+            self.metrics.env_bytes.record(bytes);
+            self.metrics.env_frames.record(frames);
+            // Charge the cost model as the transfer happens, so modeled
+            // network time is observable per machine, not just per window.
+            self.metrics
+                .modeled_tx_us
+                .add((self.cost.seconds(1, bytes) * 1e6) as u64);
+            self.obs.span_for(
+                env.trace,
+                "net.send",
+                0,
+                bytes,
+                frames as u32,
+                self.obs.now_us(),
+            );
         }
         self.router.deliver(env)
     }
@@ -233,6 +357,19 @@ impl Endpoint {
     pub(crate) fn route_envelope(&self, env: Envelope) {
         if self.router.is_dead(self.machine) {
             return; // a dead machine processes nothing
+        }
+        if env.src != self.machine {
+            self.metrics.env_recv.inc();
+            self.metrics.frames_recv.add(env.frames.len() as u64);
+            self.metrics.bytes_recv.add(env.wire_bytes());
+            self.obs.span_for(
+                env.trace,
+                "net.deliver",
+                0,
+                env.wire_bytes(),
+                env.frames.len() as u32,
+                self.obs.now_us(),
+            );
         }
         for frame in env.frames {
             match frame.kind {
@@ -247,38 +384,72 @@ impl Endpoint {
                     }
                 }
                 FrameKind::Request(_) | FrameKind::OneWay => {
-                    let _ = self.work_tx.send(Work::Frame(env.src, frame));
+                    let _ = self.work_tx.send(Work::Frame(env.src, env.trace, frame));
                 }
             }
         }
     }
 
-    /// Worker-thread entry: dispatch one request or one-way frame.
-    pub(crate) fn dispatch(&self, src: MachineId, frame: Frame) {
+    /// Worker-thread entry: dispatch one request or one-way frame. The
+    /// envelope's trace id is installed on the worker thread for the
+    /// duration of the handler, so spans the handler records — and any
+    /// nested `call`/`send` it issues — stay attributed to the originating
+    /// query. This is how a trace follows the recursive fan-out of the
+    /// paper's traversal queries across machines.
+    pub(crate) fn dispatch(&self, src: MachineId, trace: u64, frame: Frame) {
         if self.router.is_dead(self.machine) {
             return;
         }
+        let _guard = TraceGuard::enter(trace);
+        let start_us = self.obs.now_us();
+        let proto = frame.proto;
+        let payload_len = frame.payload.len() as u64;
         let handler = self.handlers.read().get(&frame.proto).cloned();
         match frame.kind {
             FrameKind::OneWay => {
                 if let Some(h) = handler {
                     h(src, &frame.payload);
+                    self.metrics
+                        .handler_us
+                        .record(self.obs.now_us().saturating_sub(start_us));
+                    self.obs
+                        .span("net.dispatch", proto, payload_len, 1, start_us);
                 } else {
                     self.stats.record_dropped(1);
+                    self.metrics.frames_dropped.inc();
                 }
             }
             FrameKind::Request(corr) => {
                 let reply = match handler {
-                    Some(h) => Frame {
+                    Some(h) => {
+                        let payload = h(src, &frame.payload).unwrap_or_default();
+                        self.metrics
+                            .handler_us
+                            .record(self.obs.now_us().saturating_sub(start_us));
+                        self.obs
+                            .span("net.dispatch", proto, payload_len, 1, start_us);
+                        Frame {
+                            proto: frame.proto,
+                            kind: FrameKind::Response(corr),
+                            payload,
+                        }
+                    }
+                    None => Frame {
                         proto: frame.proto,
-                        kind: FrameKind::Response(corr),
-                        payload: h(src, &frame.payload).unwrap_or_default(),
+                        kind: FrameKind::NoHandler(corr),
+                        payload: Vec::new(),
                     },
-                    None => Frame { proto: frame.proto, kind: FrameKind::NoHandler(corr), payload: Vec::new() },
                 };
-                let _ = self.transmit(Envelope { src: self.machine, dst: src, frames: vec![reply] });
+                let _ = self.transmit(Envelope {
+                    src: self.machine,
+                    dst: src,
+                    trace,
+                    frames: vec![reply],
+                });
             }
-            FrameKind::Response(_) | FrameKind::NoHandler(_) => unreachable!("responses are routed by the receiver"),
+            FrameKind::Response(_) | FrameKind::NoHandler(_) => {
+                unreachable!("responses are routed by the receiver")
+            }
         }
     }
 
@@ -290,7 +461,11 @@ impl Endpoint {
     }
 }
 
-pub(crate) fn receiver_loop(ep: Arc<Endpoint>, rx: crossbeam::channel::Receiver<Item>, workers: usize) {
+pub(crate) fn receiver_loop(
+    ep: Arc<Endpoint>,
+    rx: crossbeam::channel::Receiver<Item>,
+    workers: usize,
+) {
     while let Ok(item) = rx.recv() {
         match item {
             Item::Env(env) => ep.route_envelope(env),
@@ -306,7 +481,7 @@ pub(crate) fn receiver_loop(ep: Arc<Endpoint>, rx: crossbeam::channel::Receiver<
 pub(crate) fn worker_loop(ep: Arc<Endpoint>, rx: crossbeam::channel::Receiver<Work>) {
     while let Ok(work) = rx.recv() {
         match work {
-            Work::Frame(src, frame) => ep.dispatch(src, frame),
+            Work::Frame(src, trace, frame) => ep.dispatch(src, trace, frame),
             Work::Stop => break,
         }
     }

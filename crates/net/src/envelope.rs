@@ -42,13 +42,18 @@ impl Frame {
 pub struct Envelope {
     pub src: MachineId,
     pub dst: MachineId,
+    /// Trace id of the query/job this transfer belongs to
+    /// ([`trinity_obs::NO_TRACE`] when untraced). Carried in the envelope
+    /// header so a distributed query can be reconstructed across machines.
+    pub trace: u64,
     pub frames: Vec<Frame>,
 }
 
 impl Envelope {
-    /// Total bytes on the wire: frames plus the envelope header.
+    /// Total bytes on the wire: frames plus the envelope header (src, dst,
+    /// length, checksum, trace id).
     pub fn wire_bytes(&self) -> u64 {
-        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + 24
+        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + 32
     }
 }
 
@@ -58,9 +63,18 @@ mod tests {
 
     #[test]
     fn wire_bytes_count_headers() {
-        let f = Frame { proto: 1, kind: FrameKind::OneWay, payload: vec![0; 100] };
+        let f = Frame {
+            proto: 1,
+            kind: FrameKind::OneWay,
+            payload: vec![0; 100],
+        };
         assert_eq!(f.wire_bytes(), 116);
-        let e = Envelope { src: MachineId(0), dst: MachineId(1), frames: vec![f.clone(), f] };
-        assert_eq!(e.wire_bytes(), 2 * 116 + 24);
+        let e = Envelope {
+            src: MachineId(0),
+            dst: MachineId(1),
+            trace: 0,
+            frames: vec![f.clone(), f],
+        };
+        assert_eq!(e.wire_bytes(), 2 * 116 + 32);
     }
 }

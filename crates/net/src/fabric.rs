@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use trinity_obs::Registry;
 
 use crate::cost::CostModel;
 use crate::endpoint::{receiver_loop, worker_loop, Endpoint, Work};
@@ -36,7 +37,9 @@ pub(crate) struct Router {
 
 impl Router {
     pub(crate) fn is_dead(&self, m: MachineId) -> bool {
-        self.dead.get(m.0 as usize).map_or(true, |d| d.load(Ordering::Acquire))
+        self.dead
+            .get(m.0 as usize)
+            .is_none_or(|d| d.load(Ordering::Acquire))
     }
 
     pub(crate) fn is_closed(&self) -> bool {
@@ -91,11 +94,14 @@ pub struct Fabric {
     router: Arc<Router>,
     endpoints: Vec<Arc<Endpoint>>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    obs: Arc<Registry>,
 }
 
 impl std::fmt::Debug for Fabric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Fabric").field("machines", &self.cfg.machines).finish()
+        f.debug_struct("Fabric")
+            .field("machines", &self.cfg.machines)
+            .finish()
     }
 }
 
@@ -116,6 +122,7 @@ impl Fabric {
             dead: (0..cfg.machines).map(|_| AtomicBool::new(false)).collect(),
             closed: AtomicBool::new(false),
         });
+        let obs = Arc::new(Registry::new());
         let mut endpoints = Vec::with_capacity(cfg.machines);
         let mut handles = Vec::new();
         for (m, inbox_rx) in inbox_rxs.into_iter().enumerate() {
@@ -127,6 +134,8 @@ impl Fabric {
                 cfg.pack_threshold_bytes,
                 cfg.call_timeout,
                 work_tx,
+                cfg.cost,
+                obs.scope(m as u16),
             );
             let workers = cfg.workers_per_machine.max(1);
             {
@@ -150,7 +159,13 @@ impl Fabric {
             }
             endpoints.push(ep);
         }
-        Arc::new(Fabric { cfg, router, endpoints, handles: Mutex::new(handles) })
+        Arc::new(Fabric {
+            cfg,
+            router,
+            endpoints,
+            handles: Mutex::new(handles),
+            obs,
+        })
     }
 
     /// The endpoint attached to machine `m`.
@@ -171,6 +186,12 @@ impl Fabric {
     /// The configured cost model.
     pub fn cost_model(&self) -> CostModel {
         self.cfg.cost
+    }
+
+    /// This cluster's metrics registry. One registry per fabric, so tests
+    /// running several simulated clusters in one process stay disjoint.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Kill a machine: it stops processing messages and every transfer
@@ -238,7 +259,10 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn quick_cfg(n: usize) -> FabricConfig {
-        FabricConfig { call_timeout: Duration::from_millis(500), ..FabricConfig::with_machines(n) }
+        FabricConfig {
+            call_timeout: Duration::from_millis(500),
+            ..FabricConfig::with_machines(n)
+        }
     }
 
     #[test]
@@ -311,11 +335,16 @@ mod tests {
     #[test]
     fn killed_machine_is_unreachable() {
         let fabric = Fabric::new(quick_cfg(2));
-        fabric.endpoint(MachineId(1)).register(10, |_, p| Some(p.to_vec()));
+        fabric
+            .endpoint(MachineId(1))
+            .register(10, |_, p| Some(p.to_vec()));
         let a = fabric.endpoint(MachineId(0));
         assert!(a.call(MachineId(1), 10, b"x").is_ok());
         fabric.kill(MachineId(1));
-        assert_eq!(a.call(MachineId(1), 10, b"x"), Err(NetError::Unreachable(MachineId(1))));
+        assert_eq!(
+            a.call(MachineId(1), 10, b"x"),
+            Err(NetError::Unreachable(MachineId(1)))
+        );
         fabric.revive(MachineId(1));
         assert!(a.call(MachineId(1), 10, b"x").is_ok());
         fabric.shutdown();
@@ -329,7 +358,10 @@ mod tests {
         {
             let fabric2 = Arc::clone(&fabric);
             fabric.endpoint(MachineId(1)).register(10, move |_, p| {
-                let inner = fabric2.endpoint(MachineId(1)).call(MachineId(2), 11, p).unwrap();
+                let inner = fabric2
+                    .endpoint(MachineId(1))
+                    .call(MachineId(2), 11, p)
+                    .unwrap();
                 Some(inner)
             });
         }
@@ -338,7 +370,10 @@ mod tests {
             v.push(b'!');
             Some(v)
         });
-        let reply = fabric.endpoint(MachineId(0)).call(MachineId(1), 10, b"deep").unwrap();
+        let reply = fabric
+            .endpoint(MachineId(0))
+            .call(MachineId(1), 10, b"deep")
+            .unwrap();
         assert_eq!(reply, b"deep!");
         fabric.shutdown();
     }
@@ -386,7 +421,94 @@ mod tests {
             move || fabric.shutdown()
         });
         let res = h.join().unwrap();
-        assert!(matches!(res, Err(NetError::Closed) | Err(NetError::Timeout(..))), "got {res:?}");
+        assert!(
+            matches!(res, Err(NetError::Closed) | Err(NetError::Timeout(..))),
+            "got {res:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_mirror_net_stats() {
+        let fabric = Fabric::new(quick_cfg(2));
+        fabric
+            .endpoint(MachineId(1))
+            .register(10, |_, p| Some(p.to_vec()));
+        let a = fabric.endpoint(MachineId(0));
+        for _ in 0..5 {
+            a.call(MachineId(1), 10, b"payload").unwrap();
+        }
+        let s = a.stats().snapshot();
+        let snap = fabric.obs().scope(0).snapshot();
+        assert_eq!(snap.counters["net.env.sent"], s.remote_envelopes);
+        assert_eq!(snap.counters["net.frames.sent"], s.remote_frames);
+        assert_eq!(snap.counters["net.bytes.sent"], s.remote_bytes);
+        assert_eq!(snap.hists["net.env.bytes"].count, s.remote_envelopes);
+        assert_eq!(snap.hists["net.call.us"].count, 5);
+        assert!(
+            snap.counters["net.modeled_tx_us"] > 0,
+            "cost model charged per transfer"
+        );
+        // The responder counted its inbound side.
+        let snap1 = fabric.obs().scope(1).snapshot();
+        assert_eq!(snap1.counters["net.env.recv"], 5);
+        assert_eq!(snap1.hists["net.handler.us"].count, 5);
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn trace_id_crosses_machines() {
+        use trinity_obs::{current_trace, next_trace_id, TraceGuard};
+        // m0 calls m1, whose handler fans out to m2: all three machines
+        // must record spans under the single trace installed on m0.
+        let fabric = Fabric::new(quick_cfg(3));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let fabric2 = Arc::clone(&fabric);
+            let seen = Arc::clone(&seen);
+            fabric.endpoint(MachineId(1)).register(10, move |_, p| {
+                seen.lock().push(current_trace());
+                Some(
+                    fabric2
+                        .endpoint(MachineId(1))
+                        .call(MachineId(2), 11, p)
+                        .unwrap(),
+                )
+            });
+        }
+        {
+            let seen = Arc::clone(&seen);
+            fabric.endpoint(MachineId(2)).register(11, move |_, p| {
+                seen.lock().push(current_trace());
+                Some(p.to_vec())
+            });
+        }
+        let trace = next_trace_id();
+        {
+            let _g = TraceGuard::enter(trace);
+            fabric
+                .endpoint(MachineId(0))
+                .call(MachineId(1), 10, b"x")
+                .unwrap();
+        }
+        assert_eq!(
+            &*seen.lock(),
+            &[trace, trace],
+            "handlers observe the caller's trace"
+        );
+        let spans = fabric.obs().spans_for_trace(trace);
+        let machines: std::collections::BTreeSet<u16> = spans.iter().map(|s| s.machine).collect();
+        assert_eq!(machines.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Untraced traffic records no spans at all.
+        fabric
+            .endpoint(MachineId(0))
+            .call(MachineId(1), 10, b"y")
+            .unwrap();
+        let all = fabric.obs().spans();
+        assert!(
+            all.iter().all(|s| s.trace == trace),
+            "spans only exist under a trace"
+        );
+        fabric.shutdown();
     }
 
     #[test]
@@ -416,7 +538,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         let seen = seen.lock();
-        assert_eq!(&*seen, &(0..500).collect::<Vec<u32>>(), "packed delivery broke FIFO order");
+        assert_eq!(
+            &*seen,
+            &(0..500).collect::<Vec<u32>>(),
+            "packed delivery broke FIFO order"
+        );
         fabric.shutdown();
     }
 }

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use trinity_obs::{Counter, Gauge};
+
 use crate::endpoint::Endpoint;
 use crate::{proto, MachineId};
 
@@ -31,7 +33,10 @@ pub struct HeartbeatConfig {
 
 impl Default for HeartbeatConfig {
     fn default() -> Self {
-        HeartbeatConfig { interval: Duration::from_millis(50), miss_threshold: 2 }
+        HeartbeatConfig {
+            interval: Duration::from_millis(50),
+            miss_threshold: 2,
+        }
     }
 }
 
@@ -44,10 +49,62 @@ pub enum PeerEvent {
     Recovered(MachineId),
 }
 
+/// Health counters published by a [`HeartbeatMonitor`] — readable directly
+/// off the monitor and surfaced through the monitoring machine's metrics
+/// scope (`hb.*` names) so exporters pick them up with everything else.
+#[derive(Debug, Clone)]
+pub struct HeartbeatStats {
+    probes: Arc<Counter>,
+    misses: Arc<Counter>,
+    failed: Arc<Counter>,
+    recovered: Arc<Counter>,
+    consecutive: Arc<Gauge>,
+}
+
+impl HeartbeatStats {
+    fn new(endpoint: &Endpoint) -> Self {
+        let obs = endpoint.obs();
+        HeartbeatStats {
+            probes: obs.counter("hb.probes"),
+            misses: obs.counter("hb.misses"),
+            failed: obs.counter("hb.failed"),
+            recovered: obs.counter("hb.recovered"),
+            consecutive: obs.gauge("hb.consecutive_misses"),
+        }
+    }
+
+    /// Total liveness probes sent.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Total probes that went unanswered.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Times a peer crossed the miss threshold and was declared dead.
+    pub fn failed_transitions(&self) -> u64 {
+        self.failed.get()
+    }
+
+    /// Times a previously dead peer answered again.
+    pub fn recovered_transitions(&self) -> u64 {
+        self.recovered.get()
+    }
+
+    /// Worst current miss streak across monitored peers (a level, not a
+    /// total: it returns to zero when the peer answers).
+    pub fn consecutive_misses(&self) -> i64 {
+        self.consecutive.get()
+    }
+}
+
 /// Background prober for a set of peers.
 pub struct HeartbeatMonitor {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+    stats: HeartbeatStats,
 }
 
 impl std::fmt::Debug for HeartbeatMonitor {
@@ -59,12 +116,19 @@ impl std::fmt::Debug for HeartbeatMonitor {
 impl HeartbeatMonitor {
     /// Start probing `peers` from `endpoint`, invoking `on_event` for every
     /// failure/recovery transition.
-    pub fn spawn<F>(endpoint: Arc<Endpoint>, peers: Vec<MachineId>, cfg: HeartbeatConfig, on_event: F) -> Self
+    pub fn spawn<F>(
+        endpoint: Arc<Endpoint>,
+        peers: Vec<MachineId>,
+        cfg: HeartbeatConfig,
+        on_event: F,
+    ) -> Self
     where
         F: Fn(PeerEvent) + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let stats = HeartbeatStats::new(&endpoint);
+        let stats2 = stats.clone();
         let handle = std::thread::Builder::new()
             .name("trinity-heartbeat".into())
             .spawn(move || {
@@ -75,6 +139,7 @@ impl HeartbeatMonitor {
                         if stop2.load(Ordering::Relaxed) {
                             return;
                         }
+                        stats2.probes.inc();
                         let alive = endpoint.call(peer, proto::PING, &[]).is_ok();
                         let miss = misses.entry(peer).or_insert(0);
                         let down = reported.entry(peer).or_insert(false);
@@ -82,21 +147,37 @@ impl HeartbeatMonitor {
                             *miss = 0;
                             if *down {
                                 *down = false;
+                                stats2.recovered.inc();
                                 on_event(PeerEvent::Recovered(peer));
                             }
                         } else {
                             *miss += 1;
+                            stats2.misses.inc();
                             if *miss >= cfg.miss_threshold && !*down {
                                 *down = true;
+                                stats2.failed.inc();
                                 on_event(PeerEvent::Failed(peer));
                             }
                         }
+                        stats2
+                            .consecutive
+                            .set(misses.values().copied().max().unwrap_or(0) as i64);
                     }
                     std::thread::park_timeout(cfg.interval);
                 }
             })
             .expect("spawn heartbeat monitor");
-        HeartbeatMonitor { stop, handle: Some(handle) }
+        HeartbeatMonitor {
+            stop,
+            handle: Some(handle),
+            stats,
+        }
+    }
+
+    /// Health counters for this monitor (shared with the machine's metrics
+    /// scope under `hb.*`).
+    pub fn stats(&self) -> &HeartbeatStats {
+        &self.stats
     }
 
     /// Stop the monitor and wait for its thread.
@@ -137,27 +218,59 @@ mod tests {
             HeartbeatMonitor::spawn(
                 fabric.endpoint(MachineId(0)),
                 vec![MachineId(1), MachineId(2)],
-                HeartbeatConfig { interval: Duration::from_millis(10), miss_threshold: 2 },
+                HeartbeatConfig {
+                    interval: Duration::from_millis(10),
+                    miss_threshold: 2,
+                },
                 move |e| events.lock().push(e),
             )
         };
         std::thread::sleep(Duration::from_millis(100));
-        assert!(events.lock().is_empty(), "healthy peers must not be reported");
+        assert!(
+            events.lock().is_empty(),
+            "healthy peers must not be reported"
+        );
         fabric.kill(MachineId(2));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while events.lock().is_empty() && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(events.lock().first(), Some(&PeerEvent::Failed(MachineId(2))));
+        assert_eq!(
+            events.lock().first(),
+            Some(&PeerEvent::Failed(MachineId(2)))
+        );
         fabric.revive(MachineId(2));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while events.lock().len() < 2 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(events.lock().get(1), Some(&PeerEvent::Recovered(MachineId(2))));
+        assert_eq!(
+            events.lock().get(1),
+            Some(&PeerEvent::Recovered(MachineId(2)))
+        );
+        let stats = monitor.stats().clone();
         monitor.stop();
-        fabric.shutdown();
         // Exactly one Failed and one Recovered: transitions, not levels.
         assert_eq!(events.lock().len(), 2);
+        // The same story told by the counters, without a callback.
+        assert!(stats.probes_sent() >= 4, "two peers, several rounds");
+        assert!(
+            stats.misses() >= 2,
+            "the dead peer missed at least the threshold"
+        );
+        assert_eq!(stats.failed_transitions(), 1);
+        assert_eq!(stats.recovered_transitions(), 1);
+        assert_eq!(
+            stats.consecutive_misses(),
+            0,
+            "all peers healthy at the end"
+        );
+        // And the counters are surfaced through the machine's registry
+        // scope, so exporters see them as hb.* without touching the
+        // monitor.
+        let snap = fabric.obs().scope(0).snapshot();
+        assert_eq!(snap.counters["hb.failed"], 1);
+        assert_eq!(snap.counters["hb.probes"], stats.probes_sent());
+        fabric.shutdown();
     }
 }

@@ -57,7 +57,7 @@ pub use endpoint::{Endpoint, Handler};
 pub use envelope::{Envelope, Frame, FrameKind};
 pub use error::NetError;
 pub use fabric::{Fabric, FabricConfig};
-pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor};
+pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatStats, PeerEvent};
 pub use stats::{NetStats, StatsDelta};
 
 /// Identifier of a machine in the cluster (a Trinity slave, proxy, or

@@ -58,6 +58,19 @@ impl NetStats {
     pub(crate) fn record_dropped(&self, frames: u64) {
         self.dropped_frames.fetch_add(frames, Ordering::Relaxed);
     }
+
+    /// Traffic since a previous snapshot — the idiom every measurement
+    /// window uses:
+    ///
+    /// ```
+    /// # let stats = trinity_net::NetStats::default();
+    /// let before = stats.snapshot();
+    /// // ... traffic ...
+    /// let window = stats.delta(&before);
+    /// ```
+    pub fn delta(&self, prev: &StatsDelta) -> StatsDelta {
+        self.snapshot() - *prev
+    }
 }
 
 impl StatsDelta {
@@ -92,6 +105,43 @@ impl StatsDelta {
     }
 }
 
+impl std::ops::Add for StatsDelta {
+    type Output = StatsDelta;
+
+    fn add(self, rhs: StatsDelta) -> StatsDelta {
+        StatsDelta {
+            remote_envelopes: self.remote_envelopes + rhs.remote_envelopes,
+            remote_frames: self.remote_frames + rhs.remote_frames,
+            remote_bytes: self.remote_bytes + rhs.remote_bytes,
+            local_frames: self.local_frames + rhs.local_frames,
+            dropped_frames: self.dropped_frames + rhs.dropped_frames,
+        }
+    }
+}
+
+impl std::ops::AddAssign for StatsDelta {
+    fn add_assign(&mut self, rhs: StatsDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for StatsDelta {
+    type Output = StatsDelta;
+
+    /// Saturating element-wise difference: a later snapshot minus an
+    /// earlier one. Saturation (rather than panic) keeps windows taken
+    /// across concurrent recording safe.
+    fn sub(self, rhs: StatsDelta) -> StatsDelta {
+        StatsDelta {
+            remote_envelopes: self.remote_envelopes.saturating_sub(rhs.remote_envelopes),
+            remote_frames: self.remote_frames.saturating_sub(rhs.remote_frames),
+            remote_bytes: self.remote_bytes.saturating_sub(rhs.remote_bytes),
+            local_frames: self.local_frames.saturating_sub(rhs.local_frames),
+            dropped_frames: self.dropped_frames.saturating_sub(rhs.dropped_frames),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,9 +166,36 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = StatsDelta { remote_envelopes: 1, remote_bytes: 10, ..Default::default() };
-        a.merge(&StatsDelta { remote_envelopes: 2, remote_bytes: 30, ..Default::default() });
+        let mut a = StatsDelta {
+            remote_envelopes: 1,
+            remote_bytes: 10,
+            ..Default::default()
+        };
+        a.merge(&StatsDelta {
+            remote_envelopes: 2,
+            remote_bytes: 30,
+            ..Default::default()
+        });
         assert_eq!(a.remote_envelopes, 3);
         assert_eq!(a.remote_bytes, 40);
+    }
+
+    #[test]
+    fn delta_helper_and_operators_agree() {
+        let s = NetStats::default();
+        s.record_remote(4, 400);
+        let before = s.snapshot();
+        s.record_remote(6, 600);
+        s.record_local(3);
+        let d = s.delta(&before);
+        assert_eq!(d, before.delta_to(&s.snapshot()));
+        assert_eq!(d.remote_envelopes, 1);
+        assert_eq!(d.remote_frames, 6);
+        assert_eq!(d.remote_bytes, 600);
+        assert_eq!(d.local_frames, 3);
+        assert_eq!(before + d, s.snapshot());
+        // Sub saturates instead of panicking on out-of-order windows.
+        let weird = before - s.snapshot();
+        assert_eq!(weird, StatsDelta::default());
     }
 }

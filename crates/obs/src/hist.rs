@@ -1,0 +1,240 @@
+//! Log₂-bucketed histograms for latency and size distributions.
+//!
+//! A recorded value `v` lands in bucket `0` when `v == 0` and otherwise in
+//! bucket `floor(log2(v)) + 1`, i.e. bucket `b ≥ 1` covers the value range
+//! `[2^(b-1), 2^b - 1]`. With 65 buckets the full `u64` domain is covered,
+//! recording is branch-light (one `leading_zeros` plus one relaxed
+//! `fetch_add`), and quantile estimates are exact to within one power of
+//! two — plenty for the order-of-magnitude questions the figures ask
+//! (microseconds per superstep, bytes per envelope).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of a bucket.
+#[inline]
+fn bucket_edge(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A concurrent log₂ histogram. Recording is lock-free; all counters are
+/// relaxed atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], or a difference of two copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest value ever recorded (monotonic: not meaningful in a delta
+    /// beyond "largest seen up to the later snapshot").
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Observations recorded between two snapshots (`later - self`).
+    pub fn delta_to(&self, later: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| later.buckets[i] - self.buckets[i]),
+            count: later.count - self.count,
+            sum: later.sum.wrapping_sub(self.sum),
+            max: later.max,
+        }
+    }
+
+    /// Element-wise sum (aggregating machines into cluster totals).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-edge estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive upper edge of the bucket containing the `ceil(q·count)`-th
+    /// smallest observation, clamped to the observed maximum. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_edge(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Inclusive value range covered by bucket `b` — exposed so exporters
+    /// and tests can label buckets without duplicating the edge math.
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (b - 1), bucket_edge(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..BUCKETS {
+            let (lo, hi) = HistSnapshot::bucket_range(b);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+            if b > 1 {
+                assert_eq!(bucket_edge(b - 1) + 1, lo, "buckets must tile");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // p50 of 1..=1000 is 500; the bucket upper edge for 500 is 511.
+        assert_eq!(s.p50(), 511);
+        assert!(s.p99() >= 990 && s.p99() <= 1000);
+        assert_eq!(s.quantile(1.0), 1000, "q=1.0 clamps to observed max");
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_isolates_a_window() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(100);
+        h.record(1000);
+        let d = before.delta_to(&h.snapshot());
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 1100);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.sum, 505);
+        assert_eq!(m.max, 500);
+    }
+}

@@ -1,0 +1,48 @@
+//! Unified observability for the Trinity reproduction.
+//!
+//! The paper's evaluation is built entirely on measurement: message
+//! volumes for the packing and hub optimizations (§4.2, §5.4), memory
+//! utilization of the circular trunk manager (§6.1), per-superstep compute
+//! time for the BSP figures (Fig. 13/14). Before this crate each subsystem
+//! measured itself with an ad-hoc counter struct; `trinity-obs` is the
+//! shared substrate they all publish into.
+//!
+//! Three pieces:
+//!
+//! * **Metrics** — named [`Counter`]s, [`Gauge`]s, and log₂-bucketed
+//!   [`Histogram`]s, scoped per simulated machine in a [`Registry`]. The
+//!   registry has the same snapshot/delta semantics as
+//!   `trinity_net::NetStats`: counters are monotonic, a
+//!   [`RegistrySnapshot`] is a point-in-time copy, and
+//!   [`RegistrySnapshot::delta_to`] yields the traffic between two
+//!   snapshots.
+//! * **Tracing** — a 64-bit trace id allocated at query/job entry
+//!   ([`next_trace_id`]), carried across machine hops in every
+//!   `trinity_net` envelope header, and recorded as [`SpanEvent`]s into a
+//!   per-machine bounded [ring buffer](SpanRing) so one multi-hop query or
+//!   BSP superstep can be reconstructed across the whole simulated
+//!   cluster.
+//! * **Exporters** — an aligned human-readable table and JSON emitters
+//!   (single document and JSON-lines), all hand-rolled on `std` because
+//!   the build environment is offline.
+//!
+//! Everything is cheap when idle: relaxed atomics on the hot paths, metric
+//! handles are `Arc`s cached by the instrumented layer (no name lookup per
+//! event), span recording is skipped entirely when no trace is active, and
+//! rings are fixed-size and overwrite-oldest.
+
+mod export;
+mod hist;
+mod metric;
+mod registry;
+mod trace;
+
+pub use export::{
+    render_table, snapshot_json, span_json, validate_json, write_json, write_jsonl, Json,
+};
+pub use hist::{HistSnapshot, Histogram};
+pub use metric::{Counter, Gauge};
+pub use registry::{MachineScope, MachineSnapshot, Registry, RegistrySnapshot};
+pub use trace::{
+    current_trace, next_trace_id, SpanEvent, SpanRing, TraceGuard, NO_TRACE, SPAN_RING_CAPACITY,
+};

@@ -1,0 +1,338 @@
+//! The process-wide metrics registry, scoped per simulated machine.
+//!
+//! A [`Registry`] belongs to one simulated cluster (one
+//! `trinity_net::Fabric`); tests running several clusters in one process
+//! therefore get disjoint registries. Each machine gets a [`MachineScope`]
+//! holding that machine's named metrics and its span ring.
+//!
+//! Instrumented layers call [`MachineScope::counter`] (etc.) **once** at
+//! setup and keep the returned `Arc` handle — the per-event cost is then
+//! just the atomic in `Counter`/`Histogram`, never a name lookup.
+//!
+//! Metric names are `&'static str` dotted paths (`"net.env.sent"`,
+//! `"store.alloc.bytes"`), which keeps registration allocation-free and
+//! gives exporters a stable sort order.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::metric::{Counter, Gauge};
+use crate::trace::{current_trace, SpanEvent, SpanRing, NO_TRACE};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+#[derive(Debug, Default)]
+struct ScopeMetrics {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    hists: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+#[derive(Debug)]
+struct ScopeInner {
+    machine: u16,
+    metrics: Mutex<ScopeMetrics>,
+    spans: SpanRing,
+}
+
+/// One machine's view into the registry. Cheap to clone (an `Arc`).
+#[derive(Debug, Clone)]
+pub struct MachineScope {
+    inner: Arc<ScopeInner>,
+}
+
+impl MachineScope {
+    fn new(machine: u16) -> Self {
+        MachineScope {
+            inner: Arc::new(ScopeInner {
+                machine,
+                metrics: Mutex::new(ScopeMetrics::default()),
+                spans: SpanRing::default(),
+            }),
+        }
+    }
+
+    /// A scope not attached to any registry — for components constructed
+    /// without observability (e.g. a bare `Trunk::new` in a unit test).
+    /// Recording into it works and costs the same; nothing reads it.
+    pub fn detached() -> Self {
+        MachineScope::new(u16::MAX)
+    }
+
+    /// The machine this scope belongs to.
+    pub fn machine(&self) -> u16 {
+        self.inner.machine
+    }
+
+    /// Get or create the named counter. Call once, cache the handle.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(lock(&self.inner.metrics).counters.entry(name).or_default())
+    }
+
+    /// Get or create the named gauge. Call once, cache the handle.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(lock(&self.inner.metrics).gauges.entry(name).or_default())
+    }
+
+    /// Get or create the named histogram. Call once, cache the handle.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(lock(&self.inner.metrics).hists.entry(name).or_default())
+    }
+
+    /// This machine's span ring.
+    pub fn spans(&self) -> &SpanRing {
+        &self.inner.spans
+    }
+
+    /// Timestamp base for spans recorded through this scope.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.inner.spans.now_us()
+    }
+
+    /// Record a span under the thread's current trace; a no-op when no
+    /// trace is active, so untraced work pays one thread-local read.
+    #[inline]
+    pub fn span(&self, label: &'static str, proto: u16, bytes: u64, frames: u32, start_us: u64) {
+        let trace = current_trace();
+        if trace != NO_TRACE {
+            self.span_for(trace, label, proto, bytes, frames, start_us);
+        }
+    }
+
+    /// Record a span under an explicit trace id (used where the trace
+    /// travels in data rather than on the thread, e.g. envelope delivery).
+    pub fn span_for(
+        &self,
+        trace: u64,
+        label: &'static str,
+        proto: u16,
+        bytes: u64,
+        frames: u32,
+        start_us: u64,
+    ) {
+        if trace == NO_TRACE {
+            return;
+        }
+        let end_us = self.inner.spans.now_us();
+        self.inner.spans.record(SpanEvent {
+            trace,
+            machine: self.inner.machine,
+            label,
+            proto,
+            bytes,
+            frames,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Snapshot this machine's metrics.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let m = lock(&self.inner.metrics);
+        MachineSnapshot {
+            counters: m
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: m
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            hists: m
+                .hists
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+            spans_dropped: self.inner.spans.dropped(),
+        }
+    }
+}
+
+/// The registry: one per simulated cluster.
+#[derive(Debug, Default)]
+pub struct Registry {
+    scopes: Mutex<BTreeMap<u16, MachineScope>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the scope for `machine`.
+    pub fn scope(&self, machine: u16) -> MachineScope {
+        lock(&self.scopes)
+            .entry(machine)
+            .or_insert_with(|| MachineScope::new(machine))
+            .clone()
+    }
+
+    /// Scopes currently registered, in machine order.
+    pub fn scopes(&self) -> Vec<MachineScope> {
+        lock(&self.scopes).values().cloned().collect()
+    }
+
+    /// Snapshot every machine's metrics.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            machines: lock(&self.scopes)
+                .iter()
+                .map(|(m, s)| (*m, s.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// All buffered spans across machines, ordered by start time.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        let mut out: Vec<SpanEvent> = self
+            .scopes()
+            .iter()
+            .flat_map(|s| s.spans().snapshot())
+            .collect();
+        out.sort_by_key(|s| (s.start_us, s.machine));
+        out
+    }
+
+    /// Spans belonging to one trace, ordered by start time.
+    pub fn spans_for_trace(&self, trace: u64) -> Vec<SpanEvent> {
+        let mut out = self.spans();
+        out.retain(|s| s.trace == trace);
+        out
+    }
+}
+
+/// Point-in-time copy of one machine's metrics (or a delta of two copies).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub hists: BTreeMap<String, HistSnapshot>,
+    pub spans_dropped: u64,
+}
+
+impl MachineSnapshot {
+    /// Element-wise sum (aggregating machines into cluster totals). Gauges
+    /// are summed too — meaningful for level totals like bytes in use.
+    pub fn merge(&mut self, other: &MachineSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(v);
+        }
+        self.spans_dropped += other.spans_dropped;
+    }
+
+    /// Activity between two snapshots (`later - self`). Counters and
+    /// histograms subtract; gauges are levels, so the later level wins.
+    pub fn delta_to(&self, later: &MachineSnapshot) -> MachineSnapshot {
+        let mut out = later.clone();
+        for (k, v) in &self.counters {
+            if let Some(c) = out.counters.get_mut(k) {
+                *c = c.saturating_sub(*v);
+            }
+        }
+        for (k, v) in &self.hists {
+            if let Some(h) = out.hists.get_mut(k) {
+                *h = v.delta_to(h);
+            }
+        }
+        out.spans_dropped = later.spans_dropped.saturating_sub(self.spans_dropped);
+        out
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    pub machines: BTreeMap<u16, MachineSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Activity between two snapshots (`later - self`), machine by machine.
+    pub fn delta_to(&self, later: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            machines: later
+                .machines
+                .iter()
+                .map(|(m, snap)| {
+                    let d = match self.machines.get(m) {
+                        Some(prev) => prev.delta_to(snap),
+                        None => snap.clone(),
+                    };
+                    (*m, d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Cluster-wide totals across machines.
+    pub fn totals(&self) -> MachineSnapshot {
+        let mut total = MachineSnapshot::default();
+        for snap in self.machines.values() {
+            total.merge(snap);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGuard;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        let s = reg.scope(0);
+        s.counter("a").add(3);
+        s.counter("a").add(4);
+        assert_eq!(s.counter("a").get(), 7);
+        assert_eq!(reg.scope(0).counter("a").get(), 7, "same scope per machine");
+        assert_eq!(reg.scope(1).counter("a").get(), 0, "scopes are per machine");
+    }
+
+    #[test]
+    fn snapshot_delta_matches_netstats_semantics() {
+        let reg = Registry::new();
+        reg.scope(0).counter("x").add(10);
+        reg.scope(0).histogram("h").record(4);
+        let before = reg.snapshot();
+        reg.scope(0).counter("x").add(5);
+        reg.scope(0).histogram("h").record(8);
+        reg.scope(1).counter("x").add(2);
+        let d = before.delta_to(&reg.snapshot());
+        assert_eq!(d.machines[&0].counters["x"], 5);
+        assert_eq!(d.machines[&0].hists["h"].count, 1);
+        assert_eq!(d.machines[&1].counters["x"], 2, "new machines appear whole");
+        assert_eq!(d.totals().counters["x"], 7);
+    }
+
+    #[test]
+    fn spans_record_only_under_a_trace() {
+        let reg = Registry::new();
+        let s = reg.scope(3);
+        s.span("quiet", 0, 0, 0, s.now_us());
+        assert!(reg.spans().is_empty(), "no trace active: no span recorded");
+        {
+            let _g = TraceGuard::enter(42);
+            s.span("loud", 7, 100, 2, s.now_us());
+        }
+        let spans = reg.spans_for_trace(42);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].machine, 3);
+        assert_eq!(spans[0].label, "loud");
+    }
+}

@@ -1,0 +1,234 @@
+//! Distributed query tracing.
+//!
+//! A *trace* is one logical unit of distributed work — an online traversal
+//! query, a BSP job, a recovery episode. At entry the coordinator allocates
+//! a process-unique 64-bit id with [`next_trace_id`] and installs it in its
+//! thread with a [`TraceGuard`]. The network layer stamps the current trace
+//! id into every outgoing envelope header, and re-installs it around
+//! handler dispatch on the receiving machine — so the id follows the query
+//! across machine hops (and across the recursive fan-out of the paper's
+//! §5.1 traversal) with no cooperation from the algorithm code.
+//!
+//! Every machine owns a bounded [`SpanRing`] of [`SpanEvent`]s. Recording
+//! is skipped when no trace is active, so untraced work pays a single
+//! thread-local read; when the ring fills, the oldest spans are dropped
+//! (and counted) rather than blocking or growing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The "no active trace" sentinel: untraced envelopes carry this id and
+/// record no spans.
+pub const NO_TRACE: u64 = 0;
+
+/// Span ring capacity per machine. 4096 spans comfortably covers a
+/// multi-hop query or a few supersteps; long jobs wrap (oldest dropped).
+pub const SPAN_RING_CAPACITY: usize = 4096;
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(NO_TRACE) };
+}
+
+/// Allocate a fresh process-unique trace id (never [`NO_TRACE`]).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id active on this thread, or [`NO_TRACE`].
+#[inline]
+pub fn current_trace() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// RAII guard installing a trace id on the current thread; the previous id
+/// is restored on drop, so nested scopes (a traced handler issuing its own
+/// traced sub-query) compose.
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: u64,
+}
+
+impl TraceGuard {
+    /// Install `id` as the current thread's trace.
+    pub fn enter(id: u64) -> Self {
+        let prev = CURRENT.with(|c| c.replace(id));
+        TraceGuard { prev }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// One recorded event inside a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// Machine that recorded the span.
+    pub machine: u16,
+    /// What happened — a static label like `"net.deliver"` or
+    /// `"bsp.superstep"`.
+    pub label: &'static str,
+    /// Protocol id involved, or 0 where not applicable.
+    pub proto: u16,
+    /// Bytes moved or touched by the event.
+    pub bytes: u64,
+    /// Payload frames (logical messages) involved.
+    pub frames: u32,
+    /// Start, in microseconds since the owning ring's epoch.
+    pub start_us: u64,
+    /// End, in microseconds since the owning ring's epoch.
+    pub end_us: u64,
+}
+
+/// Bounded, overwrite-oldest buffer of span events for one machine.
+#[derive(Debug)]
+pub struct SpanRing {
+    epoch: Instant,
+    inner: Mutex<RingState>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingState {
+    /// Preallocated storage; once full it is overwritten circularly.
+    slots: Vec<SpanEvent>,
+    /// Next write position when the ring is full.
+    head: usize,
+}
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        SpanRing::with_capacity(SPAN_RING_CAPACITY)
+    }
+}
+
+impl SpanRing {
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            epoch: Instant::now(),
+            inner: Mutex::new(RingState {
+                slots: Vec::with_capacity(capacity),
+                head: 0,
+            }),
+            dropped: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Microseconds elapsed since this ring's epoch — the timestamp base
+    /// for spans recorded here.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record a span. No allocation once the ring has filled; the oldest
+    /// span is overwritten and counted as dropped.
+    pub fn record(&self, ev: SpanEvent) {
+        let mut st = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if st.slots.len() < self.capacity {
+            st.slots.push(ev);
+        } else {
+            let head = st.head;
+            st.slots[head] = ev;
+            st.head = (head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spans dropped to overwriting so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the buffered spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let st = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut out = Vec::with_capacity(st.slots.len());
+        out.extend_from_slice(&st.slots[st.head..]);
+        out.extend_from_slice(&st.slots[..st.head]);
+        out
+    }
+
+    /// Discard all buffered spans (the drop counter is preserved).
+    pub fn clear(&self) {
+        let mut st = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        st.slots.clear();
+        st.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: u64, label: &'static str) -> SpanEvent {
+        SpanEvent {
+            trace,
+            machine: 0,
+            label,
+            proto: 0,
+            bytes: 0,
+            frames: 0,
+            start_us: 0,
+            end_us: 0,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, NO_TRACE);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn guard_nests_and_restores() {
+        assert_eq!(current_trace(), NO_TRACE);
+        {
+            let _g = TraceGuard::enter(7);
+            assert_eq!(current_trace(), 7);
+            {
+                let _h = TraceGuard::enter(9);
+                assert_eq!(current_trace(), 9);
+            }
+            assert_eq!(current_trace(), 7);
+        }
+        assert_eq!(current_trace(), NO_TRACE);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let ring = SpanRing::with_capacity(4);
+        for i in 1..=6u64 {
+            ring.record(ev(i, "x"));
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(
+            spans.iter().map(|s| s.trace).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        assert_eq!(ring.dropped(), 2);
+    }
+}

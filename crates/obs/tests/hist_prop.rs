@@ -1,0 +1,140 @@
+//! Property tests for the log₂ histogram.
+//!
+//! Written against a hand-rolled deterministic PRNG (rather than proptest)
+//! so they stay `std`-only like the crate itself. Each case runs many
+//! random distributions; failures print the seed for replay.
+
+use trinity_obs::{HistSnapshot, Histogram};
+
+/// splitmix64 — deterministic per seed.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value spread across many orders of magnitude (so all bucket
+    /// shapes get exercised), including zero.
+    fn value(&mut self) -> u64 {
+        let shift = (self.next() % 64) as u32;
+        self.next() >> shift
+    }
+}
+
+fn random_hist(rng: &mut Prng, n: usize) -> (Histogram, Vec<u64>) {
+    let h = Histogram::new();
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = rng.value();
+        h.record(v);
+        values.push(v);
+    }
+    (h, values)
+}
+
+#[test]
+fn merge_preserves_total_count_and_sum() {
+    for seed in 0..50u64 {
+        let mut rng = Prng(seed);
+        let n1 = (rng.next() % 500) as usize;
+        let n2 = (rng.next() % 500) as usize;
+        let (a, va) = random_hist(&mut rng, n1);
+        let (b, vb) = random_hist(&mut rng, n2);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, (n1 + n2) as u64, "seed {seed}");
+        let expect_sum: u64 = va
+            .iter()
+            .chain(vb.iter())
+            .fold(0, |s, &v| s.wrapping_add(v));
+        assert_eq!(merged.sum, expect_sum, "seed {seed}");
+        let expect_max = va.iter().chain(vb.iter()).copied().max().unwrap_or(0);
+        assert_eq!(merged.max, expect_max, "seed {seed}");
+        // Bucket counts must sum to the total count.
+        assert_eq!(
+            merged.buckets.iter().sum::<u64>(),
+            merged.count,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn cumulative_bucket_counts_are_monotone_and_match_sorted_values() {
+    for seed in 100..140u64 {
+        let mut rng = Prng(seed);
+        let n = 1 + (rng.next() % 800) as usize;
+        let (h, mut values) = random_hist(&mut rng, n);
+        values.sort_unstable();
+        let s = h.snapshot();
+        // Cumulative counts are non-decreasing and each bucket's count
+        // equals the number of values within its range.
+        let mut cum = 0u64;
+        for (b, &count) in s.buckets.iter().enumerate() {
+            let (lo, hi) = HistSnapshot::bucket_range(b);
+            let in_range = values.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+            assert_eq!(count, in_range, "seed {seed} bucket {b}");
+            let next = cum + count;
+            assert!(next >= cum, "cumulative counts must be monotone");
+            cum = next;
+        }
+        assert_eq!(cum, n as u64, "seed {seed}");
+    }
+}
+
+#[test]
+fn quantile_estimates_are_bounded_by_bucket_edges() {
+    for seed in 200..240u64 {
+        let mut rng = Prng(seed);
+        let n = 1 + (rng.next() % 800) as usize;
+        let (h, mut values) = random_hist(&mut rng, n);
+        values.sort_unstable();
+        let s = h.snapshot();
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = s.quantile(q);
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            // The estimate is the upper edge of the true value's bucket
+            // (clamped to the max): never below the exact quantile, and
+            // within one power of two above it.
+            assert!(est >= exact, "seed {seed} q {q}: est {est} < exact {exact}");
+            let (_, hi) = {
+                let b = if exact == 0 {
+                    0
+                } else {
+                    64 - exact.leading_zeros() as usize
+                };
+                HistSnapshot::bucket_range(b)
+            };
+            assert!(
+                est <= hi.min(s.max),
+                "seed {seed} q {q}: est {est} above bucket edge {hi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_quantiles_stay_within_merged_range() {
+    for seed in 300..330u64 {
+        let mut rng = Prng(seed);
+        let (a, va) = random_hist(&mut rng, 200);
+        let (b, vb) = random_hist(&mut rng, 200);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let lo = va.iter().chain(vb.iter()).copied().min().unwrap();
+        let hi = va.iter().chain(vb.iter()).copied().max().unwrap();
+        for &q in &[0.5, 0.95, 0.99] {
+            let est = m.quantile(q);
+            assert!(
+                est >= lo && est <= hi,
+                "seed {seed}: {est} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}

@@ -77,7 +77,10 @@ pub struct TfsConfig {
 
 impl Default for TfsConfig {
     fn default() -> Self {
-        TfsConfig { nodes: 3, replication: 3 }
+        TfsConfig {
+            nodes: 3,
+            replication: 3,
+        }
     }
 }
 
@@ -110,8 +113,20 @@ impl Tfs {
     pub fn new(cfg: TfsConfig) -> Self {
         assert!(cfg.nodes >= 1, "TFS needs at least one node");
         let replication = cfg.replication.clamp(1, cfg.nodes);
-        let nodes = (0..cfg.nodes).map(|_| Node { alive: true, files: HashMap::new() }).collect();
-        Tfs { inner: Arc::new(Mutex::new(Inner { nodes, replication, clock: 0, flags: HashMap::new() })) }
+        let nodes = (0..cfg.nodes)
+            .map(|_| Node {
+                alive: true,
+                files: HashMap::new(),
+            })
+            .collect();
+        Tfs {
+            inner: Arc::new(Mutex::new(Inner {
+                nodes,
+                replication,
+                clock: 0,
+                flags: HashMap::new(),
+            })),
+        }
     }
 
     /// The replica node indices for `name` (deterministic placement:
@@ -138,7 +153,9 @@ impl Tfs {
         let mut wrote = false;
         for i in placement {
             if inner.nodes[i].alive {
-                inner.nodes[i].files.insert(name.to_string(), (version, Arc::clone(&blob)));
+                inner.nodes[i]
+                    .files
+                    .insert(name.to_string(), (version, Arc::clone(&blob)));
                 wrote = true;
             }
         }
@@ -156,13 +173,14 @@ impl Tfs {
         for i in Self::placement_inner(&inner, name) {
             if inner.nodes[i].alive {
                 if let Some(entry) = inner.nodes[i].files.get(name) {
-                    if best.map_or(true, |b| entry.0 > b.0) {
+                    if best.is_none_or(|b| entry.0 > b.0) {
                         best = Some(entry);
                     }
                 }
             }
         }
-        best.map(|(_, blob)| blob.to_vec()).ok_or_else(|| TfsError::NotFound(name.to_string()))
+        best.map(|(_, blob)| blob.to_vec())
+            .ok_or_else(|| TfsError::NotFound(name.to_string()))
     }
 
     /// Whether a live replica of the file exists.
@@ -228,7 +246,13 @@ impl Tfs {
     /// Indices of live storage nodes.
     pub fn alive_nodes(&self) -> Vec<usize> {
         let inner = self.inner.lock();
-        inner.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| i).collect()
+        inner
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Re-replicate: copy the freshest version of every file onto every
@@ -260,8 +284,10 @@ impl Tfs {
                 for i in placement {
                     if inner.nodes[i].alive {
                         let entry = inner.nodes[i].files.get(&name);
-                        if entry.map_or(true, |(v, _)| *v < version) {
-                            inner.nodes[i].files.insert(name.clone(), (version, Arc::clone(&blob)));
+                        if entry.is_none_or(|(v, _)| *v < version) {
+                            inner.nodes[i]
+                                .files
+                                .insert(name.clone(), (version, Arc::clone(&blob)));
                             refreshed += 1;
                         }
                     }
@@ -328,7 +354,10 @@ mod tests {
 
     #[test]
     fn write_read_delete_roundtrip() {
-        let tfs = Tfs::new(TfsConfig { nodes: 3, replication: 2 });
+        let tfs = Tfs::new(TfsConfig {
+            nodes: 3,
+            replication: 2,
+        });
         tfs.write("a/b", b"hello").unwrap();
         assert_eq!(tfs.read("a/b").unwrap(), b"hello");
         assert!(tfs.exists("a/b"));
@@ -341,30 +370,46 @@ mod tests {
 
     #[test]
     fn survives_single_node_failure() {
-        let tfs = Tfs::new(TfsConfig { nodes: 4, replication: 2 });
+        let tfs = Tfs::new(TfsConfig {
+            nodes: 4,
+            replication: 2,
+        });
         for i in 0..50 {
-            tfs.write(&format!("f{i}"), format!("data{i}").as_bytes()).unwrap();
+            tfs.write(&format!("f{i}"), format!("data{i}").as_bytes())
+                .unwrap();
         }
         tfs.kill_node(1);
         for i in 0..50 {
-            assert_eq!(tfs.read(&format!("f{i}")).unwrap(), format!("data{i}").as_bytes());
+            assert_eq!(
+                tfs.read(&format!("f{i}")).unwrap(),
+                format!("data{i}").as_bytes()
+            );
         }
     }
 
     #[test]
     fn loses_data_when_all_replicas_die() {
-        let tfs = Tfs::new(TfsConfig { nodes: 3, replication: 1 });
+        let tfs = Tfs::new(TfsConfig {
+            nodes: 3,
+            replication: 1,
+        });
         tfs.write("only", b"copy").unwrap();
         let holder = tfs.placement("only")[0];
         tfs.kill_node(holder);
         assert_eq!(tfs.read("only"), Err(TfsError::NotFound("only".into())));
         // And writes to a file whose sole replica node is dead fail loudly.
-        assert_eq!(tfs.write("only", b"again"), Err(TfsError::NoLiveReplica("only".into())));
+        assert_eq!(
+            tfs.write("only", b"again"),
+            Err(TfsError::NoLiveReplica("only".into()))
+        );
     }
 
     #[test]
     fn revived_node_serves_stale_copy_only_until_heal() {
-        let tfs = Tfs::new(TfsConfig { nodes: 2, replication: 2 });
+        let tfs = Tfs::new(TfsConfig {
+            nodes: 2,
+            replication: 2,
+        });
         tfs.write("f", b"v1").unwrap();
         tfs.kill_node(0);
         tfs.write("f", b"v2").unwrap(); // only node 1 gets v2
@@ -374,7 +419,11 @@ mod tests {
         let refreshed = tfs.heal();
         assert_eq!(refreshed, 1);
         tfs.kill_node(1);
-        assert_eq!(tfs.read("f").unwrap(), b"v2", "heal should have refreshed node 0");
+        assert_eq!(
+            tfs.read("f").unwrap(),
+            b"v2",
+            "heal should have refreshed node 0"
+        );
     }
 
     #[test]
@@ -383,15 +432,28 @@ mod tests {
         tfs.write("trunks/1", b"x").unwrap();
         tfs.write("trunks/2", b"y").unwrap();
         tfs.write("ckpt/1", b"z").unwrap();
-        assert_eq!(tfs.list("trunks/"), vec!["trunks/1".to_string(), "trunks/2".to_string()]);
-        assert_eq!(tfs.list(""), vec!["ckpt/1".to_string(), "trunks/1".to_string(), "trunks/2".to_string()]);
+        assert_eq!(
+            tfs.list("trunks/"),
+            vec!["trunks/1".to_string(), "trunks/2".to_string()]
+        );
+        assert_eq!(
+            tfs.list(""),
+            vec![
+                "ckpt/1".to_string(),
+                "trunks/1".to_string(),
+                "trunks/2".to_string()
+            ]
+        );
     }
 
     #[test]
     fn leader_flag_is_mutually_exclusive() {
         let tfs = Tfs::new(TfsConfig::default());
         assert!(tfs.try_acquire_flag("leader", "m1"));
-        assert!(tfs.try_acquire_flag("leader", "m1"), "re-acquire by owner is idempotent");
+        assert!(
+            tfs.try_acquire_flag("leader", "m1"),
+            "re-acquire by owner is idempotent"
+        );
         assert!(!tfs.try_acquire_flag("leader", "m2"));
         assert_eq!(tfs.flag_owner("leader").as_deref(), Some("m1"));
         assert!(!tfs.release_flag("leader", "m2"));
@@ -403,7 +465,10 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic_and_sized() {
-        let tfs = Tfs::new(TfsConfig { nodes: 5, replication: 3 });
+        let tfs = Tfs::new(TfsConfig {
+            nodes: 5,
+            replication: 3,
+        });
         let p1 = tfs.placement("some/file");
         let p2 = tfs.placement("some/file");
         assert_eq!(p1, p2);
@@ -416,13 +481,17 @@ mod tests {
 
     #[test]
     fn concurrent_writers_from_clones() {
-        let tfs = Tfs::new(TfsConfig { nodes: 4, replication: 2 });
+        let tfs = Tfs::new(TfsConfig {
+            nodes: 4,
+            replication: 2,
+        });
         let mut handles = Vec::new();
         for t in 0..4 {
             let tfs = tfs.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    tfs.write(&format!("w{t}/f{i}"), &[t as u8, i as u8]).unwrap();
+                    tfs.write(&format!("w{t}/f{i}"), &[t as u8, i as u8])
+                        .unwrap();
                 }
             }));
         }

@@ -34,7 +34,10 @@ pub struct EdgePattern {
 impl EdgePattern {
     /// A plain single-hop edge.
     pub fn single() -> Self {
-        EdgePattern { min_hops: 1, max_hops: 1 }
+        EdgePattern {
+            min_hops: 1,
+            max_hops: 1,
+        }
     }
 }
 

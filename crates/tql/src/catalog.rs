@@ -42,7 +42,9 @@ impl Catalog {
         let mut catalog = Catalog::default();
         let edge_map: HashMap<&str, &str> = edge_fields.iter().copied().collect();
         for (i, name) in schema.cell_struct_names().into_iter().enumerate() {
-            let layout = schema.struct_layout(name).map_err(|e| TqlError::Storage(e.to_string()))?;
+            let layout = schema
+                .struct_layout(name)
+                .map_err(|e| TqlError::Storage(e.to_string()))?;
             let edge_field = edge_map.get(name).map(|s| s.to_string());
             if let Some(field) = &edge_field {
                 layout.field(field).map_err(|_| TqlError::UnknownField {
@@ -92,13 +94,21 @@ impl Catalog {
         for (name, value) in fields {
             info.layout
                 .field(name)
-                .map_err(|_| TqlError::UnknownField { label: label.into(), field: (*name).into() })?;
+                .map_err(|_| TqlError::UnknownField {
+                    label: label.into(),
+                    field: (*name).into(),
+                })?;
             builder = builder.set(name, value.clone());
         }
         if let Some(edge_field) = &info.edge_field {
-            builder = builder.set(edge_field, Value::List(outs.iter().map(|&o| Value::Long(o as i64)).collect()));
+            builder = builder.set(
+                edge_field,
+                Value::List(outs.iter().map(|&o| Value::Long(o as i64)).collect()),
+            );
         }
-        let blob = builder.encode().map_err(|e| TqlError::Storage(e.to_string()))?;
+        let blob = builder
+            .encode()
+            .map_err(|e| TqlError::Storage(e.to_string()))?;
         let mut out = Vec::with_capacity(1 + blob.len());
         out.push(info.id);
         out.extend_from_slice(&blob);
@@ -116,7 +126,11 @@ impl Catalog {
         outs: &[CellId],
     ) -> Result<CellId, TqlError> {
         let attrs = self.encode_attrs(label, fields, outs)?;
-        let record = NodeRecord { attrs, outs: outs.to_vec(), ins: None };
+        let record = NodeRecord {
+            attrs,
+            outs: outs.to_vec(),
+            ins: None,
+        };
         cloud
             .node(0)
             .put(id, &record.encode())
@@ -160,7 +174,10 @@ mod tests {
         assert_eq!(c.labels().len(), 2);
         assert_eq!(c.label("Movie").unwrap().id, 0);
         assert_eq!(c.label("Actor").unwrap().id, 1);
-        assert_eq!(c.label("Movie").unwrap().edge_field.as_deref(), Some("Actors"));
+        assert_eq!(
+            c.label("Movie").unwrap().edge_field.as_deref(),
+            Some("Actors")
+        );
         assert_eq!(c.label("Actor").unwrap().edge_field, None);
         assert!(matches!(c.label("Nope"), Err(TqlError::UnknownLabel(_))));
     }
@@ -177,11 +194,18 @@ mod tests {
     fn attrs_roundtrip_with_label_byte() {
         let c = Catalog::from_schema(&movie_schema(), &[("Movie", "Actors")]).unwrap();
         let attrs = c
-            .encode_attrs("Movie", &[("Name", "Heat".into()), ("Year", Value::Int(1995))], &[7, 8])
+            .encode_attrs(
+                "Movie",
+                &[("Name", "Heat".into()), ("Year", Value::Int(1995))],
+                &[7, 8],
+            )
             .unwrap();
         let info = c.label_of(&attrs).unwrap();
         assert_eq!(info.name, "Movie");
-        assert_eq!(c.field_value(&attrs, "Name").unwrap(), Value::Str("Heat".into()));
+        assert_eq!(
+            c.field_value(&attrs, "Name").unwrap(),
+            Value::Str("Heat".into())
+        );
         assert_eq!(c.field_value(&attrs, "Year").unwrap(), Value::Int(1995));
         assert_eq!(
             c.field_value(&attrs, "Actors").unwrap(),

@@ -23,7 +23,9 @@ impl fmt::Display for TqlError {
             TqlError::Parse { at, msg } => write!(f, "TQL parse error at byte {at}: {msg}"),
             TqlError::UnknownLabel(l) => write!(f, "unknown label :{l}"),
             TqlError::UnknownVariable(v) => write!(f, "unbound variable {v}"),
-            TqlError::UnknownField { label, field } => write!(f, "label {label} has no field {field}"),
+            TqlError::UnknownField { label, field } => {
+                write!(f, "label {label} has no field {field}")
+            }
             TqlError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             TqlError::Storage(m) => write!(f, "storage error: {m}"),
         }

@@ -40,7 +40,9 @@ pub struct TqlEngine {
 
 impl std::fmt::Debug for TqlEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TqlEngine").field("machines", &self.handles.len()).finish()
+        f.debug_struct("TqlEngine")
+            .field("machines", &self.handles.len())
+            .finish()
     }
 }
 
@@ -54,8 +56,9 @@ struct CellData {
 impl TqlEngine {
     /// Attach an engine to a cloud.
     pub fn new(cloud: Arc<MemoryCloud>, catalog: Catalog) -> Self {
-        let handles =
-            (0..cloud.machines()).map(|m| GraphHandle::new(Arc::clone(cloud.node(m)))).collect();
+        let handles = (0..cloud.machines())
+            .map(|m| GraphHandle::new(Arc::clone(cloud.node(m))))
+            .collect();
         TqlEngine { catalog, handles }
     }
 
@@ -77,7 +80,10 @@ impl TqlEngine {
         let mut var_index: HashMap<&str, usize> = HashMap::new();
         for (i, n) in query.nodes.iter().enumerate() {
             if var_index.insert(&n.var, i).is_some() {
-                return Err(TqlError::Parse { at: 0, msg: format!("variable {} bound twice", n.var) });
+                return Err(TqlError::Parse {
+                    at: 0,
+                    msg: format!("variable {} bound twice", n.var),
+                });
             }
             if let Some(label) = &n.label {
                 self.catalog.label(label)?;
@@ -114,9 +120,12 @@ impl TqlEngine {
                         if hit_count.load(Ordering::Relaxed) >= limit {
                             break;
                         }
-                        let data = CellData { attrs: Arc::new(attrs), outs: Arc::new(outs) };
+                        let data = CellData {
+                            attrs: Arc::new(attrs),
+                            outs: Arc::new(outs),
+                        };
                         cache.insert(id, Some(data.clone()));
-                        match self.admissible(&data, &query.nodes[0].label, pushed.get(0)) {
+                        match self.admissible(&data, &query.nodes[0].label, pushed.first()) {
                             Ok(true) => {}
                             Ok(false) => continue,
                             Err(e) => {
@@ -172,7 +181,10 @@ impl TqlEngine {
                     }
                 }
             }
-            rows.push(Row { bindings: binding, values });
+            rows.push(Row {
+                bindings: binding,
+                values,
+            });
         }
         Ok(rows)
     }
@@ -220,8 +232,12 @@ impl TqlEngine {
         }
         if depth == query.nodes.len() {
             // A complete binding: check the residual filter, then emit.
-            let named: Vec<(String, CellId)> =
-                query.nodes.iter().zip(binding.iter()).map(|(n, &id)| (n.var.clone(), id)).collect();
+            let named: Vec<(String, CellId)> = query
+                .nodes
+                .iter()
+                .zip(binding.iter())
+                .map(|(n, &id)| (n.var.clone(), id))
+                .collect();
             if let Some(expr) = residual {
                 if !self.eval_residual(expr, &named, handle, cache)? {
                     return Ok(());
@@ -275,7 +291,18 @@ impl TqlEngine {
                 continue;
             }
             binding.push(cand);
-            self.extend(handle, query, pushed, residual, depth + 1, binding, cache, found, hit_count, limit)?;
+            self.extend(
+                handle,
+                query,
+                pushed,
+                residual,
+                depth + 1,
+                binding,
+                cache,
+                found,
+                hit_count,
+                limit,
+            )?;
             binding.pop();
         }
         Ok(())
@@ -369,7 +396,9 @@ fn plan_filter(
             }
         }
     }
-    let residual = residual.into_iter().reduce(|a, b| Expr::And(Box::new(a), Box::new(b)));
+    let residual = residual
+        .into_iter()
+        .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)));
     Ok((pushed, residual))
 }
 
@@ -400,12 +429,22 @@ fn compare(value: &Value, op: CmpOp, rhs: &crate::ast::Literal) -> Result<bool, 
                 Some(l) => {
                     return float_cmp(l, *r as f64, op);
                 }
-                None => return Err(TqlError::TypeMismatch(format!("{} vs {rhs}", v.kind_name()))),
+                None => {
+                    return Err(TqlError::TypeMismatch(format!(
+                        "{} vs {rhs}",
+                        v.kind_name()
+                    )))
+                }
             },
         },
         (v, Literal::Float(r)) => match as_f64(v) {
             Some(l) => return float_cmp(l, *r, op),
-            None => return Err(TqlError::TypeMismatch(format!("{} vs {rhs}", v.kind_name()))),
+            None => {
+                return Err(TqlError::TypeMismatch(format!(
+                    "{} vs {rhs}",
+                    v.kind_name()
+                )))
+            }
         },
         (v, r) => return Err(TqlError::TypeMismatch(format!("{} vs {r}", v.kind_name()))),
     };
@@ -466,8 +505,18 @@ mod tests {
         assert!(compare(&Value::Byte(5), CmpOp::Le, &Literal::Int(5)).unwrap());
         assert!(compare(&Value::Double(1.5), CmpOp::Lt, &Literal::Float(2.0)).unwrap());
         assert!(compare(&Value::Float(1.5), CmpOp::Ge, &Literal::Int(1)).unwrap());
-        assert!(compare(&Value::Str("abcdef".into()), CmpOp::Contains, &Literal::Str("cde".into())).unwrap());
-        assert!(compare(&Value::Str("b".into()), CmpOp::Gt, &Literal::Str("a".into())).unwrap());
+        assert!(compare(
+            &Value::Str("abcdef".into()),
+            CmpOp::Contains,
+            &Literal::Str("cde".into())
+        )
+        .unwrap());
+        assert!(compare(
+            &Value::Str("b".into()),
+            CmpOp::Gt,
+            &Literal::Str("a".into())
+        )
+        .unwrap());
         assert!(compare(&Value::Bool(true), CmpOp::Eq, &Literal::Bool(true)).unwrap());
         assert!(compare(&Value::Str("x".into()), CmpOp::Eq, &Literal::Int(1)).is_err());
         assert!(compare(&Value::Int(1), CmpOp::Contains, &Literal::Int(1)).is_err());
@@ -490,6 +539,9 @@ mod tests {
     fn filter_planning_rejects_unknown_variables() {
         let q = crate::parse_query("MATCH (a) WHERE z.X = 1 RETURN a").unwrap();
         let vars: HashMap<&str, usize> = [("a", 0)].into_iter().collect();
-        assert!(matches!(plan_filter(&q, &vars), Err(TqlError::UnknownVariable(_))));
+        assert!(matches!(
+            plan_filter(&q, &vars),
+            Err(TqlError::UnknownVariable(_))
+        ));
     }
 }

@@ -46,37 +46,61 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
         let at = i;
         let c = bytes[i] as char;
         if !c.is_ascii() {
-            return Err(TqlError::Parse { at, msg: "TQL source must be ASCII outside string literals".into() });
+            return Err(TqlError::Parse {
+                at,
+                msg: "TQL source must be ASCII outside string literals".into(),
+            });
         }
         match c {
             c if c.is_whitespace() => i += 1,
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, at });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    at,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, at });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    at,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Tok::LBracket, at });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    at,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Tok::RBracket, at });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    at,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Spanned { tok: Tok::Colon, at });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    at,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, at });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    at,
+                });
                 i += 1;
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    out.push(Spanned { tok: Tok::DotDot, at });
+                    out.push(Spanned {
+                        tok: Tok::DotDot,
+                        at,
+                    });
                     i += 2;
                 } else {
                     out.push(Spanned { tok: Tok::Dot, at });
@@ -85,7 +109,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { tok: Tok::Arrow, at });
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        at,
+                    });
                     i += 2;
                 } else {
                     out.push(Spanned { tok: Tok::Dash, at });
@@ -101,7 +128,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
                     out.push(Spanned { tok: Tok::Ne, at });
                     i += 2;
                 } else {
-                    return Err(TqlError::Parse { at, msg: "expected `!=`".into() });
+                    return Err(TqlError::Parse {
+                        at,
+                        msg: "expected `!=`".into(),
+                    });
                 }
             }
             '<' => {
@@ -127,7 +157,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => return Err(TqlError::Parse { at, msg: "unterminated string".into() }),
+                        None => {
+                            return Err(TqlError::Parse {
+                                at,
+                                msg: "unterminated string".into(),
+                            })
+                        }
                         Some(b'"') => {
                             i += 1;
                             break;
@@ -137,7 +172,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
                                 Some(b'"') => raw.push(b'"'),
                                 Some(b'\\') => raw.push(b'\\'),
                                 Some(b'n') => raw.push(b'\n'),
-                                _ => return Err(TqlError::Parse { at: i, msg: "bad escape".into() }),
+                                _ => {
+                                    return Err(TqlError::Parse {
+                                        at: i,
+                                        msg: "bad escape".into(),
+                                    })
+                                }
                             }
                             i += 2;
                         }
@@ -147,9 +187,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
                         }
                     }
                 }
-                let s = String::from_utf8(raw)
-                    .map_err(|_| TqlError::Parse { at, msg: "invalid UTF-8 in string literal".into() })?;
-                out.push(Spanned { tok: Tok::Str(s), at });
+                let s = String::from_utf8(raw).map_err(|_| TqlError::Parse {
+                    at,
+                    msg: "invalid UTF-8 in string literal".into(),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    at,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -158,34 +203,58 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, TqlError> {
                 }
                 // A float has a single dot followed by digits (not `..`).
                 if bytes.get(i) == Some(&b'.')
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                         i += 1;
                     }
                     let text = &src[start..i];
-                    let v = text.parse().map_err(|_| TqlError::Parse { at, msg: "bad float".into() })?;
-                    out.push(Spanned { tok: Tok::Float(v), at });
+                    let v = text.parse().map_err(|_| TqlError::Parse {
+                        at,
+                        msg: "bad float".into(),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Float(v),
+                        at,
+                    });
                 } else {
                     let text = &src[start..i];
-                    let v = text.parse().map_err(|_| TqlError::Parse { at, msg: "bad integer".into() })?;
-                    out.push(Spanned { tok: Tok::Int(v), at });
+                    let v = text.parse().map_err(|_| TqlError::Parse {
+                        at,
+                        msg: "bad integer".into(),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        at,
+                    });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
                     i += 1;
                 }
-                out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), at });
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    at,
+                });
             }
             other => {
-                return Err(TqlError::Parse { at, msg: format!("unexpected character `{other}`") });
+                return Err(TqlError::Parse {
+                    at,
+                    msg: format!("unexpected character `{other}`"),
+                });
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, at: src.len() });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        at: src.len(),
+    });
     Ok(out)
 }
 
@@ -210,7 +279,10 @@ mod tests {
 
     #[test]
     fn numbers_and_ranges_disambiguate() {
-        assert_eq!(toks("1..3"), vec![Tok::Int(1), Tok::DotDot, Tok::Int(3), Tok::Eof]);
+        assert_eq!(
+            toks("1..3"),
+            vec![Tok::Int(1), Tok::DotDot, Tok::Int(3), Tok::Eof]
+        );
         assert_eq!(toks("1.5"), vec![Tok::Float(1.5), Tok::Eof]);
     }
 
@@ -218,7 +290,15 @@ mod tests {
     fn operators() {
         assert_eq!(
             toks("= != < <= > >="),
-            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eof
+            ]
         );
     }
 

@@ -31,7 +31,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, TqlError> {
-        Err(TqlError::Parse { at: self.peek().at, msg: msg.into() })
+        Err(TqlError::Parse {
+            at: self.peek().at,
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, tok: Tok) -> Result<(), TqlError> {
@@ -106,7 +109,13 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { nodes, edges, filter, returns, limit })
+        Ok(Query {
+            nodes,
+            edges,
+            filter,
+            returns,
+            limit,
+        })
     }
 
     /// `(var)` or `(var:Label)`.
@@ -147,7 +156,10 @@ impl Parser {
         };
         self.expect(Tok::RBracket)?;
         self.expect(Tok::Arrow)?;
-        Ok(EdgePattern { min_hops: min, max_hops: max })
+        Ok(EdgePattern {
+            min_hops: min,
+            max_hops: max,
+        })
     }
 
     /// `var` or `var.Field`.
@@ -214,7 +226,9 @@ impl Parser {
                 Tok::Le => CmpOp::Le,
                 Tok::Gt => CmpOp::Gt,
                 Tok::Ge => CmpOp::Ge,
-                other => return self.err(format!("expected a comparison operator, found {other:?}")),
+                other => {
+                    return self.err(format!("expected a comparison operator, found {other:?}"))
+                }
             }
         };
         let rhs = match self.next().tok {
@@ -225,7 +239,12 @@ impl Parser {
             Tok::Ident(s) if s.eq_ignore_ascii_case("false") => Literal::Bool(false),
             other => return self.err(format!("expected a literal, found {other:?}")),
         };
-        Ok(Comparison { var, field, op, rhs })
+        Ok(Comparison {
+            var,
+            field,
+            op,
+            rhs,
+        })
     }
 }
 
@@ -241,14 +260,32 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.nodes.len(), 2);
-        assert_eq!(q.nodes[0], NodePattern { var: "m".into(), label: Some("Movie".into()) });
+        assert_eq!(
+            q.nodes[0],
+            NodePattern {
+                var: "m".into(),
+                label: Some("Movie".into())
+            }
+        );
         assert_eq!(q.edges, vec![EdgePattern::single()]);
         assert_eq!(q.limit, Some(10));
-        assert_eq!(q.returns, vec![ReturnItem { var: "a".into(), field: Some("Name".into()) }]);
+        assert_eq!(
+            q.returns,
+            vec![ReturnItem {
+                var: "a".into(),
+                field: Some("Name".into())
+            }]
+        );
         match q.filter.unwrap() {
             Expr::And(l, r) => {
                 assert!(matches!(*l, Expr::Cmp(Comparison { op: CmpOp::Eq, .. })));
-                assert!(matches!(*r, Expr::Cmp(Comparison { op: CmpOp::Contains, .. })));
+                assert!(matches!(
+                    *r,
+                    Expr::Cmp(Comparison {
+                        op: CmpOp::Contains,
+                        ..
+                    })
+                ));
             }
             other => panic!("expected AND, got {other:?}"),
         }
@@ -257,9 +294,21 @@ mod tests {
     #[test]
     fn parses_variable_length_paths() {
         let q = parse("MATCH (a)-[2..4]->(b) RETURN b").unwrap();
-        assert_eq!(q.edges, vec![EdgePattern { min_hops: 2, max_hops: 4 }]);
+        assert_eq!(
+            q.edges,
+            vec![EdgePattern {
+                min_hops: 2,
+                max_hops: 4
+            }]
+        );
         let q = parse("MATCH (a)-[3]->(b) RETURN b").unwrap();
-        assert_eq!(q.edges, vec![EdgePattern { min_hops: 3, max_hops: 3 }]);
+        assert_eq!(
+            q.edges,
+            vec![EdgePattern {
+                min_hops: 3,
+                max_hops: 3
+            }]
+        );
     }
 
     #[test]
@@ -285,9 +334,18 @@ mod tests {
         assert!(parse("MATCH a RETURN a").is_err(), "nodes need parentheses");
         assert!(parse("MATCH (a)-->(b)").is_err(), "RETURN is mandatory");
         assert!(parse("MATCH (a)-[0]->(b) RETURN b").is_err(), "zero hops");
-        assert!(parse("MATCH (a)-[3..1]->(b) RETURN b").is_err(), "inverted range");
-        assert!(parse("MATCH (a) WHERE a.X = RETURN a").is_err(), "missing literal");
+        assert!(
+            parse("MATCH (a)-[3..1]->(b) RETURN b").is_err(),
+            "inverted range"
+        );
+        assert!(
+            parse("MATCH (a) WHERE a.X = RETURN a").is_err(),
+            "missing literal"
+        );
         assert!(parse("MATCH (a) RETURN a LIMIT x").is_err(), "bad limit");
-        assert!(parse("MATCH (a) RETURN a extra").is_err(), "trailing tokens");
+        assert!(
+            parse("MATCH (a) RETURN a extra").is_err(),
+            "trailing tokens"
+        );
     }
 }

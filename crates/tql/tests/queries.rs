@@ -31,7 +31,8 @@ const SCHEMA: &str = "
 /// with reverse ActedIn edges.
 fn movie_cloud(machines: usize) -> (Arc<MemoryCloud>, TqlEngine) {
     let schema = compile(&parse(SCHEMA).unwrap()).unwrap();
-    let catalog = Catalog::from_schema(&schema, &[("Movie", "Cast"), ("Actor", "ActedIn")]).unwrap();
+    let catalog =
+        Catalog::from_schema(&schema, &[("Movie", "Cast"), ("Actor", "ActedIn")]).unwrap();
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
     const HEAT: u64 = 1;
     const RONIN: u64 = 2;
@@ -44,7 +45,11 @@ fn movie_cloud(machines: usize) -> (Arc<MemoryCloud>, TqlEngine) {
                 &cloud,
                 id,
                 "Movie",
-                &[("Name", name.into()), ("Year", Value::Int(year)), ("Rating", Value::Double(rating))],
+                &[
+                    ("Name", name.into()),
+                    ("Year", Value::Int(year)),
+                    ("Rating", Value::Double(rating)),
+                ],
                 cast,
             )
             .unwrap();
@@ -54,7 +59,13 @@ fn movie_cloud(machines: usize) -> (Arc<MemoryCloud>, TqlEngine) {
     movie(SERPICO, "Serpico", 1973, 7.7, &[PACINO]);
     let actor = |id, name: &str, born: i32, acted: &[u64]| {
         catalog
-            .new_node(&cloud, id, "Actor", &[("Name", name.into()), ("Born", Value::Int(born))], acted)
+            .new_node(
+                &cloud,
+                id,
+                "Actor",
+                &[("Name", name.into()), ("Born", Value::Int(born))],
+                acted,
+            )
             .unwrap();
     };
     actor(DENIRO, "Robert De Niro", 1943, &[HEAT, RONIN]);
@@ -64,8 +75,10 @@ fn movie_cloud(machines: usize) -> (Arc<MemoryCloud>, TqlEngine) {
 }
 
 fn names(rows: &[trinity_tql::Row]) -> Vec<String> {
-    let mut v: Vec<String> =
-        rows.iter().map(|r| r.values[0].as_str().unwrap_or("<id>").to_string()).collect();
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| r.values[0].as_str().unwrap_or("<id>").to_string())
+        .collect();
     v.sort();
     v
 }
@@ -84,7 +97,9 @@ fn single_hop_with_equality_filter() {
 fn label_filters_restrict_candidates() {
     let (cloud, engine) = movie_cloud(2);
     // Every Movie->Actor edge.
-    let all = engine.query("MATCH (m:Movie)-->(a:Actor) RETURN m, a").unwrap();
+    let all = engine
+        .query("MATCH (m:Movie)-->(a:Actor) RETURN m, a")
+        .unwrap();
     assert_eq!(all.len(), 4);
     // Unlabeled start matches actors too (Actor->Movie edges).
     let any = engine.query("MATCH (x)-->(y) RETURN x, y").unwrap();
@@ -192,7 +207,10 @@ fn error_paths_are_reported_not_panicked() {
         engine.query("MATCH (m:Movie) WHERE m.Budget = 1 RETURN m"),
         Err(TqlError::UnknownField { .. })
     ));
-    assert!(matches!(engine.query("MATCH RETURN"), Err(TqlError::Parse { .. })));
+    assert!(matches!(
+        engine.query("MATCH RETURN"),
+        Err(TqlError::Parse { .. })
+    ));
     cloud.shutdown();
 }
 
@@ -227,8 +245,9 @@ fn people_search_in_tql_on_a_generated_social_graph() {
         )
         .unwrap();
     // Reference: for each David, BFS 3 hops, count other Davids.
-    let davids: Vec<u64> =
-        (0..400u64).filter(|&v| trinity_graphgen::names::name_for(7, v) == "David").collect();
+    let davids: Vec<u64> = (0..400u64)
+        .filter(|&v| trinity_graphgen::names::name_for(7, v) == "David")
+        .collect();
     let mut expect = 0usize;
     for &s in &davids {
         let mut dist = vec![u32::MAX; 400];
@@ -245,7 +264,10 @@ fn people_search_in_tql_on_a_generated_social_graph() {
                 }
             }
         }
-        expect += davids.iter().filter(|&&d| d != s && dist[d as usize] <= 3).count();
+        expect += davids
+            .iter()
+            .filter(|&&d| d != s && dist[d as usize] <= 3)
+            .count();
     }
     assert!(expect > 0, "test graph needs at least one David pair");
     assert_eq!(rows.len(), expect);

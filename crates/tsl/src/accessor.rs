@@ -29,7 +29,11 @@ pub struct CellAccessor<'a> {
 impl<'a> CellAccessor<'a> {
     /// View `blob` as an instance of `layout`.
     pub fn new(layout: &'a StructLayout, blob: &'a [u8]) -> Self {
-        CellAccessor { layout, blob, base: 0 }
+        CellAccessor {
+            layout,
+            blob,
+            base: 0,
+        }
     }
 
     /// The layout this accessor maps.
@@ -52,53 +56,97 @@ impl<'a> CellAccessor<'a> {
     ) -> Result<T, TslError> {
         let (off, ty) = self.field_at(name)?;
         if !matches(ty) {
-            return Err(TslError::TypeMismatch { field: name.into(), expected: expected.into(), got: ty.name() });
+            return Err(TslError::TypeMismatch {
+                field: name.into(),
+                expected: expected.into(),
+                got: ty.name(),
+            });
         }
         if off + N > self.blob.len() {
-            return Err(TslError::Truncated { struct_name: self.layout.name.clone(), at: off });
+            return Err(TslError::Truncated {
+                struct_name: self.layout.name.clone(),
+                at: off,
+            });
         }
         Ok(convert(self.blob[off..off + N].try_into().unwrap()))
     }
 
     /// Read a `long` field.
     pub fn get_long(&self, name: &str) -> Result<i64, TslError> {
-        self.scalar(name, "long", |t| matches!(t, ResolvedType::Long), i64::from_le_bytes)
+        self.scalar(
+            name,
+            "long",
+            |t| matches!(t, ResolvedType::Long),
+            i64::from_le_bytes,
+        )
     }
 
     /// Read an `int` field.
     pub fn get_int(&self, name: &str) -> Result<i32, TslError> {
-        self.scalar(name, "int", |t| matches!(t, ResolvedType::Int), i32::from_le_bytes)
+        self.scalar(
+            name,
+            "int",
+            |t| matches!(t, ResolvedType::Int),
+            i32::from_le_bytes,
+        )
     }
 
     /// Read a `double` field.
     pub fn get_double(&self, name: &str) -> Result<f64, TslError> {
-        self.scalar(name, "double", |t| matches!(t, ResolvedType::Double), f64::from_le_bytes)
+        self.scalar(
+            name,
+            "double",
+            |t| matches!(t, ResolvedType::Double),
+            f64::from_le_bytes,
+        )
     }
 
     /// Read a `float` field.
     pub fn get_float(&self, name: &str) -> Result<f32, TslError> {
-        self.scalar(name, "float", |t| matches!(t, ResolvedType::Float), f32::from_le_bytes)
+        self.scalar(
+            name,
+            "float",
+            |t| matches!(t, ResolvedType::Float),
+            f32::from_le_bytes,
+        )
     }
 
     /// Read a `byte` field.
     pub fn get_byte(&self, name: &str) -> Result<u8, TslError> {
-        self.scalar(name, "byte", |t| matches!(t, ResolvedType::Byte), |b: [u8; 1]| b[0])
+        self.scalar(
+            name,
+            "byte",
+            |t| matches!(t, ResolvedType::Byte),
+            |b: [u8; 1]| b[0],
+        )
     }
 
     /// Read a `bool` field.
     pub fn get_bool(&self, name: &str) -> Result<bool, TslError> {
-        self.scalar(name, "bool", |t| matches!(t, ResolvedType::Bool), |b: [u8; 1]| b[0] != 0)
+        self.scalar(
+            name,
+            "bool",
+            |t| matches!(t, ResolvedType::Bool),
+            |b: [u8; 1]| b[0] != 0,
+        )
     }
 
     /// Borrow a `string` field (zero-copy).
     pub fn get_str(&self, name: &str) -> Result<&'a str, TslError> {
         let (off, ty) = self.field_at(name)?;
         if !matches!(ty, ResolvedType::Str) {
-            return Err(TslError::TypeMismatch { field: name.into(), expected: "string".into(), got: ty.name() });
+            return Err(TslError::TypeMismatch {
+                field: name.into(),
+                expected: "string".into(),
+                got: ty.name(),
+            });
         }
         let len = read_u32(self.blob, off)? as usize;
         if off + 4 + len > self.blob.len() {
-            return Err(TslError::Truncated { struct_name: self.layout.name.clone(), at: off });
+            return Err(TslError::Truncated {
+                struct_name: self.layout.name.clone(),
+                at: off,
+            });
         }
         std::str::from_utf8(&self.blob[off + 4..off + 4 + len])
             .map_err(|_| TslError::Validate(format!("field {name} is not valid UTF-8")))
@@ -109,7 +157,9 @@ impl<'a> CellAccessor<'a> {
     pub fn list_len(&self, name: &str) -> Result<usize, TslError> {
         let (off, ty) = self.field_at(name)?;
         match ty {
-            ResolvedType::List(_) | ResolvedType::BitArray => Ok(read_u32(self.blob, off)? as usize),
+            ResolvedType::List(_) | ResolvedType::BitArray => {
+                Ok(read_u32(self.blob, off)? as usize)
+            }
             ResolvedType::Array(_, n) => Ok(*n),
             other => Err(TslError::TypeMismatch {
                 field: name.into(),
@@ -146,10 +196,16 @@ impl<'a> CellAccessor<'a> {
     pub fn list_get_long(&self, name: &str, i: usize) -> Result<i64, TslError> {
         let (data, len, sz) = self.list_fixed_elem(name, "long")?;
         if i >= len {
-            return Err(TslError::IndexOutOfRange { field: name.into(), index: i, len });
+            return Err(TslError::IndexOutOfRange {
+                field: name.into(),
+                index: i,
+                len,
+            });
         }
         let at = data + i * sz;
-        Ok(i64::from_le_bytes(self.blob[at..at + 8].try_into().unwrap()))
+        Ok(i64::from_le_bytes(
+            self.blob[at..at + 8].try_into().unwrap(),
+        ))
     }
 
     /// Iterate a `List<long>` field without materializing a `Vec`
@@ -157,7 +213,10 @@ impl<'a> CellAccessor<'a> {
     pub fn list_longs(&self, name: &str) -> Result<impl Iterator<Item = i64> + 'a, TslError> {
         let (data, len, sz) = self.list_fixed_elem(name, "long")?;
         if data + len * sz > self.blob.len() {
-            return Err(TslError::Truncated { struct_name: self.layout.name.clone(), at: data });
+            return Err(TslError::Truncated {
+                struct_name: self.layout.name.clone(),
+                at: data,
+            });
         }
         let blob = self.blob;
         Ok((0..len).map(move |i| {
@@ -170,21 +229,35 @@ impl<'a> CellAccessor<'a> {
     pub fn list_get_int(&self, name: &str, i: usize) -> Result<i32, TslError> {
         let (data, len, sz) = self.list_fixed_elem(name, "int")?;
         if i >= len {
-            return Err(TslError::IndexOutOfRange { field: name.into(), index: i, len });
+            return Err(TslError::IndexOutOfRange {
+                field: name.into(),
+                index: i,
+                len,
+            });
         }
         let at = data + i * sz;
-        Ok(i32::from_le_bytes(self.blob[at..at + 4].try_into().unwrap()))
+        Ok(i32::from_le_bytes(
+            self.blob[at..at + 4].try_into().unwrap(),
+        ))
     }
 
     /// Read bit `i` of a `BitArray` field.
     pub fn bit_get(&self, name: &str, i: usize) -> Result<bool, TslError> {
         let (off, ty) = self.field_at(name)?;
         if !matches!(ty, ResolvedType::BitArray) {
-            return Err(TslError::TypeMismatch { field: name.into(), expected: "BitArray".into(), got: ty.name() });
+            return Err(TslError::TypeMismatch {
+                field: name.into(),
+                expected: "BitArray".into(),
+                got: ty.name(),
+            });
         }
         let bits = read_u32(self.blob, off)? as usize;
         if i >= bits {
-            return Err(TslError::IndexOutOfRange { field: name.into(), index: i, len: bits });
+            return Err(TslError::IndexOutOfRange {
+                field: name.into(),
+                index: i,
+                len: bits,
+            });
         }
         Ok(self.blob[off + 4 + i / 8] >> (i % 8) & 1 == 1)
     }
@@ -201,9 +274,11 @@ impl<'a> CellAccessor<'a> {
                 blob: self.blob,
                 base: off,
             }),
-            other => {
-                Err(TslError::TypeMismatch { field: name.into(), expected: "struct".into(), got: other.name() })
-            }
+            other => Err(TslError::TypeMismatch {
+                field: name.into(),
+                expected: "struct".into(),
+                got: other.name(),
+            }),
         }
     }
 
@@ -225,19 +300,36 @@ pub struct CellAccessorMut<'a> {
 impl<'a> CellAccessorMut<'a> {
     /// View `blob` mutably as an instance of `layout`.
     pub fn new(layout: &'a StructLayout, blob: &'a mut [u8]) -> Self {
-        CellAccessorMut { layout, blob, base: 0 }
+        CellAccessorMut {
+            layout,
+            blob,
+            base: 0,
+        }
     }
 
     /// Read-only view of the same blob.
     pub fn reader(&self) -> CellAccessor<'_> {
-        CellAccessor { layout: self.layout, blob: self.blob, base: self.base }
+        CellAccessor {
+            layout: self.layout,
+            blob: self.blob,
+            base: self.base,
+        }
     }
 
-    fn fixed_field_at(&self, name: &str, expected: &str, want: impl Fn(&ResolvedType) -> bool) -> Result<usize, TslError> {
+    fn fixed_field_at(
+        &self,
+        name: &str,
+        expected: &str,
+        want: impl Fn(&ResolvedType) -> bool,
+    ) -> Result<usize, TslError> {
         let idx = self.layout.field_index(name)?;
         let info = &self.layout.fields[idx];
         if !want(&info.ty) {
-            return Err(TslError::TypeMismatch { field: name.into(), expected: expected.into(), got: info.ty.name() });
+            return Err(TslError::TypeMismatch {
+                field: name.into(),
+                expected: expected.into(),
+                got: info.ty.name(),
+            });
         }
         self.layout.field_offset(self.blob, self.base, idx)
     }
@@ -275,7 +367,11 @@ impl<'a> CellAccessorMut<'a> {
     pub fn set_list_long(&mut self, name: &str, i: usize, v: i64) -> Result<(), TslError> {
         let (data, len, sz) = self.reader().list_fixed_elem(name, "long")?;
         if i >= len {
-            return Err(TslError::IndexOutOfRange { field: name.into(), index: i, len });
+            return Err(TslError::IndexOutOfRange {
+                field: name.into(),
+                index: i,
+                len,
+            });
         }
         let at = data + i * sz;
         self.blob[at..at + 8].copy_from_slice(&v.to_le_bytes());
@@ -287,12 +383,20 @@ impl<'a> CellAccessorMut<'a> {
         let idx = self.layout.field_index(name)?;
         let info = &self.layout.fields[idx];
         if !matches!(info.ty, ResolvedType::BitArray) {
-            return Err(TslError::TypeMismatch { field: name.into(), expected: "BitArray".into(), got: info.ty.name() });
+            return Err(TslError::TypeMismatch {
+                field: name.into(),
+                expected: "BitArray".into(),
+                got: info.ty.name(),
+            });
         }
         let off = self.layout.field_offset(self.blob, self.base, idx)?;
         let bits = read_u32(self.blob, off)? as usize;
         if i >= bits {
-            return Err(TslError::IndexOutOfRange { field: name.into(), index: i, len: bits });
+            return Err(TslError::IndexOutOfRange {
+                field: name.into(),
+                index: i,
+                len: bits,
+            });
         }
         let byte = &mut self.blob[off + 4 + i / 8];
         if v {
@@ -332,7 +436,10 @@ mod tests {
             .set("Active", Value::Bool(true))
             .set("Name", "node-77")
             .set("Out", vec![5i64, 6, 7])
-            .set("Location", Value::Struct(vec![Value::Double(1.5), Value::Double(-2.5)]))
+            .set(
+                "Location",
+                Value::Struct(vec![Value::Double(1.5), Value::Double(-2.5)]),
+            )
             .set("Visited", Value::Bits(vec![true, false, true]))
             .set("Rank", 0.25f64)
             .encode()
@@ -350,7 +457,10 @@ mod tests {
         assert_eq!(acc.get_str("Name").unwrap(), "node-77");
         assert_eq!(acc.list_len("Out").unwrap(), 3);
         assert_eq!(acc.list_get_long("Out", 2).unwrap(), 7);
-        assert_eq!(acc.list_longs("Out").unwrap().collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert_eq!(
+            acc.list_longs("Out").unwrap().collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
         let pos = acc.get_struct("Location").unwrap();
         assert_eq!(pos.get_double("X").unwrap(), 1.5);
         assert_eq!(pos.get_double("Y").unwrap(), -2.5);
@@ -366,11 +476,26 @@ mod tests {
         let blob = sample_blob(&schema);
         let layout = schema.struct_layout("Node").unwrap();
         let acc = CellAccessor::new(layout, &blob);
-        assert!(matches!(acc.get_int("Id"), Err(TslError::TypeMismatch { .. })));
-        assert!(matches!(acc.get_long("Missing"), Err(TslError::NoSuchField(_))));
-        assert!(matches!(acc.list_get_long("Out", 3), Err(TslError::IndexOutOfRange { .. })));
-        assert!(matches!(acc.bit_get("Visited", 3), Err(TslError::IndexOutOfRange { .. })));
-        assert!(matches!(acc.get_struct("Id"), Err(TslError::TypeMismatch { .. })));
+        assert!(matches!(
+            acc.get_int("Id"),
+            Err(TslError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            acc.get_long("Missing"),
+            Err(TslError::NoSuchField(_))
+        ));
+        assert!(matches!(
+            acc.list_get_long("Out", 3),
+            Err(TslError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            acc.bit_get("Visited", 3),
+            Err(TslError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            acc.get_struct("Id"),
+            Err(TslError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -390,7 +515,10 @@ mod tests {
         let acc = CellAccessor::new(layout, &blob);
         assert_eq!(acc.get_long("Id").unwrap(), 1234);
         assert!(!acc.get_bool("Active").unwrap());
-        assert_eq!(acc.list_longs("Out").unwrap().collect::<Vec<_>>(), vec![5, 99, 7]);
+        assert_eq!(
+            acc.list_longs("Out").unwrap().collect::<Vec<_>>(),
+            vec![5, 99, 7]
+        );
         assert_eq!(acc.get_double("Rank").unwrap(), 0.875);
         assert!(acc.bit_get("Visited", 1).unwrap());
         assert!(!acc.bit_get("Visited", 0).unwrap());
@@ -403,12 +531,17 @@ mod tests {
         // An Array of fixed elements keeps every following field at a
         // static offset — the whole struct is fixed-width.
         let schema = crate::compile(
-            &crate::parse("cell struct Fixed { long Id; Array<long, 3> Coords; double W; }").unwrap(),
+            &crate::parse("cell struct Fixed { long Id; Array<long, 3> Coords; double W; }")
+                .unwrap(),
         )
         .unwrap();
         let layout = schema.struct_layout("Fixed").unwrap();
         assert_eq!(layout.fixed_size, Some(8 + 24 + 8));
-        assert_eq!(layout.fields[2].fixed_offset, Some(32), "field after an Array stays static");
+        assert_eq!(
+            layout.fields[2].fixed_offset,
+            Some(32),
+            "field after an Array stays static"
+        );
         let mut blob = layout
             .build()
             .set("Id", 1i64)
@@ -419,8 +552,14 @@ mod tests {
         let acc = CellAccessor::new(layout, &blob);
         assert_eq!(acc.list_len("Coords").unwrap(), 3);
         assert_eq!(acc.list_get_long("Coords", 1).unwrap(), 20);
-        assert_eq!(acc.list_longs("Coords").unwrap().collect::<Vec<_>>(), vec![10, 20, 30]);
-        assert!(matches!(acc.list_get_long("Coords", 3), Err(TslError::IndexOutOfRange { .. })));
+        assert_eq!(
+            acc.list_longs("Coords").unwrap().collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert!(matches!(
+            acc.list_get_long("Coords", 3),
+            Err(TslError::IndexOutOfRange { .. })
+        ));
         assert_eq!(acc.get_double("W").unwrap(), 0.5);
         // In-place element write.
         let mut m = CellAccessorMut::new(layout, &mut blob);
@@ -437,6 +576,9 @@ mod tests {
         let mut blob = sample_blob(&schema);
         let layout = schema.struct_layout("Node").unwrap();
         let mut acc = CellAccessorMut::new(layout, &mut blob);
-        assert!(matches!(acc.set_long("Name", 1), Err(TslError::TypeMismatch { .. })));
+        assert!(matches!(
+            acc.set_long("Name", 1),
+            Err(TslError::TypeMismatch { .. })
+        ));
     }
 }

@@ -28,7 +28,10 @@ pub struct Attribute {
 impl Attribute {
     /// Look up an attribute value by key.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -194,7 +197,10 @@ mod tests {
     #[test]
     fn attribute_lookup() {
         let a = Attribute {
-            entries: vec![("EdgeType".into(), "SimpleEdge".into()), ("ReferencedCell".into(), "Actor".into())],
+            entries: vec![
+                ("EdgeType".into(), "SimpleEdge".into()),
+                ("ReferencedCell".into(), "Actor".into()),
+            ],
         };
         assert_eq!(a.get("EdgeType"), Some("SimpleEdge"));
         assert_eq!(a.get("ReferencedCell"), Some("Actor"));
@@ -207,7 +213,10 @@ mod tests {
             name: "Actors".into(),
             ty: TypeRef::List(Box::new(TypeRef::Long)),
             attributes: vec![Attribute {
-                entries: vec![("EdgeType".into(), "HyperEdge".into()), ("ReferencedCell".into(), "Movie".into())],
+                entries: vec![
+                    ("EdgeType".into(), "HyperEdge".into()),
+                    ("ReferencedCell".into(), "Movie".into()),
+                ],
             }],
         };
         assert_eq!(f.edge_kind(), Some(EdgeKind::Hyper));
@@ -216,15 +225,28 @@ mod tests {
 
     #[test]
     fn type_display_roundtrips_names() {
-        assert_eq!(TypeRef::List(Box::new(TypeRef::Long)).to_string(), "List<long>");
+        assert_eq!(
+            TypeRef::List(Box::new(TypeRef::Long)).to_string(),
+            "List<long>"
+        );
         assert_eq!(TypeRef::Struct("Movie".into()).to_string(), "Movie");
     }
 
     #[test]
     fn default_cell_kind_is_node() {
-        let s = StructDef { name: "N".into(), is_cell: true, attributes: vec![], fields: vec![] };
+        let s = StructDef {
+            name: "N".into(),
+            is_cell: true,
+            attributes: vec![],
+            fields: vec![],
+        };
         assert_eq!(s.cell_kind(), Some(CellKind::Node));
-        let p = StructDef { name: "M".into(), is_cell: false, attributes: vec![], fields: vec![] };
+        let p = StructDef {
+            name: "M".into(),
+            is_cell: false,
+            attributes: vec![],
+            fields: vec![],
+        };
         assert_eq!(p.cell_kind(), None);
     }
 }

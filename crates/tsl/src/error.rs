@@ -4,18 +4,30 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TslError {
     /// Lexical or syntactic error with source position.
-    Parse { line: usize, col: usize, msg: String },
+    Parse {
+        line: usize,
+        col: usize,
+        msg: String,
+    },
     /// Semantic error found while compiling the script to a schema.
     Validate(String),
     /// A field name does not exist in the struct.
     NoSuchField(String),
     /// A value or accessor operation was applied to a field of a
     /// different type.
-    TypeMismatch { field: String, expected: String, got: String },
+    TypeMismatch {
+        field: String,
+        expected: String,
+        got: String,
+    },
     /// The blob is shorter than the layout requires.
     Truncated { struct_name: String, at: usize },
     /// List index out of range.
-    IndexOutOfRange { field: String, index: usize, len: usize },
+    IndexOutOfRange {
+        field: String,
+        index: usize,
+        len: usize,
+    },
     /// A struct or protocol name was not found in the schema.
     Unknown(String),
 }
@@ -23,17 +35,29 @@ pub enum TslError {
 impl fmt::Display for TslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TslError::Parse { line, col, msg } => write!(f, "TSL parse error at {line}:{col}: {msg}"),
+            TslError::Parse { line, col, msg } => {
+                write!(f, "TSL parse error at {line}:{col}: {msg}")
+            }
             TslError::Validate(m) => write!(f, "TSL validation error: {m}"),
             TslError::NoSuchField(n) => write!(f, "no such field: {n}"),
-            TslError::TypeMismatch { field, expected, got } => {
-                write!(f, "type mismatch on field {field}: expected {expected}, got {got}")
+            TslError::TypeMismatch {
+                field,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on field {field}: expected {expected}, got {got}"
+                )
             }
             TslError::Truncated { struct_name, at } => {
                 write!(f, "blob for {struct_name} truncated at byte {at}")
             }
             TslError::IndexOutOfRange { field, index, len } => {
-                write!(f, "index {index} out of range for list {field} of length {len}")
+                write!(
+                    f,
+                    "index {index} out of range for list {field} of length {len}"
+                )
             }
             TslError::Unknown(n) => write!(f, "unknown struct or protocol: {n}"),
         }

@@ -75,7 +75,10 @@ impl ResolvedType {
     pub fn skip(&self, blob: &[u8], off: usize) -> Result<usize, TslError> {
         let need = |n: usize| {
             if off + n > blob.len() {
-                Err(TslError::Truncated { struct_name: self.name(), at: off })
+                Err(TslError::Truncated {
+                    struct_name: self.name(),
+                    at: off,
+                })
             } else {
                 Ok(off + n)
             }
@@ -96,7 +99,10 @@ impl ResolvedType {
                 if let Some(sz) = elem.fixed_size() {
                     at += count * sz;
                     if at > blob.len() {
-                        return Err(TslError::Truncated { struct_name: self.name(), at });
+                        return Err(TslError::Truncated {
+                            struct_name: self.name(),
+                            at,
+                        });
                     }
                     Ok(at)
                 } else {
@@ -186,8 +192,17 @@ impl ResolvedType {
     /// Decode a value of this type at `off`; returns the value and the
     /// offset just past it.
     pub fn decode(&self, blob: &[u8], off: usize) -> Result<(Value, usize), TslError> {
-        let trunc = |at: usize| TslError::Truncated { struct_name: self.name(), at };
-        let need = |n: usize| if off + n > blob.len() { Err(trunc(off)) } else { Ok(()) };
+        let trunc = |at: usize| TslError::Truncated {
+            struct_name: self.name(),
+            at,
+        };
+        let need = |n: usize| {
+            if off + n > blob.len() {
+                Err(trunc(off))
+            } else {
+                Ok(())
+            }
+        };
         Ok(match self {
             ResolvedType::Byte => {
                 need(1)?;
@@ -199,19 +214,31 @@ impl ResolvedType {
             }
             ResolvedType::Int => {
                 need(4)?;
-                (Value::Int(i32::from_le_bytes(blob[off..off + 4].try_into().unwrap())), off + 4)
+                (
+                    Value::Int(i32::from_le_bytes(blob[off..off + 4].try_into().unwrap())),
+                    off + 4,
+                )
             }
             ResolvedType::Long => {
                 need(8)?;
-                (Value::Long(i64::from_le_bytes(blob[off..off + 8].try_into().unwrap())), off + 8)
+                (
+                    Value::Long(i64::from_le_bytes(blob[off..off + 8].try_into().unwrap())),
+                    off + 8,
+                )
             }
             ResolvedType::Float => {
                 need(4)?;
-                (Value::Float(f32::from_le_bytes(blob[off..off + 4].try_into().unwrap())), off + 4)
+                (
+                    Value::Float(f32::from_le_bytes(blob[off..off + 4].try_into().unwrap())),
+                    off + 4,
+                )
             }
             ResolvedType::Double => {
                 need(8)?;
-                (Value::Double(f64::from_le_bytes(blob[off..off + 8].try_into().unwrap())), off + 8)
+                (
+                    Value::Double(f64::from_le_bytes(blob[off..off + 8].try_into().unwrap())),
+                    off + 8,
+                )
             }
             ResolvedType::Str => {
                 let len = read_u32(blob, off)? as usize;
@@ -228,7 +255,9 @@ impl ResolvedType {
                 if off + 4 + bytes > blob.len() {
                     return Err(trunc(off + 4));
                 }
-                let v = (0..bits).map(|i| blob[off + 4 + i / 8] >> (i % 8) & 1 == 1).collect();
+                let v = (0..bits)
+                    .map(|i| blob[off + 4 + i / 8] >> (i % 8) & 1 == 1)
+                    .collect();
                 (Value::Bits(v), off + 4 + bytes)
             }
             ResolvedType::List(elem) => {
@@ -276,25 +305,38 @@ impl ResolvedType {
             ResolvedType::Double => Value::Double(0.0),
             ResolvedType::Str => Value::Str(String::new()),
             ResolvedType::List(_) => Value::List(Vec::new()),
-            ResolvedType::Array(elem, n) => Value::List((0..*n).map(|_| elem.default_value()).collect()),
+            ResolvedType::Array(elem, n) => {
+                Value::List((0..*n).map(|_| elem.default_value()).collect())
+            }
             ResolvedType::BitArray => Value::Bits(Vec::new()),
-            ResolvedType::Struct(s) => Value::Struct(s.fields.iter().map(|f| f.ty.default_value()).collect()),
+            ResolvedType::Struct(s) => {
+                Value::Struct(s.fields.iter().map(|f| f.ty.default_value()).collect())
+            }
         }
     }
 }
 
 fn named(e: TslError, field: &str) -> TslError {
     match e {
-        TslError::TypeMismatch { field: f, expected, got } if f.is_empty() => {
-            TslError::TypeMismatch { field: field.to_string(), expected, got }
-        }
+        TslError::TypeMismatch {
+            field: f,
+            expected,
+            got,
+        } if f.is_empty() => TslError::TypeMismatch {
+            field: field.to_string(),
+            expected,
+            got,
+        },
         other => other,
     }
 }
 
 pub(crate) fn read_u32(blob: &[u8], off: usize) -> Result<u32, TslError> {
     if off + 4 > blob.len() {
-        return Err(TslError::Truncated { struct_name: String::new(), at: off });
+        return Err(TslError::Truncated {
+            struct_name: String::new(),
+            at: off,
+        });
     }
     Ok(u32::from_le_bytes(blob[off..off + 4].try_into().unwrap()))
 }
@@ -325,32 +367,60 @@ pub struct StructLayout {
     pub fixed_size: Option<usize>,
 }
 
+/// One field as collected by the compiler before layout:
+/// (name, resolved type, declared type, edge kind, referenced cell).
+pub(crate) type FieldDecl = (
+    String,
+    ResolvedType,
+    TypeRef,
+    Option<EdgeKind>,
+    Option<String>,
+);
+
 impl StructLayout {
     pub(crate) fn build_layout(
         name: String,
         cell_kind: Option<CellKind>,
-        fields: Vec<(String, ResolvedType, TypeRef, Option<EdgeKind>, Option<String>)>,
+        fields: Vec<FieldDecl>,
     ) -> Result<Self, TslError> {
         let mut infos = Vec::with_capacity(fields.len());
         let mut by_name = HashMap::new();
         let mut offset = Some(0usize);
         for (i, (fname, ty, decl, edge_kind, referenced_cell)) in fields.into_iter().enumerate() {
             if by_name.insert(fname.clone(), i).is_some() {
-                return Err(TslError::Validate(format!("duplicate field {fname} in struct {name}")));
+                return Err(TslError::Validate(format!(
+                    "duplicate field {fname} in struct {name}"
+                )));
             }
             let fixed_offset = offset;
             offset = match (offset, ty.fixed_size()) {
                 (Some(o), Some(sz)) => Some(o + sz),
                 _ => None,
             };
-            infos.push(FieldInfo { name: fname, ty, decl, edge_kind, referenced_cell, fixed_offset });
+            infos.push(FieldInfo {
+                name: fname,
+                ty,
+                decl,
+                edge_kind,
+                referenced_cell,
+                fixed_offset,
+            });
         }
-        Ok(StructLayout { name, cell_kind, fields: infos, by_name, fixed_size: offset })
+        Ok(StructLayout {
+            name,
+            cell_kind,
+            fields: infos,
+            by_name,
+            fixed_size: offset,
+        })
     }
 
     /// Index of the field named `name`.
     pub fn field_index(&self, name: &str) -> Result<usize, TslError> {
-        self.by_name.get(name).copied().ok_or_else(|| TslError::NoSuchField(name.to_string()))
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TslError::NoSuchField(name.to_string()))
     }
 
     /// Field metadata by name.
@@ -380,7 +450,10 @@ impl StructLayout {
     pub fn skip(&self, blob: &[u8], off: usize) -> Result<usize, TslError> {
         if let Some(sz) = self.fixed_size {
             if off + sz > blob.len() {
-                return Err(TslError::Truncated { struct_name: self.name.clone(), at: off });
+                return Err(TslError::Truncated {
+                    struct_name: self.name.clone(),
+                    at: off,
+                });
             }
             return Ok(off + sz);
         }
@@ -420,14 +493,20 @@ impl StructLayout {
         }
         let mut out = Vec::new();
         for (info, v) in self.fields.iter().zip(fields) {
-            info.ty.encode(v, &mut out).map_err(|e| named(e, &info.name))?;
+            info.ty
+                .encode(v, &mut out)
+                .map_err(|e| named(e, &info.name))?;
         }
         Ok(out)
     }
 
     /// Start building a blob of this struct with named field assignment.
     pub fn build(self: &Arc<Self>) -> CellBuilder {
-        CellBuilder { layout: Arc::clone(self), values: vec![None; self.fields.len()], error: None }
+        CellBuilder {
+            layout: Arc::clone(self),
+            values: vec![None; self.fields.len()],
+            error: None,
+        }
     }
 }
 
@@ -476,7 +555,13 @@ mod tests {
                 None,
                 vec![
                     ("id".into(), ResolvedType::Long, TypeRef::Long, None, None),
-                    ("name".into(), ResolvedType::Str, TypeRef::String, None, None),
+                    (
+                        "name".into(),
+                        ResolvedType::Str,
+                        TypeRef::String,
+                        None,
+                        None,
+                    ),
                     (
                         "links".into(),
                         ResolvedType::List(Box::new(ResolvedType::Long)),
@@ -484,7 +569,13 @@ mod tests {
                         None,
                         None,
                     ),
-                    ("weight".into(), ResolvedType::Double, TypeRef::Double, None, None),
+                    (
+                        "weight".into(),
+                        ResolvedType::Double,
+                        TypeRef::Double,
+                        None,
+                        None,
+                    ),
                 ],
             )
             .unwrap(),
@@ -533,7 +624,10 @@ mod tests {
     #[test]
     fn builder_reports_bad_field_names() {
         let l = long_list_layout();
-        assert_eq!(l.build().set("nope", 1i64).encode(), Err(TslError::NoSuchField("nope".into())));
+        assert_eq!(
+            l.build().set("nope", 1i64).encode(),
+            Err(TslError::NoSuchField("nope".into()))
+        );
     }
 
     #[test]
@@ -547,8 +641,14 @@ mod tests {
     fn truncated_blob_is_detected() {
         let l = long_list_layout();
         let blob = l.build().set("name", "hello").encode().unwrap();
-        assert!(matches!(l.decode(&blob[..blob.len() - 1]), Err(TslError::Truncated { .. })));
-        assert!(matches!(l.decode(&blob[..4]), Err(TslError::Truncated { .. })));
+        assert!(matches!(
+            l.decode(&blob[..blob.len() - 1]),
+            Err(TslError::Truncated { .. })
+        ));
+        assert!(matches!(
+            l.decode(&blob[..4]),
+            Err(TslError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -557,13 +657,24 @@ mod tests {
             StructLayout::build_layout(
                 "B".into(),
                 None,
-                vec![("bits".into(), ResolvedType::BitArray, TypeRef::BitArray, None, None)],
+                vec![(
+                    "bits".into(),
+                    ResolvedType::BitArray,
+                    TypeRef::BitArray,
+                    None,
+                    None,
+                )],
             )
             .unwrap(),
         );
         let bits: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
-        let blob = l.encode(&Value::Struct(vec![Value::Bits(bits.clone())])).unwrap();
+        let blob = l
+            .encode(&Value::Struct(vec![Value::Bits(bits.clone())]))
+            .unwrap();
         assert_eq!(blob.len(), 4 + 3);
-        assert_eq!(l.decode(&blob).unwrap(), Value::Struct(vec![Value::Bits(bits)]));
+        assert_eq!(
+            l.decode(&blob).unwrap(),
+            Value::Struct(vec![Value::Bits(bits)])
+        );
     }
 }

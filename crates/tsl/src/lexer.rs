@@ -60,7 +60,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TslError> {
     let mut chars = src.chars().peekable();
     while let Some(&c) = chars.peek() {
         let (tline, tcol) = (line, col);
-        let bump = |chars: &mut std::iter::Peekable<std::str::Chars>, line: &mut usize, col: &mut usize| {
+        let bump = |chars: &mut std::iter::Peekable<std::str::Chars>,
+                    line: &mut usize,
+                    col: &mut usize| {
             let c = chars.next().unwrap();
             if c == '\n' {
                 *line += 1;
@@ -101,7 +103,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TslError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Int(n), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Int(n),
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut ident = String::new();
@@ -112,7 +118,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TslError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(ident), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                });
             }
             _ => {
                 let kind = match c {
@@ -134,11 +144,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TslError> {
                     }
                 };
                 bump(&mut chars, &mut line, &mut col);
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 
@@ -181,7 +199,10 @@ mod tests {
 
     #[test]
     fn rejects_stray_characters() {
-        assert!(matches!(tokenize("struct A { int x = 3; }"), Err(TslError::Parse { .. })));
+        assert!(matches!(
+            tokenize("struct A { int x = 3; }"),
+            Err(TslError::Parse { .. })
+        ));
         assert!(matches!(tokenize("a / b"), Err(TslError::Parse { .. })));
     }
 

@@ -62,7 +62,10 @@ pub mod schema;
 pub mod value;
 
 pub use accessor::{CellAccessor, CellAccessorMut};
-pub use ast::{Attribute, CellKind, EdgeKind, FieldDef, ProtocolDef, ProtocolKind, StructDef, TslScript, TypeRef};
+pub use ast::{
+    Attribute, CellKind, EdgeKind, FieldDef, ProtocolDef, ProtocolKind, StructDef, TslScript,
+    TypeRef,
+};
 pub use error::TslError;
 pub use layout::{CellBuilder, FieldInfo, StructLayout};
 pub use schema::{compile, ProtocolInfo, Schema};

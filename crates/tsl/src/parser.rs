@@ -30,7 +30,11 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, TslError> {
         let t = self.peek();
-        Err(TslError::Parse { line: t.line, col: t.col, msg: msg.into() })
+        Err(TslError::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<Token, TslError> {
@@ -117,7 +121,11 @@ impl Parser {
         Ok(Attribute { entries })
     }
 
-    fn struct_body(&mut self, is_cell: bool, attributes: Vec<Attribute>) -> Result<StructDef, TslError> {
+    fn struct_body(
+        &mut self,
+        is_cell: bool,
+        attributes: Vec<Attribute>,
+    ) -> Result<StructDef, TslError> {
         let name = self.ident()?;
         self.expect(TokenKind::LBrace)?;
         let mut fields = Vec::new();
@@ -129,10 +137,19 @@ impl Parser {
             let ty = self.type_ref()?;
             let fname = self.ident()?;
             self.expect(TokenKind::Semicolon)?;
-            fields.push(FieldDef { name: fname, ty, attributes: field_attrs });
+            fields.push(FieldDef {
+                name: fname,
+                ty,
+                attributes: field_attrs,
+            });
         }
         self.expect(TokenKind::RBrace)?;
-        Ok(StructDef { name, is_cell, attributes, fields })
+        Ok(StructDef {
+            name,
+            is_cell,
+            attributes,
+            fields,
+        })
     }
 
     fn type_ref(&mut self) -> Result<TypeRef, TslError> {
@@ -158,7 +175,11 @@ impl Parser {
                 self.expect(TokenKind::Comma)?;
                 let len = match self.next().kind {
                     TokenKind::Int(n) if n >= 1 => n as usize,
-                    other => return self.err(format!("Array length must be a positive integer, found {other}")),
+                    other => {
+                        return self.err(format!(
+                            "Array length must be a positive integer, found {other}"
+                        ))
+                    }
                 };
                 self.expect(TokenKind::RAngle)?;
                 TypeRef::Array(Box::new(inner), len)
@@ -184,7 +205,11 @@ impl Parser {
                     kind = Some(match value.as_str() {
                         "Syn" => ProtocolKind::Syn,
                         "Asyn" => ProtocolKind::Asyn,
-                        other => return self.err(format!("protocol Type must be Syn or Asyn, found `{other}`")),
+                        other => {
+                            return self.err(format!(
+                                "protocol Type must be Syn or Asyn, found `{other}`"
+                            ))
+                        }
                     })
                 }
                 "Request" => request = Some(value),
@@ -193,12 +218,21 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RBrace)?;
-        let kind = kind.ok_or_else(|| TslError::Validate(format!("protocol {name} is missing `Type`")))?;
-        let request = request.ok_or_else(|| TslError::Validate(format!("protocol {name} is missing `Request`")))?;
+        let kind =
+            kind.ok_or_else(|| TslError::Validate(format!("protocol {name} is missing `Type`")))?;
+        let request = request
+            .ok_or_else(|| TslError::Validate(format!("protocol {name} is missing `Request`")))?;
         if kind == ProtocolKind::Syn && response.is_none() {
-            return Err(TslError::Validate(format!("synchronous protocol {name} needs a `Response`")));
+            return Err(TslError::Validate(format!(
+                "synchronous protocol {name} needs a `Response`"
+            )));
         }
-        Ok(ProtocolDef { name, kind, request, response })
+        Ok(ProtocolDef {
+            name,
+            kind,
+            request,
+            response,
+        })
     }
 }
 
@@ -280,26 +314,47 @@ mod tests {
         )
         .unwrap();
         let outer = &s.structs[1];
-        assert_eq!(outer.fields[0].ty, TypeRef::List(Box::new(TypeRef::List(Box::new(TypeRef::Int)))));
+        assert_eq!(
+            outer.fields[0].ty,
+            TypeRef::List(Box::new(TypeRef::List(Box::new(TypeRef::Int))))
+        );
         assert_eq!(outer.fields[1].ty, TypeRef::Struct("Inner".into()));
         assert_eq!(outer.fields[2].ty, TypeRef::BitArray);
     }
 
     #[test]
     fn asyn_protocol_without_response() {
-        let s = parse_script("struct M { int X; } protocol Notify { Type: Asyn; Request: M; }").unwrap();
+        let s = parse_script("struct M { int X; } protocol Notify { Type: Asyn; Request: M; }")
+            .unwrap();
         assert_eq!(s.protocols[0].kind, ProtocolKind::Asyn);
         assert_eq!(s.protocols[0].response, None);
     }
 
     #[test]
     fn rejects_malformed_scripts() {
-        assert!(parse_script("cell Movie {}").is_err(), "missing struct keyword");
-        assert!(parse_script("struct A { int }").is_err(), "missing field name");
-        assert!(parse_script("struct A { int x; } protocol P { Type: Maybe; Request: A; }").is_err());
-        assert!(parse_script("protocol P { Request: A; }").is_err(), "missing Type");
-        assert!(parse_script("struct A { int x; } protocol P { Type: Syn; Request: A; }").is_err(), "syn needs response");
+        assert!(
+            parse_script("cell Movie {}").is_err(),
+            "missing struct keyword"
+        );
+        assert!(
+            parse_script("struct A { int }").is_err(),
+            "missing field name"
+        );
+        assert!(
+            parse_script("struct A { int x; } protocol P { Type: Maybe; Request: A; }").is_err()
+        );
+        assert!(
+            parse_script("protocol P { Request: A; }").is_err(),
+            "missing Type"
+        );
+        assert!(
+            parse_script("struct A { int x; } protocol P { Type: Syn; Request: A; }").is_err(),
+            "syn needs response"
+        );
         assert!(parse_script("[Dangling: Attr]").is_err());
-        assert!(parse_script("struct A { List<int x; }").is_err(), "unclosed generic");
+        assert!(
+            parse_script("struct A { List<int x; }").is_err(),
+            "unclosed generic"
+        );
     }
 }

@@ -56,14 +56,18 @@ pub fn compile(script: &TslScript) -> Result<Schema, TslError> {
         if schema.protocols.contains_key(&p.name) {
             return Err(TslError::Validate(format!("duplicate protocol {}", p.name)));
         }
-        let request = schema
-            .structs
-            .get(&p.request)
-            .cloned()
-            .ok_or_else(|| TslError::Validate(format!("protocol {} requests unknown struct {}", p.name, p.request)))?;
+        let request = schema.structs.get(&p.request).cloned().ok_or_else(|| {
+            TslError::Validate(format!(
+                "protocol {} requests unknown struct {}",
+                p.name, p.request
+            ))
+        })?;
         let response = match &p.response {
             Some(r) => Some(schema.structs.get(r).cloned().ok_or_else(|| {
-                TslError::Validate(format!("protocol {} responds with unknown struct {r}", p.name))
+                TslError::Validate(format!(
+                    "protocol {} responds with unknown struct {r}",
+                    p.name
+                ))
             })?),
             None => None,
         };
@@ -96,7 +100,9 @@ fn resolve_struct(
             in_progress.join(" -> ")
         )));
     }
-    let def = *defs.get(name).ok_or_else(|| TslError::Validate(format!("unknown struct {name}")))?;
+    let def = *defs
+        .get(name)
+        .ok_or_else(|| TslError::Validate(format!("unknown struct {name}")))?;
     in_progress.push(name.to_string());
     let mut fields = Vec::with_capacity(def.fields.len());
     for f in &def.fields {
@@ -110,7 +116,11 @@ fn resolve_struct(
         ));
     }
     in_progress.pop();
-    let layout = Arc::new(StructLayout::build_layout(name.to_string(), def.cell_kind(), fields)?);
+    let layout = Arc::new(StructLayout::build_layout(
+        name.to_string(),
+        def.cell_kind(),
+        fields,
+    )?);
     schema.structs.insert(name.to_string(), Arc::clone(&layout));
     Ok(layout)
 }
@@ -130,18 +140,25 @@ fn resolve_type(
         TypeRef::Double => ResolvedType::Double,
         TypeRef::String => ResolvedType::Str,
         TypeRef::BitArray => ResolvedType::BitArray,
-        TypeRef::List(inner) => ResolvedType::List(Box::new(resolve_type(inner, defs, schema, in_progress)?)),
-        TypeRef::Array(inner, n) => {
-            ResolvedType::Array(Box::new(resolve_type(inner, defs, schema, in_progress)?), *n)
+        TypeRef::List(inner) => {
+            ResolvedType::List(Box::new(resolve_type(inner, defs, schema, in_progress)?))
         }
-        TypeRef::Struct(name) => ResolvedType::Struct(resolve_struct(name, defs, schema, in_progress)?),
+        TypeRef::Array(inner, n) => ResolvedType::Array(
+            Box::new(resolve_type(inner, defs, schema, in_progress)?),
+            *n,
+        ),
+        TypeRef::Struct(name) => {
+            ResolvedType::Struct(resolve_struct(name, defs, schema, in_progress)?)
+        }
     })
 }
 
 impl Schema {
     /// Layout of the struct named `name`.
     pub fn struct_layout(&self, name: &str) -> Result<&Arc<StructLayout>, TslError> {
-        self.structs.get(name).ok_or_else(|| TslError::Unknown(name.to_string()))
+        self.structs
+            .get(name)
+            .ok_or_else(|| TslError::Unknown(name.to_string()))
     }
 
     /// Struct names in declaration order.
@@ -160,7 +177,9 @@ impl Schema {
 
     /// Descriptor of the protocol named `name`.
     pub fn protocol(&self, name: &str) -> Result<&ProtocolInfo, TslError> {
-        self.protocols.get(name).ok_or_else(|| TslError::Unknown(name.to_string()))
+        self.protocols
+            .get(name)
+            .ok_or_else(|| TslError::Unknown(name.to_string()))
     }
 
     /// All protocols.
@@ -176,7 +195,12 @@ impl Schema {
     /// Register a typed handler for a protocol on an endpoint. The handler
     /// receives the decoded request and returns the response value
     /// (ignored for asynchronous protocols).
-    pub fn bind_handler<F>(&self, endpoint: &Endpoint, protocol: &str, handler: F) -> Result<(), TslError>
+    pub fn bind_handler<F>(
+        &self,
+        endpoint: &Endpoint,
+        protocol: &str,
+        handler: F,
+    ) -> Result<(), TslError>
     where
         F: Fn(MachineId, Value) -> Option<Value> + Send + Sync + 'static,
     {
@@ -201,16 +225,17 @@ impl Schema {
     ) -> Result<Value, TslError> {
         let info = self.protocol(protocol)?;
         if info.kind != ProtocolKind::Syn {
-            return Err(TslError::Validate(format!("protocol {protocol} is asynchronous; use send_protocol")));
+            return Err(TslError::Validate(format!(
+                "protocol {protocol} is asynchronous; use send_protocol"
+            )));
         }
         let payload = info.request.encode(request)?;
         let reply = endpoint
             .call(dst, info.id, &payload)
             .map_err(|e| TslError::Validate(format!("protocol {protocol} transport error: {e}")))?;
-        let layout = info
-            .response
-            .as_ref()
-            .ok_or_else(|| TslError::Validate(format!("protocol {protocol} has no response type")))?;
+        let layout = info.response.as_ref().ok_or_else(|| {
+            TslError::Validate(format!("protocol {protocol} has no response type"))
+        })?;
         layout.decode(&reply)
     }
 
@@ -311,7 +336,12 @@ mod tests {
             .unwrap();
         let client = fabric.endpoint(MachineId(0));
         let reply = schema
-            .call_protocol(&client, MachineId(1), "Echo", &Value::Struct(vec![Value::Str("hi".into())]))
+            .call_protocol(
+                &client,
+                MachineId(1),
+                "Echo",
+                &Value::Struct(vec![Value::Str("hi".into())]),
+            )
             .unwrap();
         assert_eq!(reply.as_struct().unwrap()[0].as_str(), Some("echo: hi"));
         fabric.shutdown();
@@ -319,7 +349,8 @@ mod tests {
 
     #[test]
     fn asyn_protocol_sends_without_response() {
-        let script = parse("struct M { long V; } protocol Push { Type: Asyn; Request: M; }").unwrap();
+        let script =
+            parse("struct M { long V; } protocol Push { Type: Asyn; Request: M; }").unwrap();
         let schema = compile(&script).unwrap();
         let fabric = Fabric::new(FabricConfig::with_machines(2));
         let got = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
@@ -327,21 +358,40 @@ mod tests {
             let got = std::sync::Arc::clone(&got);
             schema
                 .bind_handler(&fabric.endpoint(MachineId(1)), "Push", move |_src, req| {
-                    got.store(req.as_struct().unwrap()[0].as_long().unwrap(), std::sync::atomic::Ordering::SeqCst);
+                    got.store(
+                        req.as_struct().unwrap()[0].as_long().unwrap(),
+                        std::sync::atomic::Ordering::SeqCst,
+                    );
                     None
                 })
                 .unwrap();
         }
         let client = fabric.endpoint(MachineId(0));
-        schema.send_protocol(&client, MachineId(1), "Push", &Value::Struct(vec![Value::Long(41)])).unwrap();
+        schema
+            .send_protocol(
+                &client,
+                MachineId(1),
+                "Push",
+                &Value::Struct(vec![Value::Long(41)]),
+            )
+            .unwrap();
         client.flush();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while got.load(std::sync::atomic::Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+        while got.load(std::sync::atomic::Ordering::SeqCst) == 0
+            && std::time::Instant::now() < deadline
+        {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(got.load(std::sync::atomic::Ordering::SeqCst), 41);
         // Calling an Asyn protocol synchronously is a usage error.
-        assert!(schema.call_protocol(&client, MachineId(1), "Push", &Value::Struct(vec![Value::Long(1)])).is_err());
+        assert!(schema
+            .call_protocol(
+                &client,
+                MachineId(1),
+                "Push",
+                &Value::Struct(vec![Value::Long(1)])
+            )
+            .is_err());
         fabric.shutdown();
     }
 }

@@ -27,7 +27,11 @@ const SCRIPT: &str = "
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     let inner = |a: i32, b: String, c: Vec<f64>| {
-        Value::Struct(vec![Value::Int(a), Value::Str(b), Value::List(c.into_iter().map(Value::Double).collect())])
+        Value::Struct(vec![
+            Value::Int(a),
+            Value::Str(b),
+            Value::List(c.into_iter().map(Value::Double).collect()),
+        ])
     };
     (
         any::<u8>(),
@@ -40,31 +44,57 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         proptest::collection::vec(any::<i64>(), 0..16),
         proptest::collection::vec("[a-z]{0,8}", 0..6),
         proptest::collection::vec(any::<bool>(), 0..24),
-        (any::<i32>(), "[a-z]{0,5}", proptest::collection::vec(any::<f64>(), 0..4)),
         (
-            proptest::collection::vec((any::<i32>(), "[a-z]{0,5}", proptest::collection::vec(any::<f64>(), 0..3)), 0..4),
+            any::<i32>(),
+            "[a-z]{0,5}",
+            proptest::collection::vec(any::<f64>(), 0..4),
+        ),
+        (
+            proptest::collection::vec(
+                (
+                    any::<i32>(),
+                    "[a-z]{0,5}",
+                    proptest::collection::vec(any::<f64>(), 0..3),
+                ),
+                0..4,
+            ),
             proptest::array::uniform4(any::<i32>()),
             ("[a-z]{0,6}", "[a-z]{0,6}"),
         ),
     )
-        .prop_map(move |(tag, flag, count, id, f, d, name, links, labels, bits, nested, (extra, quad, pair))| {
-            Value::Struct(vec![
-                Value::Byte(tag),
-                Value::Bool(flag),
-                Value::Int(count),
-                Value::Long(id),
-                Value::Float(f),
-                Value::Double(d),
-                Value::Str(name),
-                Value::List(links.into_iter().map(Value::Long).collect()),
-                Value::List(labels.into_iter().map(Value::Str).collect()),
-                Value::Bits(bits),
-                inner(nested.0, nested.1, nested.2),
-                Value::List(extra.into_iter().map(|(a, b, c)| inner(a, b, c)).collect()),
-                Value::List(quad.into_iter().map(Value::Int).collect()),
-                Value::List(vec![Value::Str(pair.0), Value::Str(pair.1)]),
-            ])
-        })
+        .prop_map(
+            move |(
+                tag,
+                flag,
+                count,
+                id,
+                f,
+                d,
+                name,
+                links,
+                labels,
+                bits,
+                nested,
+                (extra, quad, pair),
+            )| {
+                Value::Struct(vec![
+                    Value::Byte(tag),
+                    Value::Bool(flag),
+                    Value::Int(count),
+                    Value::Long(id),
+                    Value::Float(f),
+                    Value::Double(d),
+                    Value::Str(name),
+                    Value::List(links.into_iter().map(Value::Long).collect()),
+                    Value::List(labels.into_iter().map(Value::Str).collect()),
+                    Value::Bits(bits),
+                    inner(nested.0, nested.1, nested.2),
+                    Value::List(extra.into_iter().map(|(a, b, c)| inner(a, b, c)).collect()),
+                    Value::List(quad.into_iter().map(Value::Int).collect()),
+                    Value::List(vec![Value::Str(pair.0), Value::Str(pair.1)]),
+                ])
+            },
+        )
 }
 
 proptest! {

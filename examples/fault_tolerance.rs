@@ -23,12 +23,16 @@ fn main() {
         call_timeout: Duration::from_millis(200),
         ..CloudConfig::small(machines)
     }));
-    let stores: Vec<_> = (0..machines).map(|m| LoggedStore::install(&cloud, m, 2)).collect();
+    let stores: Vec<_> = (0..machines)
+        .map(|m| LoggedStore::install(&cloud, m, 2))
+        .collect();
 
     // Phase 1: base data, snapshotted to TFS.
     println!("writing 300 cells and snapshotting trunks to TFS...");
     for i in 0..300u64 {
-        stores[0].put(i, format!("snapshot-cell-{i}").as_bytes()).unwrap();
+        stores[0]
+            .put(i, format!("snapshot-cell-{i}").as_bytes())
+            .unwrap();
     }
     cloud.backup_all().unwrap();
 
@@ -36,7 +40,9 @@ fn main() {
     // log buffers (RAMCloud-style buffered logging).
     println!("writing 100 post-snapshot cells (buffered logging only)...");
     for i in 300..400u64 {
-        stores[1].put(i, format!("logged-cell-{i}").as_bytes()).unwrap();
+        stores[1]
+            .put(i, format!("logged-cell-{i}").as_bytes())
+            .unwrap();
     }
 
     // Start the recovery agents: leader election over the TFS flag.
@@ -50,10 +56,20 @@ fn main() {
     println!("leader elected: {leader}");
 
     // Kill a non-leader machine (remembering which trunks die with it).
-    let victim = (0..machines as u16).map(MachineId).find(|&p| p != leader).unwrap();
-    let lost: std::collections::HashSet<u64> =
-        cloud.node(0).table().trunks_of(victim).into_iter().collect();
-    println!("killing machine {victim} (owner of {} trunks)...", lost.len());
+    let victim = (0..machines as u16)
+        .map(MachineId)
+        .find(|&p| p != leader)
+        .unwrap();
+    let lost: std::collections::HashSet<u64> = cloud
+        .node(0)
+        .table()
+        .trunks_of(victim)
+        .into_iter()
+        .collect();
+    println!(
+        "killing machine {victim} (owner of {} trunks)...",
+        lost.len()
+    );
     cloud.kill_machine(victim.0 as usize);
 
     // The leader's heartbeats notice and run the §6.2 recovery protocol.
@@ -84,7 +100,10 @@ fn main() {
     }
     println!("verification: {missing} of 400 cells missing after recovery");
     assert_eq!(missing, 0, "recovery must restore everything");
-    println!("all data recovered. new table epoch: {}", cloud.node(survivor).table().epoch);
+    println!(
+        "all data recovered. new table epoch: {}",
+        cloud.node(survivor).table().epoch
+    );
     agents.stop();
     cloud.shutdown();
 }

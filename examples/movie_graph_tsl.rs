@@ -87,13 +87,18 @@ fn main() {
     cloud.node(1).put(matrix, &bytes).unwrap();
     let check = cloud.node(0).get(matrix).unwrap().unwrap();
     let check = CellAccessor::new(&movie_layout, &check);
-    println!("after in-place edit, Actors = {:?}", check.list_longs("Actors").unwrap().collect::<Vec<_>>());
+    println!(
+        "after in-place edit, Actors = {:?}",
+        check.list_longs("Actors").unwrap().collect::<Vec<_>>()
+    );
 
     // The Echo protocol, dispatched through the generated glue.
     schema
         .bind_handler(cloud.node(1).endpoint(), "Echo", |src, req| {
             let text = req.as_struct().unwrap()[0].as_str().unwrap().to_string();
-            Some(Value::Struct(vec![Value::Str(format!("echo from m1 to {src}: {text}"))]))
+            Some(Value::Struct(vec![Value::Str(format!(
+                "echo from m1 to {src}: {text}"
+            ))]))
         })
         .unwrap();
     let reply = schema
@@ -104,6 +109,9 @@ fn main() {
             &Value::Struct(vec![Value::Str("hello TSL".into())]),
         )
         .unwrap();
-    println!("protocol reply: {}", reply.as_struct().unwrap()[0].as_str().unwrap());
+    println!(
+        "protocol reply: {}",
+        reply.as_struct().unwrap()[0].as_str().unwrap()
+    );
     cloud.shutdown();
 }

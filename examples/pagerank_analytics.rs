@@ -36,11 +36,21 @@ fn main() {
     let configs: [(&str, BspConfig); 3] = [
         (
             "naive (one transfer per message)",
-            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, combine: false, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Unpacked,
+                hub_threshold: None,
+                combine: false,
+                max_supersteps: 64,
+            },
         ),
         (
             "packed",
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: None, combine: false, max_supersteps: 64 },
+            BspConfig {
+                messaging: MessagingMode::Packed,
+                hub_threshold: None,
+                combine: false,
+                max_supersteps: 64,
+            },
         ),
         (
             "packed + hub buffering",
@@ -55,20 +65,40 @@ fn main() {
 
     for (name, cfg) in configs {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
-        let graph = Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
+        let graph =
+            Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
         let result = pagerank_distributed(graph, iterations, cfg);
         let frames: u64 = result.reports.iter().map(|r| r.remote_messages).sum();
-        let envelopes: u64 = result.reports.iter().map(|r| r.max_machine_net.remote_envelopes).sum();
+        let envelopes: u64 = result
+            .reports
+            .iter()
+            .map(|r| r.max_machine_net.remote_envelopes)
+            .sum();
         println!("\n== {name}");
-        println!("   {} supersteps, {} remote messages, {} bottleneck-link transfers", result.supersteps(), frames, envelopes);
-        println!("   modeled cluster time: {:.3} s total ({:.3} s / iteration)", result.modeled_seconds(), result.modeled_seconds() / iterations as f64);
+        println!(
+            "   {} supersteps, {} remote messages, {} bottleneck-link transfers",
+            result.supersteps(),
+            frames,
+            envelopes
+        );
+        println!(
+            "   modeled cluster time: {:.3} s total ({:.3} s / iteration)",
+            result.modeled_seconds(),
+            result.modeled_seconds() / iterations as f64
+        );
         let top = {
-            let mut ranked: Vec<(u64, f64)> = result.states.iter().map(|(id, s)| (*id, s.rank)).collect();
+            let mut ranked: Vec<(u64, f64)> =
+                result.states.iter().map(|(id, s)| (*id, s.rank)).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             ranked.truncate(3);
             ranked
         };
-        println!("   top ranks: {:?}", top.iter().map(|(id, r)| format!("#{id}={r:.2e}")).collect::<Vec<_>>());
+        println!(
+            "   top ranks: {:?}",
+            top.iter()
+                .map(|(id, r)| format!("#{id}={r:.2e}"))
+                .collect::<Vec<_>>()
+        );
         cloud.shutdown();
     }
 }

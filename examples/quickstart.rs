@@ -14,7 +14,11 @@ fn main() {
     // byte between machines crosses the message-passing fabric).
     let cluster = TrinityCluster::new(TrinityConfig::small(4));
     let cloud = Arc::clone(cluster.cloud());
-    println!("cluster up: {} slaves, {} trunks", cluster.slaves(), cloud.node(0).table().trunk_count());
+    println!(
+        "cluster up: {} slaves, {} trunks",
+        cluster.slaves(),
+        cloud.node(0).table().trunk_count()
+    );
 
     // Store a small friendship graph (a ring plus some chords).
     let n = 32usize;
@@ -24,13 +28,27 @@ fn main() {
     let csr = Csr::undirected_from_edges(n, &edges, true);
     let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> =
         Arc::new(|v| format!("person-{v}").into_bytes());
-    let graph = load_graph(Arc::clone(&cloud), &csr, &LoadOptions { with_in_links: false, attrs: Some(attrs) })
-        .expect("load graph");
-    println!("loaded {} nodes over {} machines", graph.node_count(), graph.machines());
+    let graph = load_graph(
+        Arc::clone(&cloud),
+        &csr,
+        &LoadOptions {
+            with_in_links: false,
+            attrs: Some(attrs),
+        },
+    )
+    .expect("load graph");
+    println!(
+        "loaded {} nodes over {} machines",
+        graph.node_count(),
+        graph.machines()
+    );
 
     // Location-transparent cell access: read node 5 from any machine.
     let from_m3 = graph.handle(3).attrs(5).unwrap().unwrap();
-    println!("node 5 attrs read via machine 3: {}", String::from_utf8_lossy(&from_m3));
+    println!(
+        "node 5 attrs read via machine 3: {}",
+        String::from_utf8_lossy(&from_m3)
+    );
 
     // Online exploration: the 3-hop neighborhood of node 0.
     let explorer = Explorer::install(Arc::clone(&cloud));

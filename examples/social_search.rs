@@ -28,10 +28,20 @@ fn main() {
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
     let attrs: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync> =
         Arc::new(move |v| trinity::graphgen::names::name_for(seed, v).into_bytes());
-    load_graph(Arc::clone(&cloud), &csr, &LoadOptions { with_in_links: false, attrs: Some(attrs) })
-        .expect("load graph");
+    load_graph(
+        Arc::clone(&cloud),
+        &csr,
+        &LoadOptions {
+            with_in_links: false,
+            attrs: Some(attrs),
+        },
+    )
+    .expect("load graph");
     let explorer = Explorer::install(Arc::clone(&cloud));
-    println!("loaded over {machines} machines; {} total cells\n", cloud.total_cells());
+    println!(
+        "loaded over {machines} machines; {} total cells\n",
+        cloud.total_cells()
+    );
 
     for hops in 1..=3 {
         let report = people_search(&explorer, 0, 7, hops, "David");
@@ -44,7 +54,12 @@ fn main() {
         );
         if hops == 3 {
             println!("  per-hop frontier sizes: {:?}", report.per_hop);
-            let davids: Vec<String> = report.matches.iter().take(8).map(|id| format!("#{id}")).collect();
+            let davids: Vec<String> = report
+                .matches
+                .iter()
+                .take(8)
+                .map(|id| format!("#{id}"))
+                .collect();
             println!("  first matches: {}", davids.join(", "));
         }
     }

@@ -31,18 +31,44 @@ fn movie_demo() {
         .unwrap(),
     )
     .unwrap();
-    let catalog = Catalog::from_schema(&schema, &[("Movie", "Cast"), ("Actor", "ActedIn")]).unwrap();
+    let catalog =
+        Catalog::from_schema(&schema, &[("Movie", "Cast"), ("Actor", "ActedIn")]).unwrap();
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(3)));
     // ids: movies 1..=3, actors 10..=11
-    let data: [(u64, &str, i32, &[u64]); 3] =
-        [(1, "Heat", 1995, &[10, 11]), (2, "Ronin", 1998, &[10]), (3, "Serpico", 1973, &[11])];
+    let data: [(u64, &str, i32, &[u64]); 3] = [
+        (1, "Heat", 1995, &[10, 11]),
+        (2, "Ronin", 1998, &[10]),
+        (3, "Serpico", 1973, &[11]),
+    ];
     for (id, name, year, cast) in data {
         catalog
-            .new_node(&cloud, id, "Movie", &[("Name", name.into()), ("Year", Value::Int(year))], cast)
+            .new_node(
+                &cloud,
+                id,
+                "Movie",
+                &[("Name", name.into()), ("Year", Value::Int(year))],
+                cast,
+            )
             .unwrap();
     }
-    catalog.new_node(&cloud, 10, "Actor", &[("Name", "Robert De Niro".into())], &[1, 2]).unwrap();
-    catalog.new_node(&cloud, 11, "Actor", &[("Name", "Al Pacino".into())], &[1, 3]).unwrap();
+    catalog
+        .new_node(
+            &cloud,
+            10,
+            "Actor",
+            &[("Name", "Robert De Niro".into())],
+            &[1, 2],
+        )
+        .unwrap();
+    catalog
+        .new_node(
+            &cloud,
+            11,
+            "Actor",
+            &[("Name", "Al Pacino".into())],
+            &[1, 3],
+        )
+        .unwrap();
     let engine = TqlEngine::new(Arc::clone(&cloud), catalog);
 
     for q in [
@@ -94,15 +120,28 @@ fn social_demo() {
     let q = r#"MATCH (me:Person)-[1..2]->(friend:Person)
                WHERE me.Name = "David" AND friend.Name = "David" AND friend.Age < 40
                RETURN me, friend.Age LIMIT 20"#;
-    println!("  {}", q.replace('\n', " ").split_whitespace().collect::<Vec<_>>().join(" "));
+    println!(
+        "  {}",
+        q.replace('\n', " ")
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     let (rows, secs) = {
         let t0 = std::time::Instant::now();
         let rows = engine.query(q).unwrap();
         (rows, t0.elapsed().as_secs_f64())
     };
-    println!("    {} young David-pairs found in {:.1} ms", rows.len(), secs * 1e3);
+    println!(
+        "    {} young David-pairs found in {:.1} ms",
+        rows.len(),
+        secs * 1e3
+    );
     for row in rows.iter().take(5) {
-        println!("    -> me=#{:?} friend.Age={:?}", row.bindings[0].1, row.values[1]);
+        println!(
+            "    -> me=#{:?} friend.Age={:?}",
+            row.bindings[0].1, row.values[1]
+        );
     }
     cloud.shutdown();
 }

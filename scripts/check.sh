@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh [extra cargo args, e.g. --offline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets "$@" -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q "$@"
+
+echo "All checks passed."

@@ -26,7 +26,10 @@ fn no_torn_reads_under_concurrent_cross_machine_writes() {
             let mut round = 1u8;
             while !stop.load(Ordering::Relaxed) {
                 for i in 0..cells {
-                    cloud.node(((w + 1) % 3) as usize).put(i, &[round; 64]).unwrap();
+                    cloud
+                        .node(((w + 1) % 3) as usize)
+                        .put(i, &[round; 64])
+                        .unwrap();
                 }
                 round = round.wrapping_add(1).max(1);
             }
@@ -62,14 +65,18 @@ fn no_torn_reads_under_concurrent_cross_machine_writes() {
 fn defrag_daemon_running_under_live_traffic_preserves_every_cell() {
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
     // Background defragmentation on both machines, as in production.
-    let daemons: Vec<DefragDaemon> =
-        (0..2).map(|m| DefragDaemon::spawn(Arc::clone(cloud.node(m).store()))).collect();
+    let daemons: Vec<DefragDaemon> = (0..2)
+        .map(|m| DefragDaemon::spawn(Arc::clone(cloud.node(m).store())))
+        .collect();
     let cells = 200u64;
     // Heavy churn: put, grow, delete, re-put.
     for round in 0..20u64 {
         for i in 0..cells {
             let size = 16 + ((i + round) % 96) as usize;
-            cloud.node((i % 2) as usize).put(i, &vec![(round % 251) as u8; size]).unwrap();
+            cloud
+                .node((i % 2) as usize)
+                .put(i, &vec![(round % 251) as u8; size])
+                .unwrap();
         }
         for i in (0..cells).step_by(3) {
             cloud.node(0).remove(i).unwrap();
@@ -82,7 +89,10 @@ fn defrag_daemon_running_under_live_traffic_preserves_every_cell() {
     for i in 0..cells {
         let bytes = cloud.node(0).get(i).unwrap().expect("cell must exist");
         let first = bytes[0];
-        assert!(bytes.iter().all(|&b| b == first), "cell {i} corrupted under defrag churn");
+        assert!(
+            bytes.iter().all(|&b| b == first),
+            "cell {i} corrupted under defrag churn"
+        );
     }
     for d in daemons {
         d.stop();
@@ -123,7 +133,10 @@ fn append_heavy_graph_mutation_is_linearizable_per_cell() {
         );
         // Every 4-byte chunk is a unit from exactly one thread.
         for chunk in bytes.chunks_exact(4) {
-            assert!(chunk.iter().all(|&b| b == chunk[0]), "interleaved append chunk in cell {i}");
+            assert!(
+                chunk.iter().all(|&b| b == chunk[0]),
+                "interleaved append chunk in cell {i}"
+            );
             assert!((1..=3).contains(&chunk[0]));
         }
     }

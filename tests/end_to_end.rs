@@ -15,8 +15,10 @@ use trinity::tsl::{compile, parse, CellAccessor};
 #[test]
 fn full_stack_lifecycle() {
     // 1. A TSL-declared schema for the node attributes.
-    let schema = compile(&parse("[CellType: NodeCell] cell struct Person { string Name; int Age; }").unwrap())
-        .unwrap();
+    let schema = compile(
+        &parse("[CellType: NodeCell] cell struct Person { string Name; int Age; }").unwrap(),
+    )
+    .unwrap();
     let person = Arc::clone(schema.struct_layout("Person").unwrap());
 
     // 2. Bring up the cloud and load a social graph whose attribute bytes
@@ -36,8 +38,15 @@ fn full_stack_lifecycle() {
         })
     };
     let graph = Arc::new(
-        load_graph(Arc::clone(&cloud), &csr, &LoadOptions { with_in_links: false, attrs: Some(attrs) })
-            .unwrap(),
+        load_graph(
+            Arc::clone(&cloud),
+            &csr,
+            &LoadOptions {
+                with_in_links: false,
+                attrs: Some(attrs),
+            },
+        )
+        .unwrap(),
     );
 
     // 3. Zero-copy attribute access through the TSL accessor, from a
@@ -46,7 +55,10 @@ fn full_stack_lifecycle() {
     let attrs_of_7 = graph.handle(2).attrs(7).unwrap().unwrap();
     let acc = CellAccessor::new(&person, &attrs_of_7);
     assert_eq!(acc.get_int("Age").unwrap(), 27);
-    assert_eq!(acc.get_str("Name").unwrap(), trinity::graphgen::names::name_for(9, 7));
+    assert_eq!(
+        acc.get_str("Name").unwrap(),
+        trinity::graphgen::names::name_for(9, 7)
+    );
 
     // 4. Online query: 2-hop exploration agrees with a reference BFS.
     let explorer = Explorer::install(Arc::clone(&cloud));
@@ -83,7 +95,8 @@ fn attribute_bytes_survive_tsl_roundtrip_at_scale() {
     // Every cell's attribute blob decodes to exactly what was encoded —
     // across machine boundaries and trunk storage.
     let schema =
-        compile(&parse("cell struct Tag { long Id; string Label; List<long> Friends; }").unwrap()).unwrap();
+        compile(&parse("cell struct Tag { long Id; string Label; List<long> Friends; }").unwrap())
+            .unwrap();
     let layout = Arc::clone(schema.struct_layout("Tag").unwrap());
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(3)));
     for i in 0..300u64 {

@@ -48,17 +48,26 @@ fn ring(n: usize) -> Csr {
 }
 
 fn cfg(limit: usize) -> BspConfig {
-    BspConfig { messaging: MessagingMode::Packed, hub_threshold: None, combine: false, max_supersteps: limit }
+    BspConfig {
+        messaging: MessagingMode::Packed,
+        hub_threshold: None,
+        combine: false,
+        max_supersteps: limit,
+    }
 }
 
 #[test]
 fn bsp_job_interrupted_and_resumed_from_tfs_checkpoint() {
     let n = 36;
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(3)));
-    let graph = Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
+    let graph =
+        Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
     let expected = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(128)).run();
     // Run 6 supersteps (1.5 checkpoint intervals), then "crash".
-    let ckpt = CheckpointConfig { every: 4, job: "interrupted".into() };
+    let ckpt = CheckpointConfig {
+        every: 4,
+        job: "interrupted".into(),
+    };
     let runner = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(4));
     let partial = run_with_checkpoints(&runner, &cfg(8), &ckpt).unwrap();
     assert!(!partial.terminated);
@@ -80,12 +89,16 @@ fn machine_failure_mid_bsp_job_recovers_through_cloud_and_checkpoint() {
     // recovered data and finishes with exact results.
     let n = 40;
     let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(4)));
-    let graph = Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
+    let graph =
+        Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
     let expected = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(128)).run();
     cloud.backup_all().unwrap();
 
     // Run 8 supersteps with checkpoints, then a machine dies.
-    let ckpt = CheckpointConfig { every: 4, job: "bsp-under-failure".into() };
+    let ckpt = CheckpointConfig {
+        every: 4,
+        job: "bsp-under-failure".into(),
+    };
     let runner = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(4));
     let partial = run_with_checkpoints(&runner, &cfg(8), &ckpt).unwrap();
     assert!(!partial.terminated);
@@ -98,7 +111,11 @@ fn machine_failure_mid_bsp_job_recovers_through_cloud_and_checkpoint() {
     // empty slave.
     cloud.fabric().revive(trinity::net::MachineId(2));
     cloud.node(2).sync_table().unwrap();
-    assert_eq!(cloud.node(2).store().cell_count(), 0, "rebooted machine must come back blank");
+    assert_eq!(
+        cloud.node(2).store().cell_count(),
+        0,
+        "rebooted machine must come back blank"
+    );
 
     // The recovered cloud hosts all graph cells again; resume from TFS.
     let handles_ok = (0..n as u64).all(|v| cloud.node(0).get(v).unwrap().is_some());
@@ -124,7 +141,11 @@ fn tfs_storage_node_failure_does_not_lose_backups() {
     cloud.kill_machine(2);
     cloud.recover(2).unwrap();
     for i in 0..120u64 {
-        assert_eq!(cloud.node(0).get(i).unwrap().as_deref(), Some(format!("v{i}").as_bytes()), "cell {i}");
+        assert_eq!(
+            cloud.node(0).get(i).unwrap().as_deref(),
+            Some(format!("v{i}").as_bytes()),
+            "cell {i}"
+        );
     }
     cloud.shutdown();
 }
@@ -178,11 +199,17 @@ fn cascading_failures_leader_then_slave() {
         if both_recovered {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "cascade not recovered; events: {events:?}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cascade not recovered; events: {events:?}"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     // All data reachable from any survivor.
-    let reader = (0..5u16).map(MachineId).find(|&p| p != first_leader && p != victim).unwrap();
+    let reader = (0..5u16)
+        .map(MachineId)
+        .find(|&p| p != first_leader && p != victim)
+        .unwrap();
     for i in 0..100u64 {
         assert_eq!(
             cloud.node(reader.0 as usize).get(i).unwrap().as_deref(),
@@ -206,6 +233,9 @@ fn queries_continue_during_and_after_unrelated_machine_failure() {
     cloud.kill_machine(3);
     cloud.recover(3).unwrap();
     let after = explorer.explore(0, 5, 2, b"");
-    assert_eq!(before.per_hop, after.per_hop, "exploration results changed across recovery");
+    assert_eq!(
+        before.per_hop, after.per_hop,
+        "exploration results changed across recovery"
+    );
     cloud.shutdown();
 }

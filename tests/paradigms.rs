@@ -48,10 +48,22 @@ fn three_paradigms_agree_on_reachability_and_distance() {
     let graph = Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
 
     // Paradigm 1: synchronous BSP BFS.
-    let bsp = bfs_distributed(Arc::clone(&graph), source, BspConfig { max_supersteps: 256, ..BspConfig::default() });
+    let bsp = bfs_distributed(
+        Arc::clone(&graph),
+        source,
+        BspConfig {
+            max_supersteps: 256,
+            ..BspConfig::default()
+        },
+    );
 
     // Paradigm 2: asynchronous message-driven relaxation.
-    let job = spawn(Arc::clone(&graph), AsyncSssp, "paradigms", vec![(source, 0u64)]);
+    let job = spawn(
+        Arc::clone(&graph),
+        AsyncSssp,
+        "paradigms",
+        vec![(source, 0u64)],
+    );
     let async_result = job.join();
 
     // Paradigm 3: online traversal, hop by hop.
@@ -64,7 +76,13 @@ fn three_paradigms_agree_on_reachability_and_distance() {
     }
 
     // Online exploration's per-hop counts equal the distance histogram.
-    let max_d = bsp.states.values().filter(|&&d| d != u64::MAX).max().copied().unwrap() as usize;
+    let max_d = bsp
+        .states
+        .values()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap() as usize;
     let result = explorer.explore(0, source, max_d, b"");
     for (hop, &count) in result.per_hop.iter().enumerate() {
         let expect = bsp.states.values().filter(|&&d| d == hop as u64).count();
