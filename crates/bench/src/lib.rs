@@ -181,6 +181,15 @@ impl MetricsOut {
         ));
     }
 
+    /// Record an arbitrary JSON section under `label` — for series a
+    /// binary computes itself (e.g. `serve_load`'s per-phase latency
+    /// quantiles and shed-rate curves).
+    pub fn section(&mut self, label: &str, value: Json) {
+        if self.path.is_some() {
+            self.sections.push((label.to_string(), value));
+        }
+    }
+
     /// Write the document (if `--metrics-out` was given), returning the
     /// path written.
     pub fn finish(self) -> Option<PathBuf> {

@@ -45,7 +45,9 @@ use parking_lot::{Condvar, Mutex};
 
 use trinity_graph::{DistributedGraph, GraphHandle};
 use trinity_memcloud::CellId;
-use trinity_net::{Endpoint, MachineId, StatsDelta};
+use trinity_net::{
+    current_deadline, deadline_expired, DeadlineGuard, Endpoint, MachineId, StatsDelta,
+};
 use trinity_obs::{next_trace_id, Counter, Histogram, TraceGuard};
 
 use crate::proto;
@@ -446,6 +448,13 @@ impl<P: VertexProgram> BspRunner<P> {
             {
                 let rt = Arc::clone(rt);
                 endpoint.register(proto::BSP_HUB, move |src, data| {
+                    // On a lapsed deadline the fan-out is skipped but the
+                    // frame is still counted: fences must balance or the
+                    // superstep would hang instead of finishing early.
+                    if deadline_expired() {
+                        rt.count_frame(src);
+                        return None;
+                    }
                     if let Some((_s, hub, bytes)) = decode_data_frame(data) {
                         if let Some(msg) = P::decode_msg(bytes) {
                             let subs = rt.subs.lock();
@@ -522,6 +531,10 @@ impl<P: VertexProgram> BspRunner<P> {
         // stamped with it and the job can be reconstructed from span rings
         // across the cluster.
         let trace = next_trace_id();
+        // A serving-tier deadline installed on the submitting thread is
+        // inherited by every machine driver: the job aborts between
+        // supersteps once the budget lapses.
+        let deadline = current_deadline();
 
         // Shared cross-machine coordination (control plane only).
         let barrier = Arc::new(Barrier::new(machines));
@@ -560,6 +573,7 @@ impl<P: VertexProgram> BspRunner<P> {
                         resume,
                         superstep_offset,
                         trace,
+                        deadline,
                     })
                 });
             }
@@ -619,6 +633,7 @@ struct DriverArgs<P: VertexProgram> {
     resume: Option<MachineResume<P>>,
     superstep_offset: usize,
     trace: u64,
+    deadline: u64,
 }
 
 #[derive(Default)]
@@ -651,9 +666,12 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
         resume,
         superstep_offset,
         trace,
+        deadline,
     } = args;
-    // The job's trace id covers every send/call this driver thread makes.
+    // The job's trace id covers every send/call this driver thread makes,
+    // and the submitter's deadline budget bounds them.
     let _trace_guard = TraceGuard::enter(trace);
+    let _deadline_guard = DeadlineGuard::enter(deadline);
     let handle: &GraphHandle = graph.handle(m);
     let machines = graph.machines();
     let table = graph.cloud().node(m).table();
@@ -908,7 +926,9 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
         if leader {
             let mut a = agg.lock();
             let quiet = a.deliveries == 0 && a.active == 0;
-            a.decision_stop = quiet || superstep + 1 >= cfg.max_supersteps;
+            // Stop on quiescence, the superstep cap, or a lapsed serving
+            // deadline (the job ends un-terminated with partial state).
+            a.decision_stop = quiet || superstep + 1 >= cfg.max_supersteps || deadline_expired();
             let compute_parallel = a.compute_sum / machines as f64;
             let modeled = compute_parallel
                 + cost.transfer_seconds(&a.net_max)

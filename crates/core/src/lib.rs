@@ -44,7 +44,7 @@ pub use bsp::{
     VertexProgram,
 };
 pub use cluster::{TrinityClient, TrinityCluster, TrinityConfig, TrinityProxy};
-pub use online::{ExplorationResult, Explorer};
+pub use online::{explore_via, CallHook, ExplorationResult, ExploreOptions, Explorer};
 
 /// Runtime protocol ids (range reserved by `trinity_net::proto`).
 pub(crate) mod proto {

@@ -19,11 +19,43 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use trinity_graph::GraphHandle;
-use trinity_memcloud::{CellId, MemoryCloud};
-use trinity_net::MachineId;
-use trinity_obs::{next_trace_id, TraceGuard};
+use trinity_memcloud::{AddressingTable, CellId, MemoryCloud};
+use trinity_net::{
+    current_deadline, deadline_expired, CancelToken, DeadlineGuard, Endpoint, MachineId, NetError,
+    ProtoId,
+};
+use trinity_obs::{current_trace, next_trace_id, TraceGuard, NO_TRACE};
 
 use crate::proto;
+
+/// How a fan-out request is issued. The serving runtime injects its
+/// request coalescer here so identical in-flight expansions against the
+/// same machine merge into one upstream call; the default is a plain
+/// [`Endpoint::call`].
+pub type CallHook =
+    Arc<dyn Fn(MachineId, ProtoId, &[u8]) -> trinity_net::Result<Vec<u8>> + Send + Sync>;
+
+/// Per-query controls for an exploration.
+#[derive(Clone, Default)]
+pub struct ExploreOptions {
+    /// Absolute deadline (µs on the [`trinity_net::deadline_now_us`]
+    /// clock). `None` inherits the calling thread's deadline, if any.
+    pub deadline: Option<u64>,
+    /// Cooperative cancellation, checked at every hop boundary.
+    pub cancel: Option<CancelToken>,
+    /// Override for issuing fan-out calls (request coalescing).
+    pub call: Option<CallHook>,
+}
+
+impl std::fmt::Debug for ExploreOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploreOptions")
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel.is_some())
+            .field("call", &self.call.is_some())
+            .finish()
+    }
+}
 
 /// Result of one exploration query.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -35,6 +67,11 @@ pub struct ExplorationResult {
     pub matches: Vec<CellId>,
     /// Batched expand requests issued.
     pub batches: usize,
+    /// The query's deadline budget ran out mid-flight: `per_hop` and
+    /// `matches` cover only the hops completed before expiry.
+    pub deadline_exceeded: bool,
+    /// The query was cancelled mid-flight; results are partial.
+    pub cancelled: bool,
 }
 
 impl ExplorationResult {
@@ -151,113 +188,186 @@ impl Explorer {
         hops: usize,
         pattern: &[u8],
     ) -> ExplorationResult {
+        self.explore_with(from, start, hops, pattern, &ExploreOptions::default())
+    }
+
+    /// [`Explorer::explore`] with per-query deadline, cancellation, and
+    /// call-hook controls.
+    pub fn explore_with(
+        &self,
+        from: usize,
+        start: CellId,
+        hops: usize,
+        pattern: &[u8],
+        opts: &ExploreOptions,
+    ) -> ExplorationResult {
         let coordinator = self.cloud.node(from).endpoint();
         let table = self.cloud.node(from).table();
-        let machines = self.handles.len();
-        // One trace id per query: the EXPAND fan-out calls carry it to
-        // every serving machine, so the whole multi-hop exploration can be
-        // reconstructed from span rings across the cluster.
-        let trace = next_trace_id();
-        let _trace_guard = TraceGuard::enter(trace);
-        let obs = coordinator.obs();
-        obs.counter("explore.queries").inc();
-        let hop_us = obs.histogram("explore.hop.us");
-        let frontier_sizes = obs.histogram("explore.frontier");
-        let batches_sent = obs.counter("explore.batches");
-        let mut visited: HashSet<CellId> = HashSet::new();
-        visited.insert(start);
-        let mut result = ExplorationResult {
-            per_hop: vec![1],
-            ..Default::default()
-        };
-        let mut frontier = vec![start];
-        for hop in 0..=hops {
-            let hop_start_us = obs.now_us();
-            frontier_sizes.record(frontier.len() as u64);
-            // Partition the frontier by owner machine.
-            let mut by_machine: Vec<Vec<CellId>> = vec![Vec::new(); machines];
-            for &id in &frontier {
-                by_machine[table.machine_of(id).0 as usize].push(id);
-            }
-            // One batched request per machine, issued in parallel. Each
-            // worker re-installs the query trace: guards are thread-local
-            // and these are fresh scoped threads.
-            let replies: Vec<Option<Vec<u8>>> = std::thread::scope(|scope| {
-                let joins: Vec<_> = by_machine
-                    .iter()
-                    .enumerate()
-                    .map(|(m, batch)| {
-                        let coordinator = Arc::clone(coordinator);
-                        scope.spawn(move || {
-                            if batch.is_empty() {
-                                return None;
-                            }
-                            let _tg = TraceGuard::enter(trace);
-                            coordinator
-                                .call(
-                                    MachineId(m as u16),
-                                    proto::EXPAND,
-                                    &encode_ids(pattern, batch),
-                                )
-                                .ok()
+        explore_via(
+            coordinator,
+            &table,
+            self.handles.len(),
+            start,
+            hops,
+            pattern,
+            opts,
+        )
+    }
+}
+
+/// Level-synchronous exploration coordinated from an arbitrary fabric
+/// endpoint — a slave (the classic path) or a Trinity *proxy*, which is
+/// how the serving runtime drives queries without owning any trunks.
+/// `slaves` is the number of machines holding graph data; the addressing
+/// `table` routes each frontier id to its owner.
+pub fn explore_via(
+    coordinator: &Arc<Endpoint>,
+    table: &AddressingTable,
+    slaves: usize,
+    start: CellId,
+    hops: usize,
+    pattern: &[u8],
+    opts: &ExploreOptions,
+) -> ExplorationResult {
+    // One trace id per query: the EXPAND fan-out calls carry it to every
+    // serving machine, so the whole multi-hop exploration can be
+    // reconstructed from span rings across the cluster. A trace installed
+    // by the serving runtime is reused rather than replaced.
+    let trace = match current_trace() {
+        NO_TRACE => next_trace_id(),
+        t => t,
+    };
+    let _trace_guard = TraceGuard::enter(trace);
+    // Install the per-query deadline (if given); otherwise the thread's
+    // inherited budget keeps applying.
+    let _deadline_guard = opts.deadline.map(DeadlineGuard::enter);
+    let effective_deadline = current_deadline();
+    let obs = coordinator.obs();
+    obs.counter("explore.queries").inc();
+    let hop_us = obs.histogram("explore.hop.us");
+    let frontier_sizes = obs.histogram("explore.frontier");
+    let batches_sent = obs.counter("explore.batches");
+    let mut visited: HashSet<CellId> = HashSet::new();
+    visited.insert(start);
+    let mut result = ExplorationResult {
+        per_hop: vec![1],
+        ..Default::default()
+    };
+    let mut frontier = vec![start];
+    for hop in 0..=hops {
+        // Hop boundaries are the cooperation points: a lapsed budget or a
+        // cancelled token stops the fan-out and returns what previous
+        // hops already established.
+        if deadline_expired() {
+            result.deadline_exceeded = true;
+            obs.counter("explore.deadline_exceeded").inc();
+            break;
+        }
+        if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            result.cancelled = true;
+            obs.counter("explore.cancelled").inc();
+            break;
+        }
+        let hop_start_us = obs.now_us();
+        frontier_sizes.record(frontier.len() as u64);
+        // Partition the frontier by owner machine.
+        let mut by_machine: Vec<Vec<CellId>> = vec![Vec::new(); slaves];
+        for &id in &frontier {
+            by_machine[table.machine_of(id).0 as usize].push(id);
+        }
+        // One batched request per machine, issued in parallel. Each
+        // worker re-installs the query trace and deadline: guards are
+        // thread-local and these are fresh scoped threads.
+        let replies: Vec<Option<trinity_net::Result<Vec<u8>>>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = by_machine
+                .iter()
+                .enumerate()
+                .map(|(m, batch)| {
+                    let coordinator = Arc::clone(coordinator);
+                    let hook = opts.call.clone();
+                    scope.spawn(move || {
+                        if batch.is_empty() {
+                            return None;
+                        }
+                        let _tg = TraceGuard::enter(trace);
+                        let _dg = DeadlineGuard::enter(effective_deadline);
+                        let payload = encode_ids(pattern, batch);
+                        let dst = MachineId(m as u16);
+                        Some(match hook {
+                            Some(call) => call(dst, proto::EXPAND, &payload),
+                            None => coordinator.call(dst, proto::EXPAND, &payload),
                         })
                     })
-                    .collect();
-                joins
-                    .into_iter()
-                    .map(|j| j.join().expect("expand worker panicked"))
-                    .collect()
-            });
-            let hop_batches = by_machine.iter().filter(|b| !b.is_empty()).count();
-            result.batches += hop_batches;
-            batches_sent.add(hop_batches as u64);
-            let mut reply_bytes = 0u64;
-            let mut next = Vec::new();
-            for reply in replies.into_iter().flatten() {
-                reply_bytes += reply.len() as u64;
-                if let Some((matches, neighbors)) = decode_reply(&reply) {
-                    result.matches.extend(matches);
-                    if hop < hops {
-                        for n in neighbors {
-                            if visited.insert(n) {
-                                next.push(n);
-                            }
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("expand worker panicked"))
+                .collect()
+        });
+        let hop_batches = by_machine.iter().filter(|b| !b.is_empty()).count();
+        result.batches += hop_batches;
+        batches_sent.add(hop_batches as u64);
+        let mut reply_bytes = 0u64;
+        let mut next = Vec::new();
+        for reply in replies.into_iter().flatten() {
+            let reply = match reply {
+                Ok(r) => r,
+                Err(NetError::DeadlineExceeded(_, _)) => {
+                    result.deadline_exceeded = true;
+                    continue;
+                }
+                Err(_) => continue,
+            };
+            reply_bytes += reply.len() as u64;
+            if let Some((matches, neighbors)) = decode_reply(&reply) {
+                result.matches.extend(matches);
+                if hop < hops {
+                    for n in neighbors {
+                        if visited.insert(n) {
+                            next.push(n);
                         }
                     }
                 }
             }
-            hop_us.record(obs.now_us().saturating_sub(hop_start_us));
-            obs.span(
-                "explore.hop",
-                proto::EXPAND,
-                reply_bytes,
-                hop_batches.min(u32::MAX as usize) as u32,
-                hop_start_us,
-            );
-            if hop < hops {
-                result.per_hop.push(next.len());
-            }
-            if next.is_empty() {
-                break;
-            }
-            frontier = next;
         }
-        result.matches.sort_unstable();
-        result.matches.dedup();
-        // Normalize: drop trailing empty hops (the frontier died before
-        // the hop budget ran out).
-        while result.per_hop.len() > 1 && *result.per_hop.last().unwrap() == 0 {
-            result.per_hop.pop();
+        hop_us.record(obs.now_us().saturating_sub(hop_start_us));
+        obs.span(
+            "explore.hop",
+            proto::EXPAND,
+            reply_bytes,
+            hop_batches.min(u32::MAX as usize) as u32,
+            hop_start_us,
+        );
+        if hop < hops {
+            result.per_hop.push(next.len());
         }
-        result
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
     }
+    result.matches.sort_unstable();
+    result.matches.dedup();
+    // Normalize: drop trailing empty hops (the frontier died before the
+    // hop budget ran out).
+    while result.per_hop.len() > 1 && *result.per_hop.last().unwrap() == 0 {
+        result.per_hop.pop();
+    }
+    result
 }
 
-/// Slave-side frontier expansion: purely local zero-copy reads.
+/// Slave-side frontier expansion: purely local zero-copy reads. The scan
+/// polls the envelope-carried deadline (installed on this worker thread by
+/// the fabric) every few dozen ids and returns what it has when the budget
+/// lapses — a partial reply beats a wasted one.
 fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> Vec<u8> {
     let mut matches = Vec::new();
     let mut neighbors = Vec::new();
-    for &id in ids {
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 64 == 63 && deadline_expired() {
+            break;
+        }
         let _ = handle.with_node(id, |view| {
             if !pattern.is_empty() && contains(view.attrs(), pattern) {
                 matches.push(id);

@@ -230,6 +230,21 @@ impl AsyncExplorer {
     /// Process one inbound frontier batch on machine `m`.
     fn handle_batch(&self, m: usize, handle: &GraphHandle, batch: Batch) {
         let endpoint = self.cloud.node(m).endpoint();
+        // A lapsed deadline (carried in by the envelope and installed on
+        // this worker by the fabric) prunes the whole subtree: ack the
+        // parent without expanding, so Dijkstra–Scholten termination still
+        // completes — with partial results — instead of burning CPU on a
+        // query the client has abandoned. The ack must always flow; only
+        // the expansion is skipped.
+        if trinity_net::deadline_expired() {
+            endpoint.send(
+                batch.parent,
+                proto::EXPLORE_REPORT,
+                &encode_ack(batch.qid, batch.parent_batch),
+            );
+            endpoint.flush_to(batch.parent);
+            return;
+        }
         let table = self.cloud.node(m).table();
         // Phase 1: local dedup + match + depth refinement.
         let mut fresh: Vec<CellId> = Vec::new();
@@ -430,6 +445,8 @@ impl AsyncExplorer {
             per_hop,
             matches,
             batches: machines_with_data,
+            deadline_exceeded: false,
+            cancelled: false,
         }
     }
 }

@@ -16,6 +16,10 @@ pub enum CloudError {
     /// The remote machine does not own the trunk even after a table
     /// re-sync (persistent routing disagreement).
     WrongOwner { trunk: u64, asked: MachineId },
+    /// The query's deadline budget lapsed before the cell operation
+    /// completed. Not a liveness signal — the owner is healthy — so the
+    /// access path must not re-sync tables or retry.
+    DeadlineExceeded { machine: MachineId },
     /// A remote reply could not be decoded.
     BadReply,
 }
@@ -31,6 +35,9 @@ impl fmt::Display for CloudError {
                     f,
                     "machine {asked} does not own trunk {trunk} (stale addressing tables)"
                 )
+            }
+            CloudError::DeadlineExceeded { machine } => {
+                write!(f, "deadline exceeded accessing machine {machine}")
             }
             CloudError::BadReply => write!(f, "malformed remote reply"),
         }

@@ -209,7 +209,13 @@ impl CloudNode {
             let outcome = self
                 .endpoint
                 .call(owner, pid, &wire::encode_req(id, body))
-                .map_err(CloudError::Net)
+                .map_err(|e| match e {
+                    // Typed so callers see "budget spent", not "network
+                    // broke" — and so the retry arm below never treats an
+                    // expired query as a stale table or a dead owner.
+                    NetError::DeadlineExceeded(m, _) => CloudError::DeadlineExceeded { machine: m },
+                    e => CloudError::Net(e),
+                })
                 .and_then(|raw| wire::parse_reply(&raw, trunk, owner));
             match outcome {
                 Ok(v) => return Ok(v),

@@ -26,6 +26,7 @@ use parking_lot::{Mutex, RwLock};
 use trinity_obs::{current_trace, Counter, Histogram, MachineScope, TraceGuard, NO_TRACE};
 
 use crate::cost::CostModel;
+use crate::deadline::{current_deadline, deadline_now_us, DeadlineGuard, NO_DEADLINE};
 use crate::envelope::{Envelope, Frame, FrameKind};
 use crate::error::NetError;
 use crate::fabric::{Item, Router};
@@ -37,12 +38,12 @@ use crate::{proto, MachineId, ProtoId, Result};
 pub type Handler = Arc<dyn Fn(MachineId, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
 
 pub(crate) enum Work {
-    /// Source machine, trace id carried by the envelope, frame.
-    Frame(MachineId, u64, Frame),
+    /// Source machine, trace id and deadline carried by the envelope,
+    /// frame.
+    Frame(MachineId, u64, u64, Frame),
     Stop,
 }
 
-#[derive(Default)]
 struct PackBuf {
     frames: Vec<Frame>,
     bytes: usize,
@@ -50,6 +51,22 @@ struct PackBuf {
     /// envelope carries one trace id, and mixed-trace packs are attributed
     /// to the query that opened the pack.
     trace: u64,
+    /// Tightest deadline among the buffered frames: a packed envelope
+    /// carries one deadline, and under-reporting a budget is safe
+    /// (handlers merely re-check a little early) while over-reporting
+    /// would let expired work through.
+    deadline: u64,
+}
+
+impl Default for PackBuf {
+    fn default() -> Self {
+        PackBuf {
+            frames: Vec::new(),
+            bytes: 0,
+            trace: NO_TRACE,
+            deadline: crate::NO_DEADLINE,
+        }
+    }
 }
 
 /// Cached metric handles for the fabric hot path — resolved once at
@@ -63,6 +80,9 @@ struct NetMetrics {
     bytes_recv: Arc<Counter>,
     frames_local: Arc<Counter>,
     frames_dropped: Arc<Counter>,
+    /// Requests refused (or calls aborted) because the query's deadline
+    /// budget was exhausted.
+    deadline_expired: Arc<Counter>,
     /// Modeled network microseconds charged by the cost model for this
     /// machine's outbound transfers.
     modeled_tx_us: Arc<Counter>,
@@ -88,6 +108,7 @@ impl NetMetrics {
             bytes_recv: obs.counter("net.bytes.recv"),
             frames_local: obs.counter("net.frames.local"),
             frames_dropped: obs.counter("net.frames.dropped"),
+            deadline_expired: obs.counter("net.deadline.expired"),
             modeled_tx_us: obs.counter("net.modeled_tx_us"),
             env_bytes: obs.histogram("net.env.bytes"),
             env_frames: obs.histogram("net.env.frames"),
@@ -179,14 +200,41 @@ impl Endpoint {
     }
 
     /// Synchronous one-sided call: send `payload` to `dst` and block for
-    /// the response.
+    /// the response, bounded by the fabric-wide call timeout. Delegates to
+    /// [`Endpoint::call_with_deadline`].
     pub fn call(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) -> Result<Vec<u8>> {
+        self.call_with_deadline(dst, proto, payload, self.call_timeout)
+    }
+
+    /// Synchronous one-sided call with a per-call timeout. The effective
+    /// budget is the *tighter* of `timeout` and the thread's inherited
+    /// deadline (see [`crate::DeadlineGuard`]); it is stamped into the
+    /// envelope so the callee can refuse work that is already doomed, and
+    /// exhausting an inherited deadline surfaces as
+    /// [`NetError::DeadlineExceeded`] rather than a liveness timeout.
+    pub fn call_with_deadline(
+        &self,
+        dst: MachineId,
+        proto: ProtoId,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> Result<Vec<u8>> {
         if self.router.is_closed() {
             return Err(NetError::Closed);
         }
         if self.router.is_dead(dst) {
             return Err(NetError::Unreachable(dst));
         }
+        let inherited = current_deadline();
+        let now = deadline_now_us();
+        if inherited != NO_DEADLINE && now >= inherited {
+            // The query's budget is already spent: don't even transmit.
+            self.metrics.deadline_expired.inc();
+            return Err(NetError::DeadlineExceeded(dst, proto));
+        }
+        let timeout_abs = now.saturating_add(timeout.as_micros() as u64);
+        let effective = inherited.min(timeout_abs);
+        let wait = Duration::from_micros(effective - now);
         let corr = self.corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         self.pending.lock().insert(corr, tx);
@@ -197,6 +245,7 @@ impl Endpoint {
             src: self.machine,
             dst,
             trace: current_trace(),
+            deadline: effective,
             frames: vec![Frame {
                 proto,
                 kind: FrameKind::Request(corr),
@@ -208,12 +257,15 @@ impl Endpoint {
             self.pending.lock().remove(&corr);
             return Err(e);
         }
-        let result = match rx.recv_timeout(self.call_timeout) {
+        let result = match rx.recv_timeout(wait) {
             Ok(result) => result,
             Err(_) => {
                 self.pending.lock().remove(&corr);
                 if self.router.is_dead(dst) {
                     Err(NetError::Unreachable(dst))
+                } else if inherited != NO_DEADLINE && deadline_now_us() >= inherited {
+                    self.metrics.deadline_expired.inc();
+                    Err(NetError::DeadlineExceeded(dst, proto))
                 } else {
                     Err(NetError::Timeout(dst, proto))
                 }
@@ -237,11 +289,13 @@ impl Endpoint {
             payload: payload.to_vec(),
         };
         let trace = current_trace();
+        let deadline = current_deadline();
         if dst == self.machine {
             let _ = self.transmit(Envelope {
                 src: self.machine,
                 dst,
                 trace,
+                deadline,
                 frames: vec![frame],
             });
             return;
@@ -251,6 +305,7 @@ impl Endpoint {
             if buf.frames.is_empty() {
                 buf.trace = trace;
             }
+            buf.deadline = buf.deadline.min(deadline);
             buf.bytes += frame.wire_bytes() as usize;
             buf.frames.push(frame);
             buf.bytes >= self.pack_threshold
@@ -283,12 +338,14 @@ impl Endpoint {
         let frames = std::mem::take(&mut buf.frames);
         buf.bytes = 0;
         let trace = std::mem::replace(&mut buf.trace, NO_TRACE);
+        let deadline = std::mem::replace(&mut buf.deadline, NO_DEADLINE);
         // Transmit while holding the buffer lock so envelopes from this
         // endpoint to `dst` enter the inbox in flush order.
         let _ = self.transmit(Envelope {
             src: self.machine,
             dst,
             trace,
+            deadline,
             frames,
         });
     }
@@ -315,7 +372,7 @@ impl Endpoint {
     // Internals
     // ------------------------------------------------------------------
 
-    fn transmit(&self, env: Envelope) -> Result<()> {
+    fn transmit(&self, mut env: Envelope) -> Result<()> {
         if self.router.is_closed() {
             return Err(NetError::Closed);
         }
@@ -338,9 +395,14 @@ impl Endpoint {
             self.metrics.env_frames.record(frames);
             // Charge the cost model as the transfer happens, so modeled
             // network time is observable per machine, not just per window.
-            self.metrics
-                .modeled_tx_us
-                .add((self.cost.seconds(1, bytes) * 1e6) as u64);
+            let modeled_us = (self.cost.seconds(1, bytes) * 1e6) as u64;
+            self.metrics.modeled_tx_us.add(modeled_us);
+            // The transfer itself consumes budget: tighten the deadline by
+            // the modeled wire time so a query's budget accounts for
+            // network cost, not just compute.
+            if env.deadline != NO_DEADLINE {
+                env.deadline = env.deadline.saturating_sub(modeled_us);
+            }
             self.obs.span_for(
                 env.trace,
                 "net.send",
@@ -383,24 +445,56 @@ impl Endpoint {
                         let _ = tx.send(Err(NetError::NoHandler(frame.proto)));
                     }
                 }
+                FrameKind::Expired(corr) => {
+                    if let Some(tx) = self.pending.lock().remove(&corr) {
+                        let _ = tx.send(Err(NetError::DeadlineExceeded(env.src, frame.proto)));
+                    }
+                }
                 FrameKind::Request(_) | FrameKind::OneWay => {
-                    let _ = self.work_tx.send(Work::Frame(env.src, env.trace, frame));
+                    let _ = self
+                        .work_tx
+                        .send(Work::Frame(env.src, env.trace, env.deadline, frame));
                 }
             }
         }
     }
 
     /// Worker-thread entry: dispatch one request or one-way frame. The
-    /// envelope's trace id is installed on the worker thread for the
-    /// duration of the handler, so spans the handler records — and any
-    /// nested `call`/`send` it issues — stay attributed to the originating
-    /// query. This is how a trace follows the recursive fan-out of the
-    /// paper's traversal queries across machines.
-    pub(crate) fn dispatch(&self, src: MachineId, trace: u64, frame: Frame) {
+    /// envelope's trace id and deadline are installed on the worker thread
+    /// for the duration of the handler, so spans the handler records — and
+    /// any nested `call`/`send` it issues — stay attributed to the
+    /// originating query and bounded by its remaining budget. This is how
+    /// a trace (and a budget) follows the recursive fan-out of the paper's
+    /// traversal queries across machines.
+    ///
+    /// A *request* whose deadline has already passed is refused without
+    /// running the handler — the caller has given up, so the answer would
+    /// be wasted CPU. *One-way* frames always dispatch: asynchronous
+    /// protocols (BSP fences, exploration ack-trees) rely on every message
+    /// being counted, and their handlers check the deadline themselves.
+    pub(crate) fn dispatch(&self, src: MachineId, trace: u64, deadline: u64, frame: Frame) {
         if self.router.is_dead(self.machine) {
             return;
         }
         let _guard = TraceGuard::enter(trace);
+        let _deadline_guard = DeadlineGuard::enter(deadline);
+        if deadline != NO_DEADLINE && deadline_now_us() >= deadline {
+            if let FrameKind::Request(corr) = frame.kind {
+                self.metrics.deadline_expired.inc();
+                let _ = self.transmit(Envelope {
+                    src: self.machine,
+                    dst: src,
+                    trace,
+                    deadline,
+                    frames: vec![Frame {
+                        proto: frame.proto,
+                        kind: FrameKind::Expired(corr),
+                        payload: Vec::new(),
+                    }],
+                });
+                return;
+            }
+        }
         let start_us = self.obs.now_us();
         let proto = frame.proto;
         let payload_len = frame.payload.len() as u64;
@@ -444,10 +538,11 @@ impl Endpoint {
                     src: self.machine,
                     dst: src,
                     trace,
+                    deadline,
                     frames: vec![reply],
                 });
             }
-            FrameKind::Response(_) | FrameKind::NoHandler(_) => {
+            FrameKind::Response(_) | FrameKind::NoHandler(_) | FrameKind::Expired(_) => {
                 unreachable!("responses are routed by the receiver")
             }
         }
@@ -481,7 +576,7 @@ pub(crate) fn receiver_loop(
 pub(crate) fn worker_loop(ep: Arc<Endpoint>, rx: crossbeam::channel::Receiver<Work>) {
     while let Ok(work) = rx.recv() {
         match work {
-            Work::Frame(src, trace, frame) => ep.dispatch(src, trace, frame),
+            Work::Frame(src, trace, deadline, frame) => ep.dispatch(src, trace, deadline, frame),
             Work::Stop => break,
         }
     }

@@ -19,6 +19,9 @@ pub enum FrameKind {
     Response(u64),
     /// Response indicating the callee had no handler for the protocol.
     NoHandler(u64),
+    /// Response indicating the callee refused the request because its
+    /// deadline budget was already exhausted on arrival.
+    Expired(u64),
 }
 
 /// One logical message.
@@ -46,14 +49,20 @@ pub struct Envelope {
     /// ([`trinity_obs::NO_TRACE`] when untraced). Carried in the envelope
     /// header so a distributed query can be reconstructed across machines.
     pub trace: u64,
+    /// Absolute deadline of the query this transfer serves, in
+    /// microseconds on the [`crate::deadline_now_us`] clock
+    /// ([`crate::NO_DEADLINE`] when unbounded). Carried next to the trace
+    /// id so the receiving machine can abort work the client has already
+    /// given up on.
+    pub deadline: u64,
     pub frames: Vec<Frame>,
 }
 
 impl Envelope {
     /// Total bytes on the wire: frames plus the envelope header (src, dst,
-    /// length, checksum, trace id).
+    /// length, checksum, trace id, deadline).
     pub fn wire_bytes(&self) -> u64 {
-        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + 32
+        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + 40
     }
 }
 
@@ -73,8 +82,9 @@ mod tests {
             src: MachineId(0),
             dst: MachineId(1),
             trace: 0,
+            deadline: crate::NO_DEADLINE,
             frames: vec![f.clone(), f],
         };
-        assert_eq!(e.wire_bytes(), 2 * 116 + 32);
+        assert_eq!(e.wire_bytes(), 2 * 116 + 40);
     }
 }

@@ -13,6 +13,11 @@ pub enum NetError {
     Timeout(MachineId, ProtoId),
     /// The destination has no handler registered for the protocol.
     NoHandler(ProtoId),
+    /// The query's deadline budget was exhausted before (or while) the
+    /// call ran: the callee refuses work the client has given up on.
+    /// Unlike [`NetError::Timeout`] this is not a liveness signal — the
+    /// peer is healthy — so callers must not trigger failure recovery.
+    DeadlineExceeded(MachineId, ProtoId),
     /// The fabric has been shut down.
     Closed,
 }
@@ -23,6 +28,9 @@ impl fmt::Display for NetError {
             NetError::Unreachable(m) => write!(f, "machine {m} is unreachable"),
             NetError::Timeout(m, p) => write!(f, "call to {m} (protocol {p}) timed out"),
             NetError::NoHandler(p) => write!(f, "no handler registered for protocol {p}"),
+            NetError::DeadlineExceeded(m, p) => {
+                write!(f, "deadline exceeded calling {m} (protocol {p})")
+            }
             NetError::Closed => write!(f, "fabric is shut down"),
         }
     }

@@ -29,6 +29,11 @@ pub struct HeartbeatConfig {
     pub interval: Duration,
     /// Consecutive missed probes before a peer is declared dead.
     pub miss_threshold: u32,
+    /// Fractional jitter on the probe interval: each round sleeps a
+    /// uniform duration in `[interval·(1−jitter), interval·(1+jitter)]`.
+    /// Without it every monitor in the cluster probes in lockstep and the
+    /// fabric sees a thundering herd of PINGs at each interval boundary.
+    pub jitter: f64,
 }
 
 impl Default for HeartbeatConfig {
@@ -36,7 +41,26 @@ impl Default for HeartbeatConfig {
         HeartbeatConfig {
             interval: Duration::from_millis(50),
             miss_threshold: 2,
+            jitter: 0.2,
         }
+    }
+}
+
+impl HeartbeatConfig {
+    /// The sleep before the next probe round: `interval` desynchronized
+    /// by the configured jitter, driven by the caller's PRNG state.
+    fn jittered_interval(&self, rng: &mut u64) -> Duration {
+        let j = self.jitter.clamp(0.0, 1.0);
+        if j == 0.0 {
+            return self.interval;
+        }
+        // xorshift64*: cheap, seedable, no external dependency.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let unit = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - j + 2.0 * j * unit;
+        self.interval.mul_f64(factor)
     }
 }
 
@@ -134,6 +158,9 @@ impl HeartbeatMonitor {
             .spawn(move || {
                 let mut misses: HashMap<MachineId, u32> = HashMap::new();
                 let mut reported: HashMap<MachineId, bool> = HashMap::new();
+                // Seed per monitor so distinct machines desynchronize.
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ ((endpoint.machine().0 as u64) << 32)
+                    | (&stop2 as *const _ as u64);
                 while !stop2.load(Ordering::Relaxed) {
                     for &peer in &peers {
                         if stop2.load(Ordering::Relaxed) {
@@ -163,7 +190,7 @@ impl HeartbeatMonitor {
                             .consecutive
                             .set(misses.values().copied().max().unwrap_or(0) as i64);
                     }
-                    std::thread::park_timeout(cfg.interval);
+                    std::thread::park_timeout(cfg.jittered_interval(&mut rng));
                 }
             })
             .expect("spawn heartbeat monitor");
@@ -207,6 +234,26 @@ mod tests {
     use parking_lot::Mutex;
 
     #[test]
+    fn jittered_interval_stays_in_band_and_varies() {
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(100),
+            jitter: 0.25,
+            ..HeartbeatConfig::default()
+        };
+        let mut rng = 42u64;
+        let samples: Vec<Duration> = (0..200).map(|_| cfg.jittered_interval(&mut rng)).collect();
+        for s in &samples {
+            assert!(*s >= Duration::from_millis(75), "below band: {s:?}");
+            assert!(*s <= Duration::from_millis(125), "above band: {s:?}");
+        }
+        let distinct: std::collections::HashSet<Duration> = samples.iter().copied().collect();
+        assert!(distinct.len() > 100, "jitter must actually vary the sleep");
+        // Zero jitter degrades to the fixed interval.
+        let fixed = HeartbeatConfig { jitter: 0.0, ..cfg };
+        assert_eq!(fixed.jittered_interval(&mut rng), cfg.interval);
+    }
+
+    #[test]
     fn detects_failure_and_recovery() {
         let fabric = Fabric::new(FabricConfig {
             call_timeout: Duration::from_millis(100),
@@ -221,6 +268,7 @@ mod tests {
                 HeartbeatConfig {
                     interval: Duration::from_millis(10),
                     miss_threshold: 2,
+                    jitter: 0.2,
                 },
                 move |e| events.lock().push(e),
             )

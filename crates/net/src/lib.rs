@@ -45,6 +45,7 @@
 //! ```
 
 mod cost;
+mod deadline;
 mod endpoint;
 mod envelope;
 mod error;
@@ -53,6 +54,10 @@ mod heartbeat;
 mod stats;
 
 pub use cost::CostModel;
+pub use deadline::{
+    current_deadline, deadline_expired, deadline_now_us, remaining_us, CancelToken, DeadlineGuard,
+    NO_DEADLINE,
+};
 pub use endpoint::{Endpoint, Handler};
 pub use envelope::{Envelope, Frame, FrameKind};
 pub use error::NetError;

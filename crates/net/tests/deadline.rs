@@ -1,0 +1,99 @@
+//! End-to-end behaviour of deadline budgets on the fabric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trinity_net::{
+    deadline_now_us, DeadlineGuard, Fabric, FabricConfig, MachineId, NetError, NO_DEADLINE,
+};
+
+const ECHO: u16 = 70;
+const SLOW: u16 = 71;
+
+#[test]
+fn call_without_deadline_is_unchanged() {
+    let fabric = Fabric::new(FabricConfig::with_machines(2));
+    let a = fabric.endpoint(MachineId(0));
+    let b = fabric.endpoint(MachineId(1));
+    b.register(ECHO, |_src, p| Some(p.to_vec()));
+    assert_eq!(a.call(MachineId(1), ECHO, b"x").unwrap(), b"x");
+    fabric.shutdown();
+}
+
+#[test]
+fn expired_budget_fails_before_transmitting() {
+    let fabric = Fabric::new(FabricConfig::with_machines(2));
+    let a = fabric.endpoint(MachineId(0));
+    let b = fabric.endpoint(MachineId(1));
+    let served = Arc::new(AtomicU64::new(0));
+    let served2 = Arc::clone(&served);
+    b.register(ECHO, move |_src, p| {
+        served2.fetch_add(1, Ordering::Relaxed);
+        Some(p.to_vec())
+    });
+    let _g = DeadlineGuard::enter(1); // expired long ago
+    let err = a.call(MachineId(1), ECHO, b"x").unwrap_err();
+    assert!(matches!(err, NetError::DeadlineExceeded(_, _)), "{err}");
+    assert_eq!(served.load(Ordering::Relaxed), 0, "no wasted handler run");
+    fabric.shutdown();
+}
+
+#[test]
+fn callee_refuses_request_that_expires_in_flight() {
+    let fabric = Fabric::new(FabricConfig::with_machines(3));
+    let a = fabric.endpoint(MachineId(0));
+    let b = fabric.endpoint(MachineId(1));
+    let served = Arc::new(AtomicU64::new(0));
+    // SLOW occupies the single lane to the worker pool long enough for a
+    // second request's budget to lapse while it sits in the queue.
+    b.register(SLOW, |_src, _p| {
+        std::thread::sleep(Duration::from_millis(80));
+        Some(Vec::new())
+    });
+    let served2 = Arc::clone(&served);
+    b.register(ECHO, move |_src, p| {
+        served2.fetch_add(1, Ordering::Relaxed);
+        Some(p.to_vec())
+    });
+    // Saturate every worker on machine 1 with slow one-ways.
+    for _ in 0..8 {
+        a.send(MachineId(1), SLOW, &[]);
+    }
+    a.flush_to(MachineId(1));
+    // Now race a tightly-budgeted call against the queue backlog.
+    let _g = DeadlineGuard::enter(deadline_now_us() + 20_000);
+    let err = a
+        .call_with_deadline(MachineId(1), ECHO, b"x", Duration::from_secs(5))
+        .unwrap_err();
+    assert!(matches!(err, NetError::DeadlineExceeded(_, _)), "{err}");
+    // The callee either refused it outright or never got to it before the
+    // caller's budget lapsed — both ways no handler ran after expiry.
+    fabric.shutdown();
+}
+
+#[test]
+fn deadline_propagates_to_nested_calls() {
+    let fabric = Fabric::new(FabricConfig::with_machines(3));
+    let a = fabric.endpoint(MachineId(0));
+    let b = fabric.endpoint(MachineId(1));
+    let c = fabric.endpoint(MachineId(2));
+    // Machine 2 reports the deadline its worker thread sees.
+    c.register(ECHO, |_src, _p| {
+        Some(trinity_net::current_deadline().to_le_bytes().to_vec())
+    });
+    // Machine 1 relays to machine 2; the budget must follow.
+    let c_id = MachineId(2);
+    let b2 = Arc::clone(&b);
+    b.register(SLOW, move |_src, _p| b2.call(c_id, ECHO, &[]).ok());
+    let budget = deadline_now_us() + 2_000_000;
+    let _g = DeadlineGuard::enter(budget);
+    let seen = a.call(MachineId(1), SLOW, &[]).unwrap();
+    let seen = u64::from_le_bytes(seen.try_into().unwrap());
+    assert_ne!(seen, NO_DEADLINE, "machine 2 must inherit a deadline");
+    assert!(
+        seen <= budget,
+        "propagated deadline may only tighten: {seen} vs {budget}"
+    );
+    fabric.shutdown();
+}

@@ -1,0 +1,194 @@
+//! Request coalescing: merge identical in-flight fan-out calls.
+//!
+//! Concurrent queries exploring overlapping neighborhoods issue the same
+//! `EXPAND` request — same destination machine, same protocol, same
+//! frontier batch — at the same time. The [`Coalescer`] keys in-flight
+//! calls by `(machine, proto, payload)`; the first submitter (the
+//! *leader*) actually issues the call, later identical submitters
+//! (*followers*) block on the leader's flight and share its reply. Under
+//! load this turns N duplicate upstream requests into one.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use trinity_net::{remaining_us, Endpoint, MachineId, NetError, ProtoId};
+use trinity_obs::Counter;
+
+use crate::CallHook;
+
+type Key = (MachineId, ProtoId, Vec<u8>);
+
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<trinity_net::Result<Vec<u8>>>>,
+    cv: Condvar,
+}
+
+/// Deduplicates identical in-flight calls through one endpoint.
+pub struct Coalescer {
+    endpoint: Arc<Endpoint>,
+    inflight: Mutex<HashMap<Key, Arc<Flight>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl std::fmt::Debug for Coalescer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coalescer")
+            .field("machine", &self.endpoint.machine())
+            .field("inflight", &self.inflight.lock().len())
+            .finish()
+    }
+}
+
+impl Coalescer {
+    /// A coalescer issuing through `endpoint`. Metrics land on the
+    /// endpoint's machine scope as `serve.coalesce.*`.
+    pub fn new(endpoint: Arc<Endpoint>) -> Arc<Self> {
+        let obs = endpoint.obs();
+        let hits = obs.counter("serve.coalesce.hits");
+        let misses = obs.counter("serve.coalesce.misses");
+        Arc::new(Coalescer {
+            endpoint,
+            inflight: Mutex::new(HashMap::new()),
+            hits,
+            misses,
+        })
+    }
+
+    /// Call `dst`/`proto` with `payload`, sharing the reply with any
+    /// identical call already in flight. The leader's call runs under the
+    /// leader's thread deadline; a follower whose own budget lapses first
+    /// gives up waiting and returns `DeadlineExceeded` without disturbing
+    /// the flight.
+    pub fn call(
+        &self,
+        dst: MachineId,
+        proto: ProtoId,
+        payload: &[u8],
+    ) -> trinity_net::Result<Vec<u8>> {
+        let key: Key = (dst, proto, payload.to_vec());
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock();
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    inflight.insert(key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            self.misses.inc();
+            let result = self.endpoint.call(dst, proto, payload);
+            // Remove the flight BEFORE publishing the result: a submitter
+            // arriving after this point starts a fresh call instead of
+            // reading a stale reply.
+            self.inflight.lock().remove(&key);
+            let mut done = flight.done.lock();
+            *done = Some(result.clone());
+            flight.cv.notify_all();
+            result
+        } else {
+            self.hits.inc();
+            let mut done = flight.done.lock();
+            while done.is_none() {
+                // Wait no longer than the follower's own budget.
+                let budget = remaining_us();
+                if budget == 0 {
+                    return Err(NetError::DeadlineExceeded(dst, proto));
+                }
+                let wait = Duration::from_micros(budget.min(u64::from(u32::MAX)));
+                if flight.cv.wait_for(&mut done, wait).timed_out() && done.is_none() {
+                    return Err(NetError::DeadlineExceeded(dst, proto));
+                }
+            }
+            done.as_ref().expect("flight published").clone()
+        }
+    }
+
+    /// This coalescer as an exploration [`CallHook`], pluggable into
+    /// [`trinity_core::ExploreOptions::call`].
+    pub fn hook(self: &Arc<Self>) -> CallHook {
+        let this = Arc::clone(self);
+        Arc::new(move |dst, proto, payload| this.call(dst, proto, payload))
+    }
+
+    /// Total calls answered from an in-flight leader.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Total calls that went upstream.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use trinity_net::{Fabric, FabricConfig};
+
+    const SLOW_ECHO: ProtoId = 80;
+
+    #[test]
+    fn identical_inflight_calls_merge() {
+        let fabric = Fabric::new(FabricConfig::with_machines(2));
+        let a = fabric.endpoint(MachineId(0));
+        let b = fabric.endpoint(MachineId(1));
+        let served = Arc::new(AtomicU64::new(0));
+        let served2 = Arc::clone(&served);
+        b.register(SLOW_ECHO, move |_src, p| {
+            served2.fetch_add(1, Ordering::SeqCst);
+            // Slow enough that all submitters overlap.
+            std::thread::sleep(Duration::from_millis(60));
+            Some(p.to_vec())
+        });
+        let co = Coalescer::new(Arc::clone(&a));
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                let co = Arc::clone(&co);
+                std::thread::spawn(move || co.call(MachineId(1), SLOW_ECHO, b"same").unwrap())
+            })
+            .collect();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), b"same");
+        }
+        assert_eq!(
+            served.load(Ordering::SeqCst),
+            1,
+            "one upstream call served all 8 submitters"
+        );
+        assert_eq!(co.misses(), 1);
+        assert_eq!(co.hits(), 7);
+        // Distinct payloads do not merge.
+        co.call(MachineId(1), SLOW_ECHO, b"other").unwrap();
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn flight_is_removed_after_completion() {
+        let fabric = Fabric::new(FabricConfig::with_machines(2));
+        let a = fabric.endpoint(MachineId(0));
+        let b = fabric.endpoint(MachineId(1));
+        let served = Arc::new(AtomicU64::new(0));
+        let served2 = Arc::clone(&served);
+        b.register(SLOW_ECHO, move |_src, p| {
+            served2.fetch_add(1, Ordering::SeqCst);
+            Some(p.to_vec())
+        });
+        let co = Coalescer::new(Arc::clone(&a));
+        co.call(MachineId(1), SLOW_ECHO, b"x").unwrap();
+        co.call(MachineId(1), SLOW_ECHO, b"x").unwrap();
+        // Sequential identical calls both go upstream: coalescing merges
+        // *concurrent* duplicates, never serves stale replies.
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+        fabric.shutdown();
+    }
+}

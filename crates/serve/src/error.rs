@@ -1,0 +1,60 @@
+use std::fmt;
+
+use trinity_net::NetError;
+
+use crate::queue::Priority;
+
+/// Errors surfaced by the serving runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue for the query's priority class is full. This
+    /// is *load shedding*: the runtime refuses the query at the door
+    /// rather than queueing without bound, so admitted queries keep their
+    /// latency budgets. Shed queries should be retried against another
+    /// proxy or surfaced to the caller.
+    Overloaded {
+        class: Priority,
+        depth: usize,
+        capacity: usize,
+    },
+    /// The query's deadline budget lapsed — in the queue, mid-execution,
+    /// or inside the fan-out.
+    DeadlineExceeded,
+    /// The query's cancel token was triggered before completion.
+    Cancelled,
+    /// A fabric-level failure while executing the query.
+    Net(NetError),
+    /// The runtime has shut down.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                class,
+                depth,
+                capacity,
+            } => write!(
+                f,
+                "{class:?} admission queue full ({depth}/{capacity}): query shed"
+            ),
+            ServeError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ServeError::Cancelled => write!(f, "query cancelled"),
+            ServeError::Net(e) => write!(f, "network error: {e}"),
+            ServeError::Closed => write!(f, "serving runtime is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NetError> for ServeError {
+    fn from(e: NetError) -> Self {
+        match e {
+            NetError::DeadlineExceeded(_, _) => ServeError::DeadlineExceeded,
+            NetError::Closed => ServeError::Closed,
+            e => ServeError::Net(e),
+        }
+    }
+}

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets "$@" -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q "$@"
 
+echo "==> serve_load --smoke (serving-path gate: admission + deadlines + shedding)"
+cargo run --release -p trinity-bench --bin serve_load "$@" -- --smoke
+
 echo "All checks passed."
