@@ -1,0 +1,75 @@
+//! CI smoke gate for the chaos harness: three fixed seeds across the
+//! deterministic workloads, each judged against a fault-free reference
+//! and replayed from its recorded log. Exits nonzero on any violated
+//! invariant. Designed to finish well under a minute.
+//!
+//! `--smoke` is accepted (and is the default behavior) so the gate can
+//! be invoked uniformly with the other harness binaries.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use trinity_bench::{header, row, secs};
+use trinity_chaos::{BspRingMax, ChaosRunner, ChaosWorkload, TraversalSearch};
+use trinity_net::{FaultPlan, NodeEvent, Trigger};
+
+fn gate<W: ChaosWorkload>(runner: &ChaosRunner<W>, seed: u64, failed: &mut bool) {
+    let t0 = Instant::now();
+    let report = runner.run(seed);
+    let replayed = runner.replay(&report.faulty.log);
+    let ok = report.passed() && replayed.passed();
+    if !ok {
+        *failed = true;
+    }
+    row(&[
+        runner.workload().name().into(),
+        format!("{seed:#x}"),
+        report.faulty.log.len().to_string(),
+        if report.passed() { "pass" } else { "FAIL" }.into(),
+        if replayed.passed() { "pass" } else { "FAIL" }.into(),
+        secs(t0.elapsed().as_secs_f64()),
+    ]);
+    for f in report.failures.iter().chain(&replayed.failures) {
+        eprintln!("  {}: {f}", runner.workload().name());
+    }
+}
+
+fn main() -> ExitCode {
+    // Uniform CLI with the other gates; smoke scale is the only scale.
+    let _smoke = std::env::args().any(|a| a == "--smoke");
+    header(
+        "chaos_smoke — pinned-seed chaos gate",
+        &["workload", "seed", "faults", "run", "replay", "time"],
+    );
+    let mut failed = false;
+
+    let bsp_delay = ChaosRunner::new(
+        BspRingMax::small(),
+        FaultPlan::new(0).with_delay(0.3, 200, 400),
+    );
+    gate(&bsp_delay, 0xA11CE, &mut failed);
+
+    let bsp_crash = ChaosRunner::new(
+        BspRingMax::small(),
+        FaultPlan::new(0)
+            .with_delay(0.2, 150, 300)
+            .with_event(Trigger::Mark(8), NodeEvent::Crash(1)),
+    );
+    gate(&bsp_crash, 0xCAFE, &mut failed);
+
+    let traversal = ChaosRunner::new(
+        TraversalSearch::small(),
+        FaultPlan::new(0)
+            .with_duplicate(0.3)
+            .with_delay(0.2, 100, 300),
+    );
+    gate(&traversal, 0xE17, &mut failed);
+
+    if failed {
+        eprintln!("chaos_smoke: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("chaos_smoke: all seeds passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,591 @@
+//! Chaos workloads: whole Trinity scenarios the harness runs under
+//! seeded fault plans.
+//!
+//! Each workload builds its own cluster per run, *disarms* the injector
+//! while loading data (setup traffic must not perturb the seeded fault
+//! decisions), arms it for the measured phase, and captures the
+//! injector's accounting with [`ChaosRun::capture`] before shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trinity_core::checkpoint::{resume_from_checkpoint, run_with_checkpoints, CheckpointConfig};
+use trinity_core::online::{explore_via, ExploreOptions};
+use trinity_core::recovery::{RecoveryAgents, RecoveryConfig, RecoveryEvent};
+use trinity_core::{
+    BspConfig, BspRunner, Explorer, MessagingMode, TrinityCluster, TrinityConfig, VertexContext,
+    VertexProgram,
+};
+use trinity_graph::{load_graph, Csr, LoadOptions};
+use trinity_memcloud::{CloudConfig, MemoryCloud};
+use trinity_net::{FaultPlan, MachineId};
+use trinity_serve::{Priority, ServeConfig, ServeError, ServeRuntime};
+
+use crate::runner::{ChaosRun, ChaosWorkload};
+
+const CAPTURE_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Max-id propagation: the canonical deterministic BSP job. Every vertex
+/// converges to the max id of its component, so the final states are a
+/// pure function of the graph — any divergence under faults is a bug.
+struct MaxValue;
+
+impl VertexProgram for MaxValue {
+    type State = u64;
+    type Msg = u64;
+    fn init(&self, id: u64, _view: &trinity_graph::NodeView<'_>) -> u64 {
+        id
+    }
+    fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: u64, state: &mut u64, msgs: &[u64]) {
+        let before = *state;
+        for &m in msgs {
+            *state = (*state).max(m);
+        }
+        if ctx.superstep() == 0 || *state > before {
+            ctx.send_to_neighbors(*state);
+        }
+        ctx.vote_to_halt();
+    }
+    fn encode_msg(m: &u64) -> Vec<u8> {
+        m.to_le_bytes().to_vec()
+    }
+    fn decode_msg(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn encode_state(s: &u64) -> Vec<u8> {
+        s.to_le_bytes().to_vec()
+    }
+    fn decode_state(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+}
+
+fn ring(n: usize) -> Csr {
+    let edges: Vec<(u64, u64)> = (0..n as u64).map(|v| (v, (v + 1) % n as u64)).collect();
+    Csr::undirected_from_edges(n, &edges, true)
+}
+
+fn bsp_cfg(limit: usize) -> BspConfig {
+    BspConfig {
+        messaging: MessagingMode::Packed,
+        hub_threshold: None,
+        combine: false,
+        max_supersteps: limit,
+    }
+}
+
+/// A checkpointed MaxValue BSP job on a ring, with the §6.2 recovery
+/// choreography built in: the job runs `stop_at` supersteps (firing a
+/// chaos mark at every checkpoint boundary, where crash schedules keyed
+/// on `Trigger::Mark(superstep)` strike), recovers any machine the plan
+/// crashed (reload trunks from TFS, revive, resync the addressing
+/// table), then resumes from the last checkpoint to termination. The
+/// final states must equal the fault-free run's exactly.
+#[derive(Debug, Clone)]
+pub struct BspRingMax {
+    /// Cluster size.
+    pub machines: usize,
+    /// Ring size (the job needs ~n/2 supersteps, so keep `stop_at` well
+    /// below that).
+    pub n: usize,
+    /// Checkpoint cadence, in supersteps.
+    pub every: usize,
+    /// Supersteps before the recovery barrier (a multiple of `every`).
+    pub stop_at: usize,
+    /// Total superstep budget for the resumed job.
+    pub limit: usize,
+}
+
+impl BspRingMax {
+    /// A small instance for tests: 3 machines, 30-vertex ring,
+    /// checkpoints every 4 supersteps, recovery barrier at 8.
+    pub fn small() -> Self {
+        BspRingMax {
+            machines: 3,
+            n: 30,
+            every: 4,
+            stop_at: 8,
+            limit: 64,
+        }
+    }
+}
+
+impl ChaosWorkload for BspRingMax {
+    fn name(&self) -> &str {
+        "bsp-ring-max"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+            faults,
+            ..CloudConfig::small(self.machines)
+        }));
+        let fabric = Arc::clone(cloud.fabric());
+        fabric.chaos_arm(false);
+        let graph = Arc::new(
+            load_graph(Arc::clone(&cloud), &ring(self.n), &LoadOptions::default())
+                .expect("load ring graph"),
+        );
+        cloud.backup_all().expect("backup trunks to TFS");
+        fabric.chaos_arm(true);
+
+        let mark_fabric = Arc::clone(&fabric);
+        let ckpt = CheckpointConfig::new(self.every, "chaos-bsp")
+            .with_on_segment(move |superstep| mark_fabric.chaos_mark(superstep as u64));
+        let mut failures = Vec::new();
+        let runner = BspRunner::new(Arc::clone(&graph), MaxValue, bsp_cfg(self.every));
+        let partial = run_with_checkpoints(&runner, &bsp_cfg(self.stop_at), &ckpt)
+            .expect("checkpointed BSP segment");
+        drop(runner);
+
+        // Recover whatever the schedule crashed: reload the dead
+        // machine's trunks onto survivors from TFS (§6.1), revive it at
+        // the fabric, and let it resync the new-epoch addressing table.
+        let mut recovered = Vec::new();
+        for m in 0..self.machines {
+            if fabric.is_dead(MachineId(m as u16)) {
+                cloud.recover(m).expect("recover crashed machine");
+                fabric.revive(MachineId(m as u16));
+                cloud.node(m).sync_table().expect("resync table");
+                recovered.push(m as u16);
+            }
+        }
+
+        let result = if partial.terminated {
+            partial
+        } else {
+            let resumed = BspRunner::new(Arc::clone(&graph), MaxValue, bsp_cfg(self.every));
+            resume_from_checkpoint(&resumed, &bsp_cfg(self.limit), &ckpt)
+                .expect("resume from checkpoint")
+        };
+        if !result.terminated {
+            failures.push("BSP job did not terminate within its budget".into());
+        }
+        let mut states: Vec<(u64, u64)> = result.states.iter().map(|(k, v)| (*k, *v)).collect();
+        states.sort_unstable();
+        let outcome = states
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+
+        let mut run = ChaosRun::capture(&fabric, outcome, CAPTURE_TIMEOUT);
+        run.recovered = recovered;
+        run.failures = failures;
+        cloud.shutdown();
+        run
+    }
+
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        let mut failures = Vec::new();
+        if faulty.outcome != reference.outcome {
+            failures.push("BSP final states diverged from the fault-free run".into());
+        }
+        let mut crashes = faulty.crashes();
+        let mut recovered = faulty.recovered.clone();
+        crashes.sort_unstable();
+        recovered.sort_unstable();
+        if crashes != recovered {
+            failures.push(format!(
+                "crashed machines {crashes:?} but recovered {recovered:?}"
+            ));
+        }
+        failures
+    }
+}
+
+/// Multi-hop neighborhood exploration from pinned start vertices on a
+/// social graph. Benign faults (duplicates, delays, reordering) must not
+/// change any per-hop frontier size: exploration handlers are
+/// idempotent reads, and duplicate responses are discarded by
+/// correlation matching.
+#[derive(Debug, Clone)]
+pub struct TraversalSearch {
+    /// Cluster size.
+    pub machines: usize,
+    /// Social-graph vertex count.
+    pub n: usize,
+    /// Social-graph average degree.
+    pub degree: usize,
+    /// Hops per exploration.
+    pub hops: usize,
+    /// Start vertices (pinned, so runs are comparable).
+    pub starts: Vec<u64>,
+}
+
+impl TraversalSearch {
+    /// A small instance: 3 machines, 600 vertices, 2-hop explorations.
+    pub fn small() -> Self {
+        TraversalSearch {
+            machines: 3,
+            n: 600,
+            degree: 6,
+            hops: 2,
+            starts: vec![1, 17, 101, 333],
+        }
+    }
+}
+
+impl ChaosWorkload for TraversalSearch {
+    fn name(&self) -> &str {
+        "traversal-search"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+            faults,
+            ..CloudConfig::small(self.machines)
+        }));
+        let fabric = Arc::clone(cloud.fabric());
+        fabric.chaos_arm(false);
+        let csr = trinity_graphgen::social(self.n, self.degree, 7);
+        load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).expect("load social graph");
+        let explorer = Explorer::install(Arc::clone(&cloud));
+        fabric.chaos_arm(true);
+
+        let mut failures = Vec::new();
+        let mut pieces = Vec::new();
+        for &start in &self.starts {
+            let r = explorer.explore(0, start, self.hops, b"");
+            if r.deadline_exceeded || r.cancelled {
+                failures.push(format!("exploration from {start} was cut short"));
+            }
+            pieces.push(format!("{start}:{:?}", r.per_hop));
+        }
+        let mut run = ChaosRun::capture(&fabric, pieces.join(";"), CAPTURE_TIMEOUT);
+        run.failures = failures;
+        cloud.shutdown();
+        run
+    }
+
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        if faulty.outcome != reference.outcome {
+            vec![format!(
+                "traversal frontiers diverged: {} != {}",
+                faulty.outcome, reference.outcome
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A slice of the serving workload: a proxy-tier [`ServeRuntime`] fed a
+/// burst of deadline-bounded exploration queries while the plan drops
+/// frames and crashes slaves at submission-indexed marks. The checked
+/// invariants are conservation — every submitted query is admitted or
+/// shed, and every admitted query completes, cancels, or expires in
+/// queue — and that no query starts running after its deadline expired.
+/// Timing makes the traffic nondeterministic, so no log equality is
+/// asserted (`deterministic()` is false).
+#[derive(Debug, Clone)]
+pub struct ServeSlice {
+    /// Slave count (plus one proxy and one client endpoint).
+    pub slaves: usize,
+    /// Social-graph vertex count.
+    pub n: usize,
+    /// Social-graph average degree.
+    pub degree: usize,
+    /// Queries to submit.
+    pub queries: usize,
+    /// Per-query deadline.
+    pub deadline: Duration,
+    /// Submission indices at which to fire `chaos_mark(1), (2), …` —
+    /// where plans schedule `Trigger::Mark(k)` crashes.
+    pub marks: Vec<usize>,
+}
+
+impl ServeSlice {
+    /// A smoke-sized instance: 4 slaves, 2000 vertices, 120 queries,
+    /// marks at 1/3 and 2/3 of the submission stream.
+    pub fn small() -> Self {
+        ServeSlice {
+            slaves: 4,
+            n: 2_000,
+            degree: 8,
+            queries: 120,
+            deadline: Duration::from_millis(300),
+            marks: vec![40, 80],
+        }
+    }
+}
+
+impl ChaosWorkload for ServeSlice {
+    fn name(&self) -> &str {
+        "serve-slice"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        let mut cloud_cfg = CloudConfig::small(self.slaves);
+        cloud_cfg.faults = faults;
+        cloud_cfg.workers_per_machine = 2;
+        let cluster = TrinityCluster::new(TrinityConfig {
+            cloud: cloud_cfg,
+            proxies: 1,
+            clients: 1,
+        });
+        let fabric = Arc::clone(cluster.cloud().fabric());
+        fabric.chaos_arm(false);
+        let csr = trinity_graphgen::social(self.n, self.degree, 7);
+        load_graph(Arc::clone(cluster.cloud()), &csr, &LoadOptions::default())
+            .expect("load social graph");
+        let _explorer = Explorer::install(Arc::clone(cluster.cloud()));
+        fabric.chaos_arm(true);
+
+        let proxy = cluster.proxy(0);
+        let endpoint = Arc::clone(proxy.endpoint());
+        let table = Arc::new(cluster.cloud().node(0).table());
+        let slaves = cluster.slaves();
+        let rt = ServeRuntime::start(
+            proxy.endpoint(),
+            ServeConfig {
+                workers: 2,
+                queue_capacity: [4, 6, 8],
+                default_deadline: Some(self.deadline),
+            },
+        );
+
+        let started_expired = Arc::new(AtomicU64::new(0));
+        let mut rng = 0x5EED_u64 | 1;
+        let mut tickets = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..self.queries {
+            if let Some(k) = self.marks.iter().position(|&at| at == i) {
+                fabric.chaos_mark(k as u64 + 1);
+            }
+            let start = xorshift(&mut rng) % self.n as u64;
+            let class = if i % 2 == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Normal
+            };
+            let endpoint = Arc::clone(&endpoint);
+            let table = Arc::clone(&table);
+            let started_expired = Arc::clone(&started_expired);
+            match rt.submit(class, Some(self.deadline), move |ctx| {
+                if trinity_net::deadline_expired() {
+                    started_expired.fetch_add(1, Ordering::Relaxed);
+                }
+                explore_via(
+                    &endpoint,
+                    &table,
+                    slaves,
+                    start,
+                    2,
+                    b"",
+                    &ExploreOptions {
+                        cancel: Some(ctx.cancel.clone()),
+                        ..ExploreOptions::default()
+                    },
+                )
+                .visited()
+            }) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded { .. }) => shed += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut completed_ok = 0u64;
+        for t in tickets {
+            if t.wait().is_ok() {
+                completed_ok += 1;
+            }
+        }
+
+        // The counters lag ticket resolution by a few instructions; poll
+        // until the books balance.
+        let mut failures = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let conserved = loop {
+            let c = rt.counts();
+            if c.submitted == c.admitted + c.shed_total() && c.admitted == c.drained() {
+                break true;
+            }
+            if std::time::Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let counts = rt.counts();
+        if !conserved {
+            failures.push(format!(
+                "serve counters never conserved: {counts:?} (locally observed shed={shed})"
+            ));
+        }
+        if counts.submitted != self.queries as u64 {
+            failures.push(format!(
+                "submitted {} != {} offered",
+                counts.submitted, self.queries
+            ));
+        }
+        if completed_ok != counts.completed {
+            failures.push(format!(
+                "{completed_ok} tickets resolved Ok but {} queries completed",
+                counts.completed
+            ));
+        }
+        let late_starts = started_expired.load(Ordering::Relaxed);
+        if late_starts > 0 {
+            failures.push(format!(
+                "{late_starts} queries started running after their deadline expired"
+            ));
+        }
+        rt.shutdown();
+        let mut run = ChaosRun::capture(&fabric, "", CAPTURE_TIMEOUT);
+        run.failures = failures;
+        cluster.shutdown();
+        run
+    }
+
+    fn check(&self, _reference: &ChaosRun, _faulty: &ChaosRun) -> Vec<String> {
+        // The invariants are intra-run (conservation, deadline safety),
+        // checked during `run`; timing makes cross-run equality moot.
+        Vec::new()
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+}
+
+/// Crash a machine while the recovery agents are running, with partition
+/// windows swallowing protocol traffic mid-recovery, and require the §6
+/// protocol to converge anyway: the victim's cells must come back
+/// readable on survivors, with the exact values written before the
+/// crash. Heartbeat pacing makes the traffic nondeterministic, so no log
+/// equality is asserted.
+#[derive(Debug, Clone)]
+pub struct PartitionHeal {
+    /// Cluster size.
+    pub machines: usize,
+    /// Cells written (and verified after recovery).
+    pub cells: u64,
+    /// Machine the plan's `Trigger::Mark(1)` crash targets.
+    pub victim: u16,
+}
+
+impl PartitionHeal {
+    /// A small instance: 4 machines, 120 cells, machine 2 crashes.
+    pub fn small() -> Self {
+        PartitionHeal {
+            machines: 4,
+            cells: 120,
+            victim: 2,
+        }
+    }
+}
+
+impl ChaosWorkload for PartitionHeal {
+    fn name(&self) -> &str {
+        "partition-heal"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+            faults,
+            call_timeout: Duration::from_millis(200),
+            ..CloudConfig::small(self.machines)
+        }));
+        let fabric = Arc::clone(cloud.fabric());
+        fabric.chaos_arm(false);
+        for i in 0..self.cells {
+            cloud
+                .node(0)
+                .put(i, format!("v{i}").as_bytes())
+                .expect("seed cell");
+        }
+        cloud.backup_all().expect("backup trunks to TFS");
+        fabric.chaos_arm(true);
+
+        let mut failures = Vec::new();
+        let mut recovered = Vec::new();
+        let agents = RecoveryAgents::install(Arc::clone(&cloud), RecoveryConfig::default());
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while RecoveryAgents::current_leader(&cloud).is_none() {
+            if std::time::Instant::now() >= deadline {
+                failures.push("no leader elected before the crash".into());
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Fire the crash (plans schedule `Mark(1)` → crash the victim);
+        // the partition windows in the plan swallow protocol traffic on
+        // survivor links while recovery runs.
+        fabric.chaos_mark(1);
+        if fabric.is_dead(MachineId(self.victim)) {
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            loop {
+                let done = agents.events().iter().any(|e| {
+                    matches!(e, RecoveryEvent::MachineRecovered { failed, .. }
+                             if *failed == MachineId(self.victim))
+                });
+                if done {
+                    recovered.push(self.victim);
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    failures.push(format!(
+                        "machine {} never recovered despite partitions healing",
+                        self.victim
+                    ));
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        agents.stop();
+
+        // All cells must eventually be readable from a survivor with
+        // exact values: partition windows are finite (they heal once
+        // their sequence range passes), so reads retry through them.
+        let reader = (0..self.machines)
+            .find(|&m| !fabric.is_dead(MachineId(m as u16)))
+            .expect("at least one survivor");
+        let mut digest = String::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        for i in 0..self.cells {
+            loop {
+                match cloud.node(reader).get(i) {
+                    Ok(Some(v)) if v == format!("v{i}").into_bytes() => break,
+                    other => {
+                        if std::time::Instant::now() >= deadline {
+                            failures.push(format!("cell {i} wrong after recovery: {other:?}"));
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            digest.push('.');
+        }
+        let mut run = ChaosRun::capture(&fabric, digest, CAPTURE_TIMEOUT);
+        run.recovered = recovered;
+        run.failures = failures;
+        cloud.shutdown();
+        run
+    }
+
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        if faulty.outcome != reference.outcome {
+            vec!["recovered data diverged from the fault-free run".into()]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+}

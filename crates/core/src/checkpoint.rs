@@ -12,6 +12,7 @@
 //! recomputed, never lost results.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use trinity_memcloud::CellId;
 use trinity_tfs::TfsError;
@@ -19,12 +20,44 @@ use trinity_tfs::TfsError;
 use crate::bsp::{BspConfig, BspResult, BspRunner, ResumePoint, SuperstepReport, VertexProgram};
 
 /// Checkpoint cadence and naming.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CheckpointConfig {
     /// Supersteps between checkpoints.
     pub every: usize,
     /// Job name (TFS key prefix).
     pub job: String,
+    /// Called with the superstep counter after each checkpoint is
+    /// persisted — the segment boundary where a crash loses no completed
+    /// work. The chaos harness hangs [`trinity_net::Fabric::chaos_mark`]
+    /// here to fire scheduled crashes exactly between segments.
+    pub on_segment: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint every `every` supersteps under the job name `job`.
+    pub fn new(every: usize, job: impl Into<String>) -> Self {
+        CheckpointConfig {
+            every,
+            job: job.into(),
+            on_segment: None,
+        }
+    }
+
+    /// Install a segment-boundary hook.
+    pub fn with_on_segment(mut self, hook: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.on_segment = Some(Arc::new(hook));
+        self
+    }
+}
+
+impl std::fmt::Debug for CheckpointConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointConfig")
+            .field("every", &self.every)
+            .field("job", &self.job)
+            .field("on_segment", &self.on_segment.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 fn ckpt_path(job: &str) -> String {
@@ -188,6 +221,9 @@ fn continue_job<P: VertexProgram>(
             &ckpt_path(&ckpt.job),
             &encode_checkpoint::<P>(superstep, &point),
         )?;
+        if let Some(hook) = &ckpt.on_segment {
+            hook(superstep);
+        }
         resume = Some(point);
     }
 }
@@ -269,10 +305,7 @@ mod tests {
         let straight = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(64)).run();
         // Checkpoint every 4 supersteps: runner segments are 4 long.
         let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
-        let ckpt = CheckpointConfig {
-            every: 4,
-            job: "maxv".into(),
-        };
+        let ckpt = CheckpointConfig::new(4, "maxv");
         let cfg = segment_cfg(64);
         let result = run_with_checkpoints(&runner, &cfg, &ckpt).unwrap();
         assert!(result.terminated);
@@ -295,10 +328,7 @@ mod tests {
         let expected = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(64)).run();
         // "Crash": run only 2 segments (8 supersteps), writing checkpoints.
         let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
-        let ckpt = CheckpointConfig {
-            every: 4,
-            job: "crashy".into(),
-        };
+        let ckpt = CheckpointConfig::new(4, "crashy");
         let partial = run_with_checkpoints(&runner, &segment_cfg(8), &ckpt).unwrap();
         assert!(
             !partial.terminated,
@@ -316,10 +346,7 @@ mod tests {
     fn resume_without_checkpoint_reports_not_found() {
         let (cloud, graph) = setup(10, 2);
         let runner = BspRunner::new(Arc::clone(&graph), MaxValue, segment_cfg(4));
-        let ckpt = CheckpointConfig {
-            every: 4,
-            job: "nonexistent".into(),
-        };
+        let ckpt = CheckpointConfig::new(4, "nonexistent");
         assert!(matches!(
             resume_from_checkpoint(&runner, &segment_cfg(16), &ckpt),
             Err(TfsError::NotFound(_))

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use trinity_memstore::{LocalStoreConfig, TrunkConfig};
-use trinity_net::{CostModel, Fabric, FabricConfig, MachineId};
+use trinity_net::{CostModel, Fabric, FabricConfig, FaultPlan, MachineId};
 use trinity_tfs::{Tfs, TfsConfig};
 
 use crate::node::CloudNode;
@@ -43,6 +43,10 @@ pub struct CloudConfig {
     /// until [`MemoryCloud::join_machine`] rebalances some onto them
     /// (the paper's dynamic join, §3).
     pub standby_machines: usize,
+    /// Fault-injection plan for the fabric (`None` = fault-free). The
+    /// chaos harness sets this to run whole workloads under seeded
+    /// network misbehaviour.
+    pub faults: Option<FaultPlan>,
 }
 
 impl CloudConfig {
@@ -63,6 +67,7 @@ impl CloudConfig {
             extra_machines: 0,
             call_timeout: std::time::Duration::from_secs(10),
             standby_machines: 0,
+            faults: None,
         }
     }
 
@@ -102,6 +107,7 @@ impl MemoryCloud {
             workers_per_machine: cfg.workers_per_machine,
             cost: cfg.cost,
             call_timeout: cfg.call_timeout,
+            faults: cfg.faults,
             ..FabricConfig::with_machines(slaves + cfg.extra_machines)
         });
         let tfs = Tfs::new(cfg.tfs);

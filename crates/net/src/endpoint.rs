@@ -30,6 +30,7 @@ use crate::deadline::{current_deadline, deadline_now_us, DeadlineGuard, NO_DEADL
 use crate::envelope::{Envelope, Frame, FrameKind};
 use crate::error::NetError;
 use crate::fabric::{Item, Router};
+use crate::fault::ChaosState;
 use crate::stats::NetStats;
 use crate::{proto, MachineId, ProtoId, Result};
 
@@ -79,7 +80,9 @@ struct NetMetrics {
     frames_recv: Arc<Counter>,
     bytes_recv: Arc<Counter>,
     frames_local: Arc<Counter>,
+    frames_delivered: Arc<Counter>,
     frames_dropped: Arc<Counter>,
+    frames_refused: Arc<Counter>,
     /// Requests refused (or calls aborted) because the query's deadline
     /// budget was exhausted.
     deadline_expired: Arc<Counter>,
@@ -107,7 +110,9 @@ impl NetMetrics {
             frames_recv: obs.counter("net.frames.recv"),
             bytes_recv: obs.counter("net.bytes.recv"),
             frames_local: obs.counter("net.frames.local"),
+            frames_delivered: obs.counter("net.frames.delivered"),
             frames_dropped: obs.counter("net.frames.dropped"),
+            frames_refused: obs.counter("net.frames.refused"),
             deadline_expired: obs.counter("net.deadline.expired"),
             modeled_tx_us: obs.counter("net.modeled_tx_us"),
             env_bytes: obs.histogram("net.env.bytes"),
@@ -133,6 +138,8 @@ pub struct Endpoint {
     cost: CostModel,
     obs: MachineScope,
     metrics: NetMetrics,
+    /// Fault injector shared with the fabric; `None` outside chaos runs.
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -154,6 +161,7 @@ impl Endpoint {
         work_tx: Sender<Work>,
         cost: CostModel,
         obs: MachineScope,
+        chaos: Option<Arc<ChaosState>>,
     ) -> Arc<Self> {
         let metrics = NetMetrics::new(&obs);
         let ep = Arc::new(Endpoint {
@@ -172,6 +180,7 @@ impl Endpoint {
             cost,
             obs,
             metrics,
+            chaos,
         });
         // Liveness probe for the heartbeat monitor.
         ep.register(proto::PING, |_src, _p| Some(Vec::new()));
@@ -378,8 +387,10 @@ impl Endpoint {
         }
         let frames = env.frames.len() as u64;
         if self.router.is_dead(env.dst) {
-            self.stats.record_dropped(frames);
-            self.metrics.frames_dropped.add(frames);
+            // Refused at the send site: the frames never enter the fabric,
+            // so they are ledgered apart from in-flight drops.
+            self.stats.record_refused(frames);
+            self.metrics.frames_refused.add(frames);
             return Err(NetError::Unreachable(env.dst));
         }
         if env.dst == env.src {
@@ -411,6 +422,11 @@ impl Endpoint {
                 frames as u32,
                 self.obs.now_us(),
             );
+            // Remote envelopes route through the fault injector when one
+            // is installed; machine-local loopback cannot fail.
+            if let Some(chaos) = &self.chaos {
+                return chaos.transmit(env);
+            }
         }
         self.router.deliver(env)
     }
@@ -418,7 +434,13 @@ impl Endpoint {
     /// Receiver-thread entry: route one inbound envelope.
     pub(crate) fn route_envelope(&self, env: Envelope) {
         if self.router.is_dead(self.machine) {
-            return; // a dead machine processes nothing
+            // A dead machine processes nothing, but the frames must still
+            // be consumed from the ledger: they entered the fabric and
+            // die here, in its inbox.
+            let frames = env.frames.len() as u64;
+            self.stats.record_dropped(frames);
+            self.metrics.frames_dropped.add(frames);
+            return;
         }
         if env.src != self.machine {
             self.metrics.env_recv.inc();
@@ -436,20 +458,30 @@ impl Endpoint {
         for frame in env.frames {
             match frame.kind {
                 FrameKind::Response(corr) => {
-                    if let Some(tx) = self.pending.lock().remove(&corr) {
-                        let _ = tx.send(Ok(frame.payload));
+                    match self.pending.lock().remove(&corr) {
+                        Some(tx) => {
+                            self.count_delivered(1);
+                            let _ = tx.send(Ok(frame.payload));
+                        }
+                        // An orphan response: its call already completed
+                        // (timed out, or this is a duplicate delivery).
+                        None => self.count_dropped(1),
                     }
                 }
-                FrameKind::NoHandler(corr) => {
-                    if let Some(tx) = self.pending.lock().remove(&corr) {
+                FrameKind::NoHandler(corr) => match self.pending.lock().remove(&corr) {
+                    Some(tx) => {
+                        self.count_delivered(1);
                         let _ = tx.send(Err(NetError::NoHandler(frame.proto)));
                     }
-                }
-                FrameKind::Expired(corr) => {
-                    if let Some(tx) = self.pending.lock().remove(&corr) {
+                    None => self.count_dropped(1),
+                },
+                FrameKind::Expired(corr) => match self.pending.lock().remove(&corr) {
+                    Some(tx) => {
+                        self.count_delivered(1);
                         let _ = tx.send(Err(NetError::DeadlineExceeded(env.src, frame.proto)));
                     }
-                }
+                    None => self.count_dropped(1),
+                },
                 FrameKind::Request(_) | FrameKind::OneWay => {
                     let _ = self
                         .work_tx
@@ -474,12 +506,14 @@ impl Endpoint {
     /// being counted, and their handlers check the deadline themselves.
     pub(crate) fn dispatch(&self, src: MachineId, trace: u64, deadline: u64, frame: Frame) {
         if self.router.is_dead(self.machine) {
+            self.count_dropped(1);
             return;
         }
         let _guard = TraceGuard::enter(trace);
         let _deadline_guard = DeadlineGuard::enter(deadline);
         if deadline != NO_DEADLINE && deadline_now_us() >= deadline {
             if let FrameKind::Request(corr) = frame.kind {
+                self.count_delivered(1);
                 self.metrics.deadline_expired.inc();
                 let _ = self.transmit(Envelope {
                     src: self.machine,
@@ -503,17 +537,18 @@ impl Endpoint {
             FrameKind::OneWay => {
                 if let Some(h) = handler {
                     h(src, &frame.payload);
+                    self.count_delivered(1);
                     self.metrics
                         .handler_us
                         .record(self.obs.now_us().saturating_sub(start_us));
                     self.obs
                         .span("net.dispatch", proto, payload_len, 1, start_us);
                 } else {
-                    self.stats.record_dropped(1);
-                    self.metrics.frames_dropped.inc();
+                    self.count_dropped(1);
                 }
             }
             FrameKind::Request(corr) => {
+                self.count_delivered(1);
                 let reply = match handler {
                     Some(h) => {
                         let payload = h(src, &frame.payload).unwrap_or_default();
@@ -546,6 +581,16 @@ impl Endpoint {
                 unreachable!("responses are routed by the receiver")
             }
         }
+    }
+
+    fn count_delivered(&self, frames: u64) {
+        self.stats.record_delivered(frames);
+        self.metrics.frames_delivered.add(frames);
+    }
+
+    fn count_dropped(&self, frames: u64) {
+        self.stats.record_dropped(frames);
+        self.metrics.frames_dropped.add(frames);
     }
 
     /// Fail any calls still pending when the fabric shuts down.

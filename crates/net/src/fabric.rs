@@ -20,6 +20,7 @@ use crate::cost::CostModel;
 use crate::endpoint::{receiver_loop, worker_loop, Endpoint, Work};
 use crate::envelope::Envelope;
 use crate::error::NetError;
+use crate::fault::{ChaosState, FaultLog, FaultPlan};
 use crate::stats::StatsDelta;
 use crate::{MachineId, Result};
 
@@ -44,6 +45,12 @@ impl Router {
 
     pub(crate) fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_dead(&self, m: MachineId, dead: bool) {
+        if let Some(d) = self.dead.get(m.0 as usize) {
+            d.store(dead, Ordering::Release);
+        }
     }
 
     pub(crate) fn deliver(&self, env: Envelope) -> Result<()> {
@@ -73,6 +80,9 @@ pub struct FabricConfig {
     /// Price list used when converting measured traffic into modeled
     /// network seconds.
     pub cost: CostModel,
+    /// Seeded fault-injection plan; `None` (the default) runs the fabric
+    /// fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FabricConfig {
@@ -84,6 +94,7 @@ impl FabricConfig {
             pack_threshold_bytes: 64 << 10,
             call_timeout: Duration::from_secs(10),
             cost: CostModel::default(),
+            faults: None,
         }
     }
 }
@@ -95,6 +106,7 @@ pub struct Fabric {
     endpoints: Vec<Arc<Endpoint>>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     obs: Arc<Registry>,
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -123,6 +135,10 @@ impl Fabric {
             closed: AtomicBool::new(false),
         });
         let obs = Arc::new(Registry::new());
+        let chaos = cfg
+            .faults
+            .clone()
+            .map(|plan| ChaosState::start(plan, cfg.machines, Arc::clone(&router), cfg.cost, &obs));
         let mut endpoints = Vec::with_capacity(cfg.machines);
         let mut handles = Vec::new();
         for (m, inbox_rx) in inbox_rxs.into_iter().enumerate() {
@@ -136,6 +152,7 @@ impl Fabric {
                 work_tx,
                 cfg.cost,
                 obs.scope(m as u16),
+                chaos.clone(),
             );
             let workers = cfg.workers_per_machine.max(1);
             {
@@ -165,6 +182,7 @@ impl Fabric {
             endpoints,
             handles: Mutex::new(handles),
             obs,
+            chaos,
         })
     }
 
@@ -197,18 +215,14 @@ impl Fabric {
     /// Kill a machine: it stops processing messages and every transfer
     /// addressed to it fails with [`NetError::Unreachable`].
     pub fn kill(&self, m: MachineId) {
-        if let Some(d) = self.router.dead.get(m.0 as usize) {
-            d.store(true, Ordering::Release);
-        }
+        self.router.set_dead(m, true);
     }
 
     /// Revive a killed machine (its state is whatever it held at death;
     /// Trinity's recovery instead reloads trunks from TFS onto survivors,
     /// but revival is useful for heartbeat tests).
     pub fn revive(&self, m: MachineId) {
-        if let Some(d) = self.router.dead.get(m.0 as usize) {
-            d.store(false, Ordering::Release);
-        }
+        self.router.set_dead(m, false);
     }
 
     /// Whether machine `m` is currently dead.
@@ -225,6 +239,43 @@ impl Fabric {
         total
     }
 
+    /// The fault injector, when this fabric was built with
+    /// [`FabricConfig::faults`].
+    pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
+        self.chaos.as_ref()
+    }
+
+    /// Every fault injected so far (empty for fault-free fabrics).
+    pub fn fault_log(&self) -> FaultLog {
+        self.chaos
+            .as_ref()
+            .map(|c| c.fault_log())
+            .unwrap_or_default()
+    }
+
+    /// Fire `Trigger::Mark(value)` crash/revive events. Workloads call
+    /// this at logical boundaries (checkpoints, phase changes); a no-op
+    /// without an injector or matching events.
+    pub fn chaos_mark(&self, value: u64) {
+        if let Some(c) = &self.chaos {
+            c.mark(value);
+        }
+    }
+
+    /// Arm or disarm the fault injector (no-op on fault-free fabrics).
+    /// See [`ChaosState::set_armed`].
+    pub fn chaos_arm(&self, armed: bool) {
+        if let Some(c) = &self.chaos {
+            c.set_armed(armed);
+        }
+    }
+
+    /// Wait until the injector holds no envelopes (delays elapsed, holds
+    /// released). `true` immediately for fault-free fabrics.
+    pub fn chaos_quiesce(&self, timeout: Duration) -> bool {
+        self.chaos.as_ref().is_none_or(|c| c.quiesce(timeout))
+    }
+
     /// Modeled network seconds for the traffic measured so far, priced by
     /// the configured cost model.
     pub fn modeled_network_seconds(&self) -> f64 {
@@ -236,6 +287,11 @@ impl Fabric {
     pub fn shutdown(&self) {
         if self.router.closed.swap(true, Ordering::AcqRel) {
             return;
+        }
+        // Flush the injector first: parked envelopes are delivered ahead
+        // of the Stop items so nothing leaks through shutdown.
+        if let Some(c) = &self.chaos {
+            c.stop();
         }
         for tx in &self.router.inboxes {
             let _ = tx.send(Item::Stop);
@@ -507,6 +563,134 @@ mod tests {
         assert!(
             all.iter().all(|s| s.trace == trace),
             "spans only exist under a trace"
+        );
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn kill_drains_inbox_and_balances() {
+        let fabric = Fabric::new(quick_cfg(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let counter = Arc::clone(&counter);
+            fabric.endpoint(MachineId(1)).register(10, move |_, _| {
+                // Slow handler: the worker queue backs up so the kill
+                // lands while frames are still queued.
+                std::thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::SeqCst);
+                None
+            });
+        }
+        let a = fabric.endpoint(MachineId(0));
+        for i in 0..200u32 {
+            a.send(MachineId(1), 10, &i.to_le_bytes());
+            if i % 10 == 0 {
+                a.flush_to(MachineId(1));
+            }
+        }
+        a.flush();
+        std::thread::sleep(Duration::from_millis(20));
+        fabric.kill(MachineId(1));
+        // Every frame that entered the fabric must be consumed — handled
+        // before the kill, or counted dropped after it. Nothing may sit
+        // uncounted in channel buffers.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let total = fabric.total_stats();
+            if total.entered_frames() == total.consumed_frames() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ledger never balanced: {total:?}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let total = fabric.total_stats();
+        assert_eq!(total.entered_frames(), 200);
+        assert!(
+            total.dropped_frames > 0,
+            "kill with a backed-up queue must discard some frames"
+        );
+        assert_eq!(
+            counter.load(Ordering::SeqCst) as u64,
+            total.delivered_frames,
+            "handled exactly the frames the ledger says were delivered"
+        );
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn chaos_crash_schedule_fires_on_envelope_count() {
+        let fabric = Fabric::new(FabricConfig {
+            faults: Some(
+                FaultPlan::new(3)
+                    .with_event(crate::Trigger::Envelopes(6), crate::NodeEvent::Crash(1)),
+            ),
+            ..quick_cfg(2)
+        });
+        fabric
+            .endpoint(MachineId(1))
+            .register(10, |_, p| Some(p.to_vec()));
+        let a = fabric.endpoint(MachineId(0));
+        // Each call is two remote envelopes (request + response): the
+        // schedule fires mid-call 3, whose response may or may not beat
+        // the flag; by call 4 the destination is dead for sure.
+        let mut failed = None;
+        for i in 0..10 {
+            if let Err(e) = a.call(MachineId(1), 10, b"x") {
+                failed = Some((i, e));
+                break;
+            }
+        }
+        let (i, e) = failed.expect("crash schedule never fired");
+        assert!(i >= 2, "died before the trigger: call {i}");
+        assert!(
+            matches!(e, NetError::Unreachable(_) | NetError::Timeout(..)),
+            "got {e:?}"
+        );
+        assert!(fabric.is_dead(MachineId(1)));
+        let log = fabric.fault_log();
+        assert_eq!(log.len(), 1);
+        assert!(matches!(
+            log.records[0].kind,
+            crate::FaultKind::Crash(crate::Trigger::Envelopes(6))
+        ));
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn chaos_duplicate_delivers_oneways_twice() {
+        let fabric = Fabric::new(FabricConfig {
+            faults: Some(FaultPlan::new(11).with_duplicate(1.0)),
+            ..quick_cfg(2)
+        });
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let counter = Arc::clone(&counter);
+            fabric.endpoint(MachineId(1)).register(10, move |_, _| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                None
+            });
+        }
+        let a = fabric.endpoint(MachineId(0));
+        for i in 0..50u32 {
+            a.send(MachineId(1), 10, &i.to_le_bytes());
+            a.flush_to(MachineId(1));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 100 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100, "every envelope twice");
+        let chaos = fabric.chaos().unwrap();
+        assert_eq!(chaos.duplicated_frames(), 50);
+        assert_eq!(fabric.fault_log().len(), 50);
+        // Ledger: entered + duplicated == consumed.
+        let total = fabric.total_stats();
+        assert_eq!(
+            total.entered_frames() + chaos.duplicated_frames(),
+            total.consumed_frames()
         );
         fabric.shutdown();
     }

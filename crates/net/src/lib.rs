@@ -50,6 +50,7 @@ mod endpoint;
 mod envelope;
 mod error;
 mod fabric;
+mod fault;
 mod heartbeat;
 mod stats;
 
@@ -62,6 +63,10 @@ pub use endpoint::{Endpoint, Handler};
 pub use envelope::{Envelope, Frame, FrameKind};
 pub use error::NetError;
 pub use fabric::{Fabric, FabricConfig};
+pub use fault::{
+    ChaosState, DelayPolicy, FaultKind, FaultLog, FaultPlan, FaultRecord, NodeEvent, Partition,
+    ReorderPolicy, Trigger,
+};
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatStats, PeerEvent};
 pub use stats::{NetStats, StatsDelta};
 

@@ -15,7 +15,9 @@ pub struct NetStats {
     pub(crate) remote_frames: AtomicU64,
     pub(crate) remote_bytes: AtomicU64,
     pub(crate) local_frames: AtomicU64,
+    pub(crate) delivered_frames: AtomicU64,
     pub(crate) dropped_frames: AtomicU64,
+    pub(crate) refused_frames: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetStats`], or a difference of two snapshots.
@@ -29,8 +31,17 @@ pub struct StatsDelta {
     pub remote_bytes: u64,
     /// Logical messages delivered machine-locally (free).
     pub local_frames: u64,
-    /// Frames dropped because the destination was dead.
+    /// Frames terminally handled on the receive side (handler ran, call
+    /// completed, or the request was refused with an expired reply).
+    pub delivered_frames: u64,
+    /// Frames that entered the fabric but were discarded on the receive
+    /// side: the destination died in flight, no handler was registered,
+    /// or a duplicate response found its call already completed.
     pub dropped_frames: u64,
+    /// Frames refused at the *send* site because the destination was
+    /// already dead — they never entered the fabric and are excluded
+    /// from the delivery ledger.
+    pub refused_frames: u64,
 }
 
 impl NetStats {
@@ -41,7 +52,9 @@ impl NetStats {
             remote_frames: self.remote_frames.load(Ordering::Relaxed),
             remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
             local_frames: self.local_frames.load(Ordering::Relaxed),
+            delivered_frames: self.delivered_frames.load(Ordering::Relaxed),
             dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+            refused_frames: self.refused_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -55,8 +68,16 @@ impl NetStats {
         self.local_frames.fetch_add(frames, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_delivered(&self, frames: u64) {
+        self.delivered_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_dropped(&self, frames: u64) {
         self.dropped_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_refused(&self, frames: u64) {
+        self.refused_frames.fetch_add(frames, Ordering::Relaxed);
     }
 
     /// Traffic since a previous snapshot — the idiom every measurement
@@ -81,7 +102,9 @@ impl StatsDelta {
             remote_frames: later.remote_frames - self.remote_frames,
             remote_bytes: later.remote_bytes - self.remote_bytes,
             local_frames: later.local_frames - self.local_frames,
+            delivered_frames: later.delivered_frames - self.delivered_frames,
             dropped_frames: later.dropped_frames - self.dropped_frames,
+            refused_frames: later.refused_frames - self.refused_frames,
         }
     }
 
@@ -91,7 +114,23 @@ impl StatsDelta {
         self.remote_frames += other.remote_frames;
         self.remote_bytes += other.remote_bytes;
         self.local_frames += other.local_frames;
+        self.delivered_frames += other.delivered_frames;
         self.dropped_frames += other.dropped_frames;
+        self.refused_frames += other.refused_frames;
+    }
+
+    /// Frames that entered the fabric on the send side (remote plus
+    /// machine-local; refused frames never entered).
+    pub fn entered_frames(&self) -> u64 {
+        self.remote_frames + self.local_frames
+    }
+
+    /// Frames fully accounted on the receive side (terminally handled or
+    /// discarded). In a quiescent fabric every entered frame is consumed:
+    /// `entered_frames + duplicated == consumed_frames + swallowed`, where
+    /// the chaos layer reports the duplicated/swallowed corrections.
+    pub fn consumed_frames(&self) -> u64 {
+        self.delivered_frames + self.dropped_frames
     }
 
     /// Average frames per envelope — the packing factor the transparent
@@ -114,7 +153,9 @@ impl std::ops::Add for StatsDelta {
             remote_frames: self.remote_frames + rhs.remote_frames,
             remote_bytes: self.remote_bytes + rhs.remote_bytes,
             local_frames: self.local_frames + rhs.local_frames,
+            delivered_frames: self.delivered_frames + rhs.delivered_frames,
             dropped_frames: self.dropped_frames + rhs.dropped_frames,
+            refused_frames: self.refused_frames + rhs.refused_frames,
         }
     }
 }
@@ -137,7 +178,9 @@ impl std::ops::Sub for StatsDelta {
             remote_frames: self.remote_frames.saturating_sub(rhs.remote_frames),
             remote_bytes: self.remote_bytes.saturating_sub(rhs.remote_bytes),
             local_frames: self.local_frames.saturating_sub(rhs.local_frames),
+            delivered_frames: self.delivered_frames.saturating_sub(rhs.delivered_frames),
             dropped_frames: self.dropped_frames.saturating_sub(rhs.dropped_frames),
+            refused_frames: self.refused_frames.saturating_sub(rhs.refused_frames),
         }
     }
 }

@@ -139,6 +139,36 @@ impl ServeMetrics {
     }
 }
 
+/// Snapshot of the runtime's `serve.*` counters (see
+/// [`ServeRuntime::counts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCounts {
+    /// Queries offered to `submit`.
+    pub submitted: u64,
+    /// Queries that passed admission.
+    pub admitted: u64,
+    /// Queries shed at admission, per class (interactive, normal, batch).
+    pub shed: [u64; 3],
+    /// Admitted queries that ran to completion.
+    pub completed: u64,
+    /// Admitted queries cancelled before running.
+    pub cancelled: u64,
+    /// Admitted queries whose deadline expired while queued.
+    pub expired_in_queue: u64,
+}
+
+impl ServeCounts {
+    /// Total shed across all classes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Admitted queries fully accounted for (done, cancelled, or expired).
+    pub fn drained(&self) -> u64 {
+        self.completed + self.cancelled + self.expired_in_queue
+    }
+}
+
 /// The serving runtime attached to one proxy endpoint.
 pub struct ServeRuntime {
     queue: Arc<BoundedQueue<Job>>,
@@ -252,6 +282,25 @@ impl ServeRuntime {
                     capacity: self.queue.capacity(class),
                 })
             }
+        }
+    }
+
+    /// A consistent-enough snapshot of the runtime's admission and
+    /// completion counters. The chaos harness checks conservation on
+    /// these: after a drain, `submitted == admitted + shed_total()` and
+    /// `admitted == completed + cancelled + expired_in_queue`.
+    pub fn counts(&self) -> ServeCounts {
+        ServeCounts {
+            submitted: self.metrics.submitted.get(),
+            admitted: self.metrics.admitted.get(),
+            shed: [
+                self.metrics.shed[0].get(),
+                self.metrics.shed[1].get(),
+                self.metrics.shed[2].get(),
+            ],
+            completed: self.metrics.completed.get(),
+            cancelled: self.metrics.cancelled.get(),
+            expired_in_queue: self.metrics.expired_in_queue.get(),
         }
     }
 

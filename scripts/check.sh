@@ -16,4 +16,7 @@ cargo test --workspace -q "$@"
 echo "==> serve_load --smoke (serving-path gate: admission + deadlines + shedding)"
 cargo run --release -p trinity-bench --bin serve_load "$@" -- --smoke
 
+echo "==> chaos --smoke (fault-injection gate: 3 pinned seeds, run + replay)"
+cargo run --release -p trinity-bench --bin chaos_smoke "$@" -- --smoke
+
 echo "All checks passed."

@@ -40,12 +40,14 @@
 
 pub use trinity_algos as algos;
 pub use trinity_baselines as baselines;
+pub use trinity_chaos as chaos;
 pub use trinity_core as core;
 pub use trinity_graph as graph;
 pub use trinity_graphgen as graphgen;
 pub use trinity_memcloud as memcloud;
 pub use trinity_memstore as memstore;
 pub use trinity_net as net;
+pub use trinity_serve as serve;
 pub use trinity_tfs as tfs;
 pub use trinity_tql as tql;
 pub use trinity_tsl as tsl;

@@ -1,0 +1,183 @@
+//! Chaos regression suite: pinned seeds over the fault-injection fabric.
+//!
+//! Every test drives a whole workload (BSP job, online traversal,
+//! recovery protocol, serving slice) under a seeded `FaultPlan` and
+//! checks the invariant set from `trinity_chaos`:
+//!
+//! * results equal the fault-free run (exactness under benign faults and
+//!   under crash + §6 recovery),
+//! * the frame ledger balances and nothing leaks in the injector,
+//! * crash records match the schedule and every crashed machine was
+//!   recovered (where the workload recovers),
+//! * the serving runtime accounts for every submitted query.
+//!
+//! Deterministic workloads additionally pin the *fault log*: the same
+//! seed twice yields identical logs and outcomes, and replaying the
+//! recorded log re-injects it bit-for-bit.
+
+use trinity::chaos::{
+    BspRingMax, ChaosRunner, ChaosWorkload, PartitionHeal, ServeSlice, TraversalSearch,
+};
+use trinity::net::{FaultPlan, NodeEvent, Partition, Trigger};
+
+/// The full determinism drill for one pinned seed: the run passes, the
+/// same seed reproduces the same fault log and outcome, and the
+/// recorded log replays verbatim and still passes.
+fn assert_pinned_seed<W: ChaosWorkload>(runner: &ChaosRunner<W>, seed: u64) {
+    let first = runner.run(seed);
+    assert!(
+        first.passed(),
+        "{} seed {seed:#x}: {:?}",
+        runner.workload().name(),
+        first.failures
+    );
+    if runner.workload().deterministic() {
+        let second = runner.run(seed);
+        assert!(second.passed(), "rerun: {:?}", second.failures);
+        assert_eq!(
+            first.faulty.log, second.faulty.log,
+            "same seed must inject the same faults"
+        );
+        assert_eq!(
+            first.faulty.outcome, second.faulty.outcome,
+            "same seed must produce the same outcome"
+        );
+    }
+    let replayed = runner.replay(&first.faulty.log);
+    assert!(
+        replayed.passed(),
+        "replay of seed {seed:#x}: {:?}",
+        replayed.failures
+    );
+    if runner.workload().deterministic() {
+        assert_eq!(
+            replayed.faulty.log, first.faulty.log,
+            "replaying a log must re-inject exactly it"
+        );
+        assert_eq!(replayed.faulty.outcome, first.faulty.outcome);
+    }
+}
+
+fn bsp_delay_runner() -> ChaosRunner<BspRingMax> {
+    ChaosRunner::new(
+        BspRingMax::small(),
+        FaultPlan::new(0).with_delay(0.3, 200, 400),
+    )
+}
+
+#[test]
+fn bsp_under_delays_seed_a11ce() {
+    assert_pinned_seed(&bsp_delay_runner(), 0xA11CE);
+}
+
+#[test]
+fn bsp_under_delays_seed_b0b() {
+    assert_pinned_seed(&bsp_delay_runner(), 0xB0B);
+}
+
+/// Crash a machine at the superstep-8 checkpoint boundary
+/// (crash-during-superstep: the job is mid-flight, half its state is
+/// only in memory, and the §6.2 checkpoint + §6.1 trunk recovery must
+/// reconstruct the rest).
+fn bsp_crash_runner(machine: u16) -> ChaosRunner<BspRingMax> {
+    ChaosRunner::new(
+        BspRingMax::small(),
+        FaultPlan::new(0)
+            .with_delay(0.2, 150, 300)
+            .with_event(Trigger::Mark(8), NodeEvent::Crash(machine)),
+    )
+}
+
+#[test]
+fn bsp_crash_during_superstep_seed_cafe() {
+    let runner = bsp_crash_runner(1);
+    assert_pinned_seed(&runner, 0xCAFE);
+    let report = runner.run(0xCAFE);
+    assert_eq!(report.faulty.crashes(), vec![1], "the crash must fire");
+    assert_eq!(report.faulty.recovered, vec![1]);
+}
+
+#[test]
+fn bsp_crash_during_superstep_seed_d00d() {
+    assert_pinned_seed(&bsp_crash_runner(2), 0xD00D);
+}
+
+fn traversal_runner() -> ChaosRunner<TraversalSearch> {
+    ChaosRunner::new(
+        TraversalSearch::small(),
+        FaultPlan::new(0)
+            .with_duplicate(0.3)
+            .with_delay(0.2, 100, 300),
+    )
+}
+
+#[test]
+fn traversal_duplicate_delivery_seed_e17() {
+    let runner = traversal_runner();
+    assert_pinned_seed(&runner, 0xE17);
+    let report = runner.run(0xE17);
+    assert!(
+        report
+            .faulty
+            .log
+            .records
+            .iter()
+            .any(|r| matches!(r.kind, trinity::net::FaultKind::Duplicate)),
+        "the plan must actually duplicate something"
+    );
+}
+
+#[test]
+fn traversal_duplicate_delivery_seed_f00d() {
+    assert_pinned_seed(&traversal_runner(), 0xF00D);
+}
+
+/// Partition windows swallow protocol traffic between survivors while
+/// the recovery agents handle a crashed machine; the partitions heal
+/// (their sequence windows end) and recovery must converge with exact
+/// data anyway.
+#[test]
+fn partition_heal_during_recovery_seed_1010() {
+    let plan = FaultPlan::new(0)
+        .with_event(Trigger::Mark(1), NodeEvent::Crash(2))
+        .with_partition(Partition {
+            from: 0,
+            to: 1,
+            from_seq: 10,
+            to_seq: 30,
+        })
+        .with_partition(Partition {
+            from: 1,
+            to: 0,
+            from_seq: 10,
+            to_seq: 30,
+        });
+    let runner = ChaosRunner::new(PartitionHeal::small(), plan);
+    let report = runner.run(0x1010);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert!(report.faulty.crashes().contains(&2));
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// Serving under chaos: 5% frame drops plus two slave crashes mid-burst.
+/// Every submitted query must be accounted for — admitted + shed ==
+/// submitted, admitted == completed + cancelled + expired — and no query
+/// may start running after its deadline expired.
+#[test]
+fn serve_under_chaos_accounts_for_every_query_seed_5eae() {
+    let plan = FaultPlan::new(0)
+        .with_drop(0.05)
+        .with_event(Trigger::Mark(1), NodeEvent::Crash(1))
+        .with_event(Trigger::Mark(2), NodeEvent::Crash(2));
+    let runner = ChaosRunner::new(ServeSlice::small(), plan);
+    let report = runner.run(0x5EAE);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert_eq!(
+        report.faulty.crashes().len(),
+        2,
+        "both scheduled crashes must fire"
+    );
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}

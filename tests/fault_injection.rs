@@ -64,10 +64,7 @@ fn bsp_job_interrupted_and_resumed_from_tfs_checkpoint() {
         Arc::new(load_graph(Arc::clone(&cloud), &ring(n), &LoadOptions::default()).unwrap());
     let expected = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(128)).run();
     // Run 6 supersteps (1.5 checkpoint intervals), then "crash".
-    let ckpt = CheckpointConfig {
-        every: 4,
-        job: "interrupted".into(),
-    };
+    let ckpt = CheckpointConfig::new(4, "interrupted");
     let runner = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(4));
     let partial = run_with_checkpoints(&runner, &cfg(8), &ckpt).unwrap();
     assert!(!partial.terminated);
@@ -95,10 +92,7 @@ fn machine_failure_mid_bsp_job_recovers_through_cloud_and_checkpoint() {
     cloud.backup_all().unwrap();
 
     // Run 8 supersteps with checkpoints, then a machine dies.
-    let ckpt = CheckpointConfig {
-        every: 4,
-        job: "bsp-under-failure".into(),
-    };
+    let ckpt = CheckpointConfig::new(4, "bsp-under-failure");
     let runner = BspRunner::new(Arc::clone(&graph), MaxValue, cfg(4));
     let partial = run_with_checkpoints(&runner, &cfg(8), &ckpt).unwrap();
     assert!(!partial.terminated);
