@@ -1,0 +1,228 @@
+//! Cache figure: traversal cost vs remote-cell cache size.
+//!
+//! A client-side k-hop traversal driven from one machine reads mostly
+//! remote cells; on a hub-heavy (power-law) graph the same hub cells are
+//! fetched over and over. This harness sweeps the remote-cell cache
+//! capacity and measures, per warm traversal pass: remote envelopes on
+//! the fabric, cache hits, wall time, and modeled network seconds.
+//! Capacity 0 is the ablation baseline — caching and prefetch disabled,
+//! every remote read a full round-trip.
+//!
+//! `--smoke` runs a seconds-long gate asserting the headline claim: a
+//! warm cache serves the traversal with a nonzero hit count and at least
+//! a 2x reduction in remote envelopes versus the cache-disabled baseline.
+//! Exits nonzero when the claim does not hold.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use trinity_bench::{bench_cloud_config, header, row, scaled, secs, timed, MetricsOut};
+use trinity_graph::{load_graph, GraphHandle, LoadOptions};
+use trinity_memcloud::MemoryCloud;
+use trinity_obs::Json;
+
+const MACHINES: usize = 4;
+const HOPS: usize = 2;
+
+/// Level-synchronous k-hop traversal from `start`, all reads through one
+/// machine's handle. With `prefetch`, each hop's remote frontier is
+/// batch-fetched (one MULTI_GET envelope per owner) before the per-node
+/// visits; without it every remote node costs one GET round-trip.
+fn traverse(handle: &GraphHandle, start: u64, hops: usize, prefetch: bool) -> usize {
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(start);
+    let mut frontier = vec![start];
+    for _ in 0..hops {
+        if prefetch {
+            let remote: Vec<u64> = frontier
+                .iter()
+                .copied()
+                .filter(|&id| !handle.is_local(id))
+                .collect();
+            handle.prefetch(&remote);
+        }
+        let mut next = Vec::new();
+        for &id in &frontier {
+            let _ = handle.with_node(id, |view| {
+                for n in view.outs() {
+                    if visited.insert(n) {
+                        next.push(n);
+                    }
+                }
+            });
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    visited.len()
+}
+
+struct PassStats {
+    envelopes: u64,
+    hits: u64,
+    modeled_s: f64,
+    wall_s: f64,
+    visited: usize,
+}
+
+/// Run every query once, returning the fabric/cache deltas for the pass.
+fn run_pass(
+    cloud: &MemoryCloud,
+    handle: &GraphHandle,
+    starts: &[u64],
+    prefetch: bool,
+) -> PassStats {
+    let net0 = cloud.fabric().total_stats();
+    let model0 = cloud.fabric().modeled_network_seconds();
+    let hits0 = cloud.cache_stats().hits;
+    let (visited, wall_s) = timed(|| {
+        starts
+            .iter()
+            .map(|&s| traverse(handle, s, HOPS, prefetch))
+            .sum::<usize>()
+    });
+    let delta = net0.delta_to(&cloud.fabric().total_stats());
+    PassStats {
+        envelopes: delta.remote_envelopes,
+        hits: cloud.cache_stats().hits - hits0,
+        modeled_s: cloud.fabric().modeled_network_seconds() - model0,
+        wall_s,
+        visited,
+    }
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut metrics = MetricsOut::from_args();
+
+    let n = if smoke { 2_000 } else { scaled(12_000) };
+    let csr = trinity_graphgen::power_law(n, 2.16, 1, n / 10, 7);
+    // Start each query at a hub: their big neighborhoods make the
+    // traversal fan out and revisit the same high-degree cells across
+    // queries — the workload the cache is for.
+    let mut by_degree: Vec<u64> = (0..n as u64).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(csr.out_degree(v)));
+    let starts: Vec<u64> = by_degree[..if smoke { 4 } else { 8 }].to_vec();
+    let capacities: &[usize] = if smoke {
+        &[0, 4096]
+    } else {
+        &[0, 256, 1024, 4096, 16384]
+    };
+
+    header(
+        &format!(
+            "cache_traversal — {HOPS}-hop client-side traversal on a power-law graph \
+             (n={n}, {MACHINES} machines, {} queries) vs cache capacity",
+            starts.len()
+        ),
+        &[
+            "capacity",
+            "cold envelopes",
+            "warm envelopes",
+            "warm hits",
+            "warm wall",
+            "warm modeled",
+            "envelope reduction",
+        ],
+    );
+
+    // Baseline (capacity 0) warm-pass envelope count, filled by the first
+    // sweep point; the reduction column and the smoke gate compare to it.
+    let mut baseline_env: Option<u64> = None;
+    let mut last: Option<(u64, u64)> = None; // (warm envelopes, warm hits) of the largest capacity
+    let mut series: Vec<Json> = Vec::new();
+
+    for &capacity in capacities {
+        let mut cfg = bench_cloud_config(MACHINES);
+        cfg.cache_capacity = capacity;
+        let cloud = Arc::new(MemoryCloud::new(cfg));
+        load_graph(
+            Arc::clone(&cloud),
+            &csr,
+            &LoadOptions {
+                with_in_links: false,
+                attrs: None,
+            },
+        )
+        .expect("load graph");
+        // All reads through machine 0: ~(m-1)/m of the graph is remote.
+        let handle = GraphHandle::new(Arc::clone(cloud.node(0)));
+        let enabled = capacity > 0;
+
+        let cold = run_pass(&cloud, &handle, &starts, enabled);
+        let warm = run_pass(&cloud, &handle, &starts, enabled);
+        assert_eq!(
+            cold.visited, warm.visited,
+            "traversal must be deterministic"
+        );
+
+        if capacity == 0 {
+            baseline_env = Some(warm.envelopes);
+        }
+        last = Some((warm.envelopes, warm.hits));
+        let reduction = match baseline_env {
+            Some(base) if warm.envelopes > 0 => {
+                format!("{:.1}x", base as f64 / warm.envelopes as f64)
+            }
+            Some(_) => "inf".into(),
+            None => "-".into(),
+        };
+        row(&[
+            capacity.to_string(),
+            cold.envelopes.to_string(),
+            warm.envelopes.to_string(),
+            warm.hits.to_string(),
+            secs(warm.wall_s),
+            secs(warm.modeled_s),
+            reduction,
+        ]);
+        series.push(Json::obj([
+            ("capacity", Json::U64(capacity as u64)),
+            ("cold_envelopes", Json::U64(cold.envelopes)),
+            ("cold_hits", Json::U64(cold.hits)),
+            ("warm_envelopes", Json::U64(warm.envelopes)),
+            ("warm_hits", Json::U64(warm.hits)),
+            ("warm_wall_s", Json::F64(warm.wall_s)),
+            ("warm_modeled_s", Json::F64(warm.modeled_s)),
+            ("visited", Json::U64(warm.visited as u64)),
+        ]));
+        if capacity == *capacities.last().unwrap() {
+            metrics.capture("largest_capacity", &cloud);
+        }
+        cloud.shutdown();
+    }
+
+    metrics.section("series", Json::Arr(series));
+    metrics.finish();
+
+    let base = baseline_env.expect("capacity 0 always swept");
+    let (warm_env, warm_hits) = last.expect("at least one capacity swept");
+    println!(
+        "\nheadline: warm cache {warm_env} envelopes vs {base} disabled \
+         ({:.1}x fewer), {warm_hits} cache hits",
+        base as f64 / (warm_env.max(1)) as f64
+    );
+
+    // The gate: the cache must actually serve the traversal (nonzero warm
+    // hits) and cut remote envelopes at least in half versus disabled.
+    let mut failed = false;
+    if warm_hits == 0 {
+        eprintln!("cache_traversal: FAIL — warm pass recorded no cache hits");
+        failed = true;
+    }
+    if warm_env * 2 > base {
+        eprintln!(
+            "cache_traversal: FAIL — warm envelopes {warm_env} not ≥2x below baseline {base}"
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("cache_traversal: gate passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -459,6 +459,217 @@ impl ChaosWorkload for ServeSlice {
     }
 }
 
+/// The remote-cell read cache under chaos: readers hammer cached remote
+/// cells through non-owner nodes (both the single-cell and the batched
+/// `multi_get` path) while a writer bumps versions, the plan drops
+/// frames, and a victim machine crashes mid-storm and is recovered.
+///
+/// Dropped `INVALIDATE` traffic is allowed to leave *bounded* staleness
+/// during the storm (the protocol degrades to version floors when an
+/// invalidation times out), so in-storm checks are validity only: every
+/// read must be a value the writer actually wrote to that exact cell.
+/// After recovery the cluster must converge: a final write round with
+/// the injector disarmed, caches cleared everywhere (a revived machine
+/// has missed invalidations), and then every node must read the final
+/// value of every cell. Timing makes the traffic nondeterministic, so no
+/// fault-log equality is asserted.
+#[derive(Debug, Clone)]
+pub struct CachedRemoteReads {
+    /// Cluster size.
+    pub machines: usize,
+    /// Cells written and read (spread across all machines).
+    pub cells: u64,
+    /// Write rounds per storm phase (one put per cell per round).
+    pub rounds: u64,
+    /// Machine the plan's `Trigger::Mark(1)` crash targets.
+    pub victim: u16,
+}
+
+impl CachedRemoteReads {
+    /// A small instance: 3 machines, 12 cells, machine 2 crashes between
+    /// the two storm phases.
+    pub fn small() -> Self {
+        CachedRemoteReads {
+            machines: 3,
+            cells: 10,
+            rounds: 5,
+            victim: 2,
+        }
+    }
+
+    fn value(id: u64, seq: u64) -> Vec<u8> {
+        format!("c{id}s{seq}").into_bytes()
+    }
+
+    /// Validity: the bytes must be exactly one of the values ever written
+    /// to `id` (seed `s0` through storm `s{max_seq}`).
+    fn valid(id: u64, max_seq: u64, bytes: &[u8]) -> bool {
+        let Ok(s) = std::str::from_utf8(bytes) else {
+            return false;
+        };
+        let Some(rest) = s.strip_prefix(&format!("c{id}s")) else {
+            return false;
+        };
+        rest.parse::<u64>().is_ok_and(|seq| seq <= max_seq)
+    }
+}
+
+impl ChaosWorkload for CachedRemoteReads {
+    fn name(&self) -> &str {
+        "cached-remote-reads"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        use std::sync::atomic::AtomicBool;
+
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+            faults,
+            call_timeout: Duration::from_millis(100),
+            ..CloudConfig::small(self.machines)
+        }));
+        let fabric = Arc::clone(cloud.fabric());
+        fabric.chaos_arm(false);
+        for i in 0..self.cells {
+            cloud.node(0).put(i, &Self::value(i, 0)).expect("seed cell");
+        }
+        cloud.backup_all().expect("backup trunks to TFS");
+        fabric.chaos_arm(true);
+
+        let max_seq = 2 * self.rounds;
+        let failures: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut recovered = Vec::new();
+        std::thread::scope(|scope| {
+            // Readers on every machine: most cells are remote to each, so
+            // the traffic is cache hits, misses, and invalidations under
+            // drops. Errors and misses are expected mid-storm (timeouts,
+            // the crashed owner); only *invalid values* are failures.
+            for r in 0..self.machines {
+                let cloud = Arc::clone(&cloud);
+                let stop = Arc::clone(&stop);
+                let failures = Arc::clone(&failures);
+                let cells = self.cells;
+                scope.spawn(move || {
+                    let mut round = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        round += 1;
+                        if round.is_multiple_of(2) {
+                            let ids: Vec<u64> = (0..cells).collect();
+                            if let Ok(got) = cloud.node(r).multi_get(&ids) {
+                                for (i, bytes) in got.into_iter().enumerate() {
+                                    if let Some(b) = bytes {
+                                        if !Self::valid(i as u64, max_seq, &b) {
+                                            failures.lock().push(format!(
+                                                "reader {r} multi_get cell {i}: invalid {b:?}"
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            for i in 0..cells {
+                                if let Ok(Some(b)) = cloud.node(r).get(i) {
+                                    if !Self::valid(i, max_seq, &b) {
+                                        failures.lock().push(format!(
+                                            "reader {r} get cell {i}: invalid value {b:?}"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // Storm phase 1: version churn under drops/delays.
+            let writer = (self.victim as usize + 1) % self.machines;
+            for round in 1..=self.rounds {
+                for i in 0..self.cells {
+                    // Timeouts are expected under a lossy plan; a put
+                    // whose reply was dropped may still have committed —
+                    // both outcomes are valid values for readers.
+                    let _ = cloud.node(writer).put(i, &Self::value(i, round));
+                }
+            }
+            // Crash the victim (plans schedule `Mark(1)`), keep the storm
+            // running against the dead owner, then recover it (§6.1).
+            fabric.chaos_mark(1);
+            for round in self.rounds + 1..=max_seq {
+                for i in 0..self.cells {
+                    let _ = cloud.node(writer).put(i, &Self::value(i, round));
+                }
+            }
+            for m in 0..self.machines {
+                if fabric.is_dead(MachineId(m as u16)) {
+                    cloud.recover(m).expect("recover crashed machine");
+                    fabric.revive(MachineId(m as u16));
+                    cloud.node(m).sync_table().expect("resync table");
+                    recovered.push(m as u16);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let mut failures = Arc::try_unwrap(failures)
+            .expect("reader threads joined")
+            .into_inner();
+
+        // Convergence: disarm, write one final round, drop every cached
+        // copy (the revived machine missed invalidations; recovery
+        // reloaded trunks with fresh version stamps), and require every
+        // node to read the final values exactly.
+        fabric.chaos_arm(false);
+        let final_seq = max_seq + 1;
+        for i in 0..self.cells {
+            // Recovery may leave the victim's old trunks reloaded from
+            // the seed backup; the final write must still land.
+            if let Err(e) = cloud.node(0).put(i, &Self::value(i, final_seq)) {
+                failures.push(format!("final write of cell {i} failed: {e}"));
+            }
+        }
+        for m in 0..self.machines {
+            cloud.node(m).clear_cache();
+        }
+        let mut digest = String::new();
+        for i in 0..self.cells {
+            let expect = Self::value(i, final_seq);
+            let mut ok = true;
+            for m in 0..self.machines {
+                match cloud.node(m).get(i) {
+                    Ok(Some(ref b)) if *b == expect => {}
+                    other => {
+                        ok = false;
+                        failures.push(format!("node {m} cell {i} did not converge: {other:?}"));
+                    }
+                }
+            }
+            digest.push(if ok { '.' } else { 'X' });
+        }
+        let stats = cloud.cache_stats();
+        if stats.hits == 0 {
+            failures.push(format!("storm never exercised the cache: {stats:?}"));
+        }
+        let mut run = ChaosRun::capture(&fabric, digest, CAPTURE_TIMEOUT);
+        run.recovered = recovered;
+        run.failures = failures;
+        cloud.shutdown();
+        run
+    }
+
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        if faulty.outcome != reference.outcome {
+            vec![format!(
+                "converged state diverged: {} != {}",
+                faulty.outcome, reference.outcome
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+}
+
 /// Crash a machine while the recovery agents are running, with partition
 /// windows swallowing protocol traffic mid-recovery, and require the §6
 /// protocol to converge anyway: the victim's cells must come back

@@ -246,7 +246,9 @@ impl TrinityClient {
             })
             .map_err(CloudError::Net)?;
         match raw.first() {
-            Some(0) => Ok(Some(raw[1..].to_vec())),
+            // OK replies carry the cell's 8-byte version stamp after the
+            // status; the client tier only wants the payload.
+            Some(0) if raw.len() >= 9 => Ok(Some(raw[9..].to_vec())),
             Some(1) => Ok(None),
             _ => Err(CloudError::BadReply),
         }

@@ -362,6 +362,19 @@ pub fn explore_via(
 /// the fabric) every few dozen ids and returns what it has when the budget
 /// lapses — a partial reply beats a wasted one.
 fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> Vec<u8> {
+    // The coordinator routed these ids here because its table says we own
+    // them — but a stale table can leave stragglers owned elsewhere. Those
+    // would each cost one remote round-trip inside `with_node`; batch-warm
+    // the read cache first so the straggler fetches ride one envelope per
+    // actual owner.
+    let stragglers: Vec<CellId> = ids
+        .iter()
+        .copied()
+        .filter(|&id| !handle.is_local(id))
+        .collect();
+    if !stragglers.is_empty() {
+        handle.prefetch(&stragglers);
+    }
     let mut matches = Vec::new();
     let mut neighbors = Vec::new();
     for (i, &id) in ids.iter().enumerate() {

@@ -246,6 +246,20 @@ impl AsyncExplorer {
             return;
         }
         let table = self.cloud.node(m).table();
+        // Batches are routed to owners, but the sender's table may be
+        // stale: ids we no longer own fall back to remote reads inside
+        // `with_node`. Batch-warm the read cache so those stragglers cost
+        // one envelope per actual owner instead of one round-trip each.
+        let me = MachineId(m as u16);
+        let stragglers: Vec<CellId> = batch
+            .ids
+            .iter()
+            .copied()
+            .filter(|&id| table.machine_of(id) != me)
+            .collect();
+        if !stragglers.is_empty() {
+            handle.prefetch(&stragglers);
+        }
         // Phase 1: local dedup + match + depth refinement.
         let mut fresh: Vec<CellId> = Vec::new();
         {

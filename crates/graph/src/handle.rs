@@ -56,6 +56,14 @@ impl GraphHandle {
         self.node.table().machine_of(id) == self.node.machine()
     }
 
+    /// Warm the remote-cell read cache for an upcoming batch of node
+    /// visits: one batched fetch per owner machine instead of one
+    /// round-trip per cell. Local ids are ignored; failures are too —
+    /// the per-cell path re-fetches anything the prefetch missed.
+    pub fn prefetch(&self, ids: &[CellId]) {
+        self.node.prefetch(ids);
+    }
+
     /// Visit a node cell with a zero-copy [`NodeView`] when it is local,
     /// or a fetched copy when remote. Returns `None` if the node does not
     /// exist.

@@ -1,0 +1,361 @@
+//! Per-machine cache of *remote* cell reads, with versioned invalidation.
+//!
+//! Every cell carries a monotonic version stamp minted by the trunk layer
+//! (`trinity_memstore::next_version`); a cached copy is the pair
+//! `(version, bytes)`. Coherence is version-ordered:
+//!
+//! * an **insert** is dropped if the cache already holds a *newer* stamp
+//!   for that cell — a reply that raced with a concurrent write can never
+//!   roll the cache backwards;
+//! * an **invalidation** `(id, v)` replaces any entry with stamp `<= v` by
+//!   a *floor* — a data-less entry remembering "whatever you learn about
+//!   this cell must be stamped at least `v`". The floor absorbs in-flight
+//!   read replies that left the owner before the write.
+//!
+//! Floors occupy regular LRU slots, so under extreme capacity pressure a
+//! floor can be evicted while the read it was guarding against is still in
+//! flight; the protocol's staleness bound is therefore "one in-flight hop,
+//! plus eviction races under overload" (see DESIGN.md §9). Reconfiguration
+//! (a new addressing table) clears the whole cache: trunk reloads re-stamp
+//! every cell, and a machine that was dead missed invalidations.
+//!
+//! The cache is strictly a *remote-read* accelerator: locally owned cells
+//! are always served zero-copy from the trunk and never enter the cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use trinity_memstore::CellVersion;
+use trinity_obs::{Counter, MachineScope};
+
+use crate::CellId;
+
+const NIL: u32 = u32::MAX;
+
+/// Point-in-time cache counters (cumulative) plus the live entry count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the cache without touching the fabric.
+    pub hits: u64,
+    /// Reads that had to go to the owner.
+    pub misses: u64,
+    /// Invalidations applied (entry floored, or a floor recorded).
+    pub invalidations: u64,
+    /// Entries pushed out by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident (data entries and floors alike).
+    pub entries: usize,
+}
+
+/// One cached cell: its version stamp and, unless this is an invalidation
+/// floor, the payload bytes. Slots double as intrusive LRU-list nodes.
+#[derive(Debug)]
+struct Slot {
+    id: CellId,
+    version: CellVersion,
+    data: Option<Arc<[u8]>>,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CellId, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (eviction victim).
+    tail: u32,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            head: NIL,
+            tail: NIL,
+            ..Inner::default()
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = (self.slots[i as usize].prev, self.slots[i as usize].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        self.slots[i as usize].prev = NIL;
+        self.slots[i as usize].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h as usize].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn touch(&mut self, i: u32) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Drop the LRU entry. Returns whether anything was evicted.
+    fn evict_tail(&mut self) -> bool {
+        let t = self.tail;
+        if t == NIL {
+            return false;
+        }
+        self.unlink(t);
+        let id = self.slots[t as usize].id;
+        self.map.remove(&id);
+        self.slots[t as usize].data = None;
+        self.free.push(t);
+        true
+    }
+
+    fn alloc(&mut self, id: CellId, version: CellVersion, data: Option<Arc<[u8]>>) -> u32 {
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot {
+                    id,
+                    version,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    id,
+                    version,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.map.insert(id, i);
+        i
+    }
+}
+
+/// The per-machine remote-cell read cache. Capacity 0 disables it: every
+/// operation becomes a no-op and no counters move.
+#[derive(Debug)]
+pub(crate) struct RemoteCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl RemoteCache {
+    pub(crate) fn new(capacity: usize, obs: &MachineScope) -> Self {
+        RemoteCache {
+            capacity,
+            inner: Mutex::new(Inner::new()),
+            hits: obs.counter("cloud.cache.hits"),
+            misses: obs.counter("cloud.cache.misses"),
+            invalidations: obs.counter("cloud.cache.invalidations"),
+            evictions: obs.counter("cloud.cache.evictions"),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look a cell up. A floor entry is a miss — it carries no bytes.
+    pub(crate) fn get(&self, id: CellId) -> Option<Arc<[u8]>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(&i) = inner.map.get(&id) {
+            if let Some(data) = inner.slots[i as usize].data.clone() {
+                inner.touch(i);
+                self.hits.inc();
+                return Some(data);
+            }
+        }
+        self.misses.inc();
+        None
+    }
+
+    /// Record a fetched (or just-written) cell. Dropped when the cache
+    /// already holds a newer stamp — including a newer floor.
+    pub(crate) fn insert(&self, id: CellId, version: CellVersion, data: Arc<[u8]>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(&i) = inner.map.get(&id) {
+            let slot = &mut inner.slots[i as usize];
+            if slot.version <= version {
+                slot.version = version;
+                slot.data = Some(data);
+                inner.touch(i);
+            }
+            return;
+        }
+        if inner.map.len() >= self.capacity && inner.evict_tail() {
+            self.evictions.inc();
+        }
+        let i = inner.alloc(id, version, Some(data));
+        inner.push_front(i);
+    }
+
+    /// Apply an invalidation: floor the entry at `version`. Recorded even
+    /// when the cell is absent, so a read reply already in flight when the
+    /// write happened cannot install its stale payload afterwards.
+    pub(crate) fn invalidate(&self, id: CellId, version: CellVersion) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(&i) = inner.map.get(&id) {
+            let slot = &mut inner.slots[i as usize];
+            if slot.version <= version {
+                slot.version = version;
+                slot.data = None;
+                inner.touch(i);
+                self.invalidations.inc();
+            }
+            return;
+        }
+        if inner.map.len() >= self.capacity && inner.evict_tail() {
+            self.evictions.inc();
+        }
+        let i = inner.alloc(id, version, None);
+        inner.push_front(i);
+        self.invalidations.inc();
+    }
+
+    /// Drop everything (reconfiguration: stamps are reminted on reload and
+    /// missed invalidations cannot be reconstructed). Counters survive.
+    pub(crate) fn clear(&self) {
+        if !self.enabled() {
+            return;
+        }
+        *self.inner.lock() = Inner::new();
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
+            entries: self.inner.lock().map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize) -> RemoteCache {
+        RemoteCache::new(capacity, &MachineScope::detached())
+    }
+
+    fn bytes(b: &[u8]) -> Arc<[u8]> {
+        Arc::from(b.to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = cache(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, 10, bytes(b"x"));
+        assert_eq!(c.get(1).as_deref(), Some(&b"x"[..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = cache(2);
+        c.insert(1, 1, bytes(b"a"));
+        c.insert(2, 2, bytes(b"b"));
+        assert!(c.get(1).is_some()); // 1 is now MRU
+        c.insert(3, 3, bytes(b"c")); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn stale_insert_is_rejected_by_floor() {
+        let c = cache(4);
+        c.invalidate(7, 100);
+        // A reply stamped before the write must not land.
+        c.insert(7, 99, bytes(b"stale"));
+        assert_eq!(c.get(7), None);
+        // The write's own (or any newer) value does land.
+        c.insert(7, 100, bytes(b"fresh"));
+        assert_eq!(c.get(7).as_deref(), Some(&b"fresh"[..]));
+    }
+
+    #[test]
+    fn invalidation_floors_older_entries_only() {
+        let c = cache(4);
+        c.insert(3, 50, bytes(b"new"));
+        c.invalidate(3, 40); // late, older invalidation: ignored
+        assert_eq!(c.get(3).as_deref(), Some(&b"new"[..]));
+        c.invalidate(3, 60);
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables_everything() {
+        let c = cache(0);
+        c.insert(1, 1, bytes(b"a"));
+        c.invalidate(2, 2);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let c = cache(4);
+        c.insert(1, 1, bytes(b"a"));
+        assert!(c.get(1).is_some());
+        c.clear();
+        assert_eq!(c.get(1), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn slot_recycling_under_churn_stays_consistent() {
+        let c = cache(8);
+        for round in 0u64..50 {
+            for k in 0u64..16 {
+                c.insert(k, round * 16 + k, bytes(&k.to_le_bytes()));
+            }
+        }
+        // The last 8 distinct keys inserted are resident.
+        assert_eq!(c.stats().entries, 8);
+        for k in 8u64..16 {
+            assert_eq!(c.get(k).as_deref(), Some(&k.to_le_bytes()[..]));
+        }
+    }
+}

@@ -47,6 +47,11 @@ pub struct CloudConfig {
     /// chaos harness sets this to run whole workloads under seeded
     /// network misbehaviour.
     pub faults: Option<FaultPlan>,
+    /// Per-machine remote-read cache capacity in entries; 0 disables the
+    /// cache (and with it the sharer tracking and invalidation traffic).
+    /// Must be uniform across the cloud — the coherence protocol skips
+    /// machines entirely when the cache is off.
+    pub cache_capacity: usize,
 }
 
 impl CloudConfig {
@@ -68,6 +73,7 @@ impl CloudConfig {
             call_timeout: std::time::Duration::from_secs(10),
             standby_machines: 0,
             faults: None,
+            cache_capacity: 4096,
         }
     }
 
@@ -122,6 +128,7 @@ impl MemoryCloud {
                     cfg.store.clone(),
                     tfs.clone(),
                     table.clone(),
+                    cfg.cache_capacity,
                 )
             })
             .collect();
@@ -181,6 +188,20 @@ impl MemoryCloud {
     /// Total live cells across the cloud.
     pub fn total_cells(&self) -> usize {
         self.nodes.iter().map(|n| n.store().cell_count()).sum()
+    }
+
+    /// Cluster-wide aggregate of the per-machine remote-read caches.
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        let mut total = crate::CacheStats::default();
+        for n in &self.nodes {
+            let s = n.cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
     }
 
     /// Persist every live machine's trunks to TFS. Dead machines are
@@ -446,6 +467,121 @@ mod tests {
                 "cell {i}"
             );
         }
+        cloud.shutdown();
+    }
+
+    /// First id whose owner is none of the given machines.
+    fn id_remote_to(cloud: &MemoryCloud, machines: &[u16]) -> u64 {
+        let table = cloud.node(0).table();
+        (0u64..)
+            .find(|&i| {
+                let m = table.machine_of(i);
+                machines.iter().all(|&x| m != MachineId(x))
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn cached_remote_reads_skip_the_fabric() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        let id = id_remote_to(&cloud, &[0]);
+        cloud.node(0).put(id, b"hot cell").unwrap();
+        // The write populated the writer's cache; repeated reads are local.
+        let before = cloud.fabric().total_stats();
+        for _ in 0..50 {
+            assert_eq!(cloud.node(0).get(id).unwrap().unwrap(), b"hot cell");
+        }
+        let delta = before.delta_to(&cloud.fabric().total_stats());
+        assert_eq!(
+            delta.remote_envelopes, 0,
+            "cached reads must not touch the fabric"
+        );
+        assert!(cloud.node(0).cache_stats().hits >= 50);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn write_invalidates_remote_caches_before_acking() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        // A cell remote to both the reader (0) and the writer (1).
+        let id = id_remote_to(&cloud, &[0, 1]);
+        cloud.node(1).put(id, b"v1").unwrap();
+        assert_eq!(cloud.node(0).get(id).unwrap().unwrap(), b"v1");
+        // The ack of this write implies node 0's copy is gone.
+        cloud.node(1).put(id, b"v2").unwrap();
+        assert_eq!(
+            cloud.node(0).get(id).unwrap().unwrap(),
+            b"v2",
+            "stale read after an acknowledged write"
+        );
+        assert!(cloud.node(0).cache_stats().invalidations >= 1);
+        // Appends and removes propagate the same way.
+        assert!(cloud.node(1).append(id, b"+x").unwrap());
+        assert_eq!(cloud.node(0).get(id).unwrap().unwrap(), b"v2+x");
+        assert!(cloud.node(1).remove(id).unwrap());
+        assert_eq!(cloud.node(0).get(id).unwrap(), None);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn multi_get_uses_one_envelope_per_destination() {
+        let cloud = MemoryCloud::new(CloudConfig::small(4));
+        let ids: Vec<u64> = (0..64).collect();
+        for &i in &ids {
+            cloud.node(1).put(i, &i.to_le_bytes()).unwrap();
+        }
+        let reader = cloud.node(0);
+        reader.clear_cache();
+        let before = cloud.fabric().total_stats();
+        let got = reader.multi_get(&ids).unwrap();
+        let delta = before.delta_to(&cloud.fabric().total_stats());
+        for (i, v) in ids.iter().zip(&got) {
+            assert_eq!(v.as_deref(), Some(&i.to_le_bytes()[..]), "cell {i}");
+        }
+        // One request + one reply envelope per remote machine, not per cell.
+        assert!(
+            delta.remote_envelopes <= 6,
+            "{} envelopes for a batched read across 3 remote machines",
+            delta.remote_envelopes
+        );
+        // The batch warmed the cache: re-reading every cell is free.
+        let before = cloud.fabric().total_stats();
+        for &i in &ids {
+            assert!(reader.get(i).unwrap().is_some());
+        }
+        let delta = before.delta_to(&cloud.fabric().total_stats());
+        assert_eq!(delta.remote_envelopes, 0);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn multi_get_reports_missing_cells() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        cloud.node(0).put(7, b"present").unwrap();
+        let got = cloud.node(1).multi_get(&[7, 1_000_007]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(&b"present"[..]));
+        assert_eq!(got[1], None);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let cloud = MemoryCloud::new(CloudConfig {
+            cache_capacity: 0,
+            ..CloudConfig::small(3)
+        });
+        let id = id_remote_to(&cloud, &[0]);
+        cloud.node(0).put(id, b"x").unwrap();
+        let before = cloud.fabric().total_stats();
+        for _ in 0..10 {
+            assert_eq!(cloud.node(0).get(id).unwrap().unwrap(), b"x");
+        }
+        let delta = before.delta_to(&cloud.fabric().total_stats());
+        assert!(
+            delta.remote_envelopes >= 10,
+            "disabled cache must fetch every read"
+        );
+        assert_eq!(cloud.cache_stats(), crate::CacheStats::default());
         cloud.shutdown();
     }
 

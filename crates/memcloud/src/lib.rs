@@ -35,18 +35,20 @@
 //! cloud.shutdown();
 //! ```
 
+mod cache;
 mod cloud;
 mod error;
 mod node;
 mod table;
 mod wire;
 
+pub use cache::CacheStats;
 pub use cloud::{CloudConfig, MemoryCloud};
 pub use error::CloudError;
 pub use node::CloudNode;
 pub use table::AddressingTable;
 
-pub use trinity_memstore::CellId;
+pub use trinity_memstore::{CellId, CellVersion};
 
 /// Result alias for memory-cloud operations.
 pub type Result<T> = std::result::Result<T, CloudError>;
@@ -59,4 +61,9 @@ pub(crate) mod proto {
     pub const REMOVE: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 2;
     pub const APPEND: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 3;
     pub const CONTAINS: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 4;
+    /// Batched read: many cell ids in, one entry per id out.
+    pub const MULTI_GET: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 5;
+    /// Cache coherence: the owner tells a reader that its cached copy of
+    /// a cell is stale below the carried version stamp.
+    pub const INVALIDATE: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 6;
 }

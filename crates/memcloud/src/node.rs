@@ -11,16 +11,45 @@
 //! replica from the TFS primary and retries once. If the table hasn't
 //! changed (no recovery happened yet), the error propagates to the caller,
 //! who is expected to inform the leader (see `trinity-core`'s recovery).
+//!
+//! # Remote-read cache and coherence
+//!
+//! Every node keeps a [`RemoteCache`] of remote cells it has read (or
+//! written), keyed by cell id and stamped with the trunk-minted version.
+//! Coherence is owner-driven write-invalidate:
+//!
+//! * the owner tracks, per trunk, which machines hold cached copies (the
+//!   *sharers*: any machine whose GET/MULTI_GET/PUT passed through it);
+//! * a mutation bumps the cell's version stamp, then synchronously
+//!   invalidates every sharer **before acknowledging the writer** — after
+//!   a write returns, no fault-free reader serves the old value;
+//! * the writer itself is excluded from the broadcast: its ack carries the
+//!   new stamp, which it applies to its own cache before returning.
+//!
+//! Sharer registration is ordered through the cell's spin lock (a reader
+//! registers while the cell is pinned; a writer registers before the trunk
+//! write), so any read that observed the pre-write payload is visible to
+//! the write's invalidation snapshot. Invalidations to unreachable
+//! machines drop the sharer; invalidations that time out degrade to the
+//! bounded-staleness floor protocol (the version floor in the reader's
+//! cache rejects stale inserts whenever the invalidation does land). The
+//! protocol assumes a cluster-wide uniform `cache_capacity`: with the
+//! cache disabled, nodes neither track sharers nor send invalidations.
 
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use trinity_memstore::{LocalStore, LocalStoreConfig, StoreError, TrunkSnapshot, TrunkStats};
+use trinity_memstore::{
+    CellVersion, LocalStore, LocalStoreConfig, StoreError, TrunkSnapshot, TrunkStats,
+};
 use trinity_net::{Endpoint, MachineId, NetError};
 use trinity_tfs::Tfs;
 
+use crate::cache::{CacheStats, RemoteCache};
 use crate::proto;
 use crate::table::{AddressingTable, TFS_TABLE_PATH};
 use crate::wire;
@@ -31,6 +60,12 @@ pub fn trunk_backup_path(gid: u64) -> String {
     format!("trunks/{gid:08}")
 }
 
+/// Per-sharer budget for a synchronous invalidation. Short on purpose: a
+/// healthy sharer answers in microseconds, and under network faults the
+/// write must not stall behind a dropped coherence frame — it proceeds
+/// after this bound and the reader's version floor catches the straggler.
+const INVALIDATE_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// One machine of the memory cloud.
 pub struct CloudNode {
     machine: MachineId,
@@ -39,6 +74,10 @@ pub struct CloudNode {
     table: RwLock<AddressingTable>,
     tfs: Tfs,
     id_counter: AtomicU64,
+    cache: RemoteCache,
+    /// Owner-side coherence directory: for each locally hosted trunk, the
+    /// machines that may hold cached copies of its cells.
+    sharers: Mutex<HashMap<u64, BTreeSet<u16>>>,
 }
 
 impl std::fmt::Debug for CloudNode {
@@ -51,12 +90,15 @@ impl std::fmt::Debug for CloudNode {
 
 impl CloudNode {
     /// Bring up a node: create its trunks per the initial table and
-    /// register the cell-access protocol handlers.
+    /// register the cell-access protocol handlers. `cache_capacity` is the
+    /// remote-read cache size in entries (0 disables caching and the
+    /// coherence traffic that serves it).
     pub fn start(
         endpoint: Arc<Endpoint>,
         store_cfg: LocalStoreConfig,
         tfs: Tfs,
         initial_table: AddressingTable,
+        cache_capacity: usize,
     ) -> Arc<Self> {
         let machine = endpoint.machine();
         // Trunk `store.*` metrics land in the same per-machine scope as the
@@ -66,6 +108,7 @@ impl CloudNode {
         for gid in initial_table.trunks_of(machine) {
             store.ensure_trunk(gid);
         }
+        let cache = RemoteCache::new(cache_capacity, endpoint.obs());
         let node = Arc::new(CloudNode {
             machine,
             endpoint,
@@ -73,13 +116,15 @@ impl CloudNode {
             table: RwLock::new(initial_table),
             tfs,
             id_counter: AtomicU64::new(1),
+            cache,
+            sharers: Mutex::new(HashMap::new()),
         });
         node.register_handlers();
         node
     }
 
     fn register_handlers(self: &Arc<Self>) {
-        type CellOp = fn(&CloudNode, CellId, &[u8]) -> Vec<u8>;
+        type CellOp = fn(&CloudNode, MachineId, CellId, &[u8]) -> Vec<u8>;
         let ops: [(u16, CellOp); 5] = [
             (proto::GET, CloudNode::handle_get),
             (proto::PUT, CloudNode::handle_put),
@@ -89,7 +134,7 @@ impl CloudNode {
         ];
         for (pid, op) in ops {
             let node = Arc::clone(self);
-            self.endpoint.register(pid, move |_src, data| {
+            self.endpoint.register(pid, move |src, data| {
                 let (id, body) = match wire::decode_req(data) {
                     Some(x) => x,
                     None => return Some(wire::reply(wire::STORE_ERR, b"")),
@@ -97,9 +142,21 @@ impl CloudNode {
                 if !node.owns(id) {
                     return Some(wire::reply(wire::NOT_OWNER, b""));
                 }
-                Some(op(&node, id, body))
+                Some(op(&node, src, id, body))
             });
         }
+        let node = Arc::clone(self);
+        self.endpoint.register(proto::MULTI_GET, move |src, data| {
+            Some(node.handle_multi_get(src, data))
+        });
+        let node = Arc::clone(self);
+        self.endpoint
+            .register(proto::INVALIDATE, move |_src, data| {
+                if let Some((id, version)) = wire::decode_invalidate(data) {
+                    node.cache.invalidate(id, version);
+                }
+                Some(Vec::new())
+            });
     }
 
     /// This node's machine id.
@@ -141,6 +198,63 @@ impl CloudNode {
     }
 
     // ------------------------------------------------------------------
+    // Coherence directory (owner side)
+    // ------------------------------------------------------------------
+
+    /// Remember that `src` may now hold cached cells of `trunk`.
+    ///
+    /// Ordering contract: the caller must invoke this *before* the next
+    /// mutation of the cell it served can complete — readers register
+    /// while holding the cell guard, writers before the trunk write — so
+    /// every copy handed out is visible to later invalidation snapshots.
+    fn record_sharer(&self, trunk: u64, src: MachineId) {
+        if src == self.machine || !self.cache.enabled() {
+            return;
+        }
+        self.sharers.lock().entry(trunk).or_default().insert(src.0);
+    }
+
+    /// Synchronously invalidate every sharer's cached copy of `id` (new
+    /// stamp `version`), except `exclude` — the writer, whose ack carries
+    /// the stamp. Runs *before* the mutation is acknowledged.
+    fn invalidate_sharers(&self, id: CellId, version: CellVersion, exclude: MachineId) {
+        if !self.cache.enabled() {
+            return;
+        }
+        let trunk = self.table.read().trunk_of(id);
+        let targets: Vec<u16> = match self.sharers.lock().get(&trunk) {
+            Some(s) => s
+                .iter()
+                .copied()
+                .filter(|&m| m != exclude.0 && m != self.machine.0)
+                .collect(),
+            None => return,
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let frame = wire::encode_invalidate(id, version);
+        for m in targets {
+            // Timeouts and expired deadlines degrade to best effort: the
+            // write proceeds and the reader's version floor rejects the
+            // stale payload whenever the frame does land.
+            if let Err(NetError::Unreachable(_)) = self.endpoint.call_with_deadline(
+                MachineId(m),
+                proto::INVALIDATE,
+                &frame,
+                INVALIDATE_TIMEOUT,
+            ) {
+                // Dead reader: its cache died with its memory. If it is
+                // later revived or re-joins, reconfiguration clears its
+                // cache and re-reading re-registers it.
+                if let Some(s) = self.sharers.lock().get_mut(&trunk) {
+                    s.remove(&m);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Local handler bodies
     // ------------------------------------------------------------------
 
@@ -149,59 +263,110 @@ impl CloudNode {
         self.store.ensure_trunk(gid)
     }
 
-    fn handle_get(&self, id: CellId, _body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).get_owned(id) {
-            Some(bytes) => wire::reply(wire::OK, &bytes),
+    fn handle_get(&self, src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
+        let trunk = self.local_trunk(id);
+        let reply = match trunk.get_versioned(id) {
+            Some((version, guard)) => {
+                // Register the reader while the cell is pinned: any write
+                // serialized after this read will see it as a sharer.
+                self.record_sharer(trunk.id(), src);
+                wire::reply_ok(version, &guard)
+            }
+            None => wire::reply(wire::NOT_FOUND, b""),
+        };
+        reply
+    }
+
+    fn handle_put(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
+        let trunk = self.local_trunk(id);
+        // The writer caches the bytes it wrote, so it is a sharer too;
+        // register before the write so later writes invalidate it.
+        self.record_sharer(trunk.id(), src);
+        match trunk.put(id, body) {
+            Ok(version) => {
+                self.invalidate_sharers(id, version, src);
+                wire::reply_ok(version, b"")
+            }
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_remove(&self, src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).remove(id) {
+            Ok(version) => {
+                self.invalidate_sharers(id, version, src);
+                wire::reply_ok(version, b"")
+            }
+            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_append(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).append(id, body) {
+            Ok(version) => {
+                self.invalidate_sharers(id, version, src);
+                wire::reply_ok(version, b"")
+            }
+            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_contains(&self, _src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
+        match self.local_trunk(id).version_of(id) {
+            Some(version) => wire::reply_ok(version, b""),
             None => wire::reply(wire::NOT_FOUND, b""),
         }
     }
 
-    fn handle_put(&self, id: CellId, body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).put(id, body) {
-            Ok(()) => wire::reply(wire::OK, b""),
-            Err(_) => wire::reply(wire::STORE_ERR, b""),
+    fn handle_multi_get(&self, src: MachineId, data: &[u8]) -> Vec<u8> {
+        let ids = match wire::decode_multi_req(data) {
+            Some(ids) => ids,
+            // An undecodable request yields an empty reply, which fails
+            // the caller's entry-count check and routes it to the
+            // single-cell fallback.
+            None => return Vec::new(),
+        };
+        let mut entries = Vec::with_capacity(ids.len());
+        for id in ids {
+            if !self.owns(id) {
+                entries.push(wire::MultiEntry::NotOwner);
+                continue;
+            }
+            let trunk = self.local_trunk(id);
+            let entry = match trunk.get_versioned(id) {
+                Some((version, guard)) => {
+                    self.record_sharer(trunk.id(), src);
+                    wire::MultiEntry::Hit(version, guard.to_vec())
+                }
+                None => wire::MultiEntry::Missing,
+            };
+            entries.push(entry);
         }
-    }
-
-    fn handle_remove(&self, id: CellId, _body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).remove(id) {
-            Ok(()) => wire::reply(wire::OK, b""),
-            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
-            Err(_) => wire::reply(wire::STORE_ERR, b""),
-        }
-    }
-
-    fn handle_append(&self, id: CellId, body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).append(id, body) {
-            Ok(()) => wire::reply(wire::OK, b""),
-            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
-            Err(_) => wire::reply(wire::STORE_ERR, b""),
-        }
-    }
-
-    fn handle_contains(&self, id: CellId, _body: &[u8]) -> Vec<u8> {
-        if self.local_trunk(id).contains(id) {
-            wire::reply(wire::OK, b"")
-        } else {
-            wire::reply(wire::NOT_FOUND, b"")
-        }
+        wire::encode_multi_reply(&entries)
     }
 
     // ------------------------------------------------------------------
     // Location-transparent cell operations
     // ------------------------------------------------------------------
 
-    fn remote_op(&self, pid: u16, id: CellId, body: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn remote_op(
+        &self,
+        pid: u16,
+        id: CellId,
+        body: &[u8],
+    ) -> Result<Option<(CellVersion, Vec<u8>)>> {
         for attempt in 0..2 {
             let (trunk, owner) = self.route(id);
             if owner == self.machine {
                 // (Became) local — run the handler body directly.
                 let raw = match pid {
-                    proto::GET => self.handle_get(id, body),
-                    proto::PUT => self.handle_put(id, body),
-                    proto::REMOVE => self.handle_remove(id, body),
-                    proto::APPEND => self.handle_append(id, body),
-                    proto::CONTAINS => self.handle_contains(id, body),
+                    proto::GET => self.handle_get(self.machine, id, body),
+                    proto::PUT => self.handle_put(self.machine, id, body),
+                    proto::REMOVE => self.handle_remove(self.machine, id, body),
+                    proto::APPEND => self.handle_append(self.machine, id, body),
+                    proto::CONTAINS => self.handle_contains(self.machine, id, body),
                     _ => unreachable!("unknown memcloud protocol {pid}"),
                 };
                 return wire::parse_reply(&raw, trunk, owner);
@@ -238,31 +403,151 @@ impl CloudNode {
         })
     }
 
-    /// Read a cell from wherever it lives.
+    /// Read a cell from wherever it lives. Remote reads are served from
+    /// the node's cache when a coherent copy is resident.
     pub fn get(&self, id: CellId) -> Result<Option<Vec<u8>>> {
-        self.remote_op(proto::GET, id, b"")
+        if !self.owns(id) {
+            if let Some(bytes) = self.cache.get(id) {
+                return Ok(Some(bytes.to_vec()));
+            }
+        }
+        match self.remote_op(proto::GET, id, b"")? {
+            Some((version, bytes)) => {
+                if !self.owns(id) {
+                    self.cache
+                        .insert(id, version, Arc::from(bytes.clone().into_boxed_slice()));
+                }
+                Ok(Some(bytes))
+            }
+            None => Ok(None),
+        }
     }
 
-    /// Insert or replace a cell.
+    /// Insert or replace a cell. The ack carries the new version stamp,
+    /// which the node applies to its own cache before returning — a
+    /// machine always reads its own writes.
     pub fn put(&self, id: CellId, bytes: &[u8]) -> Result<()> {
-        self.remote_op(proto::PUT, id, bytes).map(|_| ())
+        if let Some((version, _)) = self.remote_op(proto::PUT, id, bytes)? {
+            if !self.owns(id) {
+                self.cache
+                    .insert(id, version, Arc::from(bytes.to_vec().into_boxed_slice()));
+            }
+        }
+        Ok(())
     }
 
     /// Remove a cell. `Ok(true)` if it existed.
     pub fn remove(&self, id: CellId) -> Result<bool> {
-        self.remote_op(proto::REMOVE, id, b"").map(|r| r.is_some())
+        match self.remote_op(proto::REMOVE, id, b"")? {
+            Some((version, _)) => {
+                if !self.owns(id) {
+                    self.cache.invalidate(id, version);
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Append bytes to a cell's payload. `Ok(false)` if the cell is absent.
     pub fn append(&self, id: CellId, bytes: &[u8]) -> Result<bool> {
-        self.remote_op(proto::APPEND, id, bytes)
+        match self.remote_op(proto::APPEND, id, bytes)? {
+            Some((version, _)) => {
+                // Only the delta is known here, so floor the cached copy;
+                // the next read refetches the full payload.
+                if !self.owns(id) {
+                    self.cache.invalidate(id, version);
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Whether the cell exists anywhere in the cloud. A cached copy
+    /// answers without touching the fabric.
+    pub fn contains(&self, id: CellId) -> Result<bool> {
+        if !self.owns(id) && self.cache.get(id).is_some() {
+            return Ok(true);
+        }
+        self.remote_op(proto::CONTAINS, id, b"")
             .map(|r| r.is_some())
     }
 
-    /// Whether the cell exists anywhere in the cloud.
-    pub fn contains(&self, id: CellId) -> Result<bool> {
-        self.remote_op(proto::CONTAINS, id, b"")
-            .map(|r| r.is_some())
+    /// Batched read: fetch many cells with **one envelope per destination
+    /// machine** instead of one call per cell. Results align with `ids`
+    /// (`None` = absent). Local cells are read in place; cached remote
+    /// cells are served from the cache; everything fetched on the way is
+    /// cached for subsequent single-cell reads — this is the traversal
+    /// frontier-prefetch primitive.
+    pub fn multi_get(&self, ids: &[CellId]) -> Result<Vec<Option<Vec<u8>>>> {
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
+        let mut by_owner: HashMap<MachineId, Vec<(usize, CellId)>> = HashMap::new();
+        {
+            let table = self.table.read();
+            for (i, &id) in ids.iter().enumerate() {
+                let owner = table.machine_of(id);
+                if owner == self.machine {
+                    out[i] = self.store.ensure_trunk(table.trunk_of(id)).get_owned(id);
+                } else if let Some(bytes) = self.cache.get(id) {
+                    out[i] = Some(bytes.to_vec());
+                } else {
+                    by_owner.entry(owner).or_default().push((i, id));
+                }
+            }
+        }
+        for (owner, group) in by_owner {
+            let req_ids: Vec<CellId> = group.iter().map(|&(_, id)| id).collect();
+            let entries = self
+                .endpoint
+                .call(owner, proto::MULTI_GET, &wire::encode_multi_req(&req_ids))
+                .ok()
+                .and_then(|raw| wire::decode_multi_reply(&raw, req_ids.len()));
+            match entries {
+                Some(entries) => {
+                    for ((i, id), entry) in group.into_iter().zip(entries) {
+                        match entry {
+                            wire::MultiEntry::Hit(version, bytes) => {
+                                self.cache.insert(
+                                    id,
+                                    version,
+                                    Arc::from(bytes.clone().into_boxed_slice()),
+                                );
+                                out[i] = Some(bytes);
+                            }
+                            wire::MultiEntry::Missing => {}
+                            // Stale table: the single-cell path re-syncs.
+                            wire::MultiEntry::NotOwner => out[i] = self.get(id)?,
+                        }
+                    }
+                }
+                // Dead owner, timeout, or a malformed reply: fall back to
+                // the single-cell path, which re-syncs and retries.
+                None => {
+                    for (i, id) in group {
+                        out[i] = self.get(id)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Warm the cache for an upcoming batch of reads (e.g. the next
+    /// traversal frontier). Best-effort: errors are swallowed — the reads
+    /// themselves will surface them.
+    pub fn prefetch(&self, ids: &[CellId]) {
+        let _ = self.multi_get(ids);
+    }
+
+    /// Counters and occupancy of this node's remote-read cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached remote cell (counters survive).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     // ------------------------------------------------------------------
@@ -313,6 +598,11 @@ impl CloudNode {
 
     /// Adopt a new addressing table: reload newly owned trunks from TFS,
     /// evict trunks that moved away. No-op for stale epochs.
+    ///
+    /// Reconfiguration also resets the coherence state: reloaded trunks
+    /// re-stamp every cell with fresh versions and a machine that was dead
+    /// missed invalidations, so cached remote reads and the sharer
+    /// directory are both cleared.
     pub fn install_table(&self, new: AddressingTable) -> Result<()> {
         {
             let cur = self.table.read();
@@ -331,6 +621,8 @@ impl CloudNode {
             self.store.evict(gid);
         }
         *self.table.write() = new;
+        self.cache.clear();
+        self.sharers.lock().clear();
         Ok(())
     }
 

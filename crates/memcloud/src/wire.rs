@@ -3,8 +3,16 @@
 //! Requests carry the cell id followed by the payload; replies carry a
 //! one-byte status followed by data. Deliberately minimal — these are the
 //! hot-path messages of every remote cell access.
+//!
+//! Since the read cache landed, every `OK` reply also carries the cell's
+//! 8-byte version stamp right after the status byte: reads learn the stamp
+//! they may cache under, and mutation acks return the stamp that doubles
+//! as the invalidation floor. `NOT_FOUND`/`NOT_OWNER`/`STORE_ERR` replies
+//! stay a bare status byte.
 
-use crate::CloudError;
+use trinity_memstore::CellVersion;
+
+use crate::{CellId, CloudError};
 
 /// Reply status codes.
 pub(crate) const OK: u8 = 0;
@@ -36,15 +44,28 @@ pub(crate) fn reply(status: u8, data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Interpret a remote reply: `Ok(Some(bytes))` for OK, `Ok(None)` for
-/// NOT_FOUND, errors otherwise. `trunk`/`asked` contextualize NOT_OWNER.
+/// An `OK` reply: status, version stamp, payload.
+pub(crate) fn reply_ok(version: CellVersion, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + data.len());
+    out.push(OK);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Interpret a remote reply: `Ok(Some((version, bytes)))` for OK,
+/// `Ok(None)` for NOT_FOUND, errors otherwise. `trunk`/`asked`
+/// contextualize NOT_OWNER.
 pub(crate) fn parse_reply(
     data: &[u8],
     trunk: u64,
     asked: trinity_net::MachineId,
-) -> Result<Option<Vec<u8>>, CloudError> {
+) -> Result<Option<(CellVersion, Vec<u8>)>, CloudError> {
     match data.first() {
-        Some(&OK) => Ok(Some(data[1..].to_vec())),
+        Some(&OK) if data.len() >= 9 => {
+            let version = u64::from_le_bytes(data[1..9].try_into().unwrap());
+            Ok(Some((version, data[9..].to_vec())))
+        }
         Some(&NOT_FOUND) => Ok(None),
         Some(&NOT_OWNER) => Err(CloudError::WrongOwner { trunk, asked }),
         Some(&STORE_ERR) => Err(CloudError::Store(
@@ -55,6 +76,113 @@ pub(crate) fn parse_reply(
         )),
         _ => Err(CloudError::BadReply),
     }
+}
+
+// ---------------------------------------------------------------------
+// MULTI_GET: batched reads, one envelope per destination machine
+// ---------------------------------------------------------------------
+
+/// One per-cell outcome inside a MULTI_GET reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum MultiEntry {
+    /// The cell exists: its version stamp and payload.
+    Hit(CellVersion, Vec<u8>),
+    /// The cell does not exist on the owner.
+    Missing,
+    /// The asked machine does not own this cell's trunk (stale table);
+    /// the reader falls back to the single-cell path, which re-syncs.
+    NotOwner,
+}
+
+/// A MULTI_GET request is just the cell ids, 8 bytes each.
+pub(crate) fn encode_multi_req(ids: &[CellId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ids.len() * 8);
+    for id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+pub(crate) fn decode_multi_req(data: &[u8]) -> Option<Vec<CellId>> {
+    if !data.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
+/// Reply: entries in request order. `Hit` is
+/// `[OK, version u64, len u32, bytes]`; the others are one status byte.
+pub(crate) fn encode_multi_reply(entries: &[MultiEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        match e {
+            MultiEntry::Hit(version, bytes) => {
+                out.push(OK);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            MultiEntry::Missing => out.push(NOT_FOUND),
+            MultiEntry::NotOwner => out.push(NOT_OWNER),
+        }
+    }
+    out
+}
+
+pub(crate) fn decode_multi_reply(data: &[u8], expected: usize) -> Option<Vec<MultiEntry>> {
+    let mut entries = Vec::with_capacity(expected);
+    let mut at = 0usize;
+    while entries.len() < expected {
+        match *data.get(at)? {
+            OK => {
+                let version = u64::from_le_bytes(data.get(at + 1..at + 9)?.try_into().unwrap());
+                let len =
+                    u32::from_le_bytes(data.get(at + 9..at + 13)?.try_into().unwrap()) as usize;
+                let bytes = data.get(at + 13..at + 13 + len)?.to_vec();
+                at += 13 + len;
+                entries.push(MultiEntry::Hit(version, bytes));
+            }
+            NOT_FOUND => {
+                at += 1;
+                entries.push(MultiEntry::Missing);
+            }
+            NOT_OWNER => {
+                at += 1;
+                entries.push(MultiEntry::NotOwner);
+            }
+            _ => return None,
+        }
+    }
+    if at == data.len() {
+        Some(entries)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// INVALIDATE: owner -> reader cache coherence
+// ---------------------------------------------------------------------
+
+pub(crate) fn encode_invalidate(id: CellId, version: CellVersion) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
+    out
+}
+
+pub(crate) fn decode_invalidate(data: &[u8]) -> Option<(CellId, CellVersion)> {
+    if data.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(data[..8].try_into().unwrap()),
+        u64::from_le_bytes(data[8..].try_into().unwrap()),
+    ))
 }
 
 #[cfg(test)]
@@ -74,8 +202,8 @@ mod tests {
     #[test]
     fn reply_statuses() {
         assert_eq!(
-            parse_reply(&reply(OK, b"x"), 0, MachineId(0)).unwrap(),
-            Some(b"x".to_vec())
+            parse_reply(&reply_ok(42, b"x"), 0, MachineId(0)).unwrap(),
+            Some((42, b"x".to_vec()))
         );
         assert_eq!(
             parse_reply(&reply(NOT_FOUND, b""), 0, MachineId(0)).unwrap(),
@@ -92,5 +220,37 @@ mod tests {
             parse_reply(b"", 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
+        // A truncated OK reply (no room for the version stamp) is malformed.
+        assert!(matches!(
+            parse_reply(&[OK, 1, 2], 0, MachineId(0)),
+            Err(CloudError::BadReply)
+        ));
+    }
+
+    #[test]
+    fn multi_get_roundtrip() {
+        let ids = vec![3u64, 99, 7];
+        let decoded = decode_multi_req(&encode_multi_req(&ids)).unwrap();
+        assert_eq!(decoded, ids);
+        assert_eq!(decode_multi_req(b"misaligned"), None);
+
+        let entries = vec![
+            MultiEntry::Hit(11, b"alpha".to_vec()),
+            MultiEntry::Missing,
+            MultiEntry::NotOwner,
+            MultiEntry::Hit(12, Vec::new()),
+        ];
+        let raw = encode_multi_reply(&entries);
+        assert_eq!(decode_multi_reply(&raw, 4).unwrap(), entries);
+        // Wrong expected count or trailing garbage must not parse.
+        assert_eq!(decode_multi_reply(&raw, 3), None);
+        assert_eq!(decode_multi_reply(&raw[..raw.len() - 1], 4), None);
+    }
+
+    #[test]
+    fn invalidate_roundtrip() {
+        let raw = encode_invalidate(0xABCD, 77);
+        assert_eq!(decode_invalidate(&raw), Some((0xABCD, 77)));
+        assert_eq!(decode_invalidate(&raw[..15]), None);
     }
 }

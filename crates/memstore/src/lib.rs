@@ -65,3 +65,23 @@ pub type CellId = u64;
 
 /// Result alias for fallible trunk operations.
 pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Version stamp attached to a cell by its owning trunk. Stamps are
+/// allocated from one process-wide monotone counter, so for any single
+/// cell the stamp strictly increases across every mutation — including
+/// across a trunk reload, which re-inserts cells and therefore restamps
+/// them with fresh (higher) versions. Remote read caches compare stamps
+/// to decide which of two observations of a cell is newer.
+pub type CellVersion = u64;
+
+static VERSION_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Allocate the next cell version stamp.
+///
+/// One counter serves every trunk in the process: cross-cell ordering is
+/// incidental, but per-cell monotonicity is what the invalidation
+/// protocol needs, and a global counter provides it even when a cell
+/// migrates between trunks during recovery.
+pub fn next_version() -> CellVersion {
+    VERSION_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}

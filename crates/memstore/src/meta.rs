@@ -13,7 +13,7 @@
 //! spin lock is held by the freeing thread, so no other thread can reach a
 //! recycled slot through a stale pointer.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 const UNLOCKED: u32 = 0;
 const LOCKED: u32 = 1;
@@ -30,6 +30,11 @@ const CHUNK: usize = 1024;
 pub(crate) struct CellMeta {
     lock: AtomicU32,
     offset: AtomicU32,
+    /// Monotonic version stamp, bumped on every mutation of the cell.
+    /// Written while holding the lock; read either under the lock (exact)
+    /// or lock-free by cache bookkeeping (a consistent snapshot suffices
+    /// there, since stale stamps only cause spurious refreshes).
+    version: AtomicU64,
 }
 
 impl CellMeta {
@@ -37,6 +42,7 @@ impl CellMeta {
         CellMeta {
             lock: AtomicU32::new(UNLOCKED),
             offset: AtomicU32::new(0),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -87,6 +93,17 @@ impl CellMeta {
     /// Record a new offset after moving the cell. Caller must hold the lock.
     pub(crate) fn set_offset(&self, off: u32) {
         self.offset.store(off, Ordering::Release);
+    }
+
+    /// The cell's current version stamp.
+    pub(crate) fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Record a new version stamp. Caller must hold the lock (or, for a
+    /// fresh slot, be the only thread that can reach it).
+    pub(crate) fn set_version(&self, v: u64) {
+        self.version.store(v, Ordering::Release);
     }
 }
 

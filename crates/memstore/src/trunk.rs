@@ -63,7 +63,7 @@ use crate::error::StoreError;
 use crate::meta::{CellMeta, MetaSlab};
 use crate::stats::TrunkStats;
 use crate::table::IdTable;
-use crate::{CellId, Result};
+use crate::{next_version, CellId, CellVersion, Result};
 
 /// Entry header size: uid (8) + capacity (4) + size (4).
 pub(crate) const HEADER: usize = 16;
@@ -537,8 +537,9 @@ impl Trunk {
     // Public cell operations
     // ------------------------------------------------------------------
 
-    /// Insert or replace the cell `id` with `payload`.
-    pub fn put(&self, id: CellId, payload: &[u8]) -> Result<()> {
+    /// Insert or replace the cell `id` with `payload`, returning the
+    /// cell's new version stamp.
+    pub fn put(&self, id: CellId, payload: &[u8]) -> Result<CellVersion> {
         if let Some(meta) = self.lock_cell(id) {
             // SAFETY: lock held; released by `update_locked`'s caller below.
             let res = self.update_locked(meta, payload, id);
@@ -549,8 +550,8 @@ impl Trunk {
     }
 
     /// Insert a new cell, failing with [`StoreError::AlreadyExists`] if the
-    /// id is taken.
-    pub fn insert_new(&self, id: CellId, payload: &[u8]) -> Result<()> {
+    /// id is taken. Returns the cell's initial version stamp.
+    pub fn insert_new(&self, id: CellId, payload: &[u8]) -> Result<CellVersion> {
         self.insert_fresh(id, payload, true)
     }
 
@@ -563,7 +564,7 @@ impl Trunk {
         Ok(len as u32)
     }
 
-    fn insert_fresh(&self, id: CellId, payload: &[u8], must_be_new: bool) -> Result<()> {
+    fn insert_fresh(&self, id: CellId, payload: &[u8], must_be_new: bool) -> Result<CellVersion> {
         let size = self.check_len(payload.len())?;
         loop {
             let cap = size;
@@ -598,6 +599,10 @@ impl Trunk {
                 continue;
             }
             let slot = idx.slab.alloc(off as u32);
+            // Stamp before the mapping is published: any reader that can
+            // find the cell already sees its birth version.
+            let version = next_version();
+            idx.slab.get(slot).set_version(version);
             idx.table.insert(id, slot);
             drop(idx);
             self.live_payload
@@ -605,7 +610,7 @@ impl Trunk {
             self.live_entry.fetch_add(need, Ordering::Relaxed);
             self.live_tight
                 .fetch_add(Self::entry_len(size), Ordering::Relaxed);
-            return Ok(());
+            return Ok(version);
         }
     }
 
@@ -613,7 +618,12 @@ impl Trunk {
     /// the cell's capacity, relocating with a short-lived reservation
     /// otherwise. Caller holds the cell lock and is responsible for
     /// releasing it.
-    fn update_locked(&self, meta: *const CellMeta, payload: &[u8], id: CellId) -> Result<()> {
+    fn update_locked(
+        &self,
+        meta: *const CellMeta,
+        payload: &[u8],
+        id: CellId,
+    ) -> Result<CellVersion> {
         let new_size = self.check_len(payload.len())?;
         // SAFETY: caller holds the cell lock, so `meta` is valid and the
         // cell cannot move underneath us.
@@ -633,7 +643,9 @@ impl Trunk {
             }
             self.write_header(off, id, cap, new_size);
             self.fixup_size_counters(cap, old_size, cap, new_size);
-            return Ok(());
+            let version = next_version();
+            meta.set_version(version);
+            return Ok(version);
         }
         // Relocation: grant reservation slack proportional to the growth so
         // steadily growing cells (graph nodes gaining edges) are not copied
@@ -669,7 +681,9 @@ impl Trunk {
             .fetch_add(new_size as usize, Ordering::Relaxed);
         self.live_payload
             .fetch_sub(old_size as usize, Ordering::Relaxed);
-        Ok(())
+        let version = next_version();
+        meta.set_version(version);
+        Ok(version)
     }
 
     fn fixup_size_counters(&self, _old_cap: u32, old_size: u32, _new_cap: u32, new_size: u32) {
@@ -690,8 +704,8 @@ impl Trunk {
         }
     }
 
-    /// Replace the payload of an existing cell.
-    pub fn update(&self, id: CellId, payload: &[u8]) -> Result<()> {
+    /// Replace the payload of an existing cell, returning its new version.
+    pub fn update(&self, id: CellId, payload: &[u8]) -> Result<CellVersion> {
         let meta = self.lock_cell(id).ok_or(StoreError::NotFound(id))?;
         let res = self.update_locked(meta, payload, id);
         // SAFETY: lock_cell acquired the lock.
@@ -701,7 +715,8 @@ impl Trunk {
 
     /// Append `extra` to the cell's payload (the growing-cell fast path the
     /// short-lived reservations exist for — e.g. adding edges to a node).
-    pub fn append(&self, id: CellId, extra: &[u8]) -> Result<()> {
+    /// Returns the cell's new version.
+    pub fn append(&self, id: CellId, extra: &[u8]) -> Result<CellVersion> {
         let meta_ptr = self.lock_cell(id).ok_or(StoreError::NotFound(id))?;
         // SAFETY: lock held until the explicit unlock below.
         let meta = unsafe { &*meta_ptr };
@@ -720,7 +735,9 @@ impl Trunk {
             }
             self.write_header(off, id, cap, new_size as u32);
             self.fixup_size_counters(cap, size, cap, new_size as u32);
-            Ok(())
+            let version = next_version();
+            meta.set_version(version);
+            Ok(version)
         } else {
             // Build the grown payload and go through the relocating update.
             let mut grown = Vec::with_capacity(new_size);
@@ -758,6 +775,34 @@ impl Trunk {
         self.get(id).map(|g| g.to_vec())
     }
 
+    /// Read a cell together with its version stamp. The stamp and the
+    /// payload are taken under the same cell lock, so they are mutually
+    /// consistent — the pair a remote read cache stores.
+    pub fn get_versioned(&self, id: CellId) -> Option<(CellVersion, CellGuard<'_>)> {
+        let meta = self.lock_cell(id)?;
+        // SAFETY: lock held; guard releases it on drop.
+        let (off, version) = unsafe { ((*meta).offset() as usize, (*meta).version()) };
+        let (_, _, size) = self.read_header(off);
+        Some((
+            version,
+            CellGuard {
+                trunk: self,
+                meta,
+                ptr: self.payload_ptr(off),
+                len: size as usize,
+            },
+        ))
+    }
+
+    /// The cell's current version stamp, if it exists. Lock-free: the
+    /// stamp may be concurrently advancing, which cache bookkeeping
+    /// tolerates (an older stamp only causes a spurious refresh).
+    pub fn version_of(&self, id: CellId) -> Option<CellVersion> {
+        let idx = self.index.read();
+        let slot = idx.table.get(id)?;
+        Some(idx.slab.get(slot).version())
+    }
+
     /// Mutably access a cell's current payload in place (length cannot
     /// change through the guard; use [`Trunk::update`] / [`Trunk::append`]
     /// to resize).
@@ -779,8 +824,10 @@ impl Trunk {
         self.index.read().table.get(id).is_some()
     }
 
-    /// Remove a cell.
-    pub fn remove(&self, id: CellId) -> Result<()> {
+    /// Remove a cell. Returns a fresh version stamp for the removal
+    /// itself — the stamp any cached copy of the cell must be invalidated
+    /// at (strictly newer than every stamp the live cell ever carried).
+    pub fn remove(&self, id: CellId) -> Result<CellVersion> {
         // Step 1: unpublish the mapping (keeping the slot allocated).
         let (slot, meta) = {
             let mut idx = self.index.write();
@@ -807,7 +854,7 @@ impl Trunk {
         meta_ref.unlock();
         // Step 3: recycle the slot. No other thread can be addressing it.
         self.index.write().slab.free(slot);
-        Ok(())
+        Ok(next_version())
     }
 
     /// Visit every live cell. Each visit is individually consistent (the
@@ -1230,7 +1277,7 @@ mod tests {
         let mut stored = 0u64;
         loop {
             match t.put(stored, &[1u8; 256]) {
-                Ok(()) => stored += 1,
+                Ok(_) => stored += 1,
                 Err(StoreError::OutOfMemory { .. }) => break,
                 Err(e) => panic!("unexpected {e}"),
             }
@@ -1274,6 +1321,100 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(t.cell_count(), 64);
+    }
+
+    #[test]
+    fn versions_are_monotone_per_cell_across_all_mutations() {
+        let t = tiny();
+        let v0 = t.put(1, b"a").unwrap();
+        let v1 = t.update(1, b"bb").unwrap(); // in place
+        let v2 = t.update(1, &[b'c'; 100]).unwrap(); // relocating
+        let v3 = t.append(1, b"d").unwrap(); // in place (slack)
+        let v4 = t.append(1, &[b'e'; 300]).unwrap(); // relocating
+        let v5 = t.remove(1).unwrap();
+        let v6 = t.put(1, b"reborn").unwrap();
+        let seq = [v0, v1, v2, v3, v4, v5, v6];
+        assert!(
+            seq.windows(2).all(|w| w[0] < w[1]),
+            "stamps must strictly increase: {seq:?}"
+        );
+        let (v, g) = t.get_versioned(1).unwrap();
+        assert_eq!(v, v6);
+        assert_eq!(g.as_ref(), b"reborn");
+        drop(g);
+        assert_eq!(t.version_of(1), Some(v6));
+        assert_eq!(t.version_of(999), None);
+    }
+
+    /// Regression for the slack/wrap interaction: grow cells via appends
+    /// (leaving live reservation slack) until the circular window wraps
+    /// repeatedly, interleaving defrag passes, so slack-bearing entries
+    /// land directly against wrap fillers. Defragmentation must walk the
+    /// straddle exactly — neither mis-parsing the filler nor leaking the
+    /// slack bytes — leaving zero dead bytes after a completed pass and
+    /// every payload intact.
+    #[test]
+    fn defrag_handles_slack_adjacent_to_wrap_filler() {
+        let t = Trunk::new(
+            0,
+            TrunkConfig {
+                reserved_bytes: 8 << 10,
+                page_bytes: 1 << 10,
+                expansion_slack: 2.0, // oversized slack maximizes straddles
+            },
+        );
+        let cells = 6u64;
+        let mut expect: Vec<Vec<u8>> = (0..cells).map(|i| vec![i as u8; 16]).collect();
+        for (i, payload) in expect.iter().enumerate() {
+            t.put(i as u64, payload).unwrap();
+        }
+        // Each round grows every cell (relocation + live slack) and then
+        // defragments; total allocation volume is many times the reserved
+        // size, so the head passes the reserved end with slack live on
+        // nearly every round.
+        for round in 0u64..60 {
+            for i in 0..cells {
+                let chunk = vec![(round ^ i) as u8; 40 + (round as usize % 32)];
+                t.append(i, &chunk).unwrap();
+                expect[i as usize].extend_from_slice(&chunk);
+                // Keep cells from outgrowing the tiny trunk: periodically
+                // shrink back, which also exercises in-place rewrites over
+                // slack-bearing entries.
+                if expect[i as usize].len() > 600 {
+                    expect[i as usize] = vec![i as u8; 16];
+                    t.update(i, &expect[i as usize]).unwrap();
+                }
+            }
+            let rep = t.defragment();
+            if rep.completed {
+                let s = t.stats();
+                // A completed pass may leave at most one wrap filler —
+                // written while re-appending cells past the reserved end —
+                // which is always smaller than the largest allocation
+                // (entry ≤ 16 + align8(672 payload + 2× slack) < 1024).
+                // Anything larger means the straddle leaked bytes.
+                assert!(
+                    s.dead_bytes < 1024,
+                    "round {round}: completed pass left {} dead bytes",
+                    s.dead_bytes
+                );
+                assert_eq!(
+                    s.slack_bytes, 0,
+                    "round {round}: completed pass left reservation slack"
+                );
+            }
+            for i in 0..cells {
+                assert_eq!(
+                    t.get(i).unwrap().as_ref(),
+                    &expect[i as usize][..],
+                    "round {round}: cell {i} corrupted"
+                );
+            }
+        }
+        assert!(
+            t.stats().defrag_passes >= 60,
+            "defrag must actually have run"
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
                 model.insert(k, b);
             }
             Op::Append(k, b) => match trunk.append(k, &b) {
-                Ok(()) => {
+                Ok(_) => {
                     let cell = model
                         .get_mut(&k)
                         .expect("trunk accepted append on absent key");
@@ -69,7 +69,7 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
                 Err(e) => panic!("unexpected append error: {e}"),
             },
             Op::Update(k, b) => match trunk.update(k, &b) {
-                Ok(()) => {
+                Ok(_) => {
                     assert!(model.contains_key(&k), "trunk updated an absent key");
                     note_len(&mut max_need, b.len());
                     model.insert(k, b);
@@ -78,7 +78,7 @@ fn check_against_model(ops: Vec<Op>, slack: f64) {
                 Err(e) => panic!("unexpected update error: {e}"),
             },
             Op::Remove(k) => match trunk.remove(k) {
-                Ok(()) => {
+                Ok(_) => {
                     assert!(model.remove(&k).is_some(), "trunk removed an absent key");
                 }
                 Err(StoreError::NotFound(_)) => assert!(!model.contains_key(&k)),

@@ -78,6 +78,107 @@ fn run_ops(
     (orders, stats, log_len)
 }
 
+/// Regression: a kill → revive → resend cycle must not double-count
+/// frames in the delivery ledger. Frames refused while the target is dead
+/// never enter the ledger; frames dropped by the kill are counted exactly
+/// once; resent frames are fresh entries, not replays of the dropped
+/// ones. After quiescence `entered == consumed` and the handler ran
+/// exactly `delivered` times.
+#[test]
+fn kill_revive_resend_does_not_double_count_frames() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let fabric = Fabric::new(FabricConfig {
+        workers_per_machine: 1, // one worker: the inbox drains serially
+        call_timeout: Duration::from_secs(5),
+        ..FabricConfig::with_machines(2)
+    });
+    let handled = Arc::new(AtomicU64::new(0));
+    {
+        let handled = Arc::clone(&handled);
+        fabric.endpoint(MachineId(1)).register(30, move |_src, _p| {
+            // Slow handler: the inbox stays backed up long enough for the
+            // kill to catch queued frames deterministically.
+            std::thread::sleep(Duration::from_millis(5));
+            handled.fetch_add(1, Ordering::SeqCst);
+            None
+        });
+    }
+    let sender = fabric.endpoint(MachineId(0));
+    const BURST: u32 = 20;
+    for i in 0..BURST {
+        sender.send(MachineId(1), 30, &i.to_le_bytes());
+    }
+    sender.flush();
+    // Wait for the first deliveries, then kill with the queue non-empty:
+    // at 5ms per frame the remaining ~18 frames cannot have drained.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handled.load(Ordering::SeqCst) < 2 {
+        assert!(std::time::Instant::now() < deadline, "no deliveries");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    fabric.kill(MachineId(1));
+    // Let the dead machine's worker drain its backed-up queue (each
+    // queued frame is counted dropped at dequeue) before reviving —
+    // reviving earlier would let the leftovers deliver normally.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let total = fabric.total_stats();
+        if total.entered_frames() == total.consumed_frames() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "kill never drained the queue: {total:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Sends into a dead machine are refused at the send site: they must
+    // never enter the ledger (neither as delivered nor as dropped).
+    const WHILE_DEAD: u32 = 10;
+    for i in 0..WHILE_DEAD {
+        sender.send(MachineId(1), 30, &i.to_le_bytes());
+    }
+    sender.flush();
+
+    fabric.revive(MachineId(1));
+    for i in 0..BURST {
+        sender.send(MachineId(1), 30, &i.to_le_bytes());
+    }
+    sender.flush();
+
+    // Quiesce: every entered frame terminally accounted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let total = fabric.total_stats();
+        if total.entered_frames() == total.consumed_frames() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ledger never balanced: {total:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let total = fabric.total_stats();
+    let handled = handled.load(Ordering::SeqCst);
+    // Exactly the two bursts entered; the dead-window sends did not.
+    assert_eq!(total.entered_frames(), 2 * BURST as u64);
+    assert_eq!(total.refused_frames, WHILE_DEAD as u64);
+    // The kill discarded the backed-up queue, and each discarded frame is
+    // counted exactly once: delivered + dropped covers both bursts.
+    assert!(total.dropped_frames > 0, "kill must drop the queued frames");
+    assert_eq!(
+        total.delivered_frames + total.dropped_frames,
+        2 * BURST as u64
+    );
+    // The handler ran once per delivered frame — a resend delivered twice
+    // or a dropped frame also delivered would break this equality.
+    assert_eq!(handled, total.delivered_frames);
+    fabric.shutdown();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

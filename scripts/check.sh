@@ -1,22 +1,33 @@
 #!/usr/bin/env bash
 # Pre-PR gate: formatting, lints, and the full test suite.
-# Usage: scripts/check.sh [extra cargo args, e.g. --offline]
+# Usage: scripts/check.sh [extra cargo args]
+#
+# The gate is hermetic: every external dependency is vendored under
+# stubs/ and patched in by the workspace Cargo.toml, so builds resolve
+# entirely against the committed Cargo.lock. --offline --locked is
+# baked in to guarantee cargo never tries to reach a registry (machines
+# without registry access used to die re-resolving on DNS).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+HERMETIC=(--offline --locked)
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (warnings denied)"
-cargo clippy --workspace --all-targets "$@" -- -D warnings
+cargo clippy --workspace --all-targets "${HERMETIC[@]}" "$@" -- -D warnings
 
 echo "==> cargo test"
-cargo test --workspace -q "$@"
+cargo test --workspace -q "${HERMETIC[@]}" "$@"
 
 echo "==> serve_load --smoke (serving-path gate: admission + deadlines + shedding)"
-cargo run --release -p trinity-bench --bin serve_load "$@" -- --smoke
+cargo run --release -p trinity-bench --bin serve_load "${HERMETIC[@]}" "$@" -- --smoke
 
 echo "==> chaos --smoke (fault-injection gate: 3 pinned seeds, run + replay)"
-cargo run --release -p trinity-bench --bin chaos_smoke "$@" -- --smoke
+cargo run --release -p trinity-bench --bin chaos_smoke "${HERMETIC[@]}" "$@" -- --smoke
+
+echo "==> cache_traversal --smoke (remote-read cache gate: warm hits + envelope reduction)"
+cargo run --release -p trinity-bench --bin cache_traversal "${HERMETIC[@]}" "$@" -- --smoke
 
 echo "All checks passed."

@@ -1,0 +1,1 @@
+// Dev-only empty stub; real crate unavailable offline.

@@ -1,0 +1,157 @@
+//! Dev-only stand-in for `crossbeam`, providing the multi-producer
+//! multi-consumer channel subset this workspace uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    pub struct Sender<T>(Arc<Inner<T>>);
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+        match r {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    /// Capacity is ignored: the queue is unbounded. Fine for this
+    /// workspace, which uses `bounded(1)` only as a one-shot mailbox.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            unpoison(self.0.queue.lock()).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            unpoison(self.0.queue.lock()).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = unpoison(self.0.queue.lock());
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            unpoison(self.0.queue.lock()).receivers -= 1;
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut st = unpoison(self.0.queue.lock());
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.items.push_back(t);
+            drop(st);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = unpoison(self.0.queue.lock());
+            loop {
+                if let Some(t) = st.items.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = unpoison(self.0.cv.wait(st));
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = unpoison(self.0.queue.lock());
+            loop {
+                if let Some(t) = st.items.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                st = match self.0.cv.wait_timeout(st, deadline - now) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = unpoison(self.0.queue.lock());
+            match st.items.pop_front() {
+                Some(t) => Ok(t),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            unpoison(self.0.queue.lock()).items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}

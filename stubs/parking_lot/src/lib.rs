@@ -1,0 +1,282 @@
+//! Dev-only stand-in for `parking_lot`, backed by `std::sync` with
+//! poison-free semantics (panicking while holding a lock does not poison
+//! it for later users). Only the API surface this workspace uses is
+//! provided.
+
+use std::time::{Duration, Instant};
+
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<()>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, ()>>,
+}
+
+unsafe impl<'a, T: ?Sized + Sync> Sync for MutexGuard<'a, T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(()), data: std::cell::UnsafeCell::new(t) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { mutex: self, guard: Some(unpoison(self.inner.lock())) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { mutex: self, guard: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { mutex: self, guard: Some(p.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        debug_assert!(self.guard.is_some());
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        debug_assert!(self.guard.is_some());
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<()>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _guard: std::sync::RwLockReadGuard<'a, ()>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _guard: std::sync::RwLockWriteGuard<'a, ()>,
+}
+
+unsafe impl<'a, T: ?Sized + Sync> Sync for RwLockReadGuard<'a, T> {}
+unsafe impl<'a, T: ?Sized + Sync> Sync for RwLockWriteGuard<'a, T> {}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(()), data: std::cell::UnsafeCell::new(t) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { lock: self, _guard: unpoison(self.inner.read()) }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { lock: self, _guard: unpoison(self.inner.write()) }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { lock: self, _guard: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(RwLockReadGuard { lock: self, _guard: p.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { lock: self, _guard: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(RwLockWriteGuard { lock: self, _guard: p.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            None => f.write_str("RwLock { <locked> }"),
+        }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+/// Condvar supporting parking_lot's `wait(&mut MutexGuard)` shape.
+///
+/// Implemented as a notify-epoch counter with a short poll, which is
+/// semantically adequate (spurious wakeups are allowed) if less efficient
+/// than the real thing.
+pub struct Condvar {
+    epoch: std::sync::Mutex<u64>,
+    inner: std::sync::Condvar,
+}
+
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { epoch: std::sync::Mutex::new(0), inner: std::sync::Condvar::new() }
+    }
+
+    pub fn notify_one(&self) {
+        *unpoison(self.epoch.lock()) += 1;
+        self.inner.notify_all();
+    }
+
+    pub fn notify_all(&self) {
+        *unpoison(self.epoch.lock()) += 1;
+        self.inner.notify_all();
+    }
+
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_core(guard, None);
+    }
+
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.wait_core(guard, Some(Instant::now() + timeout))
+    }
+
+    pub fn wait_until<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        self.wait_core(guard, Some(deadline))
+    }
+
+    fn wait_core<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Option<Instant>,
+    ) -> WaitTimeoutResult {
+        // Record the epoch before releasing the caller's lock so a notify
+        // racing with the release is not lost.
+        let start = *unpoison(self.epoch.lock());
+        let mutex = guard.mutex;
+        guard.guard.take();
+        let mut timed_out = false;
+        {
+            let mut ep = unpoison(self.epoch.lock());
+            while *ep == start {
+                match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            timed_out = true;
+                            break;
+                        }
+                        ep = match self.inner.wait_timeout(ep, d - now) {
+                            Ok((g, _)) => g,
+                            Err(p) => p.into_inner().0,
+                        };
+                    }
+                    None => ep = unpoison(self.inner.wait(ep)),
+                }
+            }
+        }
+        guard.guard = Some(unpoison(mutex.inner.lock()));
+        WaitTimeoutResult(timed_out)
+    }
+}

@@ -16,7 +16,8 @@
 //! recorded log re-injects it bit-for-bit.
 
 use trinity::chaos::{
-    BspRingMax, ChaosRunner, ChaosWorkload, PartitionHeal, ServeSlice, TraversalSearch,
+    BspRingMax, CachedRemoteReads, ChaosRunner, ChaosWorkload, PartitionHeal, ServeSlice,
+    TraversalSearch,
 };
 use trinity::net::{FaultPlan, NodeEvent, Partition, Trigger};
 
@@ -156,6 +157,26 @@ fn partition_heal_during_recovery_seed_1010() {
     let report = runner.run(0x1010);
     assert!(report.passed(), "{:?}", report.failures);
     assert!(report.faulty.crashes().contains(&2));
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// The remote-cell read cache under drops plus a crash/revive cycle:
+/// in-storm reads must only ever surface values actually written
+/// (bounded staleness is allowed while invalidations drop), and after
+/// recovery + cache clear the whole cluster must converge on the final
+/// write of every cell.
+#[test]
+fn cached_reads_stay_valid_under_drops_and_crash_seed_cac4e() {
+    let plan = FaultPlan::new(0)
+        .with_drop(0.05)
+        .with_delay(0.1, 100, 300)
+        .with_event(Trigger::Mark(1), NodeEvent::Crash(2));
+    let runner = ChaosRunner::new(CachedRemoteReads::small(), plan);
+    let report = runner.run(0xCAC4E);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert_eq!(report.faulty.crashes(), vec![2], "the crash must fire");
+    assert_eq!(report.faulty.recovered, vec![2]);
     let replayed = runner.replay(&report.faulty.log);
     assert!(replayed.passed(), "replay: {:?}", replayed.failures);
 }

@@ -101,6 +101,101 @@ fn defrag_daemon_running_under_live_traffic_preserves_every_cell() {
 }
 
 #[test]
+fn no_stale_reads_through_the_remote_cache_after_a_write_acknowledges() {
+    // The remote-cell read cache must be invalidated synchronously before
+    // a write acks: a reader that observes the writer's acknowledgment
+    // must never read the pre-write value, even when its node had the old
+    // bytes cached. Readers and writer all sit on machines that do NOT
+    // own the cells, so every access goes through the cache.
+    use std::sync::atomic::AtomicU64;
+
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(3)));
+    let cells: Vec<u64> = (0..8u64).collect();
+    for &id in &cells {
+        cloud.node(0).put(id, &0u64.to_le_bytes()).unwrap();
+    }
+    // acked[i] = highest sequence number whose write to cells[i] has
+    // returned; stored only AFTER put() acks.
+    let acked: Arc<Vec<AtomicU64>> =
+        Arc::new((0..cells.len()).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let cloud = Arc::clone(&cloud);
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        let cells = cells.clone();
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                for (i, &id) in cells.iter().enumerate() {
+                    cloud.node(1).put(id, &seq.to_le_bytes()).unwrap();
+                    acked[i].store(seq, Ordering::Release);
+                }
+            }
+        })
+    };
+    let mut readers = Vec::new();
+    for r in [0usize, 2] {
+        let cloud = Arc::clone(&cloud);
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        let cells = cells.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut last_seen = vec![0u64; cells.len()];
+            let mut round = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                round += 1;
+                // Alternate the single-cell and the batched read path:
+                // both are cache-backed and both must honor invalidation.
+                if round.is_multiple_of(2) {
+                    let floors: Vec<u64> = (0..cells.len())
+                        .map(|i| acked[i].load(Ordering::Acquire))
+                        .collect();
+                    let got = cloud.node(r).multi_get(&cells).unwrap();
+                    for (i, bytes) in got.into_iter().enumerate() {
+                        let seq = u64::from_le_bytes(bytes.unwrap()[..8].try_into().unwrap());
+                        assert!(
+                            seq >= floors[i],
+                            "reader {r} saw stale seq {seq} < acked {} on cell {i}",
+                            floors[i]
+                        );
+                        assert!(seq >= last_seen[i], "reader {r} went backwards on cell {i}");
+                        last_seen[i] = seq;
+                    }
+                } else {
+                    for (i, &id) in cells.iter().enumerate() {
+                        let floor = acked[i].load(Ordering::Acquire);
+                        let bytes = cloud.node(r).get(id).unwrap().unwrap();
+                        let seq = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                        assert!(
+                            seq >= floor,
+                            "reader {r} saw stale seq {seq} < acked {floor} on cell {i}"
+                        );
+                        assert!(seq >= last_seen[i], "reader {r} went backwards on cell {i}");
+                        last_seen[i] = seq;
+                    }
+                }
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    for h in readers {
+        h.join().unwrap();
+    }
+    // The run must actually have exercised the cache.
+    let stats = cloud.cache_stats();
+    assert!(stats.hits > 0, "workload never hit the cache: {stats:?}");
+    assert!(
+        stats.invalidations > 0,
+        "writes never invalidated cached copies: {stats:?}"
+    );
+    cloud.shutdown();
+}
+
+#[test]
 fn append_heavy_graph_mutation_is_linearizable_per_cell() {
     // Concurrent appends to the same cells from different machines: the
     // final length must equal the sum of all appended bytes (no lost
