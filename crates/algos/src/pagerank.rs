@@ -86,6 +86,14 @@ impl VertexProgram for PageRankProgram {
         *a += *b;
         true
     }
+
+    fn msg_cmp(a: &f64, b: &f64) -> std::cmp::Ordering {
+        // Rank shares are summed and f64 addition is not associative:
+        // give the runtime a total order so every inbox run is absorbed
+        // in one canonical sequence regardless of arrival interleaving or
+        // the worker-pool width.
+        a.total_cmp(b)
+    }
 }
 
 /// Per-vertex PageRank state.

@@ -57,6 +57,7 @@ fn main() {
                 hub_threshold: None,
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
         (
@@ -66,6 +67,7 @@ fn main() {
                 hub_threshold: None,
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
         (
@@ -75,6 +77,7 @@ fn main() {
                 hub_threshold: Some(64),
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
         (
@@ -84,6 +87,7 @@ fn main() {
                 hub_threshold: Some(16),
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
         (
@@ -93,6 +97,7 @@ fn main() {
                 hub_threshold: Some(16),
                 combine: true,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
     ] {

@@ -75,12 +75,13 @@ fn ring(n: usize) -> Csr {
     Csr::undirected_from_edges(n, &edges, true)
 }
 
-fn bsp_cfg(limit: usize) -> BspConfig {
+fn bsp_cfg(limit: usize, compute_threads: usize) -> BspConfig {
     BspConfig {
         messaging: MessagingMode::Packed,
         hub_threshold: None,
         combine: false,
         max_supersteps: limit,
+        compute_threads,
     }
 }
 
@@ -104,6 +105,8 @@ pub struct BspRingMax {
     pub stop_at: usize,
     /// Total superstep budget for the resumed job.
     pub limit: usize,
+    /// Per-machine compute threads for the BSP pool (0 = default).
+    pub compute_threads: usize,
 }
 
 impl BspRingMax {
@@ -116,6 +119,16 @@ impl BspRingMax {
             every: 4,
             stop_at: 8,
             limit: 64,
+            compute_threads: 0,
+        }
+    }
+
+    /// The small instance driven by an explicitly threaded pool, for
+    /// showing fault injection still replays under the parallel driver.
+    pub fn small_threaded(compute_threads: usize) -> Self {
+        BspRingMax {
+            compute_threads,
+            ..Self::small()
         }
     }
 }
@@ -143,9 +156,14 @@ impl ChaosWorkload for BspRingMax {
         let ckpt = CheckpointConfig::new(self.every, "chaos-bsp")
             .with_on_segment(move |superstep| mark_fabric.chaos_mark(superstep as u64));
         let mut failures = Vec::new();
-        let runner = BspRunner::new(Arc::clone(&graph), MaxValue, bsp_cfg(self.every));
-        let partial = run_with_checkpoints(&runner, &bsp_cfg(self.stop_at), &ckpt)
-            .expect("checkpointed BSP segment");
+        let runner = BspRunner::new(
+            Arc::clone(&graph),
+            MaxValue,
+            bsp_cfg(self.every, self.compute_threads),
+        );
+        let partial =
+            run_with_checkpoints(&runner, &bsp_cfg(self.stop_at, self.compute_threads), &ckpt)
+                .expect("checkpointed BSP segment");
         drop(runner);
 
         // Recover whatever the schedule crashed: reload the dead
@@ -164,8 +182,12 @@ impl ChaosWorkload for BspRingMax {
         let result = if partial.terminated {
             partial
         } else {
-            let resumed = BspRunner::new(Arc::clone(&graph), MaxValue, bsp_cfg(self.every));
-            resume_from_checkpoint(&resumed, &bsp_cfg(self.limit), &ckpt)
+            let resumed = BspRunner::new(
+                Arc::clone(&graph),
+                MaxValue,
+                bsp_cfg(self.every, self.compute_threads),
+            );
+            resume_from_checkpoint(&resumed, &bsp_cfg(self.limit, self.compute_threads), &ckpt)
                 .expect("resume from checkpoint")
         };
         if !result.terminated {

@@ -67,7 +67,7 @@ pub trait AsyncVertexProgram: Send + Sync + 'static {
 /// Message-emission context for asynchronous programs.
 pub struct AsyncContext<'a, M> {
     outs: &'a [CellId],
-    sends: Vec<(CellId, M)>,
+    sends: &'a mut Vec<(CellId, M)>,
 }
 
 impl<'a, M: Clone> AsyncContext<'a, M> {
@@ -284,6 +284,8 @@ fn driver_loop<P: AsyncVertexProgram>(
     let table = graph.cloud().node(m).table();
     let handle = graph.handle(m).clone();
     let next = MachineId(((m + 1) % machines) as u16);
+    let mut outs_scratch: Vec<CellId> = Vec::new();
+    let mut sends_scratch: Vec<(CellId, P::Msg)> = Vec::new();
 
     loop {
         if shared.stop.load(Ordering::Acquire) {
@@ -412,16 +414,16 @@ fn driver_loop<P: AsyncVertexProgram>(
         }
         for (dst, msg) in batch {
             shared.processed.fetch_add(1, Ordering::Relaxed);
-            let outs: Vec<CellId> = handle
-                .with_node(dst, |view| view.outs().collect())
-                .ok()
-                .flatten()
-                .unwrap_or_default();
-            let mut ctx = AsyncContext {
-                outs: &outs,
-                sends: Vec::new(),
-            };
+            // Reusable scratches: adjacency is read through the zero-copy
+            // view, sends accumulate and drain without reallocating.
+            outs_scratch.clear();
+            let _ = handle.with_node(dst, |view| outs_scratch.extend(view.outs()));
+            sends_scratch.clear();
             {
+                let mut ctx = AsyncContext {
+                    outs: &outs_scratch,
+                    sends: &mut sends_scratch,
+                };
                 let mut states = rt.states.lock();
                 let state = match states.get_mut(&dst) {
                     Some(s) => s,
@@ -429,7 +431,7 @@ fn driver_loop<P: AsyncVertexProgram>(
                 };
                 program.on_message(&mut ctx, dst, state, &msg);
             }
-            for (target, out_msg) in ctx.sends {
+            for (target, out_msg) in sends_scratch.drain(..) {
                 let owner = table.machine_of(target).0 as usize;
                 if owner == m {
                     rt.queue.lock().push_back((target, out_msg));

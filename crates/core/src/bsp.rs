@@ -72,6 +72,13 @@ pub struct BspConfig {
     pub combine: bool,
     /// Hard superstep limit.
     pub max_supersteps: usize,
+    /// Compute workers per simulated machine. `0` means trunk-aligned:
+    /// one worker per trunk the machine hosts (the paper's §3 layout —
+    /// trunks exist precisely so threads can work without contention),
+    /// capped by the host's available parallelism so the simulation does
+    /// not oversubscribe itself by default. Results are identical for
+    /// every value; see `tests/bsp_determinism.rs`.
+    pub compute_threads: usize,
 }
 
 impl Default for BspConfig {
@@ -81,7 +88,21 @@ impl Default for BspConfig {
             hub_threshold: Some(128),
             combine: false,
             max_supersteps: 64,
+            compute_threads: 0,
         }
+    }
+}
+
+/// Resolve a requested per-machine worker count: `0` means trunk-aligned
+/// (one worker per hosted trunk), capped by the host's parallelism.
+pub fn resolve_compute_threads(requested: usize, trunks_hosted: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        trunks_hosted.clamp(1, host)
     }
 }
 
@@ -120,13 +141,27 @@ pub trait VertexProgram: Send + Sync + 'static {
     fn combine(_a: &mut Self::Msg, _b: &Self::Msg) -> bool {
         false
     }
+
+    /// Canonical ordering for messages bound to the same vertex. The
+    /// driver stably sorts each vertex's inbox with this before `compute`,
+    /// so the `msgs` slice a vertex sees does not depend on arrival
+    /// interleaving or on how many workers produced the messages. The
+    /// default keeps arrival order (fine for order-insensitive programs
+    /// like max-propagation); programs that fold non-associative values
+    /// (e.g. `f64` sums) should supply a total order to make results
+    /// bit-identical across `compute_threads` settings and runs.
+    fn msg_cmp(_a: &Self::Msg, _b: &Self::Msg) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
 }
 
-/// Per-vertex compute context.
+/// Per-vertex compute context. Borrows the worker's reusable scratch
+/// buffers (adjacency and send list) so the per-vertex hot loop performs
+/// no allocations of its own.
 pub struct VertexContext<'a, M> {
     superstep: usize,
     outs: &'a [CellId],
-    sends: Vec<(CellId, M)>,
+    sends: &'a mut Vec<(CellId, M)>,
     broadcast: Option<M>,
     halt: bool,
 }
@@ -215,10 +250,14 @@ pub struct SuperstepReport {
     pub remote_messages: u64,
     /// Machine-local message deliveries (free).
     pub local_messages: u64,
-    /// Wall-clock compute time, max over machines. On an oversubscribed
-    /// simulation host this includes scheduler interference; prefer
-    /// [`SuperstepReport::compute_parallel_seconds`] for modeled time.
+    /// Critical-path compute seconds, max over machines: per machine, the
+    /// slowest pool worker's CPU time plus the driver's serial section
+    /// (combine replay). This is the superstep latency a real cluster
+    /// with that many cores per machine could not beat. With one compute
+    /// thread it reduces to the old single-thread CPU reading.
     pub compute_seconds: f64,
+    /// Aggregate compute CPU seconds across every machine and worker.
+    pub compute_cpu_seconds: f64,
     /// Aggregate compute work divided by the machine count — the compute
     /// time an actual cluster (one real CPU per machine) would take,
     /// assuming even progress.
@@ -281,6 +320,10 @@ struct BspMetrics {
     hub_fanout: Arc<Counter>,
     /// Per-superstep compute CPU time, µs (`bsp.compute.us`).
     compute_us: Arc<Histogram>,
+    /// Per-worker per-superstep compute CPU time, µs (`bsp.worker.compute.us`).
+    worker_us: Arc<Histogram>,
+    /// Pool workers resolved per job per machine (`bsp.pool.workers`).
+    pool_workers: Arc<Counter>,
     /// Per-superstep wall time including the fence, µs (`bsp.superstep.us`).
     superstep_us: Arc<Histogram>,
 }
@@ -296,28 +339,52 @@ impl BspMetrics {
             hub_broadcasts: obs.counter("bsp.hub.broadcasts"),
             hub_fanout: obs.counter("bsp.hub.fanout"),
             compute_us: obs.histogram("bsp.compute.us"),
+            worker_us: obs.histogram("bsp.worker.compute.us"),
+            pool_workers: obs.counter("bsp.pool.workers"),
             superstep_us: obs.histogram("bsp.superstep.us"),
         }
     }
 }
 
+/// One worker's inbox: flattened `(dst, msg)` pairs under a single lock.
+type ShardInbox<M> = Mutex<Vec<(CellId, M)>>;
+
 struct MachineRt<P: VertexProgram> {
     endpoint: Arc<Endpoint>,
     machines: usize,
-    /// Inbox for the *next* superstep (handlers write, driver swaps out).
-    inbox_next: Mutex<HashMap<CellId, Vec<P::Msg>>>,
+    /// Resolved pool size: sharding is `trunk_of(dst) % shard_workers`, a
+    /// pure function of the id, so receive handlers can route a message
+    /// to its owning worker's inbox without any setup handshake.
+    shard_workers: usize,
+    table: trinity_memcloud::AddressingTable,
+    /// Per-worker inboxes for the *next* superstep: flattened
+    /// `(dst, msg)` pairs the owning worker drains in sorted runs. The
+    /// per-worker split removes the old single global
+    /// `HashMap<CellId, Vec<Msg>>` consumer bottleneck.
+    inboxes: Vec<ShardInbox<P::Msg>>,
     local_deliveries: AtomicU64,
     fence: Mutex<FenceState>,
     fence_cv: Condvar,
-    /// Hub subscriber index: remote hub id → local vertices that list it
-    /// as an (in-)neighbor.
-    subs: Mutex<HashMap<CellId, Vec<CellId>>>,
+    /// Hub subscriber index: remote hub id → per-shard lists of local
+    /// vertices that list it as an (in-)neighbor, pre-split so fan-out
+    /// locks each shard inbox once.
+    subs: Mutex<HashMap<CellId, Vec<Vec<CellId>>>>,
     metrics: BspMetrics,
 }
 
 impl<P: VertexProgram> MachineRt<P> {
+    fn shard_of(&self, id: CellId) -> usize {
+        (self.table.trunk_of(id) as usize) % self.shard_workers
+    }
+
     fn deliver(&self, dst: CellId, msg: P::Msg) {
-        self.inbox_next.lock().entry(dst).or_default().push(msg);
+        self.inboxes[self.shard_of(dst)].lock().push((dst, msg));
+    }
+
+    /// Append a worker's buffered machine-local deliveries for one shard
+    /// under a single lock acquisition.
+    fn deliver_batch(&self, shard: usize, buf: &mut Vec<(CellId, P::Msg)>) {
+        self.inboxes[shard].lock().append(buf);
     }
 
     fn count_frame(&self, src: MachineId) {
@@ -412,12 +479,20 @@ impl<P: VertexProgram> BspRunner<P> {
         };
         let rts: Vec<Arc<MachineRt<P>>> = (0..machines)
             .map(|m| {
-                let endpoint = Arc::clone(self.graph.cloud().node(m).endpoint());
+                let node = self.graph.cloud().node(m);
+                let endpoint = Arc::clone(node.endpoint());
+                let table = node.table();
+                let workers = resolve_compute_threads(
+                    self.cfg.compute_threads,
+                    table.trunks_of(MachineId(m as u16)).len(),
+                );
                 Arc::new(MachineRt {
                     metrics: BspMetrics::new(&endpoint),
                     endpoint,
                     machines,
-                    inbox_next: Mutex::new(HashMap::new()),
+                    shard_workers: workers,
+                    table,
+                    inboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
                     local_deliveries: AtomicU64::new(0),
                     fence: Mutex::new(FenceState {
                         expected: vec![None; machines],
@@ -458,14 +533,20 @@ impl<P: VertexProgram> BspRunner<P> {
                     if let Some((_s, hub, bytes)) = decode_data_frame(data) {
                         if let Some(msg) = P::decode_msg(bytes) {
                             let subs = rt.subs.lock();
-                            if let Some(targets) = subs.get(&hub) {
-                                let mut inbox = rt.inbox_next.lock();
-                                for &t in targets {
-                                    inbox.entry(t).or_default().push(msg.clone());
+                            if let Some(shards) = subs.get(&hub) {
+                                let mut fanned = 0u64;
+                                for (w, targets) in shards.iter().enumerate() {
+                                    if targets.is_empty() {
+                                        continue;
+                                    }
+                                    let mut inbox = rt.inboxes[w].lock();
+                                    for &t in targets {
+                                        inbox.push((t, msg.clone()));
+                                    }
+                                    fanned += targets.len() as u64;
                                 }
-                                rt.local_deliveries
-                                    .fetch_add(targets.len() as u64, Ordering::Relaxed);
-                                rt.metrics.hub_fanout.add(targets.len() as u64);
+                                rt.local_deliveries.fetch_add(fanned, Ordering::Relaxed);
+                                rt.metrics.hub_fanout.add(fanned);
                             }
                         }
                     }
@@ -497,20 +578,30 @@ impl<P: VertexProgram> BspRunner<P> {
                         .chunks_exact(8)
                         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
                         .collect();
-                    let mut found: HashMap<CellId, Vec<CellId>> = HashMap::new();
+                    // Targets are pre-split by owning shard so hub fan-out
+                    // locks each worker inbox once per broadcast.
+                    let mut found: HashMap<CellId, Vec<Vec<CellId>>> = HashMap::new();
+                    let workers = rt.shard_workers;
                     handle.for_each_local_node(|id, view| {
                         // In-neighbors when stored; otherwise the graph is
                         // undirected and out-neighbors are the same set.
+                        let shard = rt.shard_of(id);
                         if view.has_ins() {
                             for src_v in view.ins() {
                                 if hubs.contains(&src_v) {
-                                    found.entry(src_v).or_default().push(id);
+                                    found
+                                        .entry(src_v)
+                                        .or_insert_with(|| vec![Vec::new(); workers])[shard]
+                                        .push(id);
                                 }
                             }
                         } else {
                             for src_v in view.outs() {
                                 if hubs.contains(&src_v) {
-                                    found.entry(src_v).or_default().push(id);
+                                    found
+                                        .entry(src_v)
+                                        .or_insert_with(|| vec![Vec::new(); workers])[shard]
+                                        .push(id);
                                 }
                             }
                         }
@@ -650,6 +741,118 @@ struct RoundAgg {
     decision_stop: bool,
 }
 
+/// Flush a worker's private per-destination outbox chunk into the
+/// endpoint's pack buffers once this many frames accumulate. Chunking
+/// keeps peak buffering bounded and amortizes the per-destination pack
+/// lock across many frames.
+const OUTBOX_CHUNK: usize = 64;
+
+/// Flush a worker's buffered machine-local deliveries for one shard once
+/// this many pairs accumulate.
+const LOCAL_CHUNK: usize = 128;
+
+/// One worker's owned shard of a machine's BSP state. All buffers are
+/// reused across supersteps: retained capacity is what "pre-sizes
+/// outboxes from the previous superstep's send counts".
+struct WorkerState<P: VertexProgram> {
+    w: usize,
+    /// This shard's local vertices, sorted by id, with each vertex's
+    /// position in the *machine-wide* sorted order (`vseq`) — the combine
+    /// replay key.
+    local: Vec<(CellId, usize)>,
+    states: HashMap<CellId, P::State>,
+    active: std::collections::HashSet<CellId>,
+    /// Current-superstep inbox as parallel sorted arrays: run boundaries
+    /// in `in_ids` delimit each vertex's `msgs` slice in `in_msgs`.
+    in_ids: Vec<CellId>,
+    in_msgs: Vec<P::Msg>,
+    /// Reusable swap target for draining this worker's shared inbox.
+    raw: Vec<(CellId, P::Msg)>,
+    /// Reusable adjacency scratch (replaces a per-vertex `Vec` collect).
+    outs_scratch: Vec<CellId>,
+    /// Reusable send-list scratch lent to the `VertexContext`.
+    sends: Vec<(CellId, P::Msg)>,
+    /// Which machines a hub broadcast actually hit this vertex (reused).
+    hub_hit: Vec<bool>,
+    /// Frames sent per destination machine this superstep.
+    sent_to: Vec<u64>,
+    /// Private per-destination outbox chunks (Packed, non-combine path).
+    outbox: Vec<Vec<Vec<u8>>>,
+    /// Buffered machine-local deliveries per shard.
+    local_buf: Vec<Vec<(CellId, P::Msg)>>,
+    /// Deferred combine-mode sends: `(vseq, dst, msg)`.
+    combine: Vec<(usize, CellId, P::Msg)>,
+}
+
+impl<P: VertexProgram> WorkerState<P> {
+    fn new(w: usize, machines: usize, workers: usize) -> Self {
+        WorkerState {
+            w,
+            local: Vec::new(),
+            states: HashMap::new(),
+            active: Default::default(),
+            in_ids: Vec::new(),
+            in_msgs: Vec::new(),
+            raw: Vec::new(),
+            outs_scratch: Vec::new(),
+            sends: Vec::new(),
+            hub_hit: vec![false; machines],
+            sent_to: vec![0; machines],
+            outbox: (0..machines).map(|_| Vec::new()).collect(),
+            local_buf: (0..workers).map(|_| Vec::new()).collect(),
+            combine: Vec::new(),
+        }
+    }
+}
+
+/// Per-round results a worker hands to the leader (worker 0) at the
+/// phase barriers. Written by its owner during a phase, read by the
+/// leader strictly after the phase barrier, so the mutexes never contend.
+struct WorkerRound<P: VertexProgram> {
+    sent_to: Vec<u64>,
+    combine: Vec<(usize, CellId, P::Msg)>,
+    computed: usize,
+    cpu_seconds: f64,
+    active_after: usize,
+    distinct_dsts: u64,
+}
+
+impl<P: VertexProgram> WorkerRound<P> {
+    fn new(machines: usize) -> Self {
+        WorkerRound {
+            sent_to: vec![0; machines],
+            combine: Vec::new(),
+            computed: 0,
+            cpu_seconds: 0.0,
+            active_after: 0,
+            distinct_dsts: 0,
+        }
+    }
+}
+
+/// Shared, read-only context for one machine's worker pool.
+struct PoolCtx<'x, P: VertexProgram> {
+    m: usize,
+    machines: usize,
+    rt: &'x MachineRt<P>,
+    handle: &'x GraphHandle,
+    program: &'x P,
+    cfg: &'x BspConfig,
+    table: &'x trinity_memcloud::AddressingTable,
+    cost: trinity_net::CostModel,
+    hub_targets: &'x HashMap<CellId, Vec<MachineId>>,
+    pool_barrier: Barrier,
+    rounds: Vec<Mutex<WorkerRound<P>>>,
+    // Cross-machine control plane (leader-only).
+    global_barrier: &'x Barrier,
+    agg: &'x Mutex<RoundAgg>,
+    stop: &'x AtomicBool,
+    terminated: &'x AtomicBool,
+    reports: &'x Mutex<Vec<SuperstepReport>>,
+    finals: &'x Mutex<FinalState<P>>,
+    superstep_offset: usize,
+}
+
 fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
     let DriverArgs {
         m,
@@ -751,261 +954,554 @@ fn machine_driver<P: VertexProgram>(args: DriverArgs<P>) {
         barrier.wait();
     }
 
-    // --- Supersteps ------------------------------------------------------
-    let mut inbox: HashMap<CellId, Vec<P::Msg>> = resume_pending;
-    let mut superstep = 0usize;
-    loop {
-        let net_before = rt.endpoint.stats().snapshot();
-        let wall_start_us = rt.endpoint.obs().now_us();
-        let t0 = crate::cputime::ThreadTimer::start();
-        let mut sent_to: Vec<u64> = vec![0; machines];
-        let mut outgoing: Vec<HashMap<CellId, P::Msg>> = vec![HashMap::new(); machines]; // combine buffers
-        let mut computed = 0usize;
-        let empty: Vec<P::Msg> = Vec::new();
+    // --- Worker pool setup ---------------------------------------------
+    // Shard every local vertex (and all resumed state) by
+    // `trunk_of(id) % workers` — the same pure routing the receive
+    // handlers use, so a message lands in exactly the inbox of the worker
+    // that owns its destination. `vseq` is the vertex's position in the
+    // machine-wide sorted order; the combine replay keys on it to
+    // reproduce the serial enqueue sequence exactly.
+    let workers = rt.inboxes.len();
+    rt.metrics.pool_workers.add(workers as u64);
+    let mut shards: Vec<WorkerState<P>> = (0..workers)
+        .map(|w| WorkerState::new(w, machines, workers))
+        .collect();
+    for (vseq, &(id, _deg)) in local.iter().enumerate() {
+        shards[rt.shard_of(id)].local.push((id, vseq));
+    }
+    for (id, st) in states.drain() {
+        shards[rt.shard_of(id)].states.insert(id, st);
+    }
+    for id in active.drain() {
+        shards[rt.shard_of(id)].active.insert(id);
+    }
+    // Initial pending messages, sharded and loaded like a drained inbox.
+    {
+        let mut raw: Vec<Vec<(CellId, P::Msg)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (id, msgs) in resume_pending {
+            let shard = rt.shard_of(id);
+            for msg in msgs {
+                raw[shard].push((id, msg));
+            }
+        }
+        for (ws, mut r) in shards.iter_mut().zip(raw) {
+            r.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| P::msg_cmp(&a.1, &b.1)));
+            for (id, msg) in r {
+                ws.in_ids.push(id);
+                ws.in_msgs.push(msg);
+            }
+        }
+    }
 
-        for &(id, _deg) in &local {
-            let msgs = inbox.get(&id);
-            if msgs.is_none() && !active.contains(&id) {
-                continue;
-            }
-            computed += 1;
-            let state = states.get_mut(&id).expect("state exists for local vertex");
-            let msgs = msgs.unwrap_or(&empty);
-            // Read the adjacency through a zero-copy view.
-            let outs: Vec<CellId> = handle
-                .with_node(id, |view| view.outs().collect())
-                .ok()
-                .flatten()
-                .unwrap_or_default();
-            let mut ctx = VertexContext {
-                superstep: superstep_offset + superstep,
-                outs: &outs,
-                sends: Vec::new(),
-                broadcast: None,
-                halt: false,
-            };
-            program.compute(&mut ctx, id, state, msgs);
-            if ctx.halt {
-                active.remove(&id);
-            } else {
-                active.insert(id);
-            }
-            // Route the broadcast (restrictive model).
-            if let Some(msg) = ctx.broadcast {
-                let is_hub = hub_targets.contains_key(&id);
-                let mut remote_machines_hit: Vec<bool> = vec![false; machines];
-                for &dst in &outs {
-                    let owner = table.machine_of(dst).0 as usize;
-                    if owner == m {
-                        rt.deliver(dst, msg.clone());
-                        rt.local_deliveries.fetch_add(1, Ordering::Relaxed);
-                    } else if is_hub {
-                        remote_machines_hit[owner] = true;
-                    } else {
-                        enqueue(
-                            &mut outgoing,
-                            &mut sent_to,
-                            &rt,
-                            &cfg,
-                            superstep,
-                            owner,
-                            dst,
-                            &msg,
-                            m,
-                        );
-                    }
-                }
-                if is_hub {
-                    // One frame per machine that subscribes to this hub.
-                    for &peer in hub_targets.get(&id).into_iter().flatten() {
-                        let frame = encode_data_frame(superstep as u32, id, &P::encode_msg(&msg));
-                        rt.endpoint.send(peer, proto::BSP_HUB, &frame);
-                        rt.metrics.hub_broadcasts.inc();
-                        if cfg.messaging == MessagingMode::Unpacked {
-                            rt.endpoint.flush_to(peer);
-                        }
-                        sent_to[peer.0 as usize] += 1;
-                    }
-                }
-            }
-            // Route point sends (general model).
-            for (dst, msg) in ctx.sends {
-                let owner = table.machine_of(dst).0 as usize;
-                if owner == m {
-                    rt.deliver(dst, msg);
-                    rt.local_deliveries.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    enqueue(
-                        &mut outgoing,
-                        &mut sent_to,
-                        &rt,
-                        &cfg,
-                        superstep,
-                        owner,
-                        dst,
-                        &msg,
-                        m,
-                    );
-                }
-            }
-        }
-        // Flush combine buffers.
-        if cfg.combine {
-            for (peer, buf) in outgoing.iter_mut().enumerate() {
-                for (dst, msg) in buf.drain() {
-                    let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&msg));
-                    rt.endpoint
-                        .send(MachineId(peer as u16), proto::BSP_MSG, &frame);
-                    if cfg.messaging == MessagingMode::Unpacked {
-                        rt.endpoint.flush_to(MachineId(peer as u16));
-                    }
-                    sent_to[peer] += 1;
-                }
-            }
-        }
-        let compute_seconds = t0.elapsed_seconds();
-
-        // Fence: announce per-peer frame counts, flush everything, wait
-        // until all announced frames (from every peer) have arrived.
-        for (peer, &sent) in sent_to.iter().enumerate() {
-            if peer == m {
-                continue;
-            }
-            let mut fence = Vec::with_capacity(12);
-            fence.extend_from_slice(&(superstep as u32).to_le_bytes());
-            fence.extend_from_slice(&sent.to_le_bytes());
-            rt.endpoint
-                .send(MachineId(peer as u16), proto::BSP_FENCE, &fence);
-            rt.endpoint.flush_to(MachineId(peer as u16));
-        }
-        rt.endpoint.flush();
-        rt.await_quiescence(m);
-        barrier.wait();
-
-        // Swap inboxes; aggregate the round.
-        inbox = std::mem::take(&mut *rt.inbox_next.lock());
-        // Message arrivals reactivate halted vertices.
-        for id in inbox.keys() {
-            if states.contains_key(id) {
-                active.insert(*id);
-            }
-        }
-        let net_delta = rt.endpoint.stats().delta(&net_before);
-        let local_delivered = rt.local_deliveries.swap(0, Ordering::Relaxed);
-        let frames_sent: u64 = sent_to.iter().sum();
-        rt.metrics.supersteps.inc();
-        rt.metrics.computed.add(computed as u64);
-        rt.metrics.frames_remote.add(frames_sent);
-        rt.metrics.frames_local.add(local_delivered);
-        rt.metrics.compute_us.record((compute_seconds * 1e6) as u64);
-        rt.metrics
-            .superstep_us
-            .record(rt.endpoint.obs().now_us().saturating_sub(wall_start_us));
-        rt.endpoint.obs().span(
-            "bsp.superstep",
-            proto::BSP_MSG,
-            net_delta.remote_bytes,
-            frames_sent.min(u32::MAX as u64) as u32,
-            wall_start_us,
-        );
-        {
-            let mut a = agg.lock();
-            a.arrived += 1;
-            a.active += active.len();
-            a.computed += computed;
-            a.deliveries += inbox.len() as u64;
-            a.remote_frames += frames_sent;
-            a.local_frames += local_delivered;
-            a.compute_max = a.compute_max.max(compute_seconds);
-            a.compute_sum += compute_seconds;
-            if cost.transfer_seconds(&net_delta) > cost.transfer_seconds(&a.net_max) {
-                a.net_max = net_delta;
-            }
-        }
-        let leader = barrier.wait().is_leader();
-        if leader {
-            let mut a = agg.lock();
-            let quiet = a.deliveries == 0 && a.active == 0;
-            // Stop on quiescence, the superstep cap, or a lapsed serving
-            // deadline (the job ends un-terminated with partial state).
-            a.decision_stop = quiet || superstep + 1 >= cfg.max_supersteps || deadline_expired();
-            let compute_parallel = a.compute_sum / machines as f64;
-            let modeled = compute_parallel
-                + cost.transfer_seconds(&a.net_max)
-                + 2.0 * cost.envelope_latency_s * (machines as f64).log2().max(1.0);
-            reports.lock().push(SuperstepReport {
-                superstep: superstep_offset + superstep,
-                computed: a.computed,
-                active_after: a.active,
-                remote_messages: a.remote_frames,
-                local_messages: a.local_frames,
-                compute_seconds: a.compute_max,
-                compute_parallel_seconds: compute_parallel,
-                max_machine_net: a.net_max,
-                modeled_seconds: modeled,
+    let ctx = PoolCtx {
+        m,
+        machines,
+        rt: &rt,
+        handle,
+        program: &*program,
+        cfg: &cfg,
+        table: &table,
+        cost,
+        hub_targets: &hub_targets,
+        pool_barrier: Barrier::new(workers),
+        rounds: (0..workers)
+            .map(|_| Mutex::new(WorkerRound::new(machines)))
+            .collect(),
+        global_barrier: &barrier,
+        agg: &agg,
+        stop: &stop,
+        terminated: &terminated,
+        reports: &reports,
+        finals: &finals,
+        superstep_offset,
+    };
+    std::thread::scope(|pool| {
+        let mut shards = shards.into_iter();
+        let leader_shard = shards.next().expect("at least one worker");
+        for ws in shards {
+            let ctx = &ctx;
+            pool.spawn(move || {
+                // Guards are thread-local: re-enter them on each pool worker.
+                let _tg = TraceGuard::enter(trace);
+                let _dg = DeadlineGuard::enter(deadline);
+                worker_main(ctx, ws);
             });
-            if a.decision_stop {
-                if quiet {
-                    terminated.store(true, Ordering::Release);
-                }
-                stop.store(true, Ordering::Release);
-            }
-            *a = RoundAgg::default();
         }
-        barrier.wait();
+        // Worker 0 (the leader) runs on the driver thread and keeps all
+        // serial responsibilities: combine replay, fences, global
+        // barriers, aggregation, and the stop decision.
+        worker_main(&ctx, leader_shard);
+    });
+}
+
+/// One pool worker's superstep loop. Four pool barriers per superstep
+/// separate the phases:
+///
+/// 1. parallel compute over this worker's shard (+ shard flush);
+/// 2. leader: combine replay, fences, quiescence wait, global barrier;
+/// 3. parallel inbox drain (sort runs, reactivate, count);
+/// 4. leader: round aggregation, reports, stop decision.
+fn worker_main<P: VertexProgram>(ctx: &PoolCtx<'_, P>, mut ws: WorkerState<P>) {
+    let leader = ws.w == 0;
+    let mut superstep = 0usize;
+    // Leader-only round state; idle copies on the other workers.
+    let mut net_before = ctx.rt.endpoint.stats().snapshot();
+    let mut wall_start_us = ctx.rt.endpoint.obs().now_us();
+    loop {
+        compute_phase(ctx, &mut ws, superstep);
+        ctx.pool_barrier.wait();
+        let mut round_totals = None;
+        if leader {
+            round_totals = Some(leader_post_compute(ctx, superstep));
+        }
+        ctx.pool_barrier.wait();
+        drain_phase(ctx, &mut ws);
+        ctx.pool_barrier.wait();
+        if leader {
+            let (sent_to, computed, pool_times) = round_totals.expect("leader totals");
+            leader_aggregate(
+                ctx,
+                superstep,
+                &sent_to,
+                computed,
+                &pool_times,
+                &net_before,
+                wall_start_us,
+            );
+            // Next round's deltas start here — after the stop-decision
+            // barrier, exactly where the serial driver snapshotted.
+            net_before = ctx.rt.endpoint.stats().snapshot();
+            wall_start_us = ctx.rt.endpoint.obs().now_us();
+        }
+        ctx.pool_barrier.wait();
         superstep += 1;
-        if stop.load(Ordering::Acquire) {
+        if ctx.stop.load(Ordering::Acquire) {
             break;
         }
     }
-    // Export this machine's slice of the job state (checkpoint material).
-    let mut f = finals.lock();
-    f.states.extend(states);
-    f.pending.extend(inbox);
-    f.active.extend(active);
+    // Export this shard's slice of the job state (checkpoint material).
+    let mut f = ctx.finals.lock();
+    f.states.extend(ws.states);
+    f.active.extend(ws.active);
+    for (id, msg) in ws.in_ids.drain(..).zip(ws.in_msgs.drain(..)) {
+        f.pending.entry(id).or_default().push(msg);
+    }
 }
 
-/// Queue one remote vertex message, combining when enabled.
-#[allow(clippy::too_many_arguments)]
-fn enqueue<P: VertexProgram>(
-    outgoing: &mut [HashMap<CellId, P::Msg>],
-    sent_to: &mut [u64],
-    rt: &MachineRt<P>,
-    cfg: &BspConfig,
+/// Compute every vertex of this worker's shard for one superstep,
+/// routing sends into the private outboxes/buffers and flushing them at
+/// shard end.
+fn compute_phase<P: VertexProgram>(
+    ctx: &PoolCtx<'_, P>,
+    ws: &mut WorkerState<P>,
     superstep: usize,
-    owner: usize,
-    dst: CellId,
-    msg: &P::Msg,
-    _self_machine: usize,
 ) {
-    if cfg.combine {
-        match outgoing[owner].entry(dst) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                if P::combine(e.get_mut(), msg) {
-                    return;
-                }
-                // Not combinable after all: ship the buffered one and
-                // replace it.
-                let prev = e.insert(msg.clone());
-                let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&prev));
-                rt.endpoint
-                    .send(MachineId(owner as u16), proto::BSP_MSG, &frame);
-                sent_to[owner] += 1;
-                return;
+    let timer = crate::cputime::ThreadTimer::start();
+    ws.sent_to.iter_mut().for_each(|c| *c = 0);
+    let mut computed = 0usize;
+    let mut local_delivered = 0u64;
+    // Merge-join the sorted local vertex list against the sorted inbox
+    // runs: no hashing, no per-vertex lookups.
+    let mut pos = 0usize;
+    let n_in = ws.in_ids.len();
+    for li in 0..ws.local.len() {
+        let (id, vseq) = ws.local[li];
+        while pos < n_in && ws.in_ids[pos] < id {
+            pos += 1;
+        }
+        let run_start = pos;
+        while pos < n_in && ws.in_ids[pos] == id {
+            pos += 1;
+        }
+        if run_start == pos && !ws.active.contains(&id) {
+            continue;
+        }
+        computed += 1;
+        let state = ws
+            .states
+            .get_mut(&id)
+            .expect("state exists for local vertex");
+        // Read the adjacency through a zero-copy view into the reusable
+        // scratch (no per-vertex allocation).
+        ws.outs_scratch.clear();
+        let _ = ctx.handle.with_node(id, |view| {
+            ws.outs_scratch.extend(view.outs());
+        });
+        ws.sends.clear();
+        let mut vctx = VertexContext {
+            superstep: ctx.superstep_offset + superstep,
+            outs: &ws.outs_scratch,
+            sends: &mut ws.sends,
+            broadcast: None,
+            halt: false,
+        };
+        ctx.program
+            .compute(&mut vctx, id, state, &ws.in_msgs[run_start..pos]);
+        let halt = vctx.halt;
+        let broadcast = vctx.broadcast.take();
+        drop(vctx);
+        if halt {
+            ws.active.remove(&id);
+        } else {
+            ws.active.insert(id);
+        }
+        // Route the broadcast (restrictive model).
+        if let Some(msg) = broadcast {
+            let is_hub = ctx.hub_targets.contains_key(&id);
+            if is_hub {
+                ws.hub_hit.iter_mut().for_each(|b| *b = false);
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(msg.clone());
-                return;
+            for oi in 0..ws.outs_scratch.len() {
+                let dst = ws.outs_scratch[oi];
+                let owner = ctx.table.machine_of(dst).0 as usize;
+                if owner == ctx.m {
+                    local_delivered += 1;
+                    push_local(ctx.rt, &mut ws.local_buf, dst, msg.clone());
+                } else if is_hub {
+                    ws.hub_hit[owner] = true;
+                } else {
+                    route_remote(
+                        ctx,
+                        superstep,
+                        vseq,
+                        owner,
+                        dst,
+                        msg.clone(),
+                        &mut ws.sent_to,
+                        &mut ws.combine,
+                        &mut ws.outbox,
+                    );
+                }
+            }
+            if is_hub {
+                // One frame per subscribing machine — but only machines
+                // whose vertices this hub actually reaches this superstep
+                // (the subscriber index may be stale after graph updates).
+                let payload = P::encode_msg(&msg);
+                for &peer in ctx.hub_targets.get(&id).into_iter().flatten() {
+                    if !ws.hub_hit[peer.0 as usize] {
+                        continue;
+                    }
+                    let frame = encode_data_frame(superstep as u32, id, &payload);
+                    ctx.rt.endpoint.send(peer, proto::BSP_HUB, &frame);
+                    ctx.rt.metrics.hub_broadcasts.inc();
+                    if ctx.cfg.messaging == MessagingMode::Unpacked {
+                        ctx.rt.endpoint.flush_to(peer);
+                    }
+                    ws.sent_to[peer.0 as usize] += 1;
+                }
+            }
+        }
+        // Route point sends (general model).
+        for (dst, msg) in ws.sends.drain(..) {
+            let owner = ctx.table.machine_of(dst).0 as usize;
+            if owner == ctx.m {
+                local_delivered += 1;
+                push_local(ctx.rt, &mut ws.local_buf, dst, msg);
+            } else {
+                route_remote(
+                    ctx,
+                    superstep,
+                    vseq,
+                    owner,
+                    dst,
+                    msg,
+                    &mut ws.sent_to,
+                    &mut ws.combine,
+                    &mut ws.outbox,
+                );
             }
         }
     }
-    let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(msg));
-    rt.endpoint
-        .send(MachineId(owner as u16), proto::BSP_MSG, &frame);
-    if cfg.messaging == MessagingMode::Unpacked {
-        rt.endpoint.flush_to(MachineId(owner as u16));
+    // Shard flush: merge the private outboxes into the endpoint's pack
+    // buffers and hand buffered local deliveries to their shard inboxes.
+    for owner in 0..ctx.machines {
+        if !ws.outbox[owner].is_empty() {
+            ctx.rt.endpoint.send_batch(
+                MachineId(owner as u16),
+                proto::BSP_MSG,
+                &mut ws.outbox[owner],
+            );
+        }
+    }
+    for shard in 0..ws.local_buf.len() {
+        if !ws.local_buf[shard].is_empty() {
+            ctx.rt.deliver_batch(shard, &mut ws.local_buf[shard]);
+        }
+    }
+    ctx.rt
+        .local_deliveries
+        .fetch_add(local_delivered, Ordering::Relaxed);
+    let cpu_seconds = timer.elapsed_seconds();
+    ctx.rt.metrics.worker_us.record((cpu_seconds * 1e6) as u64);
+    let mut round = ctx.rounds[ws.w].lock();
+    round.computed = computed;
+    round.cpu_seconds = cpu_seconds;
+    round.sent_to.copy_from_slice(&ws.sent_to);
+    round.combine.clear();
+    std::mem::swap(&mut round.combine, &mut ws.combine);
+}
+
+/// Buffer one machine-local delivery, flushing the shard's buffer into
+/// its inbox once it fills.
+fn push_local<P: VertexProgram>(
+    rt: &MachineRt<P>,
+    local_buf: &mut [Vec<(CellId, P::Msg)>],
+    dst: CellId,
+    msg: P::Msg,
+) {
+    let shard = rt.shard_of(dst);
+    let buf = &mut local_buf[shard];
+    buf.push((dst, msg));
+    if buf.len() >= LOCAL_CHUNK {
+        rt.deliver_batch(shard, buf);
+    }
+}
+
+/// Route one remote vertex message from a pool worker. Combine-mode
+/// messages are deferred for the leader's serial replay; otherwise the
+/// frame goes to the private outbox (Packed) or straight out (Unpacked).
+#[allow(clippy::too_many_arguments)]
+fn route_remote<P: VertexProgram>(
+    ctx: &PoolCtx<'_, P>,
+    superstep: usize,
+    vseq: usize,
+    owner: usize,
+    dst: CellId,
+    msg: P::Msg,
+    sent_to: &mut [u64],
+    combine: &mut Vec<(usize, CellId, P::Msg)>,
+    outbox: &mut [Vec<Vec<u8>>],
+) {
+    if ctx.cfg.combine {
+        combine.push((vseq, dst, msg));
+        return;
+    }
+    let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&msg));
+    let peer = MachineId(owner as u16);
+    if ctx.cfg.messaging == MessagingMode::Unpacked {
+        ctx.rt.endpoint.send(peer, proto::BSP_MSG, &frame);
+        ctx.rt.endpoint.flush_to(peer);
+    } else {
+        outbox[owner].push(frame);
+        if outbox[owner].len() >= OUTBOX_CHUNK {
+            ctx.rt
+                .endpoint
+                .send_batch(peer, proto::BSP_MSG, &mut outbox[owner]);
+        }
     }
     sent_to[owner] += 1;
+}
+
+/// Leader work after the parallel compute phase: total the per-worker
+/// rounds, replay deferred combine-mode sends in global vertex order
+/// (byte-for-byte the serial combiner), then fence and wait for
+/// quiescence. Returns the machine's frame totals and pool CPU times.
+fn leader_post_compute<P: VertexProgram>(
+    ctx: &PoolCtx<'_, P>,
+    superstep: usize,
+) -> (Vec<u64>, usize, crate::cputime::PoolTimes) {
+    let timer = crate::cputime::ThreadTimer::start();
+    let mut pool_times = crate::cputime::PoolTimes::default();
+    let mut sent_to: Vec<u64> = vec![0; ctx.machines];
+    let mut computed = 0usize;
+    let mut deferred: Vec<(usize, CellId, P::Msg)> = Vec::new();
+    for slot in &ctx.rounds {
+        let mut r = slot.lock();
+        for (total, &s) in sent_to.iter_mut().zip(&r.sent_to) {
+            *total += s;
+        }
+        computed += r.computed;
+        pool_times.record_worker(r.cpu_seconds);
+        deferred.append(&mut r.combine);
+    }
+    if ctx.cfg.combine && !deferred.is_empty() {
+        // Stable sort restores the machine-wide vertex order the serial
+        // driver enqueued in; ties (sends from one vertex) keep their
+        // program order because each vertex lives in exactly one worker.
+        deferred.sort_by_key(|&(vseq, _, _)| vseq);
+        let mut outgoing: Vec<HashMap<CellId, P::Msg>> =
+            (0..ctx.machines).map(|_| HashMap::new()).collect();
+        for (_, dst, msg) in deferred {
+            let owner = ctx.table.machine_of(dst).0 as usize;
+            match outgoing[owner].entry(dst) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if !P::combine(e.get_mut(), &msg) {
+                        // Not combinable after all: ship the buffered one
+                        // and keep the newcomer.
+                        let prev = e.insert(msg);
+                        let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&prev));
+                        ctx.rt
+                            .endpoint
+                            .send(MachineId(owner as u16), proto::BSP_MSG, &frame);
+                        sent_to[owner] += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(msg);
+                }
+            }
+        }
+        for (peer, buf) in outgoing.iter_mut().enumerate() {
+            for (dst, msg) in buf.drain() {
+                let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&msg));
+                ctx.rt
+                    .endpoint
+                    .send(MachineId(peer as u16), proto::BSP_MSG, &frame);
+                if ctx.cfg.messaging == MessagingMode::Unpacked {
+                    ctx.rt.endpoint.flush_to(MachineId(peer as u16));
+                }
+                sent_to[peer] += 1;
+            }
+        }
+    }
+    // The serial section ends where the serial driver's compute clock
+    // stopped: after the combine flush, before the fence.
+    pool_times.add_serial(timer.elapsed_seconds());
+
+    // Fence: announce per-peer frame counts, flush everything, wait
+    // until all announced frames (from every peer) have arrived.
+    for (peer, &sent) in sent_to.iter().enumerate() {
+        if peer == ctx.m {
+            continue;
+        }
+        let mut fence = Vec::with_capacity(12);
+        fence.extend_from_slice(&(superstep as u32).to_le_bytes());
+        fence.extend_from_slice(&sent.to_le_bytes());
+        ctx.rt
+            .endpoint
+            .send(MachineId(peer as u16), proto::BSP_FENCE, &fence);
+        ctx.rt.endpoint.flush_to(MachineId(peer as u16));
+    }
+    ctx.rt.endpoint.flush();
+    ctx.rt.await_quiescence(ctx.m);
+    // After this barrier no machine is still computing superstep `s`, so
+    // the workers' inbox drain (next phase) cannot race new deliveries:
+    // anything arriving now belongs to `s + 1` and lands after the swap.
+    ctx.global_barrier.wait();
+    (sent_to, computed, pool_times)
+}
+
+/// Drain this worker's shared inbox for the next superstep: take the
+/// flattened pairs, stably sort into `(dst, msg_cmp)` runs, count
+/// distinct destinations, and reactivate local vertices that received
+/// messages.
+fn drain_phase<P: VertexProgram>(ctx: &PoolCtx<'_, P>, ws: &mut WorkerState<P>) {
+    ws.raw.clear();
+    {
+        let mut slot = ctx.rt.inboxes[ws.w].lock();
+        std::mem::swap(&mut ws.raw, &mut *slot);
+    }
+    ws.raw
+        .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| P::msg_cmp(&a.1, &b.1)));
+    ws.in_ids.clear();
+    ws.in_msgs.clear();
+    let mut distinct = 0u64;
+    let mut last: Option<CellId> = None;
+    for (dst, msg) in ws.raw.drain(..) {
+        if last != Some(dst) {
+            distinct += 1;
+            last = Some(dst);
+            // Message arrivals reactivate halted vertices.
+            if ws.states.contains_key(&dst) {
+                ws.active.insert(dst);
+            }
+        }
+        ws.in_ids.push(dst);
+        ws.in_msgs.push(msg);
+    }
+    let mut round = ctx.rounds[ws.w].lock();
+    round.active_after = ws.active.len();
+    round.distinct_dsts = distinct;
+}
+
+/// Leader work after the drain phase: publish the machine's round into
+/// the cross-machine aggregate, and (as global leader) emit the report
+/// and the stop decision.
+#[allow(clippy::too_many_arguments)]
+fn leader_aggregate<P: VertexProgram>(
+    ctx: &PoolCtx<'_, P>,
+    superstep: usize,
+    sent_to: &[u64],
+    computed: usize,
+    pool_times: &crate::cputime::PoolTimes,
+    net_before: &trinity_net::StatsDelta,
+    wall_start_us: u64,
+) {
+    let rt = ctx.rt;
+    let net_delta = rt.endpoint.stats().delta(net_before);
+    let local_delivered = rt.local_deliveries.swap(0, Ordering::Relaxed);
+    let frames_sent: u64 = sent_to.iter().sum();
+    let mut active_after = 0usize;
+    let mut deliveries = 0u64;
+    for slot in &ctx.rounds {
+        let r = slot.lock();
+        active_after += r.active_after;
+        deliveries += r.distinct_dsts;
+    }
+    rt.metrics.supersteps.inc();
+    rt.metrics.computed.add(computed as u64);
+    rt.metrics.frames_remote.add(frames_sent);
+    rt.metrics.frames_local.add(local_delivered);
+    rt.metrics
+        .compute_us
+        .record((pool_times.critical_path_seconds() * 1e6) as u64);
+    rt.metrics
+        .superstep_us
+        .record(rt.endpoint.obs().now_us().saturating_sub(wall_start_us));
+    rt.endpoint.obs().span(
+        "bsp.superstep",
+        proto::BSP_MSG,
+        net_delta.remote_bytes,
+        frames_sent.min(u32::MAX as u64) as u32,
+        wall_start_us,
+    );
+    {
+        let mut a = ctx.agg.lock();
+        a.arrived += 1;
+        a.active += active_after;
+        a.computed += computed;
+        a.deliveries += deliveries;
+        a.remote_frames += frames_sent;
+        a.local_frames += local_delivered;
+        a.compute_max = a.compute_max.max(pool_times.critical_path_seconds());
+        a.compute_sum += pool_times.cpu_seconds();
+        if ctx.cost.transfer_seconds(&net_delta) > ctx.cost.transfer_seconds(&a.net_max) {
+            a.net_max = net_delta;
+        }
+    }
+    let leader = ctx.global_barrier.wait().is_leader();
+    if leader {
+        let mut a = ctx.agg.lock();
+        let quiet = a.deliveries == 0 && a.active == 0;
+        // Stop on quiescence, the superstep cap, or a lapsed serving
+        // deadline (the job ends un-terminated with partial state).
+        a.decision_stop = quiet || superstep + 1 >= ctx.cfg.max_supersteps || deadline_expired();
+        let compute_parallel = a.compute_sum / ctx.machines as f64;
+        let modeled = compute_parallel
+            + ctx.cost.transfer_seconds(&a.net_max)
+            + 2.0 * ctx.cost.envelope_latency_s * (ctx.machines as f64).log2().max(1.0);
+        ctx.reports.lock().push(SuperstepReport {
+            superstep: ctx.superstep_offset + superstep,
+            computed: a.computed,
+            active_after: a.active,
+            remote_messages: a.remote_frames,
+            local_messages: a.local_frames,
+            compute_seconds: a.compute_max,
+            compute_cpu_seconds: a.compute_sum,
+            compute_parallel_seconds: compute_parallel,
+            max_machine_net: a.net_max,
+            modeled_seconds: modeled,
+        });
+        if a.decision_stop {
+            if quiet {
+                ctx.terminated.store(true, Ordering::Release);
+            }
+            ctx.stop.store(true, Ordering::Release);
+        }
+        *a = RoundAgg::default();
+    }
+    ctx.global_barrier.wait();
 }
 
 #[cfg(test)]

@@ -295,6 +295,7 @@ mod tests {
             hub_threshold: None,
             combine: false,
             max_supersteps: limit,
+            compute_threads: 0,
         }
     }
 

@@ -40,11 +40,13 @@ pub mod safra;
 pub mod wal;
 
 pub use bsp::{
-    BspConfig, BspResult, BspRunner, MessagingMode, ResumePoint, SuperstepReport, VertexContext,
-    VertexProgram,
+    resolve_compute_threads, BspConfig, BspResult, BspRunner, MessagingMode, ResumePoint,
+    SuperstepReport, VertexContext, VertexProgram,
 };
 pub use cluster::{TrinityClient, TrinityCluster, TrinityConfig, TrinityProxy};
-pub use online::{explore_via, CallHook, ExplorationResult, ExploreOptions, Explorer};
+pub use online::{
+    explore_via, CallHook, ExplorationResult, ExploreOptions, Explorer, ExplorerConfig,
+};
 
 /// Runtime protocol ids (range reserved by `trinity_net::proto`).
 pub(crate) mod proto {

@@ -141,6 +141,18 @@ fn decode_reply(data: &[u8]) -> Option<(Vec<CellId>, Vec<CellId>)> {
     Some((matches, neighbors))
 }
 
+/// Expansion pool tuning for the slave-side EXPAND handler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplorerConfig {
+    /// Worker threads per machine for frontier expansion. `0` means
+    /// trunk-aligned, like [`crate::BspConfig::compute_threads`].
+    pub compute_threads: usize,
+}
+
+/// Frontiers below this size expand serially: spawning a pool costs more
+/// than scanning a few hundred ids.
+const PARALLEL_FRONTIER: usize = 256;
+
 /// The distributed exploration engine. One instance serves a whole
 /// cluster: handlers are installed on every slave at construction.
 pub struct Explorer {
@@ -159,19 +171,31 @@ impl std::fmt::Debug for Explorer {
 impl Explorer {
     /// Install the exploration protocol on every slave of the cloud.
     pub fn install(cloud: Arc<MemoryCloud>) -> Arc<Self> {
+        Self::install_with(cloud, ExplorerConfig::default())
+    }
+
+    /// [`Explorer::install`] with explicit expansion-pool tuning.
+    pub fn install_with(cloud: Arc<MemoryCloud>, cfg: ExplorerConfig) -> Arc<Self> {
         let handles: Vec<GraphHandle> = (0..cloud.machines())
             .map(|m| GraphHandle::new(Arc::clone(cloud.node(m))))
             .collect();
         let explorer = Arc::new(Explorer { cloud, handles });
         for m in 0..explorer.handles.len() {
             let handle = explorer.handles[m].clone();
+            let trunks = explorer
+                .cloud
+                .node(m)
+                .table()
+                .trunks_of(MachineId(m as u16))
+                .len();
+            let workers = crate::bsp::resolve_compute_threads(cfg.compute_threads, trunks);
             explorer
                 .cloud
                 .node(m)
                 .endpoint()
                 .register(proto::EXPAND, move |_src, data| {
                     let (pattern, ids) = decode_ids(data)?;
-                    Some(expand_local(&handle, pattern, &ids))
+                    Some(expand_local(&handle, pattern, &ids, workers))
                 });
         }
         explorer
@@ -361,7 +385,13 @@ pub fn explore_via(
 /// polls the envelope-carried deadline (installed on this worker thread by
 /// the fabric) every few dozen ids and returns what it has when the budget
 /// lapses — a partial reply beats a wasted one.
-fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> Vec<u8> {
+///
+/// Large frontiers are split into contiguous chunks scanned by a pool of
+/// scoped threads; trunk reads are lock-free for concurrent readers, so
+/// the chunks proceed independently. Chunk results are concatenated in
+/// chunk order and the neighbor set is sorted and deduplicated exactly as
+/// in the serial scan, so the reply bytes do not depend on the pool width.
+fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId], workers: usize) -> Vec<u8> {
     // The coordinator routed these ids here because its table says we own
     // them — but a stale table can leave stragglers owned elsewhere. Those
     // would each cost one remote round-trip inside `with_node`; batch-warm
@@ -377,6 +407,47 @@ fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> Vec<u8>
     }
     let mut matches = Vec::new();
     let mut neighbors = Vec::new();
+    if workers > 1 && ids.len() >= PARALLEL_FRONTIER {
+        let chunk = ids.len().div_ceil(workers);
+        let trace = current_trace();
+        let deadline = current_deadline();
+        let parts: Vec<(Vec<CellId>, Vec<CellId>)> = std::thread::scope(|scope| {
+            let joins: Vec<_> = ids
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        // Trace and deadline are thread-local; re-enter
+                        // them so chunk scans poll the query's budget.
+                        let _tg = TraceGuard::enter(trace);
+                        let _dg = DeadlineGuard::enter(deadline);
+                        scan_ids(handle, pattern, part)
+                    })
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("expand pool worker panicked"))
+                .collect()
+        });
+        for (m, n) in parts {
+            matches.extend(m);
+            neighbors.extend(n);
+        }
+    } else {
+        let (m, n) = scan_ids(handle, pattern, ids);
+        matches = m;
+        neighbors = n;
+    }
+    neighbors.sort_unstable();
+    neighbors.dedup();
+    encode_reply(&matches, &neighbors)
+}
+
+/// Scan one contiguous run of frontier ids, polling the deadline every
+/// few dozen ids.
+fn scan_ids(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> (Vec<CellId>, Vec<CellId>) {
+    let mut matches = Vec::new();
+    let mut neighbors = Vec::new();
     for (i, &id) in ids.iter().enumerate() {
         if i % 64 == 63 && deadline_expired() {
             break;
@@ -388,9 +459,7 @@ fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> Vec<u8>
             neighbors.extend(view.outs());
         });
     }
-    neighbors.sort_unstable();
-    neighbors.dedup();
-    encode_reply(&matches, &neighbors)
+    (matches, neighbors)
 }
 
 /// Byte-substring check (attribute patterns are short names).

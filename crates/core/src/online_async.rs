@@ -65,10 +65,24 @@ struct MachineState {
     next_batch: AtomicU64,
 }
 
+/// Expansion pool tuning for the batch handler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncExplorerConfig {
+    /// Worker threads per machine for child-batch expansion. `0` means
+    /// trunk-aligned, like [`crate::BspConfig::compute_threads`].
+    pub compute_threads: usize,
+}
+
+/// Batches below this size expand serially; see
+/// [`crate::online`]'s identical threshold for rationale.
+const PARALLEL_BATCH: usize = 256;
+
 /// The asynchronous recursive exploration engine.
 pub struct AsyncExplorer {
     cloud: Arc<MemoryCloud>,
     states: Vec<Arc<MachineState>>,
+    /// Resolved expansion-pool width per machine.
+    workers: Vec<usize>,
     next_query: AtomicU64,
 }
 
@@ -161,6 +175,17 @@ fn encode_ack(qid: u64, batch: u64) -> Vec<u8> {
 impl AsyncExplorer {
     /// Install the asynchronous exploration protocol on every slave.
     pub fn install(cloud: Arc<MemoryCloud>) -> Arc<Self> {
+        Self::install_with(cloud, AsyncExplorerConfig::default())
+    }
+
+    /// [`AsyncExplorer::install`] with explicit expansion-pool tuning.
+    pub fn install_with(cloud: Arc<MemoryCloud>, cfg: AsyncExplorerConfig) -> Arc<Self> {
+        let workers: Vec<usize> = (0..cloud.machines())
+            .map(|m| {
+                let trunks = cloud.node(m).table().trunks_of(MachineId(m as u16)).len();
+                crate::bsp::resolve_compute_threads(cfg.compute_threads, trunks)
+            })
+            .collect();
         let states: Vec<Arc<MachineState>> = (0..cloud.machines())
             .map(|_| {
                 Arc::new(MachineState {
@@ -175,6 +200,7 @@ impl AsyncExplorer {
         let explorer = Arc::new(AsyncExplorer {
             cloud: Arc::clone(&cloud),
             states,
+            workers,
             next_query: AtomicU64::new(1),
         });
         for m in 0..cloud.machines() {
@@ -292,14 +318,51 @@ impl AsyncExplorer {
                 }
             }
         }
-        // Phase 2: build child batches grouped by owner.
-        let mut by_machine: Vec<Vec<CellId>> = vec![Vec::new(); self.cloud.machines()];
-        for &id in &fresh {
-            let _ = handle.with_node(id, |view| {
-                for t in view.outs() {
-                    by_machine[table.machine_of(t).0 as usize].push(t);
-                }
+        // Phase 2: build child batches grouped by owner. Large frontiers
+        // split across a scoped pool, each chunk grouping into private
+        // per-owner vectors merged afterwards; the sort + dedup below
+        // makes the child batches identical to the serial grouping.
+        let machines = self.cloud.machines();
+        let pool = self.workers[m];
+        let mut by_machine: Vec<Vec<CellId>> = vec![Vec::new(); machines];
+        if pool > 1 && fresh.len() >= PARALLEL_BATCH {
+            let chunk = fresh.len().div_ceil(pool);
+            let parts: Vec<Vec<Vec<CellId>>> = std::thread::scope(|scope| {
+                let joins: Vec<_> = fresh
+                    .chunks(chunk)
+                    .map(|part| {
+                        let table = &table;
+                        scope.spawn(move || {
+                            let mut mine: Vec<Vec<CellId>> = vec![Vec::new(); machines];
+                            for &id in part {
+                                let _ = handle.with_node(id, |view| {
+                                    for t in view.outs() {
+                                        mine[table.machine_of(t).0 as usize].push(t);
+                                    }
+                                });
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("expand pool worker panicked"))
+                    .collect()
             });
+            for mine in parts {
+                for (owner, mut ids) in mine.into_iter().enumerate() {
+                    by_machine[owner].append(&mut ids);
+                }
+            }
+        } else {
+            for &id in &fresh {
+                let _ = handle.with_node(id, |view| {
+                    for t in view.outs() {
+                        by_machine[table.machine_of(t).0 as usize].push(t);
+                    }
+                });
+            }
         }
         let children: Vec<(MachineId, Vec<CellId>)> = by_machine
             .into_iter()

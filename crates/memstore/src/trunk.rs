@@ -757,6 +757,13 @@ impl Trunk {
 
     /// Read a cell, returning a guard that pins it in place. `None` if the
     /// id is absent.
+    ///
+    /// Safe under arbitrary reader concurrency: readers of *different*
+    /// cells share the index read guard and proceed in parallel (this is
+    /// what lets a machine's compute pool read its trunks from many
+    /// workers at once); readers of the *same* cell serialize briefly on
+    /// its spin lock. Hold guards only for the duration of a read — a
+    /// pinned cell stalls defragmentation and any writer of that cell.
     pub fn get(&self, id: CellId) -> Option<CellGuard<'_>> {
         let meta = self.lock_cell(id)?;
         // SAFETY: lock held; guard releases it on drop.
@@ -1136,6 +1143,60 @@ mod tests {
         assert_eq!(t.get(1).unwrap().as_ref(), b"abc");
         t.update(1, b"0123456789abcdef0123").unwrap(); // grow: relocates
         assert_eq!(t.get(1).unwrap().as_ref(), b"0123456789abcdef0123");
+    }
+
+    #[test]
+    fn concurrent_pool_readers_see_consistent_cells() {
+        // The BSP compute pool reads a machine's trunks from several
+        // workers at once, overlapping with online expansions and the
+        // defragmentation pass. Hammer one trunk with parallel readers
+        // over a shared id range while a writer churns versions and
+        // defragments: every guard must expose a payload that was
+        // actually written for that id, in full.
+        use std::sync::atomic::AtomicBool;
+        let t = Arc::new(Trunk::new(
+            0,
+            TrunkConfig {
+                reserved_bytes: 256 << 10,
+                page_bytes: 4 << 10,
+                expansion_slack: 1.0,
+            },
+        ));
+        let cells = 64u64;
+        let value = |id: u64, round: u8| vec![(id as u8) ^ round; 16 + (id % 48) as usize];
+        for id in 0..cells {
+            t.put(id, &value(id, 0)).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for id in 0..cells {
+                            let Some(g) = t.get(id) else { continue };
+                            let bytes = g.as_ref();
+                            assert_eq!(bytes.len(), 16 + (id % 48) as usize, "cell {id} length");
+                            let round = bytes[0] ^ (id as u8);
+                            assert!(
+                                bytes.iter().all(|&b| b == (id as u8) ^ round),
+                                "cell {id} mixed payloads from different writes"
+                            );
+                        }
+                    }
+                });
+            }
+            for round in 1..=20u8 {
+                for id in 0..cells {
+                    t.put(id, &value(id, round)).unwrap();
+                }
+                if round % 5 == 0 {
+                    t.defragment();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

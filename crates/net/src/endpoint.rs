@@ -324,6 +324,55 @@ impl Endpoint {
         }
     }
 
+    /// Batched one-way messages: append `payloads` (drained) to `dst`'s
+    /// pack buffer under a single lock acquisition, shipping full
+    /// envelopes at the packing threshold along the way. Semantically
+    /// identical to calling [`Endpoint::send`] once per payload, but a
+    /// concurrent sender (a BSP compute worker flushing its outbox)
+    /// contends on the per-destination lock once per batch instead of
+    /// once per message, and per-destination FIFO order within the batch
+    /// is preserved because threshold flushes happen while the lock is
+    /// held.
+    pub fn send_batch(&self, dst: MachineId, proto: ProtoId, payloads: &mut Vec<Vec<u8>>) {
+        if dst == self.machine {
+            for payload in payloads.drain(..) {
+                self.send(dst, proto, &payload);
+            }
+            return;
+        }
+        let trace = current_trace();
+        let deadline = current_deadline();
+        let mut buf = self.pack_bufs[dst.0 as usize].lock();
+        for payload in payloads.drain(..) {
+            let frame = Frame {
+                proto,
+                kind: FrameKind::OneWay,
+                payload,
+            };
+            if buf.frames.is_empty() {
+                buf.trace = trace;
+            }
+            buf.deadline = buf.deadline.min(deadline);
+            buf.bytes += frame.wire_bytes() as usize;
+            buf.frames.push(frame);
+            if buf.bytes >= self.pack_threshold {
+                let frames = std::mem::take(&mut buf.frames);
+                buf.bytes = 0;
+                let trace = std::mem::replace(&mut buf.trace, NO_TRACE);
+                let deadline = std::mem::replace(&mut buf.deadline, NO_DEADLINE);
+                // Transmit while holding the buffer lock, as in `flush_to`,
+                // so envelopes to `dst` enter the inbox in flush order.
+                let _ = self.transmit(Envelope {
+                    src: self.machine,
+                    dst,
+                    trace,
+                    deadline,
+                    frames,
+                });
+            }
+        }
+    }
+
     /// One-way message to every other machine (flushed immediately).
     pub fn broadcast(&self, proto: ProtoId, payload: &[u8]) {
         for m in 0..self.machine_count() as u16 {

@@ -389,6 +389,76 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_send_batch_delivers_everything_packed() {
+        // Several sender threads (BSP compute workers flushing private
+        // outboxes) push batches to the same destinations concurrently;
+        // every frame must arrive exactly once and still pack well.
+        let fabric = Fabric::new(quick_cfg(3));
+        let sums: Vec<Arc<AtomicUsize>> = (0..3).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let counts: Vec<Arc<AtomicUsize>> = (0..3).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        for m in 0..3u16 {
+            let sum = Arc::clone(&sums[m as usize]);
+            let count = Arc::clone(&counts[m as usize]);
+            fabric.endpoint(MachineId(m)).register(10, move |_, p| {
+                let v = u64::from_le_bytes(p.try_into().unwrap());
+                sum.fetch_add(v as usize, Ordering::SeqCst);
+                count.fetch_add(1, Ordering::SeqCst);
+                None
+            });
+        }
+        let a = fabric.endpoint(MachineId(0));
+        let per_worker = 500u64;
+        let workers = 4u64;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    let mut outbox: Vec<Vec<Vec<u8>>> = vec![Vec::new(); 3];
+                    for i in 0..per_worker {
+                        let v = w * per_worker + i;
+                        let dst = 1 + (v % 2) as usize;
+                        outbox[dst].push(v.to_le_bytes().to_vec());
+                        if outbox[dst].len() >= 32 {
+                            a.send_batch(MachineId(dst as u16), 10, &mut outbox[dst]);
+                        }
+                    }
+                    for (dst, buf) in outbox.iter_mut().enumerate() {
+                        if !buf.is_empty() {
+                            a.send_batch(MachineId(dst as u16), 10, buf);
+                        }
+                    }
+                });
+            }
+        });
+        a.flush();
+        let total = (workers * per_worker) as usize;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counts[1].load(Ordering::SeqCst) + counts[2].load(Ordering::SeqCst) < total
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            counts[1].load(Ordering::SeqCst) + counts[2].load(Ordering::SeqCst),
+            total,
+            "no frame lost or duplicated under concurrent batched sends"
+        );
+        let expect: usize = (0..workers * per_worker).sum::<u64>() as usize;
+        assert_eq!(
+            sums[1].load(Ordering::SeqCst) + sums[2].load(Ordering::SeqCst),
+            expect
+        );
+        let s = a.stats().snapshot();
+        assert_eq!(s.remote_frames, total as u64);
+        assert!(
+            s.packing_factor() > 4.0,
+            "batched sends should still pack: {}",
+            s.packing_factor()
+        );
+        fabric.shutdown();
+    }
+
+    #[test]
     fn killed_machine_is_unreachable() {
         let fabric = Fabric::new(quick_cfg(2));
         fabric

@@ -41,6 +41,7 @@ fn main() {
                 hub_threshold: None,
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
         (
@@ -50,6 +51,7 @@ fn main() {
                 hub_threshold: None,
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
         (
@@ -59,6 +61,7 @@ fn main() {
                 hub_threshold: Some(64),
                 combine: false,
                 max_supersteps: 64,
+                compute_threads: 0,
             },
         ),
     ];

@@ -30,4 +30,15 @@ cargo run --release -p trinity-bench --bin chaos_smoke "${HERMETIC[@]}" "$@" -- 
 echo "==> cache_traversal --smoke (remote-read cache gate: warm hits + envelope reduction)"
 cargo run --release -p trinity-bench --bin cache_traversal "${HERMETIC[@]}" "$@" -- --smoke
 
+echo "==> bsp_scaling --smoke (worker-pool gate: bit-identical results across thread counts)"
+cargo run --release -p trinity-bench --bin bsp_scaling "${HERMETIC[@]}" "$@" -- --smoke
+
+echo "==> bsp determinism suite, serial harness + stressed pool width"
+# RUST_TEST_THREADS=1 keeps the test harness from adding its own
+# parallelism so the worker pool is the only source of threading;
+# TRINITY_STRESS_THREADS=8 widens every pool past the trunk count to
+# stress the sharded inbox handoff.
+RUST_TEST_THREADS=1 TRINITY_STRESS_THREADS=8 \
+    cargo test -q "${HERMETIC[@]}" "$@" --test bsp_determinism
+
 echo "All checks passed."

@@ -1,0 +1,253 @@
+//! Worker-pool determinism: the BSP result must not depend on how many
+//! compute threads a machine runs.
+//!
+//! The sharded driver routes each message to the inbox of the worker
+//! owning its destination, defers combine-mode sends for a serial replay
+//! in vertex order, and sorts every inbox run into a canonical
+//! `(dst, msg_cmp)` order before compute — so `compute_threads` is a pure
+//! performance knob. These tests pin that contract:
+//!
+//! * final states are **bit-identical** across `compute_threads` in
+//!   `{1, 2, 4}` (f64 ranks compared via `to_bits`), including with
+//!   sender-side combining and hub buffering enabled;
+//! * superstep counts and aggregate message counts are identical;
+//! * a seeded chaos workload still replays its fault log under the
+//!   threaded driver;
+//! * a repeated-iteration race smoke hammers the sharded inbox handoff.
+//!
+//! `TRINITY_STRESS_THREADS` widens the pools (see `scripts/check.sh`,
+//! which runs this suite with `RUST_TEST_THREADS=1` and a high thread
+//! count so the pool, not the test harness, provides the parallelism).
+
+use std::sync::Arc;
+
+use trinity::algos::pagerank_distributed;
+use trinity::chaos::{BspRingMax, ChaosRunner};
+use trinity::core::{BspConfig, BspResult, BspRunner, VertexContext, VertexProgram};
+use trinity::graph::{load_graph, Csr, DistributedGraph, LoadOptions};
+use trinity::memcloud::{CloudConfig, MemoryCloud};
+use trinity::net::FaultPlan;
+
+/// Extra pool widths to exercise on top of the standard {1, 2, 4} sweep;
+/// `scripts/check.sh` sets this high to stress the shard handoff.
+fn stress_threads() -> Option<usize> {
+    std::env::var("TRINITY_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+fn thread_sweep() -> Vec<usize> {
+    let mut sweep = vec![1, 2, 4];
+    if let Some(n) = stress_threads() {
+        if !sweep.contains(&n) {
+            sweep.push(n);
+        }
+    }
+    sweep
+}
+
+/// Max-id propagation (integer messages, order-insensitive compute).
+struct MaxValue;
+
+impl VertexProgram for MaxValue {
+    type State = u64;
+    type Msg = u64;
+    fn init(&self, id: u64, _view: &trinity::graph::NodeView<'_>) -> u64 {
+        id
+    }
+    fn compute(&self, ctx: &mut VertexContext<'_, u64>, _id: u64, state: &mut u64, msgs: &[u64]) {
+        let before = *state;
+        for &m in msgs {
+            *state = (*state).max(m);
+        }
+        if ctx.superstep() == 0 || *state > before {
+            ctx.send_to_neighbors(*state);
+        }
+        ctx.vote_to_halt();
+    }
+    fn encode_msg(m: &u64) -> Vec<u8> {
+        m.to_le_bytes().to_vec()
+    }
+    fn decode_msg(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn encode_state(s: &u64) -> Vec<u8> {
+        s.to_le_bytes().to_vec()
+    }
+    fn decode_state(b: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+    fn combine(a: &mut u64, b: &u64) -> bool {
+        *a = (*a).max(*b);
+        true
+    }
+}
+
+fn with_graph<R>(csr: &Csr, machines: usize, f: impl FnOnce(Arc<DistributedGraph>) -> R) -> R {
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
+    let graph = Arc::new(load_graph(Arc::clone(&cloud), csr, &LoadOptions::default()).unwrap());
+    let out = f(graph);
+    cloud.shutdown();
+    out
+}
+
+/// The config matrix every determinism test sweeps: plain packed,
+/// combining, hub buffering, and both at once.
+fn config_matrix() -> Vec<BspConfig> {
+    vec![
+        BspConfig {
+            max_supersteps: 256,
+            ..BspConfig::default()
+        },
+        BspConfig {
+            combine: true,
+            max_supersteps: 256,
+            ..BspConfig::default()
+        },
+        BspConfig {
+            hub_threshold: Some(8),
+            max_supersteps: 256,
+            ..BspConfig::default()
+        },
+        BspConfig {
+            combine: true,
+            hub_threshold: Some(8),
+            max_supersteps: 256,
+            ..BspConfig::default()
+        },
+    ]
+}
+
+/// (supersteps, per-superstep remote and local message counts).
+fn message_profile<P: VertexProgram>(r: &BspResult<P>) -> (usize, Vec<(u64, u64)>) {
+    (
+        r.supersteps(),
+        r.reports
+            .iter()
+            .map(|rep| (rep.remote_messages, rep.local_messages))
+            .collect(),
+    )
+}
+
+#[test]
+fn maxvalue_identical_across_thread_counts() {
+    let csr = trinity::graphgen::social(600, 10, 17);
+    for mut cfg in config_matrix() {
+        cfg.compute_threads = 1;
+        let serial = with_graph(&csr, 4, |g| BspRunner::new(g, MaxValue, cfg.clone()).run());
+        assert!(serial.terminated);
+        let serial_profile = message_profile(&serial);
+        for threads in thread_sweep() {
+            cfg.compute_threads = threads;
+            let threaded = with_graph(&csr, 4, |g| BspRunner::new(g, MaxValue, cfg.clone()).run());
+            assert_eq!(
+                threaded.states, serial.states,
+                "states diverged at {threads} threads under {cfg:?}"
+            );
+            assert_eq!(
+                message_profile(&threaded),
+                serial_profile,
+                "superstep/message profile diverged at {threads} threads under {cfg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_bit_identical_across_thread_counts() {
+    // f64 addition is not associative: bit-identity across pool widths
+    // only holds because inbox runs are sorted by `msg_cmp` (total_cmp)
+    // and combine-mode sends replay serially in vertex order.
+    let csr = trinity::graphgen::rmat(9, 8, 23);
+    let iterations = 5;
+    for mut cfg in config_matrix() {
+        cfg.compute_threads = 1;
+        let serial = with_graph(&csr, 4, |g| {
+            pagerank_distributed(g, iterations, cfg.clone())
+        });
+        let serial_bits: std::collections::BTreeMap<u64, u64> = serial
+            .states
+            .iter()
+            .map(|(&id, s)| (id, s.rank.to_bits()))
+            .collect();
+        let serial_profile = message_profile(&serial);
+        for threads in thread_sweep() {
+            cfg.compute_threads = threads;
+            let threaded = with_graph(&csr, 4, |g| {
+                pagerank_distributed(g, iterations, cfg.clone())
+            });
+            let bits: std::collections::BTreeMap<u64, u64> = threaded
+                .states
+                .iter()
+                .map(|(&id, s)| (id, s.rank.to_bits()))
+                .collect();
+            assert_eq!(
+                bits, serial_bits,
+                "ranks not bit-identical at {threads} threads under {cfg:?}"
+            );
+            assert_eq!(message_profile(&threaded), serial_profile);
+        }
+    }
+}
+
+#[test]
+fn chaos_fault_injection_replays_under_threaded_driver() {
+    // The checkpointed ring workload under seeded delays, driven by an
+    // explicit 4-wide pool: the run must pass, the same seed must yield
+    // the same fault log and outcome, and replaying the log must too.
+    let threads = stress_threads().unwrap_or(4);
+    let runner = ChaosRunner::new(
+        BspRingMax::small_threaded(threads),
+        FaultPlan::new(0).with_delay(0.3, 200, 400),
+    );
+    let seed = 0x0007_EAD5_u64;
+    let first = runner.run(seed);
+    assert!(
+        first.passed(),
+        "threaded chaos run failed: {:?}",
+        first.failures
+    );
+    let second = runner.run(seed);
+    assert_eq!(
+        first.faulty.log, second.faulty.log,
+        "same seed must inject the same faults under the pool"
+    );
+    assert_eq!(first.faulty.outcome, second.faulty.outcome);
+    let replayed = runner.replay(&first.faulty.log);
+    assert!(replayed.passed(), "replay failed: {:?}", replayed.failures);
+    assert_eq!(replayed.faulty.outcome, first.faulty.outcome);
+}
+
+#[test]
+fn sharded_inbox_handoff_race_smoke() {
+    // Repeated-iteration race smoke for the shard inbox handoff: many
+    // short supersteps, every vertex messaging across shards, repeated
+    // enough times that a racy drain/deliver interleaving would surface
+    // as a divergent outcome. The ring maximizes cross-shard handoffs
+    // (neighbors of trunk-sharded vertices land in other workers).
+    let n = 120u64;
+    let edges: Vec<(u64, u64)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let csr = Csr::undirected_from_edges(n as usize, &edges, true);
+    let threads = stress_threads().unwrap_or(4);
+    let cfg = BspConfig {
+        compute_threads: threads,
+        max_supersteps: 256,
+        ..BspConfig::default()
+    };
+    let mut baseline: Option<(std::collections::HashMap<u64, u64>, usize)> = None;
+    for rep in 0..20 {
+        let r = with_graph(&csr, 3, |g| BspRunner::new(g, MaxValue, cfg.clone()).run());
+        assert!(r.terminated, "rep {rep} did not terminate");
+        match &baseline {
+            None => {
+                let steps = r.supersteps();
+                baseline = Some((r.states, steps));
+            }
+            Some((states, steps)) => {
+                assert_eq!(&r.states, states, "rep {rep} diverged");
+                assert_eq!(r.supersteps(), *steps, "rep {rep} superstep count diverged");
+            }
+        }
+    }
+}

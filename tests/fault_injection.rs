@@ -53,6 +53,7 @@ fn cfg(limit: usize) -> BspConfig {
         hub_threshold: None,
         combine: false,
         max_supersteps: limit,
+        compute_threads: 0,
     }
 }
 
