@@ -13,14 +13,14 @@
 //! a 2x reduction in remote envelopes versus the cache-disabled baseline.
 //! Exits nonzero when the claim does not hold.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use trinity_bench::{bench_cloud_config, header, row, scaled, secs, timed, MetricsOut};
 use trinity_graph::{load_graph, GraphHandle, LoadOptions};
 use trinity_memcloud::MemoryCloud;
-use trinity_obs::Json;
+use trinity_obs::{next_trace_id, trunk_load_json, Json, Timeline, TraceGuard, TrunkLoad};
 
 const MACHINES: usize = 4;
 const HOPS: usize = 2;
@@ -60,6 +60,75 @@ fn traverse(handle: &GraphHandle, start: u64, hops: usize, prefetch: bool) -> us
     visited.len()
 }
 
+/// One 2-hop query under a fresh trace id, with a back-to-back
+/// `query.hop` span per hop recorded on the coordinating machine. Because
+/// the hop spans tile the whole query, the trace timeline's critical path
+/// must account for (almost all of) the measured wall — the 5% gate below
+/// checks exactly that. Returns `(trace, wall_us)` measured on the same
+/// clock the spans use.
+fn traced_query(handle: &GraphHandle, start: u64, prefetch: bool) -> (u64, u64) {
+    let scope = handle.cloud().endpoint().obs().clone();
+    let trace = next_trace_id();
+    let _tg = TraceGuard::enter(trace);
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(start);
+    let mut frontier = vec![start];
+    // Each hop's span starts where the previous one ended (the clock is
+    // read again right after the span is recorded), so the spans tile
+    // the measured interval with sub-µs seams — at the ~100µs scale of a
+    // warm smoke-mode query, untimed gaps would eat the 5% budget.
+    let t0 = scope.now_us();
+    let mut hop_start = t0;
+    for _ in 0..HOPS {
+        if prefetch {
+            let remote: Vec<u64> = frontier
+                .iter()
+                .copied()
+                .filter(|&id| !handle.is_local(id))
+                .collect();
+            handle.prefetch(&remote);
+        }
+        let mut next = Vec::new();
+        for &id in &frontier {
+            let _ = handle.with_node(id, |view| {
+                for n in view.outs() {
+                    if visited.insert(n) {
+                        next.push(n);
+                    }
+                }
+            });
+        }
+        scope.span("query.hop", 0, 0, frontier.len() as u32, hop_start);
+        hop_start = scope.now_us();
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    (trace, hop_start.saturating_sub(t0))
+}
+
+/// Merge every machine's per-trunk load into one cluster-wide map
+/// (owner-side attribution means each machine reports its own trunks,
+/// but hop/cache-client counts land on the coordinator — merging sums
+/// both views per trunk).
+fn merged_load(cloud: &MemoryCloud) -> BTreeMap<u64, TrunkLoad> {
+    let snap = cloud.fabric().obs().snapshot();
+    let mut merged: BTreeMap<u64, TrunkLoad> = BTreeMap::new();
+    for ms in snap.machines.values() {
+        for (trunk, tl) in &ms.load {
+            merged
+                .entry(*trunk)
+                .or_insert_with(|| TrunkLoad {
+                    trunk: *trunk,
+                    ..TrunkLoad::default()
+                })
+                .merge(tl);
+        }
+    }
+    merged
+}
+
 struct PassStats {
     envelopes: u64,
     hits: u64,
@@ -97,6 +166,13 @@ fn run_pass(
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut metrics = MetricsOut::from_args();
+    let trace_out: Option<std::path::PathBuf> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+    };
 
     let n = if smoke { 2_000 } else { scaled(12_000) };
     let csr = trinity_graphgen::power_law(n, 2.16, 1, n / 10, 7);
@@ -134,6 +210,8 @@ fn main() -> ExitCode {
     let mut baseline_env: Option<u64> = None;
     let mut last: Option<(u64, u64)> = None; // (warm envelopes, warm hits) of the largest capacity
     let mut series: Vec<Json> = Vec::new();
+    // (wall_us, critical_us) of the traced query at the largest capacity.
+    let mut trace_gate: Option<(u64, u64)> = None;
 
     for &capacity in capacities {
         let mut cfg = bench_cloud_config(MACHINES);
@@ -190,6 +268,51 @@ fn main() -> ExitCode {
             ("visited", Json::U64(warm.visited as u64)),
         ]));
         if capacity == *capacities.last().unwrap() {
+            // One traced 2-hop query: per-hop spans stitched into a
+            // cross-machine timeline, exported as Chrome trace-event
+            // JSON, with the critical path checked against the wall.
+            let (trace, wall_us) = traced_query(&handle, starts[0], enabled);
+            let timeline = Timeline::from_registry(cloud.fabric().obs(), trace);
+            let critical_us = timeline.critical_us();
+            trace_gate = Some((wall_us, critical_us));
+            println!(
+                "\ntraced query {trace:#x}: wall {wall_us}us, critical path {critical_us}us, \
+                 {} spans across the cluster",
+                timeline.spans.len()
+            );
+            if let Some(path) = &trace_out {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                match std::fs::write(path, format!("{}\n", timeline.chrome_trace_json())) {
+                    Ok(()) => println!("chrome trace written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
+                }
+            }
+
+            // Per-trunk load map: who actually served this figure's reads.
+            let load = merged_load(&cloud);
+            let mut hottest: Vec<&TrunkLoad> = load.values().collect();
+            hottest.sort_by(|a, b| {
+                b.score()
+                    .partial_cmp(&a.score())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.trunk.cmp(&b.trunk))
+            });
+            println!("hottest trunks (of {} active):", load.len());
+            for tl in hottest.iter().take(4) {
+                println!(
+                    "  trunk {:>4}: {} reads ({} bytes), {} hops, miss share {:.2}",
+                    tl.trunk, tl.reads, tl.bytes_read, tl.hops, tl.remote_miss_share
+                );
+            }
+            metrics.section(
+                "load",
+                Json::obj([(
+                    "trunks",
+                    Json::Arr(hottest.iter().map(|tl| trunk_load_json(tl)).collect()),
+                )]),
+            );
             metrics.capture("largest_capacity", &cloud);
         }
         cloud.shutdown();
@@ -216,6 +339,18 @@ fn main() -> ExitCode {
     if warm_env * 2 > base {
         eprintln!(
             "cache_traversal: FAIL — warm envelopes {warm_env} not ≥2x below baseline {base}"
+        );
+        failed = true;
+    }
+    // Trace-timeline gate: the hop spans tile the traced query, so its
+    // critical path must sum to within 5% of the measured wall — a
+    // cheap end-to-end check that span capture, cross-machine stitching,
+    // and critical-path extraction all agree with the wall clock.
+    let (wall_us, critical_us) = trace_gate.expect("largest capacity always traced");
+    if (wall_us as f64 - critical_us as f64).abs() > 0.05 * wall_us as f64 {
+        eprintln!(
+            "cache_traversal: FAIL — critical path {critical_us}us not within 5% of \
+             wall {wall_us}us"
         );
         failed = true;
     }

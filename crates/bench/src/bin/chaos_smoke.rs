@@ -5,12 +5,18 @@
 //!
 //! `--smoke` is accepted (and is the default behavior) so the gate can
 //! be invoked uniformly with the other harness binaries.
+//!
+//! `--force-fail` instead runs one workload wrapped in a saboteur whose
+//! check always reports a violation, and asserts the runner reacted by
+//! writing a flight-recorder dump containing the faulting window and the
+//! injected-fault event log. This gates the postmortem path itself: a
+//! failure that produces no artifact is a silent failure.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use trinity_bench::{header, row, secs};
-use trinity_chaos::{BspRingMax, ChaosRunner, ChaosWorkload, TraversalSearch};
+use trinity_chaos::{BspRingMax, ChaosRun, ChaosRunner, ChaosWorkload, TraversalSearch};
 use trinity_net::{FaultPlan, NodeEvent, Trigger};
 
 fn gate<W: ChaosWorkload>(runner: &ChaosRunner<W>, seed: u64, failed: &mut bool) {
@@ -34,9 +40,85 @@ fn gate<W: ChaosWorkload>(runner: &ChaosRunner<W>, seed: u64, failed: &mut bool)
     }
 }
 
+/// Wraps a workload so judging always fails: the real runs execute (so
+/// faults are injected and recorded), but `check` reports a violation
+/// unconditionally — a deterministic failure to exercise the
+/// dump-on-failure path.
+struct Sabotaged<W>(W);
+
+impl<W: ChaosWorkload> ChaosWorkload for Sabotaged<W> {
+    fn name(&self) -> &str {
+        "sabotaged"
+    }
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        self.0.run(faults)
+    }
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        let mut v = self.0.check(reference, faulty);
+        v.push("forced failure (--force-fail): exercising the flight-dump path".into());
+        v
+    }
+    fn deterministic(&self) -> bool {
+        self.0.deterministic()
+    }
+}
+
+/// `--force-fail`: a run that must fail, and must leave a postmortem.
+fn force_fail_gate() -> ExitCode {
+    let runner = ChaosRunner::new(
+        Sabotaged(BspRingMax::small()),
+        FaultPlan::new(0).with_delay(0.3, 200, 400),
+    );
+    let report = runner.run(0xBAD);
+    if report.passed() {
+        eprintln!("chaos_smoke: FAIL — sabotaged run unexpectedly passed");
+        return ExitCode::FAILURE;
+    }
+    let Some(path) = &report.flight_path else {
+        eprintln!("chaos_smoke: FAIL — failing run wrote no flight dump");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "chaos_smoke: FAIL — flight dump {} unreadable: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = trinity_obs::validate_json(&text) {
+        eprintln!(
+            "chaos_smoke: FAIL — flight dump {} invalid: {e}",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    // The dump must carry the faulting window (a closed delta window over
+    // the run) and the injected faults' event breadcrumbs.
+    for needle in ["\"windows\"", "\"start_us\"", "fault "] {
+        if !text.contains(needle) {
+            eprintln!(
+                "chaos_smoke: FAIL — flight dump {} missing {needle:?}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "chaos_smoke: forced failure produced a valid flight dump at {}",
+        path.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // Uniform CLI with the other gates; smoke scale is the only scale.
     let _smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--force-fail") {
+        return force_fail_gate();
+    }
     header(
         "chaos_smoke — pinned-seed chaos gate",
         &["workload", "seed", "faults", "run", "replay", "time"],

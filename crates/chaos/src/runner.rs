@@ -29,6 +29,11 @@ pub struct ChaosRun {
     /// (e.g. serve-counter conservation, a query returning success past
     /// its deadline).
     pub failures: Vec<String>,
+    /// Serialized flight-recorder dump captured from the fabric's
+    /// registry before shutdown. Stashed here (not dumped lazily)
+    /// because the fabric is gone by the time the run is judged; the
+    /// runner writes it to disk only when the run fails.
+    pub flight: Option<String>,
 }
 
 impl ChaosRun {
@@ -57,6 +62,10 @@ impl ChaosRun {
         } else {
             fabric.chaos().map_or(0, |c| c.pending())
         };
+        // Close out the final flight window and serialize the dump while
+        // the registry is still reachable.
+        fabric.obs().flight_tick();
+        let flight = Some(fabric.obs().flight_dump("chaos run capture").to_string());
         ChaosRun {
             outcome: outcome.into(),
             log: fabric.fault_log(),
@@ -64,6 +73,7 @@ impl ChaosRun {
             imbalance,
             recovered: Vec::new(),
             failures: Vec::new(),
+            flight,
         }
     }
 
@@ -113,12 +123,48 @@ pub struct ChaosReport {
     pub faulty: ChaosRun,
     /// Every violated invariant; empty means the run passed.
     pub failures: Vec<String>,
+    /// Where the faulty run's flight-recorder dump was written, when the
+    /// run failed and a dump was captured.
+    pub flight_path: Option<std::path::PathBuf>,
 }
 
 impl ChaosReport {
     /// Did every invariant hold?
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+}
+
+/// Destination for a failing run's flight dump:
+/// `$TRINITY_FLIGHT_DIR` (default `results/flight`) /
+/// `<workload>-seed<seed>.flight.json`.
+fn flight_artifact_path(workload: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::var("TRINITY_FLIGHT_DIR").unwrap_or_else(|_| "results/flight".to_string());
+    std::path::PathBuf::from(dir).join(format!("{workload}-seed{seed}.flight.json"))
+}
+
+/// Write a failing run's stashed flight dump to its artifact path.
+/// Best-effort: a failed write is reported on stderr, never panics —
+/// the postmortem artifact must not mask the original failure.
+fn write_flight_artifact(
+    workload: &str,
+    seed: u64,
+    faulty: &ChaosRun,
+) -> Option<std::path::PathBuf> {
+    let text = faulty.flight.as_ref()?;
+    let path = flight_artifact_path(workload, seed);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "trinity-chaos: flight dump to {} failed: {e}",
+                path.display()
+            );
+            None
+        }
     }
 }
 
@@ -148,11 +194,17 @@ impl<W: ChaosWorkload> ChaosRunner<W> {
         let plan = self.template.clone().with_seed(seed);
         let faulty = self.workload.run(Some(plan.clone()));
         let failures = self.judge(&plan, &reference, &faulty);
+        let flight_path = if failures.is_empty() {
+            None
+        } else {
+            write_flight_artifact(self.workload.name(), seed, &faulty)
+        };
         ChaosReport {
             seed,
             reference,
             faulty,
             failures,
+            flight_path,
         }
     }
 
@@ -163,11 +215,17 @@ impl<W: ChaosWorkload> ChaosRunner<W> {
         let plan = FaultPlan::replay(log);
         let faulty = self.workload.run(Some(plan.clone()));
         let failures = self.judge(&plan, &reference, &faulty);
+        let flight_path = if failures.is_empty() {
+            None
+        } else {
+            write_flight_artifact(self.workload.name(), 0, &faulty)
+        };
         ChaosReport {
             seed: 0,
             reference,
             faulty,
             failures,
+            flight_path,
         }
     }
 
@@ -303,6 +361,7 @@ mod tests {
                 imbalance: 0,
                 recovered: Vec::new(),
                 failures: Vec::new(),
+                flight: None,
             }
         }
 
@@ -373,6 +432,7 @@ mod tests {
                     imbalance: i64::from(faults.is_some()),
                     recovered: if faults.is_some() { vec![3] } else { vec![] },
                     failures: Vec::new(),
+                    flight: None,
                 }
             }
             fn check(&self, _: &ChaosRun, _: &ChaosRun) -> Vec<String> {

@@ -378,12 +378,26 @@ impl<P: VertexProgram> MachineRt<P> {
     }
 
     fn deliver(&self, dst: CellId, msg: P::Msg) {
-        self.inboxes[self.shard_of(dst)].lock().push((dst, msg));
+        let trunk = self.table.trunk_of(dst);
+        self.endpoint.obs().load().record_msgs(trunk, 1);
+        self.inboxes[(trunk as usize) % self.shard_workers]
+            .lock()
+            .push((dst, msg));
     }
 
     /// Append a worker's buffered machine-local deliveries for one shard
     /// under a single lock acquisition.
     fn deliver_batch(&self, shard: usize, buf: &mut Vec<(CellId, P::Msg)>) {
+        // Attribute each delivery to its destination trunk, batched so the
+        // shared LoadMap sees one update per distinct trunk in the run.
+        let load = self.endpoint.obs().load();
+        let mut by_trunk: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (dst, _) in buf.iter() {
+            *by_trunk.entry(self.table.trunk_of(*dst)).or_insert(0) += 1;
+        }
+        for (trunk, n) in by_trunk {
+            load.record_msgs(trunk, n);
+        }
         self.inboxes[shard].lock().append(buf);
     }
 
@@ -535,6 +549,8 @@ impl<P: VertexProgram> BspRunner<P> {
                             let subs = rt.subs.lock();
                             if let Some(shards) = subs.get(&hub) {
                                 let mut fanned = 0u64;
+                                let mut by_trunk: std::collections::BTreeMap<u64, u64> =
+                                    std::collections::BTreeMap::new();
                                 for (w, targets) in shards.iter().enumerate() {
                                     if targets.is_empty() {
                                         continue;
@@ -542,11 +558,16 @@ impl<P: VertexProgram> BspRunner<P> {
                                     let mut inbox = rt.inboxes[w].lock();
                                     for &t in targets {
                                         inbox.push((t, msg.clone()));
+                                        *by_trunk.entry(rt.table.trunk_of(t)).or_insert(0) += 1;
                                     }
                                     fanned += targets.len() as u64;
                                 }
                                 rt.local_deliveries.fetch_add(fanned, Ordering::Relaxed);
                                 rt.metrics.hub_fanout.add(fanned);
+                                let load = rt.endpoint.obs().load();
+                                for (trunk, n) in by_trunk {
+                                    load.record_msgs(trunk, n);
+                                }
                             }
                         }
                     }

@@ -448,6 +448,10 @@ fn expand_local(handle: &GraphHandle, pattern: &[u8], ids: &[CellId], workers: u
 fn scan_ids(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> (Vec<CellId>, Vec<CellId>) {
     let mut matches = Vec::new();
     let mut neighbors = Vec::new();
+    // Per-trunk hop attribution, batched locally so the hot loop pays one
+    // `trunk_of` hash per id and the shared LoadMap one update per trunk.
+    let table = handle.cloud().table();
+    let mut hops: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for (i, &id) in ids.iter().enumerate() {
         if i % 64 == 63 && deadline_expired() {
             break;
@@ -458,6 +462,11 @@ fn scan_ids(handle: &GraphHandle, pattern: &[u8], ids: &[CellId]) -> (Vec<CellId
             }
             neighbors.extend(view.outs());
         });
+        *hops.entry(table.trunk_of(id)).or_insert(0) += 1;
+    }
+    let load = handle.cloud().endpoint().obs().load();
+    for (trunk, n) in hops {
+        load.record_hops(trunk, n);
     }
     (matches, neighbors)
 }

@@ -160,6 +160,9 @@ pub(crate) struct RemoteCache {
     misses: Arc<Counter>,
     invalidations: Arc<Counter>,
     evictions: Arc<Counter>,
+    /// Scope whose [`trinity_obs::LoadMap`] receives the per-trunk
+    /// hit/miss attribution behind the aggregate counters above.
+    obs: MachineScope,
 }
 
 impl RemoteCache {
@@ -171,6 +174,7 @@ impl RemoteCache {
             misses: obs.counter("cloud.cache.misses"),
             invalidations: obs.counter("cloud.cache.invalidations"),
             evictions: obs.counter("cloud.cache.evictions"),
+            obs: obs.clone(),
         }
     }
 
@@ -179,7 +183,10 @@ impl RemoteCache {
     }
 
     /// Look a cell up. A floor entry is a miss — it carries no bytes.
-    pub(crate) fn get(&self, id: CellId) -> Option<Arc<[u8]>> {
+    /// `trunk` is the cell's owning trunk (the caller has it from the
+    /// addressing table); hits and misses are attributed to it so cache
+    /// efficacy can be ranked against per-trunk hotness.
+    pub(crate) fn get(&self, trunk: u64, id: CellId) -> Option<Arc<[u8]>> {
         if !self.enabled() {
             return None;
         }
@@ -188,10 +195,12 @@ impl RemoteCache {
             if let Some(data) = inner.slots[i as usize].data.clone() {
                 inner.touch(i);
                 self.hits.inc();
+                self.obs.load().record_cache_hit(trunk);
                 return Some(data);
             }
         }
         self.misses.inc();
+        self.obs.load().record_cache_miss(trunk);
         None
     }
 
@@ -279,9 +288,9 @@ mod tests {
     #[test]
     fn hit_after_insert_miss_before() {
         let c = cache(4);
-        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(0, 1), None);
         c.insert(1, 10, bytes(b"x"));
-        assert_eq!(c.get(1).as_deref(), Some(&b"x"[..]));
+        assert_eq!(c.get(0, 1).as_deref(), Some(&b"x"[..]));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
@@ -291,11 +300,11 @@ mod tests {
         let c = cache(2);
         c.insert(1, 1, bytes(b"a"));
         c.insert(2, 2, bytes(b"b"));
-        assert!(c.get(1).is_some()); // 1 is now MRU
+        assert!(c.get(0, 1).is_some()); // 1 is now MRU
         c.insert(3, 3, bytes(b"c")); // evicts 2
-        assert!(c.get(2).is_none());
-        assert!(c.get(1).is_some());
-        assert!(c.get(3).is_some());
+        assert!(c.get(0, 2).is_none());
+        assert!(c.get(0, 1).is_some());
+        assert!(c.get(0, 3).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.stats().entries, 2);
     }
@@ -306,10 +315,10 @@ mod tests {
         c.invalidate(7, 100);
         // A reply stamped before the write must not land.
         c.insert(7, 99, bytes(b"stale"));
-        assert_eq!(c.get(7), None);
+        assert_eq!(c.get(0, 7), None);
         // The write's own (or any newer) value does land.
         c.insert(7, 100, bytes(b"fresh"));
-        assert_eq!(c.get(7).as_deref(), Some(&b"fresh"[..]));
+        assert_eq!(c.get(0, 7).as_deref(), Some(&b"fresh"[..]));
     }
 
     #[test]
@@ -317,9 +326,9 @@ mod tests {
         let c = cache(4);
         c.insert(3, 50, bytes(b"new"));
         c.invalidate(3, 40); // late, older invalidation: ignored
-        assert_eq!(c.get(3).as_deref(), Some(&b"new"[..]));
+        assert_eq!(c.get(0, 3).as_deref(), Some(&b"new"[..]));
         c.invalidate(3, 60);
-        assert_eq!(c.get(3), None);
+        assert_eq!(c.get(0, 3), None);
         assert_eq!(c.stats().invalidations, 1);
     }
 
@@ -328,7 +337,7 @@ mod tests {
         let c = cache(0);
         c.insert(1, 1, bytes(b"a"));
         c.invalidate(2, 2);
-        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(0, 1), None);
         assert_eq!(c.stats(), CacheStats::default());
     }
 
@@ -336,12 +345,29 @@ mod tests {
     fn clear_drops_entries_but_keeps_counters() {
         let c = cache(4);
         c.insert(1, 1, bytes(b"a"));
-        assert!(c.get(1).is_some());
+        assert!(c.get(0, 1).is_some());
         c.clear();
-        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(0, 1), None);
         let s = c.stats();
         assert_eq!(s.entries, 0);
         assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn hits_and_misses_are_attributed_per_trunk() {
+        let scope = MachineScope::detached();
+        let c = RemoteCache::new(4, &scope);
+        assert_eq!(c.get(2, 1), None); // miss on trunk 2
+        c.insert(1, 10, bytes(b"x"));
+        assert!(c.get(2, 1).is_some()); // hit on trunk 2
+        assert_eq!(c.get(5, 9), None); // miss on trunk 5
+        let load = scope.load();
+        load.roll_at(load.now_us().max(trinity_obs::MIN_ROLL_WINDOW_US));
+        let snap = load.snapshot_rolled();
+        let t2 = snap.iter().find(|t| t.trunk == 2).unwrap();
+        assert_eq!((t2.cache_hits, t2.cache_misses), (1, 1));
+        let t5 = snap.iter().find(|t| t.trunk == 5).unwrap();
+        assert_eq!((t5.cache_hits, t5.cache_misses), (0, 1));
     }
 
     #[test]
@@ -355,7 +381,7 @@ mod tests {
         // The last 8 distinct keys inserted are resident.
         assert_eq!(c.stats().entries, 8);
         for k in 8u64..16 {
-            assert_eq!(c.get(k).as_deref(), Some(&k.to_le_bytes()[..]));
+            assert_eq!(c.get(0, k).as_deref(), Some(&k.to_le_bytes()[..]));
         }
     }
 }

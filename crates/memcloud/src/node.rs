@@ -47,6 +47,7 @@ use trinity_memstore::{
     CellVersion, LocalStore, LocalStoreConfig, StoreError, TrunkSnapshot, TrunkStats,
 };
 use trinity_net::{Endpoint, MachineId, NetError};
+use trinity_obs::MachineScope;
 use trinity_tfs::Tfs;
 
 use crate::cache::{CacheStats, RemoteCache};
@@ -78,6 +79,9 @@ pub struct CloudNode {
     /// Owner-side coherence directory: for each locally hosted trunk, the
     /// machines that may hold cached copies of its cells.
     sharers: Mutex<HashMap<u64, BTreeSet<u16>>>,
+    /// This machine's metrics scope; cell operations attribute themselves
+    /// to the owning trunk through its `LoadMap`.
+    obs: MachineScope,
 }
 
 impl std::fmt::Debug for CloudNode {
@@ -109,6 +113,7 @@ impl CloudNode {
             store.ensure_trunk(gid);
         }
         let cache = RemoteCache::new(cache_capacity, endpoint.obs());
+        let obs = endpoint.obs().clone();
         let node = Arc::new(CloudNode {
             machine,
             endpoint,
@@ -118,6 +123,7 @@ impl CloudNode {
             id_counter: AtomicU64::new(1),
             cache,
             sharers: Mutex::new(HashMap::new()),
+            obs,
         });
         node.register_handlers();
         node
@@ -270,9 +276,13 @@ impl CloudNode {
                 // Register the reader while the cell is pinned: any write
                 // serialized after this read will see it as a sharer.
                 self.record_sharer(trunk.id(), src);
+                self.obs.load().record_read(trunk.id(), guard.len() as u64);
                 wire::reply_ok(version, &guard)
             }
-            None => wire::reply(wire::NOT_FOUND, b""),
+            None => {
+                self.obs.load().record_read(trunk.id(), 0);
+                wire::reply(wire::NOT_FOUND, b"")
+            }
         };
         reply
     }
@@ -282,6 +292,7 @@ impl CloudNode {
         // The writer caches the bytes it wrote, so it is a sharer too;
         // register before the write so later writes invalidate it.
         self.record_sharer(trunk.id(), src);
+        self.obs.load().record_write(trunk.id(), body.len() as u64);
         match trunk.put(id, body) {
             Ok(version) => {
                 self.invalidate_sharers(id, version, src);
@@ -292,7 +303,9 @@ impl CloudNode {
     }
 
     fn handle_remove(&self, src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).remove(id) {
+        let trunk = self.local_trunk(id);
+        self.obs.load().record_write(trunk.id(), 0);
+        match trunk.remove(id) {
             Ok(version) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
@@ -303,7 +316,9 @@ impl CloudNode {
     }
 
     fn handle_append(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).append(id, body) {
+        let trunk = self.local_trunk(id);
+        self.obs.load().record_write(trunk.id(), body.len() as u64);
+        match trunk.append(id, body) {
             Ok(version) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
@@ -314,7 +329,9 @@ impl CloudNode {
     }
 
     fn handle_contains(&self, _src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
-        match self.local_trunk(id).version_of(id) {
+        let trunk = self.local_trunk(id);
+        self.obs.load().record_read(trunk.id(), 0);
+        match trunk.version_of(id) {
             Some(version) => wire::reply_ok(version, b""),
             None => wire::reply(wire::NOT_FOUND, b""),
         }
@@ -338,9 +355,13 @@ impl CloudNode {
             let entry = match trunk.get_versioned(id) {
                 Some((version, guard)) => {
                     self.record_sharer(trunk.id(), src);
+                    self.obs.load().record_read(trunk.id(), guard.len() as u64);
                     wire::MultiEntry::Hit(version, guard.to_vec())
                 }
-                None => wire::MultiEntry::Missing,
+                None => {
+                    self.obs.load().record_read(trunk.id(), 0);
+                    wire::MultiEntry::Missing
+                }
             };
             entries.push(entry);
         }
@@ -407,7 +428,8 @@ impl CloudNode {
     /// the node's cache when a coherent copy is resident.
     pub fn get(&self, id: CellId) -> Result<Option<Vec<u8>>> {
         if !self.owns(id) {
-            if let Some(bytes) = self.cache.get(id) {
+            let trunk = self.table.read().trunk_of(id);
+            if let Some(bytes) = self.cache.get(trunk, id) {
                 return Ok(Some(bytes.to_vec()));
             }
         }
@@ -467,8 +489,11 @@ impl CloudNode {
     /// Whether the cell exists anywhere in the cloud. A cached copy
     /// answers without touching the fabric.
     pub fn contains(&self, id: CellId) -> Result<bool> {
-        if !self.owns(id) && self.cache.get(id).is_some() {
-            return Ok(true);
+        if !self.owns(id) {
+            let trunk = self.table.read().trunk_of(id);
+            if self.cache.get(trunk, id).is_some() {
+                return Ok(true);
+            }
         }
         self.remote_op(proto::CONTAINS, id, b"")
             .map(|r| r.is_some())
@@ -487,9 +512,14 @@ impl CloudNode {
             let table = self.table.read();
             for (i, &id) in ids.iter().enumerate() {
                 let owner = table.machine_of(id);
+                let trunk = table.trunk_of(id);
                 if owner == self.machine {
-                    out[i] = self.store.ensure_trunk(table.trunk_of(id)).get_owned(id);
-                } else if let Some(bytes) = self.cache.get(id) {
+                    let got = self.store.ensure_trunk(trunk).get_owned(id);
+                    self.obs
+                        .load()
+                        .record_read(trunk, got.as_ref().map_or(0, |b| b.len() as u64));
+                    out[i] = got;
+                } else if let Some(bytes) = self.cache.get(trunk, id) {
                     out[i] = Some(bytes.to_vec());
                 } else {
                     by_owner.entry(owner).or_default().push((i, id));

@@ -89,6 +89,10 @@ struct NetMetrics {
     /// Modeled network microseconds charged by the cost model for this
     /// machine's outbound transfers.
     modeled_tx_us: Arc<Counter>,
+    /// Payload bytes memcpy'd into envelopes on this machine's send paths
+    /// — the baseline the zero-copy wire work (ROADMAP item 5) must beat.
+    /// `send_batch` moves payloads without copying and does not count here.
+    frame_copy_bytes: Arc<Counter>,
     /// Wire bytes per outbound remote envelope.
     env_bytes: Arc<Histogram>,
     /// Frames per outbound remote envelope (the packing factor, as a
@@ -115,6 +119,7 @@ impl NetMetrics {
             frames_refused: obs.counter("net.frames.refused"),
             deadline_expired: obs.counter("net.deadline.expired"),
             modeled_tx_us: obs.counter("net.modeled_tx_us"),
+            frame_copy_bytes: obs.counter("net.frame_copy_bytes"),
             env_bytes: obs.histogram("net.env.bytes"),
             env_frames: obs.histogram("net.env.frames"),
             call_us: obs.histogram("net.call.us"),
@@ -250,6 +255,7 @@ impl Endpoint {
         // Preserve per-destination FIFO with previously buffered one-ways.
         self.flush_to(dst);
         let start_us = self.obs.now_us();
+        self.metrics.frame_copy_bytes.add(payload.len() as u64);
         let env = Envelope {
             src: self.machine,
             dst,
@@ -292,6 +298,7 @@ impl Endpoint {
     /// packing threshold (or on [`Endpoint::flush`]); machine-local
     /// messages are delivered immediately.
     pub fn send(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) {
+        self.metrics.frame_copy_bytes.add(payload.len() as u64);
         let frame = Frame {
             proto,
             kind: FrameKind::OneWay,

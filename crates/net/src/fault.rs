@@ -534,6 +534,9 @@ struct ChaosMetrics {
     dups: Arc<Counter>,
     reorders: Arc<Counter>,
     partition_drops: Arc<Counter>,
+    /// Payload bytes memcpy'd when a duplication fault clones an envelope
+    /// (same name as the endpoint's send-path copy counter).
+    copy_bytes: Arc<Counter>,
 }
 
 /// The live fault injector attached to a fabric. Created by the fabric
@@ -569,6 +572,10 @@ pub struct ChaosState {
     metrics: Vec<ChaosMetrics>,
     crash_counter: Arc<Counter>,
     revive_counter: Arc<Counter>,
+    /// Cluster registry: every injected fault is also appended to the
+    /// flight recorder's event log so a postmortem dump shows *which*
+    /// faults landed in the faulting window.
+    registry: Arc<Registry>,
 }
 
 impl std::fmt::Debug for ChaosState {
@@ -615,6 +622,7 @@ impl ChaosState {
                     dups: scope.counter("chaos.dups"),
                     reorders: scope.counter("chaos.reorders"),
                     partition_drops: scope.counter("chaos.partition_drops"),
+                    copy_bytes: scope.counter("net.frame_copy_bytes"),
                 }
             })
             .collect();
@@ -643,6 +651,7 @@ impl ChaosState {
             metrics,
             crash_counter: scope0.counter("chaos.crashes"),
             revive_counter: scope0.counter("chaos.revives"),
+            registry: Arc::clone(obs),
         });
         let thread_state = Arc::clone(&state);
         *state.timer_handle.lock() = Some(
@@ -783,6 +792,8 @@ impl ChaosState {
                 self.record(key.0, key.1, seq, FaultKind::Duplicate);
                 self.metrics[key.0 as usize].dups.inc();
                 self.dup_frames.fetch_add(frames, Ordering::Relaxed);
+                let payload_bytes: u64 = env.frames.iter().map(|f| f.payload.len() as u64).sum();
+                self.metrics[key.0 as usize].copy_bytes.add(payload_bytes);
                 let copy = env.clone();
                 if link.barrier_us > now || link.in_timer > 0 {
                     let due = link.barrier_us.max(now);
@@ -888,6 +899,8 @@ impl ChaosState {
     }
 
     fn record(&self, src: u16, dst: u16, seq: u64, kind: FaultKind) {
+        self.registry
+            .flight_event(format!("fault {kind:?} link {src}->{dst} seq {seq}"));
         self.log.lock().push(FaultRecord {
             src,
             dst,

@@ -9,6 +9,7 @@ use std::fmt;
 use std::io::{self, Write};
 
 use crate::hist::HistSnapshot;
+use crate::load::TrunkLoad;
 use crate::registry::{MachineSnapshot, RegistrySnapshot};
 use crate::trace::SpanEvent;
 
@@ -135,6 +136,27 @@ fn hist_json(h: &HistSnapshot) -> Json {
     ])
 }
 
+/// One trunk's load as JSON (lifetime totals plus EWMA rates).
+pub fn trunk_load_json(t: &TrunkLoad) -> Json {
+    Json::obj([
+        ("reads", Json::U64(t.reads)),
+        ("writes", Json::U64(t.writes)),
+        ("bytes_read", Json::U64(t.bytes_read)),
+        ("bytes_written", Json::U64(t.bytes_written)),
+        ("msgs", Json::U64(t.msgs)),
+        ("hops", Json::U64(t.hops)),
+        ("cache_hits", Json::U64(t.cache_hits)),
+        ("cache_misses", Json::U64(t.cache_misses)),
+        ("reads_per_s", Json::F64(t.reads_per_s)),
+        ("writes_per_s", Json::F64(t.writes_per_s)),
+        ("bytes_per_s", Json::F64(t.bytes_per_s)),
+        ("msgs_per_s", Json::F64(t.msgs_per_s)),
+        ("hops_per_s", Json::F64(t.hops_per_s)),
+        ("remote_miss_share", Json::F64(t.remote_miss_share)),
+        ("score", Json::F64(t.score())),
+    ])
+}
+
 fn machine_json(m: &MachineSnapshot) -> Json {
     Json::obj([
         (
@@ -165,6 +187,15 @@ fn machine_json(m: &MachineSnapshot) -> Json {
             ),
         ),
         ("spans_dropped", Json::U64(m.spans_dropped)),
+        (
+            "load",
+            Json::Obj(
+                m.load
+                    .iter()
+                    .map(|(trunk, t)| (trunk.to_string(), trunk_load_json(t)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -465,7 +496,11 @@ mod tests {
         write_jsonl(&mut buf, &sample()).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4, "2 counters + 1 gauge + 1 histogram");
+        assert_eq!(
+            lines.len(),
+            6,
+            "2 counters + 2 synthesized obs.spans_dropped + 1 gauge + 1 histogram"
+        );
         for line in lines {
             assert_eq!(
                 validate_json(line).unwrap(),
@@ -483,7 +518,7 @@ mod tests {
         assert!(lines[0].starts_with("machine"));
         let col = lines[1].find("net.env.sent").unwrap();
         assert_eq!(
-            lines[3].find("net.env.bytes"),
+            lines[4].find("net.env.bytes"),
             Some(col),
             "metric column must align"
         );

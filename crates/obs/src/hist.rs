@@ -214,6 +214,62 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_at_bucket_boundaries() {
+        // Exact powers of two sit at the *bottom* of their bucket: the
+        // estimate is the bucket's upper edge clamped to the observed max.
+        for pow in [1u64, 2, 4, 1024, 1 << 32] {
+            let h = Histogram::new();
+            h.record(pow);
+            let s = h.snapshot();
+            assert_eq!(s.quantile(0.0), pow, "single sample: every q is it");
+            assert_eq!(s.quantile(0.5), pow);
+            assert_eq!(s.quantile(1.0), pow);
+        }
+        // Two samples in adjacent buckets: q below/above the midpoint must
+        // land in the respective bucket, and the upper estimate clamps to
+        // the observed max rather than the bucket edge (511).
+        let h = Histogram::new();
+        h.record(255); // bucket [128, 255] — upper edge exactly the sample
+        h.record(256); // bucket [256, 511] — lower edge exactly the sample
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 255, "rank 1 → first bucket's edge");
+        assert_eq!(s.quantile(0.51), 256, "rank 2 → clamped to max");
+        assert_eq!(s.quantile(1.0), 256);
+        // Zero occupies its own bucket with edge 0.
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.max, 0);
+        // u64::MAX lands in the final bucket and clamps correctly.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn hist_merge_of_deltas_equals_delta_of_merges() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        b.record(70);
+        let (a0, b0) = (a.snapshot(), b.snapshot());
+        a.record(5);
+        b.record(900);
+        let (a1, b1) = (a.snapshot(), b.snapshot());
+        let mut merge_of_deltas = a0.delta_to(&a1);
+        merge_of_deltas.merge(&b0.delta_to(&b1));
+        let (mut m0, mut m1) = (a0, a1);
+        m0.merge(&b0);
+        m1.merge(&b1);
+        let delta_of_merges = m0.delta_to(&m1);
+        assert_eq!(merge_of_deltas.buckets, delta_of_merges.buckets);
+        assert_eq!(merge_of_deltas.count, delta_of_merges.count);
+        assert_eq!(merge_of_deltas.sum, delta_of_merges.sum);
+    }
+
+    #[test]
     fn delta_isolates_a_window() {
         let h = Histogram::new();
         h.record(10);

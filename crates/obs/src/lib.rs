@@ -26,6 +26,21 @@
 //!   (single document and JSON-lines), all hand-rolled on `std` because
 //!   the build environment is offline.
 //!
+//! Three analysis layers sit on top of that substrate:
+//!
+//! * **Per-trunk load accounting** ([`LoadMap`]) — every cell read/write,
+//!   MULTI_GET batch, BSP delivery, and traversal hop is attributed to the
+//!   owning trunk as EWMA-decayed windowed rates; `hottest(n)` and
+//!   `imbalance()` are the inputs trunk migration and tiering consume.
+//! * **Flight recorder** ([`FlightRecorder`]) — a bounded ring of
+//!   windowed [`RegistrySnapshot`] deltas plus an event log, dumped as one
+//!   postmortem JSON artifact when a chaos invariant fails or the serving
+//!   tier sheds a storm.
+//! * **Trace timelines** ([`Timeline`]) — spans for one trace id stitched
+//!   across machines (all rings share their registry's epoch) with
+//!   per-label breakdown, critical-path extraction, and Chrome
+//!   trace-event export.
+//!
 //! Everything is cheap when idle: relaxed atomics on the hot paths, metric
 //! handles are `Arc`s cached by the instrumented layer (no name lookup per
 //! event), span recording is skipped entirely when no trace is active, and
@@ -33,16 +48,23 @@
 
 mod export;
 mod hist;
+mod load;
 mod metric;
+mod recorder;
 mod registry;
+mod timeline;
 mod trace;
 
 pub use export::{
-    render_table, snapshot_json, span_json, validate_json, write_json, write_jsonl, Json,
+    render_table, snapshot_json, span_json, trunk_load_json, validate_json, write_json,
+    write_jsonl, Json,
 };
 pub use hist::{HistSnapshot, Histogram};
+pub use load::{LoadMap, TrunkLoad, LOAD_DECAY_TAU_S, MAX_TRUNKS, MIN_ROLL_WINDOW_US};
 pub use metric::{Counter, Gauge};
+pub use recorder::{FlightRecorder, FlightWindow, FLIGHT_EVENTS, FLIGHT_SPANS, FLIGHT_WINDOWS};
 pub use registry::{MachineScope, MachineSnapshot, Registry, RegistrySnapshot};
+pub use timeline::{LabelStat, Timeline};
 pub use trace::{
     current_trace, next_trace_id, SpanEvent, SpanRing, TraceGuard, NO_TRACE, SPAN_RING_CAPACITY,
 };

@@ -14,11 +14,17 @@
 //! gives exporters a stable sort order.
 
 use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use crate::export::Json;
 use crate::hist::{HistSnapshot, Histogram};
+use crate::load::{LoadMap, TrunkLoad};
 use crate::metric::{Counter, Gauge};
-use crate::trace::{current_trace, SpanEvent, SpanRing, NO_TRACE};
+use crate::recorder::FlightRecorder;
+use crate::trace::{current_trace, SpanEvent, SpanRing, NO_TRACE, SPAN_RING_CAPACITY};
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match m.lock() {
@@ -39,6 +45,7 @@ struct ScopeInner {
     machine: u16,
     metrics: Mutex<ScopeMetrics>,
     spans: SpanRing,
+    load: LoadMap,
 }
 
 /// One machine's view into the registry. Cheap to clone (an `Arc`).
@@ -48,12 +55,13 @@ pub struct MachineScope {
 }
 
 impl MachineScope {
-    fn new(machine: u16) -> Self {
+    fn new(machine: u16, epoch: Instant) -> Self {
         MachineScope {
             inner: Arc::new(ScopeInner {
                 machine,
                 metrics: Mutex::new(ScopeMetrics::default()),
-                spans: SpanRing::default(),
+                spans: SpanRing::with_epoch(epoch, SPAN_RING_CAPACITY),
+                load: LoadMap::new(),
             }),
         }
     }
@@ -62,7 +70,7 @@ impl MachineScope {
     /// without observability (e.g. a bare `Trunk::new` in a unit test).
     /// Recording into it works and costs the same; nothing reads it.
     pub fn detached() -> Self {
-        MachineScope::new(u16::MAX)
+        MachineScope::new(u16::MAX, Instant::now())
     }
 
     /// The machine this scope belongs to.
@@ -88,6 +96,11 @@ impl MachineScope {
     /// This machine's span ring.
     pub fn spans(&self) -> &SpanRing {
         &self.inner.spans
+    }
+
+    /// This machine's per-trunk load accounting.
+    pub fn load(&self) -> &LoadMap {
+        &self.inner.load
     }
 
     /// Timestamp base for spans recorded through this scope.
@@ -133,15 +146,21 @@ impl MachineScope {
         });
     }
 
-    /// Snapshot this machine's metrics.
+    /// Snapshot this machine's metrics. Span-ring loss is surfaced both in
+    /// the dedicated `spans_dropped` field and as a synthesized
+    /// `obs.spans_dropped` counter, so it flows through every exporter and
+    /// through counter delta/merge arithmetic like any other metric.
     pub fn snapshot(&self) -> MachineSnapshot {
         let m = lock(&self.inner.metrics);
+        let spans_dropped = self.inner.spans.dropped();
+        let mut counters: BTreeMap<String, u64> = m
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        counters.insert("obs.spans_dropped".to_string(), spans_dropped);
         MachineSnapshot {
-            counters: m
-                .counters
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.get()))
-                .collect(),
+            counters,
             gauges: m
                 .gauges
                 .iter()
@@ -152,15 +171,41 @@ impl MachineScope {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.snapshot()))
                 .collect(),
-            spans_dropped: self.inner.spans.dropped(),
+            spans_dropped,
+            load: self
+                .inner
+                .load
+                .snapshot()
+                .into_iter()
+                .map(|t| (t.trunk, t))
+                .collect(),
         }
     }
 }
 
 /// The registry: one per simulated cluster.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
+    /// Shared time base: every scope's span ring counts microseconds from
+    /// this instant, so cross-machine spans stitch into one timeline.
+    epoch: Instant,
     scopes: Mutex<BTreeMap<u16, MachineScope>>,
+    flight: FlightRecorder,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        let reg = Registry {
+            epoch: Instant::now(),
+            scopes: Mutex::new(BTreeMap::new()),
+            flight: FlightRecorder::new(),
+        };
+        // Seed the flight recorder's baseline at birth so the very first
+        // explicit `flight_tick` already closes a window — a crash in the
+        // cluster's first window still leaves a delta to dump.
+        reg.flight.tick(0, RegistrySnapshot::default());
+        reg
+    }
 }
 
 impl Registry {
@@ -168,11 +213,17 @@ impl Registry {
         Registry::default()
     }
 
+    /// Microseconds since this registry's epoch — the cluster time base.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
     /// Get or create the scope for `machine`.
     pub fn scope(&self, machine: u16) -> MachineScope {
         lock(&self.scopes)
             .entry(machine)
-            .or_insert_with(|| MachineScope::new(machine))
+            .or_insert_with(|| MachineScope::new(machine, self.epoch))
             .clone()
     }
 
@@ -208,6 +259,36 @@ impl Registry {
         out.retain(|s| s.trace == trace);
         out
     }
+
+    /// This cluster's flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Close a flight-recorder window with the registry's current state.
+    pub fn flight_tick(&self) {
+        self.flight.tick(self.now_us(), self.snapshot());
+    }
+
+    /// Append a freeform line (fault firing, shed, invariant breadcrumb)
+    /// to the flight recorder's event log.
+    pub fn flight_event(&self, line: impl Into<String>) {
+        self.flight.event(self.now_us(), line);
+    }
+
+    /// The postmortem document: buffered windows + events + recent spans.
+    pub fn flight_dump(&self, reason: &str) -> Json {
+        self.flight.dump_json(reason, self.now_us(), &self.spans())
+    }
+
+    /// Write the postmortem document to `path`, creating parent dirs.
+    pub fn flight_dump_to(&self, path: &Path, reason: &str) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.flight_dump(reason))
+    }
 }
 
 /// Point-in-time copy of one machine's metrics (or a delta of two copies).
@@ -217,6 +298,9 @@ pub struct MachineSnapshot {
     pub gauges: BTreeMap<String, i64>,
     pub hists: BTreeMap<String, HistSnapshot>,
     pub spans_dropped: u64,
+    /// Per-trunk load as of the snapshot (see [`LoadMap`]). Like gauges
+    /// these are *levels*: a delta keeps the later level, a merge sums.
+    pub load: BTreeMap<u64, TrunkLoad>,
 }
 
 impl MachineSnapshot {
@@ -233,10 +317,20 @@ impl MachineSnapshot {
             self.hists.entry(k.clone()).or_default().merge(v);
         }
         self.spans_dropped += other.spans_dropped;
+        for (trunk, tl) in &other.load {
+            self.load
+                .entry(*trunk)
+                .or_insert_with(|| TrunkLoad {
+                    trunk: *trunk,
+                    ..TrunkLoad::default()
+                })
+                .merge(tl);
+        }
     }
 
     /// Activity between two snapshots (`later - self`). Counters and
-    /// histograms subtract; gauges are levels, so the later level wins.
+    /// histograms subtract; gauges and per-trunk load are levels, so the
+    /// later level wins.
     pub fn delta_to(&self, later: &MachineSnapshot) -> MachineSnapshot {
         let mut out = later.clone();
         for (k, v) in &self.counters {
@@ -318,6 +412,81 @@ mod tests {
         assert_eq!(d.machines[&0].hists["h"].count, 1);
         assert_eq!(d.machines[&1].counters["x"], 2, "new machines appear whole");
         assert_eq!(d.totals().counters["x"], 7);
+    }
+
+    #[test]
+    fn merge_of_deltas_equals_delta_of_merges() {
+        // Two machines active across one window: summing the per-machine
+        // deltas must equal the delta of the per-machine sums.
+        let reg = Registry::new();
+        reg.scope(0).counter("x").add(10);
+        reg.scope(0).histogram("h").record(16);
+        reg.scope(1).counter("x").add(1);
+        reg.scope(1).gauge("g").set(5);
+        let before = reg.snapshot();
+        reg.scope(0).counter("x").add(7);
+        reg.scope(1).counter("x").add(2);
+        reg.scope(1).histogram("h").record(64);
+        reg.scope(1).gauge("g").set(9);
+        let after = reg.snapshot();
+
+        let merge_of_deltas = before.delta_to(&after).totals();
+        let delta_of_merges = before.totals().delta_to(&after.totals());
+        assert_eq!(merge_of_deltas, delta_of_merges);
+        assert_eq!(merge_of_deltas.counters["x"], 9);
+        assert_eq!(merge_of_deltas.hists["h"].count, 1);
+        assert_eq!(merge_of_deltas.gauges["g"], 9, "levels: later wins");
+    }
+
+    #[test]
+    fn spans_dropped_surfaces_as_a_counter() {
+        let reg = Registry::new();
+        let s = reg.scope(0);
+        assert_eq!(s.snapshot().counters["obs.spans_dropped"], 0);
+        let ring = crate::trace::SpanRing::with_capacity(2);
+        for i in 0..5 {
+            ring.record(SpanEvent {
+                trace: 1,
+                machine: 0,
+                label: "x",
+                proto: 0,
+                bytes: 0,
+                frames: 0,
+                start_us: i,
+                end_us: i,
+            });
+        }
+        assert_eq!(ring.dropped(), 3, "standalone ring counts overwrites");
+        // Scope-owned ring: drive it past capacity via the scope API.
+        let _g = TraceGuard::enter(1);
+        for _ in 0..(crate::trace::SPAN_RING_CAPACITY + 4) {
+            s.span("spin", 0, 0, 0, 0);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.spans_dropped, 4);
+        assert_eq!(snap.counters["obs.spans_dropped"], 4);
+    }
+
+    #[test]
+    fn scope_load_flows_into_snapshot() {
+        let reg = Registry::new();
+        let s = reg.scope(0);
+        s.load().record_read(2, 100);
+        s.load().record_write(2, 50);
+        s.load()
+            .roll_at(s.load().now_us().max(crate::load::MIN_ROLL_WINDOW_US));
+        let snap = s.snapshot();
+        let t = &snap.load[&2];
+        assert_eq!(
+            (t.reads, t.writes, t.bytes_read, t.bytes_written),
+            (1, 1, 100, 50)
+        );
+        // Levels: delta keeps the later level, merge sums.
+        let d = snap.delta_to(&s.snapshot());
+        assert_eq!(d.load[&2].reads, 1);
+        let mut m = snap.clone();
+        m.merge(&snap);
+        assert_eq!(m.load[&2].reads, 2);
     }
 
     #[test]

@@ -113,9 +113,17 @@ impl Default for SpanRing {
 
 impl SpanRing {
     pub fn with_capacity(capacity: usize) -> Self {
+        SpanRing::with_epoch(Instant::now(), capacity)
+    }
+
+    /// A ring whose timestamps count from an explicit epoch. Every ring in
+    /// one registry shares the registry's epoch, so spans recorded on
+    /// different machines of one simulated cluster are directly comparable
+    /// and can be stitched into a single cross-machine timeline.
+    pub fn with_epoch(epoch: Instant, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         SpanRing {
-            epoch: Instant::now(),
+            epoch,
             inner: Mutex::new(RingState {
                 slots: Vec::with_capacity(capacity),
                 head: 0,

@@ -8,12 +8,14 @@
 //! worker thread — so every fabric envelope the query touches carries
 //! both, cluster-wide.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use trinity_net::{deadline_now_us, CancelToken, DeadlineGuard, Endpoint, NO_DEADLINE};
-use trinity_obs::{next_trace_id, Counter, Gauge, Histogram, MachineScope, TraceGuard};
+use trinity_obs::{next_trace_id, Counter, Gauge, Histogram, MachineScope, Registry, TraceGuard};
 
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, Priority};
@@ -169,6 +171,16 @@ impl ServeCounts {
     }
 }
 
+/// Armed flight-recorder hookup: when a shed storm is detected the
+/// runtime dumps the registry's recent windows to `path` (see
+/// [`ServeRuntime::arm_flight_dump`]).
+struct FlightTrigger {
+    registry: Arc<Registry>,
+    path: PathBuf,
+    /// Consecutive sheds (with no admit in between) that count as a storm.
+    threshold: u32,
+}
+
 /// The serving runtime attached to one proxy endpoint.
 pub struct ServeRuntime {
     queue: Arc<BoundedQueue<Job>>,
@@ -176,6 +188,13 @@ pub struct ServeRuntime {
     obs: MachineScope,
     metrics: Arc<ServeMetrics>,
     workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    flight: parking_lot::Mutex<Option<FlightTrigger>>,
+    /// Sheds since the last successful admission; a run of
+    /// `FlightTrigger::threshold` of these is a storm.
+    consecutive_shed: AtomicU32,
+    /// One-shot latch so a sustained storm produces one dump, not one per
+    /// shed.
+    flight_dumped: AtomicBool,
 }
 
 impl std::fmt::Debug for ServeRuntime {
@@ -199,6 +218,9 @@ impl ServeRuntime {
             obs,
             metrics,
             workers: parking_lot::Mutex::new(Vec::new()),
+            flight: parking_lot::Mutex::new(None),
+            consecutive_shed: AtomicU32::new(0),
+            flight_dumped: AtomicBool::new(false),
         });
         let mut workers = rt.workers.lock();
         for i in 0..rt.cfg.workers {
@@ -214,6 +236,54 @@ impl ServeRuntime {
         }
         drop(workers);
         rt
+    }
+
+    /// Arm the shed-storm flight dump: when `threshold` consecutive
+    /// submissions are shed with no admission in between, the runtime
+    /// writes `registry`'s flight-recorder dump (last windows + events +
+    /// recent spans) to `path` and latches — one dump per runtime, so a
+    /// sustained storm yields one postmortem artifact, not thousands.
+    pub fn arm_flight_dump(
+        &self,
+        registry: Arc<Registry>,
+        path: impl Into<PathBuf>,
+        threshold: u32,
+    ) {
+        *self.flight.lock() = Some(FlightTrigger {
+            registry,
+            path: path.into(),
+            threshold: threshold.max(1),
+        });
+    }
+
+    /// Whether the shed-storm trigger has fired and written its dump.
+    pub fn flight_dump_fired(&self) -> bool {
+        self.flight_dumped.load(Ordering::Relaxed)
+    }
+
+    fn note_shed(&self, class: Priority, depth: usize) {
+        let run = self.consecutive_shed.fetch_add(1, Ordering::Relaxed) + 1;
+        let flight = self.flight.lock();
+        let Some(trigger) = flight.as_ref() else {
+            return;
+        };
+        if run < trigger.threshold || self.flight_dumped.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        trigger.registry.flight_event(format!(
+            "serve shed storm on machine {}: {run} consecutive sheds (class {class:?}, depth {depth})",
+            self.obs.machine()
+        ));
+        trigger.registry.flight_tick();
+        if let Err(e) = trigger
+            .registry
+            .flight_dump_to(&trigger.path, "serve shed storm")
+        {
+            eprintln!(
+                "trinity-serve: flight dump to {} failed: {e}",
+                trigger.path.display()
+            );
+        }
     }
 
     /// Queue capacity for `class`.
@@ -269,6 +339,7 @@ impl ServeRuntime {
             Ok(_) => {
                 self.metrics.admitted.inc();
                 self.metrics.queue_depth.add(1);
+                self.consecutive_shed.store(0, Ordering::Relaxed);
                 Ok(Ticket { rx, cancel, trace })
             }
             Err((_job, depth)) => {
@@ -276,6 +347,7 @@ impl ServeRuntime {
                     return Err(ServeError::Closed);
                 }
                 self.metrics.shed[class.idx()].inc();
+                self.note_shed(class, depth);
                 Err(ServeError::Overloaded {
                     class,
                     depth,

@@ -166,6 +166,55 @@ fn shed_rate_absorbs_2x_overload() {
 }
 
 #[test]
+fn shed_storm_writes_one_flight_dump() {
+    let cluster = TrinityCluster::new(TrinityConfig::with_proxies(2, 1));
+    let rt = ServeRuntime::start(
+        cluster.proxy(0).endpoint(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: [1, 1, 1],
+            default_deadline: None,
+        },
+    );
+    let registry = Arc::clone(cluster.cloud().fabric().obs());
+    let dir = std::env::temp_dir().join(format!("trinity-shed-storm-{}", std::process::id()));
+    let path = dir.join("serve-shed.flight.json");
+    let _ = std::fs::remove_file(&path);
+    rt.arm_flight_dump(Arc::clone(&registry), &path, 4);
+    // Occupy the worker and fill the 1-deep queue, then pour in
+    // submissions: everything past the first two sheds.
+    let blocker = rt
+        .submit(Priority::Normal, None, |_ctx| {
+            std::thread::sleep(Duration::from_millis(150));
+        })
+        .unwrap();
+    // The worker needs a moment to pop the blocker before the queue slot
+    // frees up; retry until this one is admitted.
+    let queued = loop {
+        match rt.submit(Priority::Normal, None, |_ctx| ()) {
+            Ok(t) => break t,
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    };
+    let mut shed = 0;
+    for _ in 0..16 {
+        if rt.submit(Priority::Normal, None, |_ctx| ()).is_err() {
+            shed += 1;
+        }
+    }
+    assert!(shed >= 4, "storm must shed: {shed}");
+    assert!(rt.flight_dump_fired(), "trigger must latch after 4 sheds");
+    let text = std::fs::read_to_string(&path).expect("flight dump written");
+    trinity_obs::validate_json(&text).expect("dump is valid JSON");
+    assert!(text.contains("serve shed storm"), "dump carries the reason");
+    blocker.wait().unwrap();
+    queued.wait().unwrap();
+    rt.shutdown();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn queued_query_expires_without_running() {
     let cluster = TrinityCluster::new(TrinityConfig::with_proxies(2, 1));
     let rt = ServeRuntime::start(

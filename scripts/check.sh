@@ -27,8 +27,20 @@ cargo run --release -p trinity-bench --bin serve_load "${HERMETIC[@]}" "$@" -- -
 echo "==> chaos --smoke (fault-injection gate: 3 pinned seeds, run + replay)"
 cargo run --release -p trinity-bench --bin chaos_smoke "${HERMETIC[@]}" "$@" -- --smoke
 
-echo "==> cache_traversal --smoke (remote-read cache gate: warm hits + envelope reduction)"
-cargo run --release -p trinity-bench --bin cache_traversal "${HERMETIC[@]}" "$@" -- --smoke
+echo "==> cache_traversal --smoke (remote-read cache gate: warm hits + envelope reduction + trace critical path)"
+cargo run --release -p trinity-bench --bin cache_traversal "${HERMETIC[@]}" "$@" -- --smoke \
+    --metrics-out results/cache_traversal.metrics.json \
+    --trace-out results/cache_traversal.trace.json
+
+echo "==> metrics_check (observability gate: exported artifacts schema-validate)"
+cargo run --release -p trinity-bench --bin metrics_check "${HERMETIC[@]}" "$@" -- \
+    results/cache_traversal.metrics.json results/cache_traversal.trace.json
+
+echo "==> chaos --force-fail (postmortem gate: a failing run must leave a flight dump)"
+TRINITY_FLIGHT_DIR=results/flight \
+    cargo run --release -p trinity-bench --bin chaos_smoke "${HERMETIC[@]}" "$@" -- --force-fail
+cargo run --release -p trinity-bench --bin metrics_check "${HERMETIC[@]}" "$@" -- \
+    results/flight/sabotaged-seed2989.flight.json
 
 echo "==> bsp_scaling --smoke (worker-pool gate: bit-identical results across thread counts)"
 cargo run --release -p trinity-bench --bin bsp_scaling "${HERMETIC[@]}" "$@" -- --smoke
