@@ -1,0 +1,278 @@
+//! `scaleout` — elastic-membership gate: throughput while machines join
+//! mid-run, and rebalance convergence.
+//!
+//! The scenario the elastic engine exists for: a cloud is serving a
+//! steady read/write mix when a standby machine joins *online* —
+//! trunks stream over while the donors keep serving, concurrent writes
+//! ride the delta log, and the only client-visible artifact is the
+//! atomic flip (absorbed by the MOVED retry inside the access path).
+//! The figure reports the op throughput timeline across the join window
+//! plus the error count, which must be **zero**: no request may fail
+//! because the cluster grew.
+//!
+//! A second phase heats one machine's trunks and times the load-driven
+//! rebalance: planner imbalance (max/mean machine hotness) before and
+//! after, wall time of the convergence, and trunks moved.
+//!
+//! `--smoke` shrinks the run and asserts the headline claims: zero
+//! failed ops across the join, the joiner ends with its fair trunk
+//! share, every seeded cell reads back exactly, and the rebalance does
+//! not worsen the imbalance. `--metrics-out results/scaleout.metrics.json`
+//! writes the timeline plus the full metrics registry (the elastic.*
+//! counters land there).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use trinity_bench::{bench_cloud_config, header, row, scaled, secs, timed, MetricsOut};
+use trinity_elastic::{
+    cluster_trunk_scores, placement_imbalance, MigrationConfig, MigrationEngine,
+};
+use trinity_memcloud::{CloudConfig, MemoryCloud};
+use trinity_net::MachineId;
+use trinity_obs::Json;
+
+fn value(i: u64) -> Vec<u8> {
+    format!("cell{i}").into_bytes()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut metrics = MetricsOut::from_args();
+
+    let (machines, cells, workers, warm_ms) = if smoke {
+        (3usize, 3_000u64, 4usize, 150u64)
+    } else {
+        (4usize, scaled(20_000) as u64, 8usize, 500u64)
+    };
+
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+        standby_machines: 1,
+        ..bench_cloud_config(machines)
+    }));
+    let joiner = machines; // the standby
+    for i in 0..cells {
+        cloud.node(0).put(i, &value(i)).expect("seed cell");
+    }
+    cloud.backup_all().expect("backup");
+
+    header(
+        &format!(
+            "scaleout — {machines}→{} machines, {cells} cells, {workers} workers, online join mid-run"
+        , machines + 1),
+        &["phase", "wall", "ops/s", "errors", "moved"],
+    );
+
+    // Steady workload: each worker loops a 7:1 read/write mix through a
+    // fixed entry machine; a sampler bins completed ops into a timeline.
+    let ops = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut timeline: Vec<Json> = Vec::new();
+    let mut join_report = (0usize, 0u64, 0.0f64); // trunks, cells, wall
+    let mut phase_rows: Vec<(String, f64, f64)> = Vec::new();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let cloud = Arc::clone(&cloud);
+            let ops = Arc::clone(&ops);
+            let errors = Arc::clone(&errors);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let via = w % machines; // entry nodes: the original members
+                let mut i = (w as u64) * 7919 % cells;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i + 7919) % cells;
+                    let ok = if i.is_multiple_of(8) {
+                        cloud.node(via).put(i, &value(i)).is_ok()
+                    } else {
+                        cloud.node(via).get(i).is_ok()
+                    };
+                    if ok {
+                        ops.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        let sample = |label: &str, ms: u64, timeline: &mut Vec<Json>| -> f64 {
+            let start = Instant::now();
+            let before = ops.load(Ordering::Relaxed);
+            let tick = Duration::from_millis(25);
+            let mut last = before;
+            while start.elapsed() < Duration::from_millis(ms) {
+                std::thread::sleep(tick);
+                let now = ops.load(Ordering::Relaxed);
+                timeline.push(Json::obj([
+                    ("phase", Json::Str(label.into())),
+                    ("t_ms", Json::U64(start.elapsed().as_millis() as u64)),
+                    (
+                        "ops_per_sec",
+                        Json::F64((now - last) as f64 / tick.as_secs_f64()),
+                    ),
+                ]));
+                last = now;
+            }
+            (ops.load(Ordering::Relaxed) - before) as f64 / start.elapsed().as_secs_f64()
+        };
+
+        // Phase 1: steady state before the join.
+        let tput = sample("before-join", warm_ms, &mut timeline);
+        phase_rows.push(("before-join".into(), warm_ms as f64 / 1e3, tput));
+
+        // Phase 2: the standby joins online while the storm runs. The
+        // sampler keeps binning in parallel with the migrations.
+        let join = {
+            let cloud = Arc::clone(&cloud);
+            scope.spawn(move || {
+                let engine = MigrationEngine::new(MigrationConfig::default());
+                timed(|| engine.join_machine(&cloud, joiner).expect("online join"))
+            })
+        };
+        let mut during = Vec::new();
+        loop {
+            sample("during-join", 25, &mut during);
+            if join.is_finished() {
+                break;
+            }
+        }
+        let (reports, join_wall) = join.join().expect("join thread");
+        let during_tput = {
+            let n = during.len().max(1) as f64;
+            during
+                .iter()
+                .map(|j| match j {
+                    Json::Obj(kv) => kv
+                        .iter()
+                        .find(|(k, _)| k == "ops_per_sec")
+                        .map(|(_, v)| match v {
+                            Json::F64(f) => *f,
+                            _ => 0.0,
+                        })
+                        .unwrap_or(0.0),
+                    _ => 0.0,
+                })
+                .sum::<f64>()
+                / n
+        };
+        timeline.extend(during);
+        join_report = (
+            reports.len(),
+            reports.iter().map(|r| r.cells_moved).sum(),
+            join_wall,
+        );
+        phase_rows.push(("during-join".into(), join_wall, during_tput));
+
+        // Phase 3: steady state after the join.
+        let tput = sample("after-join", warm_ms, &mut timeline);
+        phase_rows.push(("after-join".into(), warm_ms as f64 / 1e3, tput));
+
+        stop.store(true, Ordering::Relaxed);
+    });
+    let join_errors = errors.load(Ordering::Relaxed);
+
+    for (label, wall, tput) in &phase_rows {
+        row(&[
+            label.clone(),
+            secs(*wall),
+            format!("{tput:.0}"),
+            join_errors.to_string(),
+            if label == "during-join" {
+                format!("{}t/{}c", join_report.0, join_report.1)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+
+    // Rebalance convergence: hammer one machine's cells to skew the load
+    // map, then time the planner-driven spread.
+    let hot = MachineId(0);
+    let table = cloud.node(0).table();
+    for i in 0..cells {
+        if table.machine_of(i) == hot {
+            let _ = cloud.node(0).get(i);
+            let _ = cloud.node(0).get(i);
+        }
+    }
+    let scores = cluster_trunk_scores(&cloud);
+    let imbalance_before = placement_imbalance(&cloud.node(0).table(), &scores);
+    let engine = MigrationEngine::new(MigrationConfig::default());
+    let (rebalanced, reb_wall) = timed(|| engine.rebalance(&cloud).expect("rebalance"));
+    let scores = cluster_trunk_scores(&cloud);
+    let imbalance_after = placement_imbalance(&cloud.node(0).table(), &scores);
+    row(&[
+        "rebalance".into(),
+        secs(reb_wall),
+        format!("{imbalance_before:.2}→{imbalance_after:.2}"),
+        "0".into(),
+        format!("{}t", rebalanced.len()),
+    ]);
+
+    metrics.capture("scaleout", &cloud);
+    metrics.section("timeline", Json::Arr(timeline));
+    metrics.section(
+        "join",
+        Json::obj([
+            ("trunks_moved", Json::U64(join_report.0 as u64)),
+            ("cells_moved", Json::U64(join_report.1)),
+            ("wall_seconds", Json::F64(join_report.2)),
+            ("errors", Json::U64(join_errors)),
+        ]),
+    );
+    metrics.section(
+        "rebalance",
+        Json::obj([
+            ("imbalance_before", Json::F64(imbalance_before)),
+            ("imbalance_after", Json::F64(imbalance_after)),
+            ("trunks_moved", Json::U64(rebalanced.len() as u64)),
+            ("wall_seconds", Json::F64(reb_wall)),
+        ]),
+    );
+    metrics.finish();
+
+    // Correctness (always): every seeded cell reads back exactly through
+    // every machine, including the joiner, after all the movement.
+    for m in 0..cloud.machines() {
+        cloud.node(m).clear_cache();
+    }
+    for i in 0..cells {
+        let got = cloud.node(joiner).get(i).expect("post-join read");
+        assert_eq!(
+            got.as_deref().map(|b| b.to_vec()),
+            Some(value(i)),
+            "cell {i} wrong after join + rebalance"
+        );
+    }
+
+    if smoke {
+        assert_eq!(
+            join_errors, 0,
+            "ops failed while the cluster grew — the join was not transparent"
+        );
+        let fair = cloud.node(0).table().trunk_count() / (machines + 1);
+        let got = cloud
+            .node(0)
+            .table()
+            .trunks_of(MachineId(joiner as u16))
+            .len();
+        assert!(
+            got >= fair,
+            "joiner holds {got} trunks, fair share is {fair}"
+        );
+        assert!(join_report.1 > 0, "the join streamed no cells");
+        assert!(
+            imbalance_after <= imbalance_before + 1e-9,
+            "rebalance worsened the imbalance: {imbalance_before:.3} → {imbalance_after:.3}"
+        );
+        println!(
+            "smoke OK: 0 errors across online join ({} trunks, {} cells), \
+             imbalance {imbalance_before:.2}→{imbalance_after:.2}",
+            join_report.0, join_report.1
+        );
+    }
+    cloud.shutdown();
+}

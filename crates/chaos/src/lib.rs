@@ -42,4 +42,6 @@ mod runner;
 mod workloads;
 
 pub use runner::{ChaosReport, ChaosRun, ChaosRunner, ChaosWorkload};
-pub use workloads::{BspRingMax, CachedRemoteReads, PartitionHeal, ServeSlice, TraversalSearch};
+pub use workloads::{
+    BspRingMax, CachedRemoteReads, MigrationStorm, PartitionHeal, ServeSlice, TraversalSearch,
+};

@@ -822,3 +822,324 @@ impl ChaosWorkload for PartitionHeal {
         false
     }
 }
+
+/// Online trunk migration under chaos: a trunk streams from its donor to
+/// a standby recipient while writers hammer its cells and readers check
+/// every value they see, and the plan crashes the donor, the recipient,
+/// or the coordinator at a protocol phase (the engine's phase hook fires
+/// `Trigger::Mark(phase)`, codes 1–6 = Begin..Flip).
+///
+/// Invariants, whatever the crash schedule:
+///
+/// * every value a reader observes was actually written to that cell
+///   (no torn, cross-cell, or fabricated bytes — validity, not
+///   freshness, mid-storm);
+/// * if no machine died, no acknowledged write may be lost — the value
+///   of every stormed cell is at least the writer's last ack, whether
+///   the migration committed or aborted;
+/// * the cluster agrees on the trunk's owner afterwards: every replica
+///   routes it exactly where the TFS primary does (a stale-epoch server
+///   would diverge here), and that owner is the donor (clean abort) or
+///   the recipient (commit) — nothing else;
+/// * after recovering any scheduled crash, a final disarmed write round
+///   converges exactly on every machine.
+///
+/// Timing makes the traffic nondeterministic, so no fault-log equality
+/// is asserted.
+#[derive(Debug, Clone)]
+pub struct MigrationStorm {
+    /// Initially live machines (a standby recipient is added on top).
+    pub machines: usize,
+    /// Cells seeded across the whole cloud (stormed cells come on top).
+    pub cells: u64,
+    /// Machine whose first trunk migrates.
+    pub donor: u16,
+    /// Migration target (the standby machine).
+    pub recipient: u16,
+    /// Machine driving the protocol (`MigrationConfig::coordinator`).
+    pub coordinator: u16,
+}
+
+impl MigrationStorm {
+    /// A small instance: 3 live machines plus a standby; machine 0
+    /// donates a trunk to machine 3, machine 1 coordinates.
+    pub fn small() -> Self {
+        MigrationStorm {
+            machines: 3,
+            cells: 18,
+            donor: 0,
+            recipient: 3,
+            coordinator: 1,
+        }
+    }
+
+    fn value(id: u64, seq: u64) -> Vec<u8> {
+        format!("c{id}s{seq}").into_bytes()
+    }
+
+    /// Validity: the bytes must be *some* value written to exactly this
+    /// cell (the storm length is open-ended, so any sequence parses).
+    fn valid(id: u64, bytes: &[u8]) -> bool {
+        std::str::from_utf8(bytes)
+            .ok()
+            .and_then(|s| s.strip_prefix(&format!("c{id}s")))
+            .is_some_and(|rest| rest.parse::<u64>().is_ok())
+    }
+
+    fn seq_of(id: u64, bytes: &[u8]) -> Option<u64> {
+        std::str::from_utf8(bytes)
+            .ok()
+            .and_then(|s| s.strip_prefix(&format!("c{id}s")))
+            .and_then(|rest| rest.parse().ok())
+    }
+}
+
+impl ChaosWorkload for MigrationStorm {
+    fn name(&self) -> &str {
+        "migration-storm"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        use std::collections::{BTreeSet, HashMap};
+        use std::sync::atomic::AtomicBool;
+
+        use trinity_elastic::{MigrationConfig, MigrationEngine};
+
+        let fault_free = faults.is_none();
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+            faults,
+            standby_machines: 1,
+            call_timeout: Duration::from_millis(100),
+            ..CloudConfig::small(self.machines)
+        }));
+        let total = cloud.machines();
+        let fabric = Arc::clone(cloud.fabric());
+        fabric.chaos_arm(false);
+        let table = cloud.node(0).table();
+        let trunk = table.trunks_of(MachineId(self.donor))[0];
+        // The stormed cells all live in the migrating trunk; the rest of
+        // the seed is spread over the cloud as background state.
+        let mig_ids: Vec<u64> = (0u64..)
+            .filter(|&i| table.trunk_of(i) == trunk)
+            .take(8)
+            .collect();
+        let all_ids: Vec<u64> = {
+            let mut s: BTreeSet<u64> = (0..self.cells).collect();
+            s.extend(&mig_ids);
+            s.into_iter().collect()
+        };
+        for &i in &all_ids {
+            cloud.node(0).put(i, &Self::value(i, 0)).expect("seed cell");
+        }
+        cloud.backup_all().expect("backup trunks to TFS");
+        fabric.chaos_arm(true);
+
+        let failures: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acked: Arc<parking_lot::Mutex<HashMap<u64, u64>>> = Arc::default();
+        let mut recovered = Vec::new();
+        let mut mig_ok = false;
+        std::thread::scope(|scope| {
+            // Readers on every machine (standby included): errors and
+            // misses are expected mid-storm; only invalid bytes fail.
+            for r in 0..total {
+                let cloud = Arc::clone(&cloud);
+                let fabric = Arc::clone(&fabric);
+                let stop = Arc::clone(&stop);
+                let failures = Arc::clone(&failures);
+                let all_ids = all_ids.clone();
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if fabric.is_dead(MachineId(r as u16)) {
+                            std::thread::sleep(Duration::from_millis(5));
+                            continue;
+                        }
+                        for &i in &all_ids {
+                            if let Ok(Some(b)) = cloud.node(r).get(i) {
+                                if !Self::valid(i, &b) {
+                                    failures
+                                        .lock()
+                                        .push(format!("reader {r} cell {i}: invalid {b:?}"));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // One writer hammers the migrating trunk through whichever
+            // machine is currently alive, recording the last acknowledged
+            // sequence per cell. Failed puts are expected under crashes
+            // and timeouts; an *acked* put must never be lost.
+            let writer = {
+                let cloud = Arc::clone(&cloud);
+                let fabric = Arc::clone(&fabric);
+                let stop = Arc::clone(&stop);
+                let acked = Arc::clone(&acked);
+                let mig_ids = mig_ids.clone();
+                scope.spawn(move || {
+                    let mut seq = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        seq += 1;
+                        let Some(via) = (0..total).find(|&m| !fabric.is_dead(MachineId(m as u16)))
+                        else {
+                            continue;
+                        };
+                        for &i in &mig_ids {
+                            if cloud.node(via).put(i, &Self::value(i, seq)).is_ok() {
+                                acked.lock().insert(i, seq);
+                            }
+                        }
+                    }
+                    seq
+                })
+            };
+            // The migration itself, phase-marked so plans can crash the
+            // donor/recipient/coordinator at any protocol step.
+            let engine = MigrationEngine::new(MigrationConfig {
+                chunk_cells: 4,
+                coordinator: Some(self.coordinator),
+                ..MigrationConfig::default()
+            })
+            .with_phase_hook({
+                let fabric = Arc::clone(&fabric);
+                move |phase, _| fabric.chaos_mark(phase.mark())
+            });
+            let res = engine.migrate_trunk(&cloud, trunk, MachineId(self.recipient));
+            // Let the storm keep running against the post-migration (or
+            // post-abort) cloud for a moment before recovery.
+            std::thread::sleep(Duration::from_millis(50));
+            for m in 0..total {
+                if fabric.is_dead(MachineId(m as u16)) {
+                    cloud.recover(m).expect("recover crashed machine");
+                    cloud.revive_machine(m).expect("revive crashed machine");
+                    recovered.push(m as u16);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            let _ = writer.join().expect("writer thread");
+            match res {
+                Ok(report) => {
+                    mig_ok = true;
+                    if fault_free && report.cells_moved == 0 {
+                        failures
+                            .lock()
+                            .push("fault-free migration moved no cells".into());
+                    }
+                }
+                Err(e) => {
+                    if fault_free {
+                        failures
+                            .lock()
+                            .push(format!("fault-free migration failed: {e}"));
+                    }
+                }
+            }
+        });
+        let mut failures = Arc::try_unwrap(failures)
+            .expect("storm threads joined")
+            .into_inner();
+        fabric.chaos_arm(false);
+
+        // Epoch agreement: every replica must route the trunk exactly
+        // where the TFS primary does, and the owner must be the donor
+        // (abort) or the recipient (commit) — a stale-epoch server or a
+        // half-committed flip shows up here.
+        let primary = cloud
+            .tfs()
+            .read(trinity_memcloud::TFS_TABLE_PATH)
+            .ok()
+            .and_then(|b| trinity_memcloud::AddressingTable::decode(&b))
+            .expect("TFS primary table");
+        let owner = primary.machine_for(trunk);
+        if owner != MachineId(self.donor) && owner != MachineId(self.recipient) {
+            failures.push(format!("trunk {trunk} owned by third party {owner:?}"));
+        }
+        if mig_ok && owner != MachineId(self.recipient) && recovered.is_empty() {
+            failures.push(format!(
+                "migration reported success but the primary routes trunk {trunk} to {owner:?}"
+            ));
+        }
+        for m in 0..total {
+            let _ = cloud.node(m).sync_table();
+            let routed = cloud.node(m).table().machine_for(trunk);
+            if routed != owner {
+                failures.push(format!(
+                    "machine {m} routes trunk {trunk} to {routed:?}, primary says {owner:?}"
+                ));
+            }
+        }
+
+        // No machine died → no excuse: every stormed cell must hold at
+        // least the writer's last acknowledged sequence, wherever the
+        // trunk ended up.
+        if recovered.is_empty() {
+            for m in 0..total {
+                cloud.node(m).clear_cache();
+            }
+            let acked = acked.lock();
+            for &i in &mig_ids {
+                let Some(&floor) = acked.get(&i) else {
+                    continue;
+                };
+                match cloud.node(0).get(i) {
+                    Ok(Some(ref b)) => match Self::seq_of(i, b) {
+                        Some(seq) if seq >= floor => {}
+                        got => failures.push(format!(
+                            "cell {i}: acked s{floor} but the cloud holds {got:?} — lost write"
+                        )),
+                    },
+                    other => failures.push(format!(
+                        "cell {i}: acked s{floor} but the read came back {other:?}"
+                    )),
+                }
+            }
+        }
+
+        // Convergence: one disarmed write round, caches dropped, every
+        // node must read the final value of every cell exactly.
+        let final_seq = u64::MAX;
+        for &i in &all_ids {
+            if let Err(e) = cloud.node(0).put(i, &Self::value(i, final_seq)) {
+                failures.push(format!("final write of cell {i} failed: {e}"));
+            }
+        }
+        for m in 0..total {
+            cloud.node(m).clear_cache();
+        }
+        let mut digest = String::new();
+        for &i in &all_ids {
+            let expect = Self::value(i, final_seq);
+            let mut ok = true;
+            for m in 0..total {
+                match cloud.node(m).get(i) {
+                    Ok(Some(ref b)) if *b == expect => {}
+                    other => {
+                        ok = false;
+                        failures.push(format!("node {m} cell {i} did not converge: {other:?}"));
+                    }
+                }
+            }
+            digest.push(if ok { '.' } else { 'X' });
+        }
+        let mut run = ChaosRun::capture(&fabric, digest, CAPTURE_TIMEOUT);
+        run.recovered = recovered;
+        run.failures = failures;
+        cloud.shutdown();
+        run
+    }
+
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        if faulty.outcome != reference.outcome {
+            vec![format!(
+                "converged state diverged: {} != {}",
+                faulty.outcome, reference.outcome
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+}

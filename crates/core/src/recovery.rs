@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use trinity_elastic::{MigrationConfig, MigrationEngine};
 use trinity_memcloud::MemoryCloud;
 use trinity_memcloud::{AddressingTable, CloudNode};
 use trinity_net::{proto as netproto, MachineId};
@@ -39,6 +40,11 @@ pub struct RecoveryConfig {
     pub interval: Duration,
     /// Consecutive missed probes before a peer is declared dead.
     pub miss_threshold: u32,
+    /// When set, the elected leader doubles as the elastic-rebalance
+    /// coordinator: at this period it merges the cluster load map and,
+    /// if the placement is lopsided, executes the planner's moves as
+    /// online trunk migrations (see `trinity_elastic`).
+    pub rebalance_every: Option<Duration>,
 }
 
 impl Default for RecoveryConfig {
@@ -46,6 +52,7 @@ impl Default for RecoveryConfig {
         RecoveryConfig {
             interval: Duration::from_millis(50),
             miss_threshold: 2,
+            rebalance_every: None,
         }
     }
 }
@@ -57,6 +64,11 @@ pub enum RecoveryEvent {
     MachineRecovered {
         failed: MachineId,
         by: MachineId,
+        epoch: u64,
+    },
+    TrunksRebalanced {
+        by: MachineId,
+        moves: usize,
         epoch: u64,
     },
 }
@@ -204,8 +216,10 @@ fn agent_loop(
     let probes = obs.counter("recovery.probes");
     let recoveries = obs.counter("recovery.recoveries");
     let leader_breaks = obs.counter("recovery.leader_flag_breaks");
+    let rebalances = obs.counter("recovery.rebalances");
     let mut misses: HashMap<u16, u32> = HashMap::new();
     let mut recovered: HashSet<u16> = HashSet::new();
+    let mut last_rebalance = std::time::Instant::now();
     while !stop.load(Ordering::Acquire) {
         // A dead machine's agent must fall silent.
         if cloud.fabric().is_dead(me) {
@@ -248,6 +262,28 @@ fn agent_loop(
                                 by: me,
                                 epoch: table.epoch,
                             });
+                        }
+                    }
+                }
+                // Elastic duty: periodically level the placement against
+                // the live load map. The engine migrates online, so this
+                // never pauses serving; an empty plan is a no-op.
+                if let Some(every) = cfg.rebalance_every {
+                    if last_rebalance.elapsed() >= every {
+                        last_rebalance = std::time::Instant::now();
+                        let engine = MigrationEngine::new(MigrationConfig {
+                            coordinator: Some(me.0),
+                            ..MigrationConfig::default()
+                        });
+                        if let Ok(reports) = engine.rebalance(&cloud) {
+                            if !reports.is_empty() {
+                                rebalances.inc();
+                                events.lock().push(RecoveryEvent::TrunksRebalanced {
+                                    by: me,
+                                    moves: reports.len(),
+                                    epoch: reports.last().map(|r| r.epoch).unwrap_or(0),
+                                });
+                            }
                         }
                     }
                 }
@@ -391,6 +427,45 @@ mod tests {
     }
 
     #[test]
+    fn leader_rebalances_a_lopsided_load_online() {
+        let cloud = fast_cloud(4);
+        // Concentrate all heat on machine 0's trunks so max/mean blows
+        // past the planner threshold.
+        let mut hot_ids = Vec::new();
+        for i in 0..3000u64 {
+            if cloud.node(0).table().machine_of(i) == MachineId(0) {
+                cloud.node(0).put(i, b"hot").unwrap();
+                cloud.node(0).get(i).unwrap();
+                hot_ids.push(i);
+            }
+        }
+        let agents = RecoveryAgents::install(
+            Arc::clone(&cloud),
+            RecoveryConfig {
+                rebalance_every: Some(Duration::from_millis(100)),
+                ..RecoveryConfig::default()
+            },
+        );
+        assert!(
+            wait_until(10_000, || agents.events().iter().any(
+                |e| matches!(e, RecoveryEvent::TrunksRebalanced { moves, .. } if *moves > 0)
+            )),
+            "leader never rebalanced; events: {:?}",
+            agents.events()
+        );
+        // The moved trunks stay fully readable.
+        for &i in &hot_ids {
+            assert_eq!(
+                cloud.node(1).get(i).unwrap().as_deref(),
+                Some(&b"hot"[..]),
+                "cell {i} lost by the automatic rebalance"
+            );
+        }
+        agents.stop();
+        cloud.shutdown();
+    }
+
+    #[test]
     fn reported_suspicion_accelerates_recovery() {
         let cloud = fast_cloud(3);
         cloud.backup_all().unwrap();
@@ -399,6 +474,7 @@ mod tests {
             RecoveryConfig {
                 interval: Duration::from_millis(30),
                 miss_threshold: 100,
+                ..RecoveryConfig::default()
             },
         );
         assert!(wait_until(5_000, || RecoveryAgents::current_leader(&cloud).is_some()));

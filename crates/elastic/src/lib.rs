@@ -1,0 +1,38 @@
+//! Elastic membership for the Trinity memory cloud.
+//!
+//! The paper's memory cloud supports joins and leaves by reassigning
+//! addressing-table slots and reloading trunks from TFS backups — a
+//! stop-the-world move that loses writes racing the snapshot. This crate
+//! adds the *online* path: a coordinator-driven migration engine that
+//! streams a trunk's cells from donor to recipient in bounded chunks
+//! **while the donor keeps serving**, captures concurrent writes in a
+//! version-stamped delta log, replays them in a catch-up pass, and
+//! commits with an epoch-bumped addressing-table flip persisted to TFS
+//! before any replica installs it. Stale owners answer post-flip
+//! requests with `Moved{epoch}`, which the access path resolves by
+//! syncing its table replica and retrying — so a healthy migration is
+//! invisible to clients.
+//!
+//! On top of single-trunk migration sit three cluster operations:
+//!
+//! * [`MigrationEngine::join_machine`] — bring a standby in by streaming
+//!   its fair share of trunks onto it, one at a time;
+//! * [`MigrationEngine::drain_machine`] — gracefully retire a machine by
+//!   migrating everything off it before it leaves;
+//! * [`MigrationEngine::rebalance`] — consume the per-trunk
+//!   [`LoadMap`](trinity_obs::LoadMap) rates to plan the fewest moves
+//!   that bring hotness imbalance under a threshold, then execute them.
+//!
+//! The wire protocol and the donor/recipient state machines live in
+//! `trinity_memcloud::migration`; this crate is the coordinator.
+
+mod engine;
+mod planner;
+
+pub use engine::{ElasticError, MigrationConfig, MigrationEngine, MigrationPhase, MigrationReport};
+pub use planner::{
+    cluster_trunk_scores, placement_imbalance, plan_drain, plan_join, plan_rebalance, Move,
+};
+
+/// Result alias for elastic operations.
+pub type Result<T> = std::result::Result<T, ElasticError>;

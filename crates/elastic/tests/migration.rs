@@ -1,0 +1,309 @@
+//! End-to-end migration tests over a simulated memory cloud: cells
+//! survive the move, concurrent writes land exactly once, and the
+//! cluster operations (join, drain, rebalance) leave every cell
+//! readable through every machine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use trinity_elastic::{MigrationConfig, MigrationEngine, MigrationPhase};
+use trinity_memcloud::{CloudConfig, MemoryCloud};
+use trinity_net::MachineId;
+
+fn cloud_with_standby(machines: usize, standby: usize) -> MemoryCloud {
+    MemoryCloud::new(CloudConfig {
+        standby_machines: standby,
+        ..CloudConfig::small(machines)
+    })
+}
+
+/// Ids that route to `trunk` under the cloud's table.
+fn ids_in_trunk(cloud: &MemoryCloud, trunk: u64, n: usize) -> Vec<u64> {
+    let table = cloud.node(0).table();
+    (0u64..)
+        .filter(|&i| table.trunk_of(i) == trunk)
+        .take(n)
+        .collect()
+}
+
+/// A trunk owned by `m` (the first one).
+fn trunk_of_machine(cloud: &MemoryCloud, m: u16) -> u64 {
+    cloud.node(0).table().trunks_of(MachineId(m))[0]
+}
+
+#[test]
+fn migrate_trunk_moves_cells_and_bumps_epoch() {
+    let cloud = cloud_with_standby(3, 1);
+    for i in 0..300u64 {
+        cloud.node(0).put(i, format!("v{i}").as_bytes()).unwrap();
+    }
+    let trunk = trunk_of_machine(&cloud, 0);
+    let before_epoch = cloud.node(0).table().epoch;
+    let engine = MigrationEngine::new(MigrationConfig::default());
+    let report = engine
+        .migrate_trunk(&cloud, trunk, MachineId(3))
+        .expect("migration");
+    assert_eq!(report.from, MachineId(0));
+    assert_eq!(report.to, MachineId(3));
+    assert!(report.cells_moved > 0, "the trunk must carry cells");
+    assert_eq!(report.epoch, before_epoch + 1);
+    // The recipient owns the trunk on every replica, and every cell
+    // reads back through every machine.
+    for m in 0..4 {
+        assert_eq!(
+            cloud.node(m).table().machine_for(trunk),
+            MachineId(3),
+            "replica {m} still routes the trunk to the donor"
+        );
+    }
+    for i in 0..300u64 {
+        for m in 0..4 {
+            assert_eq!(
+                cloud.node(m).get(i).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "cell {i} via machine {m} after migration"
+            );
+        }
+    }
+    // Writes to the moved trunk land on the new owner.
+    let id = ids_in_trunk(&cloud, trunk, 1)[0];
+    cloud.node(1).put(id, b"post-flip").unwrap();
+    assert_eq!(cloud.node(3).get(id).unwrap().unwrap(), b"post-flip");
+    cloud.shutdown();
+}
+
+#[test]
+fn migrating_to_current_owner_is_a_noop() {
+    let cloud = cloud_with_standby(3, 0);
+    let trunk = trunk_of_machine(&cloud, 1);
+    let before = cloud.node(0).table().epoch;
+    let engine = MigrationEngine::new(MigrationConfig::default());
+    let report = engine.migrate_trunk(&cloud, trunk, MachineId(1)).unwrap();
+    assert_eq!(report.cells_moved, 0);
+    assert_eq!(report.epoch, before, "a no-op must not bump the epoch");
+    cloud.shutdown();
+}
+
+#[test]
+fn writes_during_stream_and_catchup_are_replayed() {
+    let cloud = cloud_with_standby(3, 1);
+    let trunk = trunk_of_machine(&cloud, 0);
+    let ids = ids_in_trunk(&cloud, trunk, 40);
+    for &i in &ids {
+        cloud.node(0).put(i, b"original").unwrap();
+    }
+    // The phase hook mutates the trunk mid-protocol, from another
+    // machine's vantage point: overwrites during the stream, an
+    // overwrite plus a remove during catch-up. All must be reflected
+    // after the flip — the delta log replays them.
+    let hook_cloud: Arc<MemoryCloud> = Arc::new(cloud);
+    let cloud = Arc::clone(&hook_cloud);
+    let ids_hook = ids.clone();
+    let engine = MigrationEngine::new(MigrationConfig {
+        // Tiny chunks so the stream phase takes several round trips.
+        chunk_cells: 8,
+        ..MigrationConfig::default()
+    })
+    .with_phase_hook(move |phase, _trunk| match phase {
+        MigrationPhase::Stream => {
+            for &i in ids_hook.iter().take(10) {
+                hook_cloud.node(1).put(i, b"streamed-over").unwrap();
+            }
+        }
+        MigrationPhase::CatchUp => {
+            hook_cloud.node(2).put(ids_hook[0], b"caught-up").unwrap();
+            hook_cloud.node(2).remove(ids_hook[1]).unwrap();
+        }
+        _ => {}
+    });
+    let report = engine.migrate_trunk(&cloud, trunk, MachineId(3)).unwrap();
+    assert!(
+        report.delta_replayed >= 2,
+        "concurrent writes must flow through the delta log (replayed {})",
+        report.delta_replayed
+    );
+    // Final states: id[0] caught-up, id[1] removed, ids[2..10]
+    // streamed-over, the rest original.
+    assert_eq!(
+        cloud.node(0).get(ids[0]).unwrap().as_deref(),
+        Some(&b"caught-up"[..])
+    );
+    assert_eq!(cloud.node(0).get(ids[1]).unwrap(), None);
+    for &i in &ids[2..10] {
+        assert_eq!(
+            cloud.node(0).get(i).unwrap().as_deref(),
+            Some(&b"streamed-over"[..]),
+            "cell {i}"
+        );
+    }
+    for &i in &ids[10..] {
+        assert_eq!(
+            cloud.node(0).get(i).unwrap().as_deref(),
+            Some(&b"original"[..]),
+            "cell {i}"
+        );
+    }
+    cloud.shutdown();
+}
+
+#[test]
+fn donor_serves_reads_through_every_pre_flip_phase() {
+    let cloud = cloud_with_standby(3, 1);
+    let trunk = trunk_of_machine(&cloud, 0);
+    let ids = ids_in_trunk(&cloud, trunk, 20);
+    for &i in &ids {
+        cloud.node(0).put(i, b"readable").unwrap();
+    }
+    let hook_cloud: Arc<MemoryCloud> = Arc::new(cloud);
+    let cloud = Arc::clone(&hook_cloud);
+    let ids_hook = ids.clone();
+    let saw_flip = Arc::new(AtomicBool::new(false));
+    let saw_flip_hook = Arc::clone(&saw_flip);
+    let engine =
+        MigrationEngine::new(MigrationConfig::default()).with_phase_hook(move |phase, _| {
+            if phase == MigrationPhase::Flip {
+                saw_flip_hook.store(true, Ordering::SeqCst);
+            }
+            // Reads must succeed in every phase — served by the donor
+            // until the flip, by the recipient after. Cache cleared so
+            // each read exercises the fabric path.
+            hook_cloud.node(1).clear_cache();
+            for &i in ids_hook.iter().take(5) {
+                assert_eq!(
+                    hook_cloud.node(1).get(i).unwrap().as_deref(),
+                    Some(&b"readable"[..]),
+                    "read failed during phase {}",
+                    phase.name()
+                );
+            }
+        });
+    engine.migrate_trunk(&cloud, trunk, MachineId(3)).unwrap();
+    assert!(saw_flip.load(Ordering::SeqCst));
+    cloud.shutdown();
+}
+
+#[test]
+fn concurrent_writers_ride_out_the_whole_migration() {
+    let cloud = Arc::new(cloud_with_standby(3, 1));
+    let trunk = trunk_of_machine(&cloud, 0);
+    let ids = ids_in_trunk(&cloud, trunk, 16);
+    for &i in &ids {
+        cloud.node(0).put(i, &0u64.to_le_bytes()).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for (w, &id) in ids.iter().enumerate().take(4) {
+        let cloud = Arc::clone(&cloud);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let via = (w % 3) + 1; // never the standby
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                n += 1;
+                // Every write must succeed: the access path retries
+                // MOVED (seal window, post-flip staleness) internally.
+                cloud.node(via).put(id, &n.to_le_bytes()).unwrap();
+            }
+            n
+        }));
+    }
+    let engine = MigrationEngine::new(MigrationConfig {
+        chunk_cells: 4,
+        ..MigrationConfig::default()
+    });
+    let report = engine.migrate_trunk(&cloud, trunk, MachineId(3)).unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let finals: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(report.to, MachineId(3));
+    // The last acknowledged write of each writer is the visible state —
+    // nothing lost, nothing rolled back.
+    for (w, &id) in ids.iter().enumerate().take(4) {
+        let got = cloud.node(0).get(id).unwrap().unwrap();
+        let got = u64::from_le_bytes(got.try_into().unwrap());
+        assert_eq!(
+            got, finals[w],
+            "writer {w}: cell shows {got}, last ack was {}",
+            finals[w]
+        );
+    }
+    cloud.shutdown();
+}
+
+#[test]
+fn join_machine_streams_a_fair_share_online() {
+    let cloud = cloud_with_standby(3, 1);
+    for i in 0..400u64 {
+        cloud.node(0).put(i, format!("j{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(cloud.node(3).store().cell_count(), 0);
+    let engine = MigrationEngine::new(MigrationConfig::default());
+    let reports = engine.join_machine(&cloud, 3).expect("join");
+    let fair = cloud.node(0).table().trunk_count() / 4;
+    assert_eq!(reports.len(), fair, "the joiner gets a fair share");
+    assert_eq!(cloud.node(0).table().trunks_of(MachineId(3)).len(), fair);
+    assert!(cloud.node(3).store().cell_count() > 0);
+    for i in 0..400u64 {
+        for m in 0..4 {
+            assert_eq!(
+                cloud.node(m).get(i).unwrap().as_deref(),
+                Some(format!("j{i}").as_bytes()),
+                "cell {i} via machine {m} after online join"
+            );
+        }
+    }
+    cloud.shutdown();
+}
+
+#[test]
+fn drain_machine_empties_it_without_data_loss() {
+    let cloud = cloud_with_standby(4, 0);
+    for i in 0..400u64 {
+        cloud.node(0).put(i, format!("d{i}").as_bytes()).unwrap();
+    }
+    let victim = 2;
+    assert!(cloud.node(victim).store().cell_count() > 0);
+    let engine = MigrationEngine::new(MigrationConfig::default());
+    let reports = engine.drain_machine(&cloud, victim).expect("drain");
+    assert!(!reports.is_empty());
+    assert!(
+        cloud
+            .node(0)
+            .table()
+            .trunks_of(MachineId(victim as u16))
+            .is_empty(),
+        "the drained machine must own nothing"
+    );
+    // The machine can now leave without a recovery event: kill it and
+    // read everything back with no recover() call.
+    cloud.kill_machine(victim);
+    for i in 0..400u64 {
+        assert_eq!(
+            cloud.node(0).get(i).unwrap().as_deref(),
+            Some(format!("d{i}").as_bytes()),
+            "cell {i} lost by the drain"
+        );
+    }
+    cloud.shutdown();
+}
+
+#[test]
+fn rebalance_follows_the_load_map() {
+    let cloud = cloud_with_standby(3, 1);
+    // Heat exactly one machine's trunks so max/mean is far above the
+    // threshold, then let the planner spread them out.
+    for i in 0..2000u64 {
+        let id = i;
+        if cloud.node(0).table().machine_of(id) == MachineId(0) {
+            cloud.node(0).put(id, b"hot").unwrap();
+            cloud.node(0).get(id).unwrap();
+        }
+    }
+    let engine = MigrationEngine::new(MigrationConfig::default());
+    let reports = engine.rebalance(&cloud).expect("rebalance");
+    assert!(
+        !reports.is_empty(),
+        "a lopsided load map must produce at least one move"
+    );
+    assert!(reports.iter().all(|r| r.from == MachineId(0)));
+    cloud.shutdown();
+}

@@ -262,6 +262,31 @@ impl RemoteCache {
         *self.inner.lock() = Inner::new();
     }
 
+    /// Drop only the cells of the given trunks (`p` is the table's hash
+    /// width). Used on a table flip: a moved trunk's new owner knows
+    /// nothing about this machine's cached copies, so they must go, while
+    /// the rest of the cache — still covered by live sharer directories —
+    /// survives the reconfiguration.
+    pub(crate) fn clear_trunks(&self, trunks: &std::collections::BTreeSet<u64>, p: u32) {
+        if !self.enabled() || trunks.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let victims: Vec<CellId> = inner
+            .map
+            .keys()
+            .copied()
+            .filter(|&id| trunks.contains(&trinity_memstore::hash::trunk_of(id, p)))
+            .collect();
+        for id in victims {
+            if let Some(i) = inner.map.remove(&id) {
+                inner.unlink(i);
+                inner.slots[i as usize].data = None;
+                inner.free.push(i);
+            }
+        }
+    }
+
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.get(),
@@ -368,6 +393,24 @@ mod tests {
         assert_eq!((t2.cache_hits, t2.cache_misses), (1, 1));
         let t5 = snap.iter().find(|t| t.trunk == 5).unwrap();
         assert_eq!((t5.cache_hits, t5.cache_misses), (0, 1));
+    }
+
+    #[test]
+    fn clear_trunks_is_selective() {
+        let c = cache(16);
+        // With p = 2 there are 4 trunks; spread ids across them.
+        let p = 2;
+        for id in 0u64..12 {
+            c.insert(id, id + 1, bytes(&id.to_le_bytes()));
+        }
+        let victim_trunk = trinity_memstore::hash::trunk_of(3, p);
+        let victims: std::collections::BTreeSet<u64> = [victim_trunk].into();
+        c.clear_trunks(&victims, p);
+        for id in 0u64..12 {
+            let hit = c.get(0, id).is_some();
+            let moved = trinity_memstore::hash::trunk_of(id, p) == victim_trunk;
+            assert_eq!(hit, !moved, "id {id} (moved={moved})");
+        }
     }
 
     #[test]

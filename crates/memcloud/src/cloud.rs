@@ -40,8 +40,9 @@ pub struct CloudConfig {
     /// horizon; recovery tests shorten it).
     pub call_timeout: std::time::Duration,
     /// Standby slaves: fully provisioned machines that own no trunks
-    /// until [`MemoryCloud::join_machine`] rebalances some onto them
-    /// (the paper's dynamic join, §3).
+    /// until a join — `trinity-elastic`'s online migration, or
+    /// [`MemoryCloud::cold_join`] — rebalances some onto them (the
+    /// paper's dynamic join, §3).
     pub standby_machines: usize,
     /// Fault-injection plan for the fabric (`None` = fault-free). The
     /// chaos harness sets this to run whole workloads under seeded
@@ -135,15 +136,20 @@ impl MemoryCloud {
         MemoryCloud { fabric, tfs, nodes }
     }
 
-    /// Bring a standby machine into the cloud (paper §3: "when new
-    /// machines join the memory cloud, we relocate some memory trunks to
-    /// those new machines and update the addressing table accordingly").
+    /// Bring a standby machine into the cloud the *stop-the-world* way
+    /// (paper §3: "when new machines join the memory cloud, we relocate
+    /// some memory trunks to those new machines and update the addressing
+    /// table accordingly").
     ///
     /// The donors' trunks are snapshotted to TFS, the rebalanced table is
     /// persisted and installed everywhere (the joiner reloads its new
-    /// trunks; donors evict theirs). Returns the trunks moved, as
+    /// trunks; donors evict theirs). Writes racing the snapshot can land
+    /// after the capture and be lost on the moved trunks — this is the
+    /// fallback for quiesced clusters; the online path is
+    /// `trinity-elastic`'s `MigrationEngine::join_machine`, which streams
+    /// trunks while the donors keep serving. Returns the trunks moved, as
     /// `(trunk, donor)` pairs.
-    pub fn join_machine(&self, m: usize) -> Result<Vec<(u64, MachineId)>> {
+    pub fn cold_join(&self, m: usize) -> Result<Vec<(u64, MachineId)>> {
         let joiner = MachineId(m as u16);
         let mut table = self.nodes[m].table();
         let moved = table.rebalance_join(joiner);
@@ -221,6 +227,17 @@ impl MemoryCloud {
     /// gone). Recovery is a separate step — see [`MemoryCloud::recover`].
     pub fn kill_machine(&self, m: usize) {
         self.fabric.kill(MachineId(m as u16));
+    }
+
+    /// Bring a previously killed machine back as a blank standby. Its
+    /// soft state (cache, sharers, migration books) is dropped and its
+    /// addressing-table replica refreshed from the TFS primary *before*
+    /// it serves again — a revived machine must not answer for trunks
+    /// that were reassigned while it was down, nor serve cells it cached
+    /// before dying.
+    pub fn revive_machine(&self, m: usize) -> Result<()> {
+        self.fabric.revive(MachineId(m as u16));
+        self.nodes[m].refresh_after_revive()
     }
 
     /// Mechanically recover from the failure of machine `m`: reassign its
@@ -416,7 +433,7 @@ mod tests {
         // Before the join, the standby owns nothing and serves nothing.
         assert!(cloud.node(0).table().trunks_of(MachineId(3)).is_empty());
         assert_eq!(cloud.node(3).store().cell_count(), 0);
-        let moved = cloud.join_machine(3).unwrap();
+        let moved = cloud.cold_join(3).unwrap();
         assert!(!moved.is_empty(), "the joiner must receive trunks");
         // The joiner holds its fair share and serves its cells.
         let its_trunks = cloud.node(0).table().trunks_of(MachineId(3));
@@ -456,7 +473,7 @@ mod tests {
         for i in 0..80u64 {
             cloud.node(0).put(i, b"resilient").unwrap();
         }
-        cloud.join_machine(2).unwrap();
+        cloud.cold_join(2).unwrap();
         cloud.backup_all().unwrap();
         cloud.kill_machine(0);
         cloud.recover(0).unwrap();
@@ -582,6 +599,44 @@ mod tests {
             "disabled cache must fetch every read"
         );
         assert_eq!(cloud.cache_stats(), crate::CacheStats::default());
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn revived_machine_refreshes_table_before_serving() {
+        let cloud = MemoryCloud::new(CloudConfig::small(3));
+        for i in 0..120u64 {
+            cloud.node(0).put(i, b"old").unwrap();
+        }
+        cloud.backup_all().unwrap();
+        // Warm machine 2's cache with remote cells so a stale revival
+        // would have something to answer from.
+        for i in 0..120u64 {
+            cloud.node(2).get(i).unwrap();
+        }
+        cloud.kill_machine(2);
+        cloud.recover(2).unwrap();
+        // The cluster moves on while 2 is dead: every cell is rewritten
+        // through the post-recovery table.
+        for i in 0..120u64 {
+            cloud.node(0).put(i, b"new").unwrap();
+        }
+        cloud.revive_machine(2).unwrap();
+        // The revived machine owns nothing (recovery reassigned its
+        // trunks), must not answer from its pre-death trunks or cache,
+        // and routes every read to the current owners.
+        assert!(cloud.node(2).table().trunks_of(MachineId(2)).is_empty());
+        for i in 0..120u64 {
+            assert_eq!(
+                cloud.node(2).get(i).unwrap().as_deref(),
+                Some(&b"new"[..]),
+                "cell {i} served stale after revival"
+            );
+        }
+        // And remote writers never land on the revived husk: a write
+        // through it routes to the current owner and reads back anywhere.
+        cloud.node(2).put(7, b"post-revival").unwrap();
+        assert_eq!(cloud.node(1).get(7).unwrap().unwrap(), b"post-revival");
         cloud.shutdown();
     }
 

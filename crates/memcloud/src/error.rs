@@ -16,10 +16,20 @@ pub enum CloudError {
     /// The remote machine does not own the trunk even after a table
     /// re-sync (persistent routing disagreement).
     WrongOwner { trunk: u64, asked: MachineId },
+    /// The trunk migrated away from the asked machine (or its migration
+    /// is in its sealed flip window). `epoch` is the table epoch the
+    /// caller must reach before retrying: sync from TFS until
+    /// `table.epoch >= epoch`, then re-route. The access path does this
+    /// transparently within a bounded retry budget.
+    Moved { trunk: u64, epoch: u64 },
     /// The query's deadline budget lapsed before the cell operation
     /// completed. Not a liveness signal — the owner is healthy — so the
     /// access path must not re-sync tables or retry.
     DeadlineExceeded { machine: MachineId },
+    /// A migration peer refused a protocol frame (stale migration id,
+    /// ownership mismatch, superseded attempt). The coordinator aborts
+    /// the attempt; the donor keeps serving.
+    Migration(String),
     /// A remote reply could not be decoded.
     BadReply,
 }
@@ -36,9 +46,16 @@ impl fmt::Display for CloudError {
                     "machine {asked} does not own trunk {trunk} (stale addressing tables)"
                 )
             }
+            CloudError::Moved { trunk, epoch } => {
+                write!(
+                    f,
+                    "trunk {trunk} migrated away (sync tables to epoch >= {epoch} and retry)"
+                )
+            }
             CloudError::DeadlineExceeded { machine } => {
                 write!(f, "deadline exceeded accessing machine {machine}")
             }
+            CloudError::Migration(msg) => write!(f, "migration refused: {msg}"),
             CloudError::BadReply => write!(f, "malformed remote reply"),
         }
     }

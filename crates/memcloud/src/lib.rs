@@ -38,6 +38,7 @@
 mod cache;
 mod cloud;
 mod error;
+pub mod migration;
 mod node;
 mod table;
 mod wire;
@@ -46,7 +47,7 @@ pub use cache::CacheStats;
 pub use cloud::{CloudConfig, MemoryCloud};
 pub use error::CloudError;
 pub use node::CloudNode;
-pub use table::AddressingTable;
+pub use table::{AddressingTable, TFS_TABLE_PATH};
 
 pub use trinity_memstore::{CellId, CellVersion};
 
@@ -66,4 +67,21 @@ pub(crate) mod proto {
     /// Cache coherence: the owner tells a reader that its cached copy of
     /// a cell is stale below the carried version stamp.
     pub const INVALIDATE: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 6;
+
+    // Elastic trunk-migration frames (coordinator-driven; see the
+    // `migration` module). These live in the dedicated elastic range.
+    /// Donor: snapshot the trunk's cell ids and arm delta capture.
+    pub const MIG_BEGIN: ProtoId = trinity_net::proto::FIRST_ELASTIC;
+    /// Donor: read one bounded chunk of the snapshot.
+    pub const MIG_READ: ProtoId = trinity_net::proto::FIRST_ELASTIC + 1;
+    /// Donor: drain captured deltas, resolved to current cell state.
+    pub const MIG_DELTA: ProtoId = trinity_net::proto::FIRST_ELASTIC + 2;
+    /// Donor: refuse further writes to the trunk (reads still serve).
+    pub const MIG_SEAL: ProtoId = trinity_net::proto::FIRST_ELASTIC + 3;
+    /// Donor: abandon the migration and resume normal service.
+    pub const MIG_ABORT: ProtoId = trinity_net::proto::FIRST_ELASTIC + 4;
+    /// Recipient: apply a batch of migrated entries behind a version fence.
+    pub const MIG_APPLY: ProtoId = trinity_net::proto::FIRST_ELASTIC + 5;
+    /// Recipient: persist the assembled trunk to TFS before the flip.
+    pub const MIG_COMMIT: ProtoId = trinity_net::proto::FIRST_ELASTIC + 6;
 }

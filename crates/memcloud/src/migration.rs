@@ -1,0 +1,618 @@
+//! Online trunk migration: the memory-cloud half of `trinity-elastic`.
+//!
+//! A migration streams one trunk's cells from a *donor* to a *recipient*
+//! in bounded chunks **while the donor keeps serving**. The protocol is
+//! coordinator-driven (the elastic engine issues every frame; donor and
+//! recipient only answer), in six phases:
+//!
+//! 1. **Begin** — the donor snapshots its cell-id list and arms a delta
+//!    log: every subsequent mutation of the trunk records the dirty cell
+//!    id (reads stay untouched).
+//! 2. **Stream** — the coordinator walks the snapshot cursor with
+//!    `MIG_READ`, forwarding each chunk to the recipient with
+//!    `MIG_APPLY`. Payloads are read at stream time, so a cell mutated
+//!    after the snapshot ships its *newer* bytes (the delta record makes
+//!    the final state right either way).
+//! 3. **Catch-up** — `MIG_DELTA` drains the dirty set in rounds: each
+//!    dirty id resolves to its *current* state (upsert with fresh bytes,
+//!    or a remove), version-stamped for fencing.
+//! 4. **Seal** — the donor rejects further *writes* to the trunk with
+//!    `MOVED` (reads still serve); one final delta drain empties the log.
+//! 5. **Commit** — the recipient persists the assembled trunk to TFS, so
+//!    a post-flip crash recovers the migrated state, not a stale backup.
+//! 6. **Flip** — the coordinator persists the epoch-bumped table to TFS
+//!    *before* installing it anywhere, then installs on recipient, donor,
+//!    and the rest of the cluster. The donor evicts the trunk and
+//!    remembers its flip epoch: stale requests get `MOVED{epoch}`, which
+//!    makes the client sync its table replica and retry.
+//!
+//! # Fencing argument
+//!
+//! Version stamps are minted by a process-global monotonic counter
+//! (`trinity_memstore::next_version`), so any two states of a cell are
+//! totally ordered by stamp. Every migrated entry carries the stamp of
+//! the state it describes (removes carry a freshly minted fence stamp,
+//! which is greater than every stamp the cell ever had). The recipient
+//! keeps a per-cell high-water fence and drops any entry at or below it —
+//! a duplicated or reordered frame (chaos injects both) can never roll a
+//! cell backwards, and re-applying the same entry twice is a no-op.
+//! Control frames carry a monotonic migration id (`mid`); a frame from a
+//! superseded migration attempt is rejected outright.
+//!
+//! # Crash matrix
+//!
+//! * **Donor crashes** mid-migration: the coordinator's next frame fails,
+//!   the migration aborts, and the ordinary §6.2 failure recovery path
+//!   reassigns the trunk from its TFS backup.
+//! * **Recipient crashes**: the migration aborts; the donor unseals (via
+//!   `MIG_ABORT`, or the seal timeout below) and keeps serving.
+//! * **Coordinator crashes**: if it died before the TFS table write, the
+//!   flip never existed — the donor's seal times out, it confirms via the
+//!   TFS primary that it still owns the trunk, drops the migration state
+//!   and keeps serving. If it died after the TFS write, the flip *is*
+//!   committed — the donor's timed-out seal check syncs the new table,
+//!   completes the flip locally and answers `MOVED` from then on. Either
+//!   way there is exactly one owner per the TFS primary at all times.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use trinity_memstore::CellVersion;
+use trinity_net::{Endpoint, MachineId};
+
+use crate::proto;
+use crate::table::AddressingTable;
+use crate::{CellId, CloudError, Result};
+
+/// How long a donor honours a seal with no flip before it assumes the
+/// coordinator died and resolves ownership through the TFS primary.
+pub(crate) const SEAL_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Mint a migration id: globally monotonic, so a recipient can order
+/// competing migration attempts for the same trunk.
+pub fn next_migration_id() -> u64 {
+    // Version stamps and migration ids share one monotonic source; they
+    // are never compared against each other.
+    trinity_memstore::next_version()
+}
+
+/// One migrated cell state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigEntry {
+    /// The cell exists with these bytes, stamped `version`.
+    Upsert {
+        id: CellId,
+        version: CellVersion,
+        bytes: Vec<u8>,
+    },
+    /// The cell was removed; `version` is a fence stamp minted at drain
+    /// time (greater than any stamp the cell ever carried).
+    Remove { id: CellId, version: CellVersion },
+}
+
+impl MigEntry {
+    /// The cell this entry describes.
+    pub fn id(&self) -> CellId {
+        match self {
+            MigEntry::Upsert { id, .. } | MigEntry::Remove { id, .. } => *id,
+        }
+    }
+
+    /// The fence stamp this entry carries.
+    pub fn version(&self) -> CellVersion {
+        match self {
+            MigEntry::Upsert { version, .. } | MigEntry::Remove { version, .. } => *version,
+        }
+    }
+
+    /// Payload bytes shipped by this entry (0 for removes).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            MigEntry::Upsert { bytes, .. } => bytes.len(),
+            MigEntry::Remove { .. } => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node-side state
+// ---------------------------------------------------------------------
+
+/// Donor-side record of one outbound migration.
+pub(crate) struct DonorMig {
+    /// Migration id this entry belongs to; stale frames are rejected.
+    pub(crate) mid: u64,
+    /// Cell ids resident at `MIG_BEGIN` (the stream cursor walks this).
+    pub(crate) snapshot: Vec<CellId>,
+    /// Dirty cells in first-touch order, awaiting a delta drain.
+    pub(crate) dirty: VecDeque<CellId>,
+    pub(crate) dirty_set: HashSet<CellId>,
+    /// When the seal landed; `None` while streaming/catching up.
+    pub(crate) sealed_at: Option<Instant>,
+}
+
+/// Outcome of arming a donor-side migration (see
+/// [`MigrationState::begin_donor`]).
+pub(crate) enum BeginOutcome {
+    /// New entry published (empty snapshot — the caller fills it).
+    Created(Arc<Mutex<DonorMig>>),
+    /// Same mid already armed (duplicated BEGIN); snapshot length carried.
+    Existing(usize),
+    /// The frame's mid is older than the armed attempt.
+    Stale,
+}
+
+/// Recipient-side record of one inbound migration: the per-cell version
+/// fence that makes chunk application idempotent and reorder-proof.
+pub(crate) struct Incoming {
+    pub(crate) mid: u64,
+    pub(crate) fence: HashMap<CellId, CellVersion>,
+}
+
+/// A node's migration books: outbound donors, inbound fences, and the
+/// trunks this node gave away (with their flip epochs, for `MOVED`).
+#[derive(Default)]
+pub(crate) struct MigrationState {
+    donors: RwLock<HashMap<u64, Arc<Mutex<DonorMig>>>>,
+    incoming: Mutex<HashMap<u64, Incoming>>,
+    moved: RwLock<HashMap<u64, u64>>,
+}
+
+impl MigrationState {
+    /// The donor entry for `gid`, if a migration is in flight.
+    pub(crate) fn donor(&self, gid: u64) -> Option<Arc<Mutex<DonorMig>>> {
+        self.donors.read().get(&gid).cloned()
+    }
+
+    /// Shared lock over the donor map. The write gate holds this across a
+    /// trunk mutation so that `begin_donor` (which takes the write lock)
+    /// cannot publish an entry — and snapshot the trunk — mid-mutation:
+    /// every write either precedes the snapshot or is caught by the log.
+    pub(crate) fn donors_read(
+        &self,
+    ) -> parking_lot::RwLockReadGuard<'_, HashMap<u64, Arc<Mutex<DonorMig>>>> {
+        self.donors.read()
+    }
+
+    /// Arm delta capture for `gid`. A newer mid supersedes a stalled
+    /// older attempt; an older mid is rejected. On `Created` the caller
+    /// must capture the trunk's cell ids into the (still empty) snapshot
+    /// — the entry is published *first* so any write racing the snapshot
+    /// is caught by the delta log (see the donor's write gate).
+    pub(crate) fn begin_donor(&self, gid: u64, mid: u64) -> BeginOutcome {
+        let mut donors = self.donors.write();
+        if let Some(existing) = donors.get(&gid) {
+            let g = existing.lock();
+            match g.mid.cmp(&mid) {
+                std::cmp::Ordering::Equal => return BeginOutcome::Existing(g.snapshot.len()),
+                std::cmp::Ordering::Greater => return BeginOutcome::Stale,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        let entry = Arc::new(Mutex::new(DonorMig {
+            mid,
+            snapshot: Vec::new(),
+            dirty: VecDeque::new(),
+            dirty_set: HashSet::new(),
+            sealed_at: None,
+        }));
+        donors.insert(gid, Arc::clone(&entry));
+        BeginOutcome::Created(entry)
+    }
+
+    /// Drop the donor entry for `gid` if it belongs to `mid` (or to any
+    /// mid, when `mid` is `None` — the local auto-unseal path).
+    pub(crate) fn abort_donor(&self, gid: u64, mid: Option<u64>) {
+        let mut donors = self.donors.write();
+        if let Some(e) = donors.get(&gid) {
+            if mid.is_none_or(|m| e.lock().mid == m) {
+                donors.remove(&gid);
+            }
+        }
+    }
+
+    /// The flip epoch of a trunk this node gave away, if any.
+    pub(crate) fn moved_epoch(&self, gid: u64) -> Option<u64> {
+        self.moved.read().get(&gid).copied()
+    }
+
+    /// Run the recipient-side fence for `mid`/`gid` over `entries`,
+    /// returning only the entries that survive (newer than the fence).
+    /// `None` means the whole frame is from a superseded migration. The
+    /// boolean is true when this frame *starts* an attempt (first frame,
+    /// or a newer mid superseding a stalled one): the caller must then
+    /// discard whatever a previous attempt staged before applying.
+    pub(crate) fn fence_incoming(
+        &self,
+        gid: u64,
+        mid: u64,
+        entries: Vec<MigEntry>,
+    ) -> Option<(bool, Vec<MigEntry>)> {
+        let mut incoming = self.incoming.lock();
+        let mut started = false;
+        let inc = incoming.entry(gid).or_insert_with(|| {
+            started = true;
+            Incoming {
+                mid,
+                fence: HashMap::new(),
+            }
+        });
+        match inc.mid.cmp(&mid) {
+            std::cmp::Ordering::Greater => return None,
+            std::cmp::Ordering::Less => {
+                // A newer attempt supersedes whatever the old one staged.
+                started = true;
+                *inc = Incoming {
+                    mid,
+                    fence: HashMap::new(),
+                };
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        let mut fresh = Vec::with_capacity(entries.len());
+        for e in entries {
+            match inc.fence.get(&e.id()) {
+                Some(&v) if v >= e.version() => continue,
+                _ => {
+                    inc.fence.insert(e.id(), e.version());
+                    fresh.push(e);
+                }
+            }
+        }
+        Some((started, fresh))
+    }
+
+    /// Whether an inbound migration is staging into `gid` on this node.
+    pub(crate) fn has_incoming(&self, gid: u64) -> bool {
+        self.incoming.lock().contains_key(&gid)
+    }
+
+    /// Drop the inbound fence for `gid` if it belongs to `mid` — the
+    /// recipient half of an abort. Returns whether it was dropped; a late
+    /// abort from a superseded attempt must not touch newer staging.
+    pub(crate) fn abort_incoming(&self, gid: u64, mid: u64) -> bool {
+        let mut incoming = self.incoming.lock();
+        if incoming.get(&gid).is_some_and(|inc| inc.mid == mid) {
+            incoming.remove(&gid);
+            return true;
+        }
+        false
+    }
+
+    /// Forget everything — used when a machine revives after a crash: its
+    /// in-flight migrations (either side) died with it, and the fresh
+    /// table sync rebuilds the `moved` book from scratch.
+    pub(crate) fn reset(&self) {
+        self.donors.write().clear();
+        self.incoming.lock().clear();
+        self.moved.write().clear();
+    }
+
+    /// Reconcile the books with a freshly installed table: donor entries
+    /// for trunks that left this machine are over (the flip completed),
+    /// their flip epochs are recorded for `MOVED` replies, and inbound
+    /// fences for trunks now owned here are done. Trunks that came *back*
+    /// are no longer "moved".
+    pub(crate) fn on_table_installed(
+        &self,
+        me: MachineId,
+        old: &AddressingTable,
+        new: &AddressingTable,
+    ) {
+        self.donors
+            .write()
+            .retain(|&gid, _| new.machine_for(gid) == me);
+        let mut moved = self.moved.write();
+        for gid in old.trunks_of(me) {
+            if new.machine_for(gid) != me {
+                moved.insert(gid, new.epoch);
+            }
+        }
+        moved.retain(|&gid, _| new.machine_for(gid) != me);
+        drop(moved);
+        self.incoming
+            .lock()
+            .retain(|&gid, _| new.machine_for(gid) != me);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------
+
+pub(crate) const MIG_OK: u8 = 0;
+pub(crate) const MIG_ERR: u8 = 1;
+
+const UPSERT_TAG: u8 = 0;
+const REMOVE_TAG: u8 = 1;
+
+/// Every migration request starts `[mid u64, trunk u64]`.
+pub(crate) fn encode_header(mid: u64, trunk: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&mid.to_le_bytes());
+    out.extend_from_slice(&trunk.to_le_bytes());
+    out
+}
+
+pub(crate) fn decode_header(data: &[u8]) -> Option<(u64, u64, &[u8])> {
+    if data.len() < 16 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(data[..8].try_into().unwrap()),
+        u64::from_le_bytes(data[8..16].try_into().unwrap()),
+        &data[16..],
+    ))
+}
+
+pub(crate) fn encode_entries(out: &mut Vec<u8>, entries: &[MigEntry]) {
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        match e {
+            MigEntry::Upsert { id, version, bytes } => {
+                out.push(UPSERT_TAG);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            MigEntry::Remove { id, version } => {
+                out.push(REMOVE_TAG);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+        }
+    }
+}
+
+pub(crate) fn decode_entries(data: &[u8]) -> Option<(Vec<MigEntry>, &[u8])> {
+    let n = u32::from_le_bytes(data.get(..4)?.try_into().unwrap()) as usize;
+    let mut at = 4usize;
+    let mut entries = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tag = *data.get(at)?;
+        let id = u64::from_le_bytes(data.get(at + 1..at + 9)?.try_into().unwrap());
+        let version = u64::from_le_bytes(data.get(at + 9..at + 17)?.try_into().unwrap());
+        at += 17;
+        match tag {
+            UPSERT_TAG => {
+                let len = u32::from_le_bytes(data.get(at..at + 4)?.try_into().unwrap()) as usize;
+                let bytes = data.get(at + 4..at + 4 + len)?.to_vec();
+                at += 4 + len;
+                entries.push(MigEntry::Upsert { id, version, bytes });
+            }
+            REMOVE_TAG => entries.push(MigEntry::Remove { id, version }),
+            _ => return None,
+        }
+    }
+    Some((entries, &data[at..]))
+}
+
+fn ok_reply(fields: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + fields.len() * 8);
+    out.push(MIG_OK);
+    for f in fields {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    out
+}
+
+pub(crate) fn err_reply(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(MIG_ERR);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+pub(crate) fn ok_u64s(fields: &[u64]) -> Vec<u8> {
+    ok_reply(fields)
+}
+
+pub(crate) fn ok_with_entries(fields: &[u64], entries: &[MigEntry]) -> Vec<u8> {
+    let mut out = ok_reply(fields);
+    encode_entries(&mut out, entries);
+    out
+}
+
+/// Split an OK reply into its leading u64 fields and the remainder, or
+/// surface the carried error.
+fn parse_ok(raw: &[u8], n_fields: usize) -> Result<(Vec<u64>, &[u8])> {
+    match raw.first() {
+        Some(&MIG_OK) if raw.len() > n_fields * 8 => {
+            let fields = (0..n_fields)
+                .map(|i| u64::from_le_bytes(raw[1 + i * 8..9 + i * 8].try_into().unwrap()))
+                .collect();
+            Ok((fields, &raw[1 + n_fields * 8..]))
+        }
+        Some(&MIG_ERR) => Err(CloudError::Migration(
+            String::from_utf8_lossy(&raw[1..]).into_owned(),
+        )),
+        _ => Err(CloudError::BadReply),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator-side client API (used by trinity-elastic)
+// ---------------------------------------------------------------------
+
+fn call(ep: &Endpoint, dst: MachineId, pid: u16, req: &[u8]) -> Result<Vec<u8>> {
+    ep.call(dst, pid, req).map_err(CloudError::Net)
+}
+
+/// Arm delta capture on the donor. Returns the snapshot cell count.
+pub fn begin(ep: &Endpoint, donor: MachineId, mid: u64, trunk: u64) -> Result<u64> {
+    let raw = call(ep, donor, proto::MIG_BEGIN, &encode_header(mid, trunk))?;
+    Ok(parse_ok(&raw, 1)?.0[0])
+}
+
+/// Read one bounded chunk of the donor's snapshot from `cursor`.
+/// Returns `(next_cursor, entries)`; an empty batch with
+/// `next_cursor >= snapshot length` ends the stream.
+pub fn read_chunk(
+    ep: &Endpoint,
+    donor: MachineId,
+    mid: u64,
+    trunk: u64,
+    cursor: u64,
+    max_cells: u32,
+    max_bytes: u32,
+) -> Result<(u64, Vec<MigEntry>)> {
+    let mut req = encode_header(mid, trunk);
+    req.extend_from_slice(&cursor.to_le_bytes());
+    req.extend_from_slice(&max_cells.to_le_bytes());
+    req.extend_from_slice(&max_bytes.to_le_bytes());
+    let raw = call(ep, donor, proto::MIG_READ, &req)?;
+    let (fields, rest) = parse_ok(&raw, 1)?;
+    let (entries, tail) = decode_entries(rest).ok_or(CloudError::BadReply)?;
+    if !tail.is_empty() {
+        return Err(CloudError::BadReply);
+    }
+    Ok((fields[0], entries))
+}
+
+/// Drain up to `max` dirty cells from the donor's delta log. Returns the
+/// number still pending and the drained entries (resolved to their
+/// current state at drain time).
+pub fn drain_delta(
+    ep: &Endpoint,
+    donor: MachineId,
+    mid: u64,
+    trunk: u64,
+    max: u32,
+) -> Result<(u64, Vec<MigEntry>)> {
+    let mut req = encode_header(mid, trunk);
+    req.extend_from_slice(&max.to_le_bytes());
+    let raw = call(ep, donor, proto::MIG_DELTA, &req)?;
+    let (fields, rest) = parse_ok(&raw, 1)?;
+    let (entries, tail) = decode_entries(rest).ok_or(CloudError::BadReply)?;
+    if !tail.is_empty() {
+        return Err(CloudError::BadReply);
+    }
+    Ok((fields[0], entries))
+}
+
+/// Seal the trunk on the donor: writes are refused from here on (reads
+/// still serve). Returns the delta entries still pending.
+pub fn seal(ep: &Endpoint, donor: MachineId, mid: u64, trunk: u64) -> Result<u64> {
+    let raw = call(ep, donor, proto::MIG_SEAL, &encode_header(mid, trunk))?;
+    Ok(parse_ok(&raw, 1)?.0[0])
+}
+
+/// Abandon the migration on the donor: delta capture stops, a seal is
+/// lifted, and the donor keeps serving as before.
+pub fn abort(ep: &Endpoint, donor: MachineId, mid: u64, trunk: u64) -> Result<()> {
+    let raw = call(ep, donor, proto::MIG_ABORT, &encode_header(mid, trunk))?;
+    parse_ok(&raw, 0).map(|_| ())
+}
+
+/// Apply a batch of migrated entries on the recipient. Returns how many
+/// survived the version fence (duplicates and stale frames are dropped).
+pub fn apply(
+    ep: &Endpoint,
+    recipient: MachineId,
+    mid: u64,
+    trunk: u64,
+    entries: &[MigEntry],
+) -> Result<u64> {
+    let mut req = encode_header(mid, trunk);
+    encode_entries(&mut req, entries);
+    let raw = call(ep, recipient, proto::MIG_APPLY, &req)?;
+    Ok(parse_ok(&raw, 1)?.0[0])
+}
+
+/// Persist the assembled trunk on the recipient to TFS (pre-flip, so a
+/// crash after the flip recovers the migrated state).
+pub fn commit(ep: &Endpoint, recipient: MachineId, mid: u64, trunk: u64) -> Result<()> {
+    let raw = call(ep, recipient, proto::MIG_COMMIT, &encode_header(mid, trunk))?;
+    parse_ok(&raw, 0).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_codec_roundtrip() {
+        let entries = vec![
+            MigEntry::Upsert {
+                id: 7,
+                version: 40,
+                bytes: b"payload".to_vec(),
+            },
+            MigEntry::Remove { id: 9, version: 41 },
+            MigEntry::Upsert {
+                id: 1,
+                version: 42,
+                bytes: Vec::new(),
+            },
+        ];
+        let mut raw = Vec::new();
+        encode_entries(&mut raw, &entries);
+        let (decoded, rest) = decode_entries(&raw).unwrap();
+        assert_eq!(decoded, entries);
+        assert!(rest.is_empty());
+        // Truncation does not parse.
+        assert!(decode_entries(&raw[..raw.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = encode_header(5, 12);
+        assert_eq!(decode_header(&h), Some((5, 12, &b""[..])));
+        assert_eq!(decode_header(&h[..10]), None);
+    }
+
+    #[test]
+    fn incoming_fence_drops_stale_and_duplicate_entries() {
+        let st = MigrationState::default();
+        let up = |id, version| MigEntry::Upsert {
+            id,
+            version,
+            bytes: vec![version as u8],
+        };
+        let (started, first) = st.fence_incoming(3, 10, vec![up(1, 5), up(2, 6)]).unwrap();
+        assert!(started);
+        assert_eq!(first.len(), 2);
+        // A duplicated frame re-applies nothing (and does not restart).
+        let (started, dup) = st.fence_incoming(3, 10, vec![up(1, 5), up(2, 6)]).unwrap();
+        assert!(!started && dup.is_empty());
+        // A newer state passes; an older reordered one does not.
+        let (_, next) = st
+            .fence_incoming(
+                3,
+                10,
+                vec![up(1, 9), MigEntry::Remove { id: 2, version: 4 }],
+            )
+            .unwrap();
+        assert_eq!(next, vec![up(1, 9)]);
+        // A frame from a superseded migration attempt is rejected whole.
+        assert!(st.fence_incoming(3, 9, vec![up(1, 50)]).is_none());
+        // A newer attempt resets the fence (and flags the restart so the
+        // recipient discards the old staging).
+        let (started, fresh) = st.fence_incoming(3, 11, vec![up(1, 5)]).unwrap();
+        assert!(started);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn begin_donor_orders_migration_attempts() {
+        let st = MigrationState::default();
+        let BeginOutcome::Created(entry) = st.begin_donor(1, 10) else {
+            panic!("first begin must create");
+        };
+        entry.lock().snapshot = vec![1, 2, 3];
+        // Same mid is idempotent (duplicated BEGIN frame).
+        assert!(matches!(st.begin_donor(1, 10), BeginOutcome::Existing(3)));
+        // Stale mid is rejected; newer mid supersedes.
+        assert!(matches!(st.begin_donor(1, 9), BeginOutcome::Stale));
+        assert!(matches!(st.begin_donor(1, 11), BeginOutcome::Created(_)));
+        // Abort with the wrong mid is a no-op; right mid clears.
+        st.abort_donor(1, Some(10));
+        assert!(st.donor(1).is_some());
+        st.abort_donor(1, Some(11));
+        assert!(st.donor(1).is_none());
+    }
+}

@@ -39,7 +39,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -51,6 +51,7 @@ use trinity_obs::MachineScope;
 use trinity_tfs::Tfs;
 
 use crate::cache::{CacheStats, RemoteCache};
+use crate::migration::{self, BeginOutcome, MigEntry, MigrationState, SEAL_TIMEOUT};
 use crate::proto;
 use crate::table::{AddressingTable, TFS_TABLE_PATH};
 use crate::wire;
@@ -67,6 +68,21 @@ pub fn trunk_backup_path(gid: u64) -> String {
 /// after this bound and the reader's version floor catches the straggler.
 const INVALIDATE_TIMEOUT: Duration = Duration::from_millis(250);
 
+/// How long the access path keeps retrying a `MOVED` reply. The seal
+/// window of a healthy migration lasts one catch-up drain plus the table
+/// flip (microseconds to milliseconds); a dead coordinator resolves after
+/// [`SEAL_TIMEOUT`]. The budget comfortably covers both, so callers ride
+/// out migrations without ever seeing an error.
+const MOVED_RETRY_BUDGET: Duration = Duration::from_secs(3);
+
+/// Outcome of a trunk mutation run through the migration write gate.
+enum Gate<R> {
+    /// The mutation was applied (and logged if a migration is in flight).
+    Done(R),
+    /// The trunk is sealed or gone: refuse with `MOVED{epoch}`.
+    Moved { epoch: u64 },
+}
+
 /// One machine of the memory cloud.
 pub struct CloudNode {
     machine: MachineId,
@@ -82,6 +98,9 @@ pub struct CloudNode {
     /// This machine's metrics scope; cell operations attribute themselves
     /// to the owning trunk through its `LoadMap`.
     obs: MachineScope,
+    /// Migration books: outbound delta logs, inbound version fences, and
+    /// flip epochs of trunks this node gave away (for `MOVED` replies).
+    migration: MigrationState,
 }
 
 impl std::fmt::Debug for CloudNode {
@@ -124,6 +143,7 @@ impl CloudNode {
             cache,
             sharers: Mutex::new(HashMap::new()),
             obs,
+            migration: MigrationState::default(),
         });
         node.register_handlers();
         node
@@ -146,7 +166,7 @@ impl CloudNode {
                     None => return Some(wire::reply(wire::STORE_ERR, b"")),
                 };
                 if !node.owns(id) {
-                    return Some(wire::reply(wire::NOT_OWNER, b""));
+                    return Some(node.not_owner_reply(id));
                 }
                 Some(op(&node, src, id, body))
             });
@@ -163,6 +183,32 @@ impl CloudNode {
                 }
                 Some(Vec::new())
             });
+        type MigOp = fn(&CloudNode, &[u8]) -> Vec<u8>;
+        let mig_ops: [(u16, MigOp); 7] = [
+            (proto::MIG_BEGIN, CloudNode::handle_mig_begin),
+            (proto::MIG_READ, CloudNode::handle_mig_read),
+            (proto::MIG_DELTA, CloudNode::handle_mig_delta),
+            (proto::MIG_SEAL, CloudNode::handle_mig_seal),
+            (proto::MIG_ABORT, CloudNode::handle_mig_abort),
+            (proto::MIG_APPLY, CloudNode::handle_mig_apply),
+            (proto::MIG_COMMIT, CloudNode::handle_mig_commit),
+        ];
+        for (pid, op) in mig_ops {
+            let node = Arc::clone(self);
+            self.endpoint
+                .register(pid, move |_src, data| Some(op(&node, data)));
+        }
+    }
+
+    /// Reply for a cell this node does not own: `MOVED{epoch}` when the
+    /// trunk was migrated away (the caller must sync to at least that
+    /// epoch), otherwise the plain stale-table `NOT_OWNER`.
+    fn not_owner_reply(&self, id: CellId) -> Vec<u8> {
+        let gid = self.table.read().trunk_of(id);
+        match self.migration.moved_epoch(gid) {
+            Some(epoch) => wire::reply_moved(epoch),
+            None => wire::reply(wire::NOT_OWNER, b""),
+        }
     }
 
     /// This node's machine id.
@@ -287,44 +333,104 @@ impl CloudNode {
         reply
     }
 
+    /// Run a trunk mutation through the migration write gate.
+    ///
+    /// * No migration in flight: apply while holding the donor map's read
+    ///   lock — `MIG_BEGIN` takes the write lock, so it cannot publish an
+    ///   entry and snapshot the trunk mid-mutation; the write is in the
+    ///   snapshot.
+    /// * Migration streaming/catching up: apply under the entry lock and
+    ///   record the dirty id, so a delta drain ships the new state.
+    /// * Sealed: refuse with `MOVED{epoch}` — the flip is imminent and the
+    ///   caller retries against the new owner after a table sync. A seal
+    ///   older than [`SEAL_TIMEOUT`] means the coordinator died: resolve
+    ///   ownership through the TFS primary and either resume serving
+    ///   (still owner → drop the migration) or complete the flip locally.
+    fn gated_mutate<R>(&self, gid: u64, id: CellId, mut op: impl FnMut() -> R) -> Gate<R> {
+        loop {
+            let donors = self.migration.donors_read();
+            let Some(entry) = donors.get(&gid).map(Arc::clone) else {
+                let out = op();
+                return Gate::Done(out);
+            };
+            // Map-then-entry lock order, same as `begin_donor`; holding
+            // the map lock keeps `entry` current while we decide.
+            let mut g = entry.lock();
+            match g.sealed_at {
+                None => {
+                    let out = op();
+                    if g.dirty_set.insert(id) {
+                        g.dirty.push_back(id);
+                    }
+                    return Gate::Done(out);
+                }
+                Some(at) if at.elapsed() < SEAL_TIMEOUT => {
+                    // The flip (if it lands) bumps the epoch past ours.
+                    let epoch = self.table.read().epoch + 1;
+                    return Gate::Moved { epoch };
+                }
+                Some(_) => {
+                    // Coordinator presumed dead: ask the TFS primary who
+                    // owns the trunk now. Never hold the migration locks
+                    // across a table install (lock-order inversion).
+                    let mid = g.mid;
+                    drop(g);
+                    drop(donors);
+                    let _ = self.sync_table();
+                    if let Some(epoch) = self.migration.moved_epoch(gid) {
+                        return Gate::Moved { epoch };
+                    }
+                    if self.table.read().machine_for(gid) == self.machine {
+                        // Still the owner per the primary: the flip never
+                        // committed. Unseal and serve.
+                        self.migration.abort_donor(gid, Some(mid));
+                    }
+                }
+            }
+        }
+    }
+
     fn handle_put(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
         let trunk = self.local_trunk(id);
         // The writer caches the bytes it wrote, so it is a sharer too;
         // register before the write so later writes invalidate it.
         self.record_sharer(trunk.id(), src);
         self.obs.load().record_write(trunk.id(), body.len() as u64);
-        match trunk.put(id, body) {
-            Ok(version) => {
+        match self.gated_mutate(trunk.id(), id, || trunk.put(id, body)) {
+            Gate::Moved { epoch } => wire::reply_moved(epoch),
+            Gate::Done(Ok(version)) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
     fn handle_remove(&self, src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
         let trunk = self.local_trunk(id);
         self.obs.load().record_write(trunk.id(), 0);
-        match trunk.remove(id) {
-            Ok(version) => {
+        match self.gated_mutate(trunk.id(), id, || trunk.remove(id)) {
+            Gate::Moved { epoch } => wire::reply_moved(epoch),
+            Gate::Done(Ok(version)) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
-            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Gate::Done(Err(StoreError::NotFound(_))) => wire::reply(wire::NOT_FOUND, b""),
+            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
     fn handle_append(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
         let trunk = self.local_trunk(id);
         self.obs.load().record_write(trunk.id(), body.len() as u64);
-        match trunk.append(id, body) {
-            Ok(version) => {
+        match self.gated_mutate(trunk.id(), id, || trunk.append(id, body)) {
+            Gate::Moved { epoch } => wire::reply_moved(epoch),
+            Gate::Done(Ok(version)) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Err(StoreError::NotFound(_)) => wire::reply(wire::NOT_FOUND, b""),
-            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Gate::Done(Err(StoreError::NotFound(_))) => wire::reply(wire::NOT_FOUND, b""),
+            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
@@ -369,6 +475,226 @@ impl CloudNode {
     }
 
     // ------------------------------------------------------------------
+    // Migration protocol handlers (donor and recipient sides)
+    // ------------------------------------------------------------------
+
+    /// `MIG_BEGIN` (donor): publish the migration entry, *then* snapshot
+    /// the trunk's cell ids. Publication-before-snapshot is what lets the
+    /// write gate guarantee every mutation is in the snapshot or the log.
+    fn handle_mig_begin(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, _)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        if self.table.read().machine_for(gid) != self.machine {
+            return migration::err_reply("not the trunk owner");
+        }
+        let Some(trunk) = self.store.trunk(gid) else {
+            return migration::err_reply("trunk not resident");
+        };
+        match self.migration.begin_donor(gid, mid) {
+            BeginOutcome::Stale => migration::err_reply("superseded migration id"),
+            BeginOutcome::Existing(n) => migration::ok_u64s(&[n as u64]),
+            BeginOutcome::Created(entry) => {
+                let ids = trunk.cell_ids();
+                let n = ids.len() as u64;
+                entry.lock().snapshot = ids;
+                migration::ok_u64s(&[n])
+            }
+        }
+    }
+
+    /// `MIG_READ` (donor): one bounded chunk of the snapshot, payloads
+    /// read at stream time. Cells removed since the snapshot are skipped —
+    /// their remove is in the delta log.
+    fn handle_mig_read(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, rest)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        if rest.len() < 16 {
+            return migration::err_reply("bad frame");
+        }
+        let cursor = u64::from_le_bytes(rest[..8].try_into().unwrap()) as usize;
+        let max_cells = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+        let max_bytes = u32::from_le_bytes(rest[12..16].try_into().unwrap()) as usize;
+        let Some(entry) = self.migration.donor(gid) else {
+            return migration::err_reply("no migration in flight");
+        };
+        let Some(trunk) = self.store.trunk(gid) else {
+            return migration::err_reply("trunk not resident");
+        };
+        let g = entry.lock();
+        if g.mid != mid {
+            return migration::err_reply("superseded migration id");
+        }
+        let mut entries = Vec::new();
+        let mut bytes = 0usize;
+        let mut next = cursor;
+        for &id in g.snapshot.iter().skip(cursor).take(max_cells.max(1)) {
+            next += 1;
+            if let Some((version, guard)) = trunk.get_versioned(id) {
+                bytes += guard.len();
+                entries.push(MigEntry::Upsert {
+                    id,
+                    version,
+                    bytes: guard.to_vec(),
+                });
+                if bytes >= max_bytes {
+                    break;
+                }
+            }
+        }
+        migration::ok_with_entries(&[next as u64], &entries)
+    }
+
+    /// `MIG_DELTA` (donor): drain dirty cells, resolved to their current
+    /// state. Removed cells ship a freshly minted fence stamp, greater
+    /// than any stamp the cell ever carried.
+    fn handle_mig_delta(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, rest)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        if rest.len() < 4 {
+            return migration::err_reply("bad frame");
+        }
+        let max = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let Some(entry) = self.migration.donor(gid) else {
+            return migration::err_reply("no migration in flight");
+        };
+        let Some(trunk) = self.store.trunk(gid) else {
+            return migration::err_reply("trunk not resident");
+        };
+        let mut g = entry.lock();
+        if g.mid != mid {
+            return migration::err_reply("superseded migration id");
+        }
+        let mut entries = Vec::new();
+        for _ in 0..max.max(1) {
+            let Some(id) = g.dirty.pop_front() else {
+                break;
+            };
+            g.dirty_set.remove(&id);
+            match trunk.get_versioned(id) {
+                Some((version, guard)) => entries.push(MigEntry::Upsert {
+                    id,
+                    version,
+                    bytes: guard.to_vec(),
+                }),
+                None => entries.push(MigEntry::Remove {
+                    id,
+                    version: trinity_memstore::next_version(),
+                }),
+            }
+        }
+        migration::ok_with_entries(&[g.dirty.len() as u64], &entries)
+    }
+
+    /// `MIG_SEAL` (donor): refuse writes from here on (reads still serve)
+    /// and report how many delta entries are still pending.
+    fn handle_mig_seal(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, _)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        let Some(entry) = self.migration.donor(gid) else {
+            return migration::err_reply("no migration in flight");
+        };
+        let mut g = entry.lock();
+        if g.mid != mid {
+            return migration::err_reply("superseded migration id");
+        }
+        if g.sealed_at.is_none() {
+            g.sealed_at = Some(Instant::now());
+        }
+        migration::ok_u64s(&[g.dirty.len() as u64])
+    }
+
+    /// `MIG_ABORT` (either side): on the donor, lift the seal and stop
+    /// delta capture; on the recipient, drop the version fence and the
+    /// staged trunk. The coordinator sends it to both on failure.
+    fn handle_mig_abort(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, _)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        self.migration.abort_donor(gid, Some(mid));
+        if self.table.read().machine_for(gid) != self.machine
+            && self.migration.abort_incoming(gid, mid)
+        {
+            self.store.evict(gid);
+        }
+        migration::ok_u64s(&[])
+    }
+
+    /// `MIG_APPLY` (recipient): stage a batch of migrated entries behind
+    /// the per-cell version fence. The staged trunk is invisible to cell
+    /// traffic — this node does not own the trunk until the flip.
+    fn handle_mig_apply(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, rest)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        let Some((entries, tail)) = migration::decode_entries(rest) else {
+            return migration::err_reply("bad frame");
+        };
+        if !tail.is_empty() {
+            return migration::err_reply("bad frame");
+        }
+        if self.table.read().machine_for(gid) == self.machine {
+            return migration::err_reply("already the trunk owner");
+        }
+        match self.migration.fence_incoming(gid, mid, entries) {
+            None => migration::err_reply("superseded migration id"),
+            Some((started, fresh)) => {
+                if started {
+                    // First frame of this attempt: discard whatever an
+                    // aborted earlier attempt staged, so its leftover
+                    // cells cannot resurrect after the flip.
+                    self.store.evict(gid);
+                }
+                let trunk = self.store.ensure_trunk(gid);
+                let mut applied = 0u64;
+                for e in fresh {
+                    let ok = match e {
+                        MigEntry::Upsert { id, bytes, .. } => trunk.put(id, &bytes).is_ok(),
+                        MigEntry::Remove { id, .. } => {
+                            matches!(trunk.remove(id), Ok(_) | Err(StoreError::NotFound(_)))
+                        }
+                    };
+                    if !ok {
+                        return migration::err_reply("staging store error");
+                    }
+                    applied += 1;
+                }
+                migration::ok_u64s(&[applied])
+            }
+        }
+    }
+
+    /// `MIG_COMMIT` (recipient): persist the staged trunk to TFS so a
+    /// crash after the flip recovers the migrated state, not a stale
+    /// backup. An empty staging still writes a (empty) backup image —
+    /// otherwise the flip would reload the donor's outdated one.
+    fn handle_mig_commit(&self, data: &[u8]) -> Vec<u8> {
+        let Some((mid, gid, _)) = migration::decode_header(data) else {
+            return migration::err_reply("bad frame");
+        };
+        if self.table.read().machine_for(gid) != self.machine {
+            // Zero-cell migrations never sent an APPLY; seed the fence so
+            // a straggling frame from an older attempt is still rejected.
+            match self.migration.fence_incoming(gid, mid, Vec::new()) {
+                None => return migration::err_reply("superseded migration id"),
+                Some((started, _)) => {
+                    if started {
+                        self.store.evict(gid);
+                    }
+                }
+            }
+            self.store.ensure_trunk(gid);
+        }
+        match self.backup_trunk(gid) {
+            Ok(()) => migration::ok_u64s(&[]),
+            Err(e) => migration::err_reply(&format!("backup failed: {e}")),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Location-transparent cell operations
     // ------------------------------------------------------------------
 
@@ -378,10 +704,14 @@ impl CloudNode {
         id: CellId,
         body: &[u8],
     ) -> Result<Option<(CellVersion, Vec<u8>)>> {
-        for attempt in 0..2 {
+        let started = Instant::now();
+        let mut resynced = false;
+        loop {
             let (trunk, owner) = self.route(id);
-            if owner == self.machine {
-                // (Became) local — run the handler body directly.
+            let outcome = if owner == self.machine {
+                // (Became) local — run the handler body directly. A local
+                // write can still answer `MOVED` when the trunk is sealed
+                // by an in-flight migration.
                 let raw = match pid {
                     proto::GET => self.handle_get(self.machine, id, body),
                     proto::PUT => self.handle_put(self.machine, id, body),
@@ -390,38 +720,48 @@ impl CloudNode {
                     proto::CONTAINS => self.handle_contains(self.machine, id, body),
                     _ => unreachable!("unknown memcloud protocol {pid}"),
                 };
-                return wire::parse_reply(&raw, trunk, owner);
-            }
-            let outcome = self
-                .endpoint
-                .call(owner, pid, &wire::encode_req(id, body))
-                .map_err(|e| match e {
-                    // Typed so callers see "budget spent", not "network
-                    // broke" — and so the retry arm below never treats an
-                    // expired query as a stale table or a dead owner.
-                    NetError::DeadlineExceeded(m, _) => CloudError::DeadlineExceeded { machine: m },
-                    e => CloudError::Net(e),
-                })
-                .and_then(|raw| wire::parse_reply(&raw, trunk, owner));
+                wire::parse_reply(&raw, trunk, owner)
+            } else {
+                self.endpoint
+                    .call(owner, pid, &wire::encode_req(id, body))
+                    .map_err(|e| match e {
+                        // Typed so callers see "budget spent", not
+                        // "network broke" — and so the retry arms below
+                        // never treat an expired query as a stale table
+                        // or a dead owner.
+                        NetError::DeadlineExceeded(m, _) => {
+                            CloudError::DeadlineExceeded { machine: m }
+                        }
+                        e => CloudError::Net(e),
+                    })
+                    .and_then(|raw| wire::parse_reply(&raw, trunk, owner))
+            };
             match outcome {
                 Ok(v) => return Ok(v),
+                Err(e @ CloudError::Moved { .. }) => {
+                    // The trunk is mid-migration (sealed flip window) or
+                    // already flipped: keep syncing and retrying within
+                    // the budget — the flip lands in milliseconds, so a
+                    // healthy migration is invisible to the caller.
+                    if started.elapsed() >= MOVED_RETRY_BUDGET {
+                        return Err(e);
+                    }
+                    let _ = self.sync_table();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
                 Err(CloudError::WrongOwner { .. })
                 | Err(CloudError::Net(NetError::Unreachable(_)))
                 | Err(CloudError::Net(NetError::Timeout(..)))
-                    if attempt == 0 =>
+                    if !resynced =>
                 {
                     // Stale table or dead owner: re-sync from the TFS
                     // primary and retry once.
+                    resynced = true;
                     let _ = self.sync_table();
                 }
                 Err(e) => return Err(e),
             }
         }
-        let (trunk, owner) = self.route(id);
-        Err(CloudError::WrongOwner {
-            trunk,
-            asked: owner,
-        })
     }
 
     /// Read a cell from wherever it lives. Remote reads are served from
@@ -593,11 +933,16 @@ impl CloudNode {
         Ok(())
     }
 
-    /// Back all locally hosted trunks up to TFS (fault-tolerant data
-    /// persistence, paper §3).
+    /// Back all locally *owned* trunks up to TFS (fault-tolerant data
+    /// persistence, paper §3). Resident but unowned trunks — a migration
+    /// staging in, or leftovers of an aborted one — are skipped so a
+    /// partial staging never clobbers the owner's good backup.
     pub fn backup_all(&self) -> Result<()> {
+        let table = self.table();
         for gid in self.store.trunk_ids() {
-            self.backup_trunk(gid)?;
+            if table.machine_for(gid) == self.machine {
+                self.backup_trunk(gid)?;
+            }
         }
         Ok(())
     }
@@ -629,17 +974,23 @@ impl CloudNode {
     /// Adopt a new addressing table: reload newly owned trunks from TFS,
     /// evict trunks that moved away. No-op for stale epochs.
     ///
-    /// Reconfiguration also resets the coherence state: reloaded trunks
-    /// re-stamp every cell with fresh versions and a machine that was dead
-    /// missed invalidations, so cached remote reads and the sharer
-    /// directory are both cleared.
+    /// A trunk staged by an inbound migration is already resident, so the
+    /// flip neither reloads nor evicts it — the streamed cells survive
+    /// verbatim. Coherence state is invalidated *selectively*: only the
+    /// trunks whose owner actually changed drop their cached cells and
+    /// sharer records; unmoved trunks kept serving (and invalidating)
+    /// throughout, so their coherence state is still sound. (The revive
+    /// path clears everything instead — see [`Self::refresh_after_revive`]
+    /// — because a dead machine missed invalidations for unmoved trunks
+    /// too.)
     pub fn install_table(&self, new: AddressingTable) -> Result<()> {
-        {
+        let old = {
             let cur = self.table.read();
             if new.epoch <= cur.epoch {
                 return Ok(());
             }
-        }
+            cur.clone()
+        };
         let old_mine: std::collections::BTreeSet<u64> =
             self.store.trunk_ids().into_iter().collect();
         let new_mine: std::collections::BTreeSet<u64> =
@@ -648,11 +999,32 @@ impl CloudNode {
             self.reload_trunk(gid)?;
         }
         for &gid in old_mine.difference(&new_mine) {
-            self.store.evict(gid);
+            // Keep an actively staging trunk: a reconfiguration unrelated
+            // to the migration must not destroy its streamed cells.
+            if !self.migration.has_incoming(gid) {
+                self.store.evict(gid);
+            }
         }
+        let moved: BTreeSet<u64> = old.changed_trunks(&new).into_iter().collect();
+        self.migration.on_table_installed(self.machine, &old, &new);
         *self.table.write() = new;
+        self.cache.clear_trunks(&moved, old.p_bits());
+        self.sharers
+            .lock()
+            .retain(|gid, _| new_mine.contains(gid) && !moved.contains(gid));
+        Ok(())
+    }
+
+    /// Bring a machine that was dead back into service: drop every piece
+    /// of possibly stale soft state (remote-read cache, sharer directory,
+    /// migration books), then adopt the current TFS primary table *before*
+    /// serving — a revived machine must not answer for trunks that were
+    /// reassigned, or serve cached cells, while it was down.
+    pub fn refresh_after_revive(&self) -> Result<()> {
         self.cache.clear();
         self.sharers.lock().clear();
+        self.migration.reset();
+        self.sync_table()?;
         Ok(())
     }
 

@@ -138,6 +138,31 @@ impl AddressingTable {
         moved
     }
 
+    /// Move a single trunk to a new owner, bumping the epoch — the unit
+    /// step of an online migration flip. No-op (and no epoch bump) if the
+    /// trunk already lives there.
+    pub fn reassign_one(&mut self, trunk: u64, to: MachineId) {
+        if self.slots[trunk as usize] == to.0 {
+            return;
+        }
+        self.slots[trunk as usize] = to.0;
+        self.epoch += 1;
+    }
+
+    /// Trunks whose owner differs between this table and `other` — the
+    /// set a replica holder must treat as reconfigured (cached cells
+    /// dropped, sharer directories reset) when stepping between them.
+    pub fn changed_trunks(&self, other: &AddressingTable) -> Vec<u64> {
+        assert_eq!(self.slots.len(), other.slots.len());
+        self.slots
+            .iter()
+            .zip(&other.slots)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
     /// Serialize for TFS persistence.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.slots.len() * 2);

@@ -19,6 +19,9 @@ pub(crate) const OK: u8 = 0;
 pub(crate) const NOT_FOUND: u8 = 1;
 pub(crate) const NOT_OWNER: u8 = 2;
 pub(crate) const STORE_ERR: u8 = 3;
+/// The trunk migrated away from this machine (or is in its sealed flip
+/// window). Carries the 8-byte table epoch the caller must sync to.
+pub(crate) const MOVED: u8 = 4;
 
 pub(crate) fn encode_req(id: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + payload.len());
@@ -41,6 +44,14 @@ pub(crate) fn reply(status: u8, data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(1 + data.len());
     out.push(status);
     out.extend_from_slice(data);
+    out
+}
+
+/// A `MOVED` reply: status plus the epoch fence the caller must reach.
+pub(crate) fn reply_moved(epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(MOVED);
+    out.extend_from_slice(&epoch.to_le_bytes());
     out
 }
 
@@ -68,6 +79,10 @@ pub(crate) fn parse_reply(
         }
         Some(&NOT_FOUND) => Ok(None),
         Some(&NOT_OWNER) => Err(CloudError::WrongOwner { trunk, asked }),
+        Some(&MOVED) if data.len() >= 9 => Err(CloudError::Moved {
+            trunk,
+            epoch: u64::from_le_bytes(data[1..9].try_into().unwrap()),
+        }),
         Some(&STORE_ERR) => Err(CloudError::Store(
             trinity_memstore::StoreError::OutOfMemory {
                 requested: 0,
@@ -223,6 +238,15 @@ mod tests {
         // A truncated OK reply (no room for the version stamp) is malformed.
         assert!(matches!(
             parse_reply(&[OK, 1, 2], 0, MachineId(0)),
+            Err(CloudError::BadReply)
+        ));
+        assert!(matches!(
+            parse_reply(&reply_moved(9), 5, MachineId(2)),
+            Err(CloudError::Moved { trunk: 5, epoch: 9 })
+        ));
+        // A truncated MOVED reply (no epoch fence) is malformed.
+        assert!(matches!(
+            parse_reply(&[MOVED, 1], 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
     }

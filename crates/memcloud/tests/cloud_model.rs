@@ -119,7 +119,7 @@ proptest! {
         for op in &before {
             apply(&cloud, &mut model, op);
         }
-        cloud.join_machine(2).unwrap();
+        cloud.cold_join(2).unwrap();
         for (k, v) in &model {
             let got = cloud.node(2).get(*k).unwrap();
             prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "cell {} lost in join", k);

@@ -99,6 +99,10 @@ pub mod proto {
     pub const FIRST_MEMCLOUD: ProtoId = 8;
     /// First protocol id available to the computation runtime.
     pub const FIRST_RUNTIME: ProtoId = 16;
+    /// First protocol id of the elastic-membership range: the online
+    /// trunk-migration frames (begin/chunk/delta/seal/apply/commit) that
+    /// `trinity-elastic` drives through the memory cloud.
+    pub const FIRST_ELASTIC: ProtoId = 32;
     /// First protocol id available to TSL-declared user protocols.
     pub const FIRST_USER: ProtoId = 64;
 }

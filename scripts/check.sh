@@ -32,9 +32,14 @@ cargo run --release -p trinity-bench --bin cache_traversal "${HERMETIC[@]}" "$@"
     --metrics-out results/cache_traversal.metrics.json \
     --trace-out results/cache_traversal.trace.json
 
+echo "==> scaleout --smoke (elastic gate: zero failed ops across an online join + rebalance convergence)"
+cargo run --release -p trinity-bench --bin scaleout "${HERMETIC[@]}" "$@" -- --smoke \
+    --metrics-out results/scaleout.metrics.json
+
 echo "==> metrics_check (observability gate: exported artifacts schema-validate)"
 cargo run --release -p trinity-bench --bin metrics_check "${HERMETIC[@]}" "$@" -- \
-    results/cache_traversal.metrics.json results/cache_traversal.trace.json
+    results/cache_traversal.metrics.json results/cache_traversal.trace.json \
+    results/scaleout.metrics.json
 
 echo "==> chaos --force-fail (postmortem gate: a failing run must leave a flight dump)"
 TRINITY_FLIGHT_DIR=results/flight \

@@ -15,6 +15,7 @@
 //! | [`net`] | one-sided message passing, transparent packing, heartbeats, cost model | §2, §4.2 |
 //! | [`tsl`] | the Trinity Specification Language and zero-copy cell accessors | §4.2, §4.3 |
 //! | [`memcloud`] | the 2^p-trunk memory cloud and its addressing table | §3 |
+//! | [`elastic`] | online trunk migration, load-driven rebalance, machine drain | §3 |
 //! | [`graph`] | node/edge cells, SimpleEdge/StructEdge/HyperEdge, CSR, loader | §4.1 |
 //! | [`core`] | cluster roles, online traversal, BSP + hub optimization, Safra, checkpoints, recovery | §2, §5, §6.2 |
 //! | [`graphgen`] | R-MAT, power-law, social, LUBM-like generators | §7 |
@@ -42,6 +43,7 @@ pub use trinity_algos as algos;
 pub use trinity_baselines as baselines;
 pub use trinity_chaos as chaos;
 pub use trinity_core as core;
+pub use trinity_elastic as elastic;
 pub use trinity_graph as graph;
 pub use trinity_graphgen as graphgen;
 pub use trinity_memcloud as memcloud;

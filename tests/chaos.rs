@@ -16,8 +16,8 @@
 //! recorded log re-injects it bit-for-bit.
 
 use trinity::chaos::{
-    BspRingMax, CachedRemoteReads, ChaosRunner, ChaosWorkload, PartitionHeal, ServeSlice,
-    TraversalSearch,
+    BspRingMax, CachedRemoteReads, ChaosRunner, ChaosWorkload, MigrationStorm, PartitionHeal,
+    ServeSlice, TraversalSearch,
 };
 use trinity::net::{FaultPlan, NodeEvent, Partition, Trigger};
 
@@ -198,6 +198,93 @@ fn serve_under_chaos_accounts_for_every_query_seed_5eae() {
         report.faulty.crashes().len(),
         2,
         "both scheduled crashes must fire"
+    );
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// Online trunk migration under benign chaos (duplicates + sub-timeout
+/// delays, no crashes): whether the migration commits or aborts, no
+/// acknowledged write to the migrating trunk may be lost, every observed
+/// value must be real, and the cluster must agree on the trunk's owner.
+#[test]
+fn migration_storm_benign_chaos_seed_3a57() {
+    let plan = FaultPlan::new(0)
+        .with_duplicate(0.3)
+        .with_delay(0.2, 10, 50);
+    let runner = ChaosRunner::new(MigrationStorm::small(), plan);
+    let report = runner.run(0x3A57);
+    assert!(report.passed(), "{:?}", report.failures);
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// Crash the donor mid-stream (`Mark(2)`): the migration must abort or
+/// complete cleanly, recovery reassigns the donor's trunks, and the
+/// final write round converges exactly — no cell lost or served stale.
+#[test]
+fn migration_storm_donor_crash_during_stream_seed_d0e() {
+    let storm = MigrationStorm::small();
+    let plan = FaultPlan::new(0).with_event(Trigger::Mark(2), NodeEvent::Crash(storm.donor));
+    let runner = ChaosRunner::new(storm, plan);
+    let report = runner.run(0xD0E);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert!(
+        report.faulty.crashes().contains(&0),
+        "the donor crash must fire"
+    );
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// Crash the recipient during catch-up (`Mark(3)`): its staged cells die
+/// with it; the abort must leave the donor serving and nothing may
+/// reference the half-streamed copy.
+#[test]
+fn migration_storm_recipient_crash_during_catchup_seed_2ec() {
+    let storm = MigrationStorm::small();
+    let plan = FaultPlan::new(0).with_event(Trigger::Mark(3), NodeEvent::Crash(storm.recipient));
+    let runner = ChaosRunner::new(storm, plan);
+    let report = runner.run(0x2EC);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert!(
+        report.faulty.crashes().contains(&3),
+        "the recipient crash must fire"
+    );
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// Crash the donor at the seal (`Mark(4)`): writes are being rejected
+/// with MOVED at that instant, so the retry path and the recovery path
+/// overlap — acked writes must still never vanish from the converged
+/// state (the final round rewrites everything; validity + agreement are
+/// the live checks).
+#[test]
+fn migration_storm_donor_crash_at_seal_seed_5ea1() {
+    let storm = MigrationStorm::small();
+    let plan = FaultPlan::new(0).with_event(Trigger::Mark(4), NodeEvent::Crash(storm.donor));
+    let runner = ChaosRunner::new(storm, plan);
+    let report = runner.run(0x5EA1);
+    assert!(report.passed(), "{:?}", report.failures);
+    let replayed = runner.replay(&report.faulty.log);
+    assert!(replayed.passed(), "replay: {:?}", replayed.failures);
+}
+
+/// Crash the coordinator right before the flip (`Mark(6)`): the donor is
+/// sealed with no one driving. Its seal timeout must kick in, consult
+/// the TFS primary, and either resume serving (abort) or adopt the
+/// flipped table — clients retrying on MOVED never observe the limbo.
+#[test]
+fn migration_storm_coordinator_crash_at_flip_seed_c0de() {
+    let storm = MigrationStorm::small();
+    let plan = FaultPlan::new(0).with_event(Trigger::Mark(6), NodeEvent::Crash(storm.coordinator));
+    let runner = ChaosRunner::new(storm, plan);
+    let report = runner.run(0xC0DE);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert!(
+        report.faulty.crashes().contains(&1),
+        "the coordinator crash must fire"
     );
     let replayed = runner.replay(&report.faulty.log);
     assert!(replayed.passed(), "replay: {:?}", replayed.failures);
