@@ -220,6 +220,11 @@ fn agent_loop(
     let mut misses: HashMap<u16, u32> = HashMap::new();
     let mut recovered: HashSet<u16> = HashSet::new();
     let mut last_rebalance = std::time::Instant::now();
+    // At most one rebalance runs at a time, on its own thread: a long
+    // sequence of migrations must not suspend the leader's probe loop,
+    // or machines dying mid-rebalance would go undetected for the whole
+    // duration.
+    let mut rebalance_worker: Option<std::thread::JoinHandle<()>> = None;
     while !stop.load(Ordering::Acquire) {
         // A dead machine's agent must fall silent.
         if cloud.fabric().is_dead(me) {
@@ -267,24 +272,41 @@ fn agent_loop(
                 }
                 // Elastic duty: periodically level the placement against
                 // the live load map. The engine migrates online, so this
-                // never pauses serving; an empty plan is a no-op.
+                // never pauses serving; an empty plan is a no-op. The
+                // migrations run on a worker thread so probe rounds (and
+                // with them failure detection and recovery) continue
+                // while trunks move; a machine that dies mid-rebalance
+                // is recovered concurrently, and the engine's
+                // conditional table flip keeps the two writers from
+                // clobbering each other.
                 if let Some(every) = cfg.rebalance_every {
-                    if last_rebalance.elapsed() >= every {
+                    if rebalance_worker.as_ref().is_some_and(|h| h.is_finished()) {
+                        let _ = rebalance_worker.take().map(|h| h.join());
+                    }
+                    if rebalance_worker.is_none() && last_rebalance.elapsed() >= every {
                         last_rebalance = std::time::Instant::now();
-                        let engine = MigrationEngine::new(MigrationConfig {
-                            coordinator: Some(me.0),
-                            ..MigrationConfig::default()
-                        });
-                        if let Ok(reports) = engine.rebalance(&cloud) {
-                            if !reports.is_empty() {
-                                rebalances.inc();
-                                events.lock().push(RecoveryEvent::TrunksRebalanced {
-                                    by: me,
-                                    moves: reports.len(),
-                                    epoch: reports.last().map(|r| r.epoch).unwrap_or(0),
+                        let cloud = Arc::clone(&cloud);
+                        let events = Arc::clone(&events);
+                        let rebalances = Arc::clone(&rebalances);
+                        rebalance_worker = std::thread::Builder::new()
+                            .name(format!("trinity-rebalance-{m}"))
+                            .spawn(move || {
+                                let engine = MigrationEngine::new(MigrationConfig {
+                                    coordinator: Some(me.0),
+                                    ..MigrationConfig::default()
                                 });
-                            }
-                        }
+                                if let Ok(reports) = engine.rebalance(&cloud) {
+                                    if !reports.is_empty() {
+                                        rebalances.inc();
+                                        events.lock().push(RecoveryEvent::TrunksRebalanced {
+                                            by: me,
+                                            moves: reports.len(),
+                                            epoch: reports.last().map(|r| r.epoch).unwrap_or(0),
+                                        });
+                                    }
+                                }
+                            })
+                            .ok();
                     }
                 }
             }
@@ -312,6 +334,11 @@ fn agent_loop(
             }
         }
         std::thread::sleep(cfg.interval);
+    }
+    // Drain an in-flight rebalance before the agent exits, so stop()
+    // leaves no worker running against a cloud about to shut down.
+    if let Some(h) = rebalance_worker.take() {
+        let _ = h.join();
     }
 }
 

@@ -357,7 +357,7 @@ impl MigrationEngine {
         migration::commit(ep, to, mid, trunk)?;
 
         self.phase(MigrationPhase::Flip, trunk);
-        let mut cur = read_primary(cloud)?;
+        let (table_ver, mut cur) = read_primary_versioned(cloud)?;
         if cur.machine_for(trunk) != from {
             return Err(ElasticError::Raced { trunk });
         }
@@ -365,10 +365,22 @@ impl MigrationEngine {
             return Err(ElasticError::RecipientDead { trunk, machine: to });
         }
         cur.reassign_one(trunk, to);
-        cloud
+        // The flip is a *conditional* write against the version read
+        // above: a concurrent table writer — a recovery reassigning a
+        // dead machine's trunks, a competing coordinator, or the donor
+        // releasing its seal lease after deciding we died — wins the
+        // race and this flip aborts instead of clobbering their update
+        // (or committing a stream the donor no longer feeds).
+        match cloud
             .tfs()
-            .write(TFS_TABLE_PATH, &cur.encode())
-            .map_err(CloudError::Tfs)?;
+            .write_if_version(TFS_TABLE_PATH, &cur.encode(), table_ver)
+        {
+            Ok(_) => {}
+            Err(trinity_tfs::TfsError::VersionMismatch { .. }) => {
+                return Err(ElasticError::Raced { trunk });
+            }
+            Err(e) => return Err(ElasticError::Cloud(CloudError::Tfs(e))),
+        }
         let epoch = cur.epoch;
         // Install order matters: the recipient first (so the moment the
         // donor starts answering MOVED, the new owner already serves),
@@ -440,9 +452,16 @@ impl MigrationEngine {
 
 /// Read the primary addressing-table replica from TFS.
 fn read_primary(cloud: &MemoryCloud) -> Result<AddressingTable> {
-    let bytes = cloud
+    read_primary_versioned(cloud).map(|(_, t)| t)
+}
+
+/// Read the primary table plus its TFS file version, for a conditional
+/// flip write (`write_if_version`).
+fn read_primary_versioned(cloud: &MemoryCloud) -> Result<(u64, AddressingTable)> {
+    let (ver, bytes) = cloud
         .tfs()
-        .read(TFS_TABLE_PATH)
+        .read_versioned(TFS_TABLE_PATH)
         .map_err(|e| ElasticError::Cloud(CloudError::Tfs(e)))?;
-    AddressingTable::decode(&bytes).ok_or(ElasticError::Cloud(CloudError::BadReply))
+    let table = AddressingTable::decode(&bytes).ok_or(ElasticError::Cloud(CloudError::BadReply))?;
+    Ok((ver, table))
 }

@@ -5,9 +5,10 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use trinity_elastic::{MigrationConfig, MigrationEngine, MigrationPhase};
-use trinity_memcloud::{CloudConfig, MemoryCloud};
+use trinity_memcloud::{migration, AddressingTable, CloudConfig, MemoryCloud, TFS_TABLE_PATH};
 use trinity_net::MachineId;
 
 fn cloud_with_standby(machines: usize, standby: usize) -> MemoryCloud {
@@ -283,6 +284,107 @@ fn drain_machine_empties_it_without_data_loss() {
             "cell {i} lost by the drain"
         );
     }
+    cloud.shutdown();
+}
+
+#[test]
+fn uncommitted_staging_is_not_adopted_by_failure_recovery() {
+    let cloud = cloud_with_standby(3, 1);
+    let donor = MachineId(0);
+    let recipient = MachineId(3);
+    let trunk = trunk_of_machine(&cloud, 0);
+    let ids = ids_in_trunk(&cloud, trunk, 12);
+    for &i in &ids {
+        cloud.node(0).put(i, b"durable").unwrap();
+    }
+    cloud.backup_all().unwrap();
+    // A coordinator streams a *partial* chunk into the standby, then
+    // dies before MIG_COMMIT: the staging persists, uncommitted.
+    let ep = cloud.node(1).endpoint().clone();
+    let mid = migration::next_migration_id();
+    let total = migration::begin(&ep, donor, mid, trunk).unwrap();
+    let (_, entries) = migration::read_chunk(&ep, donor, mid, trunk, 0, 4, u32::MAX).unwrap();
+    assert!(
+        (entries.len() as u64) < total,
+        "the staged image must be incomplete for this test to bite"
+    );
+    migration::apply(&ep, recipient, mid, trunk, &entries).unwrap();
+    // The donor dies, and recovery happens to hand its trunks to the
+    // very machine holding the partial staging.
+    cloud.kill_machine(0);
+    let mut table = cloud.node(1).table();
+    for gid in table.trunks_of(donor) {
+        table.reassign_one(gid, recipient);
+    }
+    cloud.tfs().write(TFS_TABLE_PATH, &table.encode()).unwrap();
+    for m in 1..4 {
+        cloud.node(m).install_table(table.clone()).unwrap();
+    }
+    // The new owner must serve the reloaded TFS backup — every acked
+    // cell — never the partial staged image.
+    for &i in &ids {
+        assert_eq!(
+            cloud.node(1).get(i).unwrap().as_deref(),
+            Some(&b"durable"[..]),
+            "cell {i} vanished: uncommitted staging was adopted as authoritative"
+        );
+    }
+    cloud.shutdown();
+}
+
+#[test]
+fn donor_unseal_fences_out_a_slow_coordinators_flip() {
+    let cloud = cloud_with_standby(3, 1);
+    let trunk = trunk_of_machine(&cloud, 0);
+    let id = ids_in_trunk(&cloud, trunk, 1)[0];
+    cloud.node(0).put(id, b"before").unwrap();
+    let ep = cloud.node(1).endpoint().clone();
+    let mid = migration::next_migration_id();
+    migration::begin(&ep, MachineId(0), mid, trunk).unwrap();
+    migration::seal(&ep, MachineId(0), mid, trunk).unwrap();
+    // The coordinator reads the table for its flip... then stalls.
+    let (ver, bytes) = cloud.tfs().read_versioned(TFS_TABLE_PATH).unwrap();
+    let mut flipped = AddressingTable::decode(&bytes).unwrap();
+    flipped.reassign_one(trunk, MachineId(3));
+    // The seal lease expires; the donor persists its unseal decision
+    // through TFS and applies the write — which was never streamed.
+    std::thread::sleep(migration::SEAL_TIMEOUT + Duration::from_millis(100));
+    cloud.node(2).put(id, b"after-unseal").unwrap();
+    // The stalled coordinator wakes and attempts the flip: the donor's
+    // lease release bumped the table version, so the conditional write
+    // must lose — committing it would drop the acked write above.
+    assert!(
+        matches!(
+            cloud.tfs().write_if_version(TFS_TABLE_PATH, &flipped.encode(), ver),
+            Err(trinity_tfs::TfsError::VersionMismatch { .. })
+        ),
+        "a flip planned before the unseal must be fenced out"
+    );
+    cloud.node(1).clear_cache();
+    assert_eq!(cloud.node(1).get(id).unwrap().unwrap(), b"after-unseal");
+    cloud.shutdown();
+}
+
+#[test]
+fn idle_unsealed_donor_entry_is_garbage_collected() {
+    let cloud = cloud_with_standby(3, 1);
+    let trunk = trunk_of_machine(&cloud, 0);
+    let id = ids_in_trunk(&cloud, trunk, 1)[0];
+    cloud.node(0).put(id, b"v0").unwrap();
+    let ep = cloud.node(1).endpoint().clone();
+    let mid = migration::next_migration_id();
+    migration::begin(&ep, MachineId(0), mid, trunk).unwrap();
+    // The coordinator dies before SEAL: no frame ever arrives again.
+    // After the idle timeout the first gated write reaps the entry, so
+    // the trunk stops paying the delta-log tax...
+    std::thread::sleep(migration::DONOR_IDLE_TIMEOUT + Duration::from_millis(100));
+    cloud.node(2).put(id, b"v1").unwrap();
+    // ...and stale frames of the abandoned attempt are refused.
+    assert!(
+        migration::read_chunk(&ep, MachineId(0), mid, trunk, 0, 8, u32::MAX).is_err(),
+        "the reaped migration must not serve further frames"
+    );
+    assert_eq!(cloud.node(0).get(id).unwrap().unwrap(), b"v1");
     cloud.shutdown();
 }
 

@@ -151,19 +151,40 @@ impl MemoryCloud {
     /// `(trunk, donor)` pairs.
     pub fn cold_join(&self, m: usize) -> Result<Vec<(u64, MachineId)>> {
         let joiner = MachineId(m as u16);
-        let mut table = self.nodes[m].table();
-        let moved = table.rebalance_join(joiner);
-        // Fresh snapshots of the moving trunks, straight from the donors.
-        for &(trunk, donor) in &moved {
-            self.nodes[donor.0 as usize].backup_trunk(trunk)?;
-        }
-        self.tfs.write(TFS_TABLE_PATH, &table.encode())?;
+        let (table, moved) = loop {
+            let (ver, mut table) = self.primary_versioned()?;
+            let moved = table.rebalance_join(joiner);
+            // Fresh snapshots of the moving trunks, straight from the
+            // donors.
+            for &(trunk, donor) in &moved {
+                self.nodes[donor.0 as usize].backup_trunk(trunk)?;
+            }
+            match self
+                .tfs
+                .write_if_version(TFS_TABLE_PATH, &table.encode(), ver)
+            {
+                Ok(_) => break (table, moved),
+                // A concurrent table writer (migration flip, recovery)
+                // got in between our read and write: replan against the
+                // fresh primary rather than clobbering their update.
+                Err(trinity_tfs::TfsError::VersionMismatch { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        };
         for node in &self.nodes {
             if !self.fabric.is_dead(node.machine()) {
                 node.install_table(table.clone())?;
             }
         }
         Ok(moved)
+    }
+
+    /// The primary table from TFS plus its file version, for a
+    /// conditional (compare-and-swap) table update.
+    fn primary_versioned(&self) -> Result<(u64, AddressingTable)> {
+        let (ver, bytes) = self.tfs.read_versioned(TFS_TABLE_PATH)?;
+        let table = AddressingTable::decode(&bytes).ok_or(crate::CloudError::BadReply)?;
+        Ok((ver, table))
     }
 
     /// The node running on machine `m`.
@@ -252,11 +273,25 @@ impl MemoryCloud {
             .map(MachineId)
             .filter(|&m| m != failed && !self.fabric.is_dead(m))
             .collect();
-        let mut table = self.nodes[survivors[0].0 as usize].table();
-        if !table.trunks_of(failed).is_empty() {
-            table.reassign_failed(failed, &survivors);
-        }
-        self.tfs.write(TFS_TABLE_PATH, &table.encode())?;
+        let table = loop {
+            let (ver, mut table) = self.primary_versioned()?;
+            if !table.trunks_of(failed).is_empty() {
+                table.reassign_failed(failed, &survivors);
+                match self
+                    .tfs
+                    .write_if_version(TFS_TABLE_PATH, &table.encode(), ver)
+                {
+                    Ok(_) => break table,
+                    // An in-flight migration flip (or a second recovery)
+                    // wrote the table between our read and write; redo
+                    // the reassignment against the fresh primary so
+                    // neither update is clobbered.
+                    Err(trinity_tfs::TfsError::VersionMismatch { .. }) => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            break table;
+        };
         for &m in &survivors {
             self.nodes[m.0 as usize].install_table(table.clone())?;
         }

@@ -53,6 +53,26 @@
 //!   committed — the donor's timed-out seal check syncs the new table,
 //!   completes the flip locally and answers `MOVED` from then on. Either
 //!   way there is exactly one owner per the TFS primary at all times.
+//! * **Coordinator is merely slow** (not dead): the seal is a lease. A
+//!   donor that unseals after [`SEAL_TIMEOUT`] first *persists* that
+//!   decision by rewriting the primary table at the file version it just
+//!   read (a TFS compare-and-swap "touch"); the slow coordinator's flip
+//!   is itself a conditional write against the version it read, so one
+//!   of the two loses deterministically. A post-unseal donor write can
+//!   therefore never be silently missing from a committed flip — the
+//!   flip aborts instead.
+//! * **Coordinator dies before sealing**: the donor entry would log
+//!   dirty ids forever. An unsealed entry with no coordinator frame for
+//!   [`DONOR_IDLE_TIMEOUT`] is garbage collected by the write gate; a
+//!   late frame from the abandoned attempt gets "no migration in
+//!   flight" and the coordinator (if alive after all) aborts cleanly.
+//! * **Coordinator dies mid-stream**: the recipient's partial staging is
+//!   orphaned (no abort ever arrives). It is *never* adopted as the
+//!   trunk's contents: only a staging marked complete by `MIG_COMMIT`
+//!   survives the table install that grants ownership — an uncommitted
+//!   one is evicted and the trunk reloads from its TFS backup — and
+//!   installs unrelated to the migration expire staging idle past
+//!   `STAGING_TIMEOUT`.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -68,8 +88,26 @@ use crate::table::AddressingTable;
 use crate::{CellId, CloudError, Result};
 
 /// How long a donor honours a seal with no flip before it assumes the
-/// coordinator died and resolves ownership through the TFS primary.
-pub(crate) const SEAL_TIMEOUT: Duration = Duration::from_secs(1);
+/// coordinator died and resolves ownership through the TFS primary. The
+/// seal is a *lease*: before resuming writes the donor must persist its
+/// unseal decision by touching the primary table's file version, so a
+/// merely-slow coordinator's pending flip fails its conditional write
+/// instead of silently dropping the donor's post-unseal writes.
+pub const SEAL_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// How long an *unsealed* donor entry survives with no coordinator
+/// frame (`MIG_READ`/`MIG_DELTA`/`MIG_SEAL`) before the donor garbage
+/// collects it: a coordinator that died before sealing would otherwise
+/// leave the trunk paying the delta-log cost on every write forever.
+/// Dropping the entry is safe pre-seal — the coordinator's next frame
+/// gets "no migration in flight" and the attempt aborts cleanly.
+pub const DONOR_IDLE_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// How long a recipient keeps an inbound staging with no `MIG_APPLY` /
+/// `MIG_COMMIT` frame before a table install treats it as orphaned (the
+/// coordinator died mid-stream and its abort never arrived) and evicts
+/// it rather than carrying the partial image along.
+pub(crate) const STAGING_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Mint a migration id: globally monotonic, so a recipient can order
 /// competing migration attempts for the same trunk.
@@ -132,6 +170,9 @@ pub(crate) struct DonorMig {
     pub(crate) dirty_set: HashSet<CellId>,
     /// When the seal landed; `None` while streaming/catching up.
     pub(crate) sealed_at: Option<Instant>,
+    /// Last coordinator frame seen; an unsealed entry idle past
+    /// [`DONOR_IDLE_TIMEOUT`] is garbage collected by the write gate.
+    pub(crate) last_frame: Instant,
 }
 
 /// Outcome of arming a donor-side migration (see
@@ -150,6 +191,14 @@ pub(crate) enum BeginOutcome {
 pub(crate) struct Incoming {
     pub(crate) mid: u64,
     pub(crate) fence: HashMap<CellId, CellVersion>,
+    /// Set by `MIG_COMMIT`: the staged image is complete and persisted
+    /// to TFS. Only a committed staging may be adopted as authoritative
+    /// when a table install makes this node the trunk's owner — an
+    /// uncommitted one is a partial stream and must be discarded.
+    pub(crate) committed: bool,
+    /// Last frame of this attempt; staging idle past
+    /// [`STAGING_TIMEOUT`] is treated as orphaned at install time.
+    pub(crate) last_frame: Instant,
 }
 
 /// A node's migration books: outbound donors, inbound fences, and the
@@ -198,6 +247,7 @@ impl MigrationState {
             dirty: VecDeque::new(),
             dirty_set: HashSet::new(),
             sealed_at: None,
+            last_frame: Instant::now(),
         }));
         donors.insert(gid, Arc::clone(&entry));
         BeginOutcome::Created(entry)
@@ -238,6 +288,8 @@ impl MigrationState {
             Incoming {
                 mid,
                 fence: HashMap::new(),
+                committed: false,
+                last_frame: Instant::now(),
             }
         });
         match inc.mid.cmp(&mid) {
@@ -248,9 +300,11 @@ impl MigrationState {
                 *inc = Incoming {
                     mid,
                     fence: HashMap::new(),
+                    committed: false,
+                    last_frame: Instant::now(),
                 };
             }
-            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Equal => inc.last_frame = Instant::now(),
         }
         let mut fresh = Vec::with_capacity(entries.len());
         for e in entries {
@@ -268,6 +322,44 @@ impl MigrationState {
     /// Whether an inbound migration is staging into `gid` on this node.
     pub(crate) fn has_incoming(&self, gid: u64) -> bool {
         self.incoming.lock().contains_key(&gid)
+    }
+
+    /// Mark `gid`'s inbound staging complete (its image is persisted to
+    /// TFS): `MIG_COMMIT` landed for `mid`. A table flip may now adopt
+    /// the staged trunk as authoritative. Stale mids are ignored.
+    pub(crate) fn commit_incoming(&self, gid: u64, mid: u64) {
+        if let Some(inc) = self.incoming.lock().get_mut(&gid) {
+            if inc.mid == mid {
+                inc.committed = true;
+                inc.last_frame = Instant::now();
+            }
+        }
+    }
+
+    /// Whether `gid`'s inbound staging, if any, is committed — i.e. the
+    /// resident trunk holds a complete, TFS-persisted migrated image
+    /// that a table install may trust.
+    pub(crate) fn incoming_committed(&self, gid: u64) -> bool {
+        self.incoming
+            .lock()
+            .get(&gid)
+            .is_some_and(|inc| inc.committed)
+    }
+
+    /// Whether `gid`'s inbound staging is still actively fed (a frame
+    /// within [`STAGING_TIMEOUT`]). An inactive one is orphaned: its
+    /// coordinator died mid-stream and the abort never arrived.
+    pub(crate) fn incoming_active(&self, gid: u64) -> bool {
+        self.incoming
+            .lock()
+            .get(&gid)
+            .is_some_and(|inc| inc.last_frame.elapsed() < STAGING_TIMEOUT)
+    }
+
+    /// Unconditionally drop `gid`'s inbound staging record (install-time
+    /// cleanup of orphaned or untrusted staging).
+    pub(crate) fn drop_incoming(&self, gid: u64) {
+        self.incoming.lock().remove(&gid);
     }
 
     /// Drop the inbound fence for `gid` if it belongs to `mid` — the

@@ -340,12 +340,17 @@ impl CloudNode {
     ///   entry and snapshot the trunk mid-mutation; the write is in the
     ///   snapshot.
     /// * Migration streaming/catching up: apply under the entry lock and
-    ///   record the dirty id, so a delta drain ships the new state.
+    ///   record the dirty id, so a delta drain ships the new state. An
+    ///   entry whose coordinator has sent no frame for
+    ///   [`DONOR_IDLE_TIMEOUT`] is garbage collected instead — the
+    ///   coordinator died before sealing, and the trunk must not pay the
+    ///   delta-log cost forever.
     /// * Sealed: refuse with `MOVED{epoch}` — the flip is imminent and the
     ///   caller retries against the new owner after a table sync. A seal
-    ///   older than [`SEAL_TIMEOUT`] means the coordinator died: resolve
-    ///   ownership through the TFS primary and either resume serving
-    ///   (still owner → drop the migration) or complete the flip locally.
+    ///   older than [`SEAL_TIMEOUT`] means the coordinator died (or
+    ///   stalled): resolve ownership through the TFS primary and either
+    ///   resume serving — after *persisting* the unseal decision, see
+    ///   [`Self::resolve_stale_seal`] — or complete the flip locally.
     fn gated_mutate<R>(&self, gid: u64, id: CellId, mut op: impl FnMut() -> R) -> Gate<R> {
         loop {
             let donors = self.migration.donors_read();
@@ -357,6 +362,17 @@ impl CloudNode {
             // the map lock keeps `entry` current while we decide.
             let mut g = entry.lock();
             match g.sealed_at {
+                None if g.last_frame.elapsed() >= migration::DONOR_IDLE_TIMEOUT => {
+                    // The coordinator went silent before ever sealing:
+                    // drop the abandoned entry (its next frame, if any,
+                    // gets "no migration in flight") and apply the write
+                    // ungated on the next loop pass. Locks released
+                    // first — `abort_donor` takes the map write lock.
+                    let mid = g.mid;
+                    drop(g);
+                    drop(donors);
+                    self.migration.abort_donor(gid, Some(mid));
+                }
                 None => {
                     let out = op();
                     if g.dirty_set.insert(id) {
@@ -376,17 +392,64 @@ impl CloudNode {
                     let mid = g.mid;
                     drop(g);
                     drop(donors);
-                    let _ = self.sync_table();
-                    if let Some(epoch) = self.migration.moved_epoch(gid) {
+                    if let Some(epoch) = self.resolve_stale_seal(gid, mid) {
                         return Gate::Moved { epoch };
-                    }
-                    if self.table.read().machine_for(gid) == self.machine {
-                        // Still the owner per the primary: the flip never
-                        // committed. Unseal and serve.
-                        self.migration.abort_donor(gid, Some(mid));
                     }
                 }
             }
+        }
+    }
+
+    /// Resolve a seal whose coordinator has been silent past
+    /// [`SEAL_TIMEOUT`], honouring the seal's *lease* semantics. Returns
+    /// `Some(epoch)` when the trunk must keep refusing writes with
+    /// `MOVED{epoch}`, `None` when the caller should re-run the write
+    /// gate (the seal was lifted, or the primary changed under us).
+    ///
+    /// The donor may only resume serving writes after persisting its
+    /// unseal decision: it rewrites the primary table *at the file
+    /// version it just read* (a TFS compare-and-swap "touch" that bumps
+    /// the version without changing the contents). A coordinator that
+    /// was merely slow — not dead — performs its flip as a conditional
+    /// write too, so exactly one of the two wins: either the flip
+    /// committed first (we observe it and answer `MOVED`), or our touch
+    /// landed first and the flip aborts, and no write acknowledged after
+    /// the unseal can be missing from a committed migration.
+    fn resolve_stale_seal(&self, gid: u64, mid: u64) -> Option<u64> {
+        match self.tfs.read_versioned(TFS_TABLE_PATH) {
+            Ok((ver, bytes)) => {
+                let Some(table) = AddressingTable::decode(&bytes) else {
+                    // Unreadable primary: keep refusing until it heals.
+                    return Some(self.table.read().epoch + 1);
+                };
+                if table.machine_for(gid) == self.machine {
+                    // Still the owner per the primary: fence a slow
+                    // coordinator out, then unseal. A lost CAS means the
+                    // table changed this instant — loop and re-read.
+                    if self
+                        .tfs
+                        .write_if_version(TFS_TABLE_PATH, &bytes, ver)
+                        .is_ok()
+                    {
+                        self.migration.abort_donor(gid, Some(mid));
+                    }
+                    None
+                } else {
+                    // The flip (or a recovery) committed: adopt it. The
+                    // install records the flip epoch for MOVED replies.
+                    let _ = self.install_table(table);
+                    self.migration.moved_epoch(gid)
+                }
+            }
+            Err(trinity_tfs::TfsError::NotFound(_)) => {
+                // No primary was ever persisted, so no flip can exist.
+                self.migration.abort_donor(gid, Some(mid));
+                None
+            }
+            // TFS unreachable: the lease cannot be released safely, so
+            // keep refusing writes; the caller's retry budget rides it
+            // out and a later attempt resolves.
+            Err(_) => Some(self.table.read().epoch + 1),
         }
     }
 
@@ -522,10 +585,11 @@ impl CloudNode {
         let Some(trunk) = self.store.trunk(gid) else {
             return migration::err_reply("trunk not resident");
         };
-        let g = entry.lock();
+        let mut g = entry.lock();
         if g.mid != mid {
             return migration::err_reply("superseded migration id");
         }
+        g.last_frame = Instant::now();
         let mut entries = Vec::new();
         let mut bytes = 0usize;
         let mut next = cursor;
@@ -567,6 +631,7 @@ impl CloudNode {
         if g.mid != mid {
             return migration::err_reply("superseded migration id");
         }
+        g.last_frame = Instant::now();
         let mut entries = Vec::new();
         for _ in 0..max.max(1) {
             let Some(id) = g.dirty.pop_front() else {
@@ -601,6 +666,7 @@ impl CloudNode {
         if g.mid != mid {
             return migration::err_reply("superseded migration id");
         }
+        g.last_frame = Instant::now();
         if g.sealed_at.is_none() {
             g.sealed_at = Some(Instant::now());
         }
@@ -669,8 +735,10 @@ impl CloudNode {
 
     /// `MIG_COMMIT` (recipient): persist the staged trunk to TFS so a
     /// crash after the flip recovers the migrated state, not a stale
-    /// backup. An empty staging still writes a (empty) backup image —
-    /// otherwise the flip would reload the donor's outdated one.
+    /// backup, and mark the staging *committed* — only from here on may
+    /// a table install adopt the staged image as the trunk's contents.
+    /// An empty staging still writes a (empty) backup image — otherwise
+    /// the flip would reload the donor's outdated one.
     fn handle_mig_commit(&self, data: &[u8]) -> Vec<u8> {
         let Some((mid, gid, _)) = migration::decode_header(data) else {
             return migration::err_reply("bad frame");
@@ -689,7 +757,12 @@ impl CloudNode {
             self.store.ensure_trunk(gid);
         }
         match self.backup_trunk(gid) {
-            Ok(()) => migration::ok_u64s(&[]),
+            Ok(()) => {
+                // Committed only after the TFS image landed: a staging
+                // whose backup failed is still untrusted at flip time.
+                self.migration.commit_incoming(gid, mid);
+                migration::ok_u64s(&[])
+            }
             Err(e) => migration::err_reply(&format!("backup failed: {e}")),
         }
     }
@@ -974,9 +1047,17 @@ impl CloudNode {
     /// Adopt a new addressing table: reload newly owned trunks from TFS,
     /// evict trunks that moved away. No-op for stale epochs.
     ///
-    /// A trunk staged by an inbound migration is already resident, so the
-    /// flip neither reloads nor evicts it — the streamed cells survive
-    /// verbatim. Coherence state is invalidated *selectively*: only the
+    /// A trunk staged by an inbound migration is already resident; when
+    /// the install is the migration's own flip — the staging was marked
+    /// *committed* by `MIG_COMMIT`, so its image is complete and TFS has
+    /// it — it is adopted verbatim, the streamed cells surviving. An
+    /// **uncommitted** staging is a partial stream (its coordinator died
+    /// mid-migration): an install that grants this node the trunk evicts
+    /// it and reloads the TFS backup instead, so acked cells absent from
+    /// the partial image cannot silently disappear; and an install that
+    /// does not grant ownership keeps it only while it is actively fed
+    /// (staging idle past the timeout is orphaned and evicted).
+    /// Coherence state is invalidated *selectively*: only the
     /// trunks whose owner actually changed drop their cached cells and
     /// sharer records; unmoved trunks kept serving (and invalidating)
     /// throughout, so their coherence state is still sound. (The revive
@@ -995,13 +1076,28 @@ impl CloudNode {
             self.store.trunk_ids().into_iter().collect();
         let new_mine: std::collections::BTreeSet<u64> =
             new.trunks_of(self.machine).into_iter().collect();
-        for &gid in new_mine.difference(&old_mine) {
-            self.reload_trunk(gid)?;
+        for &gid in &new_mine {
+            if !old_mine.contains(&gid) {
+                self.reload_trunk(gid)?;
+            } else if self.migration.has_incoming(gid) && !self.migration.incoming_committed(gid) {
+                // Resident only as an uncommitted inbound staging — a
+                // partial stream whose coordinator never sent COMMIT.
+                // Becoming the owner through any other path (failure
+                // recovery, a competing migration) must not adopt it:
+                // evict and reload the last good TFS backup.
+                self.migration.drop_incoming(gid);
+                self.store.evict(gid);
+                self.reload_trunk(gid)?;
+            }
         }
         for &gid in old_mine.difference(&new_mine) {
             // Keep an actively staging trunk: a reconfiguration unrelated
-            // to the migration must not destroy its streamed cells.
-            if !self.migration.has_incoming(gid) {
+            // to the migration must not destroy its streamed cells. A
+            // staging nobody has fed for STAGING_TIMEOUT is orphaned
+            // (its coordinator died and the abort never arrived) — expire
+            // it rather than carry the partial image indefinitely.
+            if !self.migration.incoming_active(gid) {
+                self.migration.drop_incoming(gid);
                 self.store.evict(gid);
             }
         }

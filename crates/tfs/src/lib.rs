@@ -52,6 +52,13 @@ pub enum TfsError {
     NoLiveReplica(String),
     /// Node index out of range.
     NoSuchNode(usize),
+    /// A conditional write lost its race: the file's current version is
+    /// not the one the writer read (see [`Tfs::write_if_version`]).
+    VersionMismatch {
+        name: String,
+        expected: u64,
+        found: u64,
+    },
 }
 
 impl fmt::Display for TfsError {
@@ -60,6 +67,14 @@ impl fmt::Display for TfsError {
             TfsError::NotFound(n) => write!(f, "TFS file not found: {n}"),
             TfsError::NoLiveReplica(n) => write!(f, "no live replica node for TFS file: {n}"),
             TfsError::NoSuchNode(i) => write!(f, "no such TFS node: {i}"),
+            TfsError::VersionMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "TFS conditional write of {name} lost: expected version {expected}, found {found}"
+            ),
         }
     }
 }
@@ -168,9 +183,13 @@ impl Tfs {
 
     /// Read the freshest live copy of a file.
     pub fn read(&self, name: &str) -> Result<Vec<u8>, TfsError> {
-        let inner = self.inner.lock();
+        self.read_versioned(name).map(|(_, bytes)| bytes)
+    }
+
+    /// Freshest live version stamp of a file, if any replica survives.
+    fn freshest_inner<'a>(inner: &'a Inner, name: &str) -> Option<&'a (u64, Arc<Vec<u8>>)> {
         let mut best: Option<&(u64, Arc<Vec<u8>>)> = None;
-        for i in Self::placement_inner(&inner, name) {
+        for i in Self::placement_inner(inner, name) {
             if inner.nodes[i].alive {
                 if let Some(entry) = inner.nodes[i].files.get(name) {
                     if best.is_none_or(|b| entry.0 > b.0) {
@@ -179,8 +198,60 @@ impl Tfs {
                 }
             }
         }
-        best.map(|(_, blob)| blob.to_vec())
+        best
+    }
+
+    /// Read the freshest live copy of a file along with its version
+    /// stamp, for a later [`Tfs::write_if_version`]. Every write of a
+    /// file (same bytes or not) advances its stamp.
+    pub fn read_versioned(&self, name: &str) -> Result<(u64, Vec<u8>), TfsError> {
+        let inner = self.inner.lock();
+        Self::freshest_inner(&inner, name)
+            .map(|(v, blob)| (*v, blob.to_vec()))
             .ok_or_else(|| TfsError::NotFound(name.to_string()))
+    }
+
+    /// Conditional write: replace the file only if its freshest live
+    /// version is still `expected` (`0` = the file must not exist yet).
+    /// Fails with [`TfsError::VersionMismatch`] when another writer got
+    /// there first — the read-modify-write must be retried from a fresh
+    /// read. This is the fencing primitive for the addressing-table
+    /// updates: concurrent recoveries, migration flips, and a donor's
+    /// seal-lease release all serialize through it, so no table write
+    /// can silently clobber another. Returns the new version stamp.
+    pub fn write_if_version(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        expected: u64,
+    ) -> Result<u64, TfsError> {
+        let mut inner = self.inner.lock();
+        let found = Self::freshest_inner(&inner, name).map_or(0, |(v, _)| *v);
+        if found != expected {
+            return Err(TfsError::VersionMismatch {
+                name: name.to_string(),
+                expected,
+                found,
+            });
+        }
+        let placement = Self::placement_inner(&inner, name);
+        inner.clock += 1;
+        let version = inner.clock;
+        let blob = Arc::new(bytes.to_vec());
+        let mut wrote = false;
+        for i in placement {
+            if inner.nodes[i].alive {
+                inner.nodes[i]
+                    .files
+                    .insert(name.to_string(), (version, Arc::clone(&blob)));
+                wrote = true;
+            }
+        }
+        if wrote {
+            Ok(version)
+        } else {
+            Err(TfsError::NoLiveReplica(name.to_string()))
+        }
     }
 
     /// Whether a live replica of the file exists.
@@ -444,6 +515,49 @@ mod tests {
                 "trunks/2".to_string()
             ]
         );
+    }
+
+    #[test]
+    fn conditional_write_detects_interleaved_writers() {
+        let tfs = Tfs::new(TfsConfig::default());
+        // Creation: expected version 0 only while the file is absent.
+        let v1 = tfs.write_if_version("t", b"a", 0).unwrap();
+        assert_eq!(
+            tfs.write_if_version("t", b"b", 0),
+            Err(TfsError::VersionMismatch {
+                name: "t".into(),
+                expected: 0,
+                found: v1,
+            })
+        );
+        // Read-modify-write succeeds against the version it read...
+        let (ver, bytes) = tfs.read_versioned("t").unwrap();
+        assert_eq!((ver, bytes.as_slice()), (v1, &b"a"[..]));
+        let v2 = tfs.write_if_version("t", b"c", ver).unwrap();
+        assert!(v2 > v1);
+        // ...and a second writer holding the stale version loses, even
+        // when rewriting identical bytes (a version "touch" fences it).
+        assert!(matches!(
+            tfs.write_if_version("t", b"c", ver),
+            Err(TfsError::VersionMismatch { found, .. }) if found == v2
+        ));
+        let v3 = tfs.write_if_version("t", b"c", v2).unwrap();
+        assert!(v3 > v2, "a same-bytes touch must advance the version");
+        assert_eq!(tfs.read("t").unwrap(), b"c");
+    }
+
+    #[test]
+    fn unconditional_write_advances_the_conditional_version() {
+        let tfs = Tfs::new(TfsConfig::default());
+        let v1 = tfs.write_if_version("t", b"a", 0).unwrap();
+        tfs.write("t", b"b").unwrap();
+        assert!(matches!(
+            tfs.write_if_version("t", b"c", v1),
+            Err(TfsError::VersionMismatch { .. })
+        ));
+        let (ver, _) = tfs.read_versioned("t").unwrap();
+        tfs.write_if_version("t", b"c", ver).unwrap();
+        assert_eq!(tfs.read("t").unwrap(), b"c");
     }
 
     #[test]
