@@ -1,0 +1,322 @@
+//! `freshness` — streaming-analytics gate: incremental recomputation
+//! must beat from-scratch recompute at low dirty fractions, with zero
+//! divergence from the differential oracle.
+//!
+//! Three phases:
+//!
+//! 1. **Oracle sweep** — a deterministic mutation stream commits
+//!    through mini-transactions; at every batch boundary the
+//!    incremental engine's values are compared *bitwise* against a
+//!    from-scratch recompute on a single-threaded reference graph.
+//!    The divergence count must be zero.
+//! 2. **Refresh latency** — single-edge batches (~1% dirty fraction)
+//!    timed through the incremental path against full recomputes of
+//!    the same graph: the headline speedup of the dirty-set scheduler.
+//! 3. **Freshness lag vs write rate** — a paced committer streams
+//!    batches while the consumer absorbs them as fast as it can; per
+//!    rate the series reports mean/p95 lag from commit-ack to the
+//!    refresh that absorbed the batch (the `incr.freshness_lag_us`
+//!    gauge tracks the live value).
+//!
+//! `--smoke` shrinks the run and asserts the headline claims: zero
+//! oracle divergences and incremental wall-clock strictly below full
+//! recompute at the 1% dirty fraction.
+//! `--metrics-out results/freshness.metrics.json` exports the series
+//! plus the metrics registry (the `incr.*` and `minitx.*` counters).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use trinity_bench::{bench_cloud_config, header, row, scaled, secs, timed, MetricsOut};
+use trinity_core::minitx::TxService;
+use trinity_core::{
+    CommittedBatch, IncrementalBsp, IncrementalConfig, Mutation, MutationBatch, PageRankGather,
+    StreamingIngest, Topology,
+};
+use trinity_graph::NodeRecord;
+use trinity_memcloud::MemoryCloud;
+use trinity_obs::Json;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Seed a directed ring of `n` vertices with in-links, plus a chord
+/// every 16 so the graph is not degree-regular.
+fn seed_graph(cloud: &MemoryCloud, n: u64) -> Topology {
+    let mut topo = Topology::new();
+    for v in 0..n {
+        topo.add_edge(v, (v + 1) % n);
+        if v.is_multiple_of(16) {
+            topo.add_edge(v, (v + n / 2) % n);
+        }
+    }
+    for v in 0..n {
+        let outs: Vec<u64> = topo.outs(v).to_vec();
+        let ins: Vec<u64> = topo.ins(v).to_vec();
+        let rec = NodeRecord {
+            attrs: Vec::new(),
+            outs,
+            ins: Some(ins),
+        };
+        cloud.node(0).put(v, &rec.encode()).unwrap();
+    }
+    topo
+}
+
+/// Bitwise divergence count between the engine and a from-scratch
+/// recompute on `reference` (every layer, every slot).
+fn oracle_divergences(engine: &IncrementalBsp<PageRankGather>, reference: &Topology) -> u64 {
+    if engine.topology() != reference {
+        return u64::MAX; // topology mirror broke: everything diverged
+    }
+    let fresh = IncrementalBsp::new(
+        *engine.program(),
+        reference.clone(),
+        IncrementalConfig::default(),
+    );
+    let mut diverged = 0u64;
+    for l in 0..fresh.num_layers() {
+        let (a, b) = (
+            engine.layer_values(l).unwrap(),
+            fresh.layer_values(l).unwrap(),
+        );
+        if a.len() != b.len() {
+            return u64::MAX;
+        }
+        diverged += a
+            .iter()
+            .zip(b)
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count() as u64;
+    }
+    diverged
+}
+
+fn gen_batch(rng: &mut u64, n: u64, size: usize) -> MutationBatch {
+    let mut muts = Vec::with_capacity(size);
+    for _ in 0..size {
+        let a = xorshift(rng) % n;
+        let b = xorshift(rng) % n;
+        muts.push(match xorshift(rng) % 8 {
+            0 => Mutation::RemoveEdge(a, b),
+            _ => Mutation::AddEdge(a, b),
+        });
+    }
+    MutationBatch::new(muts)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut metrics = MetricsOut::from_args();
+
+    let (n, oracle_batches, latency_reps, rate_window_ms) = if smoke {
+        (400u64, 24usize, 5usize, 150u64)
+    } else {
+        (scaled(4000) as u64, 96, 20, 600)
+    };
+
+    let cloud = Arc::new(MemoryCloud::new(bench_cloud_config(3)));
+    let svc = TxService::install(Arc::clone(&cloud));
+    let seed_topo = seed_graph(&cloud, n);
+    let ingest = Arc::new(StreamingIngest::new(Arc::clone(&cloud), svc, 0));
+    let obs = cloud.node(0).endpoint().obs().clone();
+
+    header(
+        &format!("freshness — {n} vertices, streaming mutations, incremental PageRank"),
+        &["phase", "wall", "result", "detail"],
+    );
+
+    // Phase 1: the differential oracle over a mixed mutation stream.
+    let mut engine = IncrementalBsp::new(
+        PageRankGather::default(),
+        seed_topo.clone(),
+        IncrementalConfig::default(),
+    )
+    .with_obs(obs);
+    let mut reference = seed_topo.clone();
+    let mut divergences = 0u64;
+    let mut rng = 0xF1E5_4E55u64;
+    let (_, oracle_wall) = timed(|| {
+        for k in 0..oracle_batches {
+            let batch = gen_batch(&mut rng, n, 3);
+            let committed = ingest
+                .commit_batch(k % cloud.machines(), &batch)
+                .expect("oracle commit");
+            reference.apply_batch(&committed.mutations);
+            engine.apply_batch(&committed);
+            divergences += oracle_divergences(&engine, &reference);
+        }
+    });
+    row(&[
+        "oracle".into(),
+        secs(oracle_wall),
+        format!("{divergences} divergences"),
+        format!("{oracle_batches} batches, bitwise, every boundary"),
+    ]);
+
+    // Phase 2: incremental vs full recompute at ~1% dirty fraction.
+    // Each rep adds one long-range edge: the dirty set is the new
+    // destination plus the source's out-neighbors.
+    let mut incr_us = 0u64;
+    let mut full_us = 0u64;
+    let mut dirty_pct = 0.0f64;
+    for rep in 0..latency_reps {
+        let a = (rep as u64 * 37) % n;
+        let batch = MutationBatch::new(vec![Mutation::AddEdge(a, (a + n / 3) % n)]);
+        let committed = ingest.commit_batch(0, &batch).expect("latency commit");
+        reference.apply_batch(&committed.mutations);
+        let t = Instant::now();
+        let report = engine.apply_batch(&committed);
+        incr_us += t.elapsed().as_micros() as u64;
+        assert!(
+            !report.full_recompute,
+            "a single-edge batch must stay on the incremental path"
+        );
+        dirty_pct += report.dirty_fraction * 100.0;
+        let t = Instant::now();
+        let fresh = IncrementalBsp::new(
+            PageRankGather::default(),
+            reference.clone(),
+            IncrementalConfig::default(),
+        );
+        full_us += t.elapsed().as_micros() as u64;
+        divergences += oracle_divergences(&engine, &reference);
+        std::hint::black_box(fresh);
+    }
+    dirty_pct /= latency_reps as f64;
+    let speedup = full_us as f64 / incr_us.max(1) as f64;
+    row(&[
+        "refresh-latency".into(),
+        secs((incr_us + full_us) as f64 / 1e6),
+        format!("{speedup:.1}x speedup"),
+        format!(
+            "incr {incr_us}us vs full {full_us}us over {latency_reps} reps, {dirty_pct:.1}% dirty"
+        ),
+    ]);
+
+    // Phase 3: freshness lag vs write rate. A paced committer streams
+    // batches into a queue; the consumer absorbs them as fast as it
+    // can; lag is commit-ack → absorbing refresh.
+    let rates: &[u64] = if smoke {
+        &[100, 400, 1600]
+    } else {
+        &[100, 400, 1600, 6400]
+    };
+    let mut series: Vec<Json> = Vec::new();
+    for &rate in rates {
+        let queue: Arc<Mutex<VecDeque<CommittedBatch>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let done = Arc::new(AtomicBool::new(false));
+        let committer = {
+            let ingest = Arc::clone(&ingest);
+            let queue = Arc::clone(&queue);
+            let done = Arc::clone(&done);
+            let machines = cloud.machines();
+            let mut rng = rate | 1;
+            std::thread::spawn(move || {
+                let gap = Duration::from_micros(1_000_000 / rate);
+                let start = Instant::now();
+                let mut sent = 0u64;
+                while start.elapsed() < Duration::from_millis(rate_window_ms) {
+                    let batch = gen_batch(&mut rng, n, 2);
+                    let committed = ingest
+                        .commit_batch((sent as usize) % machines, &batch)
+                        .expect("rate commit");
+                    queue.lock().push_back(committed);
+                    sent += 1;
+                    std::thread::sleep(gap);
+                }
+                done.store(true, Ordering::Release);
+                sent
+            })
+        };
+        let mut lags_us: Vec<u64> = Vec::new();
+        loop {
+            let next = queue.lock().pop_front();
+            match next {
+                Some(committed) => {
+                    reference.apply_batch(&committed.mutations);
+                    let lag = committed.committed_at.elapsed().as_micros() as u64;
+                    engine.apply_batch(&committed);
+                    lags_us.push(lag);
+                }
+                None if done.load(Ordering::Acquire) => break,
+                None => std::thread::yield_now(),
+            }
+        }
+        let sent = committer.join().expect("committer");
+        divergences += oracle_divergences(&engine, &reference);
+        lags_us.sort_unstable();
+        let mean = lags_us.iter().sum::<u64>() / lags_us.len().max(1) as u64;
+        let p95 = percentile(&lags_us, 0.95);
+        row(&[
+            format!("rate {rate}/s"),
+            secs(rate_window_ms as f64 / 1e3),
+            format!("lag mean {mean}us p95 {p95}us"),
+            format!("{sent} batches committed, {} absorbed", lags_us.len()),
+        ]);
+        series.push(Json::obj([
+            ("write_rate_per_sec", Json::U64(rate)),
+            ("batches", Json::U64(sent)),
+            ("mean_lag_us", Json::U64(mean)),
+            ("p95_lag_us", Json::U64(p95)),
+        ]));
+    }
+
+    metrics.capture("freshness", &cloud);
+    metrics.section(
+        "oracle",
+        Json::obj([
+            ("batches", Json::U64(oracle_batches as u64)),
+            ("divergences", Json::U64(divergences)),
+        ]),
+    );
+    metrics.section(
+        "latency",
+        Json::obj([
+            ("incremental_us", Json::U64(incr_us)),
+            ("full_us", Json::U64(full_us)),
+            ("speedup", Json::F64(speedup)),
+            ("dirty_fraction_pct", Json::F64(dirty_pct)),
+        ]),
+    );
+    metrics.section("lag_series", Json::Arr(series));
+    metrics.finish();
+
+    if smoke {
+        assert_eq!(
+            divergences, 0,
+            "incremental results diverged from the from-scratch oracle"
+        );
+        assert!(
+            incr_us < full_us,
+            "incremental refresh ({incr_us}us) must beat full recompute \
+             ({full_us}us) at {dirty_pct:.1}% dirty fraction"
+        );
+        assert!(
+            dirty_pct < 5.0,
+            "single-edge batches should dirty ~1%, saw {dirty_pct:.1}%"
+        );
+        println!(
+            "smoke OK: 0 divergences across every boundary, \
+             incremental {speedup:.1}x over full at {dirty_pct:.1}% dirty"
+        );
+    }
+    cloud.shutdown();
+}

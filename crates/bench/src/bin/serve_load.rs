@@ -326,7 +326,7 @@ fn main() {
     let cfg = ServeConfig {
         workers: 2,
         // Shallow queues on purpose: shed early, keep p99 flat.
-        queue_capacity: [2, 3, 4],
+        queue_capacity: [2, 3, 3, 4],
         default_deadline: Some(deadline),
     };
     let workers = cfg.workers;

@@ -43,5 +43,6 @@ mod workloads;
 
 pub use runner::{ChaosReport, ChaosRun, ChaosRunner, ChaosWorkload};
 pub use workloads::{
-    BspRingMax, CachedRemoteReads, MigrationStorm, PartitionHeal, ServeSlice, TraversalSearch,
+    BspRingMax, CachedRemoteReads, MigrationStorm, MutationStorm, PartitionHeal, ServeSlice,
+    TraversalSearch,
 };

@@ -14,8 +14,9 @@ use trinity_core::checkpoint::{resume_from_checkpoint, run_with_checkpoints, Che
 use trinity_core::online::{explore_via, ExploreOptions};
 use trinity_core::recovery::{RecoveryAgents, RecoveryConfig, RecoveryEvent};
 use trinity_core::{
-    BspConfig, BspRunner, Explorer, MessagingMode, TrinityCluster, TrinityConfig, VertexContext,
-    VertexProgram,
+    BspConfig, BspRunner, Explorer, IncrementalBsp, IncrementalConfig, MessagingMode, Mutation,
+    MutationBatch, PageRankGather, StreamingIngest, Topology, TrinityCluster, TrinityConfig,
+    VertexContext, VertexProgram,
 };
 use trinity_graph::{load_graph, Csr, LoadOptions};
 use trinity_memcloud::{CloudConfig, MemoryCloud};
@@ -372,7 +373,7 @@ impl ChaosWorkload for ServeSlice {
             proxy.endpoint(),
             ServeConfig {
                 workers: 2,
-                queue_capacity: [4, 6, 8],
+                queue_capacity: [4, 6, 6, 8],
                 default_deadline: Some(self.deadline),
             },
         );
@@ -1132,6 +1133,285 @@ impl ChaosWorkload for MigrationStorm {
         if faulty.outcome != reference.outcome {
             vec![format!(
                 "converged state diverged: {} != {}",
+                faulty.outcome, reference.outcome
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+}
+
+/// A streaming writer commits a deterministic stream of mutation batches
+/// through the mini-transaction ingest while the fault plan crashes and
+/// revives machines mid-batch — the submitting machine, the owner of a
+/// touched trunk, or the leader (machine 0, which answers table syncs)
+/// at any `Trigger::Mark(batch_index)` point. An [`IncrementalBsp`]
+/// engine consumes every committed batch as it lands.
+///
+/// A crash here is a *network* death (the fabric stops routing; memory
+/// is frozen, not lost), so an acked batch must never be rolled back.
+/// The storm retries each batch until it commits, reviving casualties
+/// itself when a dead owner would otherwise block the stream forever.
+///
+/// Invariants, checked after a final disarmed batch:
+///
+/// * the incremental engine's values are **bit-identical**, layer by
+///   layer, to a from-scratch recompute on the same topology — chaos
+///   delivery (aborts, duplicate no-op retries, crashes between
+///   batches) must never desynchronize incremental state;
+/// * the mutation log replayed over the seed graph equals the engine's
+///   topology mirror *and* the store read back cell by cell — every
+///   acked commit is durable and nothing half-applied is visible;
+/// * a fault-free run commits every batch without reviving anyone.
+///
+/// Timing makes the traffic nondeterministic, so no fault-log equality
+/// is asserted.
+#[derive(Debug, Clone)]
+pub struct MutationStorm {
+    /// Live machines in the cloud.
+    pub machines: usize,
+    /// Seed ring size (vertex ids `0..vertices`; batches may add ids up
+    /// to `vertices + 8`).
+    pub vertices: u64,
+    /// Mutation batches in the storm (chaos mark `k` fires before batch
+    /// `k` commits).
+    pub batches: u64,
+    /// Mutations per batch.
+    pub batch_size: usize,
+    /// Preferred submission machine (plans crash it to exercise the
+    /// writer path; the storm fails over to the next live machine).
+    pub writer: u16,
+    /// Seed for the deterministic mutation stream (independent of the
+    /// fault plan's seed).
+    pub seed: u64,
+}
+
+impl MutationStorm {
+    /// A small instance: 3 machines, a 12-vertex seed ring, 10 batches
+    /// of 4 mutations submitted through machine 1.
+    pub fn small() -> Self {
+        MutationStorm {
+            machines: 3,
+            vertices: 12,
+            batches: 10,
+            batch_size: 4,
+            writer: 1,
+            seed: 0x5EED_CA57,
+        }
+    }
+
+    fn gen_batch(&self, rng: &mut u64) -> MutationBatch {
+        let n = self.vertices;
+        let mut muts = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            let kind = xorshift(rng) % 10;
+            let a = xorshift(rng) % (n + 8);
+            let b = xorshift(rng) % (n + 8);
+            muts.push(match kind {
+                0 => Mutation::AddVertex(n + xorshift(rng) % 8),
+                1 => Mutation::RemoveVertex(a),
+                2 | 3 => Mutation::RemoveEdge(a, b),
+                _ => Mutation::AddEdge(a, b),
+            });
+        }
+        MutationBatch::new(muts)
+    }
+}
+
+impl ChaosWorkload for MutationStorm {
+    fn name(&self) -> &str {
+        "mutation-storm"
+    }
+
+    fn run(&self, faults: Option<FaultPlan>) -> ChaosRun {
+        use trinity_core::minitx::TxService;
+        use trinity_graph::NodeRecord;
+
+        let fault_free = faults.is_none();
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+            faults,
+            call_timeout: Duration::from_millis(100),
+            ..CloudConfig::small(self.machines)
+        }));
+        let total = cloud.machines();
+        let fabric = Arc::clone(cloud.fabric());
+        fabric.chaos_arm(false);
+
+        // Seed: a directed ring with in-links, written disarmed.
+        let n = self.vertices;
+        let mut seed_topo = Topology::new();
+        for v in 0..n {
+            let rec = NodeRecord {
+                attrs: Vec::new(),
+                outs: vec![(v + 1) % n],
+                ins: Some(vec![(v + n - 1) % n]),
+            };
+            cloud.node(0).put(v, &rec.encode()).expect("seed vertex");
+            seed_topo.add_edge(v, (v + 1) % n);
+        }
+        cloud.backup_all().expect("backup trunks to TFS");
+        let svc = TxService::install(Arc::clone(&cloud));
+        let ingest = StreamingIngest::new(Arc::clone(&cloud), svc, self.writer as usize);
+        let mut engine = IncrementalBsp::new(
+            PageRankGather::default(),
+            seed_topo.clone(),
+            IncrementalConfig::default(),
+        );
+
+        let mut failures: Vec<String> = Vec::new();
+        let mut revived: Vec<u16> = Vec::new();
+        fabric.chaos_arm(true);
+        let mut rng = self.seed | 1;
+        'storm: for k in 0..self.batches {
+            fabric.chaos_mark(k);
+            let batch = self.gen_batch(&mut rng);
+            let mut attempts = 0usize;
+            let committed = loop {
+                let via = (0..total)
+                    .map(|i| (self.writer as usize + i) % total)
+                    .find(|&m| !fabric.is_dead(MachineId(m as u16)));
+                match via.map(|v| ingest.commit_batch(v, &batch)) {
+                    Some(Ok(c)) => break c,
+                    Some(Err(e)) if attempts >= 400 => {
+                        failures.push(format!("batch {k} never committed: {e}"));
+                        break 'storm;
+                    }
+                    _ => {}
+                }
+                attempts += 1;
+                // A dead trunk owner blocks commits, and a stalled
+                // writer can never reach the plan's later revive marks;
+                // bring casualties back (network death froze their
+                // memory — revival is legitimate, not a restore).
+                if attempts.is_multiple_of(40) {
+                    for m in 0..total {
+                        if fabric.is_dead(MachineId(m as u16)) && cloud.revive_machine(m).is_ok() {
+                            revived.push(m as u16);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            };
+            engine.apply_batch(&committed);
+        }
+        // Revive remaining casualties, then prove the pipeline is still
+        // live with one disarmed batch.
+        for m in 0..total {
+            if fabric.is_dead(MachineId(m as u16)) {
+                cloud.revive_machine(m).expect("revive casualty");
+                revived.push(m as u16);
+            }
+        }
+        fabric.chaos_arm(false);
+        let fin = MutationBatch::new(vec![
+            Mutation::AddEdge(0, n / 2),
+            Mutation::AddVertex(n + 7),
+        ]);
+        match ingest.commit_batch(self.writer as usize, &fin) {
+            Ok(c) => {
+                engine.apply_batch(&c);
+            }
+            Err(e) => failures.push(format!("disarmed final batch failed: {e}")),
+        }
+        if fault_free && !revived.is_empty() {
+            failures.push(format!("fault-free run revived machines {revived:?}"));
+        }
+
+        // Incremental must equal a from-scratch recompute bit for bit,
+        // every layer.
+        let fresh = IncrementalBsp::new(
+            PageRankGather::default(),
+            engine.topology().clone(),
+            IncrementalConfig::default(),
+        );
+        if fresh.num_layers() != engine.num_layers() {
+            failures.push(format!(
+                "layer count diverged: incremental {} vs fresh {}",
+                engine.num_layers(),
+                fresh.num_layers()
+            ));
+        } else {
+            for l in 0..fresh.num_layers() {
+                let (a, b) = (
+                    engine.layer_values(l).expect("incremental layer"),
+                    fresh.layer_values(l).expect("fresh layer"),
+                );
+                if a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()) {
+                    failures.push(format!(
+                        "incremental layer {l} diverges from full recompute"
+                    ));
+                }
+            }
+        }
+
+        // Durability and atomicity: log replay over the seed equals the
+        // engine's mirror and the store read-back, cell by cell.
+        let replayed = ingest.log().replay_onto(seed_topo);
+        if &replayed != engine.topology() {
+            failures.push("engine topology mirror != mutation-log replay".into());
+        }
+        for m in 0..total {
+            cloud.node(m).clear_cache();
+        }
+        let mut store_topo = Topology::new();
+        for v in 0..n + 8 {
+            match cloud.node(0).get(v) {
+                Ok(Some(bytes)) => match NodeRecord::decode(&bytes) {
+                    Ok(rec) => {
+                        store_topo.add_vertex(v);
+                        for w in rec.outs {
+                            store_topo.add_edge(v, w);
+                        }
+                    }
+                    Err(e) => failures.push(format!("cell {v}: undecodable record: {e}")),
+                },
+                Ok(None) => {}
+                Err(e) => failures.push(format!("cell {v}: post-storm read failed: {e}")),
+            }
+        }
+        if store_topo != replayed {
+            failures.push(format!(
+                "store read-back != log replay ({} vs {} vertices) — lost or split batch",
+                store_topo.len(),
+                replayed.len()
+            ));
+        }
+
+        // Outcome digest: the converged values and topology. The batch
+        // stream is deterministic and every batch must commit, so this
+        // matches the fault-free run even though timing does not.
+        fn fnv(h: &mut u64, x: u64) {
+            *h ^= x;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (id, v) in engine.values() {
+            fnv(&mut h, id);
+            fnv(&mut h, v.to_bits());
+        }
+        let ids: Vec<u64> = engine.topology().ids().collect();
+        for v in ids {
+            fnv(&mut h, v);
+            for &w in engine.topology().outs(v) {
+                fnv(&mut h, w);
+            }
+        }
+        let digest = format!("{h:016x}");
+        let mut run = ChaosRun::capture(&fabric, digest, CAPTURE_TIMEOUT);
+        run.recovered = revived;
+        run.failures = failures;
+        cloud.shutdown();
+        run
+    }
+
+    fn check(&self, reference: &ChaosRun, faulty: &ChaosRun) -> Vec<String> {
+        if faulty.outcome != reference.outcome {
+            vec![format!(
+                "converged values diverged: {} != {}",
                 faulty.outcome, reference.outcome
             )]
         } else {

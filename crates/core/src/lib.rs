@@ -31,12 +31,14 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod cputime;
 pub mod hub;
+pub mod incremental;
 pub mod minitx;
 pub mod online;
 pub mod online_async;
 pub mod recovery;
 pub mod residency;
 pub mod safra;
+pub mod streaming;
 pub mod wal;
 
 pub use bsp::{
@@ -44,8 +46,15 @@ pub use bsp::{
     SuperstepReport, VertexContext, VertexProgram,
 };
 pub use cluster::{TrinityClient, TrinityCluster, TrinityConfig, TrinityProxy};
+pub use incremental::{
+    GatherCtx, GatherMode, GatherProgram, InContribution, IncrementalBsp, IncrementalConfig,
+    MinLabel, PageRankGather, RefreshReport,
+};
 pub use online::{
     explore_via, CallHook, ExplorationResult, ExploreOptions, Explorer, ExplorerConfig,
+};
+pub use streaming::{
+    CommittedBatch, DirtySet, Mutation, MutationBatch, MutationLog, StreamingIngest, Topology,
 };
 
 /// Runtime protocol ids (range reserved by `trinity_net::proto`).

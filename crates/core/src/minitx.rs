@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -135,15 +135,28 @@ impl TxOutcome {
 
 /// Per-machine transaction participant state.
 struct TxParticipant {
-    /// Logical cell locks: cell → holding transaction id.
-    locks: Mutex<HashMap<CellId, u64>>,
+    /// Logical cell locks: cell → (holding transaction id, grant time).
+    /// A grant is a *lease*: a lock older than [`LOCK_LEASE`] belongs to
+    /// a coordinator that died mid-protocol and may be stolen by the
+    /// next prepare, so dead coordinators can never wedge cells forever.
+    locks: Mutex<HashMap<CellId, (u64, Instant)>>,
 }
+
+/// How long a prepared lock is honored before a competing prepare may
+/// steal it. Far above any healthy prepare→commit window (microseconds
+/// in-process), far below the chaos-test recovery horizon.
+const LOCK_LEASE: Duration = Duration::from_millis(300);
 
 // --- Wire formats -------------------------------------------------------
 
 const ST_OK: u8 = 0;
 const ST_BUSY: u8 = 1;
 const ST_COMPARE_FAILED: u8 = 2;
+/// The participant's addressing-table epoch disagrees with the
+/// coordinator's: lock placement would be decided by two different
+/// tables (a migration flip is in flight). Both sides re-sync and the
+/// coordinator retries.
+const ST_EPOCH: u8 = 3;
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_le_bytes());
@@ -177,9 +190,10 @@ struct TxShare {
     write_locks: Vec<CellId>,
 }
 
-fn encode_share(txid: u64, share: &TxShare) -> Vec<u8> {
+fn encode_share(txid: u64, epoch: u64, share: &TxShare) -> Vec<u8> {
     let mut out = Vec::new();
     put_u64(&mut out, txid);
+    put_u64(&mut out, epoch);
     put_u64(&mut out, share.compares.len() as u64);
     for c in &share.compares {
         match c {
@@ -209,9 +223,10 @@ fn encode_share(txid: u64, share: &TxShare) -> Vec<u8> {
     out
 }
 
-fn decode_share(data: &[u8]) -> Option<(u64, TxShare)> {
+fn decode_share(data: &[u8]) -> Option<(u64, u64, TxShare)> {
     let mut at = 0usize;
     let txid = get_u64(data, &mut at)?;
+    let epoch = get_u64(data, &mut at)?;
     let n = get_u64(data, &mut at)? as usize;
     let mut share = TxShare::default();
     for _ in 0..n {
@@ -233,7 +248,7 @@ fn decode_share(data: &[u8]) -> Option<(u64, TxShare)> {
     for _ in 0..n {
         share.write_locks.push(get_u64(data, &mut at)?);
     }
-    Some((txid, share))
+    Some((txid, epoch, share))
 }
 
 fn encode_writes(txid: u64, writes: &[Write]) -> Vec<u8> {
@@ -324,7 +339,7 @@ impl TxService {
                             participant
                                 .locks
                                 .lock()
-                                .retain(|_, &mut holder| holder != txid);
+                                .retain(|_, &mut (holder, _)| holder != txid);
                         }
                         Some(vec![ST_OK])
                     });
@@ -340,7 +355,7 @@ impl TxService {
                             participant
                                 .locks
                                 .lock()
-                                .retain(|_, &mut holder| holder != txid);
+                                .retain(|_, &mut (holder, _)| holder != txid);
                         }
                         Some(vec![ST_OK])
                     });
@@ -403,21 +418,46 @@ impl TxService {
         }
         let mut participants: Vec<u16> = shares.keys().copied().collect();
         participants.sort_unstable();
-        // Phase 1: prepare.
+        // Best-effort abort of already-prepared participants; any that
+        // cannot be reached fall back to the lock lease.
+        let abort_prepared = |prepared: &[u16]| {
+            let mut abort = Vec::new();
+            put_u64(&mut abort, txid);
+            for &p in prepared {
+                let _ = endpoint.call(MachineId(p), proto::MTX_ABORT, &abort);
+            }
+        };
+        // Phase 1: prepare. Every share carries the coordinator's table
+        // epoch: a participant whose table disagrees vetoes the
+        // transaction (lock placement must not be decided by two
+        // different tables across a migration flip).
         let mut prepared: Vec<u16> = Vec::new();
         let mut reads: HashMap<CellId, Option<Vec<u8>>> = HashMap::new();
         let mut verdict: Option<Attempt> = None;
         for &p in &participants {
-            let payload = encode_share(txid, &shares[&p]);
-            let reply = endpoint
-                .call(MachineId(p), proto::MTX_PREPARE, &payload)
-                .map_err(CloudError::Net)?;
+            let payload = encode_share(txid, table.epoch, &shares[&p]);
+            let reply = match endpoint.call(MachineId(p), proto::MTX_PREPARE, &payload) {
+                Ok(reply) => reply,
+                Err(e) => {
+                    // Transport failure mid-prepare: release what we
+                    // already locked before surfacing the error.
+                    abort_prepared(&prepared);
+                    return Err(CloudError::Net(e));
+                }
+            };
             match reply.first() {
                 Some(&ST_OK) => {
                     prepared.push(p);
                     decode_reads(&reply[1..], &mut reads);
                 }
                 Some(&ST_BUSY) => {
+                    verdict = Some(Attempt::Busy);
+                    break;
+                }
+                Some(&ST_EPOCH) => {
+                    // The participant saw a different table epoch; catch
+                    // our own table up and retry as contention.
+                    let _ = self.cloud.node(from).sync_table();
                     verdict = Some(Attempt::Busy);
                     break;
                 }
@@ -428,28 +468,34 @@ impl TxService {
                     }));
                     break;
                 }
-                _ => return Err(CloudError::BadReply),
+                _ => {
+                    abort_prepared(&prepared);
+                    return Err(CloudError::BadReply);
+                }
             }
         }
         // Phase 2.
         match verdict {
             None => {
+                // Commit every participant even if one call fails: the
+                // decision is already "commit", so stopping early would
+                // strand applied prefixes behind held locks. Unreachable
+                // participants release via the lock lease and the caller
+                // retries the (idempotent) transaction.
+                let mut first_err = None;
                 for &p in &participants {
                     let payload = encode_writes(txid, writes_by.get(&p).map_or(&[][..], |v| v));
-                    endpoint
-                        .call(MachineId(p), proto::MTX_COMMIT, &payload)
-                        .map_err(CloudError::Net)?;
+                    if let Err(e) = endpoint.call(MachineId(p), proto::MTX_COMMIT, &payload) {
+                        first_err.get_or_insert(e);
+                    }
                 }
-                Ok(Attempt::Done(TxOutcome::Committed { reads }))
+                match first_err {
+                    None => Ok(Attempt::Done(TxOutcome::Committed { reads })),
+                    Some(e) => Err(CloudError::Net(e)),
+                }
             }
             Some(outcome) => {
-                let mut abort = Vec::new();
-                put_u64(&mut abort, txid);
-                for &p in &prepared {
-                    endpoint
-                        .call(MachineId(p), proto::MTX_ABORT, &abort)
-                        .map_err(CloudError::Net)?;
-                }
+                abort_prepared(&prepared);
                 Ok(outcome)
             }
         }
@@ -464,9 +510,21 @@ enum Attempt {
 /// Participant-side prepare: try-lock every touched cell, validate the
 /// compares, perform the reads.
 fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> Vec<u8> {
-    let Some((txid, share)) = decode_share(data) else {
+    let Some((txid, epoch, share)) = decode_share(data) else {
         return vec![ST_BUSY];
     };
+    // Epoch fence: coordinator and participant must agree on the
+    // addressing table, or two coordinators could place locks for the
+    // same cell on different machines across a migration flip. A
+    // participant behind the coordinator catches itself up before
+    // vetoing so the retry can succeed.
+    let own = node.table().epoch;
+    if own != epoch {
+        if own < epoch {
+            let _ = node.sync_table();
+        }
+        return vec![ST_EPOCH];
+    }
     // Try-lock all touched cells (sorted for determinism).
     let mut cells: Vec<CellId> = share
         .compares
@@ -478,15 +536,19 @@ fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> V
     cells.sort_unstable();
     cells.dedup();
     {
+        let now = Instant::now();
         let mut locks = participant.locks.lock();
-        if cells
-            .iter()
-            .any(|c| locks.get(c).is_some_and(|&h| h != txid))
-        {
+        if cells.iter().any(|c| {
+            locks
+                .get(c)
+                .is_some_and(|&(h, granted)| h != txid && now.duration_since(granted) < LOCK_LEASE)
+        }) {
             return vec![ST_BUSY];
         }
         for &c in &cells {
-            locks.insert(c, txid);
+            // Fresh grant, or a lease-expired steal from a coordinator
+            // that died between prepare and commit/abort.
+            locks.insert(c, (txid, now));
         }
     }
     // Validate compares (rolling the locks back on failure).
@@ -494,7 +556,7 @@ fn prepare(node: &Arc<CloudNode>, participant: &TxParticipant, data: &[u8]) -> V
         participant
             .locks
             .lock()
-            .retain(|_, &mut holder| holder != txid);
+            .retain(|_, &mut (holder, _)| holder != txid);
     };
     for c in &share.compares {
         let current = match node.get(c.cell()) {
@@ -756,6 +818,84 @@ mod tests {
     }
 
     #[test]
+    fn stale_epoch_prepare_is_vetoed() {
+        let (cloud, _svc) = service(2);
+        let share = TxShare {
+            compares: vec![],
+            reads: vec![1],
+            write_locks: vec![],
+        };
+        let owner = cloud.node(0).table().machine_of(1);
+        let epoch = cloud.node(0).table().epoch;
+        // A coordinator claiming a future epoch is vetoed: the
+        // participant must not place locks under a table it cannot see.
+        let reply = cloud
+            .node(0)
+            .endpoint()
+            .call(
+                owner,
+                proto::MTX_PREPARE,
+                &encode_share(99, epoch + 1, &share),
+            )
+            .unwrap();
+        assert_eq!(reply.first(), Some(&ST_EPOCH));
+        // The agreeing epoch prepares fine.
+        let reply = cloud
+            .node(0)
+            .endpoint()
+            .call(owner, proto::MTX_PREPARE, &encode_share(99, epoch, &share))
+            .unwrap();
+        assert_eq!(reply.first(), Some(&ST_OK));
+        let mut abort = Vec::new();
+        put_u64(&mut abort, 99);
+        cloud
+            .node(0)
+            .endpoint()
+            .call(owner, proto::MTX_ABORT, &abort)
+            .unwrap();
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn dead_coordinator_locks_expire_via_lease() {
+        let (cloud, svc) = service(2);
+        cloud.node(0).put(1, b"v").unwrap();
+        // Orphan a prepared lock on cell 1: prepare with no commit or
+        // abort ever arriving (the coordinator "died").
+        let owner = cloud.node(0).table().machine_of(1);
+        let share = TxShare {
+            compares: vec![],
+            reads: vec![],
+            write_locks: vec![1],
+        };
+        let epoch = cloud.node(0).table().epoch;
+        let reply = cloud
+            .node(0)
+            .endpoint()
+            .call(
+                owner,
+                proto::MTX_PREPARE,
+                &encode_share(0xDEAD, epoch, &share),
+            )
+            .unwrap();
+        assert_eq!(reply.first(), Some(&ST_OK));
+        // Within the lease the cell is genuinely locked.
+        let tx = MiniTx::new()
+            .compare_equals(1, &b"v"[..])
+            .write(1, &b"w"[..]);
+        match svc.try_execute(0, &tx).unwrap() {
+            Attempt::Busy => {}
+            Attempt::Done(out) => panic!("lock must hold within its lease, got {out:?}"),
+        }
+        // After the lease expires the orphaned lock is stolen.
+        std::thread::sleep(LOCK_LEASE + Duration::from_millis(50));
+        let out = svc.execute(0, &tx).unwrap();
+        assert!(out.committed(), "expired lease must be reclaimable");
+        assert_eq!(cloud.node(0).get(1).unwrap().unwrap(), b"w");
+        cloud.shutdown();
+    }
+
+    #[test]
     fn share_and_write_codecs_roundtrip() {
         let share = TxShare {
             compares: vec![
@@ -766,8 +906,9 @@ mod tests {
             reads: vec![4, 5],
             write_locks: vec![6],
         };
-        let (txid, decoded) = decode_share(&encode_share(42, &share)).unwrap();
+        let (txid, epoch, decoded) = decode_share(&encode_share(42, 7, &share)).unwrap();
         assert_eq!(txid, 42);
+        assert_eq!(epoch, 7);
         assert_eq!(decoded, share);
         let writes = vec![
             Write {

@@ -1,0 +1,157 @@
+//! Property tests for the dirty-set algebra.
+//!
+//! Two families of laws:
+//!
+//! * **Algebra**: `union`/`merge` are order-insensitive — commutative,
+//!   associative, idempotent — and never lose a flag, so per-trunk dirty
+//!   sets can be combined in any arrival order.
+//! * **Exactness**: the dirty set emitted by `Topology::apply_batch` is
+//!   *exactly* the set of surviving vertices whose in-neighborhood
+//!   signature `{(u, outdeg(u)) : u ∈ ins(w)}` changed (or that were
+//!   created), computed by brute force from full before/after images —
+//!   the pre/post-touched-cells shortcut must never over- or
+//!   under-approximate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use trinity_core::{DirtySet, Mutation, Topology};
+
+const UNIVERSE: u64 = 12;
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    let v = 0u64..UNIVERSE;
+    prop_oneof![
+        1 => v.clone().prop_map(Mutation::AddVertex),
+        1 => v.clone().prop_map(Mutation::RemoveVertex),
+        3 => (v.clone(), v.clone()).prop_map(|(a, b)| Mutation::RemoveEdge(a, b)),
+        5 => (v.clone(), v).prop_map(|(a, b)| Mutation::AddEdge(a, b)),
+    ]
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    proptest::collection::vec((0u64..UNIVERSE, 0u64..UNIVERSE), 0..24).prop_map(|edges| {
+        let mut t = Topology::new();
+        for (a, b) in edges {
+            t.add_edge(a, b);
+        }
+        t
+    })
+}
+
+fn dirty_strategy() -> impl Strategy<Value = DirtySet> {
+    (
+        proptest::collection::vec(0u64..UNIVERSE, 0..8),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(vs, vsc, rem)| {
+            let mut d = DirtySet::default();
+            d.vertices.extend(vs);
+            d.vertex_set_changed = vsc;
+            d.removals = rem;
+            d
+        })
+}
+
+/// The brute-force in-neighborhood signature of every vertex.
+fn signatures(t: &Topology) -> BTreeMap<u64, BTreeSet<(u64, usize)>> {
+    t.ids()
+        .map(|w| (w, t.ins(w).iter().map(|&u| (u, t.out_degree(u))).collect()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_is_commutative(a in dirty_strategy(), b in dirty_strategy()) {
+        prop_assert_eq!(
+            DirtySet::merge(a.clone(), &b),
+            DirtySet::merge(b.clone(), &a)
+        );
+    }
+
+    #[test]
+    fn union_is_associative(
+        a in dirty_strategy(),
+        b in dirty_strategy(),
+        c in dirty_strategy(),
+    ) {
+        let left = DirtySet::merge(DirtySet::merge(a.clone(), &b), &c);
+        let right = DirtySet::merge(a, &DirtySet::merge(b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_monotone(a in dirty_strategy(), b in dirty_strategy()) {
+        // a ∪ a = a
+        prop_assert_eq!(DirtySet::merge(a.clone(), &a), a.clone());
+        // a ⊆ a ∪ b, and no flag is ever lost.
+        let mut u = a.clone();
+        u.union(&b);
+        prop_assert!(u.vertices.is_superset(&a.vertices));
+        prop_assert!(u.vertices.is_superset(&b.vertices));
+        prop_assert_eq!(u.vertex_set_changed, a.vertex_set_changed || b.vertex_set_changed);
+        prop_assert_eq!(u.removals, a.removals || b.removals);
+    }
+
+    /// The exactness law: `apply_batch`'s dirty set equals the
+    /// brute-force signature diff on surviving vertices, with created
+    /// vertices dirty and removed vertices dropped.
+    #[test]
+    fn dirty_set_is_exactly_the_signature_diff(
+        base in topo_strategy(),
+        muts in proptest::collection::vec(mutation_strategy(), 1..10),
+    ) {
+        let before = signatures(&base);
+        let existed: BTreeSet<u64> = base.ids().collect();
+        let mut t = base;
+        let dirty = t.apply_batch(&muts);
+        let after = signatures(&t);
+
+        let mut expect = BTreeSet::new();
+        for (&w, sig) in &after {
+            let created = !existed.contains(&w);
+            if created || before.get(&w) != Some(sig) {
+                expect.insert(w);
+            }
+        }
+        prop_assert_eq!(
+            &dirty.vertices, &expect,
+            "emitted dirty set must equal the brute-force signature diff"
+        );
+        // Flags: the vertex set changed iff ids differ; removals iff
+        // any vertex or edge disappeared.
+        let now: BTreeSet<u64> = t.ids().collect();
+        prop_assert_eq!(dirty.vertex_set_changed, existed != now);
+        // Every dirty vertex survives.
+        prop_assert!(dirty.vertices.iter().all(|v| t.contains(*v)));
+    }
+
+    /// Batch-vs-singles consistency: applying the batch one mutation at
+    /// a time and unioning the per-step dirty sets covers the batch's
+    /// set (restricted to survivors), and lands on the same graph.
+    #[test]
+    fn stepwise_union_covers_batch_dirty(
+        base in topo_strategy(),
+        muts in proptest::collection::vec(mutation_strategy(), 1..10),
+    ) {
+        let mut whole = base.clone();
+        let d_whole = whole.apply_batch(&muts);
+
+        let mut steps = base;
+        let mut acc = DirtySet::default();
+        for m in &muts {
+            acc.union(&steps.apply_batch(std::slice::from_ref(m)));
+        }
+        prop_assert_eq!(&whole, &steps, "same graph either way");
+        acc.vertices.retain(|&v| whole.contains(v));
+        prop_assert!(
+            acc.vertices.is_superset(&d_whole.vertices),
+            "stepwise union {:?} must cover batch dirty {:?}",
+            acc.vertices, d_whole.vertices
+        );
+    }
+}

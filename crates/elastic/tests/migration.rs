@@ -355,7 +355,9 @@ fn donor_unseal_fences_out_a_slow_coordinators_flip() {
     // must lose — committing it would drop the acked write above.
     assert!(
         matches!(
-            cloud.tfs().write_if_version(TFS_TABLE_PATH, &flipped.encode(), ver),
+            cloud
+                .tfs()
+                .write_if_version(TFS_TABLE_PATH, &flipped.encode(), ver),
             Err(trinity_tfs::TfsError::VersionMismatch { .. })
         ),
         "a flip planned before the unseal must be fenced out"

@@ -67,6 +67,9 @@ pub(crate) mod proto {
     /// Cache coherence: the owner tells a reader that its cached copy of
     /// a cell is stale below the carried version stamp.
     pub const INVALIDATE: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 6;
+    /// Conditional write: replace a cell's payload only if its version
+    /// still matches the caller's snapshot (single-cell CAS).
+    pub const PUT_IF: ProtoId = trinity_net::proto::FIRST_MEMCLOUD + 7;
 
     // Elastic trunk-migration frames (coordinator-driven; see the
     // `migration` module). These live in the dedicated elastic range.

@@ -151,12 +151,13 @@ impl CloudNode {
 
     fn register_handlers(self: &Arc<Self>) {
         type CellOp = fn(&CloudNode, MachineId, CellId, &[u8]) -> Vec<u8>;
-        let ops: [(u16, CellOp); 5] = [
+        let ops: [(u16, CellOp); 6] = [
             (proto::GET, CloudNode::handle_get),
             (proto::PUT, CloudNode::handle_put),
             (proto::REMOVE, CloudNode::handle_remove),
             (proto::APPEND, CloudNode::handle_append),
             (proto::CONTAINS, CloudNode::handle_contains),
+            (proto::PUT_IF, CloudNode::handle_put_if),
         ];
         for (pid, op) in ops {
             let node = Arc::clone(self);
@@ -465,6 +466,34 @@ impl CloudNode {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
+            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
+        }
+    }
+
+    fn handle_put_if(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
+        let (expected, payload) = match wire::decode_put_if(body) {
+            Some(parts) => parts,
+            None => return wire::reply(wire::STORE_ERR, b""),
+        };
+        let trunk = self.local_trunk(id);
+        self.record_sharer(trunk.id(), src);
+        self.obs
+            .load()
+            .record_write(trunk.id(), payload.len() as u64);
+        match self.gated_mutate(trunk.id(), id, || {
+            trunk.put_if_version(id, payload, expected)
+        }) {
+            Gate::Moved { epoch } => wire::reply_moved(epoch),
+            Gate::Done(Ok(version)) => {
+                self.invalidate_sharers(id, version, src);
+                wire::reply_ok(version, b"")
+            }
+            Gate::Done(Err(StoreError::NotFound(_))) => wire::reply(wire::NOT_FOUND, b""),
+            Gate::Done(Err(StoreError::VersionMismatch {
+                id,
+                expected,
+                found,
+            })) => wire::reply_version_mismatch(id, expected, found),
             Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
         }
     }
@@ -791,6 +820,7 @@ impl CloudNode {
                     proto::REMOVE => self.handle_remove(self.machine, id, body),
                     proto::APPEND => self.handle_append(self.machine, id, body),
                     proto::CONTAINS => self.handle_contains(self.machine, id, body),
+                    proto::PUT_IF => self.handle_put_if(self.machine, id, body),
                     _ => unreachable!("unknown memcloud protocol {pid}"),
                 };
                 wire::parse_reply(&raw, trunk, owner)
@@ -871,6 +901,33 @@ impl CloudNode {
         Ok(())
     }
 
+    /// Replace a cell's payload only if its version still equals
+    /// `expected` — the remote single-cell compare-and-swap. Returns the
+    /// new version on success; a concurrent write since the caller's
+    /// versioned read surfaces as [`StoreError::VersionMismatch`], and a
+    /// vanished cell as [`StoreError::NotFound`], both under
+    /// [`CloudError::Store`]. Lost-ack retries are safe: a replayed CAS
+    /// whose first attempt landed reads back as a mismatch, never as a
+    /// double apply.
+    pub fn put_if_version(
+        &self,
+        id: CellId,
+        bytes: &[u8],
+        expected: CellVersion,
+    ) -> Result<CellVersion> {
+        let body = wire::encode_put_if(expected, bytes);
+        match self.remote_op(proto::PUT_IF, id, &body)? {
+            Some((version, _)) => {
+                if !self.owns(id) {
+                    self.cache
+                        .insert(id, version, Arc::from(bytes.to_vec().into_boxed_slice()));
+                }
+                Ok(version)
+            }
+            None => Err(CloudError::Store(StoreError::NotFound(id))),
+        }
+    }
+
     /// Remove a cell. `Ok(true)` if it existed.
     pub fn remove(&self, id: CellId) -> Result<bool> {
         match self.remote_op(proto::REMOVE, id, b"")? {
@@ -897,6 +954,15 @@ impl CloudNode {
             }
             None => Ok(false),
         }
+    }
+
+    /// The cell's current version stamp, read from its owner — the
+    /// snapshot half of the [`put_if_version`](Self::put_if_version)
+    /// compare-and-swap. Always consults the owner (never the local
+    /// cache) so the stamp is as fresh as one network round-trip allows.
+    pub fn version_of(&self, id: CellId) -> Result<Option<CellVersion>> {
+        self.remote_op(proto::CONTAINS, id, b"")
+            .map(|r| r.map(|(version, _)| version))
     }
 
     /// Whether the cell exists anywhere in the cloud. A cached copy

@@ -22,6 +22,10 @@ pub(crate) const STORE_ERR: u8 = 3;
 /// The trunk migrated away from this machine (or is in its sealed flip
 /// window). Carries the 8-byte table epoch the caller must sync to.
 pub(crate) const MOVED: u8 = 4;
+/// A conditional write (`PUT_IF`) found a different version than the
+/// caller expected. Carries the cell id, the expected version, and the
+/// version actually found, 8 bytes each.
+pub(crate) const VERSION_MISMATCH: u8 = 5;
 
 pub(crate) fn encode_req(id: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + payload.len());
@@ -55,6 +59,39 @@ pub(crate) fn reply_moved(epoch: u64) -> Vec<u8> {
     out
 }
 
+/// A `PUT_IF` request body (follows the 8-byte id from `encode_req`):
+/// the expected version, then the replacement payload.
+pub(crate) fn encode_put_if(expected: CellVersion, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&expected.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+pub(crate) fn decode_put_if(body: &[u8]) -> Option<(CellVersion, &[u8])> {
+    if body.len() < 8 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(body[..8].try_into().unwrap()),
+        &body[8..],
+    ))
+}
+
+/// A `VERSION_MISMATCH` reply: status, cell id, expected, found.
+pub(crate) fn reply_version_mismatch(
+    id: CellId,
+    expected: CellVersion,
+    found: CellVersion,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(25);
+    out.push(VERSION_MISMATCH);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&expected.to_le_bytes());
+    out.extend_from_slice(&found.to_le_bytes());
+    out
+}
+
 /// An `OK` reply: status, version stamp, payload.
 pub(crate) fn reply_ok(version: CellVersion, data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(9 + data.len());
@@ -83,6 +120,13 @@ pub(crate) fn parse_reply(
             trunk,
             epoch: u64::from_le_bytes(data[1..9].try_into().unwrap()),
         }),
+        Some(&VERSION_MISMATCH) if data.len() >= 25 => Err(CloudError::Store(
+            trinity_memstore::StoreError::VersionMismatch {
+                id: u64::from_le_bytes(data[1..9].try_into().unwrap()),
+                expected: u64::from_le_bytes(data[9..17].try_into().unwrap()),
+                found: u64::from_le_bytes(data[17..25].try_into().unwrap()),
+            },
+        )),
         Some(&STORE_ERR) => Err(CloudError::Store(
             trinity_memstore::StoreError::OutOfMemory {
                 requested: 0,
@@ -247,6 +291,30 @@ mod tests {
         // A truncated MOVED reply (no epoch fence) is malformed.
         assert!(matches!(
             parse_reply(&[MOVED, 1], 0, MachineId(0)),
+            Err(CloudError::BadReply)
+        ));
+    }
+
+    #[test]
+    fn put_if_roundtrip() {
+        let body = encode_put_if(99, b"next");
+        assert_eq!(decode_put_if(&body), Some((99, &b"next"[..])));
+        assert_eq!(decode_put_if(&body[..7]), None);
+
+        let raw = reply_version_mismatch(0xAB, 3, 9);
+        assert!(matches!(
+            parse_reply(&raw, 0, MachineId(0)),
+            Err(CloudError::Store(
+                trinity_memstore::StoreError::VersionMismatch {
+                    id: 0xAB,
+                    expected: 3,
+                    found: 9
+                }
+            ))
+        ));
+        // A truncated mismatch reply is malformed.
+        assert!(matches!(
+            parse_reply(&raw[..24], 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
     }

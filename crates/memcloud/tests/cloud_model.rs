@@ -159,3 +159,56 @@ fn redirect(op: &Op, victim: usize) -> Op {
         Op::Backup => Op::Backup,
     }
 }
+
+/// The single-cell CAS behaves like `compare_exchange` on the owner's
+/// version stamp, from any machine in the cloud: a fresh stamp wins, a
+/// stale one reports the mismatch without clobbering, and the ack stamp
+/// chains into the next CAS.
+#[test]
+fn put_if_version_is_a_cloudwide_cas() {
+    use trinity_memcloud::CloudError;
+    use trinity_memstore::StoreError;
+
+    let cloud = MemoryCloud::new(CloudConfig::small(3));
+    // Pick a key owned by machine 0 so machine 1 exercises the remote path.
+    let key = (0u64..)
+        .find(|k| {
+            let t = cloud.node(0).table();
+            t.machine_of(t.trunk_of(*k)) == cloud.node(0).machine()
+        })
+        .unwrap();
+
+    cloud.node(1).put(key, b"v0").unwrap();
+    let v0 = cloud.node(1).version_of(key).unwrap().unwrap();
+
+    let v1 = cloud.node(1).put_if_version(key, b"v1", v0).unwrap();
+    assert!(v1 > v0);
+
+    // The stale stamp must lose, reporting what it collided with.
+    match cloud.node(2).put_if_version(key, b"stale", v0) {
+        Err(CloudError::Store(StoreError::VersionMismatch {
+            id,
+            expected,
+            found,
+        })) => {
+            assert_eq!(id, key);
+            assert_eq!(expected, v0);
+            assert_eq!(found, v1);
+        }
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+    assert_eq!(cloud.node(2).get(key).unwrap().as_deref(), Some(&b"v1"[..]));
+
+    // The winning ack's stamp is the next expected value — and works
+    // issued from the owner itself (local dispatch path).
+    let v2 = cloud.node(0).put_if_version(key, b"v2", v1).unwrap();
+    assert!(v2 > v1);
+    assert_eq!(cloud.node(1).get(key).unwrap().as_deref(), Some(&b"v2"[..]));
+
+    // CAS on a cell that never existed is NotFound, not a silent create.
+    match cloud.node(1).put_if_version(key + (1 << 40), b"x", v2) {
+        Err(CloudError::Store(StoreError::NotFound(_))) => {}
+        other => panic!("expected not-found, got {other:?}"),
+    }
+    cloud.shutdown();
+}

@@ -18,6 +18,17 @@ pub enum StoreError {
     AlreadyExists(u64),
     /// No cell with this id exists.
     NotFound(u64),
+    /// A conditional update found a different version than expected
+    /// (returned by `put_if_version`): the cell changed since the
+    /// caller's snapshot read.
+    VersionMismatch {
+        /// The id of the contended cell.
+        id: u64,
+        /// The version the caller expected.
+        expected: u64,
+        /// The version actually found under the cell lock.
+        found: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -30,6 +41,10 @@ impl fmt::Display for StoreError {
             StoreError::CellTooLarge(n) => write!(f, "cell payload of {n} bytes exceeds the 32-bit cell size limit"),
             StoreError::AlreadyExists(id) => write!(f, "cell {id:#x} already exists"),
             StoreError::NotFound(id) => write!(f, "cell {id:#x} not found"),
+            StoreError::VersionMismatch { id, expected, found } => write!(
+                f,
+                "cell {id:#x} version mismatch: expected {expected}, found {found}"
+            ),
         }
     }
 }

@@ -713,6 +713,35 @@ impl Trunk {
         res
     }
 
+    /// Replace the cell's payload only if its version still equals
+    /// `expected` — the single-cell compare-and-swap under the per-cell
+    /// spin lock. Streaming writers use this to apply deltas computed
+    /// from a versioned snapshot read without a full transaction: a
+    /// concurrent write between read and apply surfaces as
+    /// [`StoreError::VersionMismatch`] instead of silently clobbering.
+    /// Returns the cell's new version on success.
+    pub fn put_if_version(
+        &self,
+        id: CellId,
+        payload: &[u8],
+        expected: CellVersion,
+    ) -> Result<CellVersion> {
+        let meta = self.lock_cell(id).ok_or(StoreError::NotFound(id))?;
+        // SAFETY: lock_cell acquired the lock; held until the unlock below.
+        let found = unsafe { (*meta).version() };
+        let res = if found == expected {
+            self.update_locked(meta, payload, id)
+        } else {
+            Err(StoreError::VersionMismatch {
+                id,
+                expected,
+                found,
+            })
+        };
+        unsafe { (*meta).unlock() };
+        res
+    }
+
     /// Append `extra` to the cell's payload (the growing-cell fast path the
     /// short-lived reservations exist for — e.g. adding edges to a node).
     /// Returns the cell's new version.
@@ -1405,6 +1434,36 @@ mod tests {
         drop(g);
         assert_eq!(t.version_of(1), Some(v6));
         assert_eq!(t.version_of(999), None);
+    }
+
+    #[test]
+    fn put_if_version_applies_only_at_expected_version() {
+        let t = tiny();
+        let v0 = t.put(7, b"base").unwrap();
+        let v1 = t.put_if_version(7, b"first", v0).unwrap();
+        assert!(v1 > v0);
+        // Stale expectation: the cell moved on, the write must not land.
+        let err = t.put_if_version(7, b"stale", v0).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::VersionMismatch {
+                id: 7,
+                expected: v0,
+                found: v1
+            }
+        );
+        let (v, g) = t.get_versioned(7).unwrap();
+        assert_eq!(v, v1);
+        assert_eq!(g.as_ref(), b"first");
+        drop(g);
+        // Relocating CAS (payload outgrows capacity) still stamps fresh.
+        let v2 = t.put_if_version(7, &[b'x'; 200], v1).unwrap();
+        assert!(v2 > v1);
+        assert_eq!(t.get(7).unwrap().as_ref(), &[b'x'; 200][..]);
+        assert_eq!(
+            t.put_if_version(42, b"nope", v2).unwrap_err(),
+            StoreError::NotFound(42)
+        );
     }
 
     /// Regression for the slack/wrap interaction: grow cells via appends

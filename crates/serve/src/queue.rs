@@ -20,12 +20,21 @@ pub enum Priority {
     Interactive = 0,
     /// Default class.
     Normal = 1,
+    /// Streaming graph mutations: writes must not sit behind analytical
+    /// scans (freshness lag is user-visible), but they also must not
+    /// preempt interactive reads.
+    Mutation = 2,
     /// Throughput-oriented background work; first to starve under load.
-    Batch = 2,
+    Batch = 3,
 }
 
 /// All priority classes, drain order.
-pub const CLASSES: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Batch];
+pub const CLASSES: [Priority; 4] = [
+    Priority::Interactive,
+    Priority::Normal,
+    Priority::Mutation,
+    Priority::Batch,
+];
 
 impl Priority {
     /// Index into per-class arrays.
@@ -35,7 +44,7 @@ impl Priority {
 }
 
 struct Inner<T> {
-    queues: [VecDeque<T>; 3],
+    queues: [VecDeque<T>; 4],
     closed: bool,
 }
 
@@ -44,15 +53,20 @@ struct Inner<T> {
 pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
-    capacity: [usize; 3],
+    capacity: [usize; 4],
 }
 
 impl<T> BoundedQueue<T> {
     /// A queue bounded at `capacity` entries per class.
-    pub fn new(capacity: [usize; 3]) -> Self {
+    pub fn new(capacity: [usize; 4]) -> Self {
         BoundedQueue {
             inner: Mutex::new(Inner {
-                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                queues: [
+                    VecDeque::new(),
+                    VecDeque::new(),
+                    VecDeque::new(),
+                    VecDeque::new(),
+                ],
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -131,7 +145,7 @@ mod tests {
 
     #[test]
     fn sheds_at_capacity() {
-        let q = BoundedQueue::new([2, 2, 2]);
+        let q = BoundedQueue::new([2, 2, 2, 2]);
         assert_eq!(q.try_push(Priority::Normal, 1), Ok(1));
         assert_eq!(q.try_push(Priority::Normal, 2), Ok(2));
         assert_eq!(q.try_push(Priority::Normal, 3), Err((3, 2)));
@@ -141,8 +155,9 @@ mod tests {
 
     #[test]
     fn drains_by_priority() {
-        let q = BoundedQueue::new([4, 4, 4]);
-        q.try_push(Priority::Batch, 30).unwrap();
+        let q = BoundedQueue::new([4, 4, 4, 4]);
+        q.try_push(Priority::Batch, 40).unwrap();
+        q.try_push(Priority::Mutation, 30).unwrap();
         q.try_push(Priority::Normal, 20).unwrap();
         q.try_push(Priority::Interactive, 10).unwrap();
         q.try_push(Priority::Interactive, 11).unwrap();
@@ -151,6 +166,7 @@ mod tests {
         assert_eq!(q.pop(), Some(11));
         assert_eq!(q.pop(), Some(20));
         assert_eq!(q.pop(), Some(30));
+        assert_eq!(q.pop(), Some(40));
         assert_eq!(q.pop(), None);
     }
 
@@ -160,7 +176,7 @@ mod tests {
         // while a slow consumer drains; the observed depth must never
         // exceed the configured capacity.
         const CAP: usize = 8;
-        let q = Arc::new(BoundedQueue::new([CAP, CAP, CAP]));
+        let q = Arc::new(BoundedQueue::new([CAP, CAP, CAP, CAP]));
         let max_seen = Arc::new(Mutex::new(0usize));
         let consumer = {
             let q = Arc::clone(&q);

@@ -26,9 +26,9 @@ pub struct ServeConfig {
     /// Worker threads executing admitted queries.
     pub workers: usize,
     /// Admission-queue capacity per priority class
-    /// (`[interactive, normal, batch]`). Small on purpose: a deep queue
-    /// is deferred shedding with worse latency.
-    pub queue_capacity: [usize; 3],
+    /// (`[interactive, normal, mutation, batch]`). Small on purpose: a
+    /// deep queue is deferred shedding with worse latency.
+    pub queue_capacity: [usize; 4],
     /// Deadline stamped on queries submitted without one. `None` admits
     /// unbounded queries.
     pub default_deadline: Option<Duration>,
@@ -38,7 +38,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 4,
-            queue_capacity: [32, 64, 128],
+            queue_capacity: [32, 64, 96, 128],
             default_deadline: None,
         }
     }
@@ -112,7 +112,7 @@ impl<R> Ticket<R> {
 struct ServeMetrics {
     submitted: Arc<Counter>,
     admitted: Arc<Counter>,
-    shed: [Arc<Counter>; 3],
+    shed: [Arc<Counter>; 4],
     completed: Arc<Counter>,
     cancelled: Arc<Counter>,
     expired_in_queue: Arc<Counter>,
@@ -129,6 +129,7 @@ impl ServeMetrics {
             shed: [
                 obs.counter("serve.shed.interactive"),
                 obs.counter("serve.shed.normal"),
+                obs.counter("serve.shed.mutation"),
                 obs.counter("serve.shed.batch"),
             ],
             completed: obs.counter("serve.completed"),
@@ -149,8 +150,9 @@ pub struct ServeCounts {
     pub submitted: u64,
     /// Queries that passed admission.
     pub admitted: u64,
-    /// Queries shed at admission, per class (interactive, normal, batch).
-    pub shed: [u64; 3],
+    /// Queries shed at admission, per class
+    /// (interactive, normal, mutation, batch).
+    pub shed: [u64; 4],
     /// Admitted queries that ran to completion.
     pub completed: u64,
     /// Admitted queries cancelled before running.
@@ -357,6 +359,24 @@ impl ServeRuntime {
         }
     }
 
+    /// Submit a streaming mutation batch under the [`Priority::Mutation`]
+    /// class: ahead of analytical batch scans (freshness lag is
+    /// user-visible) but never preempting interactive reads. Sheds with
+    /// [`ServeError::Overloaded`] exactly like [`submit`](Self::submit) —
+    /// back-pressure reaches the writer instead of queueing into a
+    /// freshness disaster.
+    pub fn submit_mutation<R, F>(
+        &self,
+        deadline: Option<Duration>,
+        job: F,
+    ) -> Result<Ticket<R>, ServeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&QueryCtx) -> R + Send + 'static,
+    {
+        self.submit(Priority::Mutation, deadline, job)
+    }
+
     /// A consistent-enough snapshot of the runtime's admission and
     /// completion counters. The chaos harness checks conservation on
     /// these: after a drain, `submitted == admitted + shed_total()` and
@@ -369,6 +389,7 @@ impl ServeRuntime {
                 self.metrics.shed[0].get(),
                 self.metrics.shed[1].get(),
                 self.metrics.shed[2].get(),
+                self.metrics.shed[3].get(),
             ],
             completed: self.metrics.completed.get(),
             cancelled: self.metrics.cancelled.get(),

@@ -122,7 +122,7 @@ fn shed_rate_absorbs_2x_overload() {
         cluster.proxy(0).endpoint(),
         ServeConfig {
             workers: 2,
-            queue_capacity: [8, 8, 8],
+            queue_capacity: [8, 8, 8, 8],
             default_deadline: None,
         },
     );
@@ -172,7 +172,7 @@ fn shed_storm_writes_one_flight_dump() {
         cluster.proxy(0).endpoint(),
         ServeConfig {
             workers: 1,
-            queue_capacity: [1, 1, 1],
+            queue_capacity: [1, 1, 1, 1],
             default_deadline: None,
         },
     );
@@ -221,7 +221,7 @@ fn queued_query_expires_without_running() {
         cluster.proxy(0).endpoint(),
         ServeConfig {
             workers: 1,
-            queue_capacity: [8, 8, 8],
+            queue_capacity: [8, 8, 8, 8],
             default_deadline: None,
         },
     );
@@ -251,7 +251,7 @@ fn serve_runtime_drives_proxy_explorations_end_to_end() {
         proxy.endpoint(),
         ServeConfig {
             workers: 4,
-            queue_capacity: [32, 16, 16],
+            queue_capacity: [32, 16, 16, 16],
             default_deadline: Some(Duration::from_secs(5)),
         },
     );
@@ -293,6 +293,66 @@ fn serve_runtime_drives_proxy_explorations_end_to_end() {
         coalescer.hits() > 0,
         "identical in-flight expansions should coalesce (hits={})",
         coalescer.hits()
+    );
+    rt.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn mutation_class_drains_ahead_of_batch_and_sheds_independently() {
+    let cluster = TrinityCluster::new(TrinityConfig::with_proxies(2, 1));
+    let rt = ServeRuntime::start(
+        cluster.proxy(0).endpoint(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: [4, 4, 2, 4],
+            default_deadline: None,
+        },
+    );
+    // Occupy the worker so subsequent submissions queue in class order.
+    let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let blocker = {
+        let gate = Arc::clone(&gate);
+        rt.submit(Priority::Normal, None, move |_ctx| {
+            while !gate.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .unwrap()
+    };
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let push = |tag: &'static str| {
+        let order = Arc::clone(&order);
+        move |_ctx: &trinity_serve::QueryCtx| order.lock().push(tag)
+    };
+    let batch = rt.submit(Priority::Batch, None, push("batch")).unwrap();
+    let mutation = rt.submit_mutation(None, push("mutation")).unwrap();
+    let normal = rt.submit(Priority::Normal, None, push("normal")).unwrap();
+    // The 2-deep mutation queue sheds the third writer, naming its class.
+    rt.submit_mutation::<(), _>(None, |_ctx| ()).unwrap();
+    match rt.submit_mutation::<(), _>(None, |_ctx| ()) {
+        Err(ServeError::Overloaded {
+            class, capacity, ..
+        }) => {
+            assert_eq!(class, Priority::Mutation);
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected mutation shed, got {other:?}"),
+    }
+    assert_eq!(
+        rt.counts().shed,
+        [0, 0, 1, 0],
+        "only the mutation class shed"
+    );
+    gate.store(true, std::sync::atomic::Ordering::Relaxed);
+    blocker.wait().unwrap();
+    normal.wait().unwrap();
+    mutation.wait().unwrap();
+    batch.wait().unwrap();
+    assert_eq!(
+        *order.lock(),
+        vec!["normal", "mutation", "batch"],
+        "mutations drain after normal reads but ahead of batch scans"
     );
     rt.shutdown();
     cluster.shutdown();

@@ -36,10 +36,14 @@ echo "==> scaleout --smoke (elastic gate: zero failed ops across an online join 
 cargo run --release -p trinity-bench --bin scaleout "${HERMETIC[@]}" "$@" -- --smoke \
     --metrics-out results/scaleout.metrics.json
 
+echo "==> freshness --smoke (streaming gate: zero oracle divergences + incremental beats full recompute at ~1% dirty)"
+cargo run --release -p trinity-bench --bin freshness "${HERMETIC[@]}" "$@" -- --smoke \
+    --metrics-out results/freshness.metrics.json
+
 echo "==> metrics_check (observability gate: exported artifacts schema-validate)"
 cargo run --release -p trinity-bench --bin metrics_check "${HERMETIC[@]}" "$@" -- \
     results/cache_traversal.metrics.json results/cache_traversal.trace.json \
-    results/scaleout.metrics.json
+    results/scaleout.metrics.json results/freshness.metrics.json
 
 echo "==> chaos --force-fail (postmortem gate: a failing run must leave a flight dump)"
 TRINITY_FLIGHT_DIR=results/flight \
