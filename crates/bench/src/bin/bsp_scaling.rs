@@ -62,6 +62,9 @@ fn main() {
     let mut series: Vec<Json> = Vec::new();
     let mut critical_at_4 = None;
     let mut wall_at_4 = None;
+    // (copied bytes, payload bytes) cluster-wide at the widest pool —
+    // the one-copy contract evidence for the BSP message path.
+    let mut copy_ratio: Option<(u64, u64)> = None;
 
     for &threads in sweep {
         let (cloud, graph) = cloud_with_graph(&csr, MACHINES, &LoadOptions::default());
@@ -94,6 +97,13 @@ fn main() {
         }
         let speedup = baseline_critical / critical.max(1e-12);
         metrics.capture(&format!("threads={threads}"), &cloud);
+        if threads == *sweep.last().unwrap() {
+            let obs = cloud.fabric().obs();
+            let sum = |name: &'static str| -> u64 {
+                obs.scopes().iter().map(|s| s.counter(name).get()).sum()
+            };
+            copy_ratio = Some((sum("net.frame_copy_bytes"), sum("net.frame_payload_bytes")));
+        }
         cloud.shutdown();
         series.push(Json::obj([
             ("threads", Json::U64(threads as u64)),
@@ -144,6 +154,73 @@ fn main() {
                 2 * MACHINES
             );
         }
+        // One-copy gate on the BSP message path: superstep frames are
+        // copied once into the pack arena and never again.
+        let (copied, payload) = copy_ratio.expect("sweep measures the widest pool");
+        let ratio = copied as f64 / payload.max(1) as f64;
+        println!(
+            "smoke: zero-copy {copied} bytes copied / {payload} payload bytes \
+             ({ratio:.3} copies per payload byte)"
+        );
+        assert!(
+            ratio <= 1.05,
+            "one-copy contract broken on the BSP path: {ratio:.3} copies per payload byte"
+        );
+        wall_regression_gate(baseline_wall);
         println!("smoke: OK (results bit-identical across thread counts)");
+    }
+}
+
+/// Wall-clock regression gate: compare this run's single-thread wall
+/// time against a baseline recorded on this host. First run records the
+/// baseline; later runs fail if the wall more than doubles (generous —
+/// the gate is for catching order-of-magnitude hot-path regressions like
+/// a reintroduced per-frame copy, not for timing noise), and re-record
+/// the baseline whenever the run is faster, so the bound ratchets down
+/// as the wire path improves.
+fn wall_regression_gate(wall_1thread: f64) {
+    const TOLERANCE: f64 = 2.0;
+    let path = std::path::Path::new("results/bsp_scaling.baseline.json");
+    let recorded: Option<f64> = std::fs::read_to_string(path).ok().and_then(|s| {
+        s.split(':')
+            .nth(1)?
+            .trim()
+            .trim_end_matches(['}', '\n', ' '])
+            .parse()
+            .ok()
+    });
+    let record = |wall: f64| {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, format!("{{\"wall_1thread_seconds\":{wall:.6}}}\n")) {
+            Ok(()) => println!(
+                "smoke: recorded wall baseline {} to {}",
+                secs(wall),
+                path.display()
+            ),
+            Err(e) => eprintln!("smoke: failed to record baseline: {e}"),
+        }
+    };
+    match recorded {
+        None => record(wall_1thread),
+        Some(base) => {
+            assert!(
+                wall_1thread <= base * TOLERANCE,
+                "wall-clock regression: 1-thread run took {} vs recorded baseline {} \
+                 (>{TOLERANCE}x; delete {} if the host changed)",
+                secs(wall_1thread),
+                secs(base),
+                path.display(),
+            );
+            println!(
+                "smoke: wall {} within {TOLERANCE}x of baseline {}",
+                secs(wall_1thread),
+                secs(base)
+            );
+            if wall_1thread < base {
+                record(wall_1thread);
+            }
+        }
     }
 }

@@ -212,6 +212,9 @@ fn main() -> ExitCode {
     let mut series: Vec<Json> = Vec::new();
     // (wall_us, critical_us) of the traced query at the largest capacity.
     let mut trace_gate: Option<(u64, u64)> = None;
+    // (copied bytes, payload bytes, frames delivered) summed over the
+    // cluster at the largest capacity — the one-copy contract evidence.
+    let mut copy_gate: Option<(u64, u64, u64)> = None;
 
     for &capacity in capacities {
         let mut cfg = bench_cloud_config(MACHINES);
@@ -313,6 +316,38 @@ fn main() -> ExitCode {
                     Json::Arr(hottest.iter().map(|tl| trunk_load_json(tl)).collect()),
                 )]),
             );
+            // The one-copy contract: across the whole run (load + cold +
+            // warm + traced query), payload bytes must be memcpy'd at
+            // most once on their way into a frame.
+            let obs = cloud.fabric().obs();
+            let sum = |name: &'static str| -> u64 {
+                obs.scopes().iter().map(|s| s.counter(name).get()).sum()
+            };
+            let copied = sum("net.frame_copy_bytes");
+            let payload = sum("net.frame_payload_bytes");
+            let delivered = sum("net.frames.delivered");
+            copy_gate = Some((copied, payload, delivered));
+            println!(
+                "zero-copy: {copied} bytes copied / {payload} payload bytes \
+                 ({:.3} copies per payload byte), {:.1} copied bytes per \
+                 delivered frame vs {:.1} payload bytes per frame",
+                copied as f64 / payload.max(1) as f64,
+                copied as f64 / delivered.max(1) as f64,
+                payload as f64 / delivered.max(1) as f64,
+            );
+            metrics.section(
+                "zero_copy",
+                Json::obj([
+                    ("frame_copy_bytes", Json::U64(copied)),
+                    ("frame_payload_bytes", Json::U64(payload)),
+                    ("frames_delivered", Json::U64(delivered)),
+                    (
+                        "copies_per_payload_byte",
+                        Json::F64(copied as f64 / payload.max(1) as f64),
+                    ),
+                ]),
+            );
+
             metrics.capture("largest_capacity", &cloud);
         }
         cloud.shutdown();
@@ -351,6 +386,19 @@ fn main() -> ExitCode {
         eprintln!(
             "cache_traversal: FAIL — critical path {critical_us}us not within 5% of \
              wall {wall_us}us"
+        );
+        failed = true;
+    }
+    // One-copy gate: the wire path may copy each payload byte at most
+    // once (pack-arena entry); replies adopt their buffers, so the
+    // cluster-wide ratio sits at or below 1. A small tolerance absorbs
+    // counter skew from frames buffered but not yet shipped at snapshot.
+    let (copied, payload, _) = copy_gate.expect("largest capacity always measured");
+    let ratio = copied as f64 / payload.max(1) as f64;
+    if ratio > 1.05 {
+        eprintln!(
+            "cache_traversal: FAIL — {copied} copied bytes vs {payload} payload bytes \
+             ({ratio:.3} copies per payload byte, one-copy contract broken)"
         );
         failed = true;
     }

@@ -281,6 +281,42 @@ fn encode_data_frame(superstep: u32, dst: CellId, msg: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Flat per-destination outbox: data frames laid end to end in one
+/// reusable buffer, delimited by cumulative end offsets. Pool workers
+/// encode messages straight into `data` (no per-message `Vec`) and flush
+/// through [`trinity_net::Endpoint::send_slices`], which copies each
+/// span directly into the destination's pack arena — the flat buffer and
+/// the offsets are then reused, so steady-state routing allocates only
+/// what the message encoder itself allocates.
+#[derive(Default)]
+struct FlatOutbox {
+    data: Vec<u8>,
+    ends: Vec<usize>,
+}
+
+impl FlatOutbox {
+    /// Append one data frame (`superstep`, `dst` header + encoded msg).
+    fn push_frame(&mut self, superstep: u32, dst: CellId, msg: &[u8]) {
+        self.data.extend_from_slice(&superstep.to_le_bytes());
+        self.data.extend_from_slice(&dst.to_le_bytes());
+        self.data.extend_from_slice(msg);
+        self.ends.push(self.data.len());
+    }
+
+    fn frames(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+        self.ends.clear();
+    }
+}
+
 fn decode_data_frame(data: &[u8]) -> Option<(u32, CellId, &[u8])> {
     if data.len() < 12 {
         return None;
@@ -798,7 +834,7 @@ struct WorkerState<P: VertexProgram> {
     /// Frames sent per destination machine this superstep.
     sent_to: Vec<u64>,
     /// Private per-destination outbox chunks (Packed, non-combine path).
-    outbox: Vec<Vec<Vec<u8>>>,
+    outbox: Vec<FlatOutbox>,
     /// Buffered machine-local deliveries per shard.
     local_buf: Vec<Vec<(CellId, P::Msg)>>,
     /// Deferred combine-mode sends: `(vseq, dst, msg)`.
@@ -819,7 +855,7 @@ impl<P: VertexProgram> WorkerState<P> {
             sends: Vec::new(),
             hub_hit: vec![false; machines],
             sent_to: vec![0; machines],
-            outbox: (0..machines).map(|_| Vec::new()).collect(),
+            outbox: (0..machines).map(|_| FlatOutbox::default()).collect(),
             local_buf: (0..workers).map(|_| Vec::new()).collect(),
             combine: Vec::new(),
         }
@@ -1237,12 +1273,15 @@ fn compute_phase<P: VertexProgram>(
     // Shard flush: merge the private outboxes into the endpoint's pack
     // buffers and hand buffered local deliveries to their shard inboxes.
     for owner in 0..ctx.machines {
-        if !ws.outbox[owner].is_empty() {
-            ctx.rt.endpoint.send_batch(
+        let ob = &mut ws.outbox[owner];
+        if !ob.is_empty() {
+            ctx.rt.endpoint.send_slices(
                 MachineId(owner as u16),
                 proto::BSP_MSG,
-                &mut ws.outbox[owner],
+                &ob.data,
+                &ob.ends,
             );
+            ob.clear();
         }
     }
     for shard in 0..ws.local_buf.len() {
@@ -1292,23 +1331,25 @@ fn route_remote<P: VertexProgram>(
     msg: P::Msg,
     sent_to: &mut [u64],
     combine: &mut Vec<(usize, CellId, P::Msg)>,
-    outbox: &mut [Vec<Vec<u8>>],
+    outbox: &mut [FlatOutbox],
 ) {
     if ctx.cfg.combine {
         combine.push((vseq, dst, msg));
         return;
     }
-    let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&msg));
     let peer = MachineId(owner as u16);
     if ctx.cfg.messaging == MessagingMode::Unpacked {
+        let frame = encode_data_frame(superstep as u32, dst, &P::encode_msg(&msg));
         ctx.rt.endpoint.send(peer, proto::BSP_MSG, &frame);
         ctx.rt.endpoint.flush_to(peer);
     } else {
-        outbox[owner].push(frame);
-        if outbox[owner].len() >= OUTBOX_CHUNK {
+        let ob = &mut outbox[owner];
+        ob.push_frame(superstep as u32, dst, &P::encode_msg(&msg));
+        if ob.frames() >= OUTBOX_CHUNK {
             ctx.rt
                 .endpoint
-                .send_batch(peer, proto::BSP_MSG, &mut outbox[owner]);
+                .send_slices(peer, proto::BSP_MSG, &ob.data, &ob.ends);
+            ob.clear();
         }
     }
     sent_to[owner] += 1;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use trinity_graph::GraphHandle;
 use trinity_memcloud::{CloudConfig, CloudError, MemoryCloud};
-use trinity_net::{Endpoint, MachineId, ProtoId};
+use trinity_net::{Endpoint, FrameBuf, MachineId, ProtoId};
 
 /// Cluster deployment shape.
 #[derive(Debug, Clone)]
@@ -181,7 +181,7 @@ impl TrinityProxy {
             let mut parts = Vec::with_capacity(slaves);
             for m in 0..slaves as u16 {
                 if let Ok(reply) = endpoint.call(MachineId(m), slave_proto, &slave_req) {
-                    parts.push(reply);
+                    parts.push(reply.into_vec());
                 }
             }
             Some(combine(parts))
@@ -218,7 +218,7 @@ impl TrinityClient {
         m: usize,
         proto: ProtoId,
         payload: &[u8],
-    ) -> trinity_net::Result<Vec<u8>> {
+    ) -> trinity_net::Result<FrameBuf> {
         self.endpoint.call(MachineId(m as u16), proto, payload)
     }
 
@@ -228,13 +228,13 @@ impl TrinityClient {
         i: usize,
         proto: ProtoId,
         payload: &[u8],
-    ) -> trinity_net::Result<Vec<u8>> {
+    ) -> trinity_net::Result<FrameBuf> {
         self.endpoint
             .call(MachineId((self.slaves + i) as u16), proto, payload)
     }
 
     /// Read a cell through the slave tier (routed to the owner).
-    pub fn get_cell(&self, id: u64) -> Result<Option<Vec<u8>>, CloudError> {
+    pub fn get_cell(&self, id: u64) -> Result<Option<FrameBuf>, CloudError> {
         // Clients are not cloud nodes; route through the owner slave.
         let owner = self.cloud.node(0).table().machine_of(id);
         let raw = self
@@ -248,7 +248,8 @@ impl TrinityClient {
         match raw.first() {
             // OK replies carry the cell's 8-byte version stamp after the
             // status; the client tier only wants the payload.
-            Some(0) if raw.len() >= 9 => Ok(Some(raw[9..].to_vec())),
+            // Zero-copy: the payload is a subslice of the reply frame.
+            Some(0) if raw.len() >= 9 => Ok(Some(raw.slice(9..raw.len()))),
             Some(1) => Ok(None),
             _ => Err(CloudError::BadReply),
         }

@@ -807,7 +807,10 @@ mod tests {
             }
         });
         let total: i64 = (0..accounts)
-            .map(|a| i64::from_le_bytes(cloud.node(0).get(a).unwrap().unwrap().try_into().unwrap()))
+            .map(|a| {
+                let raw = cloud.node(0).get(a).unwrap().unwrap();
+                i64::from_le_bytes(raw.as_slice().try_into().unwrap())
+            })
             .sum();
         assert_eq!(
             total,

@@ -21,8 +21,8 @@ use std::sync::Arc;
 use trinity_graph::GraphHandle;
 use trinity_memcloud::{AddressingTable, CellId, MemoryCloud};
 use trinity_net::{
-    current_deadline, deadline_expired, CancelToken, DeadlineGuard, Endpoint, MachineId, NetError,
-    ProtoId,
+    current_deadline, deadline_expired, CancelToken, DeadlineGuard, Endpoint, FrameBuf, MachineId,
+    NetError, ProtoId,
 };
 use trinity_obs::{current_trace, next_trace_id, TraceGuard, NO_TRACE};
 
@@ -33,7 +33,7 @@ use crate::proto;
 /// same machine merge into one upstream call; the default is a plain
 /// [`Endpoint::call`].
 pub type CallHook =
-    Arc<dyn Fn(MachineId, ProtoId, &[u8]) -> trinity_net::Result<Vec<u8>> + Send + Sync>;
+    Arc<dyn Fn(MachineId, ProtoId, &[u8]) -> trinity_net::Result<FrameBuf> + Send + Sync>;
 
 /// Per-query controls for an exploration.
 #[derive(Clone, Default)]
@@ -302,7 +302,7 @@ pub fn explore_via(
         // One batched request per machine, issued in parallel. Each
         // worker re-installs the query trace and deadline: guards are
         // thread-local and these are fresh scoped threads.
-        let replies: Vec<Option<trinity_net::Result<Vec<u8>>>> = std::thread::scope(|scope| {
+        let replies: Vec<Option<trinity_net::Result<FrameBuf>>> = std::thread::scope(|scope| {
             let joins: Vec<_> = by_machine
                 .iter()
                 .enumerate()

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use trinity_memcloud::{CellId, CloudError, CloudNode, MemoryCloud};
-use trinity_net::MachineId;
+use trinity_net::{FrameBuf, MachineId};
 
 use crate::proto;
 
@@ -203,7 +203,7 @@ impl LoggedStore {
     }
 
     /// Read-through (reads need no logging).
-    pub fn get(&self, id: CellId) -> Result<Option<Vec<u8>>, CloudError> {
+    pub fn get(&self, id: CellId) -> Result<Option<FrameBuf>, CloudError> {
         self.node.get(id)
     }
 
@@ -371,7 +371,11 @@ mod tests {
             } else {
                 Some(format!("base-{i}").into_bytes())
             };
-            assert_eq!(cloud.node(0).get(i).unwrap(), want, "cell {i}");
+            assert_eq!(
+                cloud.node(0).get(i).unwrap().as_deref(),
+                want.as_deref(),
+                "cell {i}"
+            );
         }
         for i in 0..50u64 {
             let mut want = format!("fresh-{i}").into_bytes();

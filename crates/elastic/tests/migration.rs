@@ -220,7 +220,7 @@ fn concurrent_writers_ride_out_the_whole_migration() {
     // nothing lost, nothing rolled back.
     for (w, &id) in ids.iter().enumerate().take(4) {
         let got = cloud.node(0).get(id).unwrap().unwrap();
-        let got = u64::from_le_bytes(got.try_into().unwrap());
+        let got = u64::from_le_bytes(got.as_slice().try_into().unwrap());
         assert_eq!(
             got, finals[w],
             "writer {w}: cell shows {got}, last ack was {}",

@@ -2,7 +2,8 @@
 //!
 //! Every cell carries a monotonic version stamp minted by the trunk layer
 //! (`trinity_memstore::next_version`); a cached copy is the pair
-//! `(version, bytes)`. Coherence is version-ordered:
+//! `(version, bytes)`, the bytes held as a [`FrameBuf`] view of the reply
+//! frame that carried them (zero-copy from the wire into the cache). Coherence is version-ordered:
 //!
 //! * an **insert** is dropped if the cache already holds a *newer* stamp
 //!   for that cell — a reply that raced with a concurrent write can never
@@ -27,6 +28,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use trinity_memstore::CellVersion;
+use trinity_net::FrameBuf;
 use trinity_obs::{Counter, MachineScope};
 
 use crate::CellId;
@@ -54,7 +56,7 @@ pub struct CacheStats {
 struct Slot {
     id: CellId,
     version: CellVersion,
-    data: Option<Arc<[u8]>>,
+    data: Option<FrameBuf>,
     prev: u32,
     next: u32,
 }
@@ -122,7 +124,7 @@ impl Inner {
         true
     }
 
-    fn alloc(&mut self, id: CellId, version: CellVersion, data: Option<Arc<[u8]>>) -> u32 {
+    fn alloc(&mut self, id: CellId, version: CellVersion, data: Option<FrameBuf>) -> u32 {
         let i = match self.free.pop() {
             Some(i) => {
                 self.slots[i as usize] = Slot {
@@ -186,7 +188,7 @@ impl RemoteCache {
     /// `trunk` is the cell's owning trunk (the caller has it from the
     /// addressing table); hits and misses are attributed to it so cache
     /// efficacy can be ranked against per-trunk hotness.
-    pub(crate) fn get(&self, trunk: u64, id: CellId) -> Option<Arc<[u8]>> {
+    pub(crate) fn get(&self, trunk: u64, id: CellId) -> Option<FrameBuf> {
         if !self.enabled() {
             return None;
         }
@@ -206,7 +208,7 @@ impl RemoteCache {
 
     /// Record a fetched (or just-written) cell. Dropped when the cache
     /// already holds a newer stamp — including a newer floor.
-    pub(crate) fn insert(&self, id: CellId, version: CellVersion, data: Arc<[u8]>) {
+    pub(crate) fn insert(&self, id: CellId, version: CellVersion, data: FrameBuf) {
         if !self.enabled() {
             return;
         }
@@ -306,8 +308,8 @@ mod tests {
         RemoteCache::new(capacity, &MachineScope::detached())
     }
 
-    fn bytes(b: &[u8]) -> Arc<[u8]> {
-        Arc::from(b.to_vec().into_boxed_slice())
+    fn bytes(b: &[u8]) -> FrameBuf {
+        FrameBuf::copy_from_slice(b)
     }
 
     #[test]

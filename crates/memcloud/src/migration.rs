@@ -531,7 +531,9 @@ fn parse_ok(raw: &[u8], n_fields: usize) -> Result<(Vec<u64>, &[u8])> {
 // ---------------------------------------------------------------------
 
 fn call(ep: &Endpoint, dst: MachineId, pid: u16, req: &[u8]) -> Result<Vec<u8>> {
-    ep.call(dst, pid, req).map_err(CloudError::Net)
+    ep.call(dst, pid, req)
+        .map(|r| r.into_vec())
+        .map_err(CloudError::Net)
 }
 
 /// Arm delta capture on the donor. Returns the snapshot cell count.

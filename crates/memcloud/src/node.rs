@@ -46,7 +46,7 @@ use parking_lot::{Mutex, RwLock};
 use trinity_memstore::{
     CellVersion, LocalStore, LocalStoreConfig, StoreError, TrunkSnapshot, TrunkStats,
 };
-use trinity_net::{Endpoint, MachineId, NetError};
+use trinity_net::{Endpoint, FrameBuf, MachineId, NetError};
 use trinity_obs::MachineScope;
 use trinity_tfs::Tfs;
 
@@ -543,27 +543,29 @@ impl CloudNode {
             // single-cell fallback.
             None => return Vec::new(),
         };
-        let mut entries = Vec::with_capacity(ids.len());
+        // Encode straight from the pinned trunk guards into the reply
+        // buffer — no per-cell Vec, one copy per payload byte on the
+        // serve path (the reply Vec itself ships zero-copy).
+        let mut out = Vec::new();
         for id in ids {
             if !self.owns(id) {
-                entries.push(wire::MultiEntry::NotOwner);
+                wire::multi_push_status(&mut out, wire::NOT_OWNER);
                 continue;
             }
             let trunk = self.local_trunk(id);
-            let entry = match trunk.get_versioned(id) {
+            match trunk.get_versioned(id) {
                 Some((version, guard)) => {
                     self.record_sharer(trunk.id(), src);
                     self.obs.load().record_read(trunk.id(), guard.len() as u64);
-                    wire::MultiEntry::Hit(version, guard.to_vec())
+                    wire::multi_push_hit(&mut out, version, &guard);
                 }
                 None => {
                     self.obs.load().record_read(trunk.id(), 0);
-                    wire::MultiEntry::Missing
+                    wire::multi_push_status(&mut out, wire::NOT_FOUND);
                 }
             };
-            entries.push(entry);
         }
-        wire::encode_multi_reply(&entries)
+        out
     }
 
     // ------------------------------------------------------------------
@@ -805,7 +807,7 @@ impl CloudNode {
         pid: u16,
         id: CellId,
         body: &[u8],
-    ) -> Result<Option<(CellVersion, Vec<u8>)>> {
+    ) -> Result<Option<(CellVersion, FrameBuf)>> {
         let started = Instant::now();
         let mut resynced = false;
         loop {
@@ -823,7 +825,9 @@ impl CloudNode {
                     proto::PUT_IF => self.handle_put_if(self.machine, id, body),
                     _ => unreachable!("unknown memcloud protocol {pid}"),
                 };
-                wire::parse_reply(&raw, trunk, owner)
+                // Adopt the handler's reply Vec without copying — the
+                // same zero-copy step `dispatch` performs on the wire.
+                wire::parse_reply(&FrameBuf::from_vec(raw), trunk, owner)
             } else {
                 self.endpoint
                     .call(owner, pid, &wire::encode_req(id, body))
@@ -869,18 +873,22 @@ impl CloudNode {
 
     /// Read a cell from wherever it lives. Remote reads are served from
     /// the node's cache when a coherent copy is resident.
-    pub fn get(&self, id: CellId) -> Result<Option<Vec<u8>>> {
+    ///
+    /// The returned [`FrameBuf`] is a shared view of the reply frame (or
+    /// of the cached copy, itself a view of the frame that filled it):
+    /// reading a remote cell copies its payload exactly once — at the
+    /// owner, from trunk storage into the reply.
+    pub fn get(&self, id: CellId) -> Result<Option<FrameBuf>> {
         if !self.owns(id) {
             let trunk = self.table.read().trunk_of(id);
             if let Some(bytes) = self.cache.get(trunk, id) {
-                return Ok(Some(bytes.to_vec()));
+                return Ok(Some(bytes));
             }
         }
         match self.remote_op(proto::GET, id, b"")? {
             Some((version, bytes)) => {
                 if !self.owns(id) {
-                    self.cache
-                        .insert(id, version, Arc::from(bytes.clone().into_boxed_slice()));
+                    self.cache.insert(id, version, bytes.clone());
                 }
                 Ok(Some(bytes))
             }
@@ -895,7 +903,7 @@ impl CloudNode {
         if let Some((version, _)) = self.remote_op(proto::PUT, id, bytes)? {
             if !self.owns(id) {
                 self.cache
-                    .insert(id, version, Arc::from(bytes.to_vec().into_boxed_slice()));
+                    .insert(id, version, FrameBuf::copy_from_slice(bytes));
             }
         }
         Ok(())
@@ -920,7 +928,7 @@ impl CloudNode {
             Some((version, _)) => {
                 if !self.owns(id) {
                     self.cache
-                        .insert(id, version, Arc::from(bytes.to_vec().into_boxed_slice()));
+                        .insert(id, version, FrameBuf::copy_from_slice(bytes));
                 }
                 Ok(version)
             }
@@ -984,8 +992,8 @@ impl CloudNode {
     /// cells are served from the cache; everything fetched on the way is
     /// cached for subsequent single-cell reads — this is the traversal
     /// frontier-prefetch primitive.
-    pub fn multi_get(&self, ids: &[CellId]) -> Result<Vec<Option<Vec<u8>>>> {
-        let mut out: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
+    pub fn multi_get(&self, ids: &[CellId]) -> Result<Vec<Option<FrameBuf>>> {
+        let mut out: Vec<Option<FrameBuf>> = vec![None; ids.len()];
         let mut by_owner: HashMap<MachineId, Vec<(usize, CellId)>> = HashMap::new();
         {
             let table = self.table.read();
@@ -997,9 +1005,9 @@ impl CloudNode {
                     self.obs
                         .load()
                         .record_read(trunk, got.as_ref().map_or(0, |b| b.len() as u64));
-                    out[i] = got;
+                    out[i] = got.map(FrameBuf::from_vec);
                 } else if let Some(bytes) = self.cache.get(trunk, id) {
-                    out[i] = Some(bytes.to_vec());
+                    out[i] = Some(bytes);
                 } else {
                     by_owner.entry(owner).or_default().push((i, id));
                 }
@@ -1017,11 +1025,9 @@ impl CloudNode {
                     for ((i, id), entry) in group.into_iter().zip(entries) {
                         match entry {
                             wire::MultiEntry::Hit(version, bytes) => {
-                                self.cache.insert(
-                                    id,
-                                    version,
-                                    Arc::from(bytes.clone().into_boxed_slice()),
-                                );
+                                // Cache and result share the reply frame:
+                                // a refcount bump, not a copy.
+                                self.cache.insert(id, version, bytes.clone());
                                 out[i] = Some(bytes);
                             }
                             wire::MultiEntry::Missing => {}

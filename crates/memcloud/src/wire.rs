@@ -11,6 +11,7 @@
 //! stay a bare status byte.
 
 use trinity_memstore::CellVersion;
+use trinity_net::FrameBuf;
 
 use crate::{CellId, CloudError};
 
@@ -104,15 +105,19 @@ pub(crate) fn reply_ok(version: CellVersion, data: &[u8]) -> Vec<u8> {
 /// Interpret a remote reply: `Ok(Some((version, bytes)))` for OK,
 /// `Ok(None)` for NOT_FOUND, errors otherwise. `trunk`/`asked`
 /// contextualize NOT_OWNER.
+///
+/// The payload comes back as a zero-copy subslice of the received frame:
+/// the bytes the owner shipped are the bytes the caller (and the read
+/// cache) hold, with no intermediate copy.
 pub(crate) fn parse_reply(
-    data: &[u8],
+    data: &FrameBuf,
     trunk: u64,
     asked: trinity_net::MachineId,
-) -> Result<Option<(CellVersion, Vec<u8>)>, CloudError> {
+) -> Result<Option<(CellVersion, FrameBuf)>, CloudError> {
     match data.first() {
         Some(&OK) if data.len() >= 9 => {
             let version = u64::from_le_bytes(data[1..9].try_into().unwrap());
-            Ok(Some((version, data[9..].to_vec())))
+            Ok(Some((version, data.slice(9..data.len()))))
         }
         Some(&NOT_FOUND) => Ok(None),
         Some(&NOT_OWNER) => Err(CloudError::WrongOwner { trunk, asked }),
@@ -141,11 +146,12 @@ pub(crate) fn parse_reply(
 // MULTI_GET: batched reads, one envelope per destination machine
 // ---------------------------------------------------------------------
 
-/// One per-cell outcome inside a MULTI_GET reply.
+/// One per-cell outcome inside a MULTI_GET reply. `Hit` payloads are
+/// zero-copy subslices of the received reply frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum MultiEntry {
     /// The cell exists: its version stamp and payload.
-    Hit(CellVersion, Vec<u8>),
+    Hit(CellVersion, FrameBuf),
     /// The cell does not exist on the owner.
     Missing,
     /// The asked machine does not own this cell's trunk (stale table);
@@ -173,26 +179,38 @@ pub(crate) fn decode_multi_req(data: &[u8]) -> Option<Vec<CellId>> {
     )
 }
 
+/// Append one `Hit` entry — `[OK, version u64, len u32, bytes]` — to a
+/// reply under construction. The owner-side handler encodes straight from
+/// the pinned trunk guard into the reply buffer, so the guard's bytes are
+/// copied exactly once on the serve path.
+pub(crate) fn multi_push_hit(out: &mut Vec<u8>, version: CellVersion, bytes: &[u8]) {
+    out.push(OK);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Append a data-less status entry (`Missing`/`NotOwner`).
+pub(crate) fn multi_push_status(out: &mut Vec<u8>, status: u8) {
+    out.push(status);
+}
+
 /// Reply: entries in request order. `Hit` is
 /// `[OK, version u64, len u32, bytes]`; the others are one status byte.
+#[cfg(test)]
 pub(crate) fn encode_multi_reply(entries: &[MultiEntry]) -> Vec<u8> {
     let mut out = Vec::new();
     for e in entries {
         match e {
-            MultiEntry::Hit(version, bytes) => {
-                out.push(OK);
-                out.extend_from_slice(&version.to_le_bytes());
-                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                out.extend_from_slice(bytes);
-            }
-            MultiEntry::Missing => out.push(NOT_FOUND),
-            MultiEntry::NotOwner => out.push(NOT_OWNER),
+            MultiEntry::Hit(version, bytes) => multi_push_hit(&mut out, *version, bytes),
+            MultiEntry::Missing => multi_push_status(&mut out, NOT_FOUND),
+            MultiEntry::NotOwner => multi_push_status(&mut out, NOT_OWNER),
         }
     }
     out
 }
 
-pub(crate) fn decode_multi_reply(data: &[u8], expected: usize) -> Option<Vec<MultiEntry>> {
+pub(crate) fn decode_multi_reply(data: &FrameBuf, expected: usize) -> Option<Vec<MultiEntry>> {
     let mut entries = Vec::with_capacity(expected);
     let mut at = 0usize;
     while entries.len() < expected {
@@ -201,7 +219,8 @@ pub(crate) fn decode_multi_reply(data: &[u8], expected: usize) -> Option<Vec<Mul
                 let version = u64::from_le_bytes(data.get(at + 1..at + 9)?.try_into().unwrap());
                 let len =
                     u32::from_le_bytes(data.get(at + 9..at + 13)?.try_into().unwrap()) as usize;
-                let bytes = data.get(at + 13..at + 13 + len)?.to_vec();
+                data.get(at + 13..at + 13 + len)?;
+                let bytes = data.slice(at + 13..at + 13 + len);
                 at += 13 + len;
                 entries.push(MultiEntry::Hit(version, bytes));
             }
@@ -258,39 +277,43 @@ mod tests {
         assert_eq!(decode_req(b"short"), None);
     }
 
+    fn fb(raw: &[u8]) -> FrameBuf {
+        FrameBuf::copy_from_slice(raw)
+    }
+
     #[test]
     fn reply_statuses() {
+        let (version, body) = parse_reply(&fb(&reply_ok(42, b"x")), 0, MachineId(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!((version, body.as_slice()), (42, &b"x"[..]));
         assert_eq!(
-            parse_reply(&reply_ok(42, b"x"), 0, MachineId(0)).unwrap(),
-            Some((42, b"x".to_vec()))
-        );
-        assert_eq!(
-            parse_reply(&reply(NOT_FOUND, b""), 0, MachineId(0)).unwrap(),
+            parse_reply(&fb(&reply(NOT_FOUND, b"")), 0, MachineId(0)).unwrap(),
             None
         );
         assert!(matches!(
-            parse_reply(&reply(NOT_OWNER, b""), 3, MachineId(1)),
+            parse_reply(&fb(&reply(NOT_OWNER, b"")), 3, MachineId(1)),
             Err(CloudError::WrongOwner {
                 trunk: 3,
                 asked: MachineId(1)
             })
         ));
         assert!(matches!(
-            parse_reply(b"", 0, MachineId(0)),
+            parse_reply(&fb(b""), 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
         // A truncated OK reply (no room for the version stamp) is malformed.
         assert!(matches!(
-            parse_reply(&[OK, 1, 2], 0, MachineId(0)),
+            parse_reply(&fb(&[OK, 1, 2]), 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
         assert!(matches!(
-            parse_reply(&reply_moved(9), 5, MachineId(2)),
+            parse_reply(&fb(&reply_moved(9)), 5, MachineId(2)),
             Err(CloudError::Moved { trunk: 5, epoch: 9 })
         ));
         // A truncated MOVED reply (no epoch fence) is malformed.
         assert!(matches!(
-            parse_reply(&[MOVED, 1], 0, MachineId(0)),
+            parse_reply(&fb(&[MOVED, 1]), 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
     }
@@ -303,7 +326,7 @@ mod tests {
 
         let raw = reply_version_mismatch(0xAB, 3, 9);
         assert!(matches!(
-            parse_reply(&raw, 0, MachineId(0)),
+            parse_reply(&fb(&raw), 0, MachineId(0)),
             Err(CloudError::Store(
                 trinity_memstore::StoreError::VersionMismatch {
                     id: 0xAB,
@@ -314,7 +337,7 @@ mod tests {
         ));
         // A truncated mismatch reply is malformed.
         assert!(matches!(
-            parse_reply(&raw[..24], 0, MachineId(0)),
+            parse_reply(&fb(&raw[..24]), 0, MachineId(0)),
             Err(CloudError::BadReply)
         ));
     }
@@ -327,16 +350,16 @@ mod tests {
         assert_eq!(decode_multi_req(b"misaligned"), None);
 
         let entries = vec![
-            MultiEntry::Hit(11, b"alpha".to_vec()),
+            MultiEntry::Hit(11, fb(b"alpha")),
             MultiEntry::Missing,
             MultiEntry::NotOwner,
-            MultiEntry::Hit(12, Vec::new()),
+            MultiEntry::Hit(12, FrameBuf::new()),
         ];
         let raw = encode_multi_reply(&entries);
-        assert_eq!(decode_multi_reply(&raw, 4).unwrap(), entries);
+        assert_eq!(decode_multi_reply(&fb(&raw), 4).unwrap(), entries);
         // Wrong expected count or trailing garbage must not parse.
-        assert_eq!(decode_multi_reply(&raw, 3), None);
-        assert_eq!(decode_multi_reply(&raw[..raw.len() - 1], 4), None);
+        assert_eq!(decode_multi_reply(&fb(&raw), 3), None);
+        assert_eq!(decode_multi_reply(&fb(&raw[..raw.len() - 1]), 4), None);
     }
 
     #[test]

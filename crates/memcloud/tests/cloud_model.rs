@@ -53,7 +53,10 @@ fn apply(cloud: &MemoryCloud, model: &mut HashMap<u64, Vec<u8>>, op: &Op) {
             assert_eq!(existed, model.remove(key).is_some());
         }
         Op::Get { via, key } => {
-            assert_eq!(cloud.node(*via).get(*key).unwrap(), model.get(key).cloned());
+            assert_eq!(
+                cloud.node(*via).get(*key).unwrap().as_deref(),
+                model.get(key).map(Vec::as_slice)
+            );
         }
         Op::Backup => cloud.backup_all().unwrap(),
     }

@@ -15,6 +15,17 @@
 //! protocol handlers. Handlers are allowed to issue further `call`s and
 //! `send`s — the recursive asynchronous fan-out of the paper's online
 //! traversal queries (§5.1) runs exactly this way.
+//!
+//! # The one-copy contract
+//!
+//! Every payload byte an endpoint ships is copied exactly once: into the
+//! per-destination [`PackArena`] (or a pooled request buffer). From there
+//! it travels as a [`FrameBuf`] shared slice — through the fault injector,
+//! the receiver, the pending-call table, and into caches — without ever
+//! being copied again. `net.frame_copy_bytes` counts the arena copies and
+//! `net.frame_payload_bytes` counts the bytes that entered frames, so
+//! their ratio is the contract's live audit (≤ 1.0; response payloads ship
+//! zero-copy and pull it below 1). See DESIGN.md §14.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,15 +38,18 @@ use trinity_obs::{current_trace, Counter, Histogram, MachineScope, TraceGuard, N
 
 use crate::cost::CostModel;
 use crate::deadline::{current_deadline, deadline_now_us, DeadlineGuard, NO_DEADLINE};
-use crate::envelope::{Envelope, Frame, FrameKind};
+use crate::envelope::{layout, Envelope, Frame, FrameKind};
 use crate::error::NetError;
 use crate::fabric::{Item, Router};
 use crate::fault::ChaosState;
+use crate::framebuf::{FrameBuf, FramePool, PackArena};
 use crate::stats::NetStats;
 use crate::{proto, MachineId, ProtoId, Result};
 
 /// A protocol handler: receives the source machine and the request
 /// payload; returns the response payload (ignored for one-way frames).
+/// The payload slice borrows the received frame directly — no copy sits
+/// between the wire and the handler.
 pub type Handler = Arc<dyn Fn(MachineId, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
 
 pub(crate) enum Work {
@@ -46,8 +60,10 @@ pub(crate) enum Work {
 }
 
 struct PackBuf {
-    frames: Vec<Frame>,
-    bytes: usize,
+    arena: PackArena,
+    /// Wire bytes buffered (payloads plus frame headers) — the packing
+    /// threshold is a transfer-size bound, so it counts header overhead.
+    wire_bytes: usize,
     /// Trace of the first frame buffered since the last flush: a packed
     /// envelope carries one trace id, and mixed-trace packs are attributed
     /// to the query that opened the pack.
@@ -62,8 +78,8 @@ struct PackBuf {
 impl Default for PackBuf {
     fn default() -> Self {
         PackBuf {
-            frames: Vec::new(),
-            bytes: 0,
+            arena: PackArena::new(),
+            wire_bytes: 0,
             trace: NO_TRACE,
             deadline: crate::NO_DEADLINE,
         }
@@ -89,10 +105,15 @@ struct NetMetrics {
     /// Modeled network microseconds charged by the cost model for this
     /// machine's outbound transfers.
     modeled_tx_us: Arc<Counter>,
-    /// Payload bytes memcpy'd into envelopes on this machine's send paths
-    /// — the baseline the zero-copy wire work (ROADMAP item 5) must beat.
-    /// `send_batch` moves payloads without copying and does not count here.
+    /// Payload bytes memcpy'd on this machine's send paths — a *true* copy
+    /// count: every path (`call`, `send`, `send_batch`, `send_slices`)
+    /// records its arena copy here and nothing else counts. Dividing by
+    /// [`Self::frame_payload_bytes`] gives copies-per-payload-byte, which
+    /// the zero-copy wire path holds at ≤ 1.0.
     frame_copy_bytes: Arc<Counter>,
+    /// Payload bytes that entered outbound frames (local and remote) —
+    /// the denominator of the copy ratio.
+    frame_payload_bytes: Arc<Counter>,
     /// Wire bytes per outbound remote envelope.
     env_bytes: Arc<Histogram>,
     /// Frames per outbound remote envelope (the packing factor, as a
@@ -120,6 +141,7 @@ impl NetMetrics {
             deadline_expired: obs.counter("net.deadline.expired"),
             modeled_tx_us: obs.counter("net.modeled_tx_us"),
             frame_copy_bytes: obs.counter("net.frame_copy_bytes"),
+            frame_payload_bytes: obs.counter("net.frame_payload_bytes"),
             env_bytes: obs.histogram("net.env.bytes"),
             env_frames: obs.histogram("net.env.frames"),
             call_us: obs.histogram("net.call.us"),
@@ -133,7 +155,7 @@ pub struct Endpoint {
     machine: MachineId,
     router: Arc<Router>,
     handlers: RwLock<HashMap<ProtoId, Handler>>,
-    pending: Mutex<HashMap<u64, Sender<Result<Vec<u8>>>>>,
+    pending: Mutex<HashMap<u64, Sender<Result<FrameBuf>>>>,
     corr: AtomicU64,
     pack_bufs: Vec<Mutex<PackBuf>>,
     pack_threshold: usize,
@@ -143,6 +165,8 @@ pub struct Endpoint {
     cost: CostModel,
     obs: MachineScope,
     metrics: NetMetrics,
+    /// Arena recycler shared by every send path on this endpoint.
+    pool: FramePool,
     /// Fault injector shared with the fabric; `None` outside chaos runs.
     chaos: Option<Arc<ChaosState>>,
 }
@@ -185,6 +209,7 @@ impl Endpoint {
             cost,
             obs,
             metrics,
+            pool: FramePool::new(),
             chaos,
         });
         // Liveness probe for the heartbeat monitor.
@@ -213,10 +238,23 @@ impl Endpoint {
         self.handlers.write().insert(proto, Arc::new(handler));
     }
 
+    /// Copy `payload` once into a pooled buffer and wrap it as a frame
+    /// payload — the single counted copy of every send path.
+    fn pooled_payload(&self, payload: &[u8]) -> FrameBuf {
+        self.metrics.frame_copy_bytes.add(payload.len() as u64);
+        let mut buf = self.pool.take();
+        buf.extend_from_slice(payload);
+        self.pool.seal(buf)
+    }
+
     /// Synchronous one-sided call: send `payload` to `dst` and block for
     /// the response, bounded by the fabric-wide call timeout. Delegates to
     /// [`Endpoint::call_with_deadline`].
-    pub fn call(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) -> Result<Vec<u8>> {
+    ///
+    /// The reply is a [`FrameBuf`] view of the response frame — it derefs
+    /// to `&[u8]` and converts to an owned vector (zero-copy when unique)
+    /// via [`FrameBuf::into_vec`].
+    pub fn call(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) -> Result<FrameBuf> {
         self.call_with_deadline(dst, proto, payload, self.call_timeout)
     }
 
@@ -232,7 +270,7 @@ impl Endpoint {
         proto: ProtoId,
         payload: &[u8],
         timeout: Duration,
-    ) -> Result<Vec<u8>> {
+    ) -> Result<FrameBuf> {
         if self.router.is_closed() {
             return Err(NetError::Closed);
         }
@@ -255,7 +293,6 @@ impl Endpoint {
         // Preserve per-destination FIFO with previously buffered one-ways.
         self.flush_to(dst);
         let start_us = self.obs.now_us();
-        self.metrics.frame_copy_bytes.add(payload.len() as u64);
         let env = Envelope {
             src: self.machine,
             dst,
@@ -264,7 +301,7 @@ impl Endpoint {
             frames: vec![Frame {
                 proto,
                 kind: FrameKind::Request(corr),
-                payload: payload.to_vec(),
+                payload: self.pooled_payload(payload),
             }],
         };
         let sent_bytes = env.wire_bytes();
@@ -276,11 +313,16 @@ impl Endpoint {
             Ok(result) => result,
             Err(_) => {
                 self.pending.lock().remove(&corr);
-                if self.router.is_dead(dst) {
-                    Err(NetError::Unreachable(dst))
-                } else if inherited != NO_DEADLINE && deadline_now_us() >= inherited {
+                // Classify the inherited deadline FIRST: a call that
+                // expired while its peer was dying is a spent budget, not
+                // a liveness failure — reporting `Unreachable` here would
+                // skip the `deadline_expired` metric and invite callers to
+                // retry a query whose budget is already gone.
+                if inherited != NO_DEADLINE && deadline_now_us() >= inherited {
                     self.metrics.deadline_expired.inc();
                     Err(NetError::DeadlineExceeded(dst, proto))
+                } else if self.router.is_dead(dst) {
+                    Err(NetError::Unreachable(dst))
                 } else {
                     Err(NetError::Timeout(dst, proto))
                 }
@@ -298,15 +340,14 @@ impl Endpoint {
     /// packing threshold (or on [`Endpoint::flush`]); machine-local
     /// messages are delivered immediately.
     pub fn send(&self, dst: MachineId, proto: ProtoId, payload: &[u8]) {
-        self.metrics.frame_copy_bytes.add(payload.len() as u64);
-        let frame = Frame {
-            proto,
-            kind: FrameKind::OneWay,
-            payload: payload.to_vec(),
-        };
         let trace = current_trace();
         let deadline = current_deadline();
         if dst == self.machine {
+            let frame = Frame {
+                proto,
+                kind: FrameKind::OneWay,
+                payload: self.pooled_payload(payload),
+            };
             let _ = self.transmit(Envelope {
                 src: self.machine,
                 dst,
@@ -316,19 +357,8 @@ impl Endpoint {
             });
             return;
         }
-        let flush = {
-            let mut buf = self.pack_bufs[dst.0 as usize].lock();
-            if buf.frames.is_empty() {
-                buf.trace = trace;
-            }
-            buf.deadline = buf.deadline.min(deadline);
-            buf.bytes += frame.wire_bytes() as usize;
-            buf.frames.push(frame);
-            buf.bytes >= self.pack_threshold
-        };
-        if flush {
-            self.flush_to(dst);
-        }
+        let mut buf = self.pack_bufs[dst.0 as usize].lock();
+        self.buffer_frame(&mut buf, dst, proto, payload, trace, deadline);
     }
 
     /// Batched one-way messages: append `payloads` (drained) to `dst`'s
@@ -351,32 +381,66 @@ impl Endpoint {
         let deadline = current_deadline();
         let mut buf = self.pack_bufs[dst.0 as usize].lock();
         for payload in payloads.drain(..) {
-            let frame = Frame {
-                proto,
-                kind: FrameKind::OneWay,
-                payload,
-            };
-            if buf.frames.is_empty() {
-                buf.trace = trace;
+            self.buffer_frame(&mut buf, dst, proto, &payload, trace, deadline);
+        }
+    }
+
+    /// Batched one-way messages from one flat buffer: `bounds[i-1]..bounds[i]`
+    /// (starting at 0) delimits the i-th payload within `data`. The
+    /// allocation-free flush path for producers (BSP outboxes) that encode
+    /// messages back-to-back into a reusable buffer — the bytes go
+    /// straight from `data` into the pack arena, one copy, no per-message
+    /// vectors anywhere.
+    pub fn send_slices(&self, dst: MachineId, proto: ProtoId, data: &[u8], bounds: &[usize]) {
+        if dst == self.machine {
+            let mut start = 0;
+            for &end in bounds {
+                self.send(dst, proto, &data[start..end]);
+                start = end;
             }
-            buf.deadline = buf.deadline.min(deadline);
-            buf.bytes += frame.wire_bytes() as usize;
-            buf.frames.push(frame);
-            if buf.bytes >= self.pack_threshold {
-                let frames = std::mem::take(&mut buf.frames);
-                buf.bytes = 0;
-                let trace = std::mem::replace(&mut buf.trace, NO_TRACE);
-                let deadline = std::mem::replace(&mut buf.deadline, NO_DEADLINE);
-                // Transmit while holding the buffer lock, as in `flush_to`,
-                // so envelopes to `dst` enter the inbox in flush order.
-                let _ = self.transmit(Envelope {
-                    src: self.machine,
-                    dst,
-                    trace,
-                    deadline,
-                    frames,
-                });
-            }
+            return;
+        }
+        let trace = current_trace();
+        let deadline = current_deadline();
+        let mut buf = self.pack_bufs[dst.0 as usize].lock();
+        let mut start = 0;
+        for &end in bounds {
+            self.buffer_frame(&mut buf, dst, proto, &data[start..end], trace, deadline);
+            start = end;
+        }
+    }
+
+    /// Append one one-way frame to a locked pack buffer (the single
+    /// counted payload copy), transmitting at the packing threshold while
+    /// the lock is held so envelopes to `dst` stay in FIFO order.
+    fn buffer_frame(
+        &self,
+        buf: &mut PackBuf,
+        dst: MachineId,
+        proto: ProtoId,
+        payload: &[u8],
+        trace: u64,
+        deadline: u64,
+    ) {
+        if buf.arena.is_empty() {
+            buf.trace = trace;
+        }
+        buf.deadline = buf.deadline.min(deadline);
+        let copied = buf.arena.push(proto, FrameKind::OneWay, payload);
+        self.metrics.frame_copy_bytes.add(copied as u64);
+        buf.wire_bytes += copied + layout::FRAME_HEADER_BYTES as usize;
+        if buf.wire_bytes >= self.pack_threshold {
+            let frames = buf.arena.seal(&self.pool);
+            buf.wire_bytes = 0;
+            let trace = std::mem::replace(&mut buf.trace, NO_TRACE);
+            let deadline = std::mem::replace(&mut buf.deadline, NO_DEADLINE);
+            let _ = self.transmit(Envelope {
+                src: self.machine,
+                dst,
+                trace,
+                deadline,
+                frames,
+            });
         }
     }
 
@@ -397,11 +461,11 @@ impl Endpoint {
             return;
         }
         let mut buf = self.pack_bufs[dst.0 as usize].lock();
-        if buf.frames.is_empty() {
+        if buf.arena.is_empty() {
             return;
         }
-        let frames = std::mem::take(&mut buf.frames);
-        buf.bytes = 0;
+        let frames = buf.arena.seal(&self.pool);
+        buf.wire_bytes = 0;
         let trace = std::mem::replace(&mut buf.trace, NO_TRACE);
         let deadline = std::mem::replace(&mut buf.deadline, NO_DEADLINE);
         // Transmit while holding the buffer lock so envelopes from this
@@ -449,6 +513,8 @@ impl Endpoint {
             self.metrics.frames_refused.add(frames);
             return Err(NetError::Unreachable(env.dst));
         }
+        // Payload bytes entering frames — denominator of the copy ratio.
+        self.metrics.frame_payload_bytes.add(env.payload_bytes());
         if env.dst == env.src {
             self.stats.record_local(frames);
             self.metrics.frames_local.add(frames);
@@ -517,6 +583,8 @@ impl Endpoint {
                     match self.pending.lock().remove(&corr) {
                         Some(tx) => {
                             self.count_delivered(1);
+                            // The payload moves into the caller's hands as
+                            // the same shared slice that crossed the wire.
                             let _ = tx.send(Ok(frame.payload));
                         }
                         // An orphan response: its call already completed
@@ -579,7 +647,7 @@ impl Endpoint {
                     frames: vec![Frame {
                         proto: frame.proto,
                         kind: FrameKind::Expired(corr),
-                        payload: Vec::new(),
+                        payload: FrameBuf::new(),
                     }],
                 });
                 return;
@@ -616,13 +684,15 @@ impl Endpoint {
                         Frame {
                             proto: frame.proto,
                             kind: FrameKind::Response(corr),
-                            payload,
+                            // The handler's buffer *is* the wire payload:
+                            // adopted, never copied.
+                            payload: FrameBuf::from_vec(payload),
                         }
                     }
                     None => Frame {
                         proto: frame.proto,
                         kind: FrameKind::NoHandler(corr),
-                        payload: Vec::new(),
+                        payload: FrameBuf::new(),
                     },
                 };
                 let _ = self.transmit(Envelope {

@@ -5,8 +5,49 @@
 //! transparent packing optimization (paper §4.2) batches many small
 //! asynchronous frames bound for the same machine into one envelope, so the
 //! per-transfer network overhead is paid once instead of per message.
+//!
+//! Frame payloads are [`FrameBuf`] shared slices: every frame of a packed
+//! envelope aliases one contiguous arena, and cloning an envelope (the
+//! chaos duplicate fault) bumps refcounts instead of copying bytes.
 
+use crate::framebuf::FrameBuf;
 use crate::{MachineId, ProtoId};
+
+/// The wire layout, defined once. `wire_bytes` accounting, the cost
+/// model, and the frame-ledger conservation tests all derive from these
+/// constants — they can't drift apart.
+pub mod layout {
+    /// Per-frame header fields.
+    pub const FRAME_PROTO_BYTES: u64 = 2;
+    pub const FRAME_KIND_BYTES: u64 = 1;
+    pub const FRAME_CORR_BYTES: u64 = 8;
+    pub const FRAME_LEN_BYTES: u64 = 4;
+    pub const FRAME_PAD_BYTES: u64 = 1;
+    /// Total per-frame overhead: proto id, kind tag, correlation id,
+    /// payload length prefix, alignment pad.
+    pub const FRAME_HEADER_BYTES: u64 =
+        FRAME_PROTO_BYTES + FRAME_KIND_BYTES + FRAME_CORR_BYTES + FRAME_LEN_BYTES + FRAME_PAD_BYTES;
+
+    /// Per-envelope header fields.
+    pub const ENV_SRC_BYTES: u64 = 2;
+    pub const ENV_DST_BYTES: u64 = 2;
+    pub const ENV_LEN_BYTES: u64 = 4;
+    pub const ENV_CHECKSUM_BYTES: u64 = 8;
+    pub const ENV_TRACE_BYTES: u64 = 8;
+    pub const ENV_DEADLINE_BYTES: u64 = 8;
+    pub const ENV_FRAME_COUNT_BYTES: u64 = 4;
+    pub const ENV_MAGIC_BYTES: u64 = 4;
+    /// Total per-envelope overhead: src, dst, length, checksum, trace id,
+    /// deadline, frame count, magic.
+    pub const ENV_HEADER_BYTES: u64 = ENV_SRC_BYTES
+        + ENV_DST_BYTES
+        + ENV_LEN_BYTES
+        + ENV_CHECKSUM_BYTES
+        + ENV_TRACE_BYTES
+        + ENV_DEADLINE_BYTES
+        + ENV_FRAME_COUNT_BYTES
+        + ENV_MAGIC_BYTES;
+}
 
 /// How a frame participates in the request/response paradigm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,19 +65,19 @@ pub enum FrameKind {
     Expired(u64),
 }
 
-/// One logical message.
+/// One logical message. Cloning shares the payload (refcount bump).
 #[derive(Debug, Clone)]
 pub struct Frame {
     pub proto: ProtoId,
     pub kind: FrameKind,
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
 }
 
 impl Frame {
     /// Bytes this frame contributes to a transfer: payload plus the frame
-    /// header (proto id, kind tag, correlation id, length prefix).
+    /// header ([`layout::FRAME_HEADER_BYTES`]).
     pub fn wire_bytes(&self) -> u64 {
-        self.payload.len() as u64 + 16
+        self.payload.len() as u64 + layout::FRAME_HEADER_BYTES
     }
 }
 
@@ -59,10 +100,16 @@ pub struct Envelope {
 }
 
 impl Envelope {
-    /// Total bytes on the wire: frames plus the envelope header (src, dst,
-    /// length, checksum, trace id, deadline).
+    /// Total bytes on the wire: frames plus the envelope header
+    /// ([`layout::ENV_HEADER_BYTES`]).
     pub fn wire_bytes(&self) -> u64 {
-        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + 40
+        self.frames.iter().map(Frame::wire_bytes).sum::<u64>() + layout::ENV_HEADER_BYTES
+    }
+
+    /// Payload bytes carried (headers excluded) — the denominator of the
+    /// copies-per-payload-byte ratio.
+    pub fn payload_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.payload.len() as u64).sum()
     }
 }
 
@@ -75,7 +122,7 @@ mod tests {
         let f = Frame {
             proto: 1,
             kind: FrameKind::OneWay,
-            payload: vec![0; 100],
+            payload: FrameBuf::from_vec(vec![0; 100]),
         };
         assert_eq!(f.wire_bytes(), 116);
         let e = Envelope {
@@ -86,5 +133,23 @@ mod tests {
             frames: vec![f.clone(), f],
         };
         assert_eq!(e.wire_bytes(), 2 * 116 + 40);
+        assert_eq!(e.payload_bytes(), 200);
+    }
+
+    #[test]
+    fn layout_sums_match_the_advertised_overheads() {
+        // The historical constants (16-byte frame header, 40-byte envelope
+        // header) are now sums of the per-field layout definition; this
+        // pins the components so neither can drift from the other.
+        assert_eq!(layout::FRAME_HEADER_BYTES, 16);
+        assert_eq!(layout::ENV_HEADER_BYTES, 40);
+        assert_eq!(
+            layout::FRAME_HEADER_BYTES,
+            layout::FRAME_PROTO_BYTES
+                + layout::FRAME_KIND_BYTES
+                + layout::FRAME_CORR_BYTES
+                + layout::FRAME_LEN_BYTES
+                + layout::FRAME_PAD_BYTES
+        );
     }
 }

@@ -488,7 +488,7 @@ mod tests {
                     .endpoint(MachineId(1))
                     .call(MachineId(2), 11, p)
                     .unwrap();
-                Some(inner)
+                Some(inner.into_vec())
             });
         }
         fabric.endpoint(MachineId(2)).register(11, |_, p| {
@@ -597,7 +597,8 @@ mod tests {
                     fabric2
                         .endpoint(MachineId(1))
                         .call(MachineId(2), 11, p)
-                        .unwrap(),
+                        .unwrap()
+                        .into_vec(),
                 )
             });
         }

@@ -534,9 +534,6 @@ struct ChaosMetrics {
     dups: Arc<Counter>,
     reorders: Arc<Counter>,
     partition_drops: Arc<Counter>,
-    /// Payload bytes memcpy'd when a duplication fault clones an envelope
-    /// (same name as the endpoint's send-path copy counter).
-    copy_bytes: Arc<Counter>,
 }
 
 /// The live fault injector attached to a fabric. Created by the fabric
@@ -622,7 +619,6 @@ impl ChaosState {
                     dups: scope.counter("chaos.dups"),
                     reorders: scope.counter("chaos.reorders"),
                     partition_drops: scope.counter("chaos.partition_drops"),
-                    copy_bytes: scope.counter("net.frame_copy_bytes"),
                 }
             })
             .collect();
@@ -792,8 +788,9 @@ impl ChaosState {
                 self.record(key.0, key.1, seq, FaultKind::Duplicate);
                 self.metrics[key.0 as usize].dups.inc();
                 self.dup_frames.fetch_add(frames, Ordering::Relaxed);
-                let payload_bytes: u64 = env.frames.iter().map(|f| f.payload.len() as u64).sum();
-                self.metrics[key.0 as usize].copy_bytes.add(payload_bytes);
+                // Frame payloads are shared slices: duplicating the
+                // envelope bumps refcounts, copying nothing — so the copy
+                // counter (a true memcpy count) stays untouched here.
                 let copy = env.clone();
                 if link.barrier_us > now || link.in_timer > 0 {
                     let due = link.barrier_us.max(now);

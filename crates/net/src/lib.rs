@@ -51,6 +51,7 @@ mod envelope;
 mod error;
 mod fabric;
 mod fault;
+mod framebuf;
 mod heartbeat;
 mod stats;
 
@@ -60,13 +61,14 @@ pub use deadline::{
     NO_DEADLINE,
 };
 pub use endpoint::{Endpoint, Handler};
-pub use envelope::{Envelope, Frame, FrameKind};
+pub use envelope::{layout, Envelope, Frame, FrameKind};
 pub use error::NetError;
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{
     ChaosState, DelayPolicy, FaultKind, FaultLog, FaultPlan, FaultRecord, NodeEvent, Partition,
     ReorderPolicy, Trigger,
 };
+pub use framebuf::{FrameBuf, FramePool, PackArena, MAX_RECYCLED_CAPACITY};
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatStats, PeerEvent};
 pub use stats::{NetStats, StatsDelta};
 

@@ -85,11 +85,13 @@ fn deadline_propagates_to_nested_calls() {
     // Machine 1 relays to machine 2; the budget must follow.
     let c_id = MachineId(2);
     let b2 = Arc::clone(&b);
-    b.register(SLOW, move |_src, _p| b2.call(c_id, ECHO, &[]).ok());
+    b.register(SLOW, move |_src, _p| {
+        b2.call(c_id, ECHO, &[]).ok().map(|r| r.into_vec())
+    });
     let budget = deadline_now_us() + 2_000_000;
     let _g = DeadlineGuard::enter(budget);
     let seen = a.call(MachineId(1), SLOW, &[]).unwrap();
-    let seen = u64::from_le_bytes(seen.try_into().unwrap());
+    let seen = u64::from_le_bytes(seen.as_slice().try_into().unwrap());
     assert_ne!(seen, NO_DEADLINE, "machine 2 must inherit a deadline");
     assert!(
         seen <= budget,

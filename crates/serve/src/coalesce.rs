@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use trinity_net::{remaining_us, Endpoint, MachineId, NetError, ProtoId};
+use trinity_net::{remaining_us, Endpoint, FrameBuf, MachineId, NetError, ProtoId};
 use trinity_obs::Counter;
 
 use crate::CallHook;
@@ -22,7 +22,7 @@ type Key = (MachineId, ProtoId, Vec<u8>);
 
 #[derive(Default)]
 struct Flight {
-    done: Mutex<Option<trinity_net::Result<Vec<u8>>>>,
+    done: Mutex<Option<trinity_net::Result<FrameBuf>>>,
     cv: Condvar,
 }
 
@@ -62,13 +62,14 @@ impl Coalescer {
     /// identical call already in flight. The leader's call runs under the
     /// leader's thread deadline; a follower whose own budget lapses first
     /// gives up waiting and returns `DeadlineExceeded` without disturbing
-    /// the flight.
+    /// the flight. Followers share the leader's reply frame by refcount —
+    /// N coalesced submitters cost one upstream call *and* one buffer.
     pub fn call(
         &self,
         dst: MachineId,
         proto: ProtoId,
         payload: &[u8],
-    ) -> trinity_net::Result<Vec<u8>> {
+    ) -> trinity_net::Result<FrameBuf> {
         let key: Key = (dst, proto, payload.to_vec());
         let (flight, leader) = {
             let mut inflight = self.inflight.lock();

@@ -81,7 +81,9 @@ fn main() {
     }
 
     // In-place mutation through the mutable accessor: fix an actor id.
-    let mut bytes = cloud.node(1).get(matrix).unwrap().unwrap();
+    // Reads are shared views of the wire frame; mutation needs an owned
+    // copy, so this is the one place the example materializes a Vec.
+    let mut bytes = cloud.node(1).get(matrix).unwrap().unwrap().into_vec();
     let mut cell = CellAccessorMut::new(&movie_layout, &mut bytes);
     cell.set_list_long("Actors", 1, keanu).unwrap(); // cell.Links[1] = 2 of Figure 6
     cloud.node(1).put(matrix, &bytes).unwrap();
