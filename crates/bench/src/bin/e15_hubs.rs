@@ -58,6 +58,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
         (
@@ -68,6 +69,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
         (
@@ -78,6 +80,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
         (
@@ -88,6 +91,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
         (
@@ -98,6 +102,7 @@ fn main() {
                 combine: true,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
     ] {

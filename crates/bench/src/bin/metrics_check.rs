@@ -16,7 +16,11 @@
 use std::process::ExitCode;
 
 fn required_keys(path: &str) -> &'static [&'static str] {
-    if path.ends_with(".metrics.json") {
+    if path.ends_with("tiering.metrics.json") {
+        // The out-of-core gate additionally promises its budget-sweep
+        // series (wall, spills/faults, prefetch hit rate per budget).
+        &["\"bench\"", "\"sections\"", "\"budget_sweep\""]
+    } else if path.ends_with(".metrics.json") {
         &["\"bench\"", "\"sections\""]
     } else if path.ends_with(".trace.json") {
         &["\"traceEvents\""]

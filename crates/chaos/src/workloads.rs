@@ -83,6 +83,7 @@ fn bsp_cfg(limit: usize, compute_threads: usize) -> BspConfig {
         combine: false,
         max_supersteps: limit,
         compute_threads,
+        ..BspConfig::default()
     }
 }
 

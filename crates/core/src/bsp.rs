@@ -61,8 +61,19 @@ pub enum MessagingMode {
     Unpacked,
 }
 
+/// Per-machine callback fired at the start of every superstep, by the
+/// machine's pool leader, before any worker computes that superstep (a
+/// pool barrier orders the hook against the compute phase). The bucket
+/// prefetcher (`trinity-core::prefetch`) implements this to fault the
+/// scheduled bucket's trunks in and kick off a background load of the
+/// next bucket's — compute of bucket `i` overlaps the I/O of `i + 1`.
+pub trait SuperstepHook: Send + Sync {
+    /// `superstep` is absolute (resume offsets included).
+    fn superstep_start(&self, machine: usize, superstep: usize);
+}
+
 /// BSP job configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct BspConfig {
     pub messaging: MessagingMode,
     /// Out-degree at or above which a broadcasting vertex is treated as a
@@ -79,6 +90,22 @@ pub struct BspConfig {
     /// not oversubscribe itself by default. Results are identical for
     /// every value; see `tests/bsp_determinism.rs`.
     pub compute_threads: usize,
+    /// Start-of-superstep callback, run once per machine per superstep
+    /// (None = no callback, no extra barrier). See [`SuperstepHook`].
+    pub superstep_hook: Option<Arc<dyn SuperstepHook>>,
+}
+
+impl std::fmt::Debug for BspConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BspConfig")
+            .field("messaging", &self.messaging)
+            .field("hub_threshold", &self.hub_threshold)
+            .field("combine", &self.combine)
+            .field("max_supersteps", &self.max_supersteps)
+            .field("compute_threads", &self.compute_threads)
+            .field("superstep_hook", &self.superstep_hook.is_some())
+            .finish()
+    }
 }
 
 impl Default for BspConfig {
@@ -89,6 +116,7 @@ impl Default for BspConfig {
             combine: false,
             max_supersteps: 64,
             compute_threads: 0,
+            superstep_hook: None,
         }
     }
 }
@@ -1105,6 +1133,18 @@ fn worker_main<P: VertexProgram>(ctx: &PoolCtx<'_, P>, mut ws: WorkerState<P>) {
     let mut net_before = ctx.rt.endpoint.stats().snapshot();
     let mut wall_start_us = ctx.rt.endpoint.obs().now_us();
     loop {
+        // Start-of-superstep hook (bucket prefetch): the leader runs it,
+        // the barrier orders it before anyone computes. Gated on the
+        // option so hook-free jobs pay no extra barrier — every worker
+        // evaluates the same `is_some()`, so the barrier count matches.
+        if ctx.cfg.superstep_hook.is_some() {
+            if leader {
+                if let Some(hook) = &ctx.cfg.superstep_hook {
+                    hook.superstep_start(ctx.m, ctx.superstep_offset + superstep);
+                }
+            }
+            ctx.pool_barrier.wait();
+        }
         compute_phase(ctx, &mut ws, superstep);
         ctx.pool_barrier.wait();
         let mut round_totals = None;

@@ -296,6 +296,7 @@ mod tests {
             combine: false,
             max_supersteps: limit,
             compute_threads: 0,
+            ..BspConfig::default()
         }
     }
 

@@ -16,6 +16,8 @@
 //!   through a subscriber index;
 //! * [`residency`] — the Type A / Type B memory-residency model of
 //!   Figure 10, including the paper's memory-savings formula;
+//! * [`prefetch`] — the bucket-schedule trunk prefetcher that pipelines
+//!   TFS fault-ins against compute when trunks are tiered out-of-core;
 //! * [`safra`] — Safra's termination-detection algorithm (§6.2);
 //! * [`async_compute`] — asynchronous (superstep-free) vertex computation
 //!   with periodic-interruption snapshots;
@@ -35,6 +37,7 @@ pub mod incremental;
 pub mod minitx;
 pub mod online;
 pub mod online_async;
+pub mod prefetch;
 pub mod recovery;
 pub mod residency;
 pub mod safra;
@@ -43,7 +46,7 @@ pub mod wal;
 
 pub use bsp::{
     resolve_compute_threads, BspConfig, BspResult, BspRunner, MessagingMode, ResumePoint,
-    SuperstepReport, VertexContext, VertexProgram,
+    SuperstepHook, SuperstepReport, VertexContext, VertexProgram,
 };
 pub use cluster::{TrinityClient, TrinityCluster, TrinityConfig, TrinityProxy};
 pub use incremental::{
@@ -53,6 +56,7 @@ pub use incremental::{
 pub use online::{
     explore_via, CallHook, ExplorationResult, ExploreOptions, Explorer, ExplorerConfig,
 };
+pub use prefetch::BucketPrefetcher;
 pub use streaming::{
     CommittedBatch, DirtySet, Mutation, MutationBatch, MutationLog, StreamingIngest, Topology,
 };

@@ -1,0 +1,145 @@
+//! Pipelined trunk prefetch for out-of-core BSP (§5.4 + DESIGN.md §15).
+//!
+//! The residency model ([`crate::residency`]) observes that an offline
+//! job only needs the *scheduled* bucket of the graph fully resident.
+//! [`BucketPrefetcher`] is the mechanism: each machine's trunks are dealt
+//! round-robin into `nbuckets` buckets (mirroring
+//! [`BucketSchedule::round_robin`]), and superstep `s` computes over
+//! bucket `s % nbuckets`. Hooked into the BSP runtime through
+//! [`SuperstepHook`], the prefetcher:
+//!
+//! 1. pins the scheduled bucket **and** the next one (eviction never
+//!    selects a pinned trunk — "never the trunk currently scheduled"),
+//!    releasing the previous superstep's pins only after the new ones
+//!    hold;
+//! 2. faults the scheduled bucket's spilled trunks in with one bulk TFS
+//!    read, counting `tier.prefetch_hits` (already resident — the
+//!    pipeline worked) vs `tier.prefetch_misses` (compute had to wait);
+//! 3. spawns a background fetcher for the *next* bucket's trunks, so
+//!    bucket `i + 1`'s I/O overlaps bucket `i`'s compute.
+//!
+//! Type B state — message boxes, vertex runtime state — lives in the
+//! worker pool, not in cells, so it stays resident throughout; only the
+//! Type A trunk images cycle through TFS.
+//!
+//! [`BucketSchedule::round_robin`]: crate::residency::BucketSchedule::round_robin
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use trinity_graph::DistributedGraph;
+use trinity_net::MachineId;
+
+use crate::bsp::SuperstepHook;
+
+/// Schedule-driven trunk prefetcher; install via
+/// [`BspConfig::superstep_hook`](crate::BspConfig::superstep_hook).
+pub struct BucketPrefetcher {
+    graph: Arc<DistributedGraph>,
+    /// `buckets[m][b]` = trunks of machine `m` scheduled in bucket `b`.
+    buckets: Vec<Vec<Vec<u64>>>,
+    nbuckets: usize,
+    /// Per machine: trunks pinned by the previous superstep's hook.
+    pinned: Vec<Mutex<Vec<u64>>>,
+}
+
+impl std::fmt::Debug for BucketPrefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BucketPrefetcher")
+            .field("nbuckets", &self.nbuckets)
+            .finish()
+    }
+}
+
+impl BucketPrefetcher {
+    /// Deal every machine's owned trunks round-robin into `nbuckets`
+    /// buckets (at least 1). With `nbuckets == 1` the prefetcher
+    /// degenerates to "pin everything once" — no pipelining, no spills
+    /// of the working set.
+    pub fn new(graph: Arc<DistributedGraph>, nbuckets: usize) -> Arc<Self> {
+        let nbuckets = nbuckets.max(1);
+        let machines = graph.machines();
+        let table = graph.cloud().node(0).table();
+        let mut buckets = vec![vec![Vec::new(); nbuckets]; machines];
+        for (m, machine_buckets) in buckets.iter_mut().enumerate() {
+            for (i, gid) in table.trunks_of(MachineId(m as u16)).into_iter().enumerate() {
+                machine_buckets[i % nbuckets].push(gid);
+            }
+        }
+        Arc::new(BucketPrefetcher {
+            graph,
+            buckets,
+            nbuckets,
+            pinned: (0..machines).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+
+    /// Number of buckets in the schedule.
+    pub fn nbuckets(&self) -> usize {
+        self.nbuckets
+    }
+
+    /// The trunks machine `m` computes over in superstep `s`.
+    pub fn bucket(&self, m: usize, superstep: usize) -> &[u64] {
+        &self.buckets[m][superstep % self.nbuckets]
+    }
+
+    /// Release every pin this prefetcher still holds. Call after the job
+    /// finishes — otherwise the last scheduled buckets stay immune to
+    /// eviction until the prefetcher is dropped and re-created.
+    pub fn release(&self) {
+        for (m, pins) in self.pinned.iter().enumerate() {
+            let node = self.graph.cloud().node(m);
+            for gid in pins.lock().drain(..) {
+                node.unpin_trunk(gid);
+            }
+        }
+    }
+}
+
+impl SuperstepHook for BucketPrefetcher {
+    fn superstep_start(&self, machine: usize, superstep: usize) {
+        let b = superstep % self.nbuckets;
+        let node = Arc::clone(self.graph.cloud().node(machine));
+        let cur = &self.buckets[machine][b];
+        let nxt = &self.buckets[machine][(b + 1) % self.nbuckets];
+        // Pin the new working set before releasing the old one, so a
+        // concurrent budget sweep never catches the scheduled bucket
+        // unpinned.
+        let mut fresh: Vec<u64> = Vec::with_capacity(cur.len() + nxt.len());
+        fresh.extend_from_slice(cur);
+        if self.nbuckets > 1 {
+            fresh.extend_from_slice(nxt);
+        }
+        for &gid in &fresh {
+            node.pin_trunk(gid);
+        }
+        let stale = std::mem::replace(&mut *self.pinned[machine].lock(), fresh);
+        for &gid in &stale {
+            node.unpin_trunk(gid);
+        }
+        // The scheduled bucket must be resident before compute: count
+        // hits vs misses, then fault the misses in with one bulk read.
+        // A trunk mid-spill is left to the compute path's blocking turn.
+        let mut missing = Vec::new();
+        for &gid in cur {
+            let hit = node.trunk_resident(gid);
+            node.note_prefetch(hit);
+            if !hit {
+                missing.push(gid);
+            }
+        }
+        if !missing.is_empty() {
+            let _ = node.fault_in_many(&missing);
+        }
+        // Next bucket: load in the background while this one computes.
+        if self.nbuckets > 1 && !nxt.is_empty() {
+            let node = Arc::clone(&node);
+            let nxt = nxt.clone();
+            std::thread::spawn(move || {
+                let _ = node.fault_in_many(&nxt);
+            });
+        }
+    }
+}

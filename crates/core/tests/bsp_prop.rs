@@ -102,10 +102,10 @@ proptest! {
         let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(machines)));
         let graph = Arc::new(load_graph(Arc::clone(&cloud), &csr, &LoadOptions::default()).unwrap());
         for cfg in [
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: None, combine: false, max_supersteps: 256, compute_threads: 0 },
-            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, combine: false, max_supersteps: 256, compute_threads: 0 },
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(4), combine: false, max_supersteps: 256, compute_threads: 0 },
-            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(4), combine: true, max_supersteps: 256, compute_threads: 0 },
+            BspConfig { messaging: MessagingMode::Packed, hub_threshold: None, combine: false, max_supersteps: 256, compute_threads: 0, ..BspConfig::default() },
+            BspConfig { messaging: MessagingMode::Unpacked, hub_threshold: None, combine: false, max_supersteps: 256, compute_threads: 0, ..BspConfig::default() },
+            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(4), combine: false, max_supersteps: 256, compute_threads: 0, ..BspConfig::default() },
+            BspConfig { messaging: MessagingMode::Packed, hub_threshold: Some(4), combine: true, max_supersteps: 256, compute_threads: 0, ..BspConfig::default() },
         ] {
             let result = BspRunner::new(Arc::clone(&graph), MaxValue, cfg.clone()).run();
             prop_assert!(result.terminated, "must reach quiescence under {cfg:?}");

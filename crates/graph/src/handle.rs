@@ -74,7 +74,9 @@ impl GraphHandle {
     ) -> Result<Option<R>, CloudError> {
         let table = self.node.table();
         if table.machine_of(id) == self.node.machine() {
-            let trunk = self.node.store().ensure_trunk(table.trunk_of(id));
+            // Tier-aware resolution: a spilled trunk faults back in from
+            // TFS here; resident trunks pay one atomic load extra.
+            let trunk = self.node.resident_trunk(table.trunk_of(id))?;
             let guard = trunk.get(id);
             let result = match &guard {
                 Some(guard) => {
@@ -152,9 +154,15 @@ impl GraphHandle {
     }
 
     /// Visit every node cell hosted on this machine (zero-copy views).
-    /// The iteration order is unspecified.
+    /// The iteration order is unspecified. Walks the trunks this machine
+    /// *owns* under the current table — spilled trunks fault in on the
+    /// way (best-effort: a trunk whose fault-in fails is skipped), and
+    /// trunks staged by an in-flight migration are not visited twice.
     pub fn for_each_local_node(&self, mut f: impl FnMut(CellId, NodeView<'_>)) {
-        for trunk in self.node.store().trunks() {
+        for gid in self.node.table().trunks_of(self.node.machine()) {
+            let Ok(trunk) = self.node.resident_trunk(gid) else {
+                continue;
+            };
             trunk.for_each_cell(|id, bytes| {
                 if let Ok(view) = NodeView::new(bytes) {
                     f(id, view);
@@ -166,7 +174,10 @@ impl GraphHandle {
     /// Ids of all node cells hosted on this machine.
     pub fn local_node_ids(&self) -> Vec<CellId> {
         let mut ids = Vec::new();
-        for trunk in self.node.store().trunks() {
+        for gid in self.node.table().trunks_of(self.node.machine()) {
+            let Ok(trunk) = self.node.resident_trunk(gid) else {
+                continue;
+            };
             ids.extend(trunk.cell_ids());
         }
         ids

@@ -46,6 +46,9 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Entries pushed out by capacity pressure.
     pub evictions: u64,
+    /// Prefetch batches that failed outright (the warm-up fetch errored;
+    /// the per-cell reads will surface the fault themselves).
+    pub prefetch_errors: u64,
     /// Entries currently resident (data entries and floors alike).
     pub entries: usize,
 }
@@ -162,6 +165,7 @@ pub(crate) struct RemoteCache {
     misses: Arc<Counter>,
     invalidations: Arc<Counter>,
     evictions: Arc<Counter>,
+    prefetch_errors: Arc<Counter>,
     /// Scope whose [`trinity_obs::LoadMap`] receives the per-trunk
     /// hit/miss attribution behind the aggregate counters above.
     obs: MachineScope,
@@ -176,6 +180,7 @@ impl RemoteCache {
             misses: obs.counter("cloud.cache.misses"),
             invalidations: obs.counter("cloud.cache.invalidations"),
             evictions: obs.counter("cloud.cache.evictions"),
+            prefetch_errors: obs.counter("cloud.cache.prefetch_errors"),
             obs: obs.clone(),
         }
     }
@@ -295,8 +300,16 @@ impl RemoteCache {
             misses: self.misses.get(),
             invalidations: self.invalidations.get(),
             evictions: self.evictions.get(),
+            prefetch_errors: self.prefetch_errors.get(),
             entries: self.inner.lock().map.len(),
         }
+    }
+
+    /// Count one failed prefetch batch (a warm-up `multi_get` that
+    /// errored). Counted even with the cache disabled: the error signal
+    /// matters regardless of whether the bytes would have been kept.
+    pub(crate) fn record_prefetch_error(&self) {
+        self.prefetch_errors.inc();
     }
 }
 

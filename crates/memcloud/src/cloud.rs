@@ -53,6 +53,13 @@ pub struct CloudConfig {
     /// Must be uniform across the cloud — the coherence protocol skips
     /// machines entirely when the cache is off.
     pub cache_capacity: usize,
+    /// Per-machine resident-memory budget in bytes; 0 (the default)
+    /// disables trunk tiering. With a budget set, each node spills its
+    /// coldest trunks' sealed images to TFS whenever resident bytes
+    /// exceed the budget, and faults them back in on access — graphs
+    /// larger than RAM at the cost of TFS round-trips on cold reads
+    /// (DESIGN.md §15).
+    pub memory_budget_bytes: u64,
 }
 
 impl CloudConfig {
@@ -75,6 +82,7 @@ impl CloudConfig {
             standby_machines: 0,
             faults: None,
             cache_capacity: 4096,
+            memory_budget_bytes: 0,
         }
     }
 
@@ -133,7 +141,38 @@ impl MemoryCloud {
                 )
             })
             .collect();
-        MemoryCloud { fabric, tfs, nodes }
+        let cloud = MemoryCloud { fabric, tfs, nodes };
+        if cfg.memory_budget_bytes > 0 {
+            cloud.set_memory_budget(cfg.memory_budget_bytes);
+        }
+        cloud
+    }
+
+    /// Set every machine's resident-memory budget (0 = unlimited) and
+    /// enforce it immediately. Enforcement failures are best-effort at
+    /// this level — a machine that cannot reach TFS simply stays over
+    /// budget until its next sweep.
+    pub fn set_memory_budget(&self, bytes: u64) {
+        for n in &self.nodes {
+            let _ = n.set_memory_budget(bytes);
+        }
+    }
+
+    /// Cluster-wide aggregate of the per-machine `tier.*` counters.
+    pub fn tier_stats(&self) -> crate::TierStats {
+        let mut total = crate::TierStats::default();
+        for n in &self.nodes {
+            let s = n.tier_stats();
+            total.spills += s.spills;
+            total.spill_bytes += s.spill_bytes;
+            total.faults += s.faults;
+            total.fault_bytes += s.fault_bytes;
+            total.prefetch_hits += s.prefetch_hits;
+            total.prefetch_misses += s.prefetch_misses;
+            total.spilled_trunks += s.spilled_trunks;
+            total.resident_bytes += s.resident_bytes;
+        }
+        total
     }
 
     /// Bring a standby machine into the cloud the *stop-the-world* way
@@ -226,6 +265,7 @@ impl MemoryCloud {
             total.misses += s.misses;
             total.invalidations += s.invalidations;
             total.evictions += s.evictions;
+            total.prefetch_errors += s.prefetch_errors;
             total.entries += s.entries;
         }
         total

@@ -41,13 +41,15 @@ mod error;
 pub mod migration;
 mod node;
 mod table;
+mod tiering;
 mod wire;
 
 pub use cache::CacheStats;
 pub use cloud::{CloudConfig, MemoryCloud};
 pub use error::CloudError;
-pub use node::CloudNode;
+pub use node::{trunk_backup_path, CloudNode};
 pub use table::{AddressingTable, TFS_TABLE_PATH};
+pub use tiering::{TierState, TierStats};
 
 pub use trinity_memstore::{CellId, CellVersion};
 

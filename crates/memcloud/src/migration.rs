@@ -226,6 +226,17 @@ impl MigrationState {
         self.donors.read()
     }
 
+    /// Exclusive lock over the donor map. The tiering spill path acquires
+    /// it as a write *barrier*: every in-flight mutation holds the read
+    /// lock while applying, so once this lock is granted the trunk about
+    /// to be captured is quiescent, and any later mutation re-checks the
+    /// tier state under the read lock and backs off.
+    pub(crate) fn donors_write(
+        &self,
+    ) -> parking_lot::RwLockWriteGuard<'_, HashMap<u64, Arc<Mutex<DonorMig>>>> {
+        self.donors.write()
+    }
+
     /// Arm delta capture for `gid`. A newer mid supersedes a stalled
     /// older attempt; an older mid is rejected. On `Created` the caller
     /// must capture the trunk's cell ids into the (still empty) snapshot

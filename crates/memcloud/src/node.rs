@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use trinity_memstore::{
-    CellVersion, LocalStore, LocalStoreConfig, StoreError, TrunkSnapshot, TrunkStats,
+    CellVersion, LocalStore, LocalStoreConfig, StoreError, Trunk, TrunkSnapshot, TrunkStats,
 };
 use trinity_net::{Endpoint, FrameBuf, MachineId, NetError};
 use trinity_obs::MachineScope;
@@ -54,6 +54,7 @@ use crate::cache::{CacheStats, RemoteCache};
 use crate::migration::{self, BeginOutcome, MigEntry, MigrationState, SEAL_TIMEOUT};
 use crate::proto;
 use crate::table::{AddressingTable, TFS_TABLE_PATH};
+use crate::tiering::{FaultTurn, TierStats, Tiering};
 use crate::wire;
 use crate::{CellId, CloudError, Result};
 
@@ -101,6 +102,9 @@ pub struct CloudNode {
     /// Migration books: outbound delta logs, inbound version fences, and
     /// flip epochs of trunks this node gave away (for `MOVED` replies).
     migration: MigrationState,
+    /// Trunk tiering books: per-trunk spill/fault state, pin counts, and
+    /// the memory budget (DESIGN.md §15).
+    tiering: Tiering,
 }
 
 impl std::fmt::Debug for CloudNode {
@@ -133,6 +137,7 @@ impl CloudNode {
         }
         let cache = RemoteCache::new(cache_capacity, endpoint.obs());
         let obs = endpoint.obs().clone();
+        let tiering = Tiering::new(&obs);
         let node = Arc::new(CloudNode {
             machine,
             endpoint,
@@ -144,6 +149,7 @@ impl CloudNode {
             sharers: Mutex::new(HashMap::new()),
             obs,
             migration: MigrationState::default(),
+            tiering,
         });
         node.register_handlers();
         node
@@ -311,13 +317,347 @@ impl CloudNode {
     // Local handler bodies
     // ------------------------------------------------------------------
 
-    fn local_trunk(&self, id: CellId) -> Arc<trinity_memstore::Trunk> {
+    fn local_trunk(&self, id: CellId) -> Result<Arc<Trunk>> {
         let gid = self.table.read().trunk_of(id);
-        self.store.ensure_trunk(gid)
+        self.resident_trunk(gid)
+    }
+
+    // ------------------------------------------------------------------
+    // Trunk tiering (out-of-core residency, DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// The trunk, faulted back in from TFS first if tiering spilled it.
+    ///
+    /// Fast path — tiering inactive or the trunk resident — is one
+    /// relaxed atomic load on top of the store lookup. For a spilled
+    /// trunk exactly one caller wins the fault-in turn; the rest block on
+    /// the tier condvar until the image is restored.
+    pub fn resident_trunk(&self, gid: u64) -> Result<Arc<Trunk>> {
+        if !self.tiering.is_active() {
+            return Ok(self.store.ensure_trunk(gid));
+        }
+        loop {
+            match self.tiering.await_fault_turn(gid) {
+                FaultTurn::Resident => return Ok(self.store.ensure_trunk(gid)),
+                // Loop after the restore: a racing spill may have taken
+                // the trunk out again, in which case we queue for the
+                // next fault turn rather than hand out a dead Arc.
+                FaultTurn::Fault { version } => self.fault_in(gid, version)?,
+            }
+        }
+    }
+
+    /// Restore a spilled trunk from its TFS image. On success the tier
+    /// entry clears and waiters wake; on failure the entry reverts to
+    /// `Spilled` so a later access retries.
+    fn fault_in(&self, gid: u64, version: u64) -> Result<()> {
+        let path = trunk_backup_path(gid);
+        let image = match self.tfs.read_versioned(&path) {
+            Ok((_, bytes)) => Some(bytes),
+            // Vanished backup (wiped TFS): an empty trunk matches the
+            // `reload_trunk` durability contract.
+            Err(trinity_tfs::TfsError::NotFound(_)) => None,
+            Err(e) => {
+                self.tiering.fail_fault(gid, version);
+                return Err(e.into());
+            }
+        };
+        if image.is_some() {
+            // A resident remnant (e.g. a staging reload that raced the
+            // spill) would keep cells the image doesn't vouch for: drop
+            // it so the restored trunk is exactly the image.
+            self.store.evict(gid);
+        }
+        let trunk = self.store.ensure_trunk(gid);
+        let mut bytes_in = 0u64;
+        if let Some(bytes) = image {
+            let restored = TrunkSnapshot::decode(&bytes)
+                .ok()
+                .and_then(|snap| snap.restore_into(&trunk).ok());
+            if restored.is_none() {
+                // Undecodable or unrestorable image: drop the partial
+                // trunk and leave the entry Spilled — serving a half
+                // image would silently lose cells.
+                self.store.evict(gid);
+                self.tiering.fail_fault(gid, version);
+                return Err(CloudError::Tfs(trinity_tfs::TfsError::NotFound(path)));
+            }
+            bytes_in = bytes.len() as u64;
+        }
+        self.tiering.finish_fault(gid);
+        self.tiering.metrics.faults.inc();
+        self.tiering.metrics.fault_bytes.add(bytes_in);
+        // The freshly faulted trunk must not be the sweep's next victim —
+        // its EWMA score is stale-cold. Pin it across the enforcement.
+        self.tiering.pin(gid);
+        let _ = self.enforce_budget();
+        self.tiering.unpin(gid);
+        Ok(())
+    }
+
+    /// Fault a set of trunks in with **one bulk TFS read**
+    /// ([`Tfs::read_versioned_many`]) — the pipelined-prefetch path.
+    /// Trunks that are resident, mid-spill, or already faulting are
+    /// skipped (the compute path's blocking fault turn resolves those).
+    /// Returns how many trunks were restored. Runs a budget sweep at the
+    /// end: the caller is expected to have pinned the trunks it wants
+    /// kept, so the sweep pushes out older buckets, not the prefetched
+    /// ones.
+    ///
+    /// [`Tfs::read_versioned_many`]: trinity_tfs::Tfs::read_versioned_many
+    pub fn fault_in_many(&self, gids: &[u64]) -> Result<usize> {
+        let mut claims: Vec<(u64, u64)> = Vec::new();
+        for &gid in gids {
+            if let Some(version) = self.tiering.try_begin_fault(gid) {
+                claims.push((gid, version));
+            }
+        }
+        if claims.is_empty() {
+            return Ok(0);
+        }
+        let paths: Vec<String> = claims
+            .iter()
+            .map(|&(gid, _)| trunk_backup_path(gid))
+            .collect();
+        let images = self.tfs.read_versioned_many(&paths);
+        let mut restored = 0usize;
+        for ((gid, version), image) in claims.into_iter().zip(images) {
+            match image {
+                Ok((_, bytes)) => {
+                    let trunk = self.store.ensure_trunk(gid);
+                    let ok = TrunkSnapshot::decode(&bytes)
+                        .ok()
+                        .and_then(|snap| snap.restore_into(&trunk).ok())
+                        .is_some();
+                    if ok {
+                        self.tiering.finish_fault(gid);
+                        self.tiering.metrics.faults.inc();
+                        self.tiering.metrics.fault_bytes.add(bytes.len() as u64);
+                        restored += 1;
+                    } else {
+                        self.store.evict(gid);
+                        self.tiering.fail_fault(gid, version);
+                    }
+                }
+                Err(trinity_tfs::TfsError::NotFound(_)) => {
+                    // Same contract as `reload_trunk`: a vanished backup
+                    // restores as an empty trunk.
+                    self.store.ensure_trunk(gid);
+                    self.tiering.finish_fault(gid);
+                    self.tiering.metrics.faults.inc();
+                    restored += 1;
+                }
+                Err(_) => self.tiering.fail_fault(gid, version),
+            }
+        }
+        self.update_resident_gauge();
+        let _ = self.enforce_budget();
+        Ok(restored)
+    }
+
+    /// Spill one trunk's sealed cell image to TFS and drop it from the
+    /// memstore. `Ok(true)` when it spilled; `Ok(false)` when skipped
+    /// (not owned, pinned, absent/already spilled, or busy migrating).
+    ///
+    /// Seal protocol: after claiming `Spilling`, taking and releasing the
+    /// donor map's **write** lock is a barrier — every in-flight
+    /// `gated_mutate` either finished its write under the read lock (the
+    /// write is in the capture) or will re-check the tier state and wait
+    /// out the fault-in. The image goes to the trunk's recovery backup
+    /// path via a TFS compare-and-swap, so a crash mid-spill leaves
+    /// either the old image or the new one — never a torn file — and
+    /// recovery's `reload_trunk` reads whichever committed.
+    pub fn spill_trunk(&self, gid: u64) -> Result<bool> {
+        if self.table.read().machine_for(gid) != self.machine
+            || self.tiering.pinned(gid)
+            || self.store.trunk(gid).is_none()
+            || !self.tiering.try_begin_spill(gid)
+        {
+            return Ok(false);
+        }
+        {
+            // Write-barrier + migration check: a trunk that is donating
+            // or staging must stay resident (the migration protocols
+            // read it directly).
+            let donors = self.migration.donors_write();
+            if donors.contains_key(&gid) || self.migration.has_incoming(gid) {
+                drop(donors);
+                self.tiering.abort_spill(gid);
+                return Ok(false);
+            }
+        }
+        let Some(trunk) = self.store.trunk(gid) else {
+            self.tiering.abort_spill(gid);
+            return Ok(false);
+        };
+        let image = TrunkSnapshot::capture(&trunk).encode();
+        let path = trunk_backup_path(gid);
+        loop {
+            let expected = match self.tfs.read_versioned(&path) {
+                Ok((v, _)) => v,
+                Err(trinity_tfs::TfsError::NotFound(_)) => 0,
+                Err(e) => {
+                    self.tiering.abort_spill(gid);
+                    return Err(e.into());
+                }
+            };
+            match self.tfs.write_if_version(&path, &image, expected) {
+                Ok(version) => {
+                    self.store.evict(gid);
+                    self.tiering.commit_spill(gid, version);
+                    self.tiering.metrics.spills.inc();
+                    self.tiering.metrics.spill_bytes.add(image.len() as u64);
+                    self.update_resident_gauge();
+                    return Ok(true);
+                }
+                // Lost the CAS to a concurrent backup writer. The trunk
+                // is sealed, so our capture is still current: re-read
+                // the version and retry.
+                Err(trinity_tfs::TfsError::VersionMismatch { .. }) => continue,
+                Err(e) => {
+                    self.tiering.abort_spill(gid);
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Spill coldest-first (§11 LoadMap EWMA score, ascending; ties by
+    /// trunk id) until resident bytes fit the budget. Pinned trunks and
+    /// trunks busy migrating are never selected. Returns how many trunks
+    /// were spilled.
+    pub fn enforce_budget(&self) -> Result<usize> {
+        let budget = self.tiering.budget();
+        if budget == 0 {
+            return Ok(0);
+        }
+        let mut resident: Vec<(u64, u64)> = self
+            .store
+            .trunks()
+            .into_iter()
+            .map(|t| (t.id(), t.stats().used_bytes as u64))
+            .collect();
+        let mut total: u64 = resident.iter().map(|&(_, b)| b).sum();
+        self.tiering.metrics.resident_bytes.set(total as i64);
+        if total <= budget {
+            return Ok(0);
+        }
+        let scores: HashMap<u64, f64> = self
+            .obs
+            .load()
+            .snapshot()
+            .into_iter()
+            .map(|t| (t.trunk, t.score()))
+            .collect();
+        // Missing from the load map = never touched this window = 0.0,
+        // i.e. coldest; exactly the trunks an out-of-core sweep wants out
+        // first.
+        resident.sort_by(|a, b| {
+            let sa = scores.get(&a.0).copied().unwrap_or(0.0);
+            let sb = scores.get(&b.0).copied().unwrap_or(0.0);
+            sa.partial_cmp(&sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut spilled = 0usize;
+        for (gid, bytes) in resident {
+            if total <= budget {
+                break;
+            }
+            if self.spill_trunk(gid)? {
+                total = total.saturating_sub(bytes);
+                spilled += 1;
+            }
+        }
+        self.tiering.metrics.resident_bytes.set(total as i64);
+        Ok(spilled)
+    }
+
+    /// Write-path budget trigger: every [`WRITES_PER_SWEEP`] mutations
+    /// run one enforcement sweep. Must be called before any trunk or
+    /// migration lock is held — the sweep takes the donor write lock.
+    ///
+    /// [`WRITES_PER_SWEEP`]: crate::tiering
+    fn maybe_enforce_budget(&self) {
+        if self.tiering.write_tick() {
+            let _ = self.enforce_budget();
+        }
+    }
+
+    fn update_resident_gauge(&self) {
+        let total: u64 = self
+            .store
+            .trunks()
+            .into_iter()
+            .map(|t| t.stats().used_bytes as u64)
+            .sum();
+        self.tiering.metrics.resident_bytes.set(total as i64);
+    }
+
+    /// Set the per-machine memory budget in bytes and immediately enforce
+    /// it. 0 disables budget-driven eviction (already spilled trunks stay
+    /// spilled until accessed). Returns how many trunks were spilled.
+    pub fn set_memory_budget(&self, bytes: u64) -> Result<usize> {
+        self.tiering.set_budget(bytes);
+        if bytes == 0 {
+            return Ok(0);
+        }
+        self.enforce_budget()
+    }
+
+    /// The current per-machine memory budget (0 = unlimited).
+    pub fn memory_budget(&self) -> u64 {
+        self.tiering.budget()
+    }
+
+    /// Whether the trunk is resident (no tier entry and present in the
+    /// store). The prefetcher uses this to classify hits vs. faults.
+    pub fn trunk_resident(&self, gid: u64) -> bool {
+        self.tiering.state(gid).is_none() && self.store.trunk(gid).is_some()
+    }
+
+    /// Pin a trunk against eviction (counted; pair with
+    /// [`unpin_trunk`](Self::unpin_trunk)).
+    pub fn pin_trunk(&self, gid: u64) {
+        self.tiering.pin(gid);
+    }
+
+    /// Release one pin on the trunk.
+    pub fn unpin_trunk(&self, gid: u64) {
+        self.tiering.unpin(gid);
+    }
+
+    /// Trunk ids currently spilled to TFS.
+    pub fn spilled_trunks(&self) -> Vec<u64> {
+        self.tiering
+            .spilled()
+            .into_iter()
+            .map(|(gid, _)| gid)
+            .collect()
+    }
+
+    /// Snapshot of this machine's `tier.*` counters.
+    pub fn tier_stats(&self) -> TierStats {
+        self.tiering.stats()
+    }
+
+    /// Attribute one bucket-prefetch residency check (`hit` = the trunk
+    /// was already resident when the prefetcher looked).
+    pub fn note_prefetch(&self, hit: bool) {
+        if hit {
+            self.tiering.metrics.prefetch_hits.inc();
+        } else {
+            self.tiering.metrics.prefetch_misses.inc();
+        }
     }
 
     fn handle_get(&self, src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
-        let trunk = self.local_trunk(id);
+        let trunk = match self.local_trunk(id) {
+            Ok(t) => t,
+            // Fault-in failed (TFS unreachable): the caller's retry
+            // budget rides out the transient.
+            Err(_) => return wire::reply(wire::STORE_ERR, b""),
+        };
         let reply = match trunk.get_versioned(id) {
             Some((version, guard)) => {
                 // Register the reader while the cell is pinned: any write
@@ -352,12 +692,39 @@ impl CloudNode {
     ///   stalled): resolve ownership through the TFS primary and either
     ///   resume serving — after *persisting* the unseal decision, see
     ///   [`Self::resolve_stale_seal`] — or complete the flip locally.
-    fn gated_mutate<R>(&self, gid: u64, id: CellId, mut op: impl FnMut() -> R) -> Gate<R> {
+    ///
+    /// The gate is also the tiering **write seal**: the trunk Arc is
+    /// re-resolved from the store and the tier state re-checked while the
+    /// donor read lock is held. A spill claims `Spilling` and then takes
+    /// the donor *write* lock as a barrier, so observing no tier entry
+    /// here guarantees the Arc below stays wired into the store until
+    /// `op` lands — the write is in any later capture, never applied to
+    /// an already-evicted trunk.
+    fn gated_mutate<R>(
+        &self,
+        gid: u64,
+        id: CellId,
+        mut op: impl FnMut(&Trunk) -> R,
+    ) -> Result<Gate<R>> {
         loop {
+            // Fault the trunk in *before* taking migration locks: the
+            // fault reads TFS and its budget sweep takes the donor write
+            // lock itself.
+            self.resident_trunk(gid)?;
             let donors = self.migration.donors_read();
+            if self.tiering.blocks(gid) {
+                // A spill (or fault) slipped in between our fault-in and
+                // the lock: back off and take the fault turn again.
+                drop(donors);
+                continue;
+            }
+            let Some(trunk) = self.store.trunk(gid) else {
+                drop(donors);
+                continue;
+            };
             let Some(entry) = donors.get(&gid).map(Arc::clone) else {
-                let out = op();
-                return Gate::Done(out);
+                let out = op(&trunk);
+                return Ok(Gate::Done(out));
             };
             // Map-then-entry lock order, same as `begin_donor`; holding
             // the map lock keeps `entry` current while we decide.
@@ -375,16 +742,16 @@ impl CloudNode {
                     self.migration.abort_donor(gid, Some(mid));
                 }
                 None => {
-                    let out = op();
+                    let out = op(&trunk);
                     if g.dirty_set.insert(id) {
                         g.dirty.push_back(id);
                     }
-                    return Gate::Done(out);
+                    return Ok(Gate::Done(out));
                 }
                 Some(at) if at.elapsed() < SEAL_TIMEOUT => {
                     // The flip (if it lands) bumps the epoch past ours.
                     let epoch = self.table.read().epoch + 1;
-                    return Gate::Moved { epoch };
+                    return Ok(Gate::Moved { epoch });
                 }
                 Some(_) => {
                     // Coordinator presumed dead: ask the TFS primary who
@@ -394,7 +761,7 @@ impl CloudNode {
                     drop(g);
                     drop(donors);
                     if let Some(epoch) = self.resolve_stale_seal(gid, mid) {
-                        return Gate::Moved { epoch };
+                        return Ok(Gate::Moved { epoch });
                     }
                 }
             }
@@ -455,18 +822,20 @@ impl CloudNode {
     }
 
     fn handle_put(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
-        let trunk = self.local_trunk(id);
+        self.maybe_enforce_budget();
+        let gid = self.table.read().trunk_of(id);
         // The writer caches the bytes it wrote, so it is a sharer too;
         // register before the write so later writes invalidate it.
-        self.record_sharer(trunk.id(), src);
-        self.obs.load().record_write(trunk.id(), body.len() as u64);
-        match self.gated_mutate(trunk.id(), id, || trunk.put(id, body)) {
-            Gate::Moved { epoch } => wire::reply_moved(epoch),
-            Gate::Done(Ok(version)) => {
+        self.record_sharer(gid, src);
+        self.obs.load().record_write(gid, body.len() as u64);
+        match self.gated_mutate(gid, id, |trunk| trunk.put(id, body)) {
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Moved { epoch }) => wire::reply_moved(epoch),
+            Ok(Gate::Done(Ok(version))) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Done(Err(_))) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
@@ -475,59 +844,64 @@ impl CloudNode {
             Some(parts) => parts,
             None => return wire::reply(wire::STORE_ERR, b""),
         };
-        let trunk = self.local_trunk(id);
-        self.record_sharer(trunk.id(), src);
-        self.obs
-            .load()
-            .record_write(trunk.id(), payload.len() as u64);
-        match self.gated_mutate(trunk.id(), id, || {
-            trunk.put_if_version(id, payload, expected)
-        }) {
-            Gate::Moved { epoch } => wire::reply_moved(epoch),
-            Gate::Done(Ok(version)) => {
+        self.maybe_enforce_budget();
+        let gid = self.table.read().trunk_of(id);
+        self.record_sharer(gid, src);
+        self.obs.load().record_write(gid, payload.len() as u64);
+        match self.gated_mutate(gid, id, |trunk| trunk.put_if_version(id, payload, expected)) {
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Moved { epoch }) => wire::reply_moved(epoch),
+            Ok(Gate::Done(Ok(version))) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Gate::Done(Err(StoreError::NotFound(_))) => wire::reply(wire::NOT_FOUND, b""),
-            Gate::Done(Err(StoreError::VersionMismatch {
+            Ok(Gate::Done(Err(StoreError::NotFound(_)))) => wire::reply(wire::NOT_FOUND, b""),
+            Ok(Gate::Done(Err(StoreError::VersionMismatch {
                 id,
                 expected,
                 found,
-            })) => wire::reply_version_mismatch(id, expected, found),
-            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
+            }))) => wire::reply_version_mismatch(id, expected, found),
+            Ok(Gate::Done(Err(_))) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
     fn handle_remove(&self, src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
-        let trunk = self.local_trunk(id);
-        self.obs.load().record_write(trunk.id(), 0);
-        match self.gated_mutate(trunk.id(), id, || trunk.remove(id)) {
-            Gate::Moved { epoch } => wire::reply_moved(epoch),
-            Gate::Done(Ok(version)) => {
+        self.maybe_enforce_budget();
+        let gid = self.table.read().trunk_of(id);
+        self.obs.load().record_write(gid, 0);
+        match self.gated_mutate(gid, id, |trunk| trunk.remove(id)) {
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Moved { epoch }) => wire::reply_moved(epoch),
+            Ok(Gate::Done(Ok(version))) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Gate::Done(Err(StoreError::NotFound(_))) => wire::reply(wire::NOT_FOUND, b""),
-            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Done(Err(StoreError::NotFound(_)))) => wire::reply(wire::NOT_FOUND, b""),
+            Ok(Gate::Done(Err(_))) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
     fn handle_append(&self, src: MachineId, id: CellId, body: &[u8]) -> Vec<u8> {
-        let trunk = self.local_trunk(id);
-        self.obs.load().record_write(trunk.id(), body.len() as u64);
-        match self.gated_mutate(trunk.id(), id, || trunk.append(id, body)) {
-            Gate::Moved { epoch } => wire::reply_moved(epoch),
-            Gate::Done(Ok(version)) => {
+        self.maybe_enforce_budget();
+        let gid = self.table.read().trunk_of(id);
+        self.obs.load().record_write(gid, body.len() as u64);
+        match self.gated_mutate(gid, id, |trunk| trunk.append(id, body)) {
+            Err(_) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Moved { epoch }) => wire::reply_moved(epoch),
+            Ok(Gate::Done(Ok(version))) => {
                 self.invalidate_sharers(id, version, src);
                 wire::reply_ok(version, b"")
             }
-            Gate::Done(Err(StoreError::NotFound(_))) => wire::reply(wire::NOT_FOUND, b""),
-            Gate::Done(Err(_)) => wire::reply(wire::STORE_ERR, b""),
+            Ok(Gate::Done(Err(StoreError::NotFound(_)))) => wire::reply(wire::NOT_FOUND, b""),
+            Ok(Gate::Done(Err(_))) => wire::reply(wire::STORE_ERR, b""),
         }
     }
 
     fn handle_contains(&self, _src: MachineId, id: CellId, _body: &[u8]) -> Vec<u8> {
-        let trunk = self.local_trunk(id);
+        let trunk = match self.local_trunk(id) {
+            Ok(t) => t,
+            Err(_) => return wire::reply(wire::STORE_ERR, b""),
+        };
         self.obs.load().record_read(trunk.id(), 0);
         match trunk.version_of(id) {
             Some(version) => wire::reply_ok(version, b""),
@@ -552,7 +926,15 @@ impl CloudNode {
                 wire::multi_push_status(&mut out, wire::NOT_OWNER);
                 continue;
             }
-            let trunk = self.local_trunk(id);
+            let trunk = match self.local_trunk(id) {
+                Ok(t) => t,
+                // Fault-in failed: degrade this entry to NOT_OWNER so the
+                // caller's single-cell fallback retries (and re-syncs).
+                Err(_) => {
+                    wire::multi_push_status(&mut out, wire::NOT_OWNER);
+                    continue;
+                }
+            };
             match trunk.get_versioned(id) {
                 Some((version, guard)) => {
                     self.record_sharer(trunk.id(), src);
@@ -582,19 +964,36 @@ impl CloudNode {
         if self.table.read().machine_for(gid) != self.machine {
             return migration::err_reply("not the trunk owner");
         }
-        let Some(trunk) = self.store.trunk(gid) else {
-            return migration::err_reply("trunk not resident");
-        };
-        match self.migration.begin_donor(gid, mid) {
-            BeginOutcome::Stale => migration::err_reply("superseded migration id"),
-            BeginOutcome::Existing(n) => migration::ok_u64s(&[n as u64]),
-            BeginOutcome::Created(entry) => {
-                let ids = trunk.cell_ids();
-                let n = ids.len() as u64;
-                entry.lock().snapshot = ids;
-                migration::ok_u64s(&[n])
+        // A spilled trunk faults in before donating — migration streams
+        // straight out of the memstore. The pin holds the trunk resident
+        // across the gap until `begin_donor` publishes the donor entry
+        // (which a spill checks behind its own barrier); after that the
+        // trunk cannot spill again mid-migration.
+        let tiered = self.tiering.is_active();
+        if tiered {
+            self.tiering.pin(gid);
+            if self.resident_trunk(gid).is_err() {
+                self.tiering.unpin(gid);
+                return migration::err_reply("trunk not resident");
             }
         }
+        let out = match self.store.trunk(gid) {
+            None => migration::err_reply("trunk not resident"),
+            Some(trunk) => match self.migration.begin_donor(gid, mid) {
+                BeginOutcome::Stale => migration::err_reply("superseded migration id"),
+                BeginOutcome::Existing(n) => migration::ok_u64s(&[n as u64]),
+                BeginOutcome::Created(entry) => {
+                    let ids = trunk.cell_ids();
+                    let n = ids.len() as u64;
+                    entry.lock().snapshot = ids;
+                    migration::ok_u64s(&[n])
+                }
+            },
+        };
+        if tiered {
+            self.tiering.unpin(gid);
+        }
+        out
     }
 
     /// `MIG_READ` (donor): one bounded chunk of the snapshot, payloads
@@ -995,23 +1394,31 @@ impl CloudNode {
     pub fn multi_get(&self, ids: &[CellId]) -> Result<Vec<Option<FrameBuf>>> {
         let mut out: Vec<Option<FrameBuf>> = vec![None; ids.len()];
         let mut by_owner: HashMap<MachineId, Vec<(usize, CellId)>> = HashMap::new();
+        let mut local: Vec<(usize, u64, CellId)> = Vec::new();
         {
             let table = self.table.read();
             for (i, &id) in ids.iter().enumerate() {
                 let owner = table.machine_of(id);
                 let trunk = table.trunk_of(id);
                 if owner == self.machine {
-                    let got = self.store.ensure_trunk(trunk).get_owned(id);
-                    self.obs
-                        .load()
-                        .record_read(trunk, got.as_ref().map_or(0, |b| b.len() as u64));
-                    out[i] = got.map(FrameBuf::from_vec);
+                    // Deferred below the lock scope: resolving a local
+                    // trunk may fault it in from TFS, which must not run
+                    // under the table read lock (the fault's budget sweep
+                    // re-reads the table).
+                    local.push((i, trunk, id));
                 } else if let Some(bytes) = self.cache.get(trunk, id) {
                     out[i] = Some(bytes);
                 } else {
                     by_owner.entry(owner).or_default().push((i, id));
                 }
             }
+        }
+        for (i, trunk, id) in local {
+            let got = self.resident_trunk(trunk)?.get_owned(id);
+            self.obs
+                .load()
+                .record_read(trunk, got.as_ref().map_or(0, |b| b.len() as u64));
+            out[i] = got.map(FrameBuf::from_vec);
         }
         for (owner, group) in by_owner {
             let req_ids: Vec<CellId> = group.iter().map(|&(_, id)| id).collect();
@@ -1049,10 +1456,14 @@ impl CloudNode {
     }
 
     /// Warm the cache for an upcoming batch of reads (e.g. the next
-    /// traversal frontier). Best-effort: errors are swallowed — the reads
-    /// themselves will surface them.
+    /// traversal frontier). Best-effort: a failed warm never fails the
+    /// caller — the reads themselves will surface the error — but it is
+    /// counted (`cloud.cache.prefetch_errors`) so a silently cold cache
+    /// shows up in the metrics instead of as a latency mystery.
     pub fn prefetch(&self, ids: &[CellId]) {
-        let _ = self.multi_get(ids);
+        if self.multi_get(ids).is_err() {
+            self.cache.record_prefetch_error();
+        }
     }
 
     /// Counters and occupancy of this node's remote-read cache.
@@ -1150,7 +1561,16 @@ impl CloudNode {
             new.trunks_of(self.machine).into_iter().collect();
         for &gid in &new_mine {
             if !old_mine.contains(&gid) {
-                self.reload_trunk(gid)?;
+                // Newly gained trunks reload from the TFS backup. A
+                // trunk this node owns but has tiered out keeps its
+                // entry untouched instead — the spilled image is the
+                // current data and faults in lazily. Forgetting the
+                // entry here would open a window where a concurrent
+                // budget sweep spills an empty recreation of the trunk
+                // over the good image.
+                if self.tiering.state(gid).is_none() {
+                    self.reload_trunk(gid)?;
+                }
             } else if self.migration.has_incoming(gid) && !self.migration.incoming_committed(gid) {
                 // Resident only as an uncommitted inbound staging — a
                 // partial stream whose coordinator never sent COMMIT.
@@ -1176,6 +1596,17 @@ impl CloudNode {
         let moved: BTreeSet<u64> = old.changed_trunks(&new).into_iter().collect();
         self.migration.on_table_installed(self.machine, &old, &new);
         *self.table.write() = new;
+        // Tier entries for trunks this node no longer owns are dead
+        // weight (the new owner reloads from the same TFS image): drop
+        // them so the write gate stops blocking on them. This runs
+        // *after* the table swap — with the old table still routing
+        // here, a local access racing the forget would recreate the
+        // trunk empty and a sweep could spill that lie to TFS.
+        for (gid, _) in self.tiering.spilled() {
+            if self.table.read().machine_for(gid) != self.machine {
+                self.tiering.forget(gid);
+            }
+        }
         self.cache.clear_trunks(&moved, old.p_bits());
         self.sharers
             .lock()
@@ -1192,6 +1623,10 @@ impl CloudNode {
         self.cache.clear();
         self.sharers.lock().clear();
         self.migration.reset();
+        // Tier state died with the machine's memory: trunks the install
+        // below grants come back through `reload_trunk`, which reads the
+        // same TFS images spills wrote. The budget itself survives.
+        self.tiering.reset();
         self.sync_table()?;
         Ok(())
     }

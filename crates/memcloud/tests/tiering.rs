@@ -1,0 +1,343 @@
+//! Out-of-core tiering properties (DESIGN.md §15).
+//!
+//! The spill path must be a lossless round trip: a trunk's sealed cell
+//! image goes to TFS, the trunk drops from the memstore, and the first
+//! access faults back a **bit-identical** trunk — under arbitrary cell
+//! sets, repeated spill/fault cycles (advancing the TFS CAS version each
+//! time), and concurrent readers racing the fault-in. Crash seeds prove
+//! the recovery contract: a machine that dies mid-spill or with trunks
+//! spilled loses nothing, because the spill image *is* the recovery
+//! backup image.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trinity_memcloud::{trunk_backup_path, CloudConfig, MemoryCloud};
+use trinity_memstore::TrunkSnapshot;
+
+/// Capture the canonical byte image of every resident trunk `machine`
+/// owns, keyed by trunk id.
+fn capture_owned(cloud: &MemoryCloud, machine: usize) -> HashMap<u64, Vec<u8>> {
+    let node = cloud.node(machine);
+    let table = node.table();
+    let mut images = HashMap::new();
+    for gid in table.trunks_of(node.machine()) {
+        if let Some(trunk) = node.store().trunk(gid) {
+            images.insert(gid, TrunkSnapshot::capture(&trunk).encode());
+        }
+    }
+    images
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary cell sets, several spill → TFS → fault-in cycles (the
+    /// CAS version advances every cycle), writes between cycles: every
+    /// faulted-in trunk image is bit-identical to the sealed capture,
+    /// and the TFS blob in between is exactly that capture.
+    #[test]
+    fn spill_fault_round_trip_is_bit_identical(
+        cells in proptest::collection::vec((0u64..512, proptest::collection::vec(any::<u8>(), 0..48)), 1..80),
+        extra in proptest::collection::vec((0u64..512, proptest::collection::vec(any::<u8>(), 0..48)), 1..20),
+        cycles in 1usize..3,
+    ) {
+        let cloud = MemoryCloud::new(CloudConfig::small(2));
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (k, v) in &cells {
+            cloud.node(0).put(*k, v).unwrap();
+            model.insert(*k, v.clone());
+        }
+        for cycle in 0..cycles {
+            for m in 0..2 {
+                let node = cloud.node(m);
+                let before = capture_owned(&cloud, m);
+                for (&gid, image) in &before {
+                    let spilled = node.spill_trunk(gid).unwrap();
+                    prop_assert!(spilled, "resident unpinned trunk {gid} must spill");
+                    prop_assert!(!node.trunk_resident(gid));
+                    prop_assert!(node.store().trunk(gid).is_none(), "spill must drop trunk {gid} from the memstore");
+                    // The TFS blob is the sealed capture, byte for byte.
+                    let (_, blob) = cloud.tfs().read_versioned(&trunk_backup_path(gid)).unwrap();
+                    prop_assert_eq!(&blob, image, "TFS spill image diverged for trunk {}", gid);
+                    // Fault back in and re-capture: bit-identical.
+                    node.resident_trunk(gid).unwrap();
+                    prop_assert!(node.trunk_resident(gid));
+                    let trunk = node.store().trunk(gid).unwrap();
+                    let after = TrunkSnapshot::capture(&trunk).encode();
+                    prop_assert_eq!(&after, image, "fault-in diverged for trunk {}", gid);
+                }
+            }
+            // Mutate between cycles so the next spill CASes over a
+            // non-zero TFS version and captures a different image.
+            if cycle + 1 < cycles {
+                for (k, v) in &extra {
+                    let mut v = v.clone();
+                    v.push(cycle as u8);
+                    cloud.node(1).put(*k, &v).unwrap();
+                    model.insert(*k, v);
+                }
+            }
+        }
+        let stats = cloud.tier_stats();
+        prop_assert!(stats.spills >= 1 && stats.faults >= 1);
+        prop_assert_eq!(stats.spilled_trunks, 0, "everything faulted back");
+        for (k, v) in &model {
+            let got = cloud.node(0).get(*k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        cloud.shutdown();
+    }
+
+    /// Concurrent readers racing a spilled trunk's fault-in: exactly one
+    /// wins the fault turn, the rest block on the tier condvar, and every
+    /// reader — local or routed from the remote machine — observes the
+    /// pre-spill value of every cell.
+    #[test]
+    fn concurrent_reads_during_fault_in_see_sealed_values(
+        cells in proptest::collection::vec((0u64..256, proptest::collection::vec(any::<u8>(), 1..32)), 8..64),
+    ) {
+        let cloud = Arc::new(MemoryCloud::new(CloudConfig::small(2)));
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (k, v) in &cells {
+            cloud.node(0).put(*k, v).unwrap();
+            model.insert(*k, v.clone());
+        }
+        for m in 0..2 {
+            let node = cloud.node(m);
+            for gid in node.table().trunks_of(node.machine()) {
+                node.spill_trunk(gid).unwrap();
+            }
+        }
+        let keys: Vec<u64> = model.keys().copied().collect();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cloud = Arc::clone(&cloud);
+                let keys = keys.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::with_capacity(keys.len());
+                    for &k in &keys {
+                        got.push((k, cloud.node(t % 2).get(k).unwrap().map(|b| b.to_vec())));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (k, v) in h.join().unwrap() {
+                prop_assert_eq!(v.as_deref(), model.get(&k).map(Vec::as_slice), "reader diverged on cell {}", k);
+            }
+        }
+        // Trunks holding none of the read keys legitimately stay
+        // spilled; every trunk a reader touched must be back.
+        let stats = cloud.tier_stats();
+        prop_assert!(stats.faults >= 1, "spilled trunks must fault in under read load");
+        for m in 0..2 {
+            let node = cloud.node(m);
+            let table = node.table();
+            for &k in &keys {
+                let gid = table.trunk_of(k);
+                if table.machine_for(gid) == node.machine() {
+                    prop_assert!(
+                        node.trunk_resident(gid),
+                        "machine {} trunk {} holds read cell {} but stayed spilled (state {:?})",
+                        m, gid, k, node.spilled_trunks()
+                    );
+                }
+            }
+        }
+        cloud.shutdown();
+    }
+}
+
+/// Crash between the spill's TFS write and the memstore eviction: the
+/// image landed at the trunk's backup path but the process died before
+/// committing the tier state. Recovery reads the backup path — which
+/// holds exactly the sealed capture — so the reassigned trunk loses
+/// nothing.
+#[test]
+fn crash_between_spill_write_and_eviction_loses_nothing() {
+    let cloud = MemoryCloud::new(CloudConfig::small(3));
+    let mut model = HashMap::new();
+    for k in 0u64..192 {
+        let v = vec![(k % 251) as u8; 1 + (k % 37) as usize];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    // Everything else is durable; the victim's trunks carry the fresh data.
+    cloud.backup_all().unwrap();
+    for k in 200u64..230 {
+        let v = vec![0xA5; 9];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    let victim = 1usize;
+    let vm = cloud.node(victim).machine();
+    // Replay the first half of the spill by hand: seal-capture each
+    // trunk and CAS the image to the backup path, then "crash" before
+    // the eviction / tier-state commit would have happened.
+    let table = cloud.node(victim).table();
+    for gid in table.trunks_of(vm) {
+        if let Some(trunk) = cloud.node(victim).store().trunk(gid) {
+            let image = TrunkSnapshot::capture(&trunk).encode();
+            let path = trunk_backup_path(gid);
+            let expected = cloud
+                .tfs()
+                .read_versioned(&path)
+                .map(|(v, _)| v)
+                .unwrap_or(0);
+            cloud
+                .tfs()
+                .write_if_version(&path, &image, expected)
+                .unwrap();
+        }
+    }
+    cloud.kill_machine(victim);
+    cloud.recover(victim).unwrap();
+    for (k, v) in &model {
+        assert_eq!(
+            cloud.node(0).get(*k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "cell {k} lost across the mid-spill crash"
+        );
+    }
+    cloud.shutdown();
+}
+
+/// Crash while trunks are spilled (covers a crash during fault-in: the
+/// TFS image is still the source of truth). The dead machine's memstore
+/// held nothing for those trunks — recovery must restore them on the
+/// survivors purely from the spill images, with zero divergence.
+#[test]
+fn crash_with_spilled_trunks_recovers_from_spill_images() {
+    let cloud = MemoryCloud::new(CloudConfig::small(3));
+    let mut model = HashMap::new();
+    for k in 0u64..256 {
+        let v = vec![(k % 13) as u8; 1 + (k % 29) as usize];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    cloud.backup_all().unwrap();
+    // Post-backup writes live only in the victim's trunks; the spill
+    // seals them into TFS *after* the backup, so recovery serves them.
+    let victim = 2usize;
+    let vm = cloud.node(victim).machine();
+    let table = cloud.node(victim).table();
+    let fresh: Vec<u64> = (300u64..360)
+        .filter(|k| table.machine_of(*k) == vm)
+        .collect();
+    assert!(
+        !fresh.is_empty(),
+        "seed must land post-backup cells on the victim"
+    );
+    for &k in &fresh {
+        let v = vec![0x5A; 17];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    let mut spilled = 0;
+    for gid in table.trunks_of(vm) {
+        if cloud.node(victim).spill_trunk(gid).unwrap() {
+            spilled += 1;
+        }
+    }
+    assert!(
+        spilled > 0,
+        "the victim must have trunks out-of-core when it dies"
+    );
+    assert_eq!(cloud.node(victim).spilled_trunks().len(), spilled);
+    cloud.kill_machine(victim);
+    cloud.recover(victim).unwrap();
+    for (k, v) in &model {
+        assert_eq!(
+            cloud.node(0).get(*k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "cell {k} diverged recovering a spilled trunk"
+        );
+    }
+    cloud.shutdown();
+}
+
+/// Budget-driven eviction: with the budget at roughly half the resident
+/// bytes, the sweep spills coldest-first until under budget, reads fault
+/// the spilled trunks back in transparently, and a pinned trunk is never
+/// selected no matter how cold it is.
+#[test]
+fn budget_sweep_spills_cold_trunks_and_reads_fault_back() {
+    let cloud = MemoryCloud::new(CloudConfig::small(2));
+    let mut model = HashMap::new();
+    for k in 0u64..512 {
+        let v = vec![(k % 199) as u8; 24];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    let node = cloud.node(0);
+    let resident: u64 = node
+        .store()
+        .trunks()
+        .into_iter()
+        .map(|t| t.stats().used_bytes as u64)
+        .sum();
+    assert!(resident > 0);
+    // Pin one owned trunk; it must survive even a starvation budget.
+    let pinned_gid = node.table().trunks_of(node.machine())[0];
+    node.pin_trunk(pinned_gid);
+    let spilled = node.set_memory_budget(resident / 2).unwrap();
+    assert!(spilled > 0, "half budget must force spills");
+    assert!(node.trunk_resident(pinned_gid), "pinned trunk evicted");
+    assert!(!node.spilled_trunks().is_empty());
+    let remaining: u64 = node
+        .store()
+        .trunks()
+        .into_iter()
+        .map(|t| t.stats().used_bytes as u64)
+        .sum();
+    assert!(
+        remaining <= resident / 2,
+        "sweep left {remaining} bytes resident over the {} budget",
+        resident / 2
+    );
+    // Every cell still reads correctly — spilled ones via fault-in.
+    for (k, v) in &model {
+        assert_eq!(
+            cloud.node(1).get(*k).unwrap().as_deref(),
+            Some(v.as_slice())
+        );
+    }
+    let stats = cloud.tier_stats();
+    assert!(stats.spills as usize >= spilled);
+    assert!(stats.faults >= 1);
+    node.unpin_trunk(pinned_gid);
+    cloud.shutdown();
+}
+
+/// Writes targeting a spilled trunk fault it in first and land — the
+/// gated-mutation path re-checks the tier state, so no mutation applies
+/// to a trunk that is mid-spill or absent.
+#[test]
+fn writes_to_spilled_trunks_fault_in_and_land() {
+    let cloud = MemoryCloud::new(CloudConfig::small(2));
+    for k in 0u64..128 {
+        cloud.node(0).put(k, &[1, 2, 3]).unwrap();
+    }
+    for m in 0..2 {
+        let node = cloud.node(m);
+        for gid in node.table().trunks_of(node.machine()) {
+            node.spill_trunk(gid).unwrap();
+        }
+    }
+    for k in 0u64..128 {
+        assert!(cloud.node(1).append(k, &[4]).unwrap(), "cell {k} vanished");
+        cloud.node(0).put(k + 1000, &[9]).unwrap();
+        assert!(cloud.node(0).remove(k + 1000).unwrap());
+    }
+    for k in 0u64..128 {
+        assert_eq!(
+            cloud.node(0).get(k).unwrap().as_deref(),
+            Some(&[1, 2, 3, 4][..]),
+            "append lost on spilled trunk for cell {k}"
+        );
+    }
+    cloud.shutdown();
+}

@@ -211,6 +211,23 @@ impl Tfs {
             .ok_or_else(|| TfsError::NotFound(name.to_string()))
     }
 
+    /// Batched [`Tfs::read_versioned`]: resolve many files under one
+    /// lock acquisition, one result per name in order. The bulk primitive
+    /// for trunk-image prefetch — a BSP bucket fetcher resolving the next
+    /// bucket's spilled trunks pays one lock round instead of one per
+    /// trunk.
+    pub fn read_versioned_many(&self, names: &[String]) -> Vec<Result<(u64, Vec<u8>), TfsError>> {
+        let inner = self.inner.lock();
+        names
+            .iter()
+            .map(|name| {
+                Self::freshest_inner(&inner, name)
+                    .map(|(v, blob)| (*v, blob.to_vec()))
+                    .ok_or_else(|| TfsError::NotFound(name.clone()))
+            })
+            .collect()
+    }
+
     /// Conditional write: replace the file only if its freshest live
     /// version is still `expected` (`0` = the file must not exist yet).
     /// Fails with [`TfsError::VersionMismatch`] when another writer got

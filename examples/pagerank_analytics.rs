@@ -42,6 +42,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
         (
@@ -52,6 +53,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
         (
@@ -62,6 +64,7 @@ fn main() {
                 combine: false,
                 max_supersteps: 64,
                 compute_threads: 0,
+                ..BspConfig::default()
             },
         ),
     ];

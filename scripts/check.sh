@@ -40,10 +40,18 @@ echo "==> freshness --smoke (streaming gate: zero oracle divergences + increment
 cargo run --release -p trinity-bench --bin freshness "${HERMETIC[@]}" "$@" -- --smoke \
     --metrics-out results/freshness.metrics.json
 
+echo "==> e13_residency (tiering model: residency table + schedule peak-bytes check)"
+cargo run --release -p trinity-bench --bin e13_residency "${HERMETIC[@]}" "$@"
+
+echo "==> tiering --smoke (out-of-core gate: 2x-budget wall within 2.5x resident, prefetch >=80%, chaos seeds clean)"
+cargo run --release -p trinity-bench --bin tiering "${HERMETIC[@]}" "$@" -- --smoke \
+    --metrics-out results/tiering.metrics.json
+
 echo "==> metrics_check (observability gate: exported artifacts schema-validate)"
 cargo run --release -p trinity-bench --bin metrics_check "${HERMETIC[@]}" "$@" -- \
     results/cache_traversal.metrics.json results/cache_traversal.trace.json \
-    results/scaleout.metrics.json results/freshness.metrics.json
+    results/scaleout.metrics.json results/freshness.metrics.json \
+    results/tiering.metrics.json
 
 echo "==> chaos --force-fail (postmortem gate: a failing run must leave a flight dump)"
 TRINITY_FLIGHT_DIR=results/flight \

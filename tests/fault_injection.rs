@@ -54,6 +54,7 @@ fn cfg(limit: usize) -> BspConfig {
         combine: false,
         max_supersteps: limit,
         compute_threads: 0,
+        ..BspConfig::default()
     }
 }
 

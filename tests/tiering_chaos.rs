@@ -1,0 +1,172 @@
+//! Eviction-thrash chaos: trunk tiering under a starvation budget while
+//! trunks migrate between machines and writers hammer the cloud.
+//!
+//! The dangerous interleavings are (a) a budget sweep selecting a trunk
+//! that is mid-migration — the spill must skip it, because the donor
+//! protocol reads the trunk directly — and (b) a migration targeting a
+//! trunk that is currently spilled — the donor must fault it in before
+//! streaming. Either mistake surfaces as cell divergence: a write
+//! applied to a trunk image that was then thrown away, or a migration
+//! that streamed an empty recreation of a spilled trunk. The oracle is
+//! exact: a single writer thread keeps a model map, and after the storm
+//! every machine must read back precisely the model.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use trinity::elastic::{MigrationConfig, MigrationEngine};
+use trinity::memcloud::{CloudConfig, MemoryCloud};
+use trinity::net::MachineId;
+
+fn put_with_retry(cloud: &MemoryCloud, via: usize, key: u64, val: &[u8]) {
+    for _ in 0..100 {
+        if cloud.node(via).put(key, val).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("put of cell {key} did not land within 100 attempts");
+}
+
+#[test]
+fn eviction_thrash_under_migration_diverges_no_cell() {
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+        standby_machines: 1,
+        ..CloudConfig::small(3)
+    }));
+    let machines = cloud.machines();
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    for k in 0u64..384 {
+        let v = vec![(k % 97) as u8; 8 + (k % 24) as usize];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    // A budget far below the seeded working set: every sweep spills,
+    // every touch faults back — sustained thrash.
+    cloud.set_memory_budget(2048);
+    assert!(
+        cloud.tier_stats().spills > 0,
+        "the starvation budget must force immediate spills"
+    );
+
+    // Writer: overwrite the key space round-robin through every machine,
+    // keeping an exact model. Each write may land on a spilled trunk
+    // (fault-in path) or race a sweep (gate re-check path).
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let cloud = Arc::clone(&cloud);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+            let mut k = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = k % 384;
+                let val = vec![(k % 251) as u8; 4 + (k % 40) as usize];
+                put_with_retry(&cloud, (k as usize) % machines, key, &val);
+                model.insert(key, val);
+                if k.is_multiple_of(64) {
+                    // Extra sweeps beyond the write-tick cadence: keep
+                    // eviction pressure constant through the migrations.
+                    for m in 0..machines {
+                        let _ = cloud.node(m).enforce_budget();
+                    }
+                }
+                k += 1;
+            }
+            model
+        })
+    };
+
+    // Migrate trunks back and forth to the standby while the storm runs:
+    // each flip crosses the spill fences in both directions.
+    let engine = MigrationEngine::new(MigrationConfig {
+        chunk_cells: 8,
+        ..MigrationConfig::default()
+    });
+    let table = cloud.node(0).table();
+    let t0 = table.trunks_of(MachineId(0))[0];
+    let t1 = table.trunks_of(MachineId(1))[0];
+    for &(trunk, to) in &[(t0, 3u16), (t1, 3), (t0, 0), (t1, 1)] {
+        let report = engine
+            .migrate_trunk(&cloud, trunk, MachineId(to))
+            .expect("migration under eviction thrash");
+        assert_eq!(report.to, MachineId(to));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for (k, v) in writer.join().unwrap() {
+        model.insert(k, v);
+    }
+
+    let stats = cloud.tier_stats();
+    assert!(
+        stats.spills > 0 && stats.faults > 0,
+        "the storm must actually thrash (spills {}, faults {})",
+        stats.spills,
+        stats.faults
+    );
+    // Zero divergence, read through every machine (caches cleared so
+    // every read reaches the owning trunk).
+    for m in 0..machines {
+        cloud.node(m).clear_cache();
+        for (k, v) in &model {
+            assert_eq!(
+                cloud.node(m).get(*k).unwrap().as_deref(),
+                Some(v.as_slice()),
+                "cell {k} diverged via machine {m} after the thrash storm"
+            );
+        }
+    }
+    cloud.shutdown();
+}
+
+/// Budget sweeps racing a single long migration: the migrating trunk
+/// must never spill mid-stream, and once the flip lands the recipient
+/// enforces its own budget over the arrived trunk.
+#[test]
+fn budget_sweep_never_spills_a_migrating_trunk() {
+    let cloud = Arc::new(MemoryCloud::new(CloudConfig {
+        standby_machines: 1,
+        ..CloudConfig::small(2)
+    }));
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    for k in 0u64..256 {
+        let v = vec![(k % 61) as u8; 16];
+        cloud.node(0).put(k, &v).unwrap();
+        model.insert(k, v);
+    }
+    cloud.set_memory_budget(1024);
+    let trunk = cloud.node(0).table().trunks_of(MachineId(0))[0];
+    // Sweep continuously while the trunk streams to the standby.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeper = {
+        let cloud = Arc::clone(&cloud);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for m in 0..cloud.machines() {
+                    let _ = cloud.node(m).enforce_budget();
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+    let engine = MigrationEngine::new(MigrationConfig {
+        chunk_cells: 4,
+        ..MigrationConfig::default()
+    });
+    let report = engine
+        .migrate_trunk(&cloud, trunk, MachineId(2))
+        .expect("migration under sweep pressure");
+    assert_eq!(report.to, MachineId(2));
+    stop.store(true, Ordering::Relaxed);
+    sweeper.join().unwrap();
+    for (k, v) in &model {
+        assert_eq!(
+            cloud.node(1).get(*k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "cell {k} diverged across the sweep-vs-migration race"
+        );
+    }
+    cloud.shutdown();
+}
